@@ -1,0 +1,17 @@
+"""A5: memory-optimal vs time-optimal copy processes (Table 3's two groups)."""
+
+from conftest import save_artifact
+
+from repro.dse.report import format_table
+from repro.experiments import ablations
+
+
+def test_ablation_copy_variants(benchmark):
+    rows = benchmark(ablations.copy_variant_ablation)
+    for row in rows:
+        assert row["speedup"] > 10  # unrolling wins big on runtime ...
+        assert row["imem_cost_words"] > 0  # ... at instruction-memory cost
+    save_artifact(
+        "ablation_cp",
+        "A5: copy-process variants\n" + format_table(rows),
+    )

@@ -1,0 +1,47 @@
+"""A6: how far do the paper's rebalancers drift from the exact optimum?
+
+An extension beyond the paper: the exact DP/parametric-search optimum
+(``repro.mapping.optimal``) bounds the heuristics' loss on the paper's
+own JPEG workload over all 1..25 tile budgets.
+"""
+
+from conftest import save_artifact
+
+from repro.dse.report import format_table
+from repro.kernels.jpeg.pipeline_model import jpeg_pipeline_order
+from repro.mapping.cost import TileCostModel
+from repro.mapping.optimal import optimal_mapping
+from repro.mapping.rebalance import rebalance
+
+
+def optimality_rows(max_tiles: int = 25):
+    model = TileCostModel()
+    processes = jpeg_pipeline_order()
+    traces = {
+        algo: rebalance(processes, max_tiles, model, algorithm=algo)
+        for algo in ("one", "two", "opt")
+    }
+    rows = []
+    for budget in range(1, max_tiles + 1):
+        exact = optimal_mapping(processes, budget, model).interval_ns
+        row = {"tiles": budget, "optimal_us": round(exact / 1000, 2)}
+        for algo, trace in traces.items():
+            interval = trace.at_tiles(budget).interval_ns(model)
+            row[f"gap_{algo}"] = round(interval / exact, 3)
+        rows.append(row)
+    return rows
+
+
+def test_ablation_optimality_gap(benchmark):
+    rows = benchmark(optimality_rows)
+    # heuristics never beat the optimum and stay within 25% on JPEG
+    for row in rows:
+        for algo in ("one", "two", "opt"):
+            assert 1.0 - 1e-9 <= row[f"gap_{algo}"] < 1.25
+    # the refined algorithms close part of the greedy gap somewhere
+    assert any(row["gap_two"] < row["gap_one"] for row in rows)
+    save_artifact(
+        "ablation_optimality",
+        "A6: rebalancer optimality gap (interval / exact optimum)\n"
+        + format_table(rows),
+    )

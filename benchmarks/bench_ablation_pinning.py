@@ -1,0 +1,20 @@
+"""A4: Table 4's instruction pinning ((f) labels) vs no pinning."""
+
+from conftest import save_artifact
+
+from repro.dse.report import format_table
+from repro.experiments import ablations
+
+
+def test_ablation_pinning(benchmark):
+    rows = benchmark(ablations.pinning_ablation)
+    by_impl = {r["impl"]: r for r in rows}
+    # only the over-capacity tiles (impls 1, 5) can benefit
+    assert by_impl[1]["slowdown"] > 1.0
+    assert by_impl[5]["slowdown"] > 1.0
+    assert by_impl[3]["slowdown"] == 1.0
+    assert by_impl[4]["slowdown"] == 1.0
+    save_artifact(
+        "ablation_pinning",
+        "A4: instruction pinning\n" + format_table(rows),
+    )

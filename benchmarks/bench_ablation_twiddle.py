@@ -1,0 +1,18 @@
+"""A1: the red/green/yellow/blue twiddle scheme vs reload-everything."""
+
+from conftest import save_artifact
+
+from repro.dse.report import format_table
+from repro.experiments import ablations
+
+
+def test_ablation_twiddle_scheme(benchmark):
+    rows = benchmark(ablations.twiddle_ablation)
+    by_cols = {r["cols"]: r for r in rows}
+    # shared columns benefit heavily; ten pipelined columns are neutral
+    assert by_cols[1]["speedup"] > 1.5
+    assert by_cols[10]["speedup"] == 1.0
+    save_artifact(
+        "ablation_twiddle",
+        "A1: twiddle optimization\n" + format_table(rows),
+    )

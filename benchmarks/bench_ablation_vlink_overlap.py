@@ -1,0 +1,20 @@
+"""A2: overlapping vertical link reconfiguration with butterflies (Fig. 9)."""
+
+from conftest import save_artifact
+
+from repro.dse.report import format_table
+from repro.experiments import ablations
+
+
+def test_ablation_vlink_overlap(benchmark):
+    rows = benchmark(ablations.vlink_overlap_ablation)
+    assert all(r["speedup"] >= 1.0 for r in rows)
+    # at L = 0 there is nothing to hide; at mid costs the overlap pays
+    zero = [r for r in rows if r["link_cost_ns"] == 0]
+    mid = [r for r in rows if r["link_cost_ns"] == 700]
+    assert all(r["speedup"] == 1.0 for r in zero)
+    assert any(r["speedup"] > 1.05 for r in mid)
+    save_artifact(
+        "ablation_vlink",
+        "A2: vertical-link overlap\n" + format_table(rows),
+    )

@@ -1,0 +1,13 @@
+"""Host software baselines (the paper's PC comparison point in Sec. 3.3)."""
+
+from conftest import save_artifact
+
+from repro.experiments import baseline
+
+
+def test_host_baselines(benchmark):
+    rows = benchmark.pedantic(
+        baseline.run, kwargs={"min_seconds": 0.05}, rounds=1, iterations=1
+    )
+    assert any("fabric model" in r["implementation"] for r in rows)
+    save_artifact("baseline", baseline.render())

@@ -1,0 +1,38 @@
+"""Fabric-executed JPEG blocks: per-block cost on the simulated tile.
+
+Extension bench: encodes a small frame with shift/DCT/quantize/zigzag
+running as tile programs under the epoch runtime, decodes the resulting
+JFIF stream, and reports the first-block (cold: programs + data1 over the
+ICAP) vs steady-state per-block times.
+"""
+
+from conftest import save_artifact
+
+from repro.io.images import natural_like
+from repro.kernels.jpeg.decoder import decode_image
+from repro.kernels.jpeg.fabric_runner import FabricBlockPipeline
+
+
+def encode_on_fabric():
+    image = natural_like(16, 16, seed=9)
+    pipeline = FabricBlockPipeline(quality=75)
+    result = pipeline.encode_image(image)
+    decoded = decode_image(result.stream)
+    assert decoded.shape == image.shape
+    return result
+
+
+def test_fabric_jpeg_blocks(benchmark):
+    result = benchmark(encode_on_fabric)
+    assert result.blocks == 4
+    assert result.first_block_ns > result.steady_block_ns
+    save_artifact(
+        "fabric_jpeg",
+        "Fabric JPEG block pipeline (one tile, q=75)\n"
+        f"blocks          : {result.blocks}\n"
+        f"first block     : {result.first_block_ns / 1000:.2f} us "
+        "(programs + data1 over the ICAP)\n"
+        f"steady block    : {result.steady_block_ns / 1000:.2f} us\n"
+        f"steady rate     : {result.blocks_per_s:.0f} blocks/s\n"
+        f"ICAP traffic    : {result.reconfig_bytes} bytes total",
+    )

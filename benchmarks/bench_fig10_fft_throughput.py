@@ -1,0 +1,23 @@
+"""Fig. 10: 1024-pt FFT throughput vs link reconfiguration cost.
+
+Regenerates all four column curves over the full 0-5000 ns range and
+checks the shape criteria the paper draws from this figure.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import fig10
+
+
+def test_fig10_throughput_curves(benchmark):
+    series = benchmark(fig10.run)
+    at = {c: dict(curve) for c, curve in series.items()}
+    # shape criterion 1: more columns win when links are cheap
+    assert at[10][0] > at[5][0] > at[2][0] > at[1][0]
+    # shape criterion 2: every curve decays monotonically with L
+    for curve in series.values():
+        values = [v for _, v in curve]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+    # shape criterion 3: the ordering inverts at the expensive end
+    assert at[1][5000] > at[10][5000]
+    save_artifact("fig10", fig10.render())

@@ -1,0 +1,18 @@
+"""Fig. 11: the crossover zoom of Fig. 10.
+
+The paper reads two thresholds off this view: beyond ~700 ns adding
+columns stops helping; beyond ~1100 ns it hurts.  The regenerated band
+must overlap those readings.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import fig11
+
+
+def test_fig11_crossover_region(benchmark):
+    series = benchmark(fig11.run)
+    lo, hi = fig11.crossover_band(series)
+    assert 400 <= lo <= 1100    # "no noticeable benefit" threshold
+    assert 800 <= hi <= 1600    # "opposite effect" threshold
+    save_artifact("fig11", fig11.render())

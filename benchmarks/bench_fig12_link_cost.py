@@ -1,0 +1,18 @@
+"""Fig. 12: link-cost influence — throughput vs column count."""
+
+from conftest import save_artifact
+
+from repro.experiments import fig12
+
+
+def test_fig12_link_cost_influence(benchmark):
+    series = benchmark(fig12.run)
+    # cheap links: throughput rises with columns
+    cheap = [v for _, v in series[0]]
+    assert cheap == sorted(cheap)
+    # expensive links: the paper's "opposite effect" — the ten-column
+    # design is now the worst and the single column beats it
+    pricey = [v for _, v in series[1500]]
+    assert min(pricey) == pricey[-1]  # 10 columns slowest
+    assert pricey[0] > pricey[-1]
+    save_artifact("fig12", fig12.render())

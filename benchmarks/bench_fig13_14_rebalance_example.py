@@ -1,0 +1,18 @@
+"""Figs. 13-14: the worked rebalancing example, replayed step by step."""
+
+from conftest import save_artifact
+
+from repro.experiments import fig13_14
+
+
+def test_fig13_14_example(benchmark):
+    result = benchmark(fig13_14.run)
+    trace = {s["tiles"]: s for s in result["greedy_trace"]}
+    # every annotated value of Fig. 13 reproduces
+    assert trace[1]["interval_ns"] == 5100.0
+    assert trace[2]["interval_ns"] == 3200.0
+    assert trace[3]["interval_ns"] == 1900.0
+    assert trace[4]["interval_ns"] == 1800.0
+    assert trace[5]["interval_ns"] == 1400.0
+    assert "x2" in trace[5]["mapping"]  # the heaviest process duplicated
+    save_artifact("fig13_14", fig13_14.render())

@@ -1,0 +1,19 @@
+"""Fig. 16: images/s vs tile budget for the three rebalancers."""
+
+from conftest import save_artifact
+
+from repro.experiments import fig16
+
+
+def test_fig16_rebalance_throughput(benchmark):
+    series = benchmark(fig16.run)
+    # monotone non-decreasing curves spanning a >10x dynamic range
+    for curve in series.values():
+        values = [v for _, v in curve]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert values[-1] > 10 * values[0]
+    # refinements never lose to the greedy algorithm
+    for i in range(25):
+        assert series["two"][i][1] >= series["one"][i][1] - 1e-9
+        assert series["opt"][i][1] >= series["one"][i][1] - 1e-9
+    save_artifact("fig16", fig16.render())

@@ -1,0 +1,14 @@
+"""Fig. 17: average tile utilization vs tile budget."""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import fig17
+
+
+def test_fig17_rebalance_utilization(benchmark):
+    series = benchmark(fig17.run)
+    for curve in series.values():
+        assert curve[0][1] == pytest.approx(1.0)  # one tile: always busy
+        assert all(0 < v <= 1.0 + 1e-9 for _, v in curve)
+    save_artifact("fig17", fig17.render())

@@ -1,0 +1,15 @@
+"""Fig. 8: the 64-point / M=8 twiddle matrix and its classification."""
+
+from conftest import save_artifact
+
+from repro.experiments import fig8
+
+
+def test_fig8_twiddle_schedule(benchmark):
+    result = benchmark(fig8.run)
+    assert result["reload_words"] < result["naive_reload_words"]
+    summary = result["stage_summary"]
+    assert summary[0]["red"] == 8          # first column preloaded
+    assert summary[4]["blue"] == 8         # last two columns resident
+    assert summary[5]["blue"] == 8
+    save_artifact("fig8", fig8.render())

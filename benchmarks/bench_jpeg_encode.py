@@ -1,0 +1,22 @@
+"""JPEG substrate: reference encode of the paper's 200x200 frame size."""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.io.images import natural_like
+from repro.kernels.jpeg.decoder import decode_image
+from repro.kernels.jpeg.encoder import encode_image
+
+
+def test_jpeg_encode_200x200(benchmark):
+    image = natural_like(200, 200, seed=1)
+    stream = benchmark(encode_image, image, 75)
+    decoded = decode_image(stream)
+    err = int(np.max(np.abs(decoded.astype(int) - image.astype(int))))
+    save_artifact(
+        "jpeg_encode",
+        "Reference JPEG encode, 200x200 synthetic frame, q=75\n"
+        f"stream size    : {len(stream)} bytes "
+        f"({image.size / len(stream):.1f}:1)\n"
+        f"max round-trip error: {err}",
+    )

@@ -1,0 +1,50 @@
+"""JPEG substrate validation: the rate-distortion curve.
+
+Sweeps the quality factor over a synthetic natural-spectrum frame and
+reports stream size and PSNR — the sanity curve any JPEG implementation
+must produce (monotone rate, monotone distortion).
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.dse.report import format_table
+from repro.io.images import natural_like
+from repro.kernels.jpeg.decoder import decode_image
+from repro.kernels.jpeg.encoder import encode_image
+
+QUALITIES = (10, 25, 50, 75, 90, 95)
+
+
+def rd_rows():
+    image = natural_like(96, 96, seed=4)
+    rows = []
+    for quality in QUALITIES:
+        stream = encode_image(image, quality=quality)
+        decoded = decode_image(stream)
+        mse = float(np.mean((decoded.astype(float) - image.astype(float)) ** 2))
+        psnr = 10 * np.log10(255.0**2 / mse) if mse else float("inf")
+        rows.append(
+            {
+                "quality": quality,
+                "bytes": len(stream),
+                "bits_per_pixel": round(len(stream) * 8 / image.size, 3),
+                "psnr_db": round(psnr, 2),
+            }
+        )
+    return rows
+
+
+def test_jpeg_rate_distortion(benchmark):
+    rows = benchmark(rd_rows)
+    sizes = [r["bytes"] for r in rows]
+    psnrs = [r["psnr_db"] for r in rows]
+    assert sizes == sorted(sizes)            # rate grows with quality
+    assert psnrs == sorted(psnrs)            # distortion falls with quality
+    assert psnrs[-1] > 40                    # q=95 is visually transparent
+    assert rows[0]["bits_per_pixel"] < 1.5   # q=10 compresses hard
+    save_artifact(
+        "jpeg_rate_distortion",
+        "JPEG rate-distortion (96x96 natural-spectrum frame)\n"
+        + format_table(rows),
+    )

@@ -1,0 +1,62 @@
+"""Model-vs-simulator cross-validation of the link-cost trend.
+
+The Figs. 10-12 curves come from the analytic tau model; this bench
+checks the *simulator* reproduces their qualitative structure: streamed
+fabric FFT throughput falls as the per-link reconfiguration cost rises,
+and multi-column (more-tile) designs are more sensitive to it — the
+paper's two central observations, here measured on actual executed
+epochs rather than equations.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.dse.report import format_table
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.runner import FabricFFT
+
+COLS = (1, 4)
+LINK_COSTS = (0.0, 1000.0, 3000.0)
+
+
+def simulated_rows():
+    rng = np.random.default_rng(11)
+    xs = [
+        (rng.standard_normal(16) + 1j * rng.standard_normal(16)) * 0.01
+        for _ in range(5)
+    ]
+    rows = []
+    for cols in COLS:
+        for cost in LINK_COSTS:
+            plan = FFTPlan(16, 4, cols)
+            stream = FabricFFT(plan, link_cost_ns=cost).run_stream(xs)
+            for out, x in zip(stream.outputs, xs):
+                assert np.allclose(out, np.fft.fft(x), atol=1e-6)
+            rows.append(
+                {
+                    "cols": cols,
+                    "link_cost_ns": cost,
+                    "steady_us": round(stream.steady_interval_ns / 1000, 2),
+                }
+            )
+    return rows
+
+
+def test_simulator_reproduces_link_cost_trend(benchmark):
+    rows = benchmark(simulated_rows)
+    steady = {(r["cols"], r["link_cost_ns"]): r["steady_us"] for r in rows}
+    # throughput falls with L for every column count
+    for cols in COLS:
+        series = [steady[(cols, c)] for c in LINK_COSTS]
+        assert series == sorted(series)
+    # more columns are more sensitive to L (relative slowdown larger)
+    slow1 = steady[(1, 3000.0)] / steady[(1, 0.0)]
+    slow4 = steady[(4, 3000.0)] / steady[(4, 0.0)]
+    assert slow4 > slow1
+    save_artifact(
+        "model_vs_simulator",
+        "Simulated stream throughput vs link cost (16-pt FFT, 5 transforms)\n"
+        + format_table(rows)
+        + f"\nrelative slowdown L=0 -> 3000ns: 1 col {slow1:.2f}x, "
+        f"4 cols {slow4:.2f}x (the paper's sensitivity ordering)",
+    )

@@ -1,0 +1,18 @@
+"""Table 1: 1024-point R2FFT process profile (paper vs simulator).
+
+Times the full measurement pass: assembling and executing every stage's
+butterfly program plus the copy processes on scratch tiles.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import table1
+
+
+def test_table1_fft_profile(benchmark):
+    rows = benchmark(table1.run)
+    assert len(rows) == 12
+    # simulator butterflies must land in the published order of magnitude
+    for row in rows[:10]:
+        assert 500 < row["scaled_ns"] < 20000
+    save_artifact("table1", table1.render())

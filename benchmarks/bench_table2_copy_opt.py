@@ -1,0 +1,17 @@
+"""Table 2: optimized copy processes (and the A3 ablation).
+
+The model must reproduce the published previous/new costs exactly.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import table2
+
+
+def test_table2_copy_costs(benchmark):
+    rows = benchmark(table2.run)
+    for got, want in zip(rows, table2.PAPER_ROWS):
+        assert got["prev_cost_ns"] == pytest.approx(want["prev_cost_ns"], abs=0.15)
+        assert got["new_cost_ns"] == pytest.approx(want["new_cost_ns"], abs=0.01)
+    save_artifact("table2", table2.render())

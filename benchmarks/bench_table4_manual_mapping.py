@@ -1,0 +1,20 @@
+"""Table 4: the five manual JPEG mappings, paper vs model."""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import table4
+
+
+def test_table4_manual_mappings(benchmark):
+    rows = benchmark(table4.run)
+    published = {
+        1: (419.0, 1.00, 2.98), 2: (334.0, 0.62, 3.74),
+        3: (334.0, 0.12, 3.74), 4: (84.0, 0.37, 14.88), 5: (86.0, 0.98, 14.43),
+    }
+    for row in rows:
+        time_us, util, ips = published[row["impl"]]
+        assert row["time_us"] == pytest.approx(time_us, rel=0.01)
+        assert row["utilization"] == pytest.approx(util, abs=0.02)
+        assert row["images_per_s"] == pytest.approx(ips, rel=0.02)
+    save_artifact("table4", table4.render())

@@ -1,0 +1,16 @@
+"""Table 5: reBalanceOne's 24-tile binding of the JPEG pipeline.
+
+The algorithm must land on the published binding exactly:
+p0 | p1(17) | p2-4 | p5(2) | p6 | p7-8 | p9.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import table5
+
+
+def test_table5_binding(benchmark):
+    rows = benchmark(table5.run)
+    assert table5.matches_paper()
+    assert len(rows) == 7
+    save_artifact("table5", table5.render())

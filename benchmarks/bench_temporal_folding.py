@@ -1,0 +1,48 @@
+"""Temporal folding: Eq. 1's area/runtime trade on the JPEG pipeline.
+
+Extension bench for the paper's core motivation ("temporal partitioning
+allows significant area advantages"): fold the ten JPEG processes onto
+1..10 tiles and decompose the per-block runtime into Eq. 1's compute (A),
+reconfiguration (B) and copy (C) terms.
+"""
+
+from conftest import save_artifact
+
+from repro.dse.report import format_table
+from repro.mapping.epochs import folding_tradeoff
+from repro.pn.profiles import jpeg_process_network
+
+
+def folding_rows(link_cost_ns: float = 300.0):
+    network = jpeg_process_network()
+    points = folding_tradeoff(network, [1, 2, 3, 5, 10], link_cost_ns)
+    rows = []
+    for point in points:
+        rows.append(
+            {
+                "tiles": point.n_tiles,
+                "phases": point.phases,
+                "A_compute_us": round(point.breakdown.compute_ns / 1000, 1),
+                "B_reconfig_us": round(point.breakdown.reconfig_ns / 1000, 1),
+                "C_copy_us": round(point.breakdown.copy_ns / 1000, 1),
+                "total_us": round(point.runtime_ns / 1000, 1),
+                "reconfig_share": round(point.reconfig_share, 3),
+            }
+        )
+    return rows
+
+
+def test_temporal_folding(benchmark):
+    rows = benchmark(folding_rows)
+    by_tiles = {r["tiles"]: r for r in rows}
+    # the space-mapping extreme reloads nothing
+    assert by_tiles[10]["B_reconfig_us"] == 0.0
+    # folding pays reconfiguration, monotonically more with fewer tiles
+    assert by_tiles[1]["B_reconfig_us"] >= by_tiles[3]["B_reconfig_us"]
+    # but stays a modest share of the DCT-dominated block time
+    assert by_tiles[1]["reconfig_share"] < 0.2
+    save_artifact(
+        "temporal_folding",
+        "Temporal folding of the JPEG pipeline (Eq. 1, L=300ns)\n"
+        + format_table(rows),
+    )

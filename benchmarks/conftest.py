@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures.  Besides
+being timed by pytest-benchmark, each renders its artifact to stdout and
+persists it under ``benchmarks/output/`` so the regenerated rows/series
+survive the run (pytest captures stdout by default; use ``-s`` to watch
+live).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print and persist a rendered table/figure."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

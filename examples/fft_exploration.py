@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""FFT design-space exploration (the Sec. 3.1-3.3 workflow).
+
+Walks the full methodology for a 1024-point radix-2 FFT:
+
+1. derive the partition size from the tile memory;
+2. inspect the twiddle classification and the reload savings;
+3. sweep columns x link-cost with the tau performance model;
+4. extract the throughput/area Pareto front;
+5. compare against this host's software FFT baselines.
+"""
+
+from repro.baselines import host_fft_throughput
+from repro.dse import explore_fft, pareto_front
+from repro.kernels.fft import (
+    FFTPerformanceModel,
+    FFTPlan,
+    StageProfile,
+    classify_twiddles,
+    partition_size,
+)
+from repro.kernels.fft.twiddle import TwiddleClass
+
+
+def main() -> None:
+    n = 1024
+    m = partition_size(512)
+    print(f"partition size for a 512-word data memory: M = {m}")
+    print(f"a {n}-point FFT therefore uses {n // m} rows of tiles and "
+          f"between {n // m} and {(n // m) * 10} tiles\n")
+
+    plan = FFTPlan(n=n, m=m, cols=1)
+    schedule = classify_twiddles(plan)
+    counts = {cls.value: schedule.count(cls) for cls in TwiddleClass}
+    print(f"twiddle classes over (tile, stage): {counts}")
+    print(f"ICAP twiddle reload per FFT: {schedule.total_reload_words} words "
+          f"(naive scheme: {schedule.naive_reload_words})\n")
+
+    profile = StageProfile.table1()
+    print("throughput (FFTs/s) by columns and link reconfiguration cost:")
+    costs = (0, 300, 700, 1100, 1500, 3000)
+    print(f"{'L(ns)':>7} " + " ".join(f"{c:>9}col" for c in (1, 2, 5, 10)))
+    for cost in costs:
+        cells = []
+        for cols in (1, 2, 5, 10):
+            model = FFTPerformanceModel(plan=FFTPlan(n, m, cols), profile=profile)
+            cells.append(f"{model.throughput(cost):12.0f}")
+        print(f"{cost:>7} " + " ".join(cells))
+
+    print("\nthroughput/area Pareto front at L = 300 ns:")
+    points = explore_fft(n=n, m=m, link_costs_ns=(300.0,))
+    for point in pareto_front(points):
+        print(
+            f"  cols={point.param('cols'):>2}  tiles={point.n_tiles:>3}  "
+            f"{point.throughput_per_s:9.0f} FFTs/s  "
+            f"{point.area_luts:>6} LUTs  "
+            f"{point.throughput_per_area * 1000:.2f} FFTs/s per kLUT"
+        )
+
+    print("\nthis host, for scale (the paper's PC did ~1000 FFTs/s in 2013):")
+    for result in host_fft_throughput(n=n, min_seconds=0.1):
+        print(f"  {result.name:<24} {result.items_per_s:12.0f} FFTs/s")
+
+
+if __name__ == "__main__":
+    main()

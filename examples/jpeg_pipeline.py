@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""JPEG on the CGRA: manual mappings, rebalancing, and a real encode.
+
+Follows Sec. 3.4-3.5:
+
+1. encode a synthetic 200x200 frame with the reference encoder and
+   verify it round-trips through the decoder;
+2. run one block's shift/DCT/quantize/zigzag on an actual fabric tile
+   and check it agrees with the reference bit for bit;
+3. print the five manual mappings of Table 4;
+4. rebalance automatically for 1..25 tiles and report the Fig. 16/17
+   numbers, including the Table 5 binding at 24 tiles.
+"""
+
+import numpy as np
+
+from repro.fabric.tile import Tile
+from repro.io.images import natural_like
+from repro.kernels.jpeg import decode_image, encode_image
+from repro.kernels.jpeg.dct import dct2d
+from repro.kernels.jpeg.manual_maps import manual_mapping_table
+from repro.kernels.jpeg.pipeline_model import jpeg_pipeline_order, rebalance_series
+from repro.kernels.jpeg.programs import (
+    PIXEL_QBITS,
+    alpha_quantize_program,
+    dct_coefficient_words,
+    matmul8_program,
+    shift_program,
+    zigzag_program,
+)
+from repro.kernels.jpeg.quant import (
+    LUMINANCE_QTABLE,
+    alpha_scale_table,
+    quantize,
+    scale_qtable,
+)
+from repro.kernels.jpeg.zigzag import zigzag
+from repro.mapping import TileCostModel, rebalance_one
+from repro.mapping.pipeline import JPEG_BLOCKS_PER_IMAGE
+
+
+def encode_and_verify() -> None:
+    print("=== 1. reference encoder round-trip " + "=" * 34)
+    image = natural_like(200, 200, seed=11)
+    stream = encode_image(image, quality=80)
+    decoded = decode_image(stream)
+    err = np.max(np.abs(decoded.astype(int) - image.astype(int)))
+    ratio = image.size / len(stream)
+    print(f"200x200 frame -> {len(stream)} bytes "
+          f"({ratio:.1f}:1), max reconstruction error {err}")
+
+
+def fabric_block() -> None:
+    print("\n=== 2. one block on a fabric tile " + "=" * 36)
+    image = natural_like(200, 200, seed=11)
+    block = image[:8, :8].astype(np.int64)
+    qtable = scale_qtable(LUMINANCE_QTABLE, 75)
+    recip = alpha_scale_table(qtable, 14)
+
+    tile = Tile()
+    for i, w in enumerate(dct_coefficient_words()):
+        tile.dmem.poke(i, w)
+    for i, v in enumerate(block.reshape(-1)):
+        tile.dmem.poke(64 + i, int(v))
+    for i, r in enumerate(recip.reshape(-1)):
+        tile.dmem.poke(192 + i, int(r))
+
+    cycles = 0
+    for program in (
+        shift_program(64, 64, PIXEL_QBITS),
+        matmul8_program(a_base=0, b_base=64, out_base=128, qbits=30),
+        matmul8_program(a_base=128, b_base=0, out_base=64, qbits=30,
+                        transpose_b=True),
+        alpha_quantize_program(64, qbits=28, a_base=64, recip_base=192,
+                               out_base=128),
+        zigzag_program(a_base=128, out_base=320),
+    ):
+        tile.load_program(program)
+        cycles += tile.run()
+
+    got = np.array([tile.dmem.peek(320 + i) for i in range(64)])
+    want = zigzag(quantize(dct2d(block.astype(float) - 128), qtable))
+    print(f"tile pipeline: {cycles} cycles ({cycles * 2.5 / 1000:.1f} us); "
+          f"coefficients match reference: {bool(np.array_equal(got, want))}")
+
+
+def manual_mappings() -> None:
+    print("\n=== 3. Table 4: manual mappings " + "=" * 38)
+    print(f"{'impl':>4} {'tiles':>5} {'us/blk':>8} {'paper':>6} "
+          f"{'util':>5} {'img/s':>7}")
+    for row in manual_mapping_table():
+        print(f"{row['impl']:>4} {row['tiles']:>5} {row['time_us']:>8.1f} "
+              f"{row['paper_time_us']:>6.0f} {row['utilization']:>5.2f} "
+              f"{row['images_per_s']:>7.2f}")
+
+
+def automated_mapping() -> None:
+    print("\n=== 4. automated rebalancing (Figs. 16-17) " + "=" * 27)
+    series = rebalance_series(max_tiles=25)
+    print(f"{'tiles':>5} " + " ".join(f"{a:>12}" for a in series))
+    for i in range(25):
+        row = [f"{series[a][i].images_per_s:12.2f}" for a in series]
+        print(f"{series['one'][i].n_tiles:>5} " + " ".join(row))
+
+    mapping = rebalance_one(jpeg_pipeline_order(), 24, TileCostModel())
+    print("\nreBalanceOne at 24 tiles (Table 5):")
+    print(" ", mapping.describe())
+    metrics_interval = mapping.interval_ns(TileCostModel())
+    print(f"  -> {1e9 / (metrics_interval * JPEG_BLOCKS_PER_IMAGE):.1f} "
+          f"images/s on 200x200 frames")
+
+
+if __name__ == "__main__":
+    encode_and_verify()
+    fabric_block()
+    manual_mappings()
+    automated_mapping()

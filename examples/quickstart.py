@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: run real code on the fabric, then explore a design space.
+
+Three minutes with the library:
+
+1. assemble a small program and execute it on one tile;
+2. run a complete 64-point FFT across an 8x2 mesh of tiles and check it
+   against numpy;
+3. evaluate the paper's performance model for a few design points.
+"""
+
+import numpy as np
+
+from repro import (
+    Direction,
+    FFTPerformanceModel,
+    FFTPlan,
+    FabricFFT,
+    Mesh,
+    StageProfile,
+    assemble,
+)
+
+
+def run_one_tile() -> None:
+    print("=== 1. one tile, one program " + "=" * 40)
+    program = assemble(
+        """
+        ; sum the 8 words of `buf` into `acc`, send the result east
+        .var acc
+        .var ptr
+        .var cnt
+        .var buf, 8
+        .word buf, 3, 1, 4, 1, 5, 9, 2, 6
+        .word cnt, 8
+            MOV   acc, #0
+            MOV   ptr, #buf
+        loop:
+            ADD   acc, acc, @ptr
+            ADD   ptr, ptr, #1
+            SUB   cnt, cnt, #1
+            BNZ   cnt, loop
+            SNB.E 0, acc
+            HALT
+        """,
+        name="sum8",
+    )
+    mesh = Mesh(1, 2)
+    mesh.configure_link((0, 0), Direction.EAST)
+    tile = mesh.tile((0, 0))
+    tile.load_program(program)
+    cycles = tile.run()
+    print(f"program ran in {cycles} cycles ({cycles * 2.5:.1f} ns at 400 MHz)")
+    print(f"neighbour received: {mesh.tile((0, 1)).dmem.peek(0)} (expected 31)")
+
+
+def run_fabric_fft() -> None:
+    print("\n=== 2. a 64-point FFT on an 8x2 tile mesh " + "=" * 27)
+    plan = FFTPlan(n=64, m=8, cols=2)
+    print(plan.describe())
+    rng = np.random.default_rng(7)
+    x = (rng.standard_normal(64) + 1j * rng.standard_normal(64)) * 0.01
+    result = FabricFFT(plan, link_cost_ns=100.0).run(x)
+    err = np.max(np.abs(result.output - np.fft.fft(x)))
+    report = result.report
+    print(f"max error vs numpy.fft: {err:.2e} (Q30 fixed point)")
+    print(
+        f"simulated time: {report.total_ns / 1000:.1f} us over "
+        f"{len(report.epochs)} epochs "
+        f"({report.reconfig_ns / 1000:.1f} us reconfiguration, "
+        f"{report.overlapped_ns / 1000:.1f} us of it hidden)"
+    )
+
+
+def explore_design_points() -> None:
+    print("\n=== 3. the paper's performance model " + "=" * 32)
+    profile = StageProfile.table1()
+    print(f"{'cols':>5} {'L=0':>12} {'L=500ns':>12} {'L=1500ns':>12}")
+    for cols in (1, 2, 5, 10):
+        model = FFTPerformanceModel(
+            plan=FFTPlan(n=1024, m=128, cols=cols), profile=profile
+        )
+        row = [f"{model.throughput(L):12.0f}" for L in (0, 500, 1500)]
+        print(f"{cols:>5} " + " ".join(row) + "  FFTs/s")
+    print("more columns win at low link cost; the ordering inverts by ~1100 ns")
+
+
+if __name__ == "__main__":
+    run_one_tile()
+    run_fabric_fft()
+    explore_design_points()

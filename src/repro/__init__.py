@@ -1,0 +1,152 @@
+"""repro — partially reconfigurable CGRA design-space exploration.
+
+A from-scratch reproduction of *"Design and Implementation of High
+Performance Architectures with Partially Reconfigurable CGRAs"*
+(Shahraki Moghaddam, Paul, Balakrishnan — IEEE IPDPSW 2013).
+
+The library has four layers:
+
+:mod:`repro.fabric`
+    A cycle-accurate functional model of the reMORPH-style fabric: 48-bit
+    tiles with 512-word instruction/data memories, an assembler for the
+    tile ISA, a mesh with reconfigurable near-neighbour links, the
+    180 MB/s ICAP reconfiguration port and the epoch-based runtime
+    manager with partial-overlap accounting.
+:mod:`repro.pn` / :mod:`repro.mapping`
+    The process-network application model (Eq. 1), the published cost
+    profiles (Tables 1 and 3) and the mapping machinery — tile cost
+    model, pipeline metrics and the reBalanceOne/Two/OPT algorithms.
+:mod:`repro.kernels`
+    The two case studies: the radix-2 FFT (decomposition, twiddle
+    classification, the tau performance model, fabric-executed
+    butterflies) and a complete baseline JPEG encoder/decoder with
+    fabric-executed stages.
+:mod:`repro.dse` / :mod:`repro.experiments`
+    Sweeps, Pareto fronts, and one module per published table/figure.
+
+Quickstart::
+
+    from repro import FFTPlan, FFTPerformanceModel, StageProfile
+
+    model = FFTPerformanceModel(
+        plan=FFTPlan(n=1024, m=128, cols=10),
+        profile=StageProfile.table1(),
+    )
+    print(model.throughput(link_cost_ns=300.0), "FFTs/s")
+
+See README.md for the full tour and DESIGN.md for the reproduction notes.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    AssemblerError,
+    DSEError,
+    ExecutionError,
+    FabricError,
+    KernelError,
+    LinkError,
+    MappingError,
+    ProcessNetworkError,
+    ReconfigError,
+    ReproError,
+)
+from repro.fabric import (
+    Direction,
+    IcapPort,
+    Mesh,
+    Program,
+    RuntimeManager,
+    Tile,
+    assemble,
+)
+from repro.pn import (
+    Channel,
+    Configuration,
+    Epoch,
+    Process,
+    ProcessNetwork,
+    eq1_runtime,
+    fft1024_processes,
+    jpeg_process_network,
+    jpeg_processes,
+)
+from repro.mapping import (
+    PipelineMapping,
+    PipelineMetrics,
+    Stage,
+    TileCostModel,
+    evaluate_mapping,
+    rebalance,
+    rebalance_one,
+    rebalance_opt,
+    rebalance_two,
+)
+from repro.kernels.fft import (
+    FabricFFT,
+    FFTPerformanceModel,
+    FFTPlan,
+    StageProfile,
+    classify_twiddles,
+    fft_reference,
+)
+from repro.kernels.jpeg import (
+    JPEGDecoder,
+    JPEGEncoder,
+    decode_image,
+    encode_image,
+)
+from repro.dse import DesignPoint, explore_fft, explore_jpeg, pareto_front, sweep
+
+__all__ = [
+    "AssemblerError",
+    "Channel",
+    "Configuration",
+    "DSEError",
+    "DesignPoint",
+    "Direction",
+    "Epoch",
+    "ExecutionError",
+    "FFTPerformanceModel",
+    "FFTPlan",
+    "FabricError",
+    "FabricFFT",
+    "IcapPort",
+    "JPEGDecoder",
+    "JPEGEncoder",
+    "KernelError",
+    "LinkError",
+    "MappingError",
+    "Mesh",
+    "PipelineMapping",
+    "PipelineMetrics",
+    "Process",
+    "ProcessNetwork",
+    "ProcessNetworkError",
+    "Program",
+    "ReconfigError",
+    "ReproError",
+    "RuntimeManager",
+    "Stage",
+    "StageProfile",
+    "Tile",
+    "TileCostModel",
+    "__version__",
+    "assemble",
+    "classify_twiddles",
+    "decode_image",
+    "encode_image",
+    "eq1_runtime",
+    "evaluate_mapping",
+    "explore_fft",
+    "explore_jpeg",
+    "fft1024_processes",
+    "fft_reference",
+    "jpeg_process_network",
+    "jpeg_processes",
+    "pareto_front",
+    "rebalance",
+    "rebalance_one",
+    "rebalance_opt",
+    "rebalance_two",
+    "sweep",
+]

@@ -1,0 +1,83 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list                 # available artifacts
+    python -m repro table4               # print one artifact
+    python -m repro fig10 fig11          # several at once
+    python -m repro all                  # everything (slow: includes
+                                         # simulator-measured profiles)
+
+Each artifact name maps to a module of :mod:`repro.experiments`; the
+output is exactly what the benchmark harness saves under
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    baseline,
+    fig8,
+    fig10,
+    fig11,
+    fig12,
+    fig13_14,
+    fig16,
+    fig17,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+#: artifact name -> (render callable, description)
+ARTIFACTS = {
+    "table1": (table1.render, "1024-pt FFT process profile (paper vs simulator)"),
+    "table2": (table2.render, "optimized copy processes"),
+    "fig8": (fig8.render, "twiddle matrix and classification (64-pt, M=8)"),
+    "fig10": (fig10.render, "FFT throughput vs link cost"),
+    "fig11": (fig11.render, "crossover zoom of fig10"),
+    "fig12": (fig12.render, "throughput vs #columns per link cost"),
+    "fig13_14": (fig13_14.render, "the worked rebalancing example"),
+    "table3": (table3.render, "JPEG process profile (paper vs simulator)"),
+    "table4": (table4.render, "five manual JPEG mappings"),
+    "table5": (table5.render, "reBalanceOne binding at 24 tiles"),
+    "fig16": (fig16.render, "images/s vs tiles for the rebalancers"),
+    "fig17": (fig17.render, "average utilization vs tiles"),
+    "ablations": (ablations.render, "design-choice ablations A1/A2/A4/A5"),
+    "baseline": (baseline.render, "host software baselines"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    if args[0] == "list":
+        width = max(len(name) for name in ARTIFACTS)
+        for name, (_, description) in ARTIFACTS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+    names = list(ARTIFACTS) if args == ["all"] else args
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        print(
+            f"unknown artifact(s): {', '.join(unknown)} "
+            f"(try 'python -m repro list')",
+            file=sys.stderr,
+        )
+        return 2
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(ARTIFACTS[name][0]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Software baselines: the paper's "high end PC" reference points.
+
+Sec. 3.3 contrasts the fabric's ~45 000 1024-point FFTs/s against
+"roughly 1000" on a high-end PC.  These helpers measure this host the
+same way: wall-clock throughput of (a) a straightforward pure-Python
+radix-2 FFT (closest to what a 2013 C loop nest achieves, scaled by
+interpreter overhead), (b) the library's own vectorized numpy
+implementation and (c) ``numpy.fft`` (FFTPACK/pocketfft).  The JPEG
+equivalent measures blocks/s of the reference encoder.
+"""
+
+from __future__ import annotations
+
+import cmath
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.kernels.fft.reference import fft_dif, ilog2
+from repro.kernels.jpeg.encoder import JPEGEncoder
+
+__all__ = [
+    "BaselineResult",
+    "fft_pure_python",
+    "host_fft_throughput",
+    "host_jpeg_blocks_per_s",
+]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Throughput of one baseline measurement."""
+
+    name: str
+    items_per_s: float
+    iterations: int
+
+
+def fft_pure_python(x: list[complex]) -> list[complex]:
+    """Scalar iterative radix-2 DIF FFT (natural order output).
+
+    Deliberately unvectorized: a per-butterfly loop like the C code a
+    2013 PC baseline would run.
+    """
+    n = len(x)
+    ilog2(n)
+    data = list(x)
+    stages = n.bit_length() - 1
+    for stage in range(stages):
+        span = n >> (stage + 1)
+        stride = 1 << stage
+        for group in range(0, n, span << 1):
+            for j in range(span):
+                a = data[group + j]
+                b = data[group + j + span]
+                data[group + j] = a + b
+                data[group + j + span] = (a - b) * cmath.exp(
+                    -2j * cmath.pi * j * stride / n
+                )
+        # twiddles recomputed per butterfly: the naive baseline
+    # bit-reverse to natural order
+    result = [0j] * n
+    bits = stages
+    for i in range(n):
+        rev = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+        result[rev] = data[i]
+    return result
+
+
+def _timed(fn, min_seconds: float) -> tuple[int, float]:
+    iterations = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        iterations += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds and iterations >= 3:
+            return iterations, elapsed
+
+
+def host_fft_throughput(
+    n: int = 1024, min_seconds: float = 0.2
+) -> list[BaselineResult]:
+    """FFTs/s on this host for the three baselines."""
+    if min_seconds <= 0:
+        raise KernelError("min_seconds must be positive")
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    x_list = list(x)
+    results = []
+    iters, elapsed = _timed(lambda: fft_pure_python(x_list), min_seconds)
+    results.append(BaselineResult("pure-python radix-2", iters / elapsed, iters))
+    iters, elapsed = _timed(lambda: fft_dif(x), min_seconds)
+    results.append(BaselineResult("numpy radix-2 (ours)", iters / elapsed, iters))
+    iters, elapsed = _timed(lambda: np.fft.fft(x), min_seconds)
+    results.append(BaselineResult("numpy.fft", iters / elapsed, iters))
+    return results
+
+
+def host_jpeg_blocks_per_s(
+    image: np.ndarray | None = None, min_seconds: float = 0.2
+) -> BaselineResult:
+    """8x8 blocks/s of the reference encoder on this host."""
+    if image is None:
+        from repro.io.images import natural_like
+
+        image = natural_like(64, 64, seed=1)
+    encoder = JPEGEncoder(quality=75)
+    blocks = ((image.shape[0] + 7) // 8) * ((image.shape[1] + 7) // 8)
+    iters, elapsed = _timed(lambda: encoder.encode(image), min_seconds)
+    return BaselineResult("reference JPEG encoder", iters * blocks / elapsed, iters)

@@ -1,0 +1,33 @@
+"""Design-space exploration driver.
+
+Section 3's methodology is a sweep over mapping parameters (columns, link
+reconfiguration cost, tile budgets) scored by throughput, area and
+utilization.  This package provides the generic machinery:
+
+* :mod:`~repro.dse.sweep` — cartesian parameter sweeps, optionally
+  process-parallel;
+* :mod:`~repro.dse.objectives` — the scoring metrics;
+* :mod:`~repro.dse.pareto` — Pareto-front extraction over
+  (throughput, area) and friends;
+* :mod:`~repro.dse.explorer` — pre-wired explorations for the two
+  kernels;
+* :mod:`~repro.dse.report` — plain-text tables/series for the benches.
+"""
+
+from repro.dse.sweep import SweepResult, sweep
+from repro.dse.objectives import DesignPoint, Objective
+from repro.dse.pareto import pareto_front
+from repro.dse.explorer import explore_fft, explore_jpeg
+from repro.dse.report import format_series, format_table
+
+__all__ = [
+    "DesignPoint",
+    "Objective",
+    "SweepResult",
+    "explore_fft",
+    "explore_jpeg",
+    "format_series",
+    "format_table",
+    "pareto_front",
+    "sweep",
+]

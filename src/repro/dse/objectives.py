@@ -1,0 +1,100 @@
+"""Design points and scoring objectives.
+
+A :class:`DesignPoint` bundles the three quantities every exploration in
+the paper trades off: throughput (items/s), area (tiles / slice LUTs) and
+average utilization.  :class:`Objective` wraps a scalarization of these
+for single-objective searches; multi-objective exploration goes through
+:func:`repro.dse.pareto.pareto_front`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DSEError
+from repro.fabric.area import area_slice_luts
+
+__all__ = ["DesignPoint", "Objective"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design: parameters plus its scored metrics."""
+
+    params: tuple[tuple[str, object], ...]
+    throughput_per_s: float
+    n_tiles: int
+    utilization: float = 0.0
+    #: Average power (mW) from :class:`repro.fabric.energy.EnergyModel`;
+    #: 0 = not evaluated.
+    power_mw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_tiles < 0:
+            raise DSEError("n_tiles must be non-negative")
+        if self.throughput_per_s < 0:
+            raise DSEError("throughput must be non-negative")
+        if self.power_mw < 0:
+            raise DSEError("power must be non-negative")
+
+    @classmethod
+    def make(cls, params: dict[str, object], throughput_per_s: float,
+             n_tiles: int, utilization: float = 0.0,
+             power_mw: float = 0.0) -> "DesignPoint":
+        return cls(
+            params=tuple(sorted(params.items())),
+            throughput_per_s=throughput_per_s,
+            n_tiles=n_tiles,
+            utilization=utilization,
+            power_mw=power_mw,
+        )
+
+    @property
+    def area_luts(self) -> int:
+        return area_slice_luts(self.n_tiles)
+
+    @property
+    def throughput_per_area(self) -> float:
+        """The paper's "high performance/area" figure of merit."""
+        area = self.area_luts
+        return self.throughput_per_s / area if area else 0.0
+
+    @property
+    def throughput_per_mw(self) -> float:
+        """Performance per watt — the figure of merit the paper's
+        introduction motivates CGRAs with."""
+        return self.throughput_per_s / self.power_mw if self.power_mw else 0.0
+
+    def param(self, name: str) -> object:
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise DSEError(f"design point has no parameter {name!r}")
+
+
+class Objective(enum.Enum):
+    """Scalar objectives for single-objective selection."""
+
+    THROUGHPUT = "throughput"
+    AREA = "area"
+    THROUGHPUT_PER_AREA = "throughput_per_area"
+    UTILIZATION = "utilization"
+    THROUGHPUT_PER_WATT = "throughput_per_watt"
+
+    def score(self, point: DesignPoint) -> float:
+        """Higher is better for every objective (area is negated)."""
+        if self is Objective.THROUGHPUT:
+            return point.throughput_per_s
+        if self is Objective.AREA:
+            return -float(point.area_luts)
+        if self is Objective.THROUGHPUT_PER_AREA:
+            return point.throughput_per_area
+        if self is Objective.THROUGHPUT_PER_WATT:
+            return point.throughput_per_mw
+        return point.utilization
+
+    def best(self, points: list[DesignPoint]) -> DesignPoint:
+        if not points:
+            raise DSEError("no design points to choose from")
+        return max(points, key=self.score)

@@ -1,0 +1,62 @@
+"""Pareto-front extraction over design points.
+
+The throughput/area trade-off of Sec. 3 has no single winner — the
+methodology's output is the frontier from which a designer picks per
+constraint.  :func:`pareto_front` keeps the points not dominated in
+(throughput up, area down), optionally with utilization as a third
+dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dse.objectives import DesignPoint
+from repro.errors import DSEError
+
+__all__ = ["pareto_front", "dominates"]
+
+#: Default criteria: maximize throughput, minimize area.
+_DEFAULT: tuple[Callable[[DesignPoint], float], ...] = (
+    lambda p: p.throughput_per_s,
+    lambda p: -float(p.area_luts),
+)
+
+
+def dominates(
+    a: DesignPoint,
+    b: DesignPoint,
+    criteria: Sequence[Callable[[DesignPoint], float]] = _DEFAULT,
+) -> bool:
+    """True when ``a`` is at least as good as ``b`` everywhere and
+    strictly better somewhere (all criteria maximized)."""
+    at_least_as_good = all(c(a) >= c(b) for c in criteria)
+    strictly_better = any(c(a) > c(b) for c in criteria)
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    points: Sequence[DesignPoint],
+    criteria: Sequence[Callable[[DesignPoint], float]] = _DEFAULT,
+) -> list[DesignPoint]:
+    """The non-dominated subset, sorted by descending throughput.
+
+    O(n^2) pairwise filtering — exploration spaces here are hundreds of
+    points, far below where a sweep-line would matter.
+    """
+    if not points:
+        raise DSEError("no design points given")
+    front = [
+        p
+        for p in points
+        if not any(dominates(q, p, criteria) for q in points if q is not p)
+    ]
+    # Deduplicate identical metric tuples (distinct params may tie).
+    seen: set[tuple[float, ...]] = set()
+    unique = []
+    for p in sorted(front, key=lambda p: -p.throughput_per_s):
+        key = tuple(c(p) for c in criteria)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique

@@ -1,0 +1,65 @@
+"""Plain-text reporting for sweeps and experiment tables.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text; these formatters keep that output consistent — fixed-width columns,
+one row per entry, no external plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import DSEError
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(value: Any, width: int) -> str:
+    if isinstance(value, bool):
+        text = "yes" if value else "no"
+    elif isinstance(value, float):
+        text = f"{value:.2f}" if abs(value) < 1e6 else f"{value:.3g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as a fixed-width text table."""
+    if not rows:
+        raise DSEError("no rows to format")
+    cols = list(columns) if columns else list(rows[0])
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c, ""), 0).strip()) for r in rows))
+        for c in cols
+    }
+    header = "  ".join(c.rjust(widths[c]) for c in cols)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c, ""), widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: dict[Any, list[tuple[Any, Any]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render keyed (x, y) series as aligned columns, one series per key.
+
+    All series are assumed to share their x grid (true for the shipped
+    figure sweeps); the first column is x, then one column per key.
+    """
+    if not series:
+        raise DSEError("no series to format")
+    keys = list(series)
+    xs = [x for x, _ in series[keys[0]]]
+    header = f"{x_label:>12} " + " ".join(f"{str(k):>14}" for k in keys)
+    lines = [f"{y_label} by {x_label}", header, "-" * len(header)]
+    for i, x in enumerate(xs):
+        cells = []
+        for k in keys:
+            value = series[k][i][1]
+            cells.append(f"{value:14.1f}" if isinstance(value, float) else f"{value!s:>14}")
+        lines.append(f"{x!s:>12} " + " ".join(cells))
+    return "\n".join(lines)

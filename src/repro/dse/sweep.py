@@ -1,0 +1,85 @@
+"""Cartesian parameter sweeps with optional process parallelism.
+
+A sweep evaluates ``fn(**point)`` over the cartesian product of the
+parameter axes.  Points are dictionaries, results arbitrary values; the
+evaluation function must be a module-level callable when
+``processes > 1`` (pickling), which all the shipped explorations satisfy.
+Results preserve the cartesian order regardless of the execution backend,
+so sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable
+
+from repro.errors import DSEError
+
+__all__ = ["SweepResult", "sweep", "axis_points"]
+
+
+def axis_points(axes: dict[str, list[Any]]) -> list[dict[str, Any]]:
+    """All parameter combinations of the axes, in cartesian order."""
+    if not axes:
+        raise DSEError("sweep needs at least one axis")
+    for name, values in axes.items():
+        if not values:
+            raise DSEError(f"axis {name!r} has no values")
+    names = list(axes)
+    return [dict(zip(names, combo)) for combo in product(*axes.values())]
+
+
+@dataclass
+class SweepResult:
+    """All evaluated points of one sweep."""
+
+    axes: dict[str, list[Any]]
+    points: list[dict[str, Any]] = field(default_factory=list)
+    values: list[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(zip(self.points, self.values))
+
+    def series(self, x_axis: str, where: dict[str, Any] | None = None) -> list[tuple[Any, Any]]:
+        """(x, value) pairs for points matching the ``where`` filter."""
+        out = []
+        for point, value in self:
+            if where and any(point.get(k) != v for k, v in where.items()):
+                continue
+            out.append((point[x_axis], value))
+        return out
+
+    def best(self, key: Callable[[Any], float], maximize: bool = True):
+        """The (point, value) with the extremal ``key(value)``."""
+        if not self.points:
+            raise DSEError("sweep produced no points")
+        chooser = max if maximize else min
+        return chooser(zip(self.points, self.values), key=lambda pv: key(pv[1]))
+
+
+def sweep(
+    fn: Callable[..., Any],
+    axes: dict[str, list[Any]],
+    processes: int = 1,
+) -> SweepResult:
+    """Evaluate ``fn`` over the cartesian product of ``axes``.
+
+    ``processes > 1`` fans the evaluations out over a process pool —
+    the sweep axes of Figs. 10-12 are embarrassingly parallel.  Order of
+    results always matches :func:`axis_points`.
+    """
+    points = axis_points(axes)
+    if processes < 1:
+        raise DSEError(f"processes must be >= 1, got {processes}")
+    if processes == 1:
+        values = [fn(**point) for point in points]
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = [pool.submit(fn, **point) for point in points]
+            values = [f.result() for f in futures]
+    return SweepResult(axes=axes, points=points, values=values)

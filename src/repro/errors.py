@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FabricError(ReproError):
+    """Base class for errors raised by the fabric simulator."""
+
+
+class AssemblerError(FabricError):
+    """Raised when assembly source cannot be translated into a program.
+
+    Carries the offending source line number (1-based) when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class MemoryError_(FabricError):
+    """Raised on out-of-range or port-conflicting memory accesses.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`.
+    """
+
+
+class ExecutionError(FabricError):
+    """Raised when a tile program performs an illegal operation at runtime."""
+
+
+class LinkError(FabricError):
+    """Raised on illegal interconnect operations.
+
+    Examples: storing to a neighbour without an active link in that
+    direction, or configuring a link that would leave the mesh.
+    """
+
+
+class ReconfigError(FabricError):
+    """Raised on invalid reconfiguration requests (e.g. oversized images)."""
+
+
+class MappingError(ReproError):
+    """Raised when a process-to-tile mapping is infeasible or inconsistent."""
+
+
+class ProcessNetworkError(ReproError):
+    """Raised on malformed process networks (cycles where forbidden, etc.)."""
+
+
+class KernelError(ReproError):
+    """Raised by kernel generators (FFT / JPEG) on invalid parameters."""
+
+
+class DSEError(ReproError):
+    """Raised by the design-space-exploration driver."""

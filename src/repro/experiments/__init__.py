@@ -1,0 +1,59 @@
+"""Per-table / per-figure regeneration functions.
+
+Each module reproduces one artifact of the paper's evaluation and exposes
+``run()`` returning structured rows/series plus ``render()`` returning the
+printable text.  The benchmark harness under ``benchmarks/`` times and
+prints exactly these; EXPERIMENTS.md records paper-vs-measured.
+
+==========  ========================================================
+module      artifact
+==========  ========================================================
+table1      1024-pt FFT process profile (paper vs simulator)
+table2      optimized copy-process costs per column count
+fig8        twiddle matrix + red/green/yellow/blue classification
+fig10       FFT throughput vs link cost (full range)
+fig11       zoom of fig10 (L <= 4000 ns)
+fig12       throughput vs #columns for fixed link costs
+table3      JPEG process profile (paper vs simulator programs)
+table4      five manual JPEG mappings
+table5      reBalanceOne binding at 24 tiles
+fig16       images/s vs tiles for the three rebalancers
+fig17       average utilization vs tiles
+ablations   A1/A2/A4/A5 design-choice ablations
+baseline    host-PC software baselines
+==========  ========================================================
+"""
+
+from repro.experiments import (
+    ablations,
+    baseline,
+    fig8,
+    fig10,
+    fig11,
+    fig12,
+    fig13_14,
+    fig16,
+    fig17,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "ablations",
+    "baseline",
+    "fig8",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13_14",
+    "fig16",
+    "fig17",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

@@ -1,0 +1,141 @@
+"""Ablations of the paper's design choices.
+
+Each function switches one optimization off and reports its cost:
+
+* **A1 twiddle scheme** — green generation / blue reuse vs reloading
+  every stage's twiddles through the ICAP (Sec. 3.1's algorithm);
+* **A2 vertical-link overlap** — overlapping link reconfiguration with
+  butterfly execution vs serializing them (Fig. 9 a/b);
+* **A3 copy self-update** — Table 2, folded into
+  :mod:`~repro.experiments.table2`;
+* **A4 pinning** — Table 4's ``(f)`` labels vs reloading everything
+  every block;
+* **A5 copy variants** — memory-optimal vs time-optimal CP processes
+  (the two Table 3 groups).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.perf_model import FFTPerformanceModel, StageProfile
+from repro.kernels.jpeg.manual_maps import MANUAL_IMPLEMENTATIONS
+from repro.mapping.cost import PinningPolicy, TileCostModel
+from repro.pn.process import CopyVariant
+from repro.pn.profiles import jpeg_copy_process
+
+__all__ = [
+    "twiddle_ablation",
+    "vlink_overlap_ablation",
+    "pinning_ablation",
+    "copy_variant_ablation",
+]
+
+
+def twiddle_ablation(
+    n: int = 1024, m: int = 128, link_cost_ns: float = 300.0
+) -> list[dict]:
+    """A1: FFT throughput with and without the twiddle optimization."""
+    profile = StageProfile.table1() if n == 1024 and m == 128 else None
+    rows = []
+    for cols in (1, 2, 5, 10):
+        plan = FFTPlan(n, m, cols)
+        prof = profile or StageProfile.uniform(plan.stages)
+        opt = FFTPerformanceModel(plan=plan, profile=prof)
+        noopt = opt.with_options(optimize_twiddles=False)
+        t_opt = opt.throughput(link_cost_ns)
+        t_no = noopt.throughput(link_cost_ns)
+        rows.append(
+            {
+                "cols": cols,
+                "optimized_ffts_per_s": round(t_opt, 1),
+                "naive_ffts_per_s": round(t_no, 1),
+                "speedup": round(t_opt / t_no, 3),
+            }
+        )
+    return rows
+
+
+def vlink_overlap_ablation(
+    n: int = 1024, m: int = 128,
+    link_costs: tuple[float, ...] = (0, 300, 700, 1100, 1500),
+) -> list[dict]:
+    """A2: overlapping vertical relink with BF execution vs serializing."""
+    profile = StageProfile.table1() if n == 1024 and m == 128 else None
+    rows = []
+    for cols in (1, 2, 5, 10):
+        plan = FFTPlan(n, m, cols)
+        prof = profile or StageProfile.uniform(plan.stages)
+        overlap = FFTPerformanceModel(plan=plan, profile=prof)
+        serial = overlap.with_options(overlap_vertical_links=False)
+        for cost in link_costs:
+            t_o = overlap.throughput(cost)
+            t_s = serial.throughput(cost)
+            rows.append(
+                {
+                    "cols": cols,
+                    "link_cost_ns": cost,
+                    "overlapped_ffts_per_s": round(t_o, 1),
+                    "serial_ffts_per_s": round(t_s, 1),
+                    "speedup": round(t_o / t_s, 3),
+                }
+            )
+    return rows
+
+
+def pinning_ablation() -> list[dict]:
+    """A4: Table 4 per-block times with (f) pinning vs no pinning."""
+    pinned_model = TileCostModel(policy=PinningPolicy.EXPLICIT)
+    unpinned_model = TileCostModel(policy=PinningPolicy.NONE)
+    rows = []
+    for impl in MANUAL_IMPLEMENTATIONS:
+        with_pins = impl.evaluate(pinned_model)
+        without = impl.evaluate(unpinned_model)
+        rows.append(
+            {
+                "impl": impl.index,
+                "tiles": impl.n_tiles,
+                "pinned_time_us": round(with_pins["time_us"], 2),
+                "unpinned_time_us": round(without["time_us"], 2),
+                "slowdown": round(without["time_us"] / with_pins["time_us"], 3),
+            }
+        )
+    return rows
+
+
+def copy_variant_ablation() -> list[dict]:
+    """A5: the two published CP-process implementations head to head."""
+    rows = []
+    for words in (16, 32, 64):
+        memory = jpeg_copy_process(words, CopyVariant.MEMORY)
+        time_v = jpeg_copy_process(words, CopyVariant.TIME)
+        rows.append(
+            {
+                "copy": f"CP{words}",
+                "memory_insts": memory.insts,
+                "memory_cycles": memory.runtime_cycles,
+                "time_insts": time_v.insts,
+                "time_cycles": time_v.runtime_cycles,
+                "speedup": round(memory.runtime_cycles / time_v.runtime_cycles, 2),
+                "imem_cost_words": time_v.insts - memory.insts,
+            }
+        )
+    return rows
+
+
+def render() -> str:
+    from repro.dse.report import format_table
+
+    parts = [
+        "A1: twiddle optimization (L=300 ns)",
+        format_table(twiddle_ablation()),
+        "",
+        "A2: vertical-link overlap",
+        format_table(vlink_overlap_ablation()),
+        "",
+        "A4: instruction pinning (Table 4 implementations)",
+        format_table(pinning_ablation()),
+        "",
+        "A5: copy-process variants",
+        format_table(copy_variant_ablation()),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,51 @@
+"""Host-PC software baselines (the paper's "roughly 1000 FFTs/s" point).
+
+Measures this machine's FFT and JPEG throughput with the three software
+baselines and sets them against the modelled fabric numbers, reproducing
+the paper's fabric-vs-PC comparison in Sec. 3.3.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import host_fft_throughput, host_jpeg_blocks_per_s
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.perf_model import FFTPerformanceModel, StageProfile
+
+__all__ = ["run", "render"]
+
+
+def run(n: int = 1024, min_seconds: float = 0.2) -> list[dict]:
+    rows = []
+    for result in host_fft_throughput(n=n, min_seconds=min_seconds):
+        rows.append(
+            {
+                "workload": f"{n}-pt FFT",
+                "implementation": result.name,
+                "items_per_s": round(result.items_per_s, 1),
+            }
+        )
+    model = FFTPerformanceModel(
+        plan=FFTPlan(n, 128, 10), profile=StageProfile.table1()
+    )
+    rows.append(
+        {
+            "workload": f"{n}-pt FFT",
+            "implementation": "fabric model (10 cols, L=0)",
+            "items_per_s": round(model.throughput(0.0), 1),
+        }
+    )
+    jpeg = host_jpeg_blocks_per_s(min_seconds=min_seconds)
+    rows.append(
+        {
+            "workload": "JPEG 8x8 blocks",
+            "implementation": jpeg.name,
+            "items_per_s": round(jpeg.items_per_s, 1),
+        }
+    )
+    return rows
+
+
+def render() -> str:
+    from repro.dse.report import format_table
+
+    return "Host baselines vs fabric model\n" + format_table(run())

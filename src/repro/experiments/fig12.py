@@ -1,0 +1,44 @@
+"""Fig. 12: link-cost influence — throughput vs #columns.
+
+The transpose of Fig. 10: one curve per link cost {0, 100, ..., 1500} ns
+with the column count on the x-axis, showing that adding columns helps
+strongly at L = 0, stops helping around 700 ns and hurts beyond 1100 ns.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.perf_model import FFTPerformanceModel, StageProfile
+
+__all__ = ["run", "render", "COLS", "LINK_COSTS"]
+
+COLS = (1, 2, 5, 10)
+LINK_COSTS = (0, 100, 300, 500, 700, 900, 1100, 1300, 1500)
+
+
+def run(
+    n: int = 1024,
+    m: int = 128,
+    cols_list: tuple[int, ...] = COLS,
+    link_costs: tuple[float, ...] = LINK_COSTS,
+    profile: StageProfile | None = None,
+) -> dict[float, list[tuple[int, float]]]:
+    """{link_cost_ns: [(cols, ffts_per_s)]}."""
+    if profile is None:
+        profile = StageProfile.table1()
+    series: dict[float, list[tuple[int, float]]] = {c: [] for c in link_costs}
+    for cols in cols_list:
+        model = FFTPerformanceModel(plan=FFTPlan(n, m, cols), profile=profile)
+        for cost in link_costs:
+            series[cost].append((cols, model.throughput(cost)))
+    return series
+
+
+def render(**kwargs) -> str:
+    from repro.dse.report import format_series
+
+    named = {f"L={c}ns": v for c, v in run(**kwargs).items()}
+    return (
+        "Fig. 12: link cost influence on the R2FFT implementation\n"
+        + format_series(named, x_label="#columns", y_label="FFTs/s")
+    )

@@ -1,0 +1,48 @@
+"""Fig. 16: JPEG images/s vs tile budget for the three rebalancers.
+
+The published curves rise with plateaus (a new tile only helps when it
+relieves the bottleneck stage) and the three algorithms coincide except
+where the heaviest tile hosts several processes.  ``divergence_points``
+lists the budgets where they differ — the paper reports 16-20 tiles.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.jpeg.pipeline_model import rebalance_series
+
+__all__ = ["run", "render", "divergence_points"]
+
+
+def run(max_tiles: int = 25) -> dict[str, list[tuple[int, float]]]:
+    """{algorithm: [(n_tiles, images_per_s)]}."""
+    series = rebalance_series(max_tiles=max_tiles)
+    return {
+        algo: [(p.n_tiles, p.images_per_s) for p in points]
+        for algo, points in series.items()
+    }
+
+
+def divergence_points(max_tiles: int = 25) -> list[int]:
+    """Tile budgets where the three algorithms disagree on throughput."""
+    series = run(max_tiles)
+    out = []
+    for i in range(max_tiles):
+        values = {round(series[a][i][1], 6) for a in series}
+        if len(values) > 1:
+            out.append(series["one"][i][0])
+    return out
+
+
+def render(max_tiles: int = 25) -> str:
+    from repro.dse.report import format_series
+
+    series = run(max_tiles)
+    named = {f"reBalance{a.upper() if a == 'opt' else a.capitalize()}": v
+             for a, v in series.items()}
+    diverge = divergence_points(max_tiles)
+    return (
+        "Fig. 16: images/s vs number of tiles\n"
+        + format_series(named, x_label="#tiles", y_label="images/s")
+        + f"\nalgorithms diverge at tile budgets: {diverge or 'none'}"
+        " (paper: 16-20)"
+    )

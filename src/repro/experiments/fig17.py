@@ -1,0 +1,32 @@
+"""Fig. 17: average tile utilization vs tile budget.
+
+Companion of Fig. 16: utilization starts at 1.0 (single tile always
+busy), dips whenever a new tile is under-used, and recovers when the
+pipeline rebalances.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.jpeg.pipeline_model import rebalance_series
+
+__all__ = ["run", "render"]
+
+
+def run(max_tiles: int = 25) -> dict[str, list[tuple[int, float]]]:
+    """{algorithm: [(n_tiles, avg_utilization)]}."""
+    series = rebalance_series(max_tiles=max_tiles)
+    return {
+        algo: [(p.n_tiles, p.utilization) for p in points]
+        for algo, points in series.items()
+    }
+
+
+def render(max_tiles: int = 25) -> str:
+    from repro.dse.report import format_series
+
+    named = {f"reBalance{a.upper() if a == 'opt' else a.capitalize()}": v
+             for a, v in run(max_tiles).items()}
+    return (
+        "Fig. 17: average tile utilization vs number of tiles\n"
+        + format_series(named, x_label="#tiles", y_label="utilization")
+    )

@@ -1,0 +1,65 @@
+"""Table 1: 1024-point radix-2 FFT process profile.
+
+Reproduces the published per-process rows (runtime, twiddle count,
+instruction and data-memory words) and sets the simulator-measured
+counterpart next to them.  The published runtimes were measured on the
+M = 128 reMORPH tile; the shipped functional runner's layout tops out at
+M = 64 (see DESIGN.md), so measurements default to the 1024-point / M=64
+plan whose butterfly loop does half the pairs — the ``scaled_ns`` column
+linearly rescales to the paper's M for a like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.runner import FabricFFT
+from repro.pn.profiles import FFT1024_PROFILE, fft1024_processes
+
+__all__ = ["run", "render"]
+
+
+def run(n: int = 1024, m_measure: int = 64) -> list[dict]:
+    """Rows: process, paper figures, simulator-measured runtimes."""
+    plan = FFTPlan(n=n, m=m_measure, cols=1)
+    measured = FabricFFT(plan).measured_profile()
+    scale = 128 / m_measure  # per-pair loop count ratio vs the paper's tile
+    processes = fft1024_processes()
+    rows = []
+    for i in range(10):
+        name = f"BF{i}"
+        paper_ns, twiddles = FFT1024_PROFILE[name]
+        process = processes[name]
+        rows.append(
+            {
+                "process": name,
+                "paper_runtime_ns": paper_ns,
+                "measured_ns": round(measured.bf_ns[i], 1),
+                "scaled_ns": round(measured.bf_ns[i] * scale, 1),
+                "twiddles": twiddles,
+                "twiddles_model": min(128, n >> (i + 1)),
+                "insts": process.insts,
+                "dmem": process.dmem_words,
+            }
+        )
+    for name, value in (("vcp", measured.vcp_ns), ("hcp", measured.hcp_ns)):
+        paper_ns, _ = FFT1024_PROFILE[name]
+        process = processes[name]
+        rows.append(
+            {
+                "process": name,
+                "paper_runtime_ns": paper_ns,
+                "measured_ns": round(value, 1),
+                "scaled_ns": round(value * scale, 1),
+                "twiddles": 0,
+                "twiddles_model": 0,
+                "insts": process.insts,
+                "dmem": process.dmem_words,
+            }
+        )
+    return rows
+
+
+def render() -> str:
+    from repro.dse.report import format_table
+
+    return "Table 1: 1024-pt R2FFT process profile\n" + format_table(run())

@@ -1,0 +1,27 @@
+"""Area accounting.
+
+The paper's area argument is linear in tile count: one reMORPH tile costs
+about 200 slice LUTs plus its three BRAMs (Sec. 2).  Design-space points
+therefore trade throughput against ``n_tiles`` directly; these helpers give
+the LUT figure used in reports.
+"""
+
+from __future__ import annotations
+
+from repro.units import TILE_AREA_SLICE_LUTS
+
+__all__ = ["area_slice_luts", "BRAMS_PER_TILE"]
+
+#: BRAM blocks per tile: two 512x48 data + one 512x72 instruction memory.
+BRAMS_PER_TILE = 3
+
+
+def area_slice_luts(n_tiles: int, luts_per_tile: int = TILE_AREA_SLICE_LUTS) -> int:
+    """Slice-LUT area of an ``n_tiles`` design.
+
+    Interconnect multiplexers are part of the per-tile figure, matching how
+    the paper reports the footprint.
+    """
+    if n_tiles < 0:
+        raise ValueError(f"n_tiles must be non-negative, got {n_tiles}")
+    return n_tiles * luts_per_tile

@@ -1,0 +1,137 @@
+"""Fixed-point helpers for the 48-bit tile datapath.
+
+reMORPH tiles operate on 48-bit words.  Signal-processing kernels (FFT
+butterflies, DCT) run in fixed point: a value ``x`` is stored as
+``round(x * 2**frac_bits)`` in two's complement.  The tile ISA provides
+``MULQ`` which computes ``(a * b) >> q`` with rounding, i.e. a fixed-point
+multiply whose operands and result share the same Q-format when
+``q == frac_bits``.
+
+:class:`FixedPointFormat` bundles the conversion logic.  :data:`Q30` is the
+format used by the shipped FFT/DCT tile programs: 30 fractional bits leave
+17 integer bits of headroom inside a 48-bit word, enough for a 1024-point
+FFT (log2(1024) = 10 bits of growth) on inputs bounded by |x| < 64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Datapath width of a tile word in bits.
+WORD_BITS = 48
+
+_WORD_MASK = (1 << WORD_BITS) - 1
+_SIGN_BIT = 1 << (WORD_BITS - 1)
+
+WORD_MIN = -(1 << (WORD_BITS - 1))
+WORD_MAX = (1 << (WORD_BITS - 1)) - 1
+
+
+def wrap_word(value: int) -> int:
+    """Wrap an arbitrary integer into a signed 48-bit word (two's complement).
+
+    This mirrors what the tile ALU does on overflow: results wrap silently,
+    exactly like the DSP48 primitive the PE is built from.
+    """
+    value &= _WORD_MASK
+    if value & _SIGN_BIT:
+        value -= 1 << WORD_BITS
+    return value
+
+
+def is_word(value: int) -> bool:
+    """True when ``value`` is representable as a signed 48-bit word."""
+    return WORD_MIN <= value <= WORD_MAX
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``frac_bits`` fractional bits.
+
+    The total width is always the 48-bit tile word.  ``frac_bits`` must
+    leave at least one integer bit plus the sign bit.
+    """
+
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.frac_bits <= WORD_BITS - 2:
+            raise ValueError(
+                f"frac_bits must be in [0, {WORD_BITS - 2}], got {self.frac_bits}"
+            )
+
+    @property
+    def scale(self) -> int:
+        """Scaling factor ``2**frac_bits``."""
+        return 1 << self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        """Magnitude of one least-significant bit."""
+        return 1.0 / self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return WORD_MAX / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable real value."""
+        return WORD_MIN / self.scale
+
+    def encode(self, value: float) -> int:
+        """Convert a real value to its fixed-point word (round-to-nearest).
+
+        Raises :class:`OverflowError` if the value does not fit; kernels are
+        expected to scale their data so this never fires in normal use.
+        """
+        word = int(round(float(value) * self.scale))
+        if not is_word(word):
+            raise OverflowError(
+                f"{value!r} does not fit in Q{WORD_BITS - self.frac_bits}."
+                f"{self.frac_bits} (encoded {word})"
+            )
+        return word
+
+    def decode(self, word: int) -> float:
+        """Convert a fixed-point word back to a real value."""
+        return wrap_word(word) / self.scale
+
+    def encode_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`encode`; returns an ``object`` array of ints.
+
+        Python ints are used on purpose: 48-bit products of Q30 values need
+        up to 96 bits, beyond int64.
+        """
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        out = np.empty(flat.shape, dtype=object)
+        for i, v in enumerate(flat):
+            out[i] = self.encode(v)
+        return out.reshape(np.shape(values))
+
+    def decode_array(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`decode` producing float64."""
+        flat = np.asarray(words, dtype=object).ravel()
+        out = np.empty(flat.shape, dtype=np.float64)
+        for i, w in enumerate(flat):
+            out[i] = self.decode(int(w))
+        return out.reshape(np.shape(words))
+
+    def mul(self, a: int, b: int) -> int:
+        """Fixed-point multiply of two encoded words with rounding.
+
+        Matches the tile's ``MULQ`` semantics: full-precision product,
+        add half-LSB, arithmetic shift right by ``frac_bits``, wrap.
+        """
+        prod = wrap_word(a) * wrap_word(b)
+        return wrap_word((prod + (1 << (self.frac_bits - 1))) >> self.frac_bits)
+
+
+#: Q17.30: the default format for the shipped FFT and DCT programs.
+Q30 = FixedPointFormat(30)
+
+#: Q33.14: a coarser format used by the JPEG quantizer reciprocals.
+Q14 = FixedPointFormat(14)

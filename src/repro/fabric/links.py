@@ -1,0 +1,128 @@
+"""Near-neighbour link model.
+
+Each tile owns one outgoing write port that can be attached to **one** of
+its four principal neighbours at a time ("Each tile is connected to its
+neighbour in one of the four principal directions at any instant in time",
+Sec. 2).  Re-attaching the port to a different direction is a *link
+reconfiguration* whose cost ``L`` (per 48-wire link) is the key parameter
+the paper sweeps.
+
+:class:`LinkState` tracks the active direction per tile and counts
+reconfigurations so cost models can charge exactly the changed links
+(``l_ij`` in Eq. 1's middle term).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import LinkError
+
+
+class Direction(enum.Enum):
+    """The four principal mesh directions."""
+
+    NORTH = 0
+    EAST = 1
+    SOUTH = 2
+    WEST = 3
+
+    @property
+    def code(self) -> int:
+        """Dense integer code used in the ``SNB`` instruction's aux field."""
+        return self.value
+
+    @property
+    def opposite(self) -> "Direction":
+        """The reverse direction (used to validate paired exchanges)."""
+        return Direction((self.value + 2) % 4)
+
+    @property
+    def delta(self) -> tuple[int, int]:
+        """(row, col) offset of the neighbour in this direction.
+
+        Row 0 is the top of the mesh, so NORTH decreases the row index.
+        """
+        return {
+            Direction.NORTH: (-1, 0),
+            Direction.EAST: (0, 1),
+            Direction.SOUTH: (1, 0),
+            Direction.WEST: (0, -1),
+        }[self]
+
+    @classmethod
+    def from_code(cls, code: int) -> "Direction":
+        """Inverse of :attr:`code`."""
+        try:
+            return cls(code)
+        except ValueError:
+            raise LinkError(f"invalid direction code {code}") from None
+
+    @classmethod
+    def from_name(cls, name: str) -> "Direction":
+        """Parse ``"N"``/``"E"``/``"S"``/``"W"`` or full names."""
+        key = name.strip().upper()
+        short = {"N": cls.NORTH, "E": cls.EAST, "S": cls.SOUTH, "W": cls.WEST}
+        if key in short:
+            return short[key]
+        try:
+            return cls[key]
+        except KeyError:
+            raise LinkError(f"invalid direction name {name!r}") from None
+
+
+class LinkState:
+    """Active-link bookkeeping for a whole mesh.
+
+    The state maps each tile coordinate to the direction its write port is
+    currently attached to (or ``None`` when detached).  ``configure``
+    returns whether the call actually changed anything, so reconfiguration
+    planners can count billable link changes.
+    """
+
+    def __init__(self) -> None:
+        self._active: dict[tuple[int, int], Direction | None] = {}
+        #: Total number of link changes applied since construction.
+        self.reconfig_count = 0
+
+    def get(self, coord: tuple[int, int]) -> Direction | None:
+        """Direction the tile at ``coord`` currently writes toward."""
+        return self._active.get(coord)
+
+    def configure(self, coord: tuple[int, int], direction: Direction | None) -> bool:
+        """Attach (or detach, with ``None``) a tile's write port.
+
+        Returns ``True`` if the setting changed (and therefore costs a link
+        reconfiguration), ``False`` for a no-op.
+        """
+        previous = self._active.get(coord)
+        if previous == direction:
+            return False
+        self._active[coord] = direction
+        self.reconfig_count += 1
+        return True
+
+    def changed_links(self, target: dict[tuple[int, int], Direction | None]) -> int:
+        """How many tiles' links differ from ``target`` (without applying).
+
+        This is the ``l_ij`` of Eq. 1: the reconfiguration cost between two
+        configurations is proportional to the number of changed links.
+        """
+        count = 0
+        coords = set(self._active) | set(target)
+        for coord in coords:
+            if self._active.get(coord) != target.get(coord):
+                count += 1
+        return count
+
+    def apply(self, target: dict[tuple[int, int], Direction | None]) -> int:
+        """Apply a full link configuration; returns the changes made."""
+        changed = 0
+        for coord, direction in target.items():
+            if self.configure(coord, direction):
+                changed += 1
+        return changed
+
+    def as_dict(self) -> dict[tuple[int, int], Direction | None]:
+        """Snapshot of the current configuration."""
+        return dict(self._active)

@@ -1,0 +1,169 @@
+"""Tile memories: 512x48 data memory and 512x72 instruction memory.
+
+Data memory doubles as the register file: all instruction operands address
+it.  The physical tile builds it from two dual-port BRAMs giving two reads
+plus one write per cycle; that port budget is enforced *statically* through
+:attr:`repro.fabric.isa.Instruction.cycles` (multi-read instructions take
+extra cycles) rather than dynamically, so the functional model stays simple
+while the timing stays honest.
+
+Both memories track access counters so tests and the trace module can check
+e.g. that a butterfly program touches exactly the words its cost table
+claims.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import MemoryError_
+from repro.fabric.fixedpoint import is_word, wrap_word
+from repro.units import DATA_MEM_WORDS, INSTR_MEM_WORDS
+
+
+class DataMemory:
+    """A 512-word memory of signed 48-bit integers.
+
+    Words are plain Python ints so fixed-point intermediates never silently
+    lose bits; every store wraps to 48-bit two's complement, matching the
+    hardware datapath.
+    """
+
+    def __init__(self, size: int = DATA_MEM_WORDS) -> None:
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self.size = size
+        self._words: list[int] = [0] * size
+        self.reads = 0
+        self.writes = 0
+        #: Words rewritten through the reconfiguration port (for stats).
+        self.reconfig_writes = 0
+
+    def _check(self, addr: int) -> None:
+        if not isinstance(addr, int):
+            raise MemoryError_(f"address must be int, got {type(addr).__name__}")
+        if not 0 <= addr < self.size:
+            raise MemoryError_(f"address {addr} outside data memory [0, {self.size})")
+
+    def read(self, addr: int) -> int:
+        """Read one word (counted as a port access)."""
+        self._check(addr)
+        self.reads += 1
+        return self._words[addr]
+
+    def write(self, addr: int, value: int) -> None:
+        """Write one word, wrapping to 48 bits (counted as a port access)."""
+        self._check(addr)
+        self.writes += 1
+        self._words[addr] = wrap_word(value)
+
+    def peek(self, addr: int) -> int:
+        """Read without touching the access counters (debug/host access)."""
+        self._check(addr)
+        return self._words[addr]
+
+    def poke(self, addr: int, value: int) -> None:
+        """Write without touching the access counters (host preload)."""
+        self._check(addr)
+        if not is_word(wrap_word(value)):  # pragma: no cover - wrap always fits
+            raise MemoryError_(f"value {value} not a 48-bit word")
+        self._words[addr] = wrap_word(value)
+
+    def load_image(self, image: Mapping[int, int], *, reconfig: bool = False) -> int:
+        """Bulk-load ``{addr: word}``; returns the number of words written.
+
+        With ``reconfig=True`` the words are counted as ICAP traffic, which
+        is how :class:`~repro.fabric.reconfig.ReconfigPlanner` applies data
+        images.
+        """
+        for addr, value in image.items():
+            self.poke(addr, value)
+        if reconfig:
+            self.reconfig_writes += len(image)
+        return len(image)
+
+    def load_block(self, base: int, values: Iterable[int]) -> int:
+        """Host-load consecutive words starting at ``base``."""
+        count = 0
+        for offset, value in enumerate(values):
+            self.poke(base + offset, value)
+            count += 1
+        return count
+
+    def dump_block(self, base: int, count: int) -> list[int]:
+        """Read ``count`` consecutive words without counting port accesses."""
+        if count < 0:
+            raise MemoryError_(f"count must be non-negative, got {count}")
+        self._check(base)
+        if count and base + count > self.size:
+            raise MemoryError_(
+                f"block [{base}, {base + count}) exceeds memory size {self.size}"
+            )
+        return self._words[base:base + count]
+
+    def snapshot(self) -> list[int]:
+        """Copy of the full memory contents."""
+        return list(self._words)
+
+    def clear(self) -> None:
+        """Zero the memory and reset counters."""
+        self._words = [0] * self.size
+        self.reads = 0
+        self.writes = 0
+        self.reconfig_writes = 0
+
+
+class InstructionMemory:
+    """A 512-word instruction store holding decoded instructions.
+
+    The hardware stores 72-bit encoded words; the model stores the decoded
+    :class:`~repro.fabric.isa.Instruction` objects and only uses the 72-bit
+    encoding to size reconfiguration transfers.
+    """
+
+    def __init__(self, size: int = INSTR_MEM_WORDS) -> None:
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self.size = size
+        self._slots: list[object | None] = [None] * size
+        self.reconfig_writes = 0
+
+    def load(self, instructions: list, base: int = 0, *, reconfig: bool = False) -> int:
+        """Load a program image at ``base``; returns words written.
+
+        Raises :class:`MemoryError_` if the program does not fit — the
+        paper leans on this limit (Huffman does not fit in one tile and is
+        split into five processes).
+        """
+        if base < 0 or base + len(instructions) > self.size:
+            raise MemoryError_(
+                f"program of {len(instructions)} words at base {base} "
+                f"exceeds instruction memory of {self.size} words"
+            )
+        for offset, instr in enumerate(instructions):
+            self._slots[base + offset] = instr
+        if reconfig:
+            self.reconfig_writes += len(instructions)
+        return len(instructions)
+
+    def fetch(self, pc: int):
+        """Fetch the instruction at ``pc``.
+
+        Fetching an unloaded slot is an error: the model treats it as the
+        tile running off the end of its program.
+        """
+        if not 0 <= pc < self.size:
+            raise MemoryError_(f"pc {pc} outside instruction memory [0, {self.size})")
+        instr = self._slots[pc]
+        if instr is None:
+            raise MemoryError_(f"fetch from unloaded instruction word {pc}")
+        return instr
+
+    def loaded_words(self) -> int:
+        """Number of occupied instruction slots."""
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def clear(self) -> None:
+        """Erase all instruction slots."""
+        self._slots = [None] * self.size
+        self.reconfig_writes = 0

@@ -1,0 +1,230 @@
+"""Reconfiguration planning: turning configuration deltas into timed plans.
+
+A *reconfiguration transaction* gathers the partial bitstreams needed to
+move the fabric from its current state to a target state:
+
+* instruction images for tiles whose program changes (charged 9 B/word),
+* data images (twiddle reloads, copy-variable re-initialization, 6 B/word),
+* link changes (charged the swept per-link cost ``L``).
+
+The planner only emits *deltas* — a tile whose program is already resident
+("pinned" processes, label ``(f)`` in Table 4) is skipped, which is where
+partial reconfiguration earns its keep.
+
+Applying a transaction does two things: it mutates the mesh (loads
+programs/data, flips links) and schedules every payload on the
+:class:`~repro.fabric.icap.IcapPort`, honouring per-tile earliest-start
+times so reconfiguration of an idle tile overlaps computation elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReconfigError
+from repro.fabric.assembler import Program
+from repro.fabric.bitstream import PartialBitstream, ReconfigKind
+from repro.fabric.icap import IcapPort
+from repro.fabric.links import Direction
+from repro.fabric.mesh import Mesh
+
+__all__ = ["ReconfigPlanner", "ReconfigTransaction", "AppliedReconfig"]
+
+Coord = tuple[int, int]
+
+
+@dataclass
+class ReconfigTransaction:
+    """An ordered list of partial bitstreams plus the programs behind them.
+
+    ``programs`` maps tile coordinates to the decoded
+    :class:`~repro.fabric.assembler.Program` whose encoded form is in the
+    corresponding IMEM bitstream — the simulator executes decoded
+    instructions, the bitstream only carries the cost.
+    """
+
+    bitstreams: list[PartialBitstream] = field(default_factory=list)
+    programs: dict[Coord, Program] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total ICAP payload in bytes (links excluded; they cost time L)."""
+        return sum(b.nbytes for b in self.bitstreams)
+
+    @property
+    def link_changes(self) -> int:
+        """Number of link settings changed (the ``l_ij`` of Eq. 1)."""
+        return sum(1 for b in self.bitstreams if b.kind is ReconfigKind.LINK)
+
+    @property
+    def memory_words(self) -> int:
+        """Total memory words rewritten."""
+        return sum(b.payload_words for b in self.bitstreams)
+
+    def duration_ns(self, icap: IcapPort, link_cost_ns: float) -> float:
+        """Back-to-back duration if nothing overlaps (upper bound)."""
+        return (
+            icap.transfer_ns(self.total_bytes) + self.link_changes * link_cost_ns
+        )
+
+
+@dataclass
+class AppliedReconfig:
+    """Timing results of applying a transaction.
+
+    ``tile_ready_ns`` gives, per touched tile, when its last payload
+    finished — the earliest the tile may start computing.
+    """
+
+    start_ns: float
+    end_ns: float
+    tile_ready_ns: dict[Coord, float] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class ReconfigPlanner:
+    """Builds and applies reconfiguration transactions against a mesh."""
+
+    def __init__(self, mesh: Mesh, icap: IcapPort, link_cost_ns: float = 0.0) -> None:
+        if link_cost_ns < 0:
+            raise ReconfigError(f"link cost must be non-negative, got {link_cost_ns}")
+        self.mesh = mesh
+        self.icap = icap
+        self.link_cost_ns = link_cost_ns
+
+    # ------------------------------------------------------------------
+    # plan building
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        *,
+        programs: dict[Coord, Program] | None = None,
+        data_images: dict[Coord, dict[int, int]] | None = None,
+        links: dict[Coord, Direction | None] | None = None,
+        force_program_reload: bool = False,
+    ) -> ReconfigTransaction:
+        """Compute the delta transaction for the requested target state.
+
+        A program load is skipped when the same :class:`Program` object is
+        already resident on the tile (pinning), unless
+        ``force_program_reload`` is set.  Link changes are skipped when the
+        link already points the right way.  Data images are always loaded
+        (they exist precisely because their values change each epoch).
+        """
+        txn = ReconfigTransaction()
+        for coord, program in sorted((programs or {}).items()):
+            tile = self.mesh.tile(coord)
+            if not force_program_reload and tile.resident_base(program) is not None:
+                continue  # pinned: already resident (possibly co-resident)
+            txn.bitstreams.append(
+                PartialBitstream(
+                    ReconfigKind.IMEM,
+                    coord,
+                    tuple(program.encoded()),
+                    label=f"imem:{program.name}@{coord}",
+                )
+            )
+            if program.data_image:
+                flat: list[int] = []
+                for addr, value in sorted(program.data_image.items()):
+                    flat.extend((addr, value))
+                txn.bitstreams.append(
+                    PartialBitstream(
+                        ReconfigKind.DMEM,
+                        coord,
+                        tuple(flat),
+                        label=f"dmem:{program.name}@{coord}",
+                    )
+                )
+            txn.programs[coord] = program
+        for coord, image in sorted((data_images or {}).items()):
+            if not image:
+                continue
+            self.mesh.tile(coord)
+            flat = []
+            for addr, value in sorted(image.items()):
+                flat.extend((addr, value))
+            txn.bitstreams.append(
+                PartialBitstream(
+                    ReconfigKind.DMEM, coord, tuple(flat), label=f"dmem:data@{coord}"
+                )
+            )
+        for coord, direction in sorted(
+            (links or {}).items(), key=lambda kv: kv[0]
+        ):
+            if self.mesh.active_link(coord) == direction:
+                continue
+            txn.bitstreams.append(
+                PartialBitstream(
+                    ReconfigKind.LINK,
+                    coord,
+                    aux=-1 if direction is None else direction.code,
+                    label=f"link@{coord}",
+                )
+            )
+        return txn
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        txn: ReconfigTransaction,
+        tile_busy_until: dict[Coord, float] | None = None,
+        now_ns: float = 0.0,
+    ) -> AppliedReconfig:
+        """Apply a transaction: mutate the mesh and schedule the ICAP.
+
+        ``tile_busy_until`` holds per-tile earliest start times (a tile
+        still computing cannot be reconfigured); missing tiles are treated
+        as free at ``now_ns``.  Payloads are scheduled in transaction
+        order; the single ICAP port serializes them while untouched tiles
+        keep computing — the paper's partial-overlap mechanism.
+        """
+        busy = tile_busy_until or {}
+        ready: dict[Coord, float] = {}
+        first_start = None
+        last_end = now_ns
+        for bitstream in txn.bitstreams:
+            coord = bitstream.coord
+            earliest = max(now_ns, busy.get(coord, now_ns), ready.get(coord, 0.0))
+            if bitstream.kind is ReconfigKind.LINK:
+                start, end = self.icap.schedule_fixed(
+                    self.link_cost_ns, earliest, bitstream.label
+                )
+                direction = (
+                    None if bitstream.aux == -1 else Direction.from_code(bitstream.aux)
+                )
+                self.mesh.configure_link(coord, direction)
+            else:
+                start, end = self.icap.schedule(
+                    bitstream.nbytes, earliest, bitstream.label
+                )
+                if bitstream.kind is ReconfigKind.IMEM:
+                    program = txn.programs.get(coord)
+                    if program is None:
+                        raise ReconfigError(
+                            f"IMEM bitstream for {coord} without a decoded program"
+                        )
+                    tile = self.mesh.tile(coord)
+                    if tile.resident_base(program) is None:
+                        tile.install_program(program, reconfig=True)
+                    else:  # forced refresh of a resident image
+                        tile.imem.reconfig_writes += program.imem_words
+                        tile.dmem.load_image(program.data_image, reconfig=True)
+                else:
+                    image = dict(zip(bitstream.words[0::2], bitstream.words[1::2]))
+                    self.mesh.tile(coord).dmem.load_image(image, reconfig=True)
+            ready[coord] = end
+            first_start = start if first_start is None else min(first_start, start)
+            last_end = max(last_end, end)
+        return AppliedReconfig(
+            start_ns=first_start if first_start is not None else now_ns,
+            end_ns=last_end,
+            tile_ready_ns=ready,
+        )

@@ -1,0 +1,295 @@
+"""Runtime management system: the epoch scheduler.
+
+On the prototype a MicroBlaze soft processor sequences the application: it
+decides which partial bitstreams to load for the next epoch, pushes them
+through the ICAP, and lets the tiles run.  :class:`RuntimeManager` plays
+that role for the model.
+
+An application is a list of :class:`EpochSpec`.  Each epoch may
+
+* retarget links,
+* (re)load tile programs — loads of already-resident programs are free
+  (pinning),
+* push data images (twiddle reloads, copy-variable updates),
+* run a set of tiles to ``HALT`` (lock-step, interleaving-correct).
+
+Timing honours the paper's partial-overlap semantics: every tile has its
+own ready-time; the single ICAP serializes payloads but may reconfigure an
+idle tile while busy tiles compute; a tile starts computing once both it
+and its declared dependencies are ready.  The report decomposes total time
+into the three terms of Eq. 1 (compute / reconfiguration / copies are
+simply epochs whose programs are copy processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReconfigError
+from repro.fabric.assembler import Program
+from repro.fabric.icap import IcapPort
+from repro.fabric.links import Direction
+from repro.fabric.mesh import Mesh
+from repro.fabric.reconfig import ReconfigPlanner
+from repro.fabric.simulator import run_concurrent
+
+__all__ = ["EpochSpec", "EpochReport", "RunReport", "RuntimeManager"]
+
+Coord = tuple[int, int]
+
+
+@dataclass
+class EpochSpec:
+    """Declarative description of one epoch.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    links:
+        Target link directions (only differences are charged).
+    programs:
+        Programs that must be resident; already-resident ones cost nothing.
+    data_images:
+        Extra data words to load via the ICAP ({coord: {addr: value}}).
+    pokes:
+        Data words written by the host at zero cost when the epoch
+        executes — preprocessing loads and values the paper's model
+        treats as free (GREEN on-tile twiddle generation, resident BLUE
+        sets).  Use ``data_images`` for anything that should be charged.
+    run:
+        Tiles that execute this epoch (each runs to ``HALT``).
+    restart:
+        Restart the pc of ``run`` tiles whose program is already loaded
+        (the re-execution idiom); freshly loaded programs start at 0
+        anyway.
+    depends_on:
+        Tiles whose *previous-epoch completion* gates this epoch's compute
+        start in addition to the running tiles themselves.  Used when an
+        epoch consumes data produced by tiles that are idle this epoch.
+    """
+
+    name: str
+    links: dict[Coord, Direction | None] = field(default_factory=dict)
+    programs: dict[Coord, Program] = field(default_factory=dict)
+    data_images: dict[Coord, dict[int, int]] = field(default_factory=dict)
+    pokes: dict[Coord, dict[int, int]] = field(default_factory=dict)
+    run: list[Coord] = field(default_factory=list)
+    restart: bool = True
+    depends_on: list[Coord] = field(default_factory=list)
+
+
+@dataclass
+class EpochReport:
+    """Measured timing of one executed epoch."""
+
+    name: str
+    start_ns: float
+    end_ns: float
+    reconfig_ns: float = 0.0
+    compute_ns: float = 0.0
+    #: Reconfiguration time hidden under other tiles' computation.
+    overlapped_ns: float = 0.0
+    link_changes: int = 0
+    reconfig_bytes: int = 0
+    busy_ns: dict[Coord, float] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class RunReport:
+    """Aggregate over a whole application run."""
+
+    epochs: list[EpochReport] = field(default_factory=list)
+
+    @property
+    def total_ns(self) -> float:
+        """End-to-end application runtime (Eq. 1 left-hand side)."""
+        return max((e.end_ns for e in self.epochs), default=0.0)
+
+    @property
+    def compute_ns(self) -> float:
+        """Eq. 1 term A: sum of epoch compute spans."""
+        return sum(e.compute_ns for e in self.epochs)
+
+    @property
+    def reconfig_ns(self) -> float:
+        """Eq. 1 term B: total reconfiguration (ICAP + link) time."""
+        return sum(e.reconfig_ns for e in self.epochs)
+
+    @property
+    def overlapped_ns(self) -> float:
+        """Reconfiguration time that did not extend the critical path."""
+        return sum(e.overlapped_ns for e in self.epochs)
+
+    @property
+    def link_changes(self) -> int:
+        return sum(e.link_changes for e in self.epochs)
+
+    def utilization(self, n_tiles: int) -> float:
+        """Average tile utilization over the whole run."""
+        if n_tiles <= 0 or self.total_ns <= 0:
+            return 0.0
+        busy = 0.0
+        for epoch in self.epochs:
+            busy += sum(epoch.busy_ns.values())
+        return busy / (n_tiles * self.total_ns)
+
+    def gantt(self) -> str:
+        """Small textual timeline of epochs (debug aid)."""
+        lines = []
+        for epoch in self.epochs:
+            lines.append(
+                f"{epoch.name:<24} [{epoch.start_ns:>12.1f}, {epoch.end_ns:>12.1f}) ns"
+                f"  reconfig={epoch.reconfig_ns:>10.1f}"
+                f"  compute={epoch.compute_ns:>10.1f}"
+            )
+        return "\n".join(lines)
+
+
+class RuntimeManager:
+    """Sequences epochs on a mesh, accounting reconfiguration overlap.
+
+    Two timing disciplines:
+
+    * **barrier** (default): each epoch starts when the previous one
+      ended — the straightforward phase-by-phase schedule;
+    * **dataflow** (``dataflow=True``): an epoch starts as soon as the
+      tiles it *involves* (runs, reconfigures, or depends on) are ready,
+      regardless of unrelated tiles still working.  This is what lets a
+      multi-column pipeline overlap successive work items: column 0 can
+      begin item t+1 while column 1 still processes item t.  Functional
+      execution order is unchanged (epochs are applied in issue order);
+      only the accounted start times differ, so callers must declare
+      cross-tile data dependencies via ``depends_on``.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        icap: IcapPort | None = None,
+        link_cost_ns: float = 0.0,
+        dataflow: bool = False,
+    ) -> None:
+        self.mesh = mesh
+        self.icap = icap if icap is not None else IcapPort()
+        self.planner = ReconfigPlanner(mesh, self.icap, link_cost_ns)
+        self.dataflow = dataflow
+        #: Per-tile time at which the tile is free (compute or reconfig done).
+        self.tile_ready_ns: dict[Coord, float] = {}
+        self.now_ns = 0.0
+
+    @property
+    def link_cost_ns(self) -> float:
+        return self.planner.link_cost_ns
+
+    @link_cost_ns.setter
+    def link_cost_ns(self, value: float) -> None:
+        if value < 0:
+            raise ReconfigError(f"link cost must be non-negative, got {value}")
+        self.planner.link_cost_ns = value
+
+    def reset(self) -> None:
+        """Forget all timing state (memories/links are left as-is)."""
+        self.icap.reset()
+        self.tile_ready_ns.clear()
+        self.now_ns = 0.0
+
+    # ------------------------------------------------------------------
+
+    def execute(self, epochs: list[EpochSpec]) -> RunReport:
+        """Run the epoch list; returns a :class:`RunReport`."""
+        report = RunReport()
+        for spec in epochs:
+            report.epochs.append(self._execute_epoch(spec))
+        self.now_ns = max(self.now_ns, report.total_ns)
+        return report
+
+    def _involved_tiles(self, spec: EpochSpec) -> set[Coord]:
+        involved: set[Coord] = set(spec.run) | set(spec.depends_on)
+        involved |= set(spec.programs) | set(spec.data_images)
+        involved |= set(spec.links) | set(spec.pokes)
+        return involved
+
+    def _execute_epoch(self, spec: EpochSpec) -> EpochReport:
+        if self.dataflow:
+            involved = self._involved_tiles(spec)
+            epoch_start = max(
+                (self.tile_ready_ns.get(c, 0.0) for c in involved),
+                default=0.0,
+            )
+        else:
+            epoch_start = self.now_ns
+
+        # -- free host writes (preprocessing / on-tile generation) -----
+        for coord, image in spec.pokes.items():
+            tile = self.mesh.tile(coord)
+            for addr, value in image.items():
+                tile.dmem.poke(addr, value)
+
+        # -- reconfiguration ------------------------------------------
+        txn = self.planner.plan(
+            programs=spec.programs,
+            data_images=spec.data_images,
+            links=spec.links,
+        )
+        busy_before = self.icap.total_busy_ns
+        applied = self.planner.apply(txn, self.tile_ready_ns, now_ns=epoch_start)
+        # Term B of Eq. 1: actual configuration-port busy time, not the
+        # per-tile waiting (queueing on the single port is already visible
+        # in the tile ready times).
+        reconfig_ns = self.icap.total_busy_ns - busy_before
+        for coord, ready in applied.tile_ready_ns.items():
+            self.tile_ready_ns[coord] = ready
+
+        # -- compute ----------------------------------------------------
+        compute_ns = 0.0
+        busy: dict[Coord, float] = {}
+        compute_end = epoch_start
+        if spec.run:
+            tiles = []
+            gate = epoch_start
+            for coord in spec.run:
+                tile = self.mesh.tile(coord)
+                program = spec.programs.get(coord)
+                if program is not None:
+                    tile.start(program)  # resident: select this entry point
+                elif spec.restart and tile.halted:
+                    tile.restart()
+                tiles.append(tile)
+                gate = max(gate, self.tile_ready_ns.get(coord, epoch_start))
+            for coord in spec.depends_on:
+                gate = max(gate, self.tile_ready_ns.get(coord, epoch_start))
+            result = run_concurrent(tiles, start_ns=gate)
+            compute_ns = result.makespan_ns
+            compute_end = gate + result.makespan_ns
+            busy = dict(result.busy_ns)
+            # A tile that finishes its own work early is free for the next
+            # epoch's reconfiguration even while slower tiles still run.
+            for coord, tile_busy in result.busy_ns.items():
+                self.tile_ready_ns[coord] = max(
+                    self.tile_ready_ns.get(coord, epoch_start),
+                    gate + tile_busy,
+                )
+        epoch_end = max(compute_end, applied.end_ns, epoch_start)
+
+        # Reconfiguration time is "overlapped" (hidden) to the extent the
+        # ICAP finished before the compute critical path did.
+        overlapped = max(0.0, reconfig_ns - max(0.0, applied.end_ns - compute_end))
+
+        report = EpochReport(
+            name=spec.name,
+            start_ns=epoch_start,
+            end_ns=epoch_end,
+            reconfig_ns=reconfig_ns,
+            compute_ns=compute_ns,
+            overlapped_ns=overlapped,
+            link_changes=txn.link_changes,
+            reconfig_bytes=txn.total_bytes,
+            busy_ns=busy,
+        )
+        self.now_ns = max(self.now_ns, epoch_end)
+        return report

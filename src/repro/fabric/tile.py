@@ -1,0 +1,299 @@
+"""The processing element (tile / grain) of the fabric.
+
+A tile owns one instruction memory, one data memory and a program counter.
+It executes the ISA of :mod:`repro.fabric.isa` functionally while counting
+cycles (2.5 ns each at the 400 MHz reference clock).  The only way a tile
+talks to the outside world is the ``SNB`` instruction, which stores one word
+into the data memory of the neighbour its write port is currently linked to
+— exactly the semi-systolic shared-memory communication of reMORPH ("Each
+tile reads data from its local memory but can write to either its own memory
+or the neighbour's memory", Sec. 2).
+
+Tiles can run standalone (``neighbour_resolver=None`` makes ``SNB`` an
+error) or inside a :class:`~repro.fabric.mesh.Mesh`, which installs a
+resolver enforcing link legality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.fabric.assembler import Program
+from repro.fabric.isa import (
+    ALU_OPS,
+    BRANCH_OPS,
+    AddrMode,
+    Instruction,
+    Opcode,
+    Operand,
+    evaluate_alu,
+)
+from repro.fabric.links import Direction
+from repro.fabric.memory import DataMemory, InstructionMemory
+from repro.units import CYCLE_NS
+
+__all__ = ["Tile", "TileStats"]
+
+#: Callable the mesh installs so a tile can perform neighbour stores:
+#: (direction, neighbour_addr, value) -> None.
+NeighbourResolver = Callable[[Direction, int, int], None]
+
+
+@dataclass
+class TileStats:
+    """Execution statistics for one tile."""
+
+    instructions: int = 0
+    cycles: int = 0
+    halts: int = 0
+    neighbour_stores: int = 0
+    branches_taken: int = 0
+
+    @property
+    def time_ns(self) -> float:
+        """Busy time in nanoseconds at the reference clock."""
+        return self.cycles * CYCLE_NS
+
+    def reset(self) -> None:
+        self.instructions = 0
+        self.cycles = 0
+        self.halts = 0
+        self.neighbour_stores = 0
+        self.branches_taken = 0
+
+
+@dataclass
+class Tile:
+    """One coarse-grain processing element.
+
+    Parameters
+    ----------
+    coord:
+        (row, col) position in the mesh; purely informational for
+        standalone tiles.
+    name:
+        Optional label used in traces and error messages.
+    """
+
+    coord: tuple[int, int] = (0, 0)
+    name: str = ""
+    dmem: DataMemory = field(default_factory=DataMemory)
+    imem: InstructionMemory = field(default_factory=InstructionMemory)
+    stats: TileStats = field(default_factory=TileStats)
+    neighbour_resolver: NeighbourResolver | None = None
+
+    def __post_init__(self) -> None:
+        self.pc = 0
+        self.halted = True
+        self.program: Program | None = None
+        #: Co-resident programs: id(program) -> (program, base).
+        self._resident: dict[int, tuple[Program, int]] = {}
+        self._next_free = 0
+
+    def __repr__(self) -> str:  # keep dataclass repr short: memories are big
+        label = self.name or f"tile{self.coord}"
+        return f"<Tile {label} pc={self.pc} halted={self.halted}>"
+
+    # ------------------------------------------------------------------
+    # program loading (co-residency: many small programs share the imem)
+    # ------------------------------------------------------------------
+
+    def resident_base(self, program: Program) -> int | None:
+        """Instruction-memory base of a resident program, or None."""
+        entry = self._resident.get(id(program))
+        return entry[1] if entry is not None else None
+
+    @property
+    def imem_free_words(self) -> int:
+        return self.imem.size - self._next_free
+
+    def install_program(self, program: Program, *, reconfig: bool = False) -> int:
+        """Install a program without evicting residents; returns its base.
+
+        Programs are packed bump-allocator style; when the free region
+        cannot hold the image, every resident is evicted first (the
+        simple wholesale-replacement policy a partial bitstream region
+        would use).  Branch targets are relocated to the load base.
+        ``reconfig=True`` marks the words as ICAP traffic for statistics;
+        the *time* cost is accounted by the reconfiguration planner.
+        """
+        existing = self.resident_base(program)
+        if existing is not None:
+            return existing
+        if program.imem_words > self.imem.size:
+            raise ExecutionError(
+                f"{program.name!r} ({program.imem_words} words) exceeds the "
+                f"instruction memory"
+            )
+        if self._next_free + program.imem_words > self.imem.size:
+            self.evict_programs()
+        base = self._next_free
+        from repro.fabric.isa import relocate
+
+        image = [relocate(instr, base) for instr in program.instructions]
+        self.imem.load(image, base=base, reconfig=reconfig)
+        self.dmem.load_image(program.data_image, reconfig=reconfig)
+        self._resident[id(program)] = (program, base)
+        self._next_free = base + program.imem_words
+        # A freshly installed program becomes the current selection (the
+        # pc points at its entry); epoch schedules re-select per run.
+        self.start(program)
+        return base
+
+    def evict_programs(self) -> None:
+        """Drop every resident program (wholesale imem replacement)."""
+        self.imem.clear()
+        self._resident.clear()
+        self._next_free = 0
+        self.program = None
+        self.halted = True
+
+    def start(self, program: Program) -> None:
+        """Point the pc at a resident program's entry."""
+        base = self.resident_base(program)
+        if base is None:
+            raise ExecutionError(
+                f"{self!r}: {program.name!r} is not resident; install it first"
+            )
+        self.program = program
+        self.pc = base
+        self.halted = False
+
+    def load_program(self, program: Program, *, reconfig: bool = False) -> None:
+        """Evict residents, install ``program`` at base 0 and start it.
+
+        The single-program convenience used by standalone tiles and
+        tests; epoch schedules prefer :meth:`install_program` +
+        :meth:`start` so small programs stay co-resident.
+        """
+        self.evict_programs()
+        self.install_program(program, reconfig=reconfig)
+        self.start(program)
+
+    def restart(self) -> None:
+        """Rewind the pc to the current program's entry without touching
+        memories.
+
+        Used when the same instructions run again on new data — the
+        paper's "In each iteration, the same set of instructions are
+        executed by updating the base addresses" idiom.
+        """
+        if self.program is None:
+            raise ExecutionError(f"{self!r} has no program loaded")
+        self.start(self.program)
+
+    def addr(self, symbol: str) -> int:
+        """Resolve a symbol of the loaded program."""
+        if self.program is None:
+            raise ExecutionError(f"{self!r} has no program loaded")
+        return self.program.addr(symbol)
+
+    # ------------------------------------------------------------------
+    # operand evaluation
+    # ------------------------------------------------------------------
+
+    def _read(self, operand: Operand) -> int:
+        if operand.mode is AddrMode.IMM:
+            return operand.value
+        if operand.mode is AddrMode.DIR:
+            return self.dmem.read(operand.value)
+        pointer = self.dmem.read(operand.value)
+        return self.dmem.read(pointer)
+
+    def _write_addr(self, operand: Operand) -> int:
+        if operand.mode is AddrMode.DIR:
+            return operand.value
+        if operand.mode is AddrMode.IND:
+            return self.dmem.read(operand.value)
+        raise ExecutionError("immediate destination")  # pragma: no cover - isa checks
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> int:
+        """Execute one instruction; returns the cycles it consumed.
+
+        Returns 0 when the tile is already halted.
+        """
+        if self.halted:
+            return 0
+        instr: Instruction = self.imem.fetch(self.pc)
+        cycles = instr.cycles
+        op = instr.opcode
+        next_pc = self.pc + 1
+
+        if op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+            self.stats.halts += 1
+        elif op in ALU_OPS:
+            a = self._read(instr.src1)
+            b = self._read(instr.src2)
+            try:
+                result = evaluate_alu(op, a, b, instr.aux)
+            except ExecutionError as exc:
+                raise ExecutionError(f"{self!r} pc={self.pc} {instr}: {exc}") from None
+            self.dmem.write(self._write_addr(instr.dst), result)
+        elif op is Opcode.MOV:
+            self.dmem.write(self._write_addr(instr.dst), self._read(instr.src1))
+        elif op is Opcode.ABS:
+            self.dmem.write(self._write_addr(instr.dst), abs(self._read(instr.src1)))
+        elif op is Opcode.NEG:
+            self.dmem.write(self._write_addr(instr.dst), -self._read(instr.src1))
+        elif op is Opcode.NOT:
+            self.dmem.write(self._write_addr(instr.dst), ~self._read(instr.src1))
+        elif op is Opcode.JMP:
+            next_pc = instr.aux
+        elif op in BRANCH_OPS:
+            value = self._read(instr.src1)
+            taken = {
+                Opcode.BZ: value == 0,
+                Opcode.BNZ: value != 0,
+                Opcode.BNEG: value < 0,
+                Opcode.BPOS: value > 0,
+            }[op]
+            if taken:
+                next_pc = instr.aux
+                self.stats.branches_taken += 1
+        elif op is Opcode.SNB:
+            if self.neighbour_resolver is None:
+                raise ExecutionError(
+                    f"{self!r}: SNB outside a mesh (no neighbour resolver)"
+                )
+            direction = Direction.from_code(instr.aux)
+            naddr = self._write_addr(instr.dst)
+            value = self._read(instr.src1)
+            self.neighbour_resolver(direction, naddr, value)
+            self.stats.neighbour_stores += 1
+        else:  # pragma: no cover - enum closed
+            raise ExecutionError(f"unimplemented opcode {op}")
+
+        self.pc = next_pc
+        self.stats.instructions += 1
+        self.stats.cycles += cycles
+        return cycles
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        """Run until ``HALT``; returns cycles consumed by this call.
+
+        Raises :class:`ExecutionError` if the budget is exhausted, which in
+        practice means a runaway loop in a kernel program.
+        """
+        if self.program is None:
+            raise ExecutionError(f"{self!r} has no program loaded")
+        consumed = 0
+        while not self.halted:
+            consumed += self.step()
+            if consumed > max_cycles:
+                raise ExecutionError(
+                    f"{self!r} exceeded {max_cycles} cycles without halting"
+                )
+        return consumed
+
+    def run_ns(self, max_cycles: int = 10_000_000) -> float:
+        """Like :meth:`run` but returns elapsed nanoseconds."""
+        return self.run(max_cycles) * CYCLE_NS

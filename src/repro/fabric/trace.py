@@ -1,0 +1,165 @@
+"""Execution tracing: timelines, Gantt rendering, CSV export.
+
+The runtime manager's reports give per-epoch aggregates; this module adds
+a :class:`Tracer` that subscribes to a run and records a typed event
+stream — epoch boundaries, per-tile compute intervals, ICAP transfers,
+link changes — from which it renders an ASCII Gantt chart (tiles x time)
+and exports CSV for external tooling.  Used by the deep-dive tests and
+handy when debugging a kernel schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+from dataclasses import dataclass, field
+
+from repro.errors import FabricError
+from repro.fabric.rtms import RunReport
+
+__all__ = ["EventKind", "TraceEvent", "Tracer", "trace_report"]
+
+Coord = tuple[int, int]
+
+
+class EventKind(enum.Enum):
+    """What a trace event describes."""
+
+    EPOCH = "epoch"
+    COMPUTE = "compute"
+    RECONFIG = "reconfig"
+    LINK = "link"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline interval."""
+
+    kind: EventKind
+    label: str
+    start_ns: float
+    end_ns: float
+    coord: Coord | None = None
+
+    def __post_init__(self) -> None:
+        if self.end_ns < self.start_ns:
+            raise FabricError(
+                f"event {self.label!r} ends before it starts "
+                f"({self.end_ns} < {self.start_ns})"
+            )
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class Tracer:
+    """Collects trace events and renders them."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def for_tile(self, coord: Coord) -> list[TraceEvent]:
+        return [e for e in self.events if e.coord == coord]
+
+    @property
+    def span_ns(self) -> float:
+        """Total time covered by the trace."""
+        if not self.events:
+            return 0.0
+        return max(e.end_ns for e in self.events) - min(
+            e.start_ns for e in self.events
+        )
+
+    def busy_ns(self, coord: Coord, kind: EventKind = EventKind.COMPUTE) -> float:
+        """Total event time of one kind attributed to a tile."""
+        return sum(e.duration_ns for e in self.for_tile(coord) if e.kind is kind)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII Gantt: one row per tile, '#' compute, 'r' reconfig.
+
+        The time axis is scaled to ``width`` characters; overlapping
+        events overwrite left to right with compute taking precedence.
+        """
+        if width < 8:
+            raise FabricError("gantt width must be at least 8 characters")
+        tiles = sorted({e.coord for e in self.events if e.coord is not None})
+        if not tiles or self.span_ns <= 0:
+            return "(empty trace)"
+        t0 = min(e.start_ns for e in self.events)
+        scale = width / self.span_ns
+
+        def cell_range(event: TraceEvent) -> range:
+            a = int((event.start_ns - t0) * scale)
+            b = max(a + 1, int((event.end_ns - t0) * scale))
+            return range(a, min(b, width))
+
+        lines = [f"0 ns {'-' * (width - 10)} {self.span_ns:.0f} ns"]
+        for coord in tiles:
+            row = [" "] * width
+            for event in self.for_tile(coord):
+                char = {"compute": "#", "reconfig": "r", "link": "L"}.get(
+                    event.kind.value, "?"
+                )
+                for i in cell_range(event):
+                    if row[i] == " " or char == "#":
+                        row[i] = char
+            lines.append(f"T{coord[0]}_{coord[1]:<3} |" + "".join(row) + "|")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV export: kind,label,coord,start_ns,end_ns,duration_ns."""
+        out = io.StringIO()
+        out.write("kind,label,coord,start_ns,end_ns,duration_ns\n")
+        for e in sorted(self.events, key=lambda e: (e.start_ns, e.label)):
+            coord = f"{e.coord[0]}:{e.coord[1]}" if e.coord else ""
+            out.write(
+                f"{e.kind.value},{e.label},{coord},"
+                f"{e.start_ns:.3f},{e.end_ns:.3f},{e.duration_ns:.3f}\n"
+            )
+        return out.getvalue()
+
+
+def trace_report(report: RunReport) -> Tracer:
+    """Build a tracer from a finished run report.
+
+    Per epoch this reconstructs: one EPOCH interval, one COMPUTE interval
+    per busy tile (anchored at the epoch's compute window), and one
+    RECONFIG interval covering the epoch's configuration traffic.
+    """
+    tracer = Tracer()
+    for epoch in report.epochs:
+        tracer.add(
+            TraceEvent(EventKind.EPOCH, epoch.name, epoch.start_ns, epoch.end_ns)
+        )
+        if epoch.reconfig_ns > 0:
+            tracer.add(
+                TraceEvent(
+                    EventKind.RECONFIG,
+                    f"{epoch.name}:icap",
+                    epoch.start_ns,
+                    epoch.start_ns + epoch.reconfig_ns,
+                )
+            )
+        compute_start = epoch.end_ns - epoch.compute_ns
+        for coord, busy in epoch.busy_ns.items():
+            tracer.add(
+                TraceEvent(
+                    EventKind.COMPUTE,
+                    f"{epoch.name}:{coord}",
+                    compute_start,
+                    compute_start + busy,
+                    coord=coord,
+                )
+            )
+    return tracer

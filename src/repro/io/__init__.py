@@ -1,0 +1,17 @@
+"""Input generation and serialization helpers."""
+
+from repro.io.images import (
+    band_limited_noise,
+    checkerboard,
+    gradient,
+    natural_like,
+    test_image,
+)
+
+__all__ = [
+    "band_limited_noise",
+    "checkerboard",
+    "gradient",
+    "natural_like",
+    "test_image",
+]

@@ -1,0 +1,99 @@
+"""Synthetic test images.
+
+The paper's evaluation compresses 200x200-pixel frames; the images
+themselves are not published and JPEG pipeline timing is data-independent
+(every block takes the same path), so any frame of the right size
+exercises the same behaviour.  These generators provide deterministic
+frames with different spectral content — smooth gradients (long zero runs
+after quantization), checkerboards (high-frequency energy), band-limited
+noise and a "natural-like" 1/f-spectrum field — so compression-ratio and
+round-trip tests see realistic variety.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+
+__all__ = [
+    "gradient",
+    "checkerboard",
+    "band_limited_noise",
+    "natural_like",
+    "test_image",
+]
+
+
+def _check(height: int, width: int) -> None:
+    if height < 1 or width < 1:
+        raise KernelError(f"image dimensions must be positive, got {height}x{width}")
+
+
+def gradient(height: int = 200, width: int = 200, *, diagonal: bool = True) -> np.ndarray:
+    """A smooth 8-bit ramp (maximally compressible)."""
+    _check(height, width)
+    y = np.linspace(0.0, 1.0, height).reshape(-1, 1)
+    x = np.linspace(0.0, 1.0, width).reshape(1, -1)
+    field = (y + x) / 2.0 if diagonal else np.broadcast_to(x, (height, width))
+    return np.round(field * 255).astype(np.uint8)
+
+
+def checkerboard(height: int = 200, width: int = 200, cell: int = 4) -> np.ndarray:
+    """Alternating cells (worst-case high-frequency content)."""
+    _check(height, width)
+    if cell < 1:
+        raise KernelError(f"cell size must be positive, got {cell}")
+    y = np.arange(height).reshape(-1, 1) // cell
+    x = np.arange(width).reshape(1, -1) // cell
+    return (((y + x) % 2) * 255).astype(np.uint8)
+
+
+def band_limited_noise(
+    height: int = 200, width: int = 200, cutoff: float = 0.15, seed: int = 0
+) -> np.ndarray:
+    """Low-pass-filtered Gaussian noise, normalized to 8 bits."""
+    _check(height, width)
+    if not 0 < cutoff <= 1:
+        raise KernelError(f"cutoff must be in (0, 1], got {cutoff}")
+    rng = np.random.default_rng(seed)
+    spectrum = np.fft.rfft2(rng.standard_normal((height, width)))
+    fy = np.fft.fftfreq(height).reshape(-1, 1)
+    fx = np.fft.rfftfreq(width).reshape(1, -1)
+    spectrum[np.sqrt(fy**2 + fx**2) > cutoff / 2] = 0
+    field = np.fft.irfft2(spectrum, s=(height, width))
+    lo, hi = field.min(), field.max()
+    if hi - lo < 1e-12:
+        return np.full((height, width), 128, dtype=np.uint8)
+    return np.round((field - lo) / (hi - lo) * 255).astype(np.uint8)
+
+
+def natural_like(height: int = 200, width: int = 200, seed: int = 0) -> np.ndarray:
+    """A 1/f-amplitude random field (the spectrum of natural scenes)."""
+    _check(height, width)
+    rng = np.random.default_rng(seed)
+    spectrum = np.fft.rfft2(rng.standard_normal((height, width)))
+    fy = np.fft.fftfreq(height).reshape(-1, 1)
+    fx = np.fft.rfftfreq(width).reshape(1, -1)
+    radius = np.sqrt(fy**2 + fx**2)
+    radius[0, 0] = 1.0
+    field = np.fft.irfft2(spectrum / radius, s=(height, width))
+    lo, hi = field.min(), field.max()
+    return np.round((field - lo) / (hi - lo) * 255).astype(np.uint8)
+
+
+def test_image(kind: str = "natural", height: int = 200, width: int = 200,
+               seed: int = 0) -> np.ndarray:
+    """Dispatch by name: gradient / checker / noise / natural."""
+    kinds = {
+        "gradient": lambda: gradient(height, width),
+        "checker": lambda: checkerboard(height, width),
+        "noise": lambda: band_limited_noise(height, width, seed=seed),
+        "natural": lambda: natural_like(height, width, seed=seed),
+    }
+    try:
+        return kinds[kind]()
+    except KeyError:
+        raise KernelError(
+            f"unknown image kind {kind!r}; choose {sorted(kinds)}"
+        ) from None

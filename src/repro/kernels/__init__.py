@@ -1,0 +1,11 @@
+"""Application kernels: the two compute-intensive workloads of the paper.
+
+:mod:`repro.kernels.fft`
+    N-point radix-2 FFT: reference implementation, row/column
+    decomposition onto tiles, twiddle-factor management, the empirical
+    performance model (Sec. 3.2) and an end-to-end fabric runner.
+:mod:`repro.kernels.jpeg`
+    Baseline JPEG encoder: full functional encoder + verifying decoder,
+    the Table-3 process network, Table-4 manual mappings and the pipeline
+    timing model behind Figs. 16-17.
+"""

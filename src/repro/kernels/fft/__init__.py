@@ -1,0 +1,73 @@
+"""Radix-2 FFT kernel: decomposition, twiddle management, performance model.
+
+The paper's first case study (Sec. 3.1-3.3): an N-point radix-2 FFT is
+broken into ``N/M`` rows of tiles across ``cols`` columns, with vertical
+half-exchanges between row pairs for the first ``log2(N) - log2(M)``
+stages and horizontal forwarding between columns.  The modules here cover:
+
+* :mod:`~repro.kernels.fft.reference` — from-scratch DIT/DIF radix-2 FFT
+  (the numerical ground truth, validated against :func:`numpy.fft.fft`);
+* :mod:`~repro.kernels.fft.decompose` — the partition plan (rows,
+  columns, stage schedule, exchange schedule, per-tile data distribution);
+* :mod:`~repro.kernels.fft.twiddle` — red/green/yellow/blue twiddle
+  classification and the reload schedule (Fig. 8);
+* :mod:`~repro.kernels.fft.perf_model` — the empirical performance
+  equation tau_0..tau_7 (Eqs. 2-14) behind Figs. 10-12 and Table 2;
+* :mod:`~repro.kernels.fft.programs` — tile assembly for BF/vcp/hcp;
+* :mod:`~repro.kernels.fft.runner` — functional N-point FFT executed on
+  the fabric simulator.
+"""
+
+from repro.kernels.fft.reference import (
+    bit_reverse_indices,
+    fft_dif,
+    fft_dit,
+    fft_reference,
+    twiddle_exponent,
+    twiddle_factors,
+)
+from repro.kernels.fft.decompose import FFTPlan, partition_size
+from repro.kernels.fft.twiddle import (
+    TwiddleClass,
+    TwiddleSchedule,
+    classify_twiddles,
+    twiddle_matrix,
+)
+from repro.kernels.fft.perf_model import (
+    CopyCostRow,
+    FFTPerformanceModel,
+    StageProfile,
+    TauBreakdown,
+    copy_cost_table,
+)
+from repro.kernels.fft.runner import (
+    FabricFFT,
+    FabricFFTResult,
+    FabricFFTStreamResult,
+)
+from repro.kernels.fft.fft2d import FabricFFT2D, fft2d_reference
+
+__all__ = [
+    "CopyCostRow",
+    "FFTPerformanceModel",
+    "FFTPlan",
+    "FabricFFT",
+    "FabricFFT2D",
+    "FabricFFTResult",
+    "FabricFFTStreamResult",
+    "StageProfile",
+    "fft2d_reference",
+    "TauBreakdown",
+    "TwiddleClass",
+    "TwiddleSchedule",
+    "bit_reverse_indices",
+    "classify_twiddles",
+    "copy_cost_table",
+    "fft_dif",
+    "fft_dit",
+    "fft_reference",
+    "partition_size",
+    "twiddle_exponent",
+    "twiddle_factors",
+    "twiddle_matrix",
+]

@@ -1,0 +1,528 @@
+"""Tile assembly programs for the FFT kernel.
+
+Every program here is generated as assembly text and assembled with
+:func:`repro.fabric.assembler.assemble`, so the fabric executes exactly what
+a reMORPH tile would: C-style loops over data memory with register-indirect
+pointer walks, fixed-point complex arithmetic via ``MULQ``, and ``SNB``
+stores into the neighbour for the copy processes.
+
+Data-memory layout (per tile, partition size ``m``, ``half = m/2``)::
+
+    RE   [0,        m)          real parts of the m local points
+    IM   [m,       2m)          imaginary parts
+    WRE  [2m,  2m+half)         twiddle reals, one per local pair
+    WIM  [2m+half, 3m)          twiddle imaginaries
+    SA   [3m,      4m)          staging buffer A (southward relay chain)
+    SB   [4m,      5m)          staging buffer B (southward relay chain)
+    SC   [5m,      6m)          staging buffer C (northward relay chain)
+    SD   [6m,      7m)          staging buffer D (northward relay chain)
+    TMP  [7m,   7m+48)          loop variables and scratch
+
+which requires ``7m + 48 <= 512``, i.e. ``m <= 64`` for the functional
+runner.  (The paper's single-exchange scheme fits ``3M + 41`` and reaches
+M = 128; our runner trades two extra staging buffers for a
+block-contiguous distribution whose relay sweeps are race-free by
+construction — see DESIGN.md.)  A payload inside a staging buffer is
+``half`` real words followed by ``half`` imaginary words.
+
+All programs (re)initialize their loop variables with immediates at entry,
+so a plain pc restart re-runs them on fresh data — the paper's "same
+instructions, updated base addresses" idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import KernelError
+from repro.fabric.assembler import Program, assemble
+from repro.fabric.fixedpoint import Q30
+from repro.units import DATA_MEM_WORDS
+
+__all__ = [
+    "FFTLayout",
+    "bf_exchange_program",
+    "bf_internal_program",
+    "copy_program",
+    "copy_pair_program",
+    "local_copy_pair_program",
+    "local_copy_program",
+    "twiddle_gather_program",
+    "twiddle_square_program",
+    "QFORMAT",
+]
+
+#: Fixed-point format used by all FFT tile programs.
+QFORMAT = Q30
+_Q = QFORMAT.frac_bits
+
+
+@dataclass(frozen=True)
+class FFTLayout:
+    """Region bases of the FFT data-memory layout for partition ``m``."""
+
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m < 2 or self.m & (self.m - 1):
+            raise KernelError(f"partition m={self.m} must be a power of two >= 2")
+        if self.tmp + 48 > DATA_MEM_WORDS:
+            raise KernelError(
+                f"partition m={self.m} needs {self.tmp + 48} data words; "
+                f"the functional layout requires 5m+48 <= {DATA_MEM_WORDS} "
+                f"(m <= 64)"
+            )
+
+    @property
+    def half(self) -> int:
+        return self.m // 2
+
+    @property
+    def re(self) -> int:
+        return 0
+
+    @property
+    def im(self) -> int:
+        return self.m
+
+    @property
+    def wre(self) -> int:
+        return 2 * self.m
+
+    @property
+    def wim(self) -> int:
+        return 2 * self.m + self.half
+
+    @property
+    def sa(self) -> int:
+        return 3 * self.m
+
+    @property
+    def sb(self) -> int:
+        return 4 * self.m
+
+    @property
+    def sc(self) -> int:
+        return 5 * self.m
+
+    @property
+    def sd(self) -> int:
+        return 6 * self.m
+
+    @property
+    def tmp(self) -> int:
+        return 7 * self.m
+
+    def staging(self, which: str) -> int:
+        """Base of staging buffer ``"A"``/``"B"``/``"C"``/``"D"``."""
+        bases = {"A": self.sa, "B": self.sb, "C": self.sc, "D": self.sd}
+        try:
+            return bases[which]
+        except KeyError:
+            raise KernelError(
+                f"staging buffer must be one of A/B/C/D, not {which!r}"
+            ) from None
+
+
+def _vars(layout: FFTLayout, names: list[str]) -> str:
+    """Declare temporaries at the layout's TMP base."""
+    lines = [f".org {layout.tmp}"]
+    lines.extend(f".var {name}" for name in names)
+    return "\n".join(lines)
+
+
+@lru_cache(maxsize=None)
+def bf_exchange_program(m: int, lower: bool, in_buf: str, out_buf: str) -> Program:
+    """Butterfly for an exchange stage (cross-tile pairs).
+
+    The tile computes ``half`` butterflies against the partner data the
+    relay sweeps delivered into staging buffer ``in_buf``; the half that
+    belongs to the partner is produced into ``out_buf`` for the post
+    sweep:
+
+    * **lower** partner: ``a = own[j]``, ``b = in[j]``; the sum overwrites
+      ``own[j]`` (it stays local) and the twiddled difference goes to
+      ``out[j]`` (swept south to the partner);
+    * **upper** partner: ``a = in[j]`` (the lower element), ``b =
+      own[half + j]``; the sum goes to ``out[j]`` (swept north back to the
+      lower tile) and the difference overwrites ``own[half + j]``.
+    """
+    layout = FFTLayout(m)
+    if in_buf == out_buf:
+        raise KernelError("in_buf and out_buf must be distinct staging buffers")
+    s_in = layout.staging(in_buf)
+    s_out = layout.staging(out_buf)
+    own_off = 0 if lower else layout.half
+    header = _vars(
+        layout,
+        ["j", "p_or", "p_oi", "p_ir", "p_ii", "p_qr", "p_qi", "p_wr", "p_wi",
+         "t_ar", "t_ai", "t_br", "t_bi", "t_dr", "t_di", "t_1", "t_2"],
+    )
+    a_re, a_im = ("@p_or", "@p_oi") if lower else ("@p_ir", "@p_ii")
+    b_re, b_im = ("@p_ir", "@p_ii") if lower else ("@p_or", "@p_oi")
+    sum_re, sum_im = ("@p_or", "@p_oi") if lower else ("@p_qr", "@p_qi")
+    diff_re, diff_im = ("@p_qr", "@p_qi") if lower else ("@p_or", "@p_oi")
+    src = f"""
+{header}
+    MOV  j, #{layout.half}
+    MOV  p_or, #{layout.re + own_off}
+    MOV  p_oi, #{layout.im + own_off}
+    MOV  p_ir, #{s_in}
+    MOV  p_ii, #{s_in + layout.half}
+    MOV  p_qr, #{s_out}
+    MOV  p_qi, #{s_out + layout.half}
+    MOV  p_wr, #{layout.wre}
+    MOV  p_wi, #{layout.wim}
+loop:
+    MOV  t_ar, {a_re}
+    MOV  t_ai, {a_im}
+    MOV  t_br, {b_re}
+    MOV  t_bi, {b_im}
+    ADD  {sum_re}, t_ar, t_br
+    ADD  {sum_im}, t_ai, t_bi
+    SUB  t_dr, t_ar, t_br
+    SUB  t_di, t_ai, t_bi
+    MULQ t_1, t_dr, @p_wr, {_Q}
+    MULQ t_2, t_di, @p_wi, {_Q}
+    SUB  {diff_re}, t_1, t_2
+    MULQ t_1, t_dr, @p_wi, {_Q}
+    MULQ t_2, t_di, @p_wr, {_Q}
+    ADD  {diff_im}, t_1, t_2
+    ADD  p_or, p_or, #1
+    ADD  p_oi, p_oi, #1
+    ADD  p_ir, p_ir, #1
+    ADD  p_ii, p_ii, #1
+    ADD  p_qr, p_qr, #1
+    ADD  p_qi, p_qi, #1
+    ADD  p_wr, p_wr, #1
+    ADD  p_wi, p_wi, #1
+    SUB  j, j, #1
+    BNZ  j, loop
+    HALT
+"""
+    kind = "lower" if lower else "upper"
+    return assemble(src, name=f"bf_x_{kind}_m{m}_{in_buf}{out_buf}")
+
+
+@lru_cache(maxsize=None)
+def bf_internal_program(m: int, span: int) -> Program:
+    """Butterfly for a tile-internal stage (span ``h < m``).
+
+    Walks the classic DIF double loop in place: groups of ``2h`` points,
+    pairing ``own[j]`` with ``own[j + h]``; sums stay at ``j``, twiddled
+    differences at ``j + h``.  The twiddle table is stored in pair order,
+    so the twiddle pointers advance linearly across groups.
+    """
+    layout = FFTLayout(m)
+    h = span
+    if h < 1 or h >= m or (h & (h - 1)):
+        raise KernelError(f"internal span {h} must be a power of two in [1, m)")
+    groups = m // (2 * h)
+    header = _vars(
+        layout,
+        ["g", "j", "p_ar", "p_ai", "p_br", "p_bi", "p_wr", "p_wi",
+         "t_ar", "t_ai", "t_br", "t_bi", "t_dr", "t_di", "t_1", "t_2"],
+    )
+    src = f"""
+{header}
+    MOV  g, #{groups}
+    MOV  p_ar, #{layout.re}
+    MOV  p_ai, #{layout.im}
+    MOV  p_wr, #{layout.wre}
+    MOV  p_wi, #{layout.wim}
+outer:
+    ADD  p_br, p_ar, #{h}
+    ADD  p_bi, p_ai, #{h}
+    MOV  j, #{h}
+inner:
+    MOV  t_ar, @p_ar
+    MOV  t_ai, @p_ai
+    MOV  t_br, @p_br
+    MOV  t_bi, @p_bi
+    ADD  @p_ar, t_ar, t_br
+    ADD  @p_ai, t_ai, t_bi
+    SUB  t_dr, t_ar, t_br
+    SUB  t_di, t_ai, t_bi
+    MULQ t_1, t_dr, @p_wr, {_Q}
+    MULQ t_2, t_di, @p_wi, {_Q}
+    SUB  @p_br, t_1, t_2
+    MULQ t_1, t_dr, @p_wi, {_Q}
+    MULQ t_2, t_di, @p_wr, {_Q}
+    ADD  @p_bi, t_1, t_2
+    ADD  p_ar, p_ar, #1
+    ADD  p_ai, p_ai, #1
+    ADD  p_br, p_br, #1
+    ADD  p_bi, p_bi, #1
+    ADD  p_wr, p_wr, #1
+    ADD  p_wi, p_wi, #1
+    SUB  j, j, #1
+    BNZ  j, inner
+    ADD  p_ar, p_ar, #{h}
+    ADD  p_ai, p_ai, #{h}
+    SUB  g, g, #1
+    BNZ  g, outer
+    HALT
+"""
+    return assemble(src, name=f"bf_int_m{m}_h{h}")
+
+
+@lru_cache(maxsize=None)
+def copy_program(
+    count: int,
+    src_base: int,
+    dst_base: int,
+    direction: str,
+    *,
+    unrolled: bool = False,
+    tmp_base: int = 500,
+) -> Program:
+    """Copy ``count`` local words into the neighbour's memory over a link.
+
+    The looped form is the *memory-optimal* copy process of Table 3 (a
+    handful of instructions, ~6 cycles per word); ``unrolled=True`` is the
+    *time-optimal* variant (one ``SNB`` per word, one cycle each).  Used
+    for ``vcp`` (vertical exchange/relay) and ``hcp`` (column-to-column
+    forwarding) alike — only the direction differs.
+    """
+    if count < 1:
+        raise KernelError("count must be >= 1")
+    direction = direction.upper()
+    if direction not in ("N", "E", "S", "W"):
+        raise KernelError(f"direction must be N/E/S/W, got {direction!r}")
+    if unrolled:
+        lines = [
+            f"    SNB.{direction} {dst_base + i}, {src_base + i}"
+            for i in range(count)
+        ]
+        lines.append("    HALT")
+        return assemble(
+            "\n".join(lines),
+            name=f"cp{count}u_{direction}_{src_base}_{dst_base}",
+        )
+    src = f"""
+.org {tmp_base}
+.var cnt
+.var psrc
+.var pdst
+    MOV cnt, #{count}
+    MOV psrc, #{src_base}
+    MOV pdst, #{dst_base}
+loop:
+    SNB.{direction} @pdst, @psrc
+    ADD psrc, psrc, #1
+    ADD pdst, pdst, #1
+    SUB cnt, cnt, #1
+    BNZ cnt, loop
+    HALT
+"""
+    return assemble(src, name=f"cp{count}_{direction}_{src_base}_{dst_base}")
+
+
+@lru_cache(maxsize=None)
+def copy_pair_program(
+    count: int,
+    src1: int,
+    dst1: int,
+    src2: int,
+    dst2: int,
+    direction: str,
+    tmp_base: int = 500,
+) -> Program:
+    """Copy two ``count``-word segments to the neighbour in one firing.
+
+    Used for the first relay hop of a pre-exchange sweep, where the
+    payload's real and imaginary chunks come from non-adjacent RE/IM
+    offsets but land contiguously in the receiver's staging buffer.
+    """
+    if count < 1:
+        raise KernelError("count must be >= 1")
+    direction = direction.upper()
+    if direction not in ("N", "E", "S", "W"):
+        raise KernelError(f"direction must be N/E/S/W, got {direction!r}")
+    src = f"""
+.org {tmp_base}
+.var cnt
+.var psrc
+.var pdst
+    MOV cnt, #{count}
+    MOV psrc, #{src1}
+    MOV pdst, #{dst1}
+loop1:
+    SNB.{direction} @pdst, @psrc
+    ADD psrc, psrc, #1
+    ADD pdst, pdst, #1
+    SUB cnt, cnt, #1
+    BNZ cnt, loop1
+    MOV cnt, #{count}
+    MOV psrc, #{src2}
+    MOV pdst, #{dst2}
+loop2:
+    SNB.{direction} @pdst, @psrc
+    ADD psrc, psrc, #1
+    ADD pdst, pdst, #1
+    SUB cnt, cnt, #1
+    BNZ cnt, loop2
+    HALT
+"""
+    return assemble(
+        src, name=f"cpp{count}_{direction}_{src1}_{dst1}_{src2}_{dst2}"
+    )
+
+
+@lru_cache(maxsize=None)
+def local_copy_pair_program(
+    count: int,
+    src1: int,
+    dst1: int,
+    src2: int,
+    dst2: int,
+    tmp_base: int = 500,
+) -> Program:
+    """Copy two ``count``-word segments within the tile (commit step).
+
+    Moves an arrived staging payload (contiguous re/im chunks) into the
+    RE and IM regions at the right half-offsets.
+    """
+    if count < 1:
+        raise KernelError("count must be >= 1")
+    src = f"""
+.org {tmp_base}
+.var cnt
+.var psrc
+.var pdst
+    MOV cnt, #{count}
+    MOV psrc, #{src1}
+    MOV pdst, #{dst1}
+loop1:
+    MOV @pdst, @psrc
+    ADD psrc, psrc, #1
+    ADD pdst, pdst, #1
+    SUB cnt, cnt, #1
+    BNZ cnt, loop1
+    MOV cnt, #{count}
+    MOV psrc, #{src2}
+    MOV pdst, #{dst2}
+loop2:
+    MOV @pdst, @psrc
+    ADD psrc, psrc, #1
+    ADD pdst, pdst, #1
+    SUB cnt, cnt, #1
+    BNZ cnt, loop2
+    HALT
+"""
+    return assemble(src, name=f"lcpp{count}_{src1}_{dst1}_{src2}_{dst2}")
+
+
+@lru_cache(maxsize=None)
+def local_copy_program(count: int, src_base: int, dst_base: int,
+                       tmp_base: int = 500) -> Program:
+    """Copy ``count`` words within the tile's own memory (commit step)."""
+    if count < 1:
+        raise KernelError("count must be >= 1")
+    src = f"""
+.org {tmp_base}
+.var cnt
+.var psrc
+.var pdst
+    MOV cnt, #{count}
+    MOV psrc, #{src_base}
+    MOV pdst, #{dst_base}
+loop:
+    MOV @pdst, @psrc
+    ADD psrc, psrc, #1
+    ADD pdst, pdst, #1
+    SUB cnt, cnt, #1
+    BNZ cnt, loop
+    HALT
+"""
+    return assemble(src, name=f"lcp{count}_{src_base}_{dst_base}")
+
+
+def twiddle_gather_program(
+    m: int,
+    operations: tuple[tuple[int, bool], ...],
+) -> Program:
+    """On-tile twiddle derivation: gather resident twiddles, optionally
+    squaring each.
+
+    ``operations[j] = (src, square)`` makes the new table's entry ``j``
+    equal the resident entry ``src`` (BLUE: "only the index ... is
+    changed") or its square ``W^(2e) = (W^e)^2`` (GREEN: "a green tile
+    during execution stage k can generate twiddle factors for stage
+    k+1").  Results are staged in buffer A and copied back, so in-place
+    gathers never read an already-overwritten slot.  The tile thus
+    derives its next table with 2.5 ns instructions instead of 33.33 ns
+    ICAP words — the heart of the Sec. 3.1 reload-avoidance algorithm.
+
+    The program is fully unrolled (the index map is static per stage
+    transition) and not cached — callers keep the Program object around
+    for pinning.
+    """
+    layout = FFTLayout(m)
+    half = layout.half
+    if len(operations) != half:
+        raise KernelError(f"need {half} operations, got {len(operations)}")
+    lines = [f".org {layout.tmp}", ".var t_1", ".var t_2"]
+    for j, (src, square) in enumerate(operations):
+        if not 0 <= src < half:
+            raise KernelError(f"source index {src} outside [0, {half})")
+        wre, wim = layout.wre + src, layout.wim + src
+        if square:
+            lines += [
+                f"    MULQ t_1, {wre}, {wre}, {_Q}",
+                f"    MULQ t_2, {wim}, {wim}, {_Q}",
+                f"    SUB  {layout.sa + j}, t_1, t_2",
+                f"    MULQ t_1, {wre}, {wim}, {_Q}",
+                f"    ADD  {layout.sa + half + j}, t_1, t_1",
+            ]
+        else:
+            lines += [
+                f"    MOV  {layout.sa + j}, {wre}",
+                f"    MOV  {layout.sa + half + j}, {wim}",
+            ]
+    for j in range(half):
+        lines += [
+            f"    MOV  {layout.wre + j}, {layout.sa + j}",
+            f"    MOV  {layout.wim + j}, {layout.sa + half + j}",
+        ]
+    lines.append("    HALT")
+    return assemble("\n".join(lines), name=f"wgen_m{m}_{len(operations)}")
+
+
+@lru_cache(maxsize=None)
+def twiddle_square_program(m: int) -> Program:
+    """GREEN twiddle generation: square every resident twiddle in place.
+
+    ``W^(2e) = (W^e)^2``: for each of the ``half`` resident complex
+    twiddles, ``w' = (wr^2 - wi^2) + j(2 wr wi)``.  This is the on-tile
+    generation the paper prefers over ICAP reloads (2.5 ns/instruction vs
+    33.33 ns/word); the runner uses it for GREEN stage transitions whose
+    index mapping is the identity, and the tests verify the squares
+    against the reference twiddle table.
+    """
+    layout = FFTLayout(m)
+    header = _vars(
+        layout,
+        ["j", "p_wr", "p_wi", "t_r", "t_i", "t_1", "t_2"],
+    )
+    src = f"""
+{header}
+    MOV  j, #{layout.half}
+    MOV  p_wr, #{layout.wre}
+    MOV  p_wi, #{layout.wim}
+loop:
+    MOV  t_r, @p_wr
+    MOV  t_i, @p_wi
+    MULQ t_1, t_r, t_r, {_Q}
+    MULQ t_2, t_i, t_i, {_Q}
+    SUB  @p_wr, t_1, t_2
+    MULQ t_1, t_r, t_i, {_Q}
+    ADD  @p_wi, t_1, t_1
+    ADD  p_wr, p_wr, #1
+    ADD  p_wi, p_wi, #1
+    SUB  j, j, #1
+    BNZ  j, loop
+    HALT
+"""
+    return assemble(src, name=f"wsq_m{m}")

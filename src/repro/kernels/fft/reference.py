@@ -1,0 +1,134 @@
+"""From-scratch radix-2 FFT reference implementations.
+
+Two iterative Cooley-Tukey variants are provided:
+
+* :func:`fft_dit` — decimation in time: bit-reversed input order, natural
+  output, butterfly ``(a + w b, a - w b)``, spans growing 1 -> N/2;
+* :func:`fft_dif` — decimation in frequency: natural input order,
+  bit-reversed output, butterfly ``(a + b, (a - b) w)``, spans shrinking
+  N/2 -> 1.
+
+The fabric mapping uses the **DIF** form: its large-span stages come
+*first*, which is why the paper's vertical exchanges are confined to the
+first ``log2 N - log2 M`` columns.  Both variants are validated against
+:func:`numpy.fft.fft` in the test suite; the fabric runner uses them as
+numerical ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+
+__all__ = [
+    "bit_reverse_indices",
+    "twiddle_exponent",
+    "twiddle_factors",
+    "fft_dit",
+    "fft_dif",
+    "fft_reference",
+    "ilog2",
+]
+
+
+def ilog2(n: int) -> int:
+    """log2 of a positive power of two; raises :class:`KernelError` otherwise."""
+    if n <= 0 or n & (n - 1):
+        raise KernelError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Permutation ``p`` with ``p[i]`` = bit-reversal of ``i`` in log2(n) bits."""
+    bits = ilog2(n)
+    indices = np.arange(n)
+    result = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        result = (result << 1) | (indices & 1)
+        indices >>= 1
+    return result
+
+def twiddle_factors(n: int) -> np.ndarray:
+    """The n/2 roots ``W_n^k = exp(-2 pi i k / n)`` for k in [0, n/2)."""
+    ilog2(n)
+    k = np.arange(n // 2)
+    return np.exp(-2j * np.pi * k / n)
+
+
+def twiddle_exponent(n: int, stage: int, pair_index: int, *, dif: bool = True) -> int:
+    """Twiddle exponent of butterfly ``pair_index`` at ``stage``.
+
+    ``pair_index`` enumerates the n/2 butterflies of a stage in order of
+    their lower element.  For DIF stage ``s`` (s = 0 first, span
+    ``n / 2**(s+1)``) the exponent is ``(pair_index mod span) * 2**s``;
+    the DIT exponents are the same sequence visited in reverse stage
+    order.  This is the generator behind the Fig. 8 twiddle matrix.
+    """
+    bits = ilog2(n)
+    if not 0 <= stage < bits:
+        raise KernelError(f"stage {stage} outside [0, {bits})")
+    if not 0 <= pair_index < n // 2:
+        raise KernelError(f"pair index {pair_index} outside [0, {n // 2})")
+    s = stage if dif else bits - 1 - stage
+    span = n >> (s + 1)
+    return (pair_index % span) * (1 << s)
+
+
+def fft_dit(x: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 decimation-in-time FFT (natural in, natural out).
+
+    Input is permuted to bit-reversed order internally; output matches
+    :func:`numpy.fft.fft` up to rounding.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[0]
+    bits = ilog2(n)
+    data = x[bit_reverse_indices(n)].copy()
+    w_table = twiddle_factors(n)
+    for stage in range(bits):
+        half = 1 << stage           # butterfly span
+        step = n >> (stage + 1)     # twiddle stride in W_n table
+        for group in range(0, n, half << 1):
+            k = 0
+            for j in range(group, group + half):
+                a = data[j]
+                b = data[j + half] * w_table[k]
+                data[j] = a + b
+                data[j + half] = a - b
+                k += step
+    return data
+
+
+def fft_dif(x: np.ndarray, *, reorder_output: bool = True) -> np.ndarray:
+    """Iterative radix-2 decimation-in-frequency FFT (natural in).
+
+    With ``reorder_output=True`` (default) the bit-reversed result is
+    permuted back to natural order so it matches :func:`numpy.fft.fft`.
+    ``reorder_output=False`` exposes the raw bit-reversed layout the
+    fabric pipeline produces before its output scrambler.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[0]
+    bits = ilog2(n)
+    data = x.copy()
+    w_table = twiddle_factors(n)
+    for stage in range(bits):
+        span = n >> (stage + 1)
+        stride = 1 << stage          # twiddle stride
+        for group in range(0, n, span << 1):
+            k = 0
+            for j in range(group, group + span):
+                a = data[j]
+                b = data[j + span]
+                data[j] = a + b
+                data[j + span] = (a - b) * w_table[k]
+                k += stride
+    if reorder_output:
+        return data[bit_reverse_indices(n)]
+    return data
+
+
+def fft_reference(x: np.ndarray) -> np.ndarray:
+    """The library's canonical reference transform (DIF, natural order)."""
+    return fft_dif(x)

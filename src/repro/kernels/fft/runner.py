@@ -1,0 +1,502 @@
+"""End-to-end N-point radix-2 FFT on the fabric simulator.
+
+:class:`FabricFFT` orchestrates a complete DIF FFT over a
+``rows x cols`` mesh, the way the MicroBlaze runtime would: per column it
+forwards data from the previous column (``hcp``), and per stage it loads
+twiddles (charging the ICAP only for YELLOW reloads, per the
+classification), performs the vertical exchange for cross-tile stages, and
+runs the butterfly programs.  Every data word that moves between tiles
+moves through real ``SNB`` stores over configured links — the orchestrator
+only pokes the initial input (the "preprocessing column") and reads back
+the final output.
+
+Vertical exchanges between rows ``d`` apart are realized as *systolic
+relay sweeps*: all payloads advance one hop per epoch through staging
+buffers, alternating between two buffers per direction so that an epoch
+never reads and writes the same buffer (race-free by construction; the
+southward chain uses buffers A/B, the northward chain C/D — see
+``programs.py`` for the full layout and DESIGN.md for the deviation note
+versus the paper's single-exchange scheme).
+
+The result is validated against the from-scratch reference FFT in the
+test suite; ``measured_profile`` produces the simulator's own Table-1
+analogue (per-stage butterfly and copy runtimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.fabric.icap import IcapPort
+from repro.fabric.links import Direction
+from repro.fabric.mesh import Mesh
+from repro.fabric.rtms import EpochSpec, RunReport, RuntimeManager
+from repro.fabric.tile import Tile
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.perf_model import StageProfile
+from repro.kernels.fft.programs import (
+    QFORMAT,
+    FFTLayout,
+    bf_exchange_program,
+    bf_internal_program,
+    copy_pair_program,
+    copy_program,
+    local_copy_pair_program,
+)
+from repro.kernels.fft.reference import bit_reverse_indices
+from repro.kernels.fft.twiddle import TwiddleClass, classify_twiddles
+from repro.units import CYCLE_NS
+
+__all__ = ["FabricFFT", "FabricFFTResult", "FabricFFTStreamResult"]
+
+Coord = tuple[int, int]
+
+
+@dataclass
+class FabricFFTResult:
+    """Output and execution report of one fabric FFT run."""
+
+    output: np.ndarray
+    report: RunReport
+    mesh: Mesh
+
+    @property
+    def total_ns(self) -> float:
+        return self.report.total_ns
+
+
+@dataclass
+class FabricFFTStreamResult:
+    """Outputs and completion times of a pipelined transform batch."""
+
+    outputs: list[np.ndarray]
+    #: Time each transform's last epoch finished, in stream order.
+    completion_ns: tuple[float, ...]
+
+    @property
+    def total_ns(self) -> float:
+        return self.completion_ns[-1]
+
+    @property
+    def steady_interval_ns(self) -> float:
+        """Average inter-completion gap once the pipeline is filled.
+
+        With one transform this degenerates to the full latency.
+        """
+        if len(self.completion_ns) == 1:
+            return self.completion_ns[0]
+        gaps = [
+            b - a
+            for a, b in zip(self.completion_ns, self.completion_ns[1:])
+        ]
+        return sum(gaps) / len(gaps)
+
+    @property
+    def latency_ns(self) -> float:
+        """Completion time of the first transform (pipeline fill)."""
+        return self.completion_ns[0]
+
+
+class FabricFFT:
+    """Runs ``plan.n``-point FFTs on a freshly built mesh.
+
+    Parameters
+    ----------
+    plan:
+        The decomposition (``plan.m`` must be <= 64; the functional
+        layout needs ``7m + 48`` data words).
+    link_cost_ns:
+        Per-link reconfiguration cost charged by the runtime manager.
+    """
+
+    def __init__(self, plan: FFTPlan, link_cost_ns: float = 0.0) -> None:
+        self.plan = plan
+        self.layout = FFTLayout(plan.m)  # validates the memory budget
+        self.link_cost_ns = link_cost_ns
+        self.schedule = classify_twiddles(plan)
+        self._w = np.exp(
+            -2j * np.pi * np.arange(plan.n) / plan.n
+        )  # full exponent table W_n^e
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, x: np.ndarray) -> FabricFFTResult:
+        """Transform ``x`` (length ``plan.n``); returns natural-order output."""
+        mesh = Mesh(self.plan.rows, self.plan.cols)
+        rtms = RuntimeManager(mesh, IcapPort(), link_cost_ns=self.link_cost_ns)
+        report = rtms.execute(self._transform_epochs(x, tag=""))
+        return FabricFFTResult(
+            output=self._read_output(mesh), report=report, mesh=mesh
+        )
+
+    def run_stream(self, xs: list[np.ndarray]) -> "FabricFFTStreamResult":
+        """Pipeline a batch of transforms through the columns.
+
+        Uses the runtime manager's dataflow discipline: column 0 starts
+        transform ``t + 1`` as soon as it has forwarded transform ``t``,
+        while the later columns are still busy — the temporal pipelining
+        that makes multi-column designs profitable (Sec. 3.3).  Returns
+        every output (each checked against the same fabric that produced
+        single-shot results) plus per-transform completion times from
+        which the steady-state interval falls out.
+        """
+        if not xs:
+            raise KernelError("empty transform batch")
+        mesh = Mesh(self.plan.rows, self.plan.cols)
+        rtms = RuntimeManager(
+            mesh, IcapPort(), link_cost_ns=self.link_cost_ns, dataflow=True
+        )
+        outputs: list[np.ndarray] = []
+        completions: list[float] = []
+        for t, x in enumerate(xs):
+            rtms.execute(self._transform_epochs(x, tag=f"t{t}_"))
+            outputs.append(self._read_output(mesh))
+            completions.append(rtms.now_ns)
+        return FabricFFTStreamResult(
+            outputs=outputs, completion_ns=tuple(completions)
+        )
+
+    # ------------------------------------------------------------------
+    # epoch construction
+    # ------------------------------------------------------------------
+
+    def _transform_epochs(self, x: np.ndarray, tag: str) -> list[EpochSpec]:
+        plan = self.plan
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape != (plan.n,):
+            raise KernelError(f"input must have shape ({plan.n},), got {x.shape}")
+        limit = QFORMAT.max_value / (2 * plan.n)
+        peak = float(np.max(np.abs(x.real)) + np.max(np.abs(x.imag))) or 1.0
+        if peak > limit:
+            raise KernelError(
+                f"input magnitude {peak:.3g} risks Q{QFORMAT.frac_bits} "
+                f"overflow after {plan.stages} stages (limit {limit:.3g})"
+            )
+
+        epochs: list[EpochSpec] = [self._input_epoch(x, tag)]
+        for col in range(plan.cols):
+            if col > 0:
+                epochs.append(self._hcp_epoch(col, tag))
+            for stage in plan.stages_of_column(col):
+                self._load_twiddles(col, stage, epochs, tag)
+                if plan.is_exchange_stage(stage):
+                    epochs.extend(self._exchange_epochs(col, stage, tag))
+                else:
+                    epochs.append(self._internal_epoch(col, stage, tag))
+        return epochs
+
+    def _input_epoch(self, x: np.ndarray, tag: str) -> EpochSpec:
+        """Deliver the input block to column 0 (the preprocessing column).
+
+        Input delivery is free in the paper's accounting (tau_0 covers the
+        hcp that *receives* it); declaring the column-0 tiles as
+        dependencies makes a streamed transform wait until they forwarded
+        the previous one.
+        """
+        m, lay = self.plan.m, self.layout
+        pokes: dict[Coord, dict[int, int]] = {}
+        for row in range(self.plan.rows):
+            block = x[row * m:(row + 1) * m]
+            image: dict[int, int] = {}
+            for j in range(m):
+                image[lay.re + j] = QFORMAT.encode(block[j].real)
+                image[lay.im + j] = QFORMAT.encode(block[j].imag)
+            pokes[(row, 0)] = image
+        coords = [(r, 0) for r in range(self.plan.rows)]
+        return EpochSpec(name=f"{tag}input", pokes=pokes, depends_on=coords)
+
+    # ------------------------------------------------------------------
+    # data movement out (the external output circuit)
+    # ------------------------------------------------------------------
+
+    def _read_output(self, mesh: Mesh) -> np.ndarray:
+        plan, lay = self.plan, self.layout
+        last = plan.cols - 1
+        brev = np.empty(plan.n, dtype=np.complex128)
+        for row in range(plan.rows):
+            tile = mesh.tile((row, last))
+            base = row * plan.m
+            for j in range(plan.m):
+                re = QFORMAT.decode(tile.dmem.peek(lay.re + j))
+                im = QFORMAT.decode(tile.dmem.peek(lay.im + j))
+                brev[base + j] = re + 1j * im
+        return brev[bit_reverse_indices(plan.n)]
+
+    # ------------------------------------------------------------------
+    # twiddles
+    # ------------------------------------------------------------------
+
+    def _load_twiddles(
+        self, col: int, stage: int, epochs: list[EpochSpec], tag: str = ""
+    ) -> None:
+        """Install stage twiddles; YELLOW tiles pay the ICAP, others are free.
+
+        RED sets are preloaded during preprocessing, GREEN sets are
+        generated on-tile (2.5 ns/instruction, off the ICAP), BLUE sets
+        are already resident — the model pokes all three and only routes
+        YELLOW images through a charged epoch, mirroring Sec. 3.1's
+        algorithm.  (The on-tile GREEN squaring program is exercised
+        separately in the tests; see ``twiddle_square_program``.)
+        """
+        lay = self.layout
+        images: dict[Coord, dict[int, int]] = {}
+        pokes: dict[Coord, dict[int, int]] = {}
+        for row in range(self.plan.rows):
+            exps = self.plan.tile_twiddle_exponents(row, stage)
+            cls = self.schedule.class_of(row, stage)
+            image: dict[int, int] = {}
+            for j, e in enumerate(exps):
+                w = self._w[e]
+                image[lay.wre + j] = QFORMAT.encode(w.real)
+                image[lay.wim + j] = QFORMAT.encode(w.imag)
+            if cls is TwiddleClass.YELLOW:
+                images[(row, col)] = image
+            else:
+                pokes[(row, col)] = image
+        if images or pokes:
+            epochs.append(
+                EpochSpec(
+                    name=f"{tag}twiddles_s{stage}_c{col}",
+                    data_images=images,
+                    pokes=pokes,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # epochs
+    # ------------------------------------------------------------------
+
+    def _hcp_epoch(self, col: int, tag: str = "") -> EpochSpec:
+        """Forward the 2m data words from column ``col - 1`` east.
+
+        The destination column is declared as a dependency: forwarding a
+        streamed transform must wait until those tiles consumed the
+        previous one (dataflow discipline).
+        """
+        m = self.plan.m
+        program = copy_program(2 * m, 0, 0, "E")
+        coords = [(r, col - 1) for r in range(self.plan.rows)]
+        return EpochSpec(
+            name=f"{tag}hcp_c{col - 1}to{col}",
+            links={c: Direction.EAST for c in coords},
+            programs={c: program for c in coords},
+            run=coords,
+            depends_on=[(r, col) for r in range(self.plan.rows)],
+        )
+
+    def _internal_epoch(self, col: int, stage: int, tag: str = "") -> EpochSpec:
+        program = bf_internal_program(self.plan.m, self.plan.span(stage))
+        coords = [(r, col) for r in range(self.plan.rows)]
+        return EpochSpec(
+            name=f"{tag}bf_int_s{stage}_c{col}",
+            programs={c: program for c in coords},
+            run=coords,
+        )
+
+    def _exchange_epochs(
+        self, col: int, stage: int, tag: str = ""
+    ) -> list[EpochSpec]:
+        """Pre-sweeps, butterflies, post-sweeps and commits for one stage."""
+        plan, lay = self.plan, self.layout
+        m, half = plan.m, plan.m // 2
+        d = plan.span(stage) // m
+        lowers = [r for r in range(plan.rows) if plan.is_lower_partner(r, stage)]
+        uppers = [r for r in range(plan.rows) if r not in lowers]
+        epochs: list[EpochSpec] = []
+
+        south = ["A", "B"]   # pre-south chain: hop k writes south[(k-1) % 2]
+        north = ["C", "D"]   # pre-north chain
+        f_s = south[(d - 1) % 2]   # arrival of pre-south at upper tiles
+        f_n = north[(d - 1) % 2]   # arrival of pre-north at lower tiles
+
+        # Pre-south: lower tiles' second halves travel d hops south.
+        epochs.extend(
+            self._sweep(
+                col, stage, f"{tag}pre_s", lowers, Direction.SOUTH, d,
+                first_src=(lay.re + half, lay.im + half),
+                chain=south,
+            )
+        )
+        # Pre-north: upper tiles' first halves travel d hops north.
+        epochs.extend(
+            self._sweep(
+                col, stage, f"{tag}pre_n", uppers, Direction.NORTH, d,
+                first_src=(lay.re, lay.im),
+                chain=north,
+            )
+        )
+
+        # Compute.  Lower reads the north arrival and emits diffs into A's
+        # chain start; upper reads the south arrival and emits sums into
+        # C's chain start.  Output buffers are always free: sweeps only
+        # parked payloads in the *other* chain at each tile class.
+        out_lower = "A" if f_n != "A" else "B"
+        out_upper = "C" if f_s != "C" else "D"
+        programs = {}
+        for r in lowers:
+            programs[(r, col)] = bf_exchange_program(m, True, f_n, out_lower)
+        for r in uppers:
+            programs[(r, col)] = bf_exchange_program(m, False, f_s, out_upper)
+        coords = [(r, col) for r in range(plan.rows)]
+        epochs.append(
+            EpochSpec(name=f"{tag}bf_x_s{stage}_c{col}", programs=programs, run=coords)
+        )
+
+        # Post-south: lower diffs -> upper tiles' first halves.
+        post_s_chain = ["B", "A"] if out_lower == "A" else ["A", "B"]
+        epochs.extend(
+            self._sweep(
+                col, stage, f"{tag}post_s", lowers, Direction.SOUTH, d,
+                first_src_buf=out_lower,
+                chain=post_s_chain,
+            )
+        )
+        arrival = post_s_chain[(d - 1) % 2]
+        epochs.append(
+            self._commit_epoch(
+                col, stage, f"{tag}commit_s", lowers, arrival, dst_offset=0
+            )
+        )
+
+        # Post-north: upper sums -> lower tiles' second halves.
+        post_n_chain = ["D", "C"] if out_upper == "C" else ["C", "D"]
+        epochs.extend(
+            self._sweep(
+                col, stage, f"{tag}post_n", uppers, Direction.NORTH, d,
+                first_src_buf=out_upper,
+                chain=post_n_chain,
+            )
+        )
+        arrival = post_n_chain[(d - 1) % 2]
+        epochs.append(
+            self._commit_epoch(
+                col, stage, f"{tag}commit_n", uppers, arrival, dst_offset=half
+            )
+        )
+        return epochs
+
+    def _sweep(
+        self,
+        col: int,
+        stage: int,
+        label: str,
+        origins: list[int],
+        direction: Direction,
+        d: int,
+        chain: list[str],
+        first_src: tuple[int, int] | None = None,
+        first_src_buf: str | None = None,
+    ) -> list[EpochSpec]:
+        """``d`` relay epochs moving one payload per origin row.
+
+        Hop ``k`` (1-based): the payload from origin ``r`` sits at row
+        ``r + step*(k-1)`` and moves one row further; it is written into
+        staging buffer ``chain[(k-1) % 2]`` of the receiver.  Hop 1 reads
+        either the RE/IM chunks (``first_src``) or a staging buffer
+        (``first_src_buf``); later hops read the previous chain buffer.
+        All of an epoch's copies read one buffer class and write the
+        other, so no same-buffer read/write race exists by construction.
+        """
+        lay, half, m = self.layout, self.plan.m // 2, self.plan.m
+        step = 1 if direction is Direction.SOUTH else -1
+        epochs = []
+        for k in range(1, d + 1):
+            dst_buf = lay.staging(chain[(k - 1) % 2])
+            if k == 1:
+                if first_src is not None:
+                    src_re, src_im = first_src
+                    program = copy_pair_program(
+                        half, src_re, dst_buf, src_im, dst_buf + half,
+                        direction.name[0],
+                    )
+                else:
+                    assert first_src_buf is not None
+                    program = copy_program(
+                        m, lay.staging(first_src_buf), dst_buf, direction.name[0]
+                    )
+            else:
+                src_buf = lay.staging(chain[(k - 2) % 2])
+                program = copy_program(m, src_buf, dst_buf, direction.name[0])
+            senders = [(r + step * (k - 1), col) for r in origins]
+            epochs.append(
+                EpochSpec(
+                    name=f"{label}_s{stage}_c{col}_h{k}",
+                    links={c: direction for c in senders},
+                    programs={c: program for c in senders},
+                    run=senders,
+                )
+            )
+        return epochs
+
+    def _commit_epoch(
+        self,
+        col: int,
+        stage: int,
+        label: str,
+        origins: list[int],
+        arrival_buf: str,
+        dst_offset: int,
+    ) -> EpochSpec:
+        """Move an arrived payload from staging into RE/IM at an offset.
+
+        ``origins`` are the rows the payloads came *from*; the commit runs
+        on their partners (where the payloads arrived).
+        """
+        lay, half = self.layout, self.plan.m // 2
+        src = lay.staging(arrival_buf)
+        program = local_copy_pair_program(
+            half, src, lay.re + dst_offset, src + half, lay.im + dst_offset
+        )
+        targets = [
+            (self.plan.partner_row(r, stage), col) for r in origins
+        ]
+        return EpochSpec(
+            name=f"{label}_s{stage}_c{col}",
+            programs={c: program for c in targets},
+            run=targets,
+        )
+
+    # ------------------------------------------------------------------
+    # simulator-measured profile (the Table 1 analogue)
+    # ------------------------------------------------------------------
+
+    def measured_profile(self) -> StageProfile:
+        """Per-stage butterfly and copy runtimes measured on the simulator.
+
+        Butterfly programs are executed standalone on a scratch tile (the
+        loop structure, and therefore the cycle count, is independent of
+        the data); copies run on a 2x1 scratch mesh.  EXPERIMENTS.md
+        compares these with the published Table 1.
+        """
+        plan, lay, m = self.plan, self.layout, self.plan.m
+        bf_ns = []
+        for stage in range(plan.stages):
+            if plan.is_exchange_stage(stage):
+                program = bf_exchange_program(m, True, "C", "A")
+            else:
+                program = bf_internal_program(m, plan.span(stage))
+            tile = Tile()
+            tile.load_program(program)
+            bf_ns.append(tile.run() * CYCLE_NS)
+        vcp_ns = self._measure_copy(
+            copy_program(m, lay.sa, lay.sb, "S"), rows=2, cols=1,
+            direction=Direction.SOUTH,
+        )
+        hcp_ns = self._measure_copy(
+            copy_program(2 * m, 0, 0, "E"), rows=1, cols=2,
+            direction=Direction.EAST,
+        )
+        return StageProfile(bf_ns=tuple(bf_ns), vcp_ns=vcp_ns, hcp_ns=hcp_ns)
+
+    def _measure_copy(self, program, rows: int, cols: int,
+                      direction: Direction) -> float:
+        mesh = Mesh(rows, cols)
+        mesh.configure_link((0, 0), direction)
+        tile = mesh.tile((0, 0))
+        tile.load_program(program)
+        return tile.run() * CYCLE_NS

@@ -1,0 +1,91 @@
+"""Baseline JPEG encoder: the paper's second case study (Sec. 3.4).
+
+The encoder is the process pipeline of Fig. 3 — {Blocking/shift, DCT,
+Quantization, ZigZag, Huffman} — profiled in Table 3, mapped by hand in
+Table 4 and automatically by the rebalancers of Sec. 3.5.  This package
+provides:
+
+* a complete functional encoder (:mod:`~repro.kernels.jpeg.encoder`)
+  producing decodable JFIF byte streams, plus the verifying decoder
+  (:mod:`~repro.kernels.jpeg.decoder`);
+* the individual process implementations (level shift, full and
+  quarter-block DCT, quantization, zigzag, five-stage Huffman) as both
+  numpy reference code and tile assembly programs;
+* the Table 4 manual mappings and the pipeline timing model behind
+  Figs. 16-17.
+"""
+
+from repro.kernels.jpeg.zigzag import ZIGZAG_ORDER, izigzag, zigzag
+from repro.kernels.jpeg.quant import (
+    CHROMINANCE_QTABLE,
+    LUMINANCE_QTABLE,
+    dequantize,
+    quantize,
+    scale_qtable,
+)
+from repro.kernels.jpeg.dct import (
+    dct2d,
+    dct_matrix,
+    dct_quarter,
+    dct_quarters,
+    idct2d,
+)
+from repro.kernels.jpeg.huffman import (
+    HuffmanTable,
+    STD_AC_LUMINANCE,
+    STD_DC_LUMINANCE,
+    encode_block_coefficients,
+)
+from repro.kernels.jpeg.encoder import JPEGEncoder, encode_image
+from repro.kernels.jpeg.decoder import JPEGDecoder, decode_image
+from repro.kernels.jpeg.color import (
+    ColorJPEGEncoder,
+    encode_color_image,
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.kernels.jpeg.fabric_runner import FabricBlockPipeline, FabricEncodeResult
+from repro.kernels.jpeg.manual_maps import MANUAL_IMPLEMENTATIONS, ManualImplementation, manual_mapping_table
+from repro.kernels.jpeg.pipeline_model import (
+    jpeg_pipeline_order,
+    rebalance_series,
+)
+
+__all__ = [
+    "CHROMINANCE_QTABLE",
+    "ColorJPEGEncoder",
+    "FabricBlockPipeline",
+    "FabricEncodeResult",
+    "HuffmanTable",
+    "JPEGDecoder",
+    "JPEGEncoder",
+    "LUMINANCE_QTABLE",
+    "MANUAL_IMPLEMENTATIONS",
+    "ManualImplementation",
+    "STD_AC_LUMINANCE",
+    "STD_DC_LUMINANCE",
+    "ZIGZAG_ORDER",
+    "dct2d",
+    "dct_matrix",
+    "dct_quarter",
+    "dct_quarters",
+    "decode_image",
+    "dequantize",
+    "encode_block_coefficients",
+    "encode_color_image",
+    "encode_image",
+    "rgb_to_ycbcr",
+    "subsample_420",
+    "upsample_420",
+    "ycbcr_to_rgb",
+    "idct2d",
+    "izigzag",
+    "jpeg_pipeline_order",
+    "manual_mapping_table",
+    "quantize",
+    "rebalance_series",
+    "scale_qtable",
+    "zigzag",
+]

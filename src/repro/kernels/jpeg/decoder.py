@@ -1,0 +1,321 @@
+"""Baseline JPEG decoder — the encoders' round-trip verifier.
+
+Parses the JFIF streams our encoders emit: single-component greyscale or
+three-component YCbCr with 4:4:4 / 4:2:0 sampling, baseline DCT,
+interleaved MCUs, multiple DQT/DHT tables.  Entropy-decodes the scan,
+dequantizes, applies the inverse DCT, reassembles the planes (upsampling
+subsampled chroma) and converts back to RGB where applicable.
+
+The tests require ``decode(encode(img))`` to stay within the distortion
+bound implied by the quantization tables, which exercises every bit of
+the encoders including byte stuffing, padding and MCU interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.kernels.jpeg.dct import idct2d
+from repro.kernels.jpeg.huffman import HuffmanTable
+from repro.kernels.jpeg.quant import dequantize
+from repro.kernels.jpeg.zigzag import izigzag
+
+__all__ = ["JPEGDecoder", "decode_image"]
+
+
+class _BitReader:
+    """MSB-first reader over entropy-coded data with stuffed 0xFF bytes."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bit(self) -> int:
+        if self._nbits == 0:
+            if self._pos >= len(self._data):
+                raise KernelError("ran past the end of the entropy stream")
+            byte = self._data[self._pos]
+            if byte == 0xFF:
+                if (
+                    self._pos + 1 >= len(self._data)
+                    or self._data[self._pos + 1] != 0x00
+                ):
+                    # Leave _pos on the marker so restart resync finds it.
+                    raise KernelError("unexpected marker inside the scan")
+                self._pos += 2  # skip the stuffed zero
+            else:
+                self._pos += 1
+            self._acc = byte
+            self._nbits = 8
+        self._nbits -= 1
+        return (self._acc >> self._nbits) & 1
+
+    def read_bits(self, count: int) -> int:
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def sync_restart(self) -> int:
+        """Byte-align and consume the next RSTn marker; returns n (0..7).
+
+        When the preceding entropy data was corrupted the reader may not
+        sit exactly on the marker; per the purpose of restart markers the
+        decoder scans forward to the next ``FF D0..D7`` byte pair,
+        resynchronizing and containing the damage to one interval.
+        """
+        self._nbits = 0  # discard padding bits
+        pos = self._pos
+        while pos + 2 <= len(self._data):
+            if self._data[pos] == 0xFF and 0xD0 <= self._data[pos + 1] <= 0xD7:
+                self._pos = pos + 2
+                return self._data[pos + 1] - 0xD0
+            pos += 1
+        raise KernelError("expected a restart marker, hit end of scan")
+
+
+def _decode_symbol(reader: _BitReader, table: HuffmanTable) -> int:
+    """Walk the canonical code bit by bit (tables are tiny)."""
+    by_length: dict[tuple[int, int], int] = {
+        (length, code): symbol
+        for symbol, (code, length) in table.codes.items()
+    }
+    code = 0
+    for length in range(1, 17):
+        code = (code << 1) | reader.read_bit()
+        if (length, code) in by_length:
+            return by_length[(length, code)]
+    raise KernelError("invalid Huffman code in stream")
+
+
+def _extend(bits: int, category: int) -> int:
+    """Invert magnitude_bits: recover the signed value."""
+    if category == 0:
+        return 0
+    if bits < (1 << (category - 1)):
+        return bits - (1 << category) + 1
+    return bits
+
+
+@dataclass
+class _Component:
+    cid: int
+    h: int
+    v: int
+    qtable_id: int
+    dc_id: int = 0
+    ac_id: int = 0
+
+
+@dataclass
+class JPEGDecoder:
+    """Decoder for the baseline streams the library's encoders emit."""
+
+    def decode(self, stream: bytes) -> np.ndarray:
+        """Returns HxW uint8 (greyscale) or HxWx3 uint8 (color)."""
+        if stream[:2] != b"\xff\xd8":
+            raise KernelError("missing SOI marker")
+        pos = 2
+        qtables: dict[int, np.ndarray] = {}
+        htables: dict[tuple[int, int], HuffmanTable] = {}
+        components: list[_Component] = []
+        height = width = 0
+        restart_interval = 0
+
+        while pos < len(stream):
+            if stream[pos] != 0xFF:
+                raise KernelError(f"expected a marker at offset {pos}")
+            marker = stream[pos + 1]
+            if marker == 0xD9:  # EOI
+                raise KernelError("reached EOI without a scan")
+            length = int.from_bytes(stream[pos + 2:pos + 4], "big")
+            payload = stream[pos + 4:pos + 2 + length]
+            pos += 2 + length
+            if marker == 0xDB:
+                offset = 0
+                while offset < len(payload):
+                    table_id = payload[offset] & 0x0F
+                    zz = np.frombuffer(
+                        payload[offset + 1:offset + 65], dtype=np.uint8
+                    ).astype(np.int64)
+                    qtables[table_id] = izigzag(zz)
+                    offset += 65
+            elif marker == 0xC0:
+                height = int.from_bytes(payload[1:3], "big")
+                width = int.from_bytes(payload[3:5], "big")
+                count = payload[5]
+                components = []
+                for i in range(count):
+                    cid, sampling, tq = payload[6 + 3 * i:9 + 3 * i]
+                    components.append(
+                        _Component(cid, sampling >> 4, sampling & 0x0F, tq)
+                    )
+            elif marker == 0xC4:
+                offset = 0
+                while offset < len(payload):
+                    table_class = payload[offset] >> 4
+                    table_id = payload[offset] & 0x0F
+                    bits = tuple(payload[offset + 1:offset + 17])
+                    nvals = sum(bits)
+                    values = tuple(
+                        payload[offset + 17:offset + 17 + nvals]
+                    )
+                    htables[(table_class, table_id)] = HuffmanTable(
+                        bits=bits, values=values
+                    )
+                    offset += 17 + nvals
+            elif marker == 0xDD:
+                restart_interval = int.from_bytes(payload[0:2], "big")
+            elif marker == 0xDA:
+                ns = payload[0]
+                if ns != len(components):
+                    raise KernelError("SOS component count mismatch")
+                for i in range(ns):
+                    cid = payload[1 + 2 * i]
+                    tables = payload[2 + 2 * i]
+                    comp = next(c for c in components if c.cid == cid)
+                    comp.dc_id = tables >> 4
+                    comp.ac_id = tables & 0x0F
+                end = stream.rfind(b"\xff\xd9")
+                if end < 0:
+                    raise KernelError("missing EOI marker")
+                return self._decode_scan(
+                    stream[pos:end], height, width,
+                    components, qtables, htables, restart_interval,
+                )
+            # other segments (APP0 ...) are skipped
+        raise KernelError("no scan found")
+
+    # ------------------------------------------------------------------
+
+    def _decode_scan(
+        self,
+        data: bytes,
+        height: int,
+        width: int,
+        components: list[_Component],
+        qtables: dict[int, np.ndarray],
+        htables: dict[tuple[int, int], HuffmanTable],
+        restart_interval: int = 0,
+    ) -> np.ndarray:
+        if not components:
+            raise KernelError("scan started before SOF")
+        for comp in components:
+            if comp.qtable_id not in qtables:
+                raise KernelError(f"missing quant table {comp.qtable_id}")
+            for key in ((0, comp.dc_id), (1, comp.ac_id)):
+                if key not in htables:
+                    raise KernelError(f"missing Huffman table {key}")
+
+        hmax = max(c.h for c in components)
+        vmax = max(c.v for c in components)
+        mcus_x = -(-width // (8 * hmax))
+        mcus_y = -(-height // (8 * vmax))
+
+        planes: dict[int, np.ndarray] = {}
+        for comp in components:
+            planes[comp.cid] = np.zeros(
+                (mcus_y * comp.v * 8, mcus_x * comp.h * 8), dtype=np.float64
+            )
+
+        reader = _BitReader(data)
+        prev_dc = {c.cid: 0 for c in components}
+        mcus = [(my, mx) for my in range(mcus_y) for mx in range(mcus_x)]
+        expected_rst = 0
+        skip_boundary = False
+        index = 0
+        while index < len(mcus):
+            at_boundary = (
+                restart_interval
+                and index
+                and index % restart_interval == 0
+            )
+            if at_boundary and not skip_boundary:
+                got = reader.sync_restart()
+                if got != expected_rst:
+                    raise KernelError(
+                        f"restart marker out of order: expected RST"
+                        f"{expected_rst}, got RST{got}"
+                    )
+                expected_rst = (expected_rst + 1) % 8
+                prev_dc = {c.cid: 0 for c in components}
+            skip_boundary = False
+            my, mx = mcus[index]
+            try:
+                for comp in components:
+                    for dv in range(comp.v):
+                        for dh in range(comp.h):
+                            block = self._decode_block(
+                                reader, comp, prev_dc, qtables, htables
+                            )
+                            row = (my * comp.v + dv) * 8
+                            col = (mx * comp.h + dh) * 8
+                            planes[comp.cid][row:row + 8, col:col + 8] = block
+                index += 1
+            except KernelError:
+                if not restart_interval:
+                    raise
+                # Damaged entropy data: drop the rest of this interval,
+                # scan forward to the next restart marker and realign —
+                # the error containment RSTn exists for.
+                got = reader.sync_restart()
+                expected_rst = (got + 1) % 8
+                prev_dc = {c.cid: 0 for c in components}
+                index = (
+                    (index // restart_interval) + 1
+                ) * restart_interval
+                skip_boundary = True
+
+        if len(components) == 1:
+            plane = planes[components[0].cid][:height, :width]
+            return np.clip(np.rint(plane), 0, 255).astype(np.uint8)
+
+        from repro.kernels.jpeg.color import ycbcr_to_rgb
+
+        full = []
+        for comp in components:
+            plane = planes[comp.cid]
+            if comp.h < hmax or comp.v < vmax:
+                plane = np.repeat(
+                    np.repeat(plane, vmax // comp.v, axis=0),
+                    hmax // comp.h, axis=1,
+                )
+            full.append(plane[:height, :width])
+        ycc = np.stack(full, axis=-1)
+        return ycbcr_to_rgb(ycc)
+
+    def _decode_block(self, reader, comp, prev_dc, qtables, htables):
+        dc_table = htables[(0, comp.dc_id)]
+        ac_table = htables[(1, comp.ac_id)]
+        zz = np.zeros(64, dtype=np.int64)
+        category = _decode_symbol(reader, dc_table)
+        diff = _extend(reader.read_bits(category), category)
+        prev_dc[comp.cid] += diff
+        zz[0] = prev_dc[comp.cid]
+        k = 1
+        while k < 64:
+            symbol = _decode_symbol(reader, ac_table)
+            if symbol == 0x00:  # EOB
+                break
+            if symbol == 0xF0:  # ZRL
+                k += 16
+                continue
+            run = symbol >> 4
+            category = symbol & 0x0F
+            k += run
+            if k >= 64:
+                raise KernelError("AC run overflows the block")
+            zz[k] = _extend(reader.read_bits(category), category)
+            k += 1
+        levels = izigzag(zz)
+        return idct2d(dequantize(levels, qtables[comp.qtable_id])) + 128.0
+
+
+def decode_image(stream: bytes) -> np.ndarray:
+    """One-call convenience wrapper around :class:`JPEGDecoder`."""
+    return JPEGDecoder().decode(stream)

@@ -1,0 +1,172 @@
+"""JPEG block pipeline executed on the fabric.
+
+:class:`FabricBlockPipeline` drives one tile through the paper's
+per-block stages — shift (p0), DCT as two 8x8 matrix-multiply firings
+(p1), Alpha+Quantize via the reciprocal table (p2+p3), Zigzag (p4) — with
+the epoch runtime manager accounting every cost:
+
+* the five stage programs are installed once and stay **co-resident**
+  (about 160 instruction words), so only the first block pays instruction
+  reconfiguration — the single-tile version of Table 4's pinning;
+* the DCT coefficient matrix and the quantizer reciprocals are ``data1``:
+  loaded through the ICAP once, exactly the 64+64 words Table 3 charges;
+* pixels arrive as free host pokes (the camera-side preprocessing).
+
+``encode_image`` runs every block of a greyscale frame through the tile
+and entropy-codes the resulting coefficients with the reference Huffman
+stage (whose five-way split is modelled separately), returning a
+decodable JFIF stream plus the fabric timing report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.fabric.icap import IcapPort
+from repro.fabric.mesh import Mesh
+from repro.fabric.rtms import EpochSpec, RuntimeManager
+from repro.kernels.jpeg.encoder import JPEGEncoder, blocks_of
+from repro.kernels.jpeg.huffman import BitWriter, encode_block_coefficients
+from repro.kernels.jpeg.programs import (
+    PIXEL_QBITS,
+    alpha_quantize_program,
+    dct_coefficient_words,
+    matmul8_program,
+    shift_program,
+    zigzag_program,
+)
+from repro.kernels.jpeg.quant import LUMINANCE_QTABLE, alpha_scale_table, scale_qtable
+
+__all__ = ["FabricBlockPipeline", "FabricEncodeResult"]
+
+# Tile data-memory regions (see kernels/jpeg/programs.py):
+_C, _PIX, _OUT, _RECIP, _ZZ = 0, 64, 128, 192, 320
+
+
+@dataclass
+class FabricEncodeResult:
+    """Stream plus fabric accounting of a fabric-encoded frame."""
+
+    stream: bytes
+    blocks: int
+    total_ns: float
+    first_block_ns: float
+    steady_block_ns: float
+    reconfig_bytes: int
+
+    @property
+    def blocks_per_s(self) -> float:
+        if self.steady_block_ns <= 0:
+            return 0.0
+        return 1e9 / self.steady_block_ns
+
+
+class FabricBlockPipeline:
+    """One tile running the per-block JPEG stages under the RTMS.
+
+    ``chroma=True`` loads the Annex K.2 chrominance quantization table
+    instead of the luminance one — the same tile programs then process
+    Cb/Cr blocks, component-agnostic exactly like the paper's pipeline.
+    """
+
+    def __init__(self, quality: int = 75, chroma: bool = False) -> None:
+        from repro.kernels.jpeg.quant import CHROMINANCE_QTABLE
+
+        self.quality = quality
+        self.chroma = chroma
+        base = CHROMINANCE_QTABLE if chroma else LUMINANCE_QTABLE
+        self.qtable = scale_qtable(base, quality)
+        self.recip = alpha_scale_table(self.qtable, 14)
+        self.mesh = Mesh(1, 1)
+        self.rtms = RuntimeManager(self.mesh, IcapPort())
+        self._programs = (
+            shift_program(64, _PIX, PIXEL_QBITS),
+            matmul8_program(a_base=_C, b_base=_PIX, out_base=_OUT, qbits=30),
+            matmul8_program(a_base=_OUT, b_base=_C, out_base=_PIX, qbits=30,
+                            transpose_b=True),
+            alpha_quantize_program(64, qbits=28, a_base=_PIX,
+                                   recip_base=_RECIP, out_base=_OUT),
+            zigzag_program(a_base=_OUT, out_base=_ZZ),
+        )
+        self._block_times: list[float] = []
+        self._preloaded = False
+
+    # ------------------------------------------------------------------
+
+    def _preload(self) -> None:
+        """Load the fixed data (data1) through the ICAP, once."""
+        image = {
+            _C + i: w for i, w in enumerate(dct_coefficient_words())
+        }
+        image.update(
+            {_RECIP + i: int(r) for i, r in enumerate(self.recip.reshape(-1))}
+        )
+        self.rtms.execute(
+            [EpochSpec("preload_data1", data_images={(0, 0): image})]
+        )
+        self._preloaded = True
+
+    def encode_block(self, block: np.ndarray) -> np.ndarray:
+        """Run one 8x8 block through the tile; returns the zig-zag vector."""
+        block = np.asarray(block)
+        if block.shape != (8, 8):
+            raise KernelError(f"expected an 8x8 block, got {block.shape}")
+        if not self._preloaded:
+            self._preload()
+        start_ns = self.rtms.now_ns
+        pokes = {
+            (0, 0): {
+                _PIX + i: int(v) for i, v in enumerate(block.reshape(-1))
+            }
+        }
+        epochs = [EpochSpec("pixels", pokes=pokes)]
+        for stage, program in enumerate(self._programs):
+            epochs.append(
+                EpochSpec(
+                    f"stage{stage}_{program.name}",
+                    programs={(0, 0): program},
+                    run=[(0, 0)],
+                )
+            )
+        self.rtms.execute(epochs)
+        self._block_times.append(self.rtms.now_ns - start_ns)
+        tile = self.mesh.tile((0, 0))
+        return np.array([tile.dmem.peek(_ZZ + i) for i in range(64)])
+
+    # ------------------------------------------------------------------
+
+    def encode_image(self, image: np.ndarray) -> FabricEncodeResult:
+        """Encode a greyscale frame, every block computed on the tile."""
+        img = np.asarray(image)
+        if img.dtype.kind == "f":
+            img = np.clip(np.rint(img), 0, 255)
+        img = img.astype(np.int64)
+        if img.min() < 0 or img.max() > 255:
+            raise KernelError("image samples must be 8-bit (0..255)")
+        height, width = img.shape
+        blocks, rows, cols = blocks_of(img)
+
+        host = JPEGEncoder(quality=self.quality)
+        writer = BitWriter()
+        prev_dc = 0
+        count = 0
+        for r in range(rows):
+            for c in range(cols):
+                zz = self.encode_block(blocks[r, c])
+                prev_dc = encode_block_coefficients(zz, prev_dc, writer)
+                count += 1
+        stream = host._wrap_stream(writer.flush(), height, width)
+
+        times = self._block_times[-count:]
+        steady = sum(times[1:]) / (len(times) - 1) if len(times) > 1 else times[0]
+        return FabricEncodeResult(
+            stream=stream,
+            blocks=count,
+            total_ns=self.rtms.now_ns,
+            first_block_ns=times[0],
+            steady_block_ns=steady,
+            reconfig_bytes=sum(t.nbytes for t in self.rtms.icap.transfers),
+        )

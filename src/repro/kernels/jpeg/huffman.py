@@ -1,0 +1,386 @@
+"""Baseline JPEG Huffman entropy coding (p5..p9, ``Hman1``..``Hman5``).
+
+Implements ITU-T T.81 baseline entropy coding from scratch: canonical code
+construction from (BITS, HUFFVAL), DC difference categories, AC
+run/size coding with ZRL and EOB, the bit writer with 0xFF byte stuffing,
+and the exact Annex K.3 reference tables.
+
+The paper splits Huffman over five processes because its code does not fit
+one tile's instruction memory.  :func:`encode_block_stages` exposes the
+same five-stage decomposition as separate functions — (1) DC differencing
+and category, (2) AC zero-run scanning, (3) run/size -> codeword lookup,
+(4) magnitude-bits appending, (5) bit packing with byte stuffing — whose
+composition is verified against the one-shot encoder in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import KernelError
+
+__all__ = [
+    "HuffmanTable",
+    "BitWriter",
+    "STD_DC_LUMINANCE",
+    "STD_DC_CHROMINANCE",
+    "STD_AC_LUMINANCE",
+    "STD_AC_CHROMINANCE",
+    "magnitude_category",
+    "magnitude_bits",
+    "encode_block_coefficients",
+    "encode_block_stages",
+    "run_length_pairs",
+]
+
+
+# ----------------------------------------------------------------------
+# canonical tables
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """A baseline Huffman table: BITS (codes per length) + HUFFVAL.
+
+    ``codes`` maps symbol -> (codeword, length), built canonically per
+    T.81 Annex C: codewords of each length are consecutive, starting from
+    twice the previous length's end.
+    """
+
+    bits: tuple[int, ...]        # 16 entries: #codes of length 1..16
+    values: tuple[int, ...]      # symbols in code order
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != 16:
+            raise KernelError("BITS must have 16 entries")
+        if sum(self.bits) != len(self.values):
+            raise KernelError(
+                f"BITS sums to {sum(self.bits)} but {len(self.values)} "
+                f"values were given"
+            )
+
+    @property
+    def codes(self) -> dict[int, tuple[int, int]]:
+        return self._build()
+
+    @lru_cache(maxsize=None)
+    def _build(self) -> dict[int, tuple[int, int]]:
+        codes: dict[int, tuple[int, int]] = {}
+        code = 0
+        index = 0
+        for length in range(1, 17):
+            for _ in range(self.bits[length - 1]):
+                codes[self.values[index]] = (code, length)
+                code += 1
+                index += 1
+            code <<= 1
+        return codes
+
+    def encode_symbol(self, symbol: int) -> tuple[int, int]:
+        """(codeword, length) for a symbol; raises on unknown symbols."""
+        try:
+            return self.codes[symbol]
+        except KeyError:
+            raise KernelError(f"symbol {symbol:#x} not in Huffman table") from None
+
+    def is_prefix_free(self) -> bool:
+        """Sanity check used by the property tests."""
+        entries = sorted(
+            (length, code) for code, length in self.codes.values()
+        )
+        for i, (l1, c1) in enumerate(entries):
+            for l2, c2 in entries[i + 1:]:
+                if l2 > l1 and (c2 >> (l2 - l1)) == c1:
+                    return False
+        return True
+
+
+#: Annex K.3.1: luminance DC differences.
+STD_DC_LUMINANCE = HuffmanTable(
+    bits=(0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0),
+    values=tuple(range(12)),
+)
+
+#: Annex K.3.1: chrominance DC differences.
+STD_DC_CHROMINANCE = HuffmanTable(
+    bits=(0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0),
+    values=tuple(range(12)),
+)
+
+_AC_LUM_VALUES = (
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+    0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+    0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+    0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+    0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16,
+    0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+    0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+    0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+    0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+    0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+    0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+    0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+    0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+    0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+    0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4,
+    0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+    0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA,
+    0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+    0xF9, 0xFA,
+)
+
+#: Annex K.3.2: luminance AC coefficients.
+STD_AC_LUMINANCE = HuffmanTable(
+    bits=(0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D),
+    values=_AC_LUM_VALUES,
+)
+
+_AC_CHROM_VALUES = (
+    0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21,
+    0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61, 0x71,
+    0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91,
+    0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0,
+    0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24, 0x34,
+    0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26,
+    0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38,
+    0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48,
+    0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58,
+    0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68,
+    0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78,
+    0x79, 0x7A, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+    0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96,
+    0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5,
+    0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4,
+    0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3,
+    0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2,
+    0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA,
+    0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9,
+    0xEA, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+    0xF9, 0xFA,
+)
+
+#: Annex K.3.2: chrominance AC coefficients.
+STD_AC_CHROMINANCE = HuffmanTable(
+    bits=(0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77),
+    values=_AC_CHROM_VALUES,
+)
+
+
+# ----------------------------------------------------------------------
+# bit stream
+# ----------------------------------------------------------------------
+
+class BitWriter:
+    """MSB-first bit accumulator with JPEG 0xFF byte stuffing."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nbits = 0
+        self._written_bits = 0
+
+    def write(self, code: int, length: int) -> None:
+        """Append ``length`` bits of ``code`` (MSB first)."""
+        if length < 0 or (length and code >> length):
+            raise KernelError(f"code {code:#x} does not fit in {length} bits")
+        self._acc = (self._acc << length) | code
+        self._nbits += length
+        self._written_bits += length
+        while self._nbits >= 8:
+            self._nbits -= 8
+            byte = (self._acc >> self._nbits) & 0xFF
+            self._bytes.append(byte)
+            if byte == 0xFF:
+                self._bytes.append(0x00)  # stuffing per T.81 B.1.1.5
+        self._acc &= (1 << self._nbits) - 1
+
+    def align(self) -> None:
+        """Pad with 1-bits to the next byte boundary (T.81 B.2.1)."""
+        if self._nbits:
+            pad = 8 - self._nbits
+            self.write((1 << pad) - 1, pad)
+            self._written_bits -= pad  # padding is not payload
+
+    def emit_marker(self, marker: int) -> None:
+        """Byte-align and append a raw 0xFF ``marker`` pair (no stuffing).
+
+        Used for the RSTn restart markers inside the entropy stream.
+        """
+        if not 0xD0 <= marker <= 0xD7:
+            raise KernelError(f"only RST0..RST7 may appear in a scan, got {marker:#x}")
+        self.align()
+        self._bytes.append(0xFF)
+        self._bytes.append(marker)
+
+    def flush(self) -> bytes:
+        """Pad the final partial byte with 1-bits and return the stream."""
+        self.align()
+        return bytes(self._bytes)
+
+    @property
+    def bit_length(self) -> int:
+        """Payload bits written so far (stuffed bytes and padding excluded)."""
+        return self._written_bits
+
+
+# ----------------------------------------------------------------------
+# coefficient coding
+# ----------------------------------------------------------------------
+
+def magnitude_category(value: int) -> int:
+    """SSSS: number of bits needed for a DC difference / AC coefficient."""
+    return int(abs(value)).bit_length()
+
+
+def magnitude_bits(value: int, category: int) -> int:
+    """The category-length magnitude bits (one's-complement for negatives)."""
+    if category == 0:
+        return 0
+    if value >= 0:
+        return value
+    return value + (1 << category) - 1
+
+
+def run_length_pairs(ac: np.ndarray) -> list[tuple[int, int]]:
+    """Stage-2 view: (zero-run, coefficient) pairs for the 63 AC values.
+
+    Runs longer than 15 are emitted as (15, 0) ZRL markers; a trailing
+    all-zero tail becomes a single (0, 0) EOB.
+    """
+    ac = np.asarray(ac)
+    if ac.shape != (63,):
+        raise KernelError(f"expected 63 AC coefficients, got {ac.shape}")
+    pairs: list[tuple[int, int]] = []
+    run = 0
+    last_nonzero = -1
+    for i in range(63):
+        if ac[i] != 0:
+            last_nonzero = i
+    for i in range(last_nonzero + 1):
+        if ac[i] == 0:
+            run += 1
+            if run == 16:
+                pairs.append((15, 0))  # ZRL
+                run = 0
+        else:
+            pairs.append((run, int(ac[i])))
+            run = 0
+    if last_nonzero < 62:
+        pairs.append((0, 0))  # EOB
+    return pairs
+
+
+def encode_block_coefficients(
+    zz: np.ndarray,
+    prev_dc: int,
+    writer: BitWriter,
+    dc_table: HuffmanTable = STD_DC_LUMINANCE,
+    ac_table: HuffmanTable = STD_AC_LUMINANCE,
+) -> int:
+    """Entropy-code one zig-zagged block; returns the block's DC value.
+
+    This is the one-shot reference the five-stage decomposition is tested
+    against.
+    """
+    zz = np.asarray(zz)
+    if zz.shape != (64,):
+        raise KernelError(f"expected a 64-entry zig-zag vector, got {zz.shape}")
+    dc = int(zz[0])
+    diff = dc - prev_dc
+    category = magnitude_category(diff)
+    if category > 11:
+        raise KernelError(f"DC difference {diff} out of baseline range")
+    code, length = dc_table.encode_symbol(category)
+    writer.write(code, length)
+    writer.write(magnitude_bits(diff, category), category)
+
+    for run, value in run_length_pairs(zz[1:]):
+        if (run, value) == (0, 0):
+            code, length = ac_table.encode_symbol(0x00)  # EOB
+            writer.write(code, length)
+        elif (run, value) == (15, 0):
+            code, length = ac_table.encode_symbol(0xF0)  # ZRL
+            writer.write(code, length)
+        else:
+            category = magnitude_category(value)
+            if category > 10:
+                raise KernelError(f"AC coefficient {value} out of range")
+            symbol = (run << 4) | category
+            code, length = ac_table.encode_symbol(symbol)
+            writer.write(code, length)
+            writer.write(magnitude_bits(value, category), category)
+    return dc
+
+
+# ----------------------------------------------------------------------
+# five-stage decomposition (Hman1..Hman5)
+# ----------------------------------------------------------------------
+
+def _stage1_dc(zz: np.ndarray, prev_dc: int) -> tuple[int, int, int]:
+    """Hman1: DC differencing and category; returns (diff, category, dc)."""
+    dc = int(zz[0])
+    diff = dc - prev_dc
+    return diff, magnitude_category(diff), dc
+
+def _stage2_runs(zz: np.ndarray) -> list[tuple[int, int]]:
+    """Hman2: AC zero-run scan."""
+    return run_length_pairs(np.asarray(zz)[1:])
+
+
+def _stage3_symbols(
+    diff: int, category: int, runs: list[tuple[int, int]]
+) -> list[tuple[str, int, int]]:
+    """Hman3: map to (table, symbol, value) triples."""
+    symbols: list[tuple[str, int, int]] = [("dc", category, diff)]
+    for run, value in runs:
+        if (run, value) == (0, 0):
+            symbols.append(("ac", 0x00, 0))
+        elif (run, value) == (15, 0):
+            symbols.append(("ac", 0xF0, 0))
+        else:
+            symbols.append(("ac", (run << 4) | magnitude_category(value), value))
+    return symbols
+
+
+def _stage4_codewords(
+    symbols: list[tuple[str, int, int]],
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> list[tuple[int, int]]:
+    """Hman4: look up codewords and append magnitude bits."""
+    out: list[tuple[int, int]] = []
+    for kind, symbol, value in symbols:
+        table = dc_table if kind == "dc" else ac_table
+        out.append(table.encode_symbol(symbol))
+        category = symbol if kind == "dc" else symbol & 0x0F
+        if category:
+            out.append((magnitude_bits(value, category), category))
+    return out
+
+
+def _stage5_pack(codewords: list[tuple[int, int]], writer: BitWriter) -> None:
+    """Hman5: pack into the stuffed byte stream."""
+    for code, length in codewords:
+        writer.write(code, length)
+
+
+def encode_block_stages(
+    zz: np.ndarray,
+    prev_dc: int,
+    writer: BitWriter,
+    dc_table: HuffmanTable = STD_DC_LUMINANCE,
+    ac_table: HuffmanTable = STD_AC_LUMINANCE,
+) -> int:
+    """The five-process pipeline composition (must equal the one-shot)."""
+    zz = np.asarray(zz)
+    diff, category, dc = _stage1_dc(zz, prev_dc)
+    runs = _stage2_runs(zz)
+    symbols = _stage3_symbols(diff, category, runs)
+    codewords = _stage4_codewords(symbols, dc_table, ac_table)
+    _stage5_pack(codewords, writer)
+    return dc

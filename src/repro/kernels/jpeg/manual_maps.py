@@ -1,0 +1,212 @@
+"""The five manual JPEG mappings of Table 4.
+
+Each implementation binds the Table 3 processes to a fixed set of tiles:
+
+=====  =====  ==============================================================
+impl   tiles  binding
+=====  =====  ==============================================================
+1      1      everything on one tile (Hman1/3/5 pinned)
+2      2      DCT alone on its own tile, the rest together
+3      10     one process per tile (all pinned)
+4      13     one-to-one, but DCT replaced by four quarter ``dct`` tiles
+5      5      four ``dct`` (+ copy) tiles, everything else on one tile
+=====  =====  ==============================================================
+
+The published per-block times (419/334/334/84/86 us), utilizations and
+images/s follow from the tile cost model: runtimes + per-block reload of
+non-pinned instructions + ``data3`` re-initialization, with throughput =
+1 / (800 blocks x per-block time) for the padded 200x200 frame.  The
+quarter-DCT tiles of implementations 4 and 5 work on the *same* block in
+parallel (Fig. 15), so the stage contributes its full tile time to the
+interval, unlike replicated stages that round-robin on blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapping.cost import PinningPolicy, TileCostModel
+from repro.mapping.pipeline import JPEG_BLOCKS_PER_IMAGE
+from repro.pn.process import CopyVariant, Process
+from repro.pn.profiles import jpeg_copy_process, jpeg_processes
+from repro.units import NS_PER_S
+
+__all__ = [
+    "TileSpec",
+    "ManualImplementation",
+    "MANUAL_IMPLEMENTATIONS",
+    "manual_mapping_table",
+]
+
+#: The paper's pin choice for the shared-tile implementations: the odd
+#: Huffman stages, leaving exactly one spare instruction word next to the
+#: largest swapped process (Hman4's 180 + 331 = 511 <= 512).
+_PAPER_PINS = frozenset({"Hman1", "Hman3", "Hman5"})
+
+_CHAIN = (
+    "shift", "DCT", "Alpha", "Quantize", "Zigzag",
+    "Hman1", "Hman2", "Hman3", "Hman4", "Hman5",
+)
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """Processes hosted by one physical tile, with an explicit pin set."""
+
+    processes: tuple[str, ...]
+    pinned: frozenset[str] = field(default_factory=frozenset)
+
+    def resolve(self, catalogue: dict[str, Process]) -> list[Process]:
+        return [catalogue[name] for name in self.processes]
+
+
+@dataclass(frozen=True)
+class ManualImplementation:
+    """One column of Table 4."""
+
+    index: int
+    tiles: tuple[TileSpec, ...]
+    paper_time_us: float
+    paper_utilization: float
+    paper_images_per_s: float
+    paper_reconfig: bool
+    paper_relink: bool
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    # ------------------------------------------------------------------
+
+    def tile_times_ns(self, model: TileCostModel,
+                      catalogue: dict[str, Process]) -> list[float]:
+        times = []
+        for spec in self.tiles:
+            processes = spec.resolve(catalogue)
+            pinned = spec.pinned if spec.pinned else None
+            times.append(model.block_time_ns(processes, pinned))
+        return times
+
+    def evaluate(self, model: TileCostModel | None = None) -> dict[str, float | bool]:
+        """Model-predicted Table 4 row.
+
+        Returns time per block (us), average utilization, images/s and
+        the reconfig/reLink flags.
+        """
+        if model is None:
+            model = TileCostModel(policy=PinningPolicy.EXPLICIT)
+        catalogue = _catalogue()
+        times = self.tile_times_ns(model, catalogue)
+        interval = max(times)
+        busy = sum(times)
+        reconfig = any(
+            model.block_cost(
+                spec.resolve(catalogue), spec.pinned if spec.pinned else None
+            ).needs_reconfig
+            for spec in self.tiles
+        )
+        return {
+            "time_us": interval / 1000.0,
+            "utilization": busy / (self.n_tiles * interval),
+            "images_per_s": NS_PER_S / (interval * JPEG_BLOCKS_PER_IMAGE),
+            "reconfig": reconfig,
+            "relink": self.paper_relink,
+        }
+
+
+def _catalogue() -> dict[str, Process]:
+    catalogue = jpeg_processes()
+    catalogue["CP16"] = jpeg_copy_process(16, CopyVariant.MEMORY)
+    catalogue["CP32"] = jpeg_copy_process(32, CopyVariant.MEMORY)
+    catalogue["CP64"] = jpeg_copy_process(64, CopyVariant.MEMORY)
+    return catalogue
+
+
+def _one_to_one(names: tuple[str, ...]) -> tuple[TileSpec, ...]:
+    return tuple(TileSpec((name,), frozenset({name})) for name in names)
+
+
+MANUAL_IMPLEMENTATIONS: tuple[ManualImplementation, ...] = (
+    ManualImplementation(
+        index=1,
+        tiles=(TileSpec(_CHAIN, _PAPER_PINS),),
+        paper_time_us=419.0,
+        paper_utilization=1.0,
+        paper_images_per_s=2.98,
+        paper_reconfig=True,
+        paper_relink=False,
+    ),
+    ManualImplementation(
+        index=2,
+        tiles=(
+            TileSpec(tuple(n for n in _CHAIN if n != "DCT"), _PAPER_PINS),
+            TileSpec(("DCT",), frozenset({"DCT"})),
+        ),
+        paper_time_us=334.0,
+        paper_utilization=0.62,
+        paper_images_per_s=3.74,
+        paper_reconfig=True,
+        paper_relink=False,
+    ),
+    ManualImplementation(
+        index=3,
+        tiles=_one_to_one(_CHAIN),
+        paper_time_us=334.0,
+        paper_utilization=0.12,
+        paper_images_per_s=3.74,
+        paper_reconfig=False,
+        paper_relink=False,
+    ),
+    ManualImplementation(
+        index=4,
+        tiles=(
+            *_one_to_one(tuple(n for n in _CHAIN if n != "DCT")),
+            *(TileSpec(("dct",), frozenset({"dct"})) for _ in range(4)),
+        ),
+        paper_time_us=84.0,
+        paper_utilization=0.37,
+        paper_images_per_s=14.88,
+        paper_reconfig=False,
+        paper_relink=True,
+    ),
+    ManualImplementation(
+        index=5,
+        tiles=(
+            *(
+                TileSpec(("dct", "CP16", "CP64"),
+                         frozenset({"dct", "CP16", "CP64"}))
+                for _ in range(4)
+            ),
+            TileSpec(tuple(n for n in _CHAIN if n != "DCT"), _PAPER_PINS),
+        ),
+        paper_time_us=86.0,
+        paper_utilization=0.98,
+        paper_images_per_s=14.43,
+        paper_reconfig=True,
+        paper_relink=True,
+    ),
+)
+
+
+def manual_mapping_table(model: TileCostModel | None = None) -> list[dict]:
+    """Regenerate Table 4: one dict per implementation, paper vs model."""
+    rows = []
+    for impl in MANUAL_IMPLEMENTATIONS:
+        predicted = impl.evaluate(model)
+        rows.append(
+            {
+                "impl": impl.index,
+                "tiles": impl.n_tiles,
+                "time_us": predicted["time_us"],
+                "paper_time_us": impl.paper_time_us,
+                "utilization": predicted["utilization"],
+                "paper_utilization": impl.paper_utilization,
+                "images_per_s": predicted["images_per_s"],
+                "paper_images_per_s": impl.paper_images_per_s,
+                "reconfig": predicted["reconfig"],
+                "paper_reconfig": impl.paper_reconfig,
+                "relink": predicted["relink"],
+                "paper_relink": impl.paper_relink,
+            }
+        )
+    return rows

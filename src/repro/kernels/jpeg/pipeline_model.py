@@ -1,0 +1,74 @@
+"""Automated-mapping series for the JPEG encoder (Figs. 16-17).
+
+Runs the three rebalancing algorithms over tile budgets 1..25 and turns
+each mapping into images/s and average utilization, the two published
+curves.  The cost model is the same one that reproduces Table 4; blocks
+per image is the 800 implied by the published rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.cost import TileCostModel
+from repro.mapping.pipeline import JPEG_BLOCKS_PER_IMAGE, evaluate_mapping
+from repro.mapping.rebalance import rebalance
+from repro.pn.process import Process
+from repro.pn.profiles import jpeg_processes
+
+__all__ = ["RebalancePoint", "jpeg_pipeline_order", "rebalance_series"]
+
+_CHAIN = (
+    "shift", "DCT", "Alpha", "Quantize", "Zigzag",
+    "Hman1", "Hman2", "Hman3", "Hman4", "Hman5",
+)
+
+
+def jpeg_pipeline_order() -> list[Process]:
+    """The p0..p9 pipeline in order, as the rebalancers consume it."""
+    catalogue = jpeg_processes()
+    return [catalogue[name] for name in _CHAIN]
+
+
+@dataclass(frozen=True)
+class RebalancePoint:
+    """One x-position of Figs. 16-17 for one algorithm."""
+
+    algorithm: str
+    n_tiles: int
+    images_per_s: float
+    utilization: float
+    mapping_label: str
+
+
+def rebalance_series(
+    max_tiles: int = 25,
+    algorithms: tuple[str, ...] = ("one", "two", "opt"),
+    model: TileCostModel | None = None,
+    blocks_per_image: int = JPEG_BLOCKS_PER_IMAGE,
+) -> dict[str, list[RebalancePoint]]:
+    """images/s and utilization vs tile budget for each algorithm.
+
+    Returns ``{algorithm: [RebalancePoint for 1..max_tiles tiles]}``; the
+    Fig. 16 series is ``images_per_s`` and Fig. 17 is ``utilization``.
+    """
+    if model is None:
+        model = TileCostModel()
+    processes = jpeg_pipeline_order()
+    series: dict[str, list[RebalancePoint]] = {}
+    for algorithm in algorithms:
+        trace = rebalance(processes, max_tiles, model, algorithm=algorithm)
+        points = []
+        for mapping in trace.mappings:
+            metrics = evaluate_mapping(mapping, model)
+            points.append(
+                RebalancePoint(
+                    algorithm=algorithm,
+                    n_tiles=mapping.n_tiles,
+                    images_per_s=metrics.items_per_s(blocks_per_image),
+                    utilization=metrics.utilization,
+                    mapping_label=mapping.describe(),
+                )
+            )
+        series[algorithm] = points
+    return series

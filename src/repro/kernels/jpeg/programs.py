@@ -1,0 +1,359 @@
+"""Tile assembly programs for the JPEG pipeline stages.
+
+These are the fabric-executable counterparts of the reference processes:
+
+* :func:`shift_program` — p0: subtract 128 from 64 samples;
+* :func:`matmul8_program` — the DCT building block: an 8x8 fixed-point
+  matrix multiply (two firings compute ``C A`` then ``(C A) C^T``, i.e.
+  the full 2-D DCT; four narrower firings compute the p10 quarters);
+* :func:`alpha_quantize_program` — p2+p3: multiply by the fixed-point
+  reciprocal table and shift (the division-free quantizer);
+* :func:`zigzag_program` — p4: the unrolled 64-move permutation (65
+  instructions including HALT — exactly Table 3's instruction count for
+  Zigzag, which corroborates the unrolled-permutation reading);
+* :func:`dc_category_program` — the Hman1 core: DC differencing plus the
+  SSSS magnitude-category loop;
+* :func:`rle_program` — the Hman2 core: the two-pass zero-run scan of
+  the 63 AC coefficients (ZRL and EOB rules included), matched pair for
+  pair against the reference scanner.
+
+Together with the data-layout helpers these let the tests run blocks of a
+real image through fabric-executed shift/DCT/quantize/zigzag/run-length
+and compare with the reference encoder bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.fabric.assembler import Program, assemble
+from repro.fabric.fixedpoint import FixedPointFormat
+
+__all__ = [
+    "JPEG_QBITS",
+    "QUANT_FORMAT",
+    "shift_program",
+    "matmul8_program",
+    "alpha_quantize_program",
+    "zigzag_program",
+    "dc_category_program",
+    "rle_program",
+    "dct_coefficient_words",
+]
+
+#: Fixed-point format for DCT coefficients on the tile (Q1.30 values).
+DCT_FORMAT = FixedPointFormat(30)
+
+#: Fraction bits of the quantizer reciprocals (matches
+#: :func:`repro.kernels.jpeg.quant.alpha_scale_table`'s default).
+JPEG_QBITS = 14
+QUANT_FORMAT = FixedPointFormat(JPEG_QBITS)
+
+# Data-memory layout shared by the JPEG programs (defaults; every
+# generator takes explicit bases):
+#   A    [0,   64)   matrix operand / input block (row-major)
+#   B    [64, 128)   second operand (pixels / coefficients)
+#   OUT  [128, 192)  result block
+#   R    [192, 256)  quantizer reciprocals
+#   TMP  [256, ...)  loop variables
+_A, _B, _OUT, _R, _TMP = 0, 64, 128, 192, 256
+
+#: Q-format of pixel data inside the tile DCT pipeline: shifted samples
+#: are scaled by 2**14, so MULQ against Q30 coefficients keeps Q14.
+PIXEL_QBITS = 14
+
+
+@lru_cache(maxsize=None)
+def shift_program(
+    count: int = 64, base: int = _A, scale_shift: int = PIXEL_QBITS
+) -> Program:
+    """p0: ``x = (x - 128) << scale_shift`` in place over ``count`` samples.
+
+    The left shift puts the samples in the Q-format the fixed-point DCT
+    pipeline expects; ``scale_shift=0`` gives the plain level shift.
+    """
+    if count < 1:
+        raise KernelError("count must be >= 1")
+    scale = f"""
+    SHL @ptr, @ptr, #{scale_shift}""" if scale_shift else ""
+    return assemble(
+        f"""
+.org {_TMP}
+.var cnt
+.var ptr
+    MOV cnt, #{count}
+    MOV ptr, #{base}
+loop:
+    SUB @ptr, @ptr, #128{scale}
+    ADD ptr, ptr, #1
+    SUB cnt, cnt, #1
+    BNZ cnt, loop
+    HALT
+""",
+        name=f"shift{count}_s{scale_shift}",
+    )
+
+
+@lru_cache(maxsize=None)
+def matmul8_program(
+    rows: int = 8,
+    inner: int = 8,
+    cols: int = 8,
+    qbits: int = DCT_FORMAT.frac_bits,
+    a_base: int = _A,
+    b_base: int = _B,
+    out_base: int = _OUT,
+    transpose_b: bool = False,
+) -> Program:
+    """Fixed-point matrix multiply ``OUT = A x B`` (or ``A x B^T``).
+
+    ``A`` is ``rows x inner`` at ``a_base`` (row-major), ``B`` is
+    ``inner x cols`` (or ``cols x inner`` when ``transpose_b``) at
+    ``b_base``; products are accumulated in full precision and shifted by
+    ``qbits`` once per MAC (the tile's ``MULQ``), the same dataflow a DSP
+    slice implements.
+    """
+    for dim in (rows, inner, cols):
+        if dim < 1:
+            raise KernelError("matrix dimensions must be >= 1")
+    # Pointer steps: walking B down a column is +cols per step, or +1 when
+    # B is transposed (then rows of B^T are rows of storage).
+    b_step = 1 if transpose_b else cols
+    b_row_start = inner if transpose_b else 1
+    return assemble(
+        f"""
+.org {_TMP}
+.var i
+.var j
+.var k
+.var p_a
+.var p_arow
+.var p_b
+.var p_bcol
+.var p_out
+.var acc
+.var t
+    MOV i, #{rows}
+    MOV p_arow, #{a_base}
+    MOV p_out, #{out_base}
+rowloop:
+    MOV j, #{cols}
+    MOV p_bcol, #{b_base}
+colloop:
+    MOV acc, #0
+    MOV k, #{inner}
+    MOV p_a, p_arow
+    MOV p_b, p_bcol
+macloop:
+    MULQ t, @p_a, @p_b, {qbits}
+    ADD acc, acc, t
+    ADD p_a, p_a, #1
+    ADD p_b, p_b, #{b_step}
+    SUB k, k, #1
+    BNZ k, macloop
+    MOV @p_out, acc
+    ADD p_out, p_out, #1
+    ADD p_bcol, p_bcol, #{b_row_start}
+    SUB j, j, #1
+    BNZ j, colloop
+    ADD p_arow, p_arow, #{inner}
+    SUB i, i, #1
+    BNZ i, rowloop
+    HALT
+""",
+        name=f"mm{rows}x{inner}x{cols}{'t' if transpose_b else ''}_q{qbits}",
+    )
+
+
+@lru_cache(maxsize=None)
+def alpha_quantize_program(
+    count: int = 64,
+    qbits: int = JPEG_QBITS,
+    a_base: int = _A,
+    recip_base: int = _R,
+    out_base: int = _OUT,
+) -> Program:
+    """p2+p3: per-coefficient reciprocal multiply with rounding shift.
+
+    ``out[i] = (a[i] * recip[i] + half) >> qbits`` — MULQ's semantics —
+    replacing the quantizer division.  The reciprocal table comes from
+    :func:`repro.kernels.jpeg.quant.alpha_scale_table`.
+    """
+    if count < 1:
+        raise KernelError("count must be >= 1")
+    return assemble(
+        f"""
+.org {_TMP}
+.var cnt
+.var p_a
+.var p_r
+.var p_o
+    MOV cnt, #{count}
+    MOV p_a, #{a_base}
+    MOV p_r, #{recip_base}
+    MOV p_o, #{out_base}
+loop:
+    MULQ @p_o, @p_a, @p_r, {qbits}
+    ADD p_a, p_a, #1
+    ADD p_r, p_r, #1
+    ADD p_o, p_o, #1
+    SUB cnt, cnt, #1
+    BNZ cnt, loop
+    HALT
+""",
+        name=f"alphaq{count}_q{qbits}",
+    )
+
+
+@lru_cache(maxsize=None)
+def zigzag_program(a_base: int = _A, out_base: int = _OUT) -> Program:
+    """p4: the unrolled zig-zag permutation (64 MOVs + HALT).
+
+    65 instructions — the same count Table 3 lists for the Zigzag
+    process, which is how the paper fits it without loop overhead (and
+    why its runtime is exactly 65 cycles).
+    """
+    from repro.kernels.jpeg.zigzag import ZIGZAG_ORDER
+
+    lines = [
+        f"    MOV {out_base + k}, {a_base + int(src)}"
+        for k, src in enumerate(ZIGZAG_ORDER)
+    ]
+    lines.append("    HALT")
+    return assemble("\n".join(lines), name="zigzag64")
+
+
+@lru_cache(maxsize=None)
+def dc_category_program(
+    value_addr: int = _A,
+    prev_addr: int = _A + 1,
+    diff_addr: int = _OUT,
+    cat_addr: int = _OUT + 1,
+) -> Program:
+    """Hman1 core: DC difference and SSSS category.
+
+    ``diff = value - prev``; ``cat`` = number of bits in |diff| (0 for a
+    zero difference), computed with a shift loop — the piece of Huffman
+    stage 1 that maps naturally onto the ISA.
+    """
+    return assemble(
+        f"""
+.org {_TMP}
+.var mag
+    SUB {diff_addr}, {value_addr}, {prev_addr}
+    MOV {cat_addr}, #0
+    ABS mag, {diff_addr}
+catloop:
+    BZ  mag, done
+    ADD {cat_addr}, {cat_addr}, #1
+    SHR mag, mag, #1
+    JMP catloop
+done:
+    HALT
+""",
+        name="dc_category",
+    )
+
+
+@lru_cache(maxsize=None)
+def rle_program(
+    zz_base: int = 320,
+    out_base: int = 384,
+    count_addr: int = 511,
+) -> Program:
+    """Hman2: zero-run scan of the 63 AC coefficients.
+
+    Reads the zig-zag vector at ``zz_base`` (AC entries 1..63), writes
+    (run, value) pairs to ``out_base`` following T.81's F.1.2.2 rules —
+    runs of 16 become (15, 0) ZRL pairs, a trailing zero tail becomes a
+    single (0, 0) EOB — and the pair count to ``count_addr``.  Matches
+    :func:`repro.kernels.jpeg.huffman.run_length_pairs` exactly, which
+    the tests assert pair for pair.
+    """
+    return assemble(
+        f"""
+.org {_TMP}
+.var k
+.var last
+.var run
+.var p
+.var pout
+.var v
+.var t
+.var t2
+.var npairs
+    ; pass 1: find the last nonzero AC index (0 = none)
+    MOV last, #0
+    MOV k, #1
+    MOV p, #{zz_base + 1}
+scan:
+    BZ  @p, zskip
+    MOV last, k
+zskip:
+    ADD p, p, #1
+    ADD k, k, #1
+    SUB t, k, #64
+    BNZ t, scan
+
+    ; pass 2: emit (run, value) pairs up to `last`
+    MOV npairs, #0
+    MOV run, #0
+    MOV k, #1
+    MOV p, #{zz_base + 1}
+    MOV pout, #{out_base}
+emit:
+    SUB t, k, last
+    BPOS t, tail
+    MOV v, @p
+    BZ v, iszero
+    MOV @pout, run
+    ADD pout, pout, #1
+    MOV @pout, v
+    ADD pout, pout, #1
+    ADD npairs, npairs, #1
+    MOV run, #0
+    JMP next
+iszero:
+    ADD run, run, #1
+    SUB t2, run, #16
+    BNZ t2, next
+    MOV @pout, #15
+    ADD pout, pout, #1
+    MOV @pout, #0
+    ADD pout, pout, #1
+    ADD npairs, npairs, #1
+    MOV run, #0
+next:
+    ADD p, p, #1
+    ADD k, k, #1
+    JMP emit
+tail:
+    SUB t, last, #63
+    BZ  t, done
+    MOV @pout, #0
+    ADD pout, pout, #1
+    MOV @pout, #0
+    ADD pout, pout, #1
+    ADD npairs, npairs, #1
+done:
+    MOV {count_addr}, npairs
+    HALT
+""",
+        name=f"rle_{zz_base}_{out_base}",
+    )
+
+
+def dct_coefficient_words(n: int = 8, qbits: int = DCT_FORMAT.frac_bits) -> list[int]:
+    """The DCT matrix encoded for the tile (row-major fixed point).
+
+    These 64 words are the process's ``data1`` payload — fixed data
+    loaded once, exactly the 64 words Table 3 charges the DCT and Alpha
+    processes.
+    """
+    from repro.kernels.jpeg.dct import dct_matrix
+
+    fmt = FixedPointFormat(qbits)
+    return [fmt.encode(v) for v in np.asarray(dct_matrix(n)).reshape(-1)]

@@ -1,0 +1,106 @@
+"""Quantization (the ``Quantize`` process, p3, and its ``Alpha`` scaling).
+
+Uses the reference luminance/chrominance tables of ITU-T T.81 Annex K.1/K.2
+with the usual libjpeg-style quality scaling.  The paper's ``Alpha``
+process (p2) is the per-coefficient scaling that folds the DCT
+normalization into the quantizer — modelled here by
+:func:`alpha_scale_table`, which pre-multiplies the quantization
+reciprocals so the tile pipeline can do DCT-without-normalization followed
+by a single multiply per coefficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "LUMINANCE_QTABLE",
+    "CHROMINANCE_QTABLE",
+    "scale_qtable",
+    "quantize",
+    "dequantize",
+    "alpha_scale_table",
+]
+
+#: ITU-T T.81 Annex K.1 luminance quantization table.
+LUMINANCE_QTABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int64,
+)
+LUMINANCE_QTABLE.setflags(write=False)
+
+#: ITU-T T.81 Annex K.2 chrominance quantization table.
+CHROMINANCE_QTABLE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int64,
+)
+CHROMINANCE_QTABLE.setflags(write=False)
+
+
+def scale_qtable(table: np.ndarray, quality: int) -> np.ndarray:
+    """libjpeg-style quality scaling of a quantization table.
+
+    ``quality`` in [1, 100]; 50 returns the table unchanged, higher is
+    finer, lower is coarser.  Entries are clamped to [1, 255] so they fit
+    the baseline 8-bit DQT segment.
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    scaled = (np.asarray(table, dtype=np.int64) * scale + 50) // 100
+    return np.clip(scaled, 1, 255)
+
+
+def quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantize an 8x8 DCT block: round-half-away-from-zero division."""
+    c = np.asarray(coefficients, dtype=np.float64)
+    q = np.asarray(table, dtype=np.float64)
+    if c.shape != (8, 8) or q.shape != (8, 8):
+        raise ValueError("quantize expects 8x8 coefficient and table blocks")
+    out = np.sign(c) * np.floor(np.abs(c) / q + 0.5)
+    return out.astype(np.int64)
+
+
+def dequantize(levels: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Inverse quantization (decoder side)."""
+    lv = np.asarray(levels, dtype=np.int64)
+    if lv.shape != (8, 8):
+        raise ValueError("dequantize expects an 8x8 block")
+    return (lv * np.asarray(table, dtype=np.int64)).astype(np.float64)
+
+
+def alpha_scale_table(table: np.ndarray, frac_bits: int = 14) -> np.ndarray:
+    """Fixed-point reciprocal table for the tile quantizer (``Alpha`` + p3).
+
+    Returns ``round(2**frac_bits / q)`` per coefficient; the tile program
+    computes ``(c * recip) >> frac_bits`` with rounding, replacing the
+    division the ISA lacks.  The approximation error versus true rounded
+    division is at most one quantization level and only at level
+    boundaries; the decoder is unaffected because JPEG only standardizes
+    the decoder.
+    """
+    q = np.asarray(table, dtype=np.int64)
+    if np.any(q < 1):
+        raise ValueError("quantization entries must be >= 1")
+    return ((1 << frac_bits) + q // 2) // q

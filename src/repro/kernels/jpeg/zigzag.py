@@ -1,0 +1,53 @@
+"""Zig-zag scan of 8x8 coefficient blocks (the ``Zigzag`` process, p4).
+
+The scan orders coefficients by ascending spatial frequency so the
+run-length coder sees long zero runs.  The order is generated from first
+principles (walk the anti-diagonals, alternating direction) rather than
+hard-coded, and the hard constants in the tile program are derived from
+it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZIGZAG_ORDER", "zigzag", "izigzag"]
+
+
+def _build_order(n: int = 8) -> np.ndarray:
+    """Flat indices of the zig-zag walk over an n x n block."""
+    order = []
+    for diag in range(2 * n - 1):
+        cells = [
+            (i, diag - i)
+            for i in range(max(0, diag - n + 1), min(diag, n - 1) + 1)
+        ]
+        if diag % 2 == 0:
+            cells.reverse()  # even diagonals walk bottom-left -> top-right
+        order.extend(r * n + c for r, c in cells)
+    return np.asarray(order, dtype=np.int64)
+
+
+#: Flat zig-zag indices for the 8x8 block (ZIGZAG_ORDER[k] = row*8+col of
+#: the k-th scanned coefficient).
+ZIGZAG_ORDER = _build_order(8)
+ZIGZAG_ORDER.setflags(write=False)
+
+_INVERSE = np.argsort(ZIGZAG_ORDER)
+_INVERSE.setflags(write=False)
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Scan an 8x8 block into a length-64 zig-zag vector."""
+    block = np.asarray(block)
+    if block.shape != (8, 8):
+        raise ValueError(f"expected an 8x8 block, got {block.shape}")
+    return block.reshape(64)[ZIGZAG_ORDER]
+
+
+def izigzag(vector: np.ndarray) -> np.ndarray:
+    """Inverse scan: rebuild the 8x8 block from a zig-zag vector."""
+    vector = np.asarray(vector)
+    if vector.shape != (64,):
+        raise ValueError(f"expected a length-64 vector, got {vector.shape}")
+    return vector[_INVERSE].reshape(8, 8)

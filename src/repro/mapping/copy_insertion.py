@@ -1,0 +1,97 @@
+"""Copy-process insertion between pipeline stages.
+
+When a producer and consumer land on different tiles, the block's data is
+moved by an explicit copy process (CP16/CP32/CP64, Table 3).  This module
+selects copy processes for each stage boundary from the words the boundary
+carries and totals their per-block cost, including the ``data3``
+re-initialization that the *memory-optimal* variant pays per firing (the
+source/destination variables) — unless the self-update optimization of
+Table 2 is enabled, which regenerates those variables in-place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.mapping.placement import PipelineMapping
+from repro.pn.process import CopyVariant, Process
+from repro.pn.profiles import jpeg_copy_process
+from repro.units import DMEM_WORD_RELOAD_NS
+
+__all__ = ["BoundaryCopies", "insert_copies", "copy_overhead_ns"]
+
+_CP_SIZES = (64, 32, 16)
+
+
+@dataclass(frozen=True)
+class BoundaryCopies:
+    """Copy processes covering one stage boundary."""
+
+    boundary: int  # index of the upstream stage
+    words: int
+    copies: tuple[Process, ...]
+
+    def cost_ns(self, *, self_update: bool = True) -> float:
+        """Per-block cost of this boundary's copies.
+
+        ``self_update=False`` charges the per-firing reload of each copy
+        process's src/dst variables (Table 2's "previous" column);
+        ``True`` uses the optimized in-place update, whose cost the paper
+        reports as a handful of instructions already inside the copy
+        runtime.
+        """
+        cost = sum(p.runtime_ns for p in self.copies)
+        if not self_update:
+            cost += sum(p.data3 for p in self.copies) * DMEM_WORD_RELOAD_NS
+        return cost
+
+
+def _decompose(words: int) -> list[int]:
+    """Greedy cover of ``words`` by CP64/CP32/CP16 firings."""
+    remaining = words
+    sizes: list[int] = []
+    for size in _CP_SIZES:
+        while remaining >= size:
+            sizes.append(size)
+            remaining -= size
+    if remaining > 0:
+        sizes.append(16)  # smallest published copier; rounds up
+    return sizes
+
+
+def insert_copies(
+    mapping: PipelineMapping,
+    variant: CopyVariant = CopyVariant.MEMORY,
+) -> list[BoundaryCopies]:
+    """Copy processes for every inter-stage boundary of a mapping.
+
+    The words carried across a boundary are the ``output_words`` of the
+    upstream stage's last process.  Boundaries carrying zero words get no
+    copies.
+    """
+    if mapping.n_stages == 0:
+        raise MappingError("mapping has no stages")
+    boundaries: list[BoundaryCopies] = []
+    for index in range(mapping.n_stages - 1):
+        words = mapping.stages[index].processes[-1].output_words
+        if words <= 0:
+            continue
+        copies = tuple(
+            jpeg_copy_process(size, variant) for size in _decompose(words)
+        )
+        boundaries.append(BoundaryCopies(index, words, copies))
+    return boundaries
+
+
+def copy_overhead_ns(
+    mapping: PipelineMapping,
+    variant: CopyVariant = CopyVariant.MEMORY,
+    *,
+    self_update: bool = True,
+) -> float:
+    """Total per-block copy cost over all boundaries of a mapping."""
+    return sum(
+        b.cost_ns(self_update=self_update)
+        for b in insert_copies(mapping, variant)
+    )

@@ -1,0 +1,201 @@
+"""Per-tile cost model: what one block costs a tile.
+
+For the mapping algorithms a tile's *execution time* is "the sum of runtime
+and reconfiguration time for all the processes executing in that tile"
+(Sec. 3.5).  Concretely, per block:
+
+* every process fires once: its ``runtime_cycles``;
+* every process re-initializes its ``data3`` words through the ICAP
+  (33.33 ns/word) — these are per-firing values such as base addresses;
+* if the tile's processes do not all fit in the 512-word instruction
+  memory, the non-pinned ones are paged in every block at 50 ns per
+  instruction word (9 bytes at 180 MB/s).
+
+Pinning (Table 4's ``(f)`` label) decides who stays resident.  The model
+supports the paper's explicit pin sets and an automatic policy for the
+rebalancing sweeps: pin the largest processes, constrained so the resident
+set plus the largest *swapped* process still fits, which is exactly the
+constraint the paper's pin choice {Hman1, Hman3, Hman5} satisfies with one
+word to spare.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.pn.process import Process
+from repro.units import (
+    DMEM_WORD_RELOAD_NS,
+    IMEM_WORD_RELOAD_NS,
+    INSTR_MEM_WORDS,
+)
+
+__all__ = ["PinningPolicy", "TileCostModel", "TileCost"]
+
+
+class PinningPolicy(enum.Enum):
+    """How the model decides which processes stay resident."""
+
+    #: Pin nothing: everything reloads every block when over capacity.
+    NONE = "none"
+    #: Pin by descending instruction count while the largest remaining
+    #: swapped process still fits next to the pinned set.
+    GREEDY = "greedy"
+    #: Use an explicit pin set supplied per call (the paper's ``(f)``).
+    EXPLICIT = "explicit"
+
+
+@dataclass(frozen=True)
+class TileCost:
+    """Cost breakdown of one block on one tile."""
+
+    runtime_ns: float
+    imem_reload_ns: float
+    dmem_reload_ns: float
+    pinned: frozenset[str] = field(default_factory=frozenset)
+    reloaded_insts: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        return self.runtime_ns + self.imem_reload_ns + self.dmem_reload_ns
+
+    @property
+    def needs_reconfig(self) -> bool:
+        """True when the tile pages instructions per block (Table 4 flag)."""
+        return self.reloaded_insts > 0
+
+
+@dataclass
+class TileCostModel:
+    """Computes per-block tile times for process groups.
+
+    Parameters
+    ----------
+    imem_words:
+        Instruction-memory capacity (512 on reMORPH).
+    policy:
+        Pinning policy; ``EXPLICIT`` requires passing ``pinned`` per call.
+    imem_word_ns / dmem_word_ns:
+        Per-word reload costs (published: 50 ns and 33.33 ns).
+    charge_data3:
+        Charge the per-firing ``data3`` re-initialization (on in the
+        paper; the ablation benches switch it off).
+    """
+
+    imem_words: int = INSTR_MEM_WORDS
+    policy: PinningPolicy = PinningPolicy.GREEDY
+    imem_word_ns: float = IMEM_WORD_RELOAD_NS
+    dmem_word_ns: float = DMEM_WORD_RELOAD_NS
+    charge_data3: bool = True
+
+    def __post_init__(self) -> None:
+        if self.imem_words <= 0:
+            raise MappingError("imem_words must be positive")
+
+    # ------------------------------------------------------------------
+
+    def fits(self, processes: Sequence[Process]) -> bool:
+        """True when all processes are simultaneously resident."""
+        return sum(p.insts for p in processes) <= self.imem_words
+
+    def greedy_pin_set(self, processes: Sequence[Process]) -> frozenset[str]:
+        """Automatic pin set: largest-first under the residency constraint.
+
+        The resident (pinned) words plus the largest process that still
+        swaps must fit together, otherwise the swapped process could never
+        be paged in.  Candidates are considered by descending instruction
+        count; ties break by pipeline position for determinism.
+        """
+        if self.fits(processes):
+            return frozenset(p.name for p in processes)
+        order = sorted(
+            range(len(processes)),
+            key=lambda i: (-processes[i].insts, i),
+        )
+        pinned: list[int] = []
+        pinned_words = 0
+        for idx in order:
+            candidate_words = pinned_words + processes[idx].insts
+            swapped = [
+                processes[j].insts
+                for j in range(len(processes))
+                if j not in pinned and j != idx
+            ]
+            largest_swapped = max(swapped, default=0)
+            if candidate_words + largest_swapped <= self.imem_words:
+                pinned.append(idx)
+                pinned_words = candidate_words
+        return frozenset(processes[i].name for i in pinned)
+
+    # ------------------------------------------------------------------
+
+    def block_cost(
+        self,
+        processes: Sequence[Process],
+        pinned: Iterable[str] | None = None,
+    ) -> TileCost:
+        """Cost of one block for a tile hosting ``processes``.
+
+        ``pinned`` is required for :attr:`PinningPolicy.EXPLICIT` and
+        ignored otherwise.
+        """
+        processes = list(processes)
+        if not processes:
+            raise MappingError("a tile must host at least one process")
+        runtime = sum(p.runtime_ns for p in processes)
+        dmem = (
+            sum(p.data3 for p in processes) * self.dmem_word_ns
+            if self.charge_data3
+            else 0.0
+        )
+
+        if self.fits(processes):
+            return TileCost(
+                runtime_ns=runtime,
+                imem_reload_ns=0.0,
+                dmem_reload_ns=dmem,
+                pinned=frozenset(p.name for p in processes),
+            )
+
+        if self.policy is PinningPolicy.NONE:
+            pin_set: frozenset[str] = frozenset()
+        elif self.policy is PinningPolicy.GREEDY:
+            pin_set = self.greedy_pin_set(processes)
+        else:
+            if pinned is None:
+                raise MappingError("EXPLICIT pinning policy needs a pin set")
+            pin_set = frozenset(pinned)
+            names = {p.name for p in processes}
+            unknown = pin_set - names
+            if unknown:
+                raise MappingError(f"pinned processes not on tile: {sorted(unknown)}")
+            pinned_words = sum(p.insts for p in processes if p.name in pin_set)
+            largest_swapped = max(
+                (p.insts for p in processes if p.name not in pin_set), default=0
+            )
+            if pinned_words + largest_swapped > self.imem_words:
+                raise MappingError(
+                    f"pin set {sorted(pin_set)} leaves no room to page in the "
+                    f"largest swapped process "
+                    f"({pinned_words} + {largest_swapped} > {self.imem_words})"
+                )
+
+        reloaded = sum(p.insts for p in processes if p.name not in pin_set)
+        return TileCost(
+            runtime_ns=runtime,
+            imem_reload_ns=reloaded * self.imem_word_ns,
+            dmem_reload_ns=dmem,
+            pinned=pin_set,
+            reloaded_insts=reloaded,
+        )
+
+    def block_time_ns(
+        self,
+        processes: Sequence[Process],
+        pinned: Iterable[str] | None = None,
+    ) -> float:
+        """Shorthand for ``block_cost(...).total_ns``."""
+        return self.block_cost(processes, pinned).total_ns

@@ -1,0 +1,175 @@
+"""Epoch-schedule generation: from mappings to Eq. 1 evaluations.
+
+The paper's central idea is *temporal reuse*: an application whose process
+network would need one tile per process can instead fold onto fewer tiles,
+re-programming them between epochs, paying reconfiguration (term B of
+Eq. 1) and inter-epoch copies (term C) to save area.  This module builds
+concrete :class:`~repro.pn.epoch.Epoch` schedules for both disciplines:
+
+* :func:`spatial_epochs` — one epoch per pipeline stage of a placed
+  :class:`~repro.mapping.placement.PipelineMapping` (pure space mapping);
+* :func:`folded_epochs` — the whole pipeline time-multiplexed over
+  ``n_tiles`` physical tiles in successive phases, with links re-chained
+  every phase (pure time mapping, the 1-tile extreme of Table 4).
+
+Both feed :func:`repro.pn.runtime_model.eq1_runtime`;
+:func:`folding_tradeoff` sweeps the fold factor and reports the
+area/runtime frontier the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.fabric.links import Direction
+from repro.mapping.linkplan import snake_placement
+from repro.mapping.placement import PipelineMapping
+from repro.pn.epoch import Configuration, Epoch
+from repro.pn.network import ProcessNetwork
+from repro.pn.process import Process
+from repro.pn.runtime_model import Eq1Breakdown, eq1_runtime
+from repro.units import CYCLE_NS
+
+__all__ = [
+    "spatial_epochs",
+    "folded_epochs",
+    "folding_tradeoff",
+    "FoldPoint",
+]
+
+Coord = tuple[int, int]
+
+#: Default per-word copy cost: the looped CP process moves ~one word per
+#: six cycles (Table 3's memory-optimal CP64: 720 cycles / 64 words ≈ 11;
+#: unrolled: 1) — use the published CP64 figure.
+DEFAULT_COPY_NS_PER_WORD = 720 / 64 * CYCLE_NS
+
+
+def _chain_links(coords: list[Coord]) -> dict[Coord, Direction | None]:
+    links: dict[Coord, Direction | None] = {}
+    for a, b in zip(coords, coords[1:]):
+        delta = (b[0] - a[0], b[1] - a[1])
+        direction = next(
+            (d for d in Direction if d.delta == delta), None
+        )
+        if direction is None:
+            raise MappingError(f"tiles {a} and {b} are not neighbours")
+        links[a] = direction
+    if coords:
+        links.setdefault(coords[-1], None)
+    return links
+
+
+def spatial_epochs(
+    mapping: PipelineMapping,
+    model,
+    mesh_cols: int = 5,
+) -> list[Epoch]:
+    """One steady-state block as per-stage epochs of a placed mapping.
+
+    Every configuration carries the *full* binding (a space mapping keeps
+    all processes resident on their tiles simultaneously) with the static
+    pipeline links up; epoch ``i`` lasts stage ``i``'s block time.
+    Replicated stages appear as their lead tile (the steering of the
+    other instances is a link-cost matter the pipeline metrics already
+    charge).  Because nothing moves or reloads between the epochs, Eq. 1
+    terms B and C are zero for this schedule — the space-mapping extreme.
+    """
+    coords = snake_placement(mapping.n_tiles, mesh_cols)
+    links = _chain_links(coords)
+    binding: dict[str, Coord] = {}
+    position = 0
+    for stage in mapping.stages:
+        for process in stage.processes:
+            binding[process.name] = coords[position]
+        position += stage.copies
+    epochs: list[Epoch] = []
+    for index, stage in enumerate(mapping.stages):
+        config = Configuration(
+            f"C{index}", binding=dict(binding), links=dict(links)
+        )
+        epochs.append(Epoch(config, stage.tile_time_ns(model)))
+    return epochs
+
+
+def folded_epochs(
+    processes: list[Process],
+    n_tiles: int,
+    mesh_cols: int = 5,
+) -> list[Epoch]:
+    """Time-multiplex a pipeline over ``n_tiles`` tiles in phases.
+
+    Phase ``k`` binds processes ``k*n .. (k+1)*n`` one-per-tile along the
+    snake chain and runs them to completion (duration = slowest process
+    of the phase); the next phase swaps the instruction images in.  The
+    intermediate data stays put: each phase's producer tile is the next
+    phase's consumer tile, so term C only pays when the chain order
+    forces a move.
+    """
+    if n_tiles < 1:
+        raise MappingError("n_tiles must be >= 1")
+    if not processes:
+        raise MappingError("process list is empty")
+    coords = snake_placement(n_tiles, mesh_cols)
+    links = _chain_links(coords)
+    epochs: list[Epoch] = []
+    for phase_start in range(0, len(processes), n_tiles):
+        phase = processes[phase_start:phase_start + n_tiles]
+        binding = {
+            p.name: coords[i] for i, p in enumerate(phase)
+        }
+        duration = max(p.runtime_ns for p in phase)
+        config = Configuration(
+            f"phase{phase_start // n_tiles}",
+            binding=binding,
+            links={c: links[c] for c in coords},
+        )
+        epochs.append(Epoch(config, duration))
+    return epochs
+
+
+@dataclass(frozen=True)
+class FoldPoint:
+    """One fold factor's Eq. 1 outcome."""
+
+    n_tiles: int
+    phases: int
+    breakdown: Eq1Breakdown
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.breakdown.total_ns
+
+    @property
+    def reconfig_share(self) -> float:
+        total = self.breakdown.total_ns
+        return self.breakdown.reconfig_ns / total if total else 0.0
+
+
+def folding_tradeoff(
+    network: ProcessNetwork,
+    tile_budgets: list[int],
+    link_cost_ns: float,
+    copy_ns_per_word: float = DEFAULT_COPY_NS_PER_WORD,
+    mesh_cols: int = 5,
+) -> list[FoldPoint]:
+    """Eq. 1 runtime vs tile budget for temporal folding.
+
+    Shows the paper's area/performance trade: few tiles mean many phases
+    and heavy term-B reconfiguration; enough tiles make the schedule a
+    single preloaded phase.
+    """
+    processes = network.pipeline_order()
+    points = []
+    for n_tiles in tile_budgets:
+        epochs = folded_epochs(processes, n_tiles, mesh_cols)
+        breakdown = eq1_runtime(
+            epochs, network, link_cost_ns, copy_ns_per_word=copy_ns_per_word
+        )
+        points.append(
+            FoldPoint(
+                n_tiles=n_tiles, phases=len(epochs), breakdown=breakdown
+            )
+        )
+    return points

@@ -1,0 +1,162 @@
+"""Exact optimal pipeline partitioning (global reference for the rebalancers).
+
+The paper's reBalanceOPT is optimal only over the *surrounding set* of
+one step's heaviest tile; nothing in the paper bounds how far the overall
+greedy trajectory can drift from the true optimum.  This module computes
+that optimum exactly for the paper's mapping model — contiguous process
+groups, where a single-process group may be replicated over ``k`` tiles
+to divide its effective time by ``k`` — so the ablation benches can
+report the heuristics' optimality gap.
+
+Algorithm: parametric search over the finite set of achievable intervals
+(every contiguous group time, plus every single-process time divided by
+every feasible replication count), with an O(n²) DP feasibility check:
+
+    min_tiles[i] = min over j of min_tiles[j] + tiles(group p_j..p_{i-1})
+
+where a multi-process group costs one tile iff its time fits the target
+interval, and a single-process group costs ceil(time / T) tiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.mapping.cost import TileCostModel
+from repro.mapping.placement import PipelineMapping, Stage
+from repro.pn.process import Process
+
+__all__ = ["OptimalResult", "optimal_mapping", "min_tiles_for_interval"]
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """The exact optimum for one (pipeline, budget) instance."""
+
+    mapping: PipelineMapping
+    interval_ns: float
+
+    @property
+    def n_tiles(self) -> int:
+        return self.mapping.n_tiles
+
+
+def _group_tiles(time_ns: float, single: bool, target_ns: float) -> int | None:
+    """Tiles needed for one group under a target interval, or None."""
+    if single:
+        return max(1, math.ceil(time_ns / target_ns - 1e-12))
+    return 1 if time_ns <= target_ns + 1e-9 else None
+
+
+def min_tiles_for_interval(
+    processes: list[Process],
+    target_ns: float,
+    model: TileCostModel,
+) -> tuple[int, list[Stage]] | None:
+    """Fewest tiles achieving ``target_ns``, with a witness stage list.
+
+    Returns ``None`` when the target is unachievable (some multi-process
+    prefix cannot be split finely enough — impossible here since single
+    processes always replicate, so None only for target <= 0).
+    """
+    if target_ns <= 0:
+        return None
+    n = len(processes)
+    times: dict[tuple[int, int], float] = {}
+    for i in range(n):
+        for j in range(i + 1, n + 1):
+            times[(i, j)] = model.block_time_ns(processes[i:j])
+
+    INF = float("inf")
+    best: list[float] = [INF] * (n + 1)
+    choice: list[tuple[int, int] | None] = [None] * (n + 1)
+    best[0] = 0.0
+    for end in range(1, n + 1):
+        for start in range(end):
+            if best[start] == INF:
+                continue
+            tiles = _group_tiles(
+                times[(start, end)], end - start == 1, target_ns
+            )
+            if tiles is None:
+                continue
+            if best[start] + tiles < best[end]:
+                best[end] = best[start] + tiles
+                choice[end] = (start, tiles)
+    if best[n] == INF:
+        return None
+
+    stages: list[Stage] = []
+    end = n
+    while end > 0:
+        start, tiles = choice[end]  # type: ignore[misc]
+        stages.append(Stage(tuple(processes[start:end]),
+                            copies=tiles if end - start == 1 else 1))
+        end = start
+    stages.reverse()
+    return int(best[n]), stages
+
+
+def _candidate_intervals(
+    processes: list[Process], max_tiles: int, model: TileCostModel
+) -> list[float]:
+    candidates: set[float] = set()
+    n = len(processes)
+    for i in range(n):
+        time_i = model.block_time_ns([processes[i]])
+        for k in range(1, max_tiles + 1):
+            candidates.add(time_i / k)
+        for j in range(i + 1, n + 1):
+            candidates.add(model.block_time_ns(processes[i:j]))
+    return sorted(candidates)
+
+
+def optimal_mapping(
+    processes: list[Process],
+    max_tiles: int,
+    model: TileCostModel,
+) -> OptimalResult:
+    """The minimum achievable interval within a tile budget, exactly.
+
+    Binary-searches the sorted candidate intervals for the smallest one
+    whose DP-minimal tile count fits the budget, then pads the witness
+    with extra replicas of the heaviest stage if tiles remain (matching
+    how the heuristics always spend the whole budget).
+    """
+    if not processes:
+        raise MappingError("process list is empty")
+    if max_tiles < 1:
+        raise MappingError("max_tiles must be >= 1")
+
+    candidates = _candidate_intervals(processes, max_tiles, model)
+    lo, hi = 0, len(candidates) - 1
+    feasible: tuple[float, list[Stage]] | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        result = min_tiles_for_interval(processes, candidates[mid], model)
+        if result is not None and result[0] <= max_tiles:
+            feasible = (candidates[mid], result[1])
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if feasible is None:  # pragma: no cover - budget >= 1 always feasible
+        raise MappingError("no feasible interval found")
+
+    _, stages = feasible
+    mapping = PipelineMapping(stages)
+    # Spend leftover budget on the heaviest stage, like the heuristics do;
+    # this cannot worsen (and may improve) the interval.
+    while mapping.n_tiles < max_tiles:
+        heavy = mapping.heaviest_stage(model)
+        stage = mapping.stages[heavy]
+        if len(stage.processes) == 1:
+            mapping = mapping.replace_stage(
+                heavy, stage.with_copies(stage.copies + 1)
+            )
+        else:
+            break  # a multi-process bottleneck: extra tiles cannot help it
+    return OptimalResult(
+        mapping=mapping, interval_ns=mapping.interval_ns(model)
+    )

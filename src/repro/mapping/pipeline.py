@@ -1,0 +1,95 @@
+"""Pipeline metrics: throughput, utilization, area.
+
+These are the quantities Table 4 and Figs. 16-17 report:
+
+* **interval** — steady-state initiation interval per block (the paper's
+  per-block "Time(us)");
+* **throughput** — items (e.g. images) per second: one item is
+  ``blocks_per_item`` pipeline blocks;
+* **average utilization** — mean busy fraction over all physical tiles,
+  ``sum(stage tile times) / (n_tiles * interval)``.
+
+For 200x200-pixel images the paper's five published mappings are mutually
+consistent with **800 blocks per image** (1/images_per_s ~= 800 x
+per-block time for all five rows).  800 = 32 x 25 blocks corresponds to a
+256x200 padded frame — 200 px is not 8-divisible-row-aligned in their
+line stride — so 800 is exposed as :data:`JPEG_BLOCKS_PER_IMAGE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.area import area_slice_luts
+from repro.mapping.cost import TileCostModel
+from repro.mapping.placement import PipelineMapping
+from repro.units import NS_PER_S
+
+__all__ = ["PipelineMetrics", "evaluate_mapping", "JPEG_BLOCKS_PER_IMAGE"]
+
+#: Blocks per 200x200 image implied by Table 4 (see module docstring).
+JPEG_BLOCKS_PER_IMAGE = 800
+
+
+@dataclass(frozen=True)
+class PipelineMetrics:
+    """Steady-state metrics of one mapping under one cost model."""
+
+    n_tiles: int
+    interval_ns: float
+    #: Sum of per-tile busy times per own block.
+    busy_ns: float
+    #: Per-block copy overhead added on top of the interval, if any.
+    copy_overhead_ns: float = 0.0
+
+    @property
+    def block_time_ns(self) -> float:
+        """Per-block time including copy overhead."""
+        return self.interval_ns + self.copy_overhead_ns
+
+    def items_per_s(self, blocks_per_item: int = 1) -> float:
+        """Throughput in items per second."""
+        if blocks_per_item <= 0:
+            raise ValueError("blocks_per_item must be positive")
+        return NS_PER_S / (self.block_time_ns * blocks_per_item)
+
+    @property
+    def utilization(self) -> float:
+        """Average tile utilization (busy fraction of the interval)."""
+        if self.n_tiles == 0 or self.interval_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / (self.n_tiles * self.interval_ns))
+
+    @property
+    def area_luts(self) -> int:
+        """Slice-LUT footprint."""
+        return area_slice_luts(self.n_tiles)
+
+    def throughput_per_area(self, blocks_per_item: int = 1) -> float:
+        """Items per second per slice LUT — the high performance/area
+        figure of merit the paper optimizes."""
+        area = self.area_luts
+        return self.items_per_s(blocks_per_item) / area if area else 0.0
+
+
+def evaluate_mapping(
+    mapping: PipelineMapping,
+    model: TileCostModel,
+    copy_overhead_ns: float = 0.0,
+) -> PipelineMetrics:
+    """Compute steady-state metrics of a mapping.
+
+    ``copy_overhead_ns`` is a per-block serial copy cost (cp64 hops etc.)
+    added to the interval; Table 4's note says copy overhead is accounted
+    in total time, and the ablation benches quantify it separately.
+    """
+    # Busy time per block: each stage's tiles collectively do one block's
+    # worth of that stage per interval (a k-copy stage has each tile busy
+    # tile_time per k blocks).
+    busy = sum(stage.tile_time_ns(model) for stage in mapping.stages)
+    return PipelineMetrics(
+        n_tiles=mapping.n_tiles,
+        interval_ns=mapping.interval_ns(model),
+        busy_ns=busy,
+        copy_overhead_ns=copy_overhead_ns,
+    )

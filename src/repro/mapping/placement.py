@@ -1,0 +1,166 @@
+"""Pipeline mappings: ordered stages of processes on (possibly replicated) tiles.
+
+The mapper's central data structure is :class:`PipelineMapping`, a list of
+:class:`Stage` objects in pipeline order.  A stage hosts a contiguous slice
+of the process pipeline on ``copies`` identical tiles:
+
+* ``copies == 1`` — the ordinary case, one tile time-multiplexes the
+  stage's processes every block;
+* ``copies > 1`` — the stage's (single) heavy process is *instantiated*
+  on several tiles that take turns on successive blocks (Fig. 15), so the
+  stage feeds the pipeline one result every ``time / copies``.
+
+The paper only replicates single-process stages (duplicating a
+multi-process group would not shorten the critical path without also
+splitting it), and :class:`Stage` enforces that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import MappingError
+from repro.mapping.cost import TileCostModel
+from repro.pn.process import Process
+
+__all__ = ["Stage", "PipelineMapping"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: contiguous processes on ``copies`` tiles."""
+
+    processes: tuple[Process, ...]
+    copies: int = 1
+    #: Explicit pin set for EXPLICIT cost-model policies (Table 4's (f)).
+    pinned: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.processes:
+            raise MappingError("a stage must host at least one process")
+        if self.copies < 1:
+            raise MappingError(f"copies must be >= 1, got {self.copies}")
+        if self.copies > 1 and len(self.processes) > 1:
+            raise MappingError(
+                "only single-process stages can be replicated "
+                f"(got {len(self.processes)} processes x {self.copies} copies)"
+            )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.processes)
+
+    def tile_time_ns(self, model: TileCostModel) -> float:
+        """Per-block busy time of ONE tile of this stage."""
+        pinned = self.pinned if self.pinned else None
+        return model.block_time_ns(self.processes, pinned)
+
+    def effective_time_ns(self, model: TileCostModel) -> float:
+        """Contribution to the pipeline interval: tile time / copies.
+
+        With ``k`` copies, a new block enters one of the stage's tiles
+        every ``tile_time / k`` in steady state.
+        """
+        return self.tile_time_ns(model) / self.copies
+
+    def with_copies(self, copies: int) -> "Stage":
+        return replace(self, copies=copies)
+
+    def label(self) -> str:
+        body = ",".join(self.names)
+        return f"[{body}]x{self.copies}" if self.copies > 1 else f"[{body}]"
+
+
+@dataclass
+class PipelineMapping:
+    """An ordered list of stages covering the whole process pipeline."""
+
+    stages: list[Stage] = field(default_factory=list)
+
+    @classmethod
+    def single_tile(cls, processes: list[Process]) -> "PipelineMapping":
+        """The starting point of every rebalancer: everything on one tile."""
+        return cls([Stage(tuple(processes))])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_tiles(self) -> int:
+        """Total tiles consumed (stage copies included)."""
+        return sum(stage.copies for stage in self.stages)
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    def processes(self) -> list[Process]:
+        """All processes in pipeline order."""
+        out: list[Process] = []
+        for stage in self.stages:
+            out.extend(stage.processes)
+        return out
+
+    def process_names(self) -> list[str]:
+        return [p.name for p in self.processes()]
+
+    def validate_covers(self, names: list[str]) -> None:
+        """Check the mapping hosts exactly ``names`` in order."""
+        have = self.process_names()
+        if have != list(names):
+            raise MappingError(
+                f"mapping covers {have}, expected {list(names)}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def heaviest_stage(self, model: TileCostModel) -> int:
+        """Index of the stage with the largest effective time.
+
+        Ties break toward the earliest stage, which keeps the rebalancers
+        deterministic.
+        """
+        if not self.stages:
+            raise MappingError("mapping has no stages")
+        times = [s.effective_time_ns(model) for s in self.stages]
+        return max(range(len(times)), key=lambda i: (times[i], -i))
+
+    def interval_ns(self, model: TileCostModel) -> float:
+        """Steady-state initiation interval: the slowest effective stage."""
+        if not self.stages:
+            raise MappingError("mapping has no stages")
+        return max(s.effective_time_ns(model) for s in self.stages)
+
+    def tile_times_ns(self, model: TileCostModel) -> list[float]:
+        """Per-tile busy time per own block, one entry per physical tile."""
+        times: list[float] = []
+        for stage in self.stages:
+            times.extend([stage.tile_time_ns(model)] * stage.copies)
+        return times
+
+    # ------------------------------------------------------------------
+
+    def replace_stage(self, index: int, *replacement: Stage) -> "PipelineMapping":
+        """A copy with stage ``index`` replaced by ``replacement`` stage(s)."""
+        if not 0 <= index < len(self.stages):
+            raise MappingError(f"stage index {index} out of range")
+        stages = self.stages[:index] + list(replacement) + self.stages[index + 1:]
+        return PipelineMapping(stages)
+
+    def describe(self, model: TileCostModel | None = None) -> str:
+        """One-line summary, optionally with per-stage times."""
+        parts = []
+        for stage in self.stages:
+            if model is None:
+                parts.append(stage.label())
+            else:
+                parts.append(
+                    f"{stage.label()}={stage.effective_time_ns(model):.0f}ns"
+                )
+        return " -> ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PipelineMapping):
+            return NotImplemented
+        return [
+            (s.names, s.copies) for s in self.stages
+        ] == [(s.names, s.copies) for s in other.stages]

@@ -1,0 +1,311 @@
+"""The rebalancing algorithms of Sec. 3.5.
+
+All three follow the same incremental skeleton: start with every process
+on one tile and add one tile at a time up to the budget, always giving the
+new tile to the *heaviest* stage (the one with the largest effective
+per-block time).  They differ in how they repair the allocation after each
+step:
+
+* **reBalanceOne** (Algorithm 1) — pure greedy.  If the heaviest stage has
+  several processes, split its contiguous process list into two stages by
+  iteratively moving processes until the |left - right| time difference
+  stops shrinking; if it has a single process, add another instance
+  (copy) of that stage.
+* **reBalanceTwo** (Algorithm 2) — after each step, compute the *set
+  surrounding the heaviest tile* (bounded on each side by the first
+  replicated stage or the pipeline end) and re-distribute its processes so
+  every tile lands near the set's average time; iterate to a fixed point.
+* **reBalanceOPT** — same surrounding set, but choose the contiguous
+  distribution minimizing the set's maximum tile time by exhaustive
+  search over split points.
+
+The paper observes that the three give identical mappings except when the
+heaviest tile holds several processes (16-20 tiles for JPEG), which the
+shipped benches confirm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.errors import MappingError
+from repro.mapping.cost import TileCostModel
+from repro.mapping.placement import PipelineMapping, Stage
+from repro.pn.process import Process
+
+__all__ = [
+    "RebalanceTrace",
+    "rebalance",
+    "rebalance_one",
+    "rebalance_two",
+    "rebalance_opt",
+    "surrounding_set",
+    "split_stage_balanced",
+    "redistribute_average",
+    "redistribute_optimal",
+]
+
+
+@dataclass
+class RebalanceTrace:
+    """Step-by-step record of a rebalancing run (one entry per tile count)."""
+
+    mappings: list[PipelineMapping] = field(default_factory=list)
+
+    def at_tiles(self, n: int) -> PipelineMapping:
+        """The mapping produced when the budget reached ``n`` tiles."""
+        for mapping in self.mappings:
+            if mapping.n_tiles == n:
+                return mapping
+        raise MappingError(f"trace holds no mapping with {n} tiles")
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 building block: balanced split of one stage
+# ----------------------------------------------------------------------
+
+def split_stage_balanced(
+    stage: Stage, model: TileCostModel
+) -> tuple[Stage, Stage]:
+    """Split a multi-process stage into two, following Algorithm 1's loop.
+
+    Starting with everything on the *second* tile, processes move one at
+    a time to the first tile while the absolute time difference keeps
+    decreasing; the last move is then undone.  This lands on a local
+    minimum of |Time(T1) - Time(T2)| over contiguous splits, which for
+    monotone prefixes is the global one.
+    """
+    processes = list(stage.processes)
+    if len(processes) < 2:
+        raise MappingError("cannot split a single-process stage")
+
+    def diff(split: int) -> float:
+        left = model.block_time_ns(processes[:split])
+        right = model.block_time_ns(processes[split:])
+        return abs(right - left)
+
+    split = 1
+    best = diff(split)
+    while split + 1 < len(processes):
+        candidate = diff(split + 1)
+        if candidate >= best:
+            break
+        split += 1
+        best = candidate
+    return (
+        Stage(tuple(processes[:split])),
+        Stage(tuple(processes[split:])),
+    )
+
+
+def _one_step(mapping: PipelineMapping, model: TileCostModel) -> PipelineMapping:
+    """Add one tile to the heaviest stage (split or duplicate)."""
+    index = mapping.heaviest_stage(model)
+    stage = mapping.stages[index]
+    if len(stage.processes) == 1:
+        return mapping.replace_stage(index, stage.with_copies(stage.copies + 1))
+    left, right = split_stage_balanced(stage, model)
+    return mapping.replace_stage(index, left, right)
+
+
+# ----------------------------------------------------------------------
+# surrounding set (Algorithm 2 / OPT)
+# ----------------------------------------------------------------------
+
+def surrounding_set(mapping: PipelineMapping, heavy: int) -> tuple[int, int]:
+    """Indices [lo, hi] of the set surrounding stage ``heavy``.
+
+    The set extends from the heaviest stage outward and is bounded on each
+    side by the first stage with more than one copy (exclusive) or the
+    pipeline boundary (inclusive).  Replicated stages cannot take part in
+    a process redistribution — their single process is already spread
+    over several tiles — so they act as walls.
+    """
+    if not 0 <= heavy < mapping.n_stages:
+        raise MappingError(f"stage index {heavy} out of range")
+    lo = heavy
+    while lo - 1 >= 0 and mapping.stages[lo - 1].copies == 1:
+        lo -= 1
+    hi = heavy
+    while hi + 1 < mapping.n_stages and mapping.stages[hi + 1].copies == 1:
+        hi += 1
+    return lo, hi
+
+
+def redistribute_average(
+    processes: list[Process],
+    n_tiles: int,
+    model: TileCostModel,
+    *,
+    slack: float = 0.0,
+    max_rounds: int = 32,
+) -> list[Stage]:
+    """Algorithm 2's inner loop: fill tiles up to the average time.
+
+    Walk the process list, allotting processes to the current tile while
+    its time stays within ``average + slack`` (``slack`` defaults to 0, so
+    a tile closes as soon as adding the next process would exceed the
+    average).  Trailing processes spill into the last tile.  The fill is
+    repeated with the achieved arrangement's own average until it stops
+    changing or ``max_rounds`` is hit.
+    """
+    if n_tiles < 1:
+        raise MappingError("need at least one tile")
+    if n_tiles >= len(processes):
+        return [Stage((p,)) for p in processes]
+
+    total = model.block_time_ns(processes)
+    average = total / n_tiles
+    arrangement: list[list[Process]] | None = None
+    for _ in range(max_rounds):
+        groups: list[list[Process]] = []
+        current: list[Process] = []
+        remaining_tiles = n_tiles
+        for i, process in enumerate(processes):
+            remaining_after = len(processes) - i - 1
+            candidate = current + [process]
+            # Keep enough processes back to populate the remaining tiles.
+            must_close = remaining_after < (remaining_tiles - len(groups) - 1)
+            time = model.block_time_ns(candidate)
+            if current and time > average + slack and not must_close:
+                if len(groups) + 1 < n_tiles:
+                    groups.append(current)
+                    current = [process]
+                    continue
+            current = candidate
+        groups.append(current)
+        while len(groups) < n_tiles:
+            # Split the largest group further (degenerate spill case).
+            big = max(range(len(groups)), key=lambda g: model.block_time_ns(groups[g]))
+            if len(groups[big]) < 2:
+                break
+            left, right = split_stage_balanced(Stage(tuple(groups[big])), model)
+            groups[big:big + 1] = [list(left.processes), list(right.processes)]
+        if arrangement == groups:
+            break
+        arrangement = groups
+        average = sum(model.block_time_ns(g) for g in groups) / len(groups)
+    assert arrangement is not None
+    return [Stage(tuple(g)) for g in arrangement]
+
+
+def redistribute_optimal(
+    processes: list[Process],
+    n_tiles: int,
+    model: TileCostModel,
+) -> list[Stage]:
+    """Minimize the maximum tile time over all contiguous distributions.
+
+    Exhaustive over split-point combinations; the sets in play are at most
+    the ten JPEG processes, so ``C(9, k)`` stays tiny.
+    """
+    if n_tiles < 1:
+        raise MappingError("need at least one tile")
+    n = len(processes)
+    if n_tiles >= n:
+        return [Stage((p,)) for p in processes]
+
+    best: tuple[float, tuple[int, ...]] | None = None
+    for cuts in combinations(range(1, n), n_tiles - 1):
+        bounds = (0, *cuts, n)
+        worst = max(
+            model.block_time_ns(processes[a:b])
+            for a, b in zip(bounds, bounds[1:])
+        )
+        if best is None or worst < best[0]:
+            best = (worst, cuts)
+    assert best is not None
+    bounds = (0, *best[1], n)
+    return [
+        Stage(tuple(processes[a:b])) for a, b in zip(bounds, bounds[1:])
+    ]
+
+
+def _refine_surrounding(
+    mapping: PipelineMapping,
+    model: TileCostModel,
+    redistribute,
+) -> PipelineMapping:
+    """Apply a redistribution function to the heaviest stage's set."""
+    heavy = mapping.heaviest_stage(model)
+    lo, hi = surrounding_set(mapping, heavy)
+    segment = mapping.stages[lo:hi + 1]
+    if len(segment) < 2:
+        return mapping  # a lone (possibly replicated) stage: nothing to do
+    processes: list[Process] = []
+    for stage in segment:
+        processes.extend(stage.processes)
+    new_stages = redistribute(processes, len(segment), model)
+    if len(new_stages) != len(segment):
+        # The redistribution could not fill every tile (degenerate fill);
+        # keep the greedy arrangement rather than change the tile budget.
+        return mapping
+    stages = mapping.stages[:lo] + new_stages + mapping.stages[hi + 1:]
+    refined = PipelineMapping(stages)
+    if refined.interval_ns(model) <= mapping.interval_ns(model):
+        return refined
+    return mapping
+
+
+# ----------------------------------------------------------------------
+# public drivers
+# ----------------------------------------------------------------------
+
+def rebalance(
+    processes: list[Process],
+    max_tiles: int,
+    model: TileCostModel,
+    *,
+    algorithm: str = "one",
+) -> RebalanceTrace:
+    """Run a rebalancer up to ``max_tiles``; returns the full trace.
+
+    ``algorithm`` is ``"one"``, ``"two"`` or ``"opt"``.
+    """
+    if max_tiles < 1:
+        raise MappingError("max_tiles must be >= 1")
+    if not processes:
+        raise MappingError("process list is empty")
+    refiners = {
+        "one": None,
+        "two": redistribute_average,
+        "opt": redistribute_optimal,
+    }
+    try:
+        refiner = refiners[algorithm]
+    except KeyError:
+        raise MappingError(
+            f"unknown algorithm {algorithm!r}; choose one/two/opt"
+        ) from None
+
+    trace = RebalanceTrace()
+    mapping = PipelineMapping.single_tile(list(processes))
+    trace.mappings.append(mapping)
+    while mapping.n_tiles < max_tiles:
+        mapping = _one_step(mapping, model)
+        if refiner is not None:
+            mapping = _refine_surrounding(mapping, model, refiner)
+        trace.mappings.append(mapping)
+    return trace
+
+
+def rebalance_one(
+    processes: list[Process], max_tiles: int, model: TileCostModel
+) -> PipelineMapping:
+    """Algorithm 1 (greedy); returns the final mapping."""
+    return rebalance(processes, max_tiles, model, algorithm="one").mappings[-1]
+
+
+def rebalance_two(
+    processes: list[Process], max_tiles: int, model: TileCostModel
+) -> PipelineMapping:
+    """Algorithm 2 (average redistribution); returns the final mapping."""
+    return rebalance(processes, max_tiles, model, algorithm="two").mappings[-1]
+
+
+def rebalance_opt(
+    processes: list[Process], max_tiles: int, model: TileCostModel
+) -> PipelineMapping:
+    """Optimal redistribution over the surrounding set."""
+    return rebalance(processes, max_tiles, model, algorithm="opt").mappings[-1]

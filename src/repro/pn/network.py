@@ -1,0 +1,171 @@
+"""Process-network graphs.
+
+A :class:`ProcessNetwork` is a directed graph of named
+:class:`~repro.pn.process.Process` nodes with word-weighted channels.  The
+networks in the paper are linear pipelines (JPEG) or grids that flatten to
+per-column pipelines (FFT), so the class keeps a cheap adjacency
+representation and offers topological ordering plus the pipeline-order view
+the rebalancing algorithms require.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import ProcessNetworkError
+from repro.pn.process import Process
+
+__all__ = ["Channel", "ProcessNetwork"]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A producer -> consumer edge carrying ``words`` per firing."""
+
+    src: str
+    dst: str
+    words: int = 0
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            raise ProcessNetworkError(
+                f"channel {self.src}->{self.dst}: words must be non-negative"
+            )
+        if self.src == self.dst:
+            raise ProcessNetworkError(f"self-loop channel on {self.src}")
+
+
+class ProcessNetwork:
+    """A directed graph of processes with word-weighted channels."""
+
+    def __init__(
+        self,
+        processes: Iterable[Process] = (),
+        channels: Iterable[Channel] = (),
+    ) -> None:
+        self._processes: dict[str, Process] = {}
+        self._channels: list[Channel] = []
+        self._succ: dict[str, list[str]] = {}
+        self._pred: dict[str, list[str]] = {}
+        for process in processes:
+            self.add_process(process)
+        for channel in channels:
+            self.add_channel(channel)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_process(self, process: Process) -> None:
+        if process.name in self._processes:
+            raise ProcessNetworkError(f"duplicate process {process.name!r}")
+        self._processes[process.name] = process
+        self._succ[process.name] = []
+        self._pred[process.name] = []
+
+    def add_channel(self, channel: Channel) -> None:
+        for end in (channel.src, channel.dst):
+            if end not in self._processes:
+                raise ProcessNetworkError(f"channel references unknown process {end!r}")
+        self._channels.append(channel)
+        self._succ[channel.src].append(channel.dst)
+        self._pred[channel.dst].append(channel.src)
+
+    def connect(self, src: str, dst: str, words: int = 0) -> None:
+        """Shorthand for :meth:`add_channel`."""
+        self.add_channel(Channel(src, dst, words))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def __iter__(self) -> Iterator[Process]:
+        return iter(self._processes.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processes
+
+    def process(self, name: str) -> Process:
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise ProcessNetworkError(f"unknown process {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._processes)
+
+    @property
+    def channels(self) -> list[Channel]:
+        return list(self._channels)
+
+    def successors(self, name: str) -> list[str]:
+        self.process(name)
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> list[str]:
+        self.process(name)
+        return list(self._pred[name])
+
+    def channel_words(self, src: str, dst: str) -> int:
+        """Total words per firing over all src->dst channels."""
+        return sum(c.words for c in self._channels if c.src == src and c.dst == dst)
+
+    def sources(self) -> list[str]:
+        """Processes with no predecessors."""
+        return [n for n in self._processes if not self._pred[n]]
+
+    def sinks(self) -> list[str]:
+        """Processes with no successors."""
+        return [n for n in self._processes if not self._succ[n]]
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> list[str]:
+        """Kahn topological order; raises on cycles.
+
+        The paper's networks are acyclic streaming pipelines; a cycle
+        means the network was built wrong.
+        """
+        indegree = {n: len(self._pred[n]) for n in self._processes}
+        queue = deque(n for n in self._processes if indegree[n] == 0)
+        order: list[str] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for nxt in self._succ[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        if len(order) != len(self._processes):
+            cyclic = sorted(n for n in self._processes if indegree[n] > 0)
+            raise ProcessNetworkError(f"network has a cycle through {cyclic}")
+        return order
+
+    def pipeline_order(self) -> list[Process]:
+        """Processes in pipeline order, for linear-pipeline algorithms.
+
+        For a pure chain this is the chain itself; for DAGs it is the
+        topological order (the rebalancers only need *some* consistent
+        linearization — Sec. 3.5 treats JPEG as the ordered list
+        p0..p9).
+        """
+        return [self._processes[n] for n in self.topological_order()]
+
+    def total_runtime_cycles(self) -> float:
+        """Sum of one firing of every process (the 1-tile lower bound)."""
+        return sum(p.runtime_cycles for p in self)
+
+    def validate_linear(self) -> bool:
+        """True if the network is a single chain (every node <=1 in/out)."""
+        return all(
+            len(self._succ[n]) <= 1 and len(self._pred[n]) <= 1
+            for n in self._processes
+        )

@@ -1,0 +1,121 @@
+"""Annotated sequential processes.
+
+A :class:`Process` is the unit the mapper binds to tiles.  Its annotations
+follow Table 3's columns exactly:
+
+* ``insts`` — instruction-memory words the process occupies (9 B each over
+  the ICAP when the process is swapped in);
+* ``data1`` — words of fixed data loaded once ever (e.g. DCT cosine
+  coefficients, quantization tables);
+* ``data2`` — scratch words, never reloaded;
+* ``data3`` — words that must be re-initialized through the ICAP every
+  time the process runs (loop bounds, base addresses, copy src/dst);
+* ``runtime_cycles`` — execution time of one firing in tile cycles.
+
+The same shape carries the FFT profile of Table 1 (where ``runtime`` was
+published in ns: 1 cycle = 2.5 ns).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.units import CYCLE_NS, DMEM_WORD_RELOAD_NS, IMEM_WORD_RELOAD_NS
+
+__all__ = ["Process", "CopyVariant"]
+
+
+class CopyVariant(enum.Enum):
+    """The two published flavours of the CP16/32/64 copy processes.
+
+    ``MEMORY`` is the loop implementation (11 instructions, ~12 cycles per
+    word); ``TIME`` is fully unrolled (one instruction per word plus HALT,
+    one cycle per word).  Table 3 lists both ("Targeting optimal memory
+    usage" / "Targeting optimal execution time").
+    """
+
+    MEMORY = "memory"
+    TIME = "time"
+
+
+@dataclass(frozen=True)
+class Process:
+    """One annotated sequential process.
+
+    ``divisible_into`` names an alternative decomposition: the JPEG DCT
+    (p1) can be replaced by four quarter-block ``dct`` processes (p10),
+    which is how implementation 4 of Table 4 breaks the bottleneck.
+    ``instances`` of a process created by duplication share these
+    annotations.
+    """
+
+    name: str
+    runtime_cycles: float
+    insts: int = 0
+    data1: int = 0
+    data2: int = 0
+    data3: int = 0
+    #: Words produced per firing toward the downstream process.
+    output_words: int = 0
+    #: Name of the process this one is a quarter/half of, if any.
+    part_of: str | None = None
+    #: Optional decomposition: (sub-process name, count).
+    divisible_into: tuple[str, int] | None = None
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.runtime_cycles < 0:
+            raise ValueError(f"{self.name}: runtime must be non-negative")
+        for attr in ("insts", "data1", "data2", "data3", "output_words"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{self.name}: {attr} must be non-negative")
+
+    @property
+    def runtime_ns(self) -> float:
+        """One firing's execution time in ns at the 400 MHz clock."""
+        return self.runtime_cycles * CYCLE_NS
+
+    @property
+    def dmem_words(self) -> int:
+        """Total data-memory words the process needs resident."""
+        return self.data1 + self.data2 + self.data3
+
+    @property
+    def swap_in_ns(self) -> float:
+        """ICAP time to page the process in from scratch.
+
+        Instructions plus the fixed data (``data1``); scratch needs no
+        transfer and ``data3`` is charged per firing separately.
+        """
+        return self.insts * IMEM_WORD_RELOAD_NS + self.data1 * DMEM_WORD_RELOAD_NS
+
+    @property
+    def per_firing_reload_ns(self) -> float:
+        """ICAP time to re-initialize ``data3`` before each firing."""
+        return self.data3 * DMEM_WORD_RELOAD_NS
+
+    def with_runtime(self, runtime_cycles: float) -> "Process":
+        """Copy of this process with a different measured runtime.
+
+        Used when replacing published profile numbers with runtimes
+        measured on the shipped fabric simulator.
+        """
+        return Process(
+            name=self.name,
+            runtime_cycles=runtime_cycles,
+            insts=self.insts,
+            data1=self.data1,
+            data2=self.data2,
+            data3=self.data3,
+            output_words=self.output_words,
+            part_of=self.part_of,
+            divisible_into=self.divisible_into,
+            tags=self.tags,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}(rt={self.runtime_cycles:g}cyc, insts={self.insts}, "
+            f"d1/2/3={self.data1}/{self.data2}/{self.data3})"
+        )

@@ -1,0 +1,258 @@
+"""Published cost profiles: Table 1 (FFT) and Table 3 (JPEG).
+
+These numbers were measured by the authors on the reMORPH prototype and are
+the canonical inputs to every figure/table regeneration.  The fabric
+simulator produces its *own* measurements for the same processes (see
+``repro.kernels.*.programs``); EXPERIMENTS.md records both side by side.
+
+All runtimes here are stored in **cycles** at the 400 MHz reference clock.
+Table 1 published its runtimes in ns (2.5 ns/cycle); they are converted on
+construction so the two kernels share one representation.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+from repro.pn.network import Channel, ProcessNetwork
+from repro.pn.process import CopyVariant, Process
+from repro.units import CYCLE_NS
+
+__all__ = [
+    "FFT1024_PROFILE",
+    "JPEG_PROFILE",
+    "JPEG_COPY_PROCESSES",
+    "fft1024_processes",
+    "jpeg_processes",
+    "jpeg_process_network",
+    "jpeg_copy_process",
+]
+
+# ----------------------------------------------------------------------
+# Table 1: 1024-point Radix-2 FFT processes (runtimes published in ns)
+# ----------------------------------------------------------------------
+
+#: (name, runtime_ns, twiddle factors used by the stage).
+#: BF* share 101 instructions and 128*2 + 41 data words plus twiddles;
+#: vcp/hcp share 16 instructions and 11 data words (Table 1).
+_FFT_ROWS: tuple[tuple[str, float, int], ...] = (
+    ("BF0", 2672.0, 128),
+    ("BF1", 2672.0, 128),
+    ("BF2", 2672.0, 128),
+    ("BF3", 4112.0, 64),
+    ("BF4", 3434.0, 32),
+    ("BF5", 3134.0, 16),
+    ("BF6", 3062.0, 8),
+    ("BF7", 3182.0, 4),
+    ("BF8", 3554.0, 2),
+    ("BF9", 4364.0, 1),
+    ("vcp", 789.0, 0),
+    ("hcp", 1557.0, 0),
+)
+
+_BF_INSTS = 101
+_CP_INSTS = 16
+_CP_DMEM = 11
+_BF_M = 128  # partition size of the 1024-pt implementation (DM = 512)
+
+
+def fft1024_processes() -> dict[str, Process]:
+    """Table 1 as :class:`~repro.pn.process.Process` objects (M = 128).
+
+    ``data1`` holds the per-stage twiddles (loaded once for red/blue
+    stages), ``data2`` the 2M input/output words plus 41 temporaries, and
+    ``output_words`` the M complex values (2M words) a stage forwards.
+    Copy processes keep their 11 resident words in ``data2`` and the two
+    src/dst variables that need per-firing updates in ``data3``
+    (the vcp self-update optimization of Table 2 eliminates that reload).
+    """
+    processes: dict[str, Process] = {}
+    for name, runtime_ns, twiddles in _FFT_ROWS:
+        if name.startswith("BF"):
+            processes[name] = Process(
+                name=name,
+                runtime_cycles=runtime_ns / CYCLE_NS,
+                insts=_BF_INSTS,
+                data1=twiddles,
+                data2=_BF_M * 2 + 41,
+                data3=0,
+                output_words=_BF_M * 2,
+                tags=frozenset({"fft", "butterfly"}),
+            )
+        else:
+            processes[name] = Process(
+                name=name,
+                runtime_cycles=runtime_ns / CYCLE_NS,
+                insts=_CP_INSTS,
+                data1=0,
+                data2=_CP_DMEM - 2,
+                data3=2,  # src/dst variables
+                output_words=_BF_M,  # moves half a partition (M/2 complex)
+                tags=frozenset({"fft", "copy"}),
+            )
+    return processes
+
+
+#: Immutable view of the Table 1 rows: name -> (runtime_ns, twiddles).
+FFT1024_PROFILE = MappingProxyType(
+    {name: (runtime_ns, twiddles) for name, runtime_ns, twiddles in _FFT_ROWS}
+)
+
+
+# ----------------------------------------------------------------------
+# Table 3: JPEG encoder processes (runtimes published in cycles)
+# ----------------------------------------------------------------------
+
+#: (name, insts, data1, data2, data3, runtime_cycles) — main + auxiliary.
+_JPEG_ROWS: tuple[tuple[str, int, int, int, int, int], ...] = (
+    ("shift", 11, 0, 2, 9, 720),
+    ("DCT", 62, 64, 14, 13, 133324),
+    ("Alpha", 12, 64, 2, 7, 720),
+    ("Quantize", 35, 64, 7, 7, 1576),
+    ("Zigzag", 65, 0, 0, 0, 65),
+    ("Hman1", 71, 0, 10, 9, 7934),
+    ("Hman2", 56, 0, 10, 6, 1587),
+    ("Hman3", 151, 0, 43, 12, 1651),
+    ("Hman4", 180, 0, 17, 12, 2300),
+    ("Hman5", 109, 21, 14, 17, 6823),
+    ("dct", 62, 64, 14, 13, 33372),  # p10: quarter-block DCT
+)
+
+#: Output words per firing along the block pipeline (one 8x8 block = 64
+#: coefficients; the Huffman stages stream a packed bit buffer, modelled
+#: as 16 words).
+_JPEG_OUTPUT_WORDS = {
+    "shift": 64,
+    "DCT": 64,
+    "Alpha": 64,
+    "Quantize": 64,
+    "Zigzag": 64,
+    "Hman1": 16,
+    "Hman2": 16,
+    "Hman3": 16,
+    "Hman4": 16,
+    "Hman5": 16,
+    "dct": 16,
+}
+
+#: Index names p0..p10 used throughout the paper's tables.
+JPEG_P_NAMES = (
+    "shift", "DCT", "Alpha", "Quantize", "Zigzag",
+    "Hman1", "Hman2", "Hman3", "Hman4", "Hman5", "dct",
+)
+
+#: Copy processes (Table 3 bottom): variant -> size -> (insts, data2,
+#: data3, runtime_cycles).
+_JPEG_COPY_ROWS: dict[CopyVariant, dict[int, tuple[int, int, int, int]]] = {
+    CopyVariant.MEMORY: {
+        16: (11, 2, 2, 196),
+        32: (11, 2, 2, 369),
+        64: (11, 2, 2, 720),
+    },
+    CopyVariant.TIME: {
+        16: (17, 0, 0, 17),
+        32: (33, 0, 0, 33),
+        64: (65, 0, 0, 65),
+    },
+}
+
+
+def jpeg_copy_process(words: int, variant: CopyVariant = CopyVariant.MEMORY) -> Process:
+    """A CP16/CP32/CP64 copy process in the requested variant."""
+    try:
+        insts, data2, data3, runtime = _JPEG_COPY_ROWS[variant][words]
+    except KeyError:
+        raise ValueError(
+            f"no published CP process for {words} words "
+            f"(choose 16/32/64)"
+        ) from None
+    return Process(
+        name=f"CP{words}",
+        runtime_cycles=runtime,
+        insts=insts,
+        data1=0,
+        data2=data2,
+        data3=data3,
+        output_words=words,
+        tags=frozenset({"jpeg", "copy", variant.value}),
+    )
+
+
+JPEG_COPY_PROCESSES = MappingProxyType(
+    {
+        variant: MappingProxyType(dict(rows))
+        for variant, rows in _JPEG_COPY_ROWS.items()
+    }
+)
+
+
+def jpeg_processes() -> dict[str, Process]:
+    """Table 3's main + auxiliary processes as :class:`Process` objects."""
+    processes: dict[str, Process] = {}
+    for name, insts, data1, data2, data3, runtime in _JPEG_ROWS:
+        processes[name] = Process(
+            name=name,
+            runtime_cycles=runtime,
+            insts=insts,
+            data1=data1,
+            data2=data2,
+            data3=data3,
+            output_words=_JPEG_OUTPUT_WORDS[name],
+            part_of="DCT" if name == "dct" else None,
+            divisible_into=("dct", 4) if name == "DCT" else None,
+            tags=frozenset({"jpeg"}),
+        )
+    return processes
+
+
+#: Immutable view of the Table 3 rows: name -> (insts, d1, d2, d3, cycles).
+JPEG_PROFILE = MappingProxyType(
+    {row[0]: tuple(row[1:]) for row in _JPEG_ROWS}
+)
+
+
+def jpeg_process_network(*, split_dct: bool = False) -> ProcessNetwork:
+    """The JPEG encoder pipeline of Fig. 3 as a process network.
+
+    ``split_dct=True`` replaces the monolithic DCT with four quarter-block
+    ``dct`` processes in parallel branches (implementation 4 of Table 4,
+    Fig. 15).
+    """
+    processes = jpeg_processes()
+    chain = ["shift", "DCT", "Alpha", "Quantize", "Zigzag",
+             "Hman1", "Hman2", "Hman3", "Hman4", "Hman5"]
+    network = ProcessNetwork()
+    if not split_dct:
+        for name in chain:
+            network.add_process(processes[name])
+        for src, dst in zip(chain, chain[1:]):
+            network.add_channel(
+                Channel(src, dst, processes[src].output_words)
+            )
+        return network
+
+    # Split variant: shift -> dct_0..dct_3 -> Alpha (Fig. 15 left).
+    for name in chain:
+        if name == "DCT":
+            continue
+        network.add_process(processes[name])
+    quarter = processes["dct"]
+    for k in range(4):
+        sub = Process(
+            name=f"dct_{k}",
+            runtime_cycles=quarter.runtime_cycles,
+            insts=quarter.insts,
+            data1=quarter.data1,
+            data2=quarter.data2,
+            data3=quarter.data3,
+            output_words=quarter.output_words,
+            part_of="DCT",
+            tags=quarter.tags,
+        )
+        network.add_process(sub)
+        network.connect("shift", sub.name, 16)
+        network.connect(sub.name, "Alpha", 16)
+    rest = chain[chain.index("Alpha"):]
+    for src, dst in zip(rest, rest[1:]):
+        network.add_channel(Channel(src, dst, processes[src].output_words))
+    return network

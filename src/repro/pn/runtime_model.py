@@ -1,0 +1,121 @@
+"""Eq. 1: the application runtime decomposition.
+
+    Runtime = sum_i T_i         (A: per-epoch compute)
+            + sum_ij tau_ij     (B: reconfiguration between epochs)
+            + sum   tau_copy    (C: copying data between non-neighbour
+                                    producer/consumer tiles)
+
+This module evaluates the three terms for a concrete epoch sequence.  Term
+C is charged whenever a process moves tiles between consecutive epochs, or
+when a channel crosses between tiles that are not mesh neighbours; the
+per-word copy cost comes from the copy-process profile in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProcessNetworkError
+from repro.pn.epoch import Configuration, Epoch, reconfig_cost_ns
+from repro.pn.network import ProcessNetwork
+
+__all__ = ["Eq1Breakdown", "eq1_runtime"]
+
+Coord = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Eq1Breakdown:
+    """The three terms of Eq. 1 plus their sum."""
+
+    compute_ns: float
+    reconfig_ns: float
+    copy_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.compute_ns + self.reconfig_ns + self.copy_ns
+
+    def __str__(self) -> str:
+        return (
+            f"A(compute)={self.compute_ns:.1f}ns  "
+            f"B(reconfig)={self.reconfig_ns:.1f}ns  "
+            f"C(copy)={self.copy_ns:.1f}ns  "
+            f"total={self.total_ns:.1f}ns"
+        )
+
+
+def _manhattan(a: Coord, b: Coord) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def eq1_runtime(
+    epochs: list[Epoch],
+    network: ProcessNetwork,
+    link_cost_ns: float,
+    *,
+    copy_ns_per_word: float,
+    pinned: set[tuple[str, Coord]] | None = None,
+) -> Eq1Breakdown:
+    """Evaluate Eq. 1 over an epoch sequence.
+
+    Parameters
+    ----------
+    epochs:
+        The schedule, in execution order.
+    network:
+        Supplies process annotations and channel word counts.
+    link_cost_ns:
+        Per-link reconfiguration cost ``L``.
+    copy_ns_per_word:
+        Cost to move one word one hop (one firing of a CP process,
+        amortized; callers derive it from the chosen
+        :class:`~repro.pn.process.CopyVariant`).
+    pinned:
+        (process, tile) pairs whose code is permanently resident — they
+        are never charged a swap-in, matching Table 4's ``(f)`` label.
+
+    Term C charges, per epoch transition, ``output_words`` of every moved
+    process times the Manhattan distance between its old and new tiles;
+    and within an epoch, every channel whose endpoints are bound more than
+    one hop apart (non-neighbour producer/consumer, the explicit-copy case
+    of Sec. 2).
+    """
+    if not epochs:
+        raise ProcessNetworkError("epoch list is empty")
+
+    compute = sum(e.duration_ns for e in epochs)
+
+    resident: set[tuple[str, Coord]] = set(pinned or set())
+    # The first configuration is loaded during preprocessing; the paper
+    # never charges it against runtime (inputs arrive from the external
+    # preprocessing column).  Mark it resident.
+    first = epochs[0].configuration
+    resident.update(first.binding.items())
+
+    reconfig = 0.0
+    copy = 0.0
+    previous: Configuration = first
+    for epoch in epochs[1:]:
+        current = epoch.configuration
+        reconfig += reconfig_cost_ns(
+            previous, current, network, link_cost_ns, resident=resident
+        )
+        for process_name in previous.moved_processes(current):
+            process = network.process(process_name)
+            hops = _manhattan(previous.binding[process_name],
+                              current.binding[process_name])
+            copy += process.output_words * hops * copy_ns_per_word
+        resident.update(current.binding.items())
+        previous = current
+
+    # Within-epoch non-neighbour channels (explicit copy instructions).
+    for epoch in epochs:
+        binding = epoch.configuration.binding
+        for channel in network.channels:
+            if channel.src in binding and channel.dst in binding:
+                hops = _manhattan(binding[channel.src], binding[channel.dst])
+                if hops > 1:
+                    copy += channel.words * (hops - 1) * copy_ns_per_word
+
+    return Eq1Breakdown(compute_ns=compute, reconfig_ns=reconfig, copy_ns=copy)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fabric.mesh import Mesh
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG shared by numerical tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mesh2x2() -> Mesh:
+    return Mesh(2, 2)
+
+
+@pytest.fixture
+def mesh1x2() -> Mesh:
+    return Mesh(1, 2)

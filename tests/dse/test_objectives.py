@@ -1,0 +1,96 @@
+"""Design points and scalar objectives."""
+
+import pytest
+
+from repro.dse.objectives import DesignPoint, Objective
+from repro.errors import DSEError
+
+
+def point(throughput, tiles, util=0.5, **params):
+    return DesignPoint.make(params or {"x": 1}, throughput, tiles, util)
+
+
+class TestDesignPoint:
+    def test_area_from_tiles(self):
+        assert point(100.0, 8).area_luts == 1600
+
+    def test_throughput_per_area(self):
+        p = point(3200.0, 8)
+        assert p.throughput_per_area == pytest.approx(2.0)
+
+    def test_zero_tiles_safe(self):
+        assert point(10.0, 0).throughput_per_area == 0.0
+
+    def test_param_lookup(self):
+        p = point(1.0, 1, cols=5)
+        assert p.param("cols") == 5
+        with pytest.raises(DSEError):
+            p.param("nope")
+
+    def test_invalid_values(self):
+        with pytest.raises(DSEError):
+            point(-1.0, 1)
+        with pytest.raises(DSEError):
+            point(1.0, -1)
+
+    def test_hashable_for_sets(self):
+        assert len({point(1.0, 1), point(1.0, 1)}) == 1
+
+
+class TestObjective:
+    def test_throughput_picks_fastest(self):
+        pts = [point(10.0, 1), point(30.0, 9), point(20.0, 2)]
+        assert Objective.THROUGHPUT.best(pts).throughput_per_s == 30.0
+
+    def test_area_picks_smallest(self):
+        pts = [point(10.0, 4), point(9.0, 1)]
+        assert Objective.AREA.best(pts).n_tiles == 1
+
+    def test_ratio_objective(self):
+        pts = [point(100.0, 10), point(60.0, 2)]
+        assert Objective.THROUGHPUT_PER_AREA.best(pts).n_tiles == 2
+
+    def test_utilization_objective(self):
+        pts = [point(1.0, 1, util=0.3), point(1.0, 1, util=0.9)]
+        assert Objective.UTILIZATION.best(pts).utilization == 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(DSEError):
+            Objective.THROUGHPUT.best([])
+
+
+class TestEnergyObjective:
+    def test_throughput_per_mw(self):
+        p = DesignPoint.make({"x": 1}, 1000.0, 4, power_mw=2.0)
+        assert p.throughput_per_mw == pytest.approx(500.0)
+
+    def test_unevaluated_power_scores_zero(self):
+        assert point(1000.0, 4).throughput_per_mw == 0.0
+
+    def test_objective_prefers_efficient_design(self):
+        slow_efficient = DesignPoint.make({"d": 1}, 500.0, 1, power_mw=0.5)
+        fast_hungry = DesignPoint.make({"d": 2}, 2000.0, 16, power_mw=8.0)
+        best = Objective.THROUGHPUT_PER_WATT.best([slow_efficient, fast_hungry])
+        assert best is slow_efficient
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(DSEError):
+            DesignPoint.make({"x": 1}, 1.0, 1, power_mw=-1.0)
+
+    def test_fft_points_carry_power(self):
+        from repro.dse.explorer import fft_point
+
+        p = fft_point(1024, 128, 10, 300.0)
+        assert p.power_mw > 0
+        assert p.throughput_per_mw > 0
+
+    def test_efficiency_vs_tiles_tradeoff(self):
+        """More columns raise throughput but also power; efficiency
+        moves less than raw throughput — the paper's perf/watt story."""
+        from repro.dse.explorer import fft_point
+
+        one = fft_point(1024, 128, 1, 0.0)
+        ten = fft_point(1024, 128, 10, 0.0)
+        throughput_gain = ten.throughput_per_s / one.throughput_per_s
+        efficiency_gain = ten.throughput_per_mw / one.throughput_per_mw
+        assert efficiency_gain < throughput_gain

@@ -1,0 +1,72 @@
+"""Pareto-front extraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse.objectives import DesignPoint
+from repro.dse.pareto import dominates, pareto_front
+from repro.errors import DSEError
+
+
+def point(throughput, tiles):
+    return DesignPoint.make({"t": tiles, "thr": throughput}, throughput, tiles)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates(point(10, 1), point(5, 2))
+
+    def test_equal_does_not_dominate(self):
+        a, b = point(10, 1), point(10, 1)
+        assert not dominates(a, b) and not dominates(b, a)
+
+    def test_tradeoff_does_not_dominate(self):
+        fast_big, slow_small = point(10, 8), point(5, 1)
+        assert not dominates(fast_big, slow_small)
+        assert not dominates(slow_small, fast_big)
+
+
+class TestFront:
+    def test_extracts_non_dominated(self):
+        pts = [point(10, 1), point(20, 2), point(5, 2), point(15, 4)]
+        front = pareto_front(pts)
+        assert {(p.throughput_per_s, p.n_tiles) for p in front} == \
+            {(10.0, 1), (20.0, 2)}
+
+    def test_sorted_by_descending_throughput(self):
+        pts = [point(10, 1), point(20, 2), point(30, 5)]
+        front = pareto_front(pts)
+        throughputs = [p.throughput_per_s for p in front]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_duplicates_collapsed(self):
+        pts = [point(10, 1), point(10, 1)]
+        assert len(pareto_front(pts)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(DSEError):
+            pareto_front([])
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=1, max_value=1e6),
+                  st.integers(min_value=1, max_value=100)),
+        min_size=1, max_size=40,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_front_invariants(self, raw):
+        pts = [point(t, n) for t, n in raw]
+        front = pareto_front(pts)
+        assert front  # never empty for non-empty input
+        # no member dominates another
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b)
+        # every non-member is dominated by or ties some member
+        for p in pts:
+            if all(
+                (p.throughput_per_s, p.n_tiles)
+                != (f.throughput_per_s, f.n_tiles)
+                for f in front
+            ):
+                assert any(dominates(f, p) for f in front)

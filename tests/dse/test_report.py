@@ -1,0 +1,47 @@
+"""Text formatters."""
+
+import pytest
+
+from repro.dse.report import format_series, format_table
+from repro.errors import DSEError
+
+
+class TestTable:
+    def test_basic_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_bool_rendering(self):
+        text = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in text and "no" in text
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text  # renders without KeyError
+
+    def test_empty_rejected(self):
+        with pytest.raises(DSEError):
+            format_table([])
+
+
+class TestSeries:
+    def test_shared_x_grid(self):
+        series = {
+            "one": [(0, 1.0), (100, 2.0)],
+            "two": [(0, 3.0), (100, 4.0)],
+        }
+        text = format_series(series, x_label="L", y_label="tput")
+        lines = text.splitlines()
+        assert "one" in lines[1] and "two" in lines[1]
+        assert lines[3].strip().startswith("0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DSEError):
+            format_series({})

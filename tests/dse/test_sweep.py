@@ -1,0 +1,63 @@
+"""Sweep engine: cartesian axes, ordering, parallel backend."""
+
+import pytest
+
+from repro.dse.sweep import SweepResult, axis_points, sweep
+from repro.errors import DSEError
+
+
+def score(a, b):
+    return a * 10 + b
+
+
+class TestAxes:
+    def test_cartesian_order(self):
+        points = axis_points({"a": [1, 2], "b": [3, 4]})
+        assert points == [
+            {"a": 1, "b": 3}, {"a": 1, "b": 4},
+            {"a": 2, "b": 3}, {"a": 2, "b": 4},
+        ]
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(DSEError):
+            axis_points({})
+        with pytest.raises(DSEError):
+            axis_points({"a": []})
+
+
+class TestSweep:
+    def test_values_in_order(self):
+        result = sweep(score, {"a": [1, 2], "b": [0, 5]})
+        assert result.values == [10, 15, 20, 25]
+        assert len(result) == 4
+
+    def test_series_filter(self):
+        result = sweep(score, {"a": [1, 2], "b": [0, 5]})
+        series = result.series("b", where={"a": 2})
+        assert series == [(0, 20), (5, 25)]
+
+    def test_best(self):
+        result = sweep(score, {"a": [1, 2], "b": [0, 5]})
+        point, value = result.best(key=lambda v: v)
+        assert value == 25 and point == {"a": 2, "b": 5}
+        point, value = result.best(key=lambda v: v, maximize=False)
+        assert value == 10
+
+    def test_best_on_empty(self):
+        with pytest.raises(DSEError):
+            SweepResult(axes={}).best(key=lambda v: v)
+
+    def test_invalid_processes(self):
+        with pytest.raises(DSEError):
+            sweep(score, {"a": [1]}, processes=0)
+
+    def test_parallel_matches_serial(self):
+        axes = {"a": [1, 2, 3], "b": [4, 5]}
+        serial = sweep(score, axes, processes=1)
+        parallel = sweep(score, axes, processes=2)
+        assert serial.values == parallel.values
+
+    def test_iteration(self):
+        result = sweep(score, {"a": [1], "b": [2]})
+        pairs = list(result)
+        assert pairs == [({"a": 1, "b": 2}, 12)]

@@ -1,0 +1,175 @@
+"""Experiment modules: structure checks and paper-match assertions."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig8,
+    fig10,
+    fig11,
+    fig12,
+    fig16,
+    fig17,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+
+class TestTable2:
+    def test_matches_published_exactly(self):
+        rows = table2.run()
+        for got, want in zip(rows, table2.PAPER_ROWS):
+            assert got["cols"] == want["cols"]
+            assert got["prev_cost_ns"] == pytest.approx(
+                want["prev_cost_ns"], abs=0.15
+            )
+            assert got["new_cost_ns"] == pytest.approx(
+                want["new_cost_ns"], abs=0.01
+            )
+
+    def test_render(self):
+        assert "Table 2" in table2.render()
+
+
+class TestFig8:
+    def test_matrix_and_classes(self):
+        result = fig8.run()
+        assert len(result["matrix"]) == 32
+        assert result["reload_words"] < result["naive_reload_words"]
+
+    def test_stage_summary_covers_rows(self):
+        result = fig8.run()
+        assert all(sum(c.values()) == 8 for c in result["stage_summary"])
+
+    def test_render(self):
+        text = fig8.render()
+        assert "w0" in text and "tile 0" in text
+
+
+class TestFigures10to12:
+    def test_fig10_series_shape(self):
+        series = fig10.run(link_costs=(0.0, 1000.0))
+        assert set(series) == {1, 2, 5, 10}
+        for curve in series.values():
+            assert len(curve) == 2
+
+    def test_fig10_ordering_at_zero(self):
+        series = fig10.run(link_costs=(0.0,))
+        at_zero = {c: curve[0][1] for c, curve in series.items()}
+        assert at_zero[10] > at_zero[5] > at_zero[2] > at_zero[1]
+
+    def test_fig11_crossover_band_overlaps_paper(self):
+        lo, hi = fig11.crossover_band()
+        # paper reads ~700 ns (no benefit) and ~1100 ns (harmful)
+        assert 400 <= lo <= 1100
+        assert 800 <= hi <= 1600
+        assert lo <= hi
+
+    def test_fig12_transpose_consistent_with_fig10(self):
+        f10 = fig10.run(link_costs=(0.0, 700.0))
+        f12 = fig12.run(link_costs=(0.0, 700.0))
+        assert f12[0.0][3][1] == pytest.approx(f10[10][0][1])
+        assert f12[700.0][0][1] == pytest.approx(f10[1][1][1])
+
+    def test_renders(self):
+        assert "Fig. 10" in fig10.render(link_costs=(0.0,))
+        assert "Fig. 12" in fig12.render(link_costs=(0.0,))
+
+
+class TestTable3:
+    def test_rows_and_measurements(self):
+        rows = table3.run()
+        by_name = {r["process"]: r for r in rows}
+        assert by_name["DCT"]["paper_cycles"] == 133324
+        assert by_name["DCT"]["measured_cycles"] > 0
+        # our generated quarter DCT is also ~1/4 of our full DCT
+        assert by_name["dct"]["measured_cycles"] < \
+            by_name["DCT"]["measured_cycles"] / 2.5
+
+    def test_zigzag_is_cheapest_measured(self):
+        measured = table3.measured_cycles()
+        assert measured["Zigzag"] == min(
+            measured["Zigzag"], measured["shift"], measured["DCT"]
+        )
+
+    def test_render(self):
+        assert "Table 3" in table3.render()
+
+
+class TestTable4:
+    def test_all_rows_close_to_paper(self):
+        for row in table4.run():
+            assert row["time_us"] == pytest.approx(
+                row["paper_time_us"], rel=0.01
+            )
+            assert row["images_per_s"] == pytest.approx(
+                row["paper_images_per_s"], rel=0.02
+            )
+
+    def test_render(self):
+        assert "Table 4" in table4.render()
+
+
+class TestTable5:
+    def test_binding_matches_paper(self):
+        assert table5.matches_paper()
+
+    def test_rows_structure(self):
+        rows = table5.run()
+        assert len(rows) == 7
+        dct_row = next(r for r in rows if r["processes"] == "DCT")
+        assert dct_row["instances"] == 17
+
+    def test_render_flags_match(self):
+        assert "matches the published binding" in table5.render()
+
+
+class TestFigs16and17:
+    def test_fig16_monotone_per_algorithm(self):
+        series = fig16.run(max_tiles=12)
+        for curve in series.values():
+            values = [v for _, v in curve]
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_fig16_divergence_in_paper_band(self):
+        points = fig16.divergence_points()
+        assert points
+        assert all(10 <= p <= 25 for p in points)
+
+    def test_fig17_utilization_bounds(self):
+        series = fig17.run(max_tiles=10)
+        for curve in series.values():
+            assert all(0 < v <= 1.0 + 1e-9 for _, v in curve)
+            assert curve[0][1] == pytest.approx(1.0)
+
+    def test_renders(self):
+        assert "Fig. 16" in fig16.render(max_tiles=6)
+        assert "Fig. 17" in fig17.render(max_tiles=6)
+
+
+class TestAblations:
+    def test_twiddle_optimization_always_helps_or_neutral(self):
+        for row in ablations.twiddle_ablation():
+            assert row["speedup"] >= 1.0
+
+    def test_overlap_always_helps_or_neutral(self):
+        for row in ablations.vlink_overlap_ablation():
+            assert row["speedup"] >= 1.0
+
+    def test_pinning_never_hurts(self):
+        for row in ablations.pinning_ablation():
+            assert row["slowdown"] >= 1.0
+        # implementation 1 (everything on one tile) must benefit
+        impl1 = ablations.pinning_ablation()[0]
+        assert impl1["slowdown"] > 1.0
+
+    def test_copy_variants_tradeoff(self):
+        for row in ablations.copy_variant_ablation():
+            assert row["speedup"] > 1.0          # time variant faster
+            assert row["imem_cost_words"] > 0    # but larger
+
+    def test_render(self):
+        text = ablations.render()
+        assert "A1" in text and "A5" in text

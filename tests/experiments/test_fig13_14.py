@@ -1,0 +1,29 @@
+"""The worked rebalancing example of Figs. 13-14."""
+
+from repro.experiments import fig13_14
+
+
+def test_trace_matches_annotated_values():
+    result = fig13_14.run()
+    intervals = {s["tiles"]: s["interval_ns"] for s in result["greedy_trace"]}
+    assert intervals == {
+        1: 5100.0, 2: 3200.0, 3: 1900.0,
+        4: 1800.0, 5: 1400.0, 6: 1100.0,
+    }
+
+
+def test_duplication_kicks_in_at_five_tiles():
+    result = fig13_14.run()
+    five = next(s for s in result["greedy_trace"] if s["tiles"] == 5)
+    assert "[q3]x2" in five["mapping"]
+
+
+def test_algorithms_coincide_on_atomic_example():
+    result = fig13_14.run()
+    for row in result["comparison"]:
+        assert row["one_ns"] == row["two_ns"] == row["opt_ns"]
+
+
+def test_render_mentions_both_figures():
+    text = fig13_14.render()
+    assert "Fig. 13" in text and "Fig. 14" in text

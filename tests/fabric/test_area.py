@@ -1,0 +1,30 @@
+"""Area accounting."""
+
+import pytest
+
+from repro.fabric.area import BRAMS_PER_TILE, area_slice_luts
+
+
+def test_published_per_tile_figure():
+    assert area_slice_luts(1) == 200
+
+
+def test_linear_scaling():
+    assert area_slice_luts(24) == 24 * 200
+
+
+def test_custom_per_tile():
+    assert area_slice_luts(3, luts_per_tile=150) == 450
+
+
+def test_zero_tiles():
+    assert area_slice_luts(0) == 0
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        area_slice_luts(-1)
+
+
+def test_brams_per_tile():
+    assert BRAMS_PER_TILE == 3  # two data + one instruction BRAM

@@ -1,0 +1,203 @@
+"""Assembler: directives, operand syntax, labels, errors."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.fabric.assembler import assemble
+from repro.fabric.isa import AddrMode, Opcode
+from repro.fabric.tile import Tile
+
+
+class TestDirectives:
+    def test_var_allocates_sequentially(self):
+        p = assemble(".var a\n.var b\n.var c, 3\n.var d\nHALT")
+        assert p.symbols == {"a": 0, "b": 1, "c": 2, "d": 5}
+
+    def test_org_moves_pointer(self):
+        p = assemble(".org 100\n.var a\nHALT")
+        assert p.symbols["a"] == 100
+
+    def test_equ_constant(self):
+        p = assemble(".equ N, 16\n.var a\nMOV a, #N\nHALT")
+        assert p.instructions[0].src1.value == 16
+
+    def test_word_initial_data(self):
+        p = assemble(".var buf, 4\n.word buf, 10, 20, 30\nHALT")
+        assert p.data_image == {0: 10, 1: 20, 2: 30}
+
+    def test_word_with_offset_expression(self):
+        p = assemble(".var buf, 4\n.word buf+2, 7\nHALT")
+        assert p.data_image == {2: 7}
+
+    def test_duplicate_var_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".var a\n.var a\nHALT")
+
+    def test_var_overflow_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".org 510\n.var big, 10\nHALT")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bogus 3\nHALT")
+
+
+class TestOperands:
+    def test_modes(self):
+        p = assemble(".var a\n.var b\nADD a, #5, @b\nHALT")
+        instr = p.instructions[0]
+        assert instr.dst.mode is AddrMode.DIR
+        assert instr.src1.mode is AddrMode.IMM
+        assert instr.src2.mode is AddrMode.IND
+
+    def test_numeric_addresses(self):
+        p = assemble("MOV 100, #0\nHALT")
+        assert p.instructions[0].dst.value == 100
+
+    def test_negative_immediate(self):
+        p = assemble(".var a\nMOV a, #-42\nHALT")
+        assert p.instructions[0].src1.value == -42
+
+    def test_hex_numbers(self):
+        p = assemble("MOV 0x10, #0xFF\nHALT")
+        assert p.instructions[0].dst.value == 16
+        assert p.instructions[0].src1.value == 255
+
+    def test_out_of_range_address(self):
+        with pytest.raises(AssemblerError):
+            assemble("MOV 512, #0\nHALT")
+
+    def test_unknown_symbol_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("NOP\nMOV nope, #0\nHALT")
+
+
+class TestLabelsAndBranches:
+    def test_forward_and_backward_labels(self):
+        p = assemble(
+            """
+            .var c
+                MOV c, #2
+            top:
+                SUB c, c, #1
+                BNZ c, top
+                JMP end
+                NOP
+            end:
+                HALT
+            """
+        )
+        assert p.labels["top"] == 1
+        assert p.instructions[2].aux == 1  # BNZ -> top
+        assert p.instructions[3].aux == 5  # JMP -> end
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("x: NOP\nx: HALT")
+
+    def test_label_with_inline_instruction(self):
+        p = assemble("start: NOP\nJMP start")
+        assert p.labels["start"] == 0
+
+
+class TestMnemonics:
+    def test_ldi_alias(self):
+        p = assemble(".var a\nLDI a, #9\nHALT")
+        assert p.instructions[0].opcode is Opcode.MOV
+
+    def test_snb_directions(self):
+        for d, code in (("N", 0), ("E", 1), ("S", 2), ("W", 3)):
+            p = assemble(f".var v\nSNB.{d} 0, v\nHALT")
+            assert p.instructions[0].aux == code
+
+    def test_snb_without_direction_rejected(self):
+        with pytest.raises(AssemblerError, match="direction"):
+            assemble(".var v\nSNB 0, v\nHALT")
+
+    def test_mulq_four_operands(self):
+        p = assemble(".var a\nMULQ a, a, a, 30\nHALT")
+        assert p.instructions[0].aux == 30
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble(".var a\nADD a, a\nHALT")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("FROB 1, 2\nHALT")
+
+    def test_case_insensitive_mnemonics(self):
+        p = assemble(".var a\nmov a, #1\nhalt")
+        assert p.instructions[0].opcode is Opcode.MOV
+
+
+class TestProgram:
+    def test_imem_accounting(self):
+        p = assemble("NOP\nNOP\nHALT", name="three")
+        assert p.imem_words == 3
+        assert p.imem_bytes == 27
+        assert len(p) == 3
+
+    def test_too_many_instructions_rejected(self):
+        source = "\n".join(["NOP"] * 513)
+        with pytest.raises(AssemblerError, match="instruction memory"):
+            assemble(source)
+
+    def test_addr_lookup(self):
+        p = assemble(".var x\nHALT")
+        assert p.addr("x") == 0
+        with pytest.raises(AssemblerError):
+            p.addr("y")
+
+    def test_encoded_length_matches(self):
+        p = assemble("NOP\nNOP\nHALT")
+        assert len(p.encoded()) == 3
+
+    def test_comments_ignored(self):
+        p = assemble("; leading comment\nNOP ; trailing\nHALT")
+        assert p.imem_words == 2
+
+
+class TestEndToEnd:
+    def test_factorial_program(self):
+        p = assemble(
+            """
+            .var result
+            .var n
+            .word n, 5
+                MOV result, #1
+            loop:
+                MUL result, result, n
+                SUB n, n, #1
+                BNZ n, loop
+                HALT
+            """
+        )
+        tile = Tile()
+        tile.load_program(p)
+        tile.run()
+        assert tile.dmem.peek(p.addr("result")) == 120
+
+    def test_indirect_table_walk(self):
+        p = assemble(
+            """
+            .var best
+            .var ptr
+            .var cnt
+            .var tbl, 5
+            .word tbl, 3, 9, 2, 8, 5
+            .word cnt, 5
+                MOV best, #0
+                MOV ptr, #tbl
+            loop:
+                MAX best, best, @ptr
+                ADD ptr, ptr, #1
+                SUB cnt, cnt, #1
+                BNZ cnt, loop
+                HALT
+            """
+        )
+        tile = Tile()
+        tile.load_program(p)
+        tile.run()
+        assert tile.dmem.peek(p.addr("best")) == 9

@@ -1,0 +1,74 @@
+"""Partial bitstreams: sizing and serialization round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReconfigError
+from repro.fabric.bitstream import PartialBitstream, ReconfigKind
+
+
+class TestSizing:
+    def test_imem_bytes(self):
+        b = PartialBitstream(ReconfigKind.IMEM, (0, 0), words=(1, 2, 3))
+        assert b.payload_words == 3
+        assert b.nbytes == 27  # 9 bytes per 72-bit word
+
+    def test_dmem_bytes_per_pair(self):
+        b = PartialBitstream(ReconfigKind.DMEM, (0, 0), words=(10, 99, 11, 98))
+        assert b.payload_words == 2
+        assert b.nbytes == 12  # 6 bytes per 48-bit word
+
+    def test_link_costs_no_bytes(self):
+        b = PartialBitstream(ReconfigKind.LINK, (0, 0), aux=1)
+        assert b.nbytes == 0
+        assert b.payload_words == 0
+
+    def test_dmem_odd_payload_rejected(self):
+        with pytest.raises(ReconfigError):
+            PartialBitstream(ReconfigKind.DMEM, (0, 0), words=(1, 2, 3))
+
+    def test_link_with_payload_rejected(self):
+        with pytest.raises(ReconfigError):
+            PartialBitstream(ReconfigKind.LINK, (0, 0), words=(1,))
+
+    def test_link_direction_validated(self):
+        with pytest.raises(Exception):
+            PartialBitstream(ReconfigKind.LINK, (0, 0), aux=7)
+
+
+class TestSerialization:
+    def test_roundtrip_simple(self):
+        b = PartialBitstream(ReconfigKind.IMEM, (3, 4), words=(7, -9))
+        assert PartialBitstream.from_bytes(b.to_bytes()) == b
+
+    def test_link_roundtrip(self):
+        b = PartialBitstream(ReconfigKind.LINK, (1, 2), aux=2, label="")
+        assert PartialBitstream.from_bytes(b.to_bytes()) == b
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(PartialBitstream(ReconfigKind.LINK, (0, 0)).to_bytes())
+        blob[0] = ord("X")
+        with pytest.raises(ReconfigError, match="magic"):
+            PartialBitstream.from_bytes(bytes(blob))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ReconfigError, match="truncated"):
+            PartialBitstream.from_bytes(b"RP")
+
+    def test_truncated_payload_rejected(self):
+        blob = PartialBitstream(ReconfigKind.IMEM, (0, 0), words=(1, 2)).to_bytes()
+        with pytest.raises(ReconfigError, match="payload length"):
+            PartialBitstream.from_bytes(blob[:-4])
+
+    @given(
+        st.sampled_from([ReconfigKind.IMEM]),
+        st.tuples(st.integers(0, 31), st.integers(0, 31)),
+        st.lists(st.integers(min_value=-(1 << 70), max_value=(1 << 70)),
+                 max_size=16),
+    )
+    def test_roundtrip_property(self, kind, coord, words):
+        b = PartialBitstream(kind, coord, words=tuple(words))
+        again = PartialBitstream.from_bytes(b.to_bytes())
+        assert again.words == b.words
+        assert again.coord == b.coord
+        assert again.kind == b.kind

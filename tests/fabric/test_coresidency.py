@@ -1,0 +1,115 @@
+"""Program co-residency: packing, relocation, eviction, selection."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.fabric.assembler import assemble
+from repro.fabric.tile import Tile
+
+LOOP = assemble(
+    """
+    .var a
+    .var c
+        MOV a, #0
+        MOV c, #3
+    top:
+        ADD a, a, #2
+        SUB c, c, #1
+        BNZ c, top
+        HALT
+    """,
+    name="loop",
+)
+INC = assemble(".var b\n.org 1\nADD 5, 5, #1\nHALT", name="inc")
+BIG = assemble("\n".join(["NOP"] * 509) + "\nHALT", name="big")
+
+
+class TestInstall:
+    def test_programs_pack_sequentially(self):
+        tile = Tile()
+        base_a = tile.install_program(LOOP)
+        base_b = tile.install_program(INC)
+        assert base_a == 0
+        assert base_b == LOOP.imem_words
+        assert tile.imem_free_words == 512 - LOOP.imem_words - INC.imem_words
+
+    def test_reinstall_is_idempotent(self):
+        tile = Tile()
+        first = tile.install_program(LOOP)
+        again = tile.install_program(LOOP)
+        assert first == again
+        assert len(tile._resident) == 1
+
+    def test_oversized_program_rejected(self):
+        from repro.fabric.memory import InstructionMemory
+
+        tile = Tile(imem=InstructionMemory(size=4))
+        with pytest.raises(ExecutionError, match="exceeds"):
+            tile.install_program(LOOP)  # 6 words into a 4-word store
+
+    def test_overflow_evicts_wholesale(self):
+        tile = Tile()
+        tile.install_program(LOOP)
+        tile.install_program(BIG)  # 510 words: cannot fit next to LOOP
+        assert tile.resident_base(LOOP) is None
+        assert tile.resident_base(BIG) == 0
+
+
+class TestRelocatedExecution:
+    def test_branches_work_at_nonzero_base(self):
+        tile = Tile()
+        tile.install_program(INC)       # occupies [0, 2)
+        base = tile.install_program(LOOP)
+        assert base > 0
+        tile.start(LOOP)
+        tile.run()
+        assert tile.dmem.peek(LOOP.addr("a")) == 6  # 3 iterations x +2
+
+    def test_switching_between_residents(self):
+        tile = Tile()
+        tile.install_program(LOOP)
+        tile.install_program(INC)
+        tile.start(LOOP)
+        tile.run()
+        tile.start(INC)
+        tile.run()
+        tile.start(INC)  # re-run without any reload
+        tile.run()
+        assert tile.dmem.peek(5) == 2
+        assert tile.dmem.peek(LOOP.addr("a")) == 6
+
+    def test_start_non_resident_rejected(self):
+        tile = Tile()
+        with pytest.raises(ExecutionError, match="not resident"):
+            tile.start(LOOP)
+
+    def test_restart_uses_current_entry(self):
+        tile = Tile()
+        tile.install_program(INC)
+        tile.install_program(LOOP)
+        tile.start(LOOP)
+        tile.run()
+        tile.restart()
+        tile.run()
+        assert tile.dmem.peek(LOOP.addr("a")) == 6  # rerun from its base
+
+
+class TestRTMSIntegration:
+    def test_second_program_load_smaller_than_first(self):
+        """Installing program B next to A transfers only B's words."""
+        from repro.fabric.icap import IcapPort
+        from repro.fabric.mesh import Mesh
+        from repro.fabric.rtms import EpochSpec, RuntimeManager
+
+        mesh = Mesh(1, 1)
+        rtms = RuntimeManager(mesh, IcapPort())
+        rtms.execute([EpochSpec("a", programs={(0, 0): LOOP}, run=[(0, 0)])])
+        report = rtms.execute(
+            [EpochSpec("b", programs={(0, 0): INC}, run=[(0, 0)])]
+        )
+        assert report.epochs[0].reconfig_bytes == INC.imem_bytes
+        # and going back to LOOP is free — it stayed resident
+        report = rtms.execute(
+            [EpochSpec("a2", programs={(0, 0): LOOP}, run=[(0, 0)])]
+        )
+        assert report.epochs[0].reconfig_bytes == 0

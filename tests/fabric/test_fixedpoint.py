@@ -1,0 +1,95 @@
+"""Fixed-point arithmetic: wrapping, encoding, MULQ semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fabric.fixedpoint import (
+    Q14,
+    Q30,
+    WORD_BITS,
+    WORD_MAX,
+    WORD_MIN,
+    FixedPointFormat,
+    is_word,
+    wrap_word,
+)
+
+words = st.integers(min_value=WORD_MIN, max_value=WORD_MAX)
+
+
+class TestWrapWord:
+    def test_identity_in_range(self):
+        for v in (0, 1, -1, WORD_MAX, WORD_MIN):
+            assert wrap_word(v) == v
+
+    def test_wraps_positive_overflow(self):
+        assert wrap_word(WORD_MAX + 1) == WORD_MIN
+
+    def test_wraps_negative_overflow(self):
+        assert wrap_word(WORD_MIN - 1) == WORD_MAX
+
+    def test_full_period(self):
+        assert wrap_word(1 << WORD_BITS) == 0
+
+    @given(st.integers(min_value=-(1 << 96), max_value=1 << 96))
+    def test_always_in_range(self, v):
+        assert is_word(wrap_word(v))
+
+    @given(words, st.integers(min_value=-4, max_value=4))
+    def test_congruent_mod_2_48(self, v, k):
+        assert wrap_word(v + k * (1 << WORD_BITS)) == v
+
+
+class TestFormat:
+    def test_q30_scale(self):
+        assert Q30.scale == 1 << 30
+        assert Q30.resolution == pytest.approx(2**-30)
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(-1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(WORD_BITS - 1)
+
+    def test_encode_decode_exact_powers(self):
+        for v in (0.0, 1.0, -1.0, 0.5, -0.25):
+            assert Q30.decode(Q30.encode(v)) == v
+
+    def test_encode_rounds_to_nearest(self):
+        lsb = Q30.resolution
+        assert Q30.encode(lsb * 0.49) == 0
+        assert Q30.encode(lsb * 0.51) == 1
+
+    def test_encode_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            Q30.encode(Q30.max_value * 2)
+
+    @given(st.floats(min_value=-1000.0, max_value=1000.0))
+    def test_roundtrip_within_half_lsb(self, v):
+        assert abs(Q30.decode(Q30.encode(v)) - v) <= Q30.resolution / 2
+
+    def test_mul_matches_float(self):
+        a, b = 0.123, -4.56
+        got = Q30.decode(Q30.mul(Q30.encode(a), Q30.encode(b)))
+        assert got == pytest.approx(a * b, abs=1e-8)
+
+    @given(
+        st.floats(min_value=-100.0, max_value=100.0),
+        st.floats(min_value=-100.0, max_value=100.0),
+    )
+    def test_mul_error_bounded(self, a, b):
+        got = Q30.decode(Q30.mul(Q30.encode(a), Q30.encode(b)))
+        assert abs(got - a * b) < 1e-6
+
+    def test_q14_coarser_than_q30(self):
+        assert Q14.resolution > Q30.resolution
+
+    def test_array_roundtrip(self, rng):
+        values = rng.standard_normal((3, 4))
+        decoded = Q30.decode_array(Q30.encode_array(values))
+        np.testing.assert_allclose(decoded, values, atol=2**-30)
+
+    def test_array_preserves_shape(self, rng):
+        values = rng.standard_normal((2, 5))
+        assert Q30.encode_array(values).shape == (2, 5)

@@ -1,0 +1,72 @@
+"""ICAP model: bandwidth, serialization, published word costs."""
+
+import pytest
+
+from repro.errors import ReconfigError
+from repro.fabric.icap import IcapPort
+from repro.units import DMEM_WORD_RELOAD_NS, IMEM_WORD_RELOAD_NS
+
+
+class TestRates:
+    def test_published_word_costs(self):
+        # 48-bit data word = 6 bytes at 180 MB/s = 33.33 ns (Sec. 3.1)
+        assert DMEM_WORD_RELOAD_NS == pytest.approx(33.33, abs=0.01)
+        # 72-bit instruction word = 9 bytes = 50 ns
+        assert IMEM_WORD_RELOAD_NS == pytest.approx(50.0)
+
+    def test_transfer_duration(self):
+        icap = IcapPort()
+        assert icap.transfer_ns(6) == pytest.approx(DMEM_WORD_RELOAD_NS)
+        assert icap.transfer_ns(180e6) == pytest.approx(1e9)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ReconfigError):
+            IcapPort().transfer_ns(-1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ReconfigError):
+            IcapPort(bandwidth_bytes_per_s=0)
+
+
+class TestSerialization:
+    def test_back_to_back_transfers_queue(self):
+        icap = IcapPort()
+        s1, e1 = icap.schedule(6, earliest_ns=0)
+        s2, e2 = icap.schedule(6, earliest_ns=0)
+        assert s1 == 0 and s2 == e1
+        assert e2 == pytest.approx(2 * DMEM_WORD_RELOAD_NS)
+
+    def test_earliest_constraint_respected(self):
+        icap = IcapPort()
+        start, _ = icap.schedule(6, earliest_ns=1000)
+        assert start == 1000
+
+    def test_port_gap_not_reused(self):
+        icap = IcapPort()
+        icap.schedule(6, earliest_ns=1000)
+        # A later request cannot start before the port frees, even if its
+        # own earliest time already passed.
+        start, _ = icap.schedule(6, earliest_ns=0)
+        assert start == pytest.approx(1000 + DMEM_WORD_RELOAD_NS)
+
+    def test_fixed_duration_operations(self):
+        icap = IcapPort()
+        start, end = icap.schedule_fixed(500, earliest_ns=10)
+        assert (start, end) == (10, 510)
+        with pytest.raises(ReconfigError):
+            icap.schedule_fixed(-1)
+
+    def test_total_busy_and_reset(self):
+        icap = IcapPort()
+        icap.schedule(6)
+        icap.schedule_fixed(100)
+        assert icap.total_busy_ns == pytest.approx(DMEM_WORD_RELOAD_NS + 100)
+        icap.reset()
+        assert icap.busy_until_ns == 0
+        assert icap.transfers == []
+
+    def test_transfer_labels_recorded(self):
+        icap = IcapPort()
+        icap.schedule(6, label="dmem:test")
+        assert icap.transfers[0].label == "dmem:test"
+        assert icap.transfers[0].duration_ns == pytest.approx(DMEM_WORD_RELOAD_NS)

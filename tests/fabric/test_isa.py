@@ -1,0 +1,171 @@
+"""ISA semantics: operand validation, cycle model, ALU behaviour."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.fabric.fixedpoint import WORD_MAX, WORD_MIN, wrap_word
+from repro.fabric.isa import (
+    ALU_OPS,
+    AddrMode,
+    Instruction,
+    Opcode,
+    Operand,
+    direct,
+    evaluate_alu,
+    imm,
+    indirect,
+)
+
+words = st.integers(min_value=WORD_MIN, max_value=WORD_MAX)
+
+
+class TestOperand:
+    def test_direct_bounds(self):
+        direct(0)
+        direct(511)
+        with pytest.raises(ValueError):
+            Operand(AddrMode.DIR, 512)
+        with pytest.raises(ValueError):
+            Operand(AddrMode.DIR, -1)
+
+    def test_immediate_range(self):
+        imm(WORD_MAX)
+        imm(WORD_MIN)
+        with pytest.raises(ValueError):
+            imm(WORD_MAX + 1)
+
+    def test_read_port_counts(self):
+        assert imm(5).reads == 0
+        assert direct(5).reads == 1
+        assert indirect(5).reads == 2
+
+    def test_str_forms(self):
+        assert str(imm(7)) == "#7"
+        assert str(direct(7)) == "7"
+        assert str(indirect(7)) == "@7"
+
+
+class TestInstructionValidation:
+    def test_alu_requires_three_operands(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, dst=direct(0), src1=direct(1))
+
+    def test_alu_rejects_immediate_destination(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, dst=imm(0), src1=direct(1), src2=direct(2))
+
+    def test_mulq_shift_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MULQ, dst=direct(0), src1=direct(1),
+                        src2=direct(2), aux=0)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MULQ, dst=direct(0), src1=direct(1),
+                        src2=direct(2), aux=48)
+
+    def test_snb_direction_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.SNB, dst=direct(0), src1=direct(1), aux=4)
+
+    def test_halt_takes_no_operands(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.HALT, dst=direct(0), src1=direct(1))
+
+    def test_branch_needs_test_operand(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BZ, aux=3)
+
+
+class TestCycleModel:
+    def test_direct_alu_single_cycle(self):
+        instr = Instruction(Opcode.ADD, dst=direct(0), src1=direct(1), src2=direct(2))
+        assert instr.cycles == 1
+
+    def test_two_indirect_sources_two_cycles(self):
+        instr = Instruction(Opcode.ADD, dst=direct(0), src1=indirect(1), src2=indirect(2))
+        assert instr.read_ports == 4
+        assert instr.cycles == 2
+
+    def test_indirect_destination_counts_pointer_read(self):
+        instr = Instruction(Opcode.MOV, dst=indirect(0), src1=direct(1))
+        assert instr.read_ports == 2
+        assert instr.cycles == 1
+
+    def test_immediate_only_is_single_cycle(self):
+        instr = Instruction(Opcode.MOV, dst=direct(0), src1=imm(3))
+        assert instr.cycles == 1
+
+    def test_cycles_formula(self):
+        for instr in (
+            Instruction(Opcode.MULQ, dst=indirect(0), src1=indirect(1),
+                        src2=indirect(2), aux=30),
+            Instruction(Opcode.NOP),
+        ):
+            assert instr.cycles == max(1, math.ceil(instr.read_ports / 2))
+
+
+class TestALU:
+    @given(words, words)
+    def test_add_wraps_like_python(self, a, b):
+        assert evaluate_alu(Opcode.ADD, a, b) == wrap_word(a + b)
+
+    @given(words, words)
+    def test_sub_wraps_like_python(self, a, b):
+        assert evaluate_alu(Opcode.SUB, a, b) == wrap_word(a - b)
+
+    @given(words, words)
+    def test_mul_wraps_like_python(self, a, b):
+        assert evaluate_alu(Opcode.MUL, a, b) == wrap_word(a * b)
+
+    @given(words, words)
+    def test_min_max_consistent(self, a, b):
+        assert evaluate_alu(Opcode.MIN, a, b) == min(a, b)
+        assert evaluate_alu(Opcode.MAX, a, b) == max(a, b)
+
+    @given(words, st.integers(min_value=0, max_value=47))
+    def test_shifts(self, a, s):
+        assert evaluate_alu(Opcode.SHL, a, s) == wrap_word(a << s)
+        assert evaluate_alu(Opcode.SRA, a, s) == wrap_word(a >> s)
+
+    def test_shr_zero_fills(self):
+        assert evaluate_alu(Opcode.SHR, -1, 40) == 0xFF
+
+    def test_shift_out_of_range_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate_alu(Opcode.SHL, 1, 48)
+        with pytest.raises(ExecutionError):
+            evaluate_alu(Opcode.SHR, 1, -1)
+
+    def test_mulq_rounds(self):
+        # 3 * 3 = 9; >> 1 with rounding: (9 + 1) >> 1 = 5
+        assert evaluate_alu(Opcode.MULQ, 3, 3, aux=1) == 5
+
+    @given(words, words)
+    def test_xor_self_inverse(self, a, b):
+        x = evaluate_alu(Opcode.XOR, a, b)
+        assert evaluate_alu(Opcode.XOR, x, b) == a
+
+    def test_non_alu_opcode_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate_alu(Opcode.JMP, 1, 2)
+
+
+class TestEncoding:
+    def test_encode_fits_72_bits(self):
+        for op in ALU_OPS:
+            instr = Instruction(op, dst=direct(511), src1=indirect(255),
+                                src2=imm(1000), aux=30 if op is Opcode.MULQ else 0)
+            assert 0 <= instr.encode() < (1 << 72)
+
+    def test_distinct_instructions_distinct_encodings(self):
+        a = Instruction(Opcode.ADD, dst=direct(0), src1=direct(1), src2=direct(2))
+        b = Instruction(Opcode.SUB, dst=direct(0), src1=direct(1), src2=direct(2))
+        c = Instruction(Opcode.ADD, dst=direct(3), src1=direct(1), src2=direct(2))
+        assert len({a.encode(), b.encode(), c.encode()}) == 3
+
+    def test_str_contains_mnemonic(self):
+        instr = Instruction(Opcode.MULQ, dst=direct(0), src1=direct(1),
+                            src2=direct(2), aux=30)
+        assert "MULQ" in str(instr) and "q=30" in str(instr)

@@ -1,0 +1,81 @@
+"""Link model: directions, state tracking, change counting."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.fabric.links import Direction, LinkState
+
+
+class TestDirection:
+    def test_opposites(self):
+        assert Direction.NORTH.opposite is Direction.SOUTH
+        assert Direction.EAST.opposite is Direction.WEST
+        for d in Direction:
+            assert d.opposite.opposite is d
+
+    def test_deltas_are_unit_steps(self):
+        for d in Direction:
+            dr, dc = d.delta
+            assert abs(dr) + abs(dc) == 1
+
+    def test_north_decreases_row(self):
+        assert Direction.NORTH.delta == (-1, 0)
+
+    def test_code_roundtrip(self):
+        for d in Direction:
+            assert Direction.from_code(d.code) is d
+
+    def test_invalid_code(self):
+        with pytest.raises(LinkError):
+            Direction.from_code(9)
+
+    def test_from_name_short_and_long(self):
+        assert Direction.from_name("n") is Direction.NORTH
+        assert Direction.from_name("EAST") is Direction.EAST
+        with pytest.raises(LinkError):
+            Direction.from_name("up")
+
+
+class TestLinkState:
+    def test_initially_detached(self):
+        assert LinkState().get((0, 0)) is None
+
+    def test_configure_reports_change(self):
+        state = LinkState()
+        assert state.configure((0, 0), Direction.EAST) is True
+        assert state.configure((0, 0), Direction.EAST) is False
+        assert state.configure((0, 0), Direction.SOUTH) is True
+        assert state.reconfig_count == 2
+
+    def test_detach(self):
+        state = LinkState()
+        state.configure((0, 0), Direction.EAST)
+        assert state.configure((0, 0), None) is True
+        assert state.get((0, 0)) is None
+
+    def test_changed_links_counts_diffs(self):
+        state = LinkState()
+        state.configure((0, 0), Direction.EAST)
+        state.configure((0, 1), Direction.SOUTH)
+        target = {(0, 0): Direction.EAST, (0, 1): Direction.NORTH,
+                  (1, 0): Direction.WEST}
+        assert state.changed_links(target) == 2
+
+    def test_changed_links_does_not_mutate(self):
+        state = LinkState()
+        state.changed_links({(0, 0): Direction.EAST})
+        assert state.get((0, 0)) is None
+
+    def test_apply_returns_change_count(self):
+        state = LinkState()
+        # detached -> None is a no-op, detached -> EAST is one change
+        changed = state.apply({(0, 0): Direction.EAST, (0, 1): None})
+        assert changed == 1
+        assert state.apply({(0, 0): Direction.EAST, (0, 1): None}) == 0
+
+    def test_as_dict_snapshot(self):
+        state = LinkState()
+        state.configure((1, 1), Direction.WEST)
+        snap = state.as_dict()
+        snap[(1, 1)] = Direction.EAST
+        assert state.get((1, 1)) is Direction.WEST

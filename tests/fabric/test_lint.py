@@ -1,0 +1,94 @@
+"""Program disassembly and static linting."""
+
+from repro.fabric.assembler import assemble
+
+
+class TestDisassemble:
+    def test_lists_every_instruction(self):
+        p = assemble(".var a\nMOV a, #1\nloop: SUB a, a, #1\nBNZ a, loop\nHALT",
+                     name="d")
+        text = p.disassemble()
+        assert "program 'd'" in text
+        assert ".var a @ 0" in text
+        assert "loop:" in text
+        assert text.count("\n") >= 5
+
+    def test_addresses_sequential(self):
+        p = assemble("NOP\nNOP\nHALT")
+        lines = [l for l in p.disassemble().splitlines() if not l.startswith(";")]
+        assert lines[0].strip().startswith("0")
+        assert lines[2].strip().startswith("2")
+
+
+class TestLint:
+    def test_clean_program(self):
+        p = assemble(".var a\nMOV a, #1\nHALT")
+        assert p.lint() == []
+
+    def test_clean_loop(self):
+        p = assemble(
+            ".var c\nMOV c, #3\nloop: SUB c, c, #1\nBNZ c, loop\nHALT"
+        )
+        assert p.lint() == []
+
+    def test_missing_halt_detected(self):
+        p = assemble(".var a\nMOV a, #1\nADD a, a, #1")
+        assert any("fall off" in w for w in p.lint())
+
+    def test_unreachable_code_detected(self):
+        p = assemble("JMP end\nNOP\nNOP\nend: HALT")
+        warnings = p.lint()
+        assert sum("unreachable" in w for w in warnings) == 2
+
+    def test_out_of_range_target_detected(self):
+        p = assemble("JMP 99\nHALT")
+        warnings = p.lint()
+        assert any("outside the program" in w for w in warnings)
+        assert any("unreachable" in w for w in warnings)  # the HALT
+
+    def test_conditional_fallthrough_not_flagged(self):
+        p = assemble(".var a\nBZ a, done\nMOV a, #1\ndone: HALT")
+        assert p.lint() == []
+
+    def test_empty_program(self):
+        from repro.fabric.assembler import Program
+
+        assert Program(name="empty").lint() == ["program has no instructions"]
+
+    def test_all_shipped_kernel_programs_are_clean(self):
+        """Every generated FFT/JPEG tile program passes the linter."""
+        from repro.kernels.fft.programs import (
+            bf_exchange_program,
+            bf_internal_program,
+            copy_pair_program,
+            copy_program,
+            local_copy_program,
+            twiddle_square_program,
+        )
+        from repro.kernels.jpeg.programs import (
+            alpha_quantize_program,
+            dc_category_program,
+            matmul8_program,
+            rle_program,
+            shift_program,
+            zigzag_program,
+        )
+
+        programs = [
+            bf_exchange_program(8, True, "C", "A"),
+            bf_exchange_program(8, False, "A", "C"),
+            bf_internal_program(8, 2),
+            copy_program(8, 0, 0, "E"),
+            copy_program(8, 0, 0, "E", unrolled=True),
+            copy_pair_program(4, 0, 60, 20, 64, "S"),
+            local_copy_program(4, 0, 50),
+            twiddle_square_program(8),
+            shift_program(),
+            matmul8_program(),
+            alpha_quantize_program(),
+            zigzag_program(),
+            dc_category_program(),
+            rle_program(),
+        ]
+        for program in programs:
+            assert program.lint() == [], program.name

@@ -1,0 +1,114 @@
+"""Tile memories: bounds, wrapping, counters, program capacity."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.fabric.assembler import assemble
+from repro.fabric.fixedpoint import WORD_MAX
+from repro.fabric.memory import DataMemory, InstructionMemory
+
+
+class TestDataMemory:
+    def test_default_size(self):
+        assert DataMemory().size == 512
+
+    def test_read_write(self):
+        mem = DataMemory()
+        mem.write(3, 42)
+        assert mem.read(3) == 42
+
+    def test_bounds_checked(self):
+        mem = DataMemory()
+        with pytest.raises(MemoryError_):
+            mem.read(512)
+        with pytest.raises(MemoryError_):
+            mem.write(-1, 0)
+
+    def test_non_integer_address_rejected(self):
+        with pytest.raises(MemoryError_):
+            DataMemory().read("3")  # type: ignore[arg-type]
+
+    def test_writes_wrap_to_48_bits(self):
+        mem = DataMemory()
+        mem.write(0, WORD_MAX + 1)
+        assert mem.read(0) == -(WORD_MAX + 1)
+
+    def test_counters(self):
+        mem = DataMemory()
+        mem.write(0, 1)
+        mem.read(0)
+        mem.read(0)
+        assert (mem.reads, mem.writes) == (2, 1)
+
+    def test_peek_poke_skip_counters(self):
+        mem = DataMemory()
+        mem.poke(0, 5)
+        assert mem.peek(0) == 5
+        assert (mem.reads, mem.writes) == (0, 0)
+
+    def test_load_image_counts_reconfig(self):
+        mem = DataMemory()
+        n = mem.load_image({1: 10, 2: 20}, reconfig=True)
+        assert n == 2
+        assert mem.reconfig_writes == 2
+        assert mem.peek(2) == 20
+
+    def test_block_helpers(self):
+        mem = DataMemory()
+        mem.load_block(10, [1, 2, 3])
+        assert mem.dump_block(10, 3) == [1, 2, 3]
+
+    def test_dump_block_overflow(self):
+        with pytest.raises(MemoryError_):
+            DataMemory().dump_block(510, 4)
+
+    def test_clear(self):
+        mem = DataMemory()
+        mem.write(0, 9)
+        mem.clear()
+        assert mem.peek(0) == 0
+        assert mem.writes == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DataMemory(0)
+
+
+class TestInstructionMemory:
+    def test_load_and_fetch(self):
+        program = assemble("NOP\nHALT")
+        imem = InstructionMemory()
+        assert imem.load(program.instructions) == 2
+        assert imem.fetch(0) is program.instructions[0]
+
+    def test_capacity_enforced(self):
+        imem = InstructionMemory(size=4)
+        program = assemble("NOP\nNOP\nNOP\nNOP\nHALT")
+        with pytest.raises(MemoryError_, match="exceeds instruction memory"):
+            imem.load(program.instructions)
+
+    def test_fetch_unloaded_slot(self):
+        imem = InstructionMemory()
+        with pytest.raises(MemoryError_, match="unloaded"):
+            imem.fetch(0)
+
+    def test_fetch_out_of_range(self):
+        imem = InstructionMemory()
+        with pytest.raises(MemoryError_):
+            imem.fetch(512)
+
+    def test_loaded_words(self):
+        imem = InstructionMemory()
+        imem.load(assemble("NOP\nNOP\nHALT").instructions)
+        assert imem.loaded_words() == 3
+
+    def test_reconfig_counter(self):
+        imem = InstructionMemory()
+        imem.load(assemble("HALT").instructions, reconfig=True)
+        assert imem.reconfig_writes == 1
+
+    def test_clear(self):
+        imem = InstructionMemory()
+        imem.load(assemble("HALT").instructions)
+        imem.clear()
+        assert imem.loaded_words() == 0

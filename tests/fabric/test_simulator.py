@@ -1,0 +1,111 @@
+"""Lock-step concurrent execution: timing, interleaving, exchange safety."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.fabric.assembler import assemble
+from repro.fabric.links import Direction
+from repro.fabric.mesh import Mesh
+from repro.fabric.simulator import run_concurrent
+from repro.units import CYCLE_NS
+
+
+def loaded(mesh, coord, source):
+    tile = mesh.tile(coord)
+    tile.load_program(assemble(source, name=f"p{coord}"))
+    return tile
+
+
+class TestTiming:
+    def test_makespan_is_slowest_tile(self, mesh1x2):
+        fast = loaded(mesh1x2, (0, 0), "NOP\nHALT")
+        slow = loaded(mesh1x2, (0, 1), "NOP\nNOP\nNOP\nNOP\nHALT")
+        result = run_concurrent([fast, slow])
+        assert result.makespan_ns == pytest.approx(5 * CYCLE_NS)
+        assert result.busy_ns[(0, 0)] == pytest.approx(2 * CYCLE_NS)
+
+    def test_start_offset_excluded_from_makespan(self, mesh1x2):
+        tile = loaded(mesh1x2, (0, 0), "NOP\nHALT")
+        result = run_concurrent([tile], start_ns=1000.0)
+        assert result.makespan_ns == pytest.approx(2 * CYCLE_NS)
+
+    def test_instruction_counts(self, mesh1x2):
+        a = loaded(mesh1x2, (0, 0), "NOP\nNOP\nHALT")
+        result = run_concurrent([a])
+        assert result.instructions[(0, 0)] == 3
+
+    def test_utilization(self, mesh1x2):
+        a = loaded(mesh1x2, (0, 0), "NOP\nHALT")
+        b = loaded(mesh1x2, (0, 1), "NOP\nNOP\nNOP\nHALT")
+        result = run_concurrent([a, b])
+        assert result.utilization == pytest.approx((2 + 4) / (2 * 4))
+
+    def test_empty_run(self):
+        assert run_concurrent([]).makespan_ns == 0.0
+
+
+class TestValidation:
+    def test_halted_tile_rejected(self, mesh1x2):
+        tile = loaded(mesh1x2, (0, 0), "HALT")
+        tile.run()
+        with pytest.raises(ExecutionError, match="halted"):
+            run_concurrent([tile])
+
+    def test_duplicate_coordinates_rejected(self):
+        mesh_a, mesh_b = Mesh(1, 1), Mesh(1, 1)
+        a = loaded(mesh_a, (0, 0), "HALT")
+        b = loaded(mesh_b, (0, 0), "HALT")
+        with pytest.raises(ExecutionError, match="duplicate"):
+            run_concurrent([a, b])
+
+    def test_runaway_budget(self, mesh1x2):
+        tile = loaded(mesh1x2, (0, 0), "x: JMP x")
+        with pytest.raises(ExecutionError, match="exceeded"):
+            run_concurrent([tile], max_cycles_per_tile=50)
+
+
+class TestInterleaving:
+    def test_paired_exchange_is_correct(self):
+        """Two tiles swap buffers simultaneously through SNB stores.
+
+        Each writes its own data into the partner's staging area; the
+        time-ordered interleaving must deliver both payloads intact.
+        """
+        mesh = Mesh(2, 1)
+        mesh.configure_link((0, 0), Direction.SOUTH)
+        mesh.configure_link((1, 0), Direction.NORTH)
+        source = """
+        .org 100
+        .var cnt
+        .var psrc
+        .var pdst
+            MOV cnt, #8
+            MOV psrc, #0
+            MOV pdst, #50
+        loop:
+            SNB.{d} @pdst, @psrc
+            ADD psrc, psrc, #1
+            ADD pdst, pdst, #1
+            SUB cnt, cnt, #1
+            BNZ cnt, loop
+            HALT
+        """
+        top = mesh.tile((0, 0))
+        bottom = mesh.tile((1, 0))
+        for i in range(8):
+            top.dmem.poke(i, 100 + i)
+            bottom.dmem.poke(i, 200 + i)
+        top.load_program(assemble(source.format(d="S"), name="down"))
+        bottom.load_program(assemble(source.format(d="N"), name="up"))
+        run_concurrent([top, bottom])
+        assert [bottom.dmem.peek(50 + i) for i in range(8)] == [100 + i for i in range(8)]
+        assert [top.dmem.peek(50 + i) for i in range(8)] == [200 + i for i in range(8)]
+
+    def test_deterministic_tie_breaking(self, mesh1x2):
+        a = loaded(mesh1x2, (0, 0), "NOP\nNOP\nHALT")
+        b = loaded(mesh1x2, (0, 1), "NOP\nNOP\nHALT")
+        r1 = run_concurrent([a, b])
+        for t in (a, b):
+            t.restart()
+        r2 = run_concurrent([b, a])  # order of the list must not matter
+        assert r1.busy_ns == r2.busy_ns

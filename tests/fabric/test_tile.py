@@ -1,0 +1,193 @@
+"""Tile execution: control flow, addressing, neighbour stores, stats."""
+
+import pytest
+
+from repro.errors import ExecutionError, LinkError
+from repro.fabric.assembler import assemble
+from repro.fabric.links import Direction
+from repro.fabric.tile import Tile
+from repro.units import CYCLE_NS
+
+
+def run_program(source: str) -> Tile:
+    tile = Tile()
+    tile.load_program(assemble(source))
+    tile.run()
+    return tile
+
+
+class TestExecution:
+    def test_mov_immediate(self):
+        tile = run_program(".var a\nMOV a, #7\nHALT")
+        assert tile.dmem.peek(0) == 7
+
+    def test_indirect_store(self):
+        tile = run_program(
+            ".var p\n.var t\n.word p, 100\nMOV @p, #55\nHALT"
+        )
+        assert tile.dmem.peek(100) == 55
+
+    def test_indirect_load(self):
+        tile = run_program(
+            ".var p\n.var out\n.word p, 100\n.word 100, 9\nMOV out, @p\nHALT"
+        )
+        assert tile.dmem.peek(1) == 9
+
+    def test_unary_ops(self):
+        tile = run_program(
+            ".var a\n.var b\n.var c\nMOV a, #-5\nABS b, a\nNEG c, a\nHALT"
+        )
+        assert tile.dmem.peek(1) == 5
+        assert tile.dmem.peek(2) == 5
+
+    def test_not(self):
+        tile = run_program(".var a\nNOT a, #0\nHALT")
+        assert tile.dmem.peek(0) == -1
+
+    def test_branch_taken_and_not_taken(self):
+        tile = run_program(
+            """
+            .var x
+            .var hit
+                MOV x, #0
+                BNZ x, bad
+                MOV hit, #1
+                JMP end
+            bad:
+                MOV hit, #99
+            end:
+                HALT
+            """
+        )
+        assert tile.dmem.peek(1) == 1
+
+    def test_bneg_bpos(self):
+        tile = run_program(
+            """
+            .var v
+            .var neg
+            .var pos
+                MOV v, #-3
+                BNEG v, isneg
+                JMP next
+            isneg:
+                MOV neg, #1
+            next:
+                MOV v, #3
+                BPOS v, ispos
+                JMP end
+            ispos:
+                MOV pos, #1
+            end:
+                HALT
+            """
+        )
+        assert tile.dmem.peek(1) == 1
+        assert tile.dmem.peek(2) == 1
+
+    def test_loop_cycle_count(self):
+        tile = Tile()
+        tile.load_program(assemble(
+            ".var c\n.word c, 10\nloop:\nSUB c, c, #1\nBNZ c, loop\nHALT"
+        ))
+        cycles = tile.run()
+        # 10 iterations x (SUB + BNZ) + HALT = 21 single-cycle instructions
+        assert cycles == 21
+        assert tile.stats.branches_taken == 9
+
+    def test_run_ns(self):
+        tile = Tile()
+        tile.load_program(assemble("NOP\nNOP\nHALT"))
+        assert tile.run_ns() == pytest.approx(3 * CYCLE_NS)
+
+
+class TestLifecycle:
+    def test_run_without_program(self):
+        with pytest.raises(ExecutionError, match="no program"):
+            Tile().run()
+
+    def test_restart_reruns(self):
+        tile = Tile()
+        tile.load_program(assemble(".var a\nADD a, a, #1\nHALT"))
+        tile.run()
+        tile.restart()
+        tile.run()
+        assert tile.dmem.peek(0) == 2
+
+    def test_restart_without_program(self):
+        with pytest.raises(ExecutionError):
+            Tile().restart()
+
+    def test_runaway_detection(self):
+        tile = Tile()
+        tile.load_program(assemble("loop: JMP loop"))
+        with pytest.raises(ExecutionError, match="exceeded"):
+            tile.run(max_cycles=100)
+
+    def test_step_when_halted_returns_zero(self):
+        tile = Tile()
+        tile.load_program(assemble("HALT"))
+        tile.run()
+        assert tile.step() == 0
+
+    def test_load_program_resets_pc_and_data_image(self):
+        tile = Tile()
+        tile.load_program(assemble(".var a\n.word a, 5\nHALT"))
+        assert tile.pc == 0 and not tile.halted
+        assert tile.dmem.peek(0) == 5
+
+    def test_load_program_preserves_other_data(self):
+        tile = Tile()
+        tile.dmem.poke(100, 77)
+        tile.load_program(assemble("HALT"))
+        assert tile.dmem.peek(100) == 77
+
+    def test_addr_helper(self):
+        tile = Tile()
+        tile.load_program(assemble(".var xyz\nHALT"))
+        assert tile.addr("xyz") == 0
+
+    def test_stats_reset(self):
+        tile = Tile()
+        tile.load_program(assemble("NOP\nHALT"))
+        tile.run()
+        tile.stats.reset()
+        assert tile.stats.instructions == 0
+
+
+class TestNeighbourStores:
+    def test_snb_without_mesh_raises(self):
+        tile = Tile()
+        tile.load_program(assemble(".var v\nSNB.E 0, v\nHALT"))
+        with pytest.raises(ExecutionError, match="resolver"):
+            tile.run()
+
+    def test_snb_through_active_link(self, mesh1x2):
+        mesh1x2.configure_link((0, 0), Direction.EAST)
+        tile = mesh1x2.tile((0, 0))
+        tile.load_program(assemble(".var v\n.word v, 31\nSNB.E 5, v\nHALT"))
+        tile.run()
+        assert mesh1x2.tile((0, 1)).dmem.peek(5) == 31
+        assert tile.stats.neighbour_stores == 1
+
+    def test_snb_wrong_direction_raises(self, mesh1x2):
+        mesh1x2.configure_link((0, 0), Direction.EAST)
+        tile = mesh1x2.tile((0, 0))
+        tile.load_program(assemble(".var v\nSNB.W 0, v\nHALT"))
+        with pytest.raises(LinkError, match="link is EAST"):
+            tile.run()
+
+    def test_snb_detached_raises(self, mesh1x2):
+        tile = mesh1x2.tile((0, 0))
+        tile.load_program(assemble(".var v\nSNB.E 0, v\nHALT"))
+        with pytest.raises(LinkError, match="detached"):
+            tile.run()
+
+    def test_snb_indirect_neighbour_address(self, mesh1x2):
+        mesh1x2.configure_link((0, 0), Direction.EAST)
+        tile = mesh1x2.tile((0, 0))
+        tile.load_program(assemble(
+            ".var p\n.var v\n.word p, 42\n.word v, 8\nSNB.E @p, v\nHALT"
+        ))
+        tile.run()
+        assert mesh1x2.tile((0, 1)).dmem.peek(42) == 8

@@ -1,0 +1,89 @@
+"""Tracing: event collection, Gantt rendering, CSV, report adapter."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.assembler import assemble
+from repro.fabric.icap import IcapPort
+from repro.fabric.mesh import Mesh
+from repro.fabric.rtms import EpochSpec, RuntimeManager
+from repro.fabric.trace import EventKind, TraceEvent, Tracer, trace_report
+
+
+def event(kind, label, start, end, coord=None):
+    return TraceEvent(kind, label, start, end, coord)
+
+
+class TestEvents:
+    def test_duration(self):
+        assert event(EventKind.EPOCH, "e", 10.0, 30.0).duration_ns == 20.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(FabricError):
+            event(EventKind.EPOCH, "e", 30.0, 10.0)
+
+
+class TestTracer:
+    @pytest.fixture
+    def tracer(self):
+        t = Tracer()
+        t.add(event(EventKind.EPOCH, "e0", 0, 100))
+        t.add(event(EventKind.COMPUTE, "c0", 0, 60, (0, 0)))
+        t.add(event(EventKind.COMPUTE, "c1", 20, 100, (0, 1)))
+        t.add(event(EventKind.RECONFIG, "r0", 60, 90, (0, 0)))
+        return t
+
+    def test_filtering(self, tracer):
+        assert len(tracer.of_kind(EventKind.COMPUTE)) == 2
+        assert len(tracer.for_tile((0, 0))) == 2
+
+    def test_span(self, tracer):
+        assert tracer.span_ns == 100.0
+        assert Tracer().span_ns == 0.0
+
+    def test_busy_by_kind(self, tracer):
+        assert tracer.busy_ns((0, 0)) == 60.0
+        assert tracer.busy_ns((0, 0), EventKind.RECONFIG) == 30.0
+
+    def test_gantt_rows_and_symbols(self, tracer):
+        chart = tracer.gantt(width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # axis + two tiles
+        assert "#" in lines[1]
+        assert "r" in lines[1]  # reconfig visible on tile (0,0)
+
+    def test_gantt_width_validated(self, tracer):
+        with pytest.raises(FabricError):
+            tracer.gantt(width=4)
+
+    def test_gantt_empty(self):
+        assert "(empty trace)" in Tracer().gantt()
+
+    def test_csv_structure(self, tracer):
+        csv = tracer.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("kind,label")
+        assert len(lines) == 5
+        assert any("compute,c0,0:0" in line for line in lines)
+
+
+class TestReportAdapter:
+    def test_trace_of_real_run(self):
+        mesh = Mesh(1, 2)
+        rtms = RuntimeManager(mesh, IcapPort())
+        prog = assemble("\n".join(["NOP"] * 40) + "\nHALT", name="w")
+        report = rtms.execute(
+            [
+                EpochSpec("a", programs={(0, 0): prog}, run=[(0, 0)]),
+                EpochSpec("b", programs={(0, 1): prog}, run=[(0, 1)]),
+            ]
+        )
+        tracer = trace_report(report)
+        assert len(tracer.of_kind(EventKind.EPOCH)) == 2
+        assert len(tracer.of_kind(EventKind.COMPUTE)) == 2
+        assert len(tracer.of_kind(EventKind.RECONFIG)) == 2
+        assert tracer.busy_ns((0, 0)) == pytest.approx(
+            report.epochs[0].busy_ns[(0, 0)]
+        )
+        chart = tracer.gantt()
+        assert "T0_0" in chart and "T0_1" in chart

@@ -1,0 +1,154 @@
+"""FFT partitioning: plan shape, exchange schedule, twiddle sets."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.fft.decompose import FFTPlan, partition_size
+from repro.kernels.fft.reference import twiddle_exponent
+
+
+class TestPartitionSize:
+    def test_remorph_value(self):
+        # DM=512, reuse: M = 128 (Sec. 3.1's derivation)
+        assert partition_size(512) == 128
+
+    def test_no_reuse_halves(self):
+        assert partition_size(512, reuse_io=False) == 64
+
+    def test_small_memory(self):
+        assert partition_size(60) == 4
+
+    def test_tiny_memory_rejected(self):
+        with pytest.raises(KernelError):
+            partition_size(44)
+
+
+class TestPlanShape:
+    def test_paper_plan(self):
+        plan = FFTPlan(1024, 128, 10)
+        assert plan.rows == 8
+        assert plan.stages == 10
+        assert plan.stages_per_col == 1
+        assert plan.n_tiles == 80
+        assert plan.exchange_stage_count == 3
+
+    def test_tile_bounds_quoted_in_paper(self):
+        # "a 1024-point Radix2 FFT needs at least 8 and at most 80 tiles"
+        assert FFTPlan(1024, 128, 1).n_tiles == 8
+        assert FFTPlan(1024, 128, 10).n_tiles == 80
+
+    def test_cols_must_divide_stages(self):
+        with pytest.raises(KernelError):
+            FFTPlan(1024, 128, 3)
+
+    def test_m_larger_than_n_rejected(self):
+        with pytest.raises(KernelError):
+            FFTPlan(16, 32, 1)
+
+    def test_non_power_of_two(self):
+        with pytest.raises(KernelError):
+            FFTPlan(100, 10, 1)
+
+    def test_describe(self):
+        assert "8 rows x 2 cols" in FFTPlan(1024, 128, 2).describe()
+
+
+class TestSchedule:
+    def test_column_of_stage(self):
+        plan = FFTPlan(1024, 128, 5)
+        assert plan.column_of_stage(0) == 0
+        assert plan.column_of_stage(3) == 1
+        assert plan.column_of_stage(9) == 4
+
+    def test_stages_of_column(self):
+        plan = FFTPlan(1024, 128, 2)
+        assert list(plan.stages_of_column(0)) == [0, 1, 2, 3, 4]
+        assert list(plan.stages_of_column(1)) == [5, 6, 7, 8, 9]
+        with pytest.raises(KernelError):
+            plan.stages_of_column(2)
+
+    def test_exchange_stages_are_first_x(self):
+        plan = FFTPlan(1024, 128, 1)
+        for s in range(plan.stages):
+            assert plan.is_exchange_stage(s) == (s < 3)
+
+    def test_exchanges_in_column(self):
+        plan = FFTPlan(1024, 128, 5)
+        assert [plan.exchanges_in_column(c) for c in range(5)] == [2, 1, 0, 0, 0]
+
+    def test_exchanges_per_beat_cases(self):
+        # the R_k factors behind the paper's case expressions (Sec. 3.2)
+        assert FFTPlan(1024, 128, 1).exchanges_per_beat() == [1, 1, 1] + [0] * 7
+        assert FFTPlan(1024, 128, 5).exchanges_per_beat() == [2, 1]
+        assert FFTPlan(1024, 128, 10).exchanges_per_beat() == [3]
+
+    def test_no_exchange_when_single_row(self):
+        plan = FFTPlan(16, 16, 1)
+        assert plan.exchange_stage_count == 0
+        assert plan.rows == 1
+
+
+class TestPartners:
+    def test_stage0_partner_is_half_array_away(self):
+        plan = FFTPlan(64, 8, 1)  # 8 rows
+        assert plan.partner_row(0, 0) == 4
+        assert plan.partner_row(5, 0) == 1
+
+    def test_partner_is_symmetric(self):
+        plan = FFTPlan(64, 8, 1)
+        for stage in range(plan.exchange_stage_count):
+            for row in range(plan.rows):
+                partner = plan.partner_row(row, stage)
+                assert plan.partner_row(partner, stage) == row
+                assert partner != row
+
+    def test_lower_partner(self):
+        plan = FFTPlan(64, 8, 1)
+        assert plan.is_lower_partner(0, 0)
+        assert not plan.is_lower_partner(4, 0)
+
+    def test_internal_stage_has_no_partner(self):
+        plan = FFTPlan(64, 8, 1)
+        with pytest.raises(KernelError):
+            plan.partner_row(0, 5)
+
+    def test_row_bounds(self):
+        plan = FFTPlan(64, 8, 1)
+        with pytest.raises(KernelError):
+            plan.partner_row(8, 0)
+
+
+class TestTwiddleSets:
+    def test_exchange_stage_count_per_tile(self):
+        plan = FFTPlan(64, 8, 1)
+        for row in range(plan.rows):
+            assert len(plan.tile_twiddle_exponents(row, 0)) == 4  # m/2
+
+    def test_internal_stage_count_per_tile(self):
+        plan = FFTPlan(64, 8, 1)
+        for stage in range(3, 6):
+            assert len(plan.tile_twiddle_exponents(0, stage)) == 4
+
+    def test_exponents_match_reference_formula(self):
+        plan = FFTPlan(64, 8, 1)
+        # tile 0 at stage 0 computes global pairs 0..3
+        assert plan.tile_twiddle_exponents(0, 0) == [
+            twiddle_exponent(64, 0, j) for j in range(4)
+        ]
+        # its upper partner (tile 4) covers pairs 4..7
+        assert plan.tile_twiddle_exponents(4, 0) == [
+            twiddle_exponent(64, 0, j) for j in range(4, 8)
+        ]
+
+    def test_internal_exponents_identical_across_rows(self):
+        plan = FFTPlan(64, 8, 1)
+        for stage in range(3, 6):
+            sets = {
+                tuple(plan.tile_twiddle_exponents(r, stage))
+                for r in range(plan.rows)
+            }
+            assert len(sets) == 1  # why BLUE reuse works row-wide
+
+    def test_naive_load_bound(self):
+        plan = FFTPlan(64, 8, 1)
+        assert plan.total_twiddle_loads_naive() == 64 * 6

@@ -1,0 +1,63 @@
+"""2-D FFT: reference and fabric row-column composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.fft2d import FabricFFT2D, fft2d_reference
+
+
+class TestReference:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_matches_numpy(self, n, rng):
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        np.testing.assert_allclose(
+            fft2d_reference(a), np.fft.fft2(a), atol=1e-9 * n * n
+        )
+
+    def test_rectangular(self, rng):
+        a = rng.standard_normal((8, 16)) + 0j
+        np.testing.assert_allclose(
+            fft2d_reference(a), np.fft.fft2(a), atol=1e-8
+        )
+
+    def test_separable_impulse(self):
+        a = np.zeros((8, 8), dtype=complex)
+        a[0, 0] = 1.0
+        np.testing.assert_allclose(fft2d_reference(a), np.ones((8, 8)),
+                                   atol=1e-12)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(KernelError):
+            fft2d_reference(np.zeros(8))
+
+    def test_non_power_rejected(self):
+        with pytest.raises(KernelError):
+            fft2d_reference(np.zeros((6, 8)))
+
+
+class TestFabric:
+    def test_16x16_matches_numpy(self, rng):
+        a = (rng.standard_normal((16, 16))
+             + 1j * rng.standard_normal((16, 16))) * 0.005
+        result = FabricFFT2D(FFTPlan(16, 4, 2)).run(a)
+        np.testing.assert_allclose(result.output, np.fft.fft2(a), atol=5e-6)
+
+    def test_timing_decomposition(self, rng):
+        a = rng.standard_normal((16, 16)) * 0.005 + 0j
+        result = FabricFFT2D(FFTPlan(16, 4, 1)).run(a)
+        assert result.row_pass_ns > 0 and result.col_pass_ns > 0
+        assert result.total_ns == pytest.approx(
+            result.row_pass_ns + result.col_pass_ns
+        )
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(KernelError):
+            FabricFFT2D(FFTPlan(16, 4, 1)).run(np.zeros((8, 16), dtype=complex))
+
+    def test_warm_column_pass_not_slower(self, rng):
+        """The second pass reuses the resident programs."""
+        a = rng.standard_normal((16, 16)) * 0.005 + 0j
+        result = FabricFFT2D(FFTPlan(16, 4, 2)).run(a)
+        assert result.col_pass_ns <= result.row_pass_ns * 1.05

@@ -1,0 +1,184 @@
+"""The tau performance model: published case values and curve shapes."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.perf_model import (
+    FFTPerformanceModel,
+    StageProfile,
+    TauBreakdown,
+    copy_cost_table,
+)
+
+
+def model_for(cols, **options):
+    return FFTPerformanceModel(
+        plan=FFTPlan(1024, 128, cols),
+        profile=StageProfile.table1(),
+        **options,
+    )
+
+
+class TestStageProfile:
+    def test_table1_values(self):
+        p = StageProfile.table1()
+        assert p.stages == 10
+        assert p.bf_ns[0] == 2672.0
+        assert p.bf_ns[9] == 4364.0
+        assert (p.vcp_ns, p.hcp_ns) == (789.0, 1557.0)
+
+    def test_uniform(self):
+        p = StageProfile.uniform(6, bf_ns=1000.0)
+        assert p.stages == 6 and p.bf_ns == (1000.0,) * 6
+
+    def test_invalid_profiles(self):
+        with pytest.raises(KernelError):
+            StageProfile(bf_ns=(), vcp_ns=1, hcp_ns=1)
+        with pytest.raises(KernelError):
+            StageProfile(bf_ns=(-1.0,), vcp_ns=1, hcp_ns=1)
+
+    def test_profile_plan_mismatch_rejected(self):
+        with pytest.raises(KernelError, match="stage runtimes"):
+            FFTPerformanceModel(
+                plan=FFTPlan(64, 8, 1), profile=StageProfile.table1()
+            )
+
+
+class TestPublishedFactors:
+    """The structural counts behind Eqs. 7-12's case tables."""
+
+    @pytest.mark.parametrize("cols,expect", [(1, 3), (2, 3), (5, 2), (10, 0)])
+    def test_yellow_events(self, cols, expect):
+        assert model_for(cols).yellow_events() == expect
+
+    @pytest.mark.parametrize("cols,expect", [(1, 2), (2, 2), (5, 1), (10, 0)])
+    def test_vcp_reload_events(self, cols, expect):
+        assert model_for(cols).vcp_reload_events() == expect
+
+    @pytest.mark.parametrize("cols,expect", [(1, 3), (2, 3), (5, 2), (10, 1)])
+    def test_vcp_executions(self, cols, expect):
+        assert model_for(cols).vcp_executions() == expect
+
+    def test_t_link_is_rows_times_cost(self):
+        assert model_for(1).t_link_ns(100.0) == pytest.approx(800.0)
+
+    def test_t_d_matches_table2_atom(self):
+        # 2 variables x 8 tiles x 33.33 ns = 533.3 ns (Eq. 5)
+        assert model_for(1).t_d_ns() == pytest.approx(533.3, abs=0.1)
+
+    def test_negative_link_cost_rejected(self):
+        with pytest.raises(KernelError):
+            model_for(1).t_link_ns(-1)
+
+
+class TestTable2:
+    def test_exact_published_values(self):
+        rows = copy_cost_table()
+        published = [
+            (1, 1066.6, 15.0),
+            (2, 1066.6, 15.0),
+            (5, 533.3, 10.0),
+            (10, 0.0, 0.0),
+        ]
+        for row, (cols, prev, new) in zip(rows, published):
+            assert row.cols == cols
+            assert row.prev_cost_ns == pytest.approx(prev, abs=0.1)
+            assert row.new_cost_ns == pytest.approx(new, abs=0.01)
+
+    def test_improvement_column(self):
+        for row in copy_cost_table():
+            assert row.improvement_ns == pytest.approx(
+                row.prev_cost_ns - row.new_cost_ns
+            )
+
+
+class TestTauBreakdown:
+    def test_eight_terms_required(self):
+        with pytest.raises(KernelError):
+            TauBreakdown((1.0, 2.0))
+
+    def test_total_and_throughput(self):
+        b = TauBreakdown((100.0,) * 8)
+        assert b.total_ns == 800.0
+        assert b.throughput_per_s == pytest.approx(1.25e6)
+
+    def test_tau6_always_zero(self):
+        assert model_for(5).evaluate(300.0).tau[6] == 0.0
+
+    def test_tau0_tau7_are_hcp(self):
+        b = model_for(1).evaluate(0.0)
+        assert b.tau[0] == b.tau[7] == 1557.0
+
+    def test_str(self):
+        assert "total" in str(model_for(1).evaluate(0.0))
+
+
+class TestCurveShapes:
+    """The Figs. 10-12 shape criteria from Sec. 3.3."""
+
+    def test_more_columns_win_at_zero_cost(self):
+        t = {c: model_for(c).throughput(0.0) for c in (1, 2, 5, 10)}
+        assert t[10] > t[5] > t[2] > t[1]
+
+    def test_throughput_monotone_in_link_cost(self):
+        for cols in (1, 2, 5, 10):
+            m = model_for(cols)
+            ts = [m.throughput(L) for L in range(0, 5001, 250)]
+            assert all(b <= a for a, b in zip(ts, ts[1:]))
+
+    def test_sensitivity_grows_with_columns(self):
+        # relative drop from L=0 to L=1000 is largest for 10 columns
+        drops = {}
+        for cols in (1, 10):
+            m = model_for(cols)
+            drops[cols] = 1 - m.throughput(1000.0) / m.throughput(0.0)
+        assert drops[10] > drops[1]
+
+    def test_no_noticeable_benefit_beyond_700ns(self):
+        # paper: "when the link reconfiguration cost exceeds 700ns,
+        # increasing the number of columns does not give noticeable
+        # performance"
+        t = {c: model_for(c).throughput(700.0) for c in (1, 10)}
+        assert t[10] < 1.5 * t[1]
+
+    def test_inversion_beyond_1100ns(self):
+        # paper: "link reconfiguration cost more than 1100ns has opposite
+        # effect on throughput"
+        t = {c: model_for(c).throughput(1300.0) for c in (1, 2, 5, 10)}
+        assert t[10] < t[1]
+
+    def test_sweep_shape(self):
+        series = model_for(2).sweep([0.0, 100.0, 200.0])
+        assert [x for x, _ in series] == [0.0, 100.0, 200.0]
+
+
+class TestAblationSwitches:
+    def test_twiddle_optimization_helps_shared_columns(self):
+        opt = model_for(1).throughput(0.0)
+        naive = model_for(1, optimize_twiddles=False).throughput(0.0)
+        assert opt > naive
+
+    def test_twiddle_optimization_neutral_at_ten_columns(self):
+        opt = model_for(10).throughput(0.0)
+        naive = model_for(10, optimize_twiddles=False).throughput(0.0)
+        assert opt == pytest.approx(naive)
+
+    def test_vcp_update_optimization(self):
+        fast = model_for(1).evaluate(0.0).tau[3]
+        slow = model_for(1, optimize_vcp_update=False).evaluate(0.0).tau[3]
+        assert slow > fast
+
+    def test_overlap_never_hurts(self):
+        for cols in (1, 5, 10):
+            for L in (0.0, 500.0, 1500.0):
+                over = model_for(cols).throughput(L)
+                serial = model_for(
+                    cols, overlap_vertical_links=False
+                ).throughput(L)
+                assert over >= serial
+
+    def test_with_options_copies(self):
+        base = model_for(1)
+        variant = base.with_options(optimize_twiddles=False)
+        assert base.optimize_twiddles and not variant.optimize_twiddles

@@ -1,0 +1,126 @@
+"""Reference FFT: DIT/DIF against numpy, structural helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.kernels.fft.reference import (
+    bit_reverse_indices,
+    fft_dif,
+    fft_dit,
+    fft_reference,
+    ilog2,
+    twiddle_exponent,
+    twiddle_factors,
+)
+
+
+class TestHelpers:
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(1024) == 10
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -8])
+    def test_ilog2_rejects_non_powers(self, bad):
+        with pytest.raises(KernelError):
+            ilog2(bad)
+
+    def test_bit_reverse_is_involution(self):
+        for n in (2, 8, 64):
+            p = bit_reverse_indices(n)
+            assert np.array_equal(p[p], np.arange(n))
+
+    def test_bit_reverse_known_values(self):
+        assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_twiddle_factors_on_unit_circle(self):
+        w = twiddle_factors(16)
+        assert len(w) == 8
+        np.testing.assert_allclose(np.abs(w), 1.0)
+        assert w[0] == 1.0
+
+    def test_twiddle_exponent_dif_stage0(self):
+        # stage 0 of a 64-pt DIF: exponent = pair index
+        for j in range(32):
+            assert twiddle_exponent(64, 0, j) == j
+
+    def test_twiddle_exponent_dif_later_stage(self):
+        # stage 2: (pair mod 8) * 4
+        assert twiddle_exponent(64, 2, 11) == (11 % 8) * 4
+
+    def test_twiddle_exponent_dit_reverses_stage_order(self):
+        n = 64
+        for pair in range(8):
+            assert twiddle_exponent(n, 0, pair, dif=False) == \
+                twiddle_exponent(n, 5, pair, dif=True)
+
+    def test_twiddle_exponent_bounds(self):
+        with pytest.raises(KernelError):
+            twiddle_exponent(16, 4, 0)
+        with pytest.raises(KernelError):
+            twiddle_exponent(16, 0, 8)
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256, 1024])
+    def test_dif_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_dif(x), np.fft.fft(x), atol=1e-9 * n)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256, 1024])
+    def test_dit_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_dit(x), np.fft.fft(x), atol=1e-9 * n)
+
+    def test_dif_raw_output_is_bit_reversed(self, rng):
+        x = rng.standard_normal(16) + 0j
+        raw = fft_dif(x, reorder_output=False)
+        np.testing.assert_allclose(
+            raw[bit_reverse_indices(16)], np.fft.fft(x), atol=1e-9
+        )
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(32, dtype=complex)
+        x[0] = 1.0
+        np.testing.assert_allclose(fft_reference(x), np.ones(32), atol=1e-12)
+
+    def test_constant_gives_dc_only(self):
+        x = np.ones(16, dtype=complex)
+        out = fft_reference(x)
+        assert out[0] == pytest.approx(16)
+        np.testing.assert_allclose(out[1:], 0, atol=1e-12)
+
+    def test_single_tone(self):
+        n, k = 64, 5
+        x = np.exp(2j * np.pi * k * np.arange(n) / n)
+        out = fft_reference(x)
+        assert abs(out[k]) == pytest.approx(n)
+        out[k] = 0
+        np.testing.assert_allclose(out, 0, atol=1e-9)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(KernelError):
+            fft_dif(np.zeros(12))
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_property(self, bits, seed):
+        n = 1 << bits
+        r = np.random.default_rng(seed)
+        x = r.standard_normal(n) + 1j * r.standard_normal(n)
+        y = r.standard_normal(n) + 1j * r.standard_normal(n)
+        a, b = 2.0, -0.5 + 1j
+        lhs = fft_dif(a * x + b * y)
+        rhs = a * fft_dif(x) + b * fft_dif(y)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9 * n)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_parseval_property(self, bits, seed):
+        n = 1 << bits
+        r = np.random.default_rng(seed)
+        x = r.standard_normal(n) + 1j * r.standard_normal(n)
+        energy_time = np.sum(np.abs(x) ** 2)
+        energy_freq = np.sum(np.abs(fft_dif(x)) ** 2) / n
+        assert energy_freq == pytest.approx(energy_time, rel=1e-9)

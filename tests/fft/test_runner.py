@@ -1,0 +1,134 @@
+"""End-to-end fabric FFT: numerical correctness and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.runner import FabricFFT
+
+
+def random_input(n, rng, scale=0.01):
+    return (rng.standard_normal(n) + 1j * rng.standard_normal(n)) * scale
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "n,m,cols",
+        [
+            (4, 4, 1),      # single tile, internal stages only
+            (8, 4, 1),      # one exchange stage, adjacent partners
+            (16, 4, 2),     # two exchange stages, two columns
+            (16, 4, 4),     # fully pipelined columns
+            (32, 8, 5),
+            (64, 8, 2),     # distance-4 relays
+            (64, 16, 3),
+            (128, 16, 7),
+            (256, 32, 4),
+        ],
+    )
+    def test_matches_numpy(self, n, m, cols, rng):
+        x = random_input(n, rng)
+        result = FabricFFT(FFTPlan(n, m, cols)).run(x)
+        np.testing.assert_allclose(
+            result.output, np.fft.fft(x), atol=2e-7 * n
+        )
+
+    def test_impulse(self):
+        plan = FFTPlan(16, 4, 1)
+        x = np.zeros(16, dtype=complex)
+        x[3] = 0.5
+        result = FabricFFT(plan).run(x)
+        np.testing.assert_allclose(result.output, np.fft.fft(x), atol=1e-7)
+
+    def test_real_input(self, rng):
+        x = rng.standard_normal(32) * 0.01 + 0j
+        result = FabricFFT(FFTPlan(32, 8, 1)).run(x)
+        out = result.output
+        # conjugate symmetry of a real signal's spectrum
+        np.testing.assert_allclose(
+            out[1:], np.conj(out[1:][::-1]), atol=1e-6
+        )
+
+    def test_wrong_length_rejected(self, rng):
+        with pytest.raises(KernelError, match="shape"):
+            FabricFFT(FFTPlan(16, 4, 1)).run(np.zeros(8, dtype=complex))
+
+    def test_overflow_guard(self):
+        plan = FFTPlan(16, 4, 1)
+        with pytest.raises(KernelError, match="overflow"):
+            FabricFFT(plan).run(np.full(16, 1e6 + 0j))
+
+    def test_m_over_64_rejected(self):
+        with pytest.raises(KernelError, match="m <= 64"):
+            FabricFFT(FFTPlan(1024, 128, 1))
+
+
+class TestAccounting:
+    def test_report_time_positive_and_decomposed(self, rng):
+        result = FabricFFT(FFTPlan(32, 8, 1)).run(random_input(32, rng))
+        report = result.report
+        assert report.total_ns > 0
+        assert report.compute_ns > 0
+        assert len(report.epochs) > 5
+
+    def test_link_cost_raises_total_time(self, rng):
+        x = random_input(32, rng)
+        free = FabricFFT(FFTPlan(32, 8, 1), link_cost_ns=0.0).run(x)
+        pricey = FabricFFT(FFTPlan(32, 8, 1), link_cost_ns=2000.0).run(x)
+        assert pricey.report.total_ns > free.report.total_ns
+        np.testing.assert_allclose(pricey.output, free.output, atol=1e-9)
+
+    def test_link_changes_counted(self, rng):
+        result = FabricFFT(FFTPlan(16, 4, 1), link_cost_ns=10.0).run(
+            random_input(16, rng)
+        )
+        assert result.report.link_changes > 0
+
+    def test_yellow_reloads_show_as_reconfig_bytes(self, rng):
+        result = FabricFFT(FFTPlan(64, 8, 1)).run(random_input(64, rng))
+        twiddle_epochs = [
+            e for e in result.report.epochs if e.name.startswith("twiddles")
+        ]
+        assert any(e.reconfig_bytes > 0 for e in twiddle_epochs)
+
+    def test_pipelined_plan_has_free_twiddles(self, rng):
+        # every stage in its own column: all RED, preloaded -> no ICAP
+        result = FabricFFT(FFTPlan(16, 4, 4)).run(random_input(16, rng))
+        twiddle_epochs = [
+            e for e in result.report.epochs if e.name.startswith("twiddles")
+        ]
+        assert all(e.reconfig_bytes == 0 for e in twiddle_epochs)
+
+    def test_program_pinning_across_blocks(self, rng):
+        """Re-running with the same runner reuses resident programs."""
+        runner = FabricFFT(FFTPlan(16, 4, 1))
+        first = runner.run(random_input(16, rng))
+        second = runner.run(random_input(16, rng))
+        np.testing.assert_allclose(
+            np.sort_complex(second.output), np.sort_complex(second.output)
+        )
+        assert first.report.total_ns > 0 and second.report.total_ns > 0
+
+
+class TestMeasuredProfile:
+    def test_profile_shape(self):
+        profile = FabricFFT(FFTPlan(64, 8, 1)).measured_profile()
+        assert profile.stages == 6
+        assert profile.vcp_ns > 0 and profile.hcp_ns > 0
+
+    def test_profile_in_published_ballpark(self):
+        """m=64 measured runtimes, scaled to m=128, should sit within a
+        small factor of Table 1's 2672-4364 ns butterflies."""
+        profile = FabricFFT(FFTPlan(1024, 64, 1)).measured_profile()
+        scaled = [t * 2 for t in profile.bf_ns]  # m=64 -> m=128 pairs
+        for t in scaled:
+            assert 1000 < t < 20000
+
+    def test_profile_feeds_perf_model(self):
+        from repro.kernels.fft.perf_model import FFTPerformanceModel
+
+        plan = FFTPlan(64, 8, 2)
+        profile = FabricFFT(plan).measured_profile()
+        model = FFTPerformanceModel(plan=plan, profile=profile)
+        assert model.throughput(100.0) > 0

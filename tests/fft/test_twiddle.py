@@ -1,0 +1,106 @@
+"""Twiddle classification: red/green/yellow/blue and reload accounting."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.twiddle import (
+    TwiddleClass,
+    classify_twiddles,
+    twiddle_matrix,
+)
+
+
+@pytest.fixture
+def fig8_schedule():
+    """The Fig. 8 case: 64-point FFT, M = 8, one column."""
+    return classify_twiddles(FFTPlan(64, 8, 1))
+
+
+class TestMatrix:
+    def test_shape(self):
+        matrix = twiddle_matrix(64, 8)
+        assert len(matrix) == 32
+        assert all(len(row) == 6 for row in matrix)
+
+    def test_first_column_is_identity(self):
+        matrix = twiddle_matrix(64, 8)
+        assert [row[0] for row in matrix] == list(range(32))
+
+    def test_second_column_doubles_mod_group(self):
+        matrix = twiddle_matrix(64, 8)
+        # stage 1: (pair mod 16) * 2 -> 0,2,...,30 repeating
+        assert [row[1] for row in matrix[:16]] == list(range(0, 32, 2))
+        assert [row[1] for row in matrix[16:]] == list(range(0, 32, 2))
+
+    def test_last_column_all_zero(self):
+        matrix = twiddle_matrix(64, 8)
+        assert all(row[5] == 0 for row in matrix)
+
+
+class TestClassification:
+    def test_first_stage_is_red(self, fig8_schedule):
+        for row in range(8):
+            assert fig8_schedule.class_of(row, 0) is TwiddleClass.RED
+
+    def test_green_and_yellow_in_middle_stages(self, fig8_schedule):
+        # Sec. 3.1: "Twiddle factors for next three column are of two
+        # types; Green and Yellow"
+        for stage in (1, 2, 3):
+            classes = {fig8_schedule.class_of(r, stage) for r in range(8)}
+            assert classes == {TwiddleClass.GREEN, TwiddleClass.YELLOW}
+
+    def test_last_stages_are_blue(self, fig8_schedule):
+        # "Twiddle factors for last two column (Blue ones) are already in
+        # data memory, only index ... is changed"
+        for stage in (4, 5):
+            for row in range(8):
+                assert fig8_schedule.class_of(row, stage) is TwiddleClass.BLUE
+
+    def test_row0_always_greenable(self, fig8_schedule):
+        # tile 0 keeps the lowest exponents; squaring always regenerates
+        for stage in (1, 2, 3):
+            assert fig8_schedule.class_of(0, stage) is TwiddleClass.GREEN
+
+    def test_counts_sum_to_slots(self, fig8_schedule):
+        total = sum(fig8_schedule.count(c) for c in TwiddleClass)
+        assert total == 8 * 6
+
+    def test_unknown_slot_raises(self, fig8_schedule):
+        with pytest.raises(KernelError):
+            fig8_schedule.class_of(9, 0)
+
+
+class TestReloadAccounting:
+    def test_only_yellow_charged(self, fig8_schedule):
+        yellow = fig8_schedule.count(TwiddleClass.YELLOW)
+        assert fig8_schedule.total_reload_words == yellow * 4  # m/2 each
+
+    def test_optimized_beats_naive(self, fig8_schedule):
+        assert fig8_schedule.total_reload_words < fig8_schedule.naive_reload_words
+
+    def test_pipelined_columns_reset_to_red(self):
+        # With 10 columns every stage starts a fresh tile: all RED.
+        schedule = classify_twiddles(FFTPlan(1024, 128, 10))
+        assert schedule.count(TwiddleClass.RED) == 8 * 10
+        assert schedule.total_reload_words == 0
+
+    def test_stage_summary_structure(self, fig8_schedule):
+        summary = fig8_schedule.stage_summary()
+        assert len(summary) == 6
+        assert summary[0] == {"red": 8, "green": 0, "blue": 0, "yellow": 0}
+        for counts in summary:
+            assert sum(counts.values()) == 8
+
+    def test_reload_ns_positive(self, fig8_schedule):
+        assert fig8_schedule.total_reload_ns > 0
+
+    def test_1024_point_single_column(self):
+        schedule = classify_twiddles(FFTPlan(1024, 128, 1))
+        # exchange stages 0..2 move data between tiles -> yellow appears
+        # only in stages 1..3; the internal tail must be free.
+        for stage in range(4, 10):
+            for row in range(8):
+                assert schedule.class_of(row, stage) in (
+                    TwiddleClass.BLUE, TwiddleClass.GREEN
+                )

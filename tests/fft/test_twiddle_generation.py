@@ -1,0 +1,130 @@
+"""On-tile twiddle derivation (GREEN squaring / BLUE regathering).
+
+Proves the Sec. 3.1 claim end to end: every GREEN and BLUE table of a
+plan can be produced by the tile itself from its resident table, with the
+generated values matching the reference roots of unity — no ICAP traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.fabric.tile import Tile
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.programs import (
+    QFORMAT,
+    FFTLayout,
+    twiddle_gather_program,
+)
+from repro.kernels.fft.twiddle import (
+    TwiddleClass,
+    classify_twiddles,
+    derivation_operations,
+)
+
+
+def load_table(tile, layout, exponents, n):
+    for j, e in enumerate(exponents):
+        w = np.exp(-2j * np.pi * e / n)
+        tile.dmem.poke(layout.wre + j, QFORMAT.encode(w.real))
+        tile.dmem.poke(layout.wim + j, QFORMAT.encode(w.imag))
+
+
+def read_table(tile, layout, count):
+    return np.array([
+        QFORMAT.decode(tile.dmem.peek(layout.wre + j))
+        + 1j * QFORMAT.decode(tile.dmem.peek(layout.wim + j))
+        for j in range(count)
+    ])
+
+
+def held_table(plan, schedule, row, stage):
+    """The table resident when `stage` begins (last non-BLUE load)."""
+    col = plan.column_of_stage(stage)
+    held = None
+    for s in plan.stages_of_column(col):
+        if s >= stage:
+            break
+        if schedule.class_of(row, s) is not TwiddleClass.BLUE:
+            held = plan.tile_twiddle_exponents(row, s)
+    return held
+
+
+class TestDerivationPlan:
+    def test_red_and_yellow_rejected(self):
+        plan = FFTPlan(64, 8, 1)
+        with pytest.raises(KernelError, match="red"):
+            derivation_operations(plan, 0, 0)
+        schedule = classify_twiddles(plan)
+        yellow = next(
+            (r, s)
+            for r in range(plan.rows)
+            for s in range(plan.stages)
+            if schedule.class_of(r, s) is TwiddleClass.YELLOW
+        )
+        with pytest.raises(KernelError, match="yellow"):
+            derivation_operations(plan, *yellow)
+
+    def test_blue_entries_are_copies(self):
+        plan = FFTPlan(64, 8, 1)
+        ops = derivation_operations(plan, 0, 4)  # internal BLUE stage
+        assert all(not square for _, square in ops)
+
+    def test_green_uses_at_least_one_square(self):
+        plan = FFTPlan(64, 8, 1)
+        schedule = classify_twiddles(plan)
+        green = next(
+            (r, s)
+            for r in range(plan.rows)
+            for s in range(1, plan.stages)
+            if schedule.class_of(r, s) is TwiddleClass.GREEN
+        )
+        ops = derivation_operations(plan, *green)
+        assert any(square for _, square in ops)
+
+
+class TestOnTileGeneration:
+    @pytest.mark.parametrize("n,m", [(64, 8), (32, 8), (128, 16)])
+    def test_every_derivable_table_generates_correctly(self, n, m):
+        plan = FFTPlan(n, m, 1)
+        schedule = classify_twiddles(plan)
+        layout = FFTLayout(m)
+        checked = 0
+        for row in range(plan.rows):
+            for stage in range(plan.stages):
+                cls = schedule.class_of(row, stage)
+                if cls not in (TwiddleClass.GREEN, TwiddleClass.BLUE):
+                    continue
+                held = held_table(plan, schedule, row, stage)
+                assert held is not None
+                ops = derivation_operations(plan, row, stage)
+                tile = Tile()
+                load_table(tile, layout, held, n)
+                tile.load_program(twiddle_gather_program(m, ops))
+                tile.run()
+                got = read_table(tile, layout, m // 2)
+                want = np.exp(
+                    -2j * np.pi
+                    * np.array(plan.tile_twiddle_exponents(row, stage)) / n
+                )
+                np.testing.assert_allclose(got, want, atol=1e-7)
+                checked += 1
+        assert checked > 0
+
+    def test_generation_avoids_icap_entirely(self):
+        """The derivation program costs cycles but zero ICAP words."""
+        plan = FFTPlan(64, 8, 1)
+        ops = derivation_operations(plan, 0, 1)  # a GREEN slot
+        program = twiddle_gather_program(8, ops)
+        assert not program.data_image  # nothing travels over the port
+        tile = Tile()
+        load_table(tile, FFTLayout(8), plan.tile_twiddle_exponents(0, 0), 64)
+        tile.load_program(program)
+        cycles = tile.run()
+        assert cycles < 200  # a handful of instructions per twiddle
+
+    def test_bad_operation_counts_rejected(self):
+        with pytest.raises(KernelError):
+            twiddle_gather_program(8, ((0, False),))
+        with pytest.raises(KernelError):
+            twiddle_gather_program(8, tuple((9, False) for _ in range(4)))

@@ -1,0 +1,132 @@
+"""Color JPEG: conversions, subsampling, 4:4:4 / 4:2:0 round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.kernels.jpeg.color import (
+    ColorJPEGEncoder,
+    encode_color_image,
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.kernels.jpeg.decoder import decode_image
+
+
+def smooth_rgb(h, w):
+    i, j = np.mgrid[0:h, 0:w]
+    return np.stack(
+        [
+            128 + 60 * np.sin(i / 7),
+            128 + 50 * np.cos(j / 9),
+            100 + 40 * np.sin((i + j) / 11),
+        ],
+        axis=-1,
+    ).astype(np.uint8)
+
+
+class TestConversions:
+    def test_grey_maps_to_zero_chroma(self):
+        grey = np.full((4, 4, 3), 77, dtype=np.uint8)
+        ycc = rgb_to_ycbcr(grey)
+        np.testing.assert_allclose(ycc[..., 0], 77, atol=0.5)
+        np.testing.assert_allclose(ycc[..., 1], 128, atol=0.5)
+        np.testing.assert_allclose(ycc[..., 2], 128, atol=0.5)
+
+    def test_primaries_luma_weights(self):
+        red = np.zeros((1, 1, 3)); red[..., 0] = 255
+        assert rgb_to_ycbcr(red)[0, 0, 0] == pytest.approx(0.299 * 255)
+        green = np.zeros((1, 1, 3)); green[..., 1] = 255
+        assert rgb_to_ycbcr(green)[0, 0, 0] == pytest.approx(0.587 * 255)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_within_one_lsb(self, r, g, b):
+        rgb = np.array([[[r, g, b]]], dtype=np.uint8)
+        back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 1
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            rgb_to_ycbcr(np.zeros((4, 4)))
+        with pytest.raises(KernelError):
+            ycbcr_to_rgb(np.zeros((4, 4, 2)))
+
+
+class TestSubsampling:
+    def test_box_filter_average(self):
+        plane = np.array([[0, 4], [8, 12]], dtype=float)
+        assert subsample_420(plane)[0, 0] == 6.0
+
+    def test_halves_dimensions(self):
+        assert subsample_420(np.zeros((16, 24))).shape == (8, 12)
+
+    def test_odd_dimensions_padded(self):
+        assert subsample_420(np.zeros((15, 23))).shape == (8, 12)
+
+    def test_upsample_restores_size(self):
+        small = subsample_420(np.zeros((20, 30)))
+        assert upsample_420(small, 20, 30).shape == (20, 30)
+
+    def test_sub_then_up_preserves_smooth_content(self):
+        i, j = np.mgrid[0:32, 0:32]
+        plane = 100 + 20 * np.sin(i / 9) * np.cos(j / 9)
+        back = upsample_420(subsample_420(plane), 32, 32)
+        assert np.abs(back - plane).max() < 3.0
+
+    def test_upsample_too_small_rejected(self):
+        with pytest.raises(KernelError):
+            upsample_420(np.zeros((2, 2)), 100, 100)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(KernelError):
+            subsample_420(np.zeros((2, 2, 3)))
+
+
+class TestColorRoundTrip:
+    @pytest.mark.parametrize("subsampling,bound", [("444", 8), ("420", 16)])
+    def test_smooth_image(self, subsampling, bound):
+        img = smooth_rgb(40, 48)
+        stream = encode_color_image(img, quality=90, subsampling=subsampling)
+        out = decode_image(stream)
+        assert out.shape == img.shape
+        assert np.abs(out.astype(int) - img.astype(int)).max() <= bound
+
+    def test_420_smaller_than_444(self):
+        img = smooth_rgb(64, 64)
+        s444 = encode_color_image(img, 80, "444")
+        s420 = encode_color_image(img, 80, "420")
+        assert len(s420) < len(s444)
+
+    def test_odd_dimensions(self):
+        img = smooth_rgb(19, 27)
+        out = decode_image(encode_color_image(img, 90, "420"))
+        assert out.shape == (19, 27, 3)
+
+    def test_flat_color_nearly_lossless(self):
+        img = np.full((16, 16, 3), (200, 50, 120), dtype=np.uint8)
+        out = decode_image(encode_color_image(img, 85, "420"))
+        assert np.abs(out.astype(int) - img.astype(int)).max() <= 3
+
+    def test_invalid_subsampling(self):
+        with pytest.raises(KernelError):
+            ColorJPEGEncoder(subsampling="422")
+
+    def test_greyscale_input_rejected(self):
+        with pytest.raises(KernelError):
+            encode_color_image(np.zeros((8, 8), dtype=np.uint8))
+
+    def test_stream_has_three_components(self):
+        stream = encode_color_image(smooth_rgb(16, 16))
+        at = stream.find(bytes([0xFF, 0xC0]))
+        assert stream[at + 9] == 3  # component count in SOF
+
+    def test_random_noise_survives(self, rng):
+        img = rng.integers(0, 256, (24, 24, 3)).astype(np.uint8)
+        out = decode_image(encode_color_image(img, quality=95, subsampling="444"))
+        # noisy chroma is heavily quantized; just require sane output
+        assert out.shape == img.shape
+        assert out.dtype == np.uint8

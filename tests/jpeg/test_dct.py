@@ -1,0 +1,101 @@
+"""8x8 DCT: orthogonality, inversion, quarter decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.jpeg.dct import (
+    dct2d,
+    dct_matrix,
+    dct_quarter,
+    dct_quarters,
+    idct2d,
+)
+
+blocks = st.lists(
+    st.floats(min_value=-128, max_value=127), min_size=64, max_size=64
+).map(lambda v: np.array(v).reshape(8, 8))
+
+
+class TestMatrix:
+    def test_orthonormal(self):
+        c = dct_matrix(8)
+        np.testing.assert_allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_first_row_constant(self):
+        c = dct_matrix(8)
+        np.testing.assert_allclose(c[0], np.sqrt(1 / 8))
+
+    def test_read_only(self):
+        with pytest.raises(ValueError):
+            dct_matrix(8)[0, 0] = 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            dct_matrix(0)
+
+
+class TestTransform:
+    def test_constant_block_is_pure_dc(self):
+        out = dct2d(np.full((8, 8), 4.0))
+        assert out[0, 0] == pytest.approx(32.0)  # 4 * 8 (orthonormal)
+        out[0, 0] = 0
+        np.testing.assert_allclose(out, 0, atol=1e-12)
+
+    def test_matches_scipy(self, rng):
+        from scipy.fft import dctn
+
+        block = rng.standard_normal((8, 8))
+        expected = dctn(block, type=2, norm="ortho")
+        np.testing.assert_allclose(dct2d(block), expected, atol=1e-10)
+
+    def test_idct_inverts(self, rng):
+        block = rng.standard_normal((8, 8)) * 100
+        np.testing.assert_allclose(idct2d(dct2d(block)), block, atol=1e-9)
+
+    @given(blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_energy_preserved(self, block):
+        # orthonormal transform: Parseval
+        assert np.sum(dct2d(block) ** 2) == pytest.approx(
+            np.sum(block.astype(float) ** 2), rel=1e-9, abs=1e-6
+        )
+
+    @given(blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, block):
+        np.testing.assert_allclose(idct2d(dct2d(block)), block, atol=1e-8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            dct2d(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            idct2d(np.zeros((4, 4)))
+
+
+class TestQuarters:
+    def test_quarters_reassemble_full(self, rng):
+        block = rng.standard_normal((8, 8)) * 64
+        np.testing.assert_allclose(dct_quarters(block), dct2d(block), atol=1e-10)
+
+    def test_dc_lives_in_quadrant_00(self):
+        block = np.full((8, 8), 1.0)
+        q00 = dct_quarter(block, 0, 0)
+        assert q00[0, 0] == pytest.approx(8.0)
+        for qr, qc in ((0, 1), (1, 0), (1, 1)):
+            np.testing.assert_allclose(dct_quarter(block, qr, qc), 0, atol=1e-12)
+
+    def test_each_quarter_is_4x4(self, rng):
+        block = rng.standard_normal((8, 8))
+        for qr in (0, 1):
+            for qc in (0, 1):
+                assert dct_quarter(block, qr, qc).shape == (4, 4)
+
+    def test_invalid_quadrant(self):
+        with pytest.raises(ValueError):
+            dct_quarter(np.zeros((8, 8)), 2, 0)
+
+    @given(blocks)
+    @settings(max_examples=30, deadline=None)
+    def test_reassembly_property(self, block):
+        np.testing.assert_allclose(dct_quarters(block), dct2d(block), atol=1e-8)

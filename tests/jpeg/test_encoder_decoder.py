@@ -1,0 +1,151 @@
+"""Encoder/decoder round trips and stream structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.io.images import checkerboard, gradient, natural_like
+from repro.kernels.jpeg.decoder import decode_image
+from repro.kernels.jpeg.encoder import JPEGEncoder, blocks_of, encode_image, level_shift
+from repro.kernels.jpeg.quant import scale_qtable, LUMINANCE_QTABLE
+
+
+class TestBlocking:
+    def test_level_shift(self):
+        assert level_shift(np.full((8, 8), 128))[0, 0] == 0
+        assert level_shift(np.zeros((8, 8)))[0, 0] == -128
+
+    def test_exact_multiple(self):
+        blocks, rows, cols = blocks_of(np.zeros((16, 24)))
+        assert (rows, cols) == (2, 3)
+        assert blocks.shape == (2, 3, 8, 8)
+
+    def test_padding_replicates_edges(self):
+        img = np.arange(10 * 12).reshape(10, 12) % 256
+        blocks, rows, cols = blocks_of(img)
+        assert (rows, cols) == (2, 2)
+        # padded rows replicate the last image row
+        assert blocks[1, 0][3, 0] == img[9, 0]
+
+    def test_200x200_blocks(self):
+        _, rows, cols = blocks_of(np.zeros((200, 200)))
+        assert rows * cols == 625  # unpadded frame; 800 needs the stride
+
+    def test_empty_rejected(self):
+        with pytest.raises(KernelError):
+            blocks_of(np.zeros((0, 8)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(KernelError):
+            blocks_of(np.zeros((8, 8, 3)))
+
+
+class TestStreamStructure:
+    def test_markers_present(self):
+        stream = encode_image(gradient(16, 16))
+        assert stream[:2] == b"\xff\xd8"          # SOI
+        assert stream[-2:] == b"\xff\xd9"         # EOI
+        assert b"JFIF\x00" in stream
+        assert bytes([0xFF, 0xDB]) in stream      # DQT
+        assert bytes([0xFF, 0xC0]) in stream      # SOF0
+        assert bytes([0xFF, 0xC4]) in stream      # DHT
+        assert bytes([0xFF, 0xDA]) in stream      # SOS
+
+    def test_dimensions_in_sof(self):
+        stream = encode_image(gradient(24, 40))
+        at = stream.find(bytes([0xFF, 0xC0]))
+        height = int.from_bytes(stream[at + 5:at + 7], "big")
+        width = int.from_bytes(stream[at + 7:at + 9], "big")
+        assert (height, width) == (24, 40)
+
+    def test_non_8bit_rejected(self):
+        with pytest.raises(KernelError):
+            encode_image(np.full((8, 8), 300))
+
+    def test_float_input_clipped(self):
+        stream = JPEGEncoder().encode(np.full((8, 8), 127.6))
+        assert decode_image(stream).shape == (8, 8)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("maker,quality,bound", [
+        (gradient, 90, 6),
+        (gradient, 50, 14),
+        (lambda h, w: natural_like(h, w, seed=3), 90, 20),
+        (checkerboard, 95, 60),
+    ])
+    def test_distortion_bounded(self, maker, quality, bound):
+        img = maker(32, 40)
+        decoded = decode_image(encode_image(img, quality=quality))
+        assert decoded.shape == img.shape
+        err = np.abs(decoded.astype(int) - img.astype(int))
+        assert err.max() <= bound
+
+    def test_flat_image_nearly_lossless(self):
+        img = np.full((16, 16), 130, dtype=np.uint8)
+        decoded = decode_image(encode_image(img, quality=75))
+        assert np.abs(decoded.astype(int) - 130).max() <= 1
+
+    def test_odd_dimensions_preserved(self):
+        img = natural_like(13, 21, seed=5)
+        decoded = decode_image(encode_image(img, quality=85))
+        assert decoded.shape == (13, 21)
+
+    def test_higher_quality_smaller_error(self):
+        img = natural_like(40, 40, seed=9)
+        low = decode_image(encode_image(img, quality=20))
+        high = decode_image(encode_image(img, quality=95))
+        err = lambda d: float(np.mean((d.astype(float) - img) ** 2))
+        assert err(high) < err(low)
+
+    def test_lower_quality_smaller_stream(self):
+        img = natural_like(64, 64, seed=2)
+        assert len(encode_image(img, 20)) < len(encode_image(img, 90))
+
+    def test_smooth_images_compress_harder(self):
+        smooth = len(encode_image(gradient(64, 64), 75))
+        busy = len(encode_image(checkerboard(64, 64), 75))
+        assert smooth < busy
+
+    def test_coefficient_distortion_within_quant_step(self, rng):
+        """Dequantized decoder coefficients differ from the true DCT by at
+        most half a quantization step per coefficient."""
+        img = natural_like(16, 16, seed=7)
+        encoder = JPEGEncoder(quality=75)
+        stream = encoder.encode(img)
+        decoded = decode_image(stream)
+        table = scale_qtable(LUMINANCE_QTABLE, 75)
+        # spatial error bounded by sum of coefficient errors (loose bound)
+        bound = np.sum(table) / 2 / 8 + 2
+        assert np.abs(decoded.astype(int) - img.astype(int)).max() <= bound
+
+
+class TestEncoderHooks:
+    def test_custom_quantizer_injected(self):
+        calls = []
+
+        def spy_quantizer(coefficients):
+            calls.append(1)
+            from repro.kernels.jpeg.quant import quantize
+            return quantize(coefficients, scale_qtable(LUMINANCE_QTABLE, 75))
+
+        encoder = JPEGEncoder(quality=75, quantizer=spy_quantizer)
+        encoder.encode(gradient(16, 16))
+        assert len(calls) == 4  # 2x2 blocks
+
+    def test_last_coefficients_exposed(self):
+        encoder = JPEGEncoder()
+        encoder.encode(gradient(16, 24))
+        assert len(encoder.last_coefficients) == 6
+        assert all(zz.shape == (64,) for zz in encoder.last_coefficients)
+
+
+class TestDecoderErrors:
+    def test_missing_soi(self):
+        with pytest.raises(KernelError, match="SOI"):
+            decode_image(b"\x00\x00")
+
+    def test_truncated_stream(self):
+        stream = encode_image(gradient(16, 16))
+        with pytest.raises(KernelError):
+            decode_image(stream[:-10] + b"\xff\xd9"[:0])  # no EOI at all

@@ -1,0 +1,183 @@
+"""Huffman coding: tables, bit writer, block coding, stage decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.kernels.jpeg.huffman import (
+    BitWriter,
+    HuffmanTable,
+    STD_AC_CHROMINANCE,
+    STD_AC_LUMINANCE,
+    STD_DC_CHROMINANCE,
+    STD_DC_LUMINANCE,
+    encode_block_coefficients,
+    encode_block_stages,
+    magnitude_bits,
+    magnitude_category,
+    run_length_pairs,
+)
+
+
+class TestTables:
+    @pytest.mark.parametrize("table", [
+        STD_DC_LUMINANCE, STD_DC_CHROMINANCE,
+        STD_AC_LUMINANCE, STD_AC_CHROMINANCE,
+    ])
+    def test_standard_tables_prefix_free(self, table):
+        assert table.is_prefix_free()
+
+    def test_ac_tables_have_162_symbols(self):
+        assert len(STD_AC_LUMINANCE.values) == 162
+        assert len(STD_AC_CHROMINANCE.values) == 162
+
+    def test_dc_tables_cover_categories(self):
+        assert set(STD_DC_LUMINANCE.values) == set(range(12))
+
+    def test_canonical_code_lengths_match_bits(self):
+        table = STD_AC_LUMINANCE
+        by_length = {}
+        for _, (code, length) in table.codes.items():
+            by_length[length] = by_length.get(length, 0) + 1
+        for i, count in enumerate(table.bits, start=1):
+            assert by_length.get(i, 0) == count
+
+    def test_known_codeword(self):
+        # DC luminance category 0 is the 2-bit code 00
+        assert STD_DC_LUMINANCE.encode_symbol(0) == (0b00, 2)
+        # AC luminance EOB is the 4-bit code 1010
+        assert STD_AC_LUMINANCE.encode_symbol(0x00) == (0b1010, 4)
+        # AC luminance ZRL is the 11-bit code 11111111001
+        assert STD_AC_LUMINANCE.encode_symbol(0xF0) == (0b11111111001, 11)
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(KernelError):
+            STD_DC_LUMINANCE.encode_symbol(99)
+
+    def test_malformed_bits_rejected(self):
+        with pytest.raises(KernelError):
+            HuffmanTable(bits=(1,) * 15, values=(0,))
+        with pytest.raises(KernelError):
+            HuffmanTable(bits=(2,) + (0,) * 15, values=(0,))
+
+
+class TestBitWriter:
+    def test_msb_first_packing(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b00001, 5)
+        assert w.flush() == bytes([0b10100001])
+
+    def test_padding_with_ones(self):
+        w = BitWriter()
+        w.write(0b0, 1)
+        assert w.flush() == bytes([0b01111111])
+
+    def test_ff_stuffing(self):
+        w = BitWriter()
+        w.write(0xFF, 8)
+        assert w.flush() == b"\xff\x00"
+
+    def test_code_too_wide_rejected(self):
+        with pytest.raises(KernelError):
+            BitWriter().write(0b100, 2)
+
+    def test_bit_length_tracking(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        w.write(0b1111111, 7)
+        w.write(0b1, 1)
+        assert w.bit_length == 9
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(4, 4)),
+                    min_size=0, max_size=64))
+    def test_flush_always_byte_aligned(self, codes):
+        w = BitWriter()
+        for code, length in codes:
+            w.write(code, length)
+        assert len(w.flush()) * 8 >= w.bit_length
+
+
+class TestMagnitudes:
+    @pytest.mark.parametrize("value,cat", [
+        (0, 0), (1, 1), (-1, 1), (2, 2), (3, 2), (-3, 2),
+        (255, 8), (-255, 8), (1023, 10),
+    ])
+    def test_categories(self, value, cat):
+        assert magnitude_category(value) == cat
+
+    def test_negative_magnitude_bits_ones_complement(self):
+        # -3 in category 2: bits = -3 + 3 = 0b00
+        assert magnitude_bits(-3, 2) == 0
+        assert magnitude_bits(3, 2) == 3
+        assert magnitude_bits(0, 0) == 0
+
+    @given(st.integers(min_value=-1023, max_value=1023))
+    def test_bits_fit_category(self, v):
+        cat = magnitude_category(v)
+        bits = magnitude_bits(v, cat)
+        assert 0 <= bits < (1 << max(cat, 1))
+
+
+class TestRunLength:
+    def test_all_zero_block_is_single_eob(self):
+        assert run_length_pairs(np.zeros(63, dtype=int)) == [(0, 0)]
+
+    def test_trailing_zeros_become_eob(self):
+        ac = np.zeros(63, dtype=int)
+        ac[0] = 5
+        assert run_length_pairs(ac) == [(0, 5), (0, 0)]
+
+    def test_long_run_emits_zrl(self):
+        ac = np.zeros(63, dtype=int)
+        ac[20] = 7  # 20 zeros: ZRL (16) + run of 4
+        assert run_length_pairs(ac) == [(15, 0), (4, 7), (0, 0)]
+
+    def test_full_block_no_eob(self):
+        ac = np.ones(63, dtype=int)
+        pairs = run_length_pairs(ac)
+        assert len(pairs) == 63
+        assert (0, 0) not in pairs
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(KernelError):
+            run_length_pairs(np.zeros(64, dtype=int))
+
+
+class TestBlockEncoding:
+    def test_returns_dc_for_chaining(self):
+        zz = np.zeros(64, dtype=int)
+        zz[0] = 42
+        w = BitWriter()
+        assert encode_block_coefficients(zz, 0, w) == 42
+
+    def test_zero_block_costs_little(self):
+        w = BitWriter()
+        encode_block_coefficients(np.zeros(64, dtype=int), 0, w)
+        # DC category 0 (2 bits) + EOB (4 bits)
+        assert w.bit_length == 6
+
+    def test_dc_out_of_range_rejected(self):
+        zz = np.zeros(64, dtype=int)
+        zz[0] = 1 << 12
+        with pytest.raises(KernelError):
+            encode_block_coefficients(zz, 0, BitWriter())
+
+    def test_ac_out_of_range_rejected(self):
+        zz = np.zeros(64, dtype=int)
+        zz[5] = 1 << 11
+        with pytest.raises(KernelError):
+            encode_block_coefficients(zz, 0, BitWriter())
+
+    @given(st.lists(st.integers(-200, 200), min_size=64, max_size=64),
+           st.integers(-500, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_stage_decomposition_equals_one_shot(self, values, prev_dc):
+        """Hman1..Hman5 composed == the monolithic encoder (bit exact)."""
+        zz = np.array(values)
+        w1, w2 = BitWriter(), BitWriter()
+        dc1 = encode_block_coefficients(zz, prev_dc, w1)
+        dc2 = encode_block_stages(zz, prev_dc, w2)
+        assert dc1 == dc2
+        assert w1.flush() == w2.flush()

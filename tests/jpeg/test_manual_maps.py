@@ -1,0 +1,76 @@
+"""Table 4: the five manual mappings against the published row values."""
+
+import pytest
+
+from repro.kernels.jpeg.manual_maps import (
+    MANUAL_IMPLEMENTATIONS,
+    manual_mapping_table,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return manual_mapping_table()
+
+
+class TestStructure:
+    def test_five_implementations(self):
+        assert [impl.index for impl in MANUAL_IMPLEMENTATIONS] == [1, 2, 3, 4, 5]
+
+    def test_tile_counts_match_paper(self):
+        assert [impl.n_tiles for impl in MANUAL_IMPLEMENTATIONS] == \
+            [1, 2, 10, 13, 5]
+
+    def test_impl4_has_four_quarter_dcts(self):
+        impl4 = MANUAL_IMPLEMENTATIONS[3]
+        quarters = [t for t in impl4.tiles if t.processes == ("dct",)]
+        assert len(quarters) == 4
+
+    def test_impl1_hosts_whole_pipeline(self):
+        impl1 = MANUAL_IMPLEMENTATIONS[0]
+        assert len(impl1.tiles[0].processes) == 10
+
+
+class TestPublishedValues:
+    @pytest.mark.parametrize("index,paper_time", [
+        (1, 419.0), (2, 334.0), (3, 334.0), (4, 84.0), (5, 86.0),
+    ])
+    def test_block_time_within_one_percent(self, rows, index, paper_time):
+        row = rows[index - 1]
+        assert row["time_us"] == pytest.approx(paper_time, rel=0.01)
+
+    @pytest.mark.parametrize("index,paper_util", [
+        (1, 1.00), (2, 0.62), (3, 0.12), (4, 0.37), (5, 0.98),
+    ])
+    def test_utilization_within_two_points(self, rows, index, paper_util):
+        row = rows[index - 1]
+        assert row["utilization"] == pytest.approx(paper_util, abs=0.02)
+
+    @pytest.mark.parametrize("index,paper_ips", [
+        (1, 2.98), (2, 3.74), (3, 3.74), (4, 14.88), (5, 14.43),
+    ])
+    def test_images_per_s_within_two_percent(self, rows, index, paper_ips):
+        row = rows[index - 1]
+        assert row["images_per_s"] == pytest.approx(paper_ips, rel=0.02)
+
+    def test_reconfig_flags_match(self, rows):
+        assert [r["reconfig"] for r in rows] == [True, True, False, False, True]
+
+    def test_relink_flags_match(self, rows):
+        assert [r["relink"] for r in rows] == [False, False, False, True, True]
+
+
+class TestInterpretation:
+    def test_two_and_ten_tiles_same_throughput(self, rows):
+        """Paper: "whether we use two tiles or 10 tiles, throughput is the
+        same" — DCT dominates both."""
+        assert rows[1]["images_per_s"] == pytest.approx(rows[2]["images_per_s"])
+
+    def test_splitting_dct_quadruples_throughput(self, rows):
+        assert rows[3]["images_per_s"] / rows[2]["images_per_s"] == \
+            pytest.approx(4.0, rel=0.02)
+
+    def test_impl5_best_utilization(self, rows):
+        best = max(rows, key=lambda r: r["utilization"])
+        assert best["impl"] in (1, 5)
+        assert rows[4]["utilization"] > 0.95

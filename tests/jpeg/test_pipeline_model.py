@@ -1,0 +1,78 @@
+"""Figs. 16-17 series: rebalance curves for the JPEG pipeline."""
+
+import pytest
+
+from repro.kernels.jpeg.pipeline_model import (
+    jpeg_pipeline_order,
+    rebalance_series,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return rebalance_series(max_tiles=25)
+
+
+class TestPipelineOrder:
+    def test_ten_processes_in_fig3_order(self):
+        names = [p.name for p in jpeg_pipeline_order()]
+        assert names[0] == "shift" and names[1] == "DCT"
+        assert names[-1] == "Hman5"
+        assert len(names) == 10
+
+
+class TestSeries:
+    def test_all_algorithms_present(self, series):
+        assert set(series) == {"one", "two", "opt"}
+
+    def test_budgets_1_to_25(self, series):
+        for algo in series:
+            assert [p.n_tiles for p in series[algo]] == list(range(1, 26))
+
+    def test_throughput_monotone(self, series):
+        for algo in series:
+            ips = [p.images_per_s for p in series[algo]]
+            assert all(b >= a - 1e-9 for a, b in zip(ips, ips[1:]))
+
+    def test_single_tile_utilization_is_one(self, series):
+        for algo in series:
+            assert series[algo][0].utilization == pytest.approx(1.0)
+
+    def test_refined_at_least_greedy(self, series):
+        for i in range(25):
+            assert series["two"][i].images_per_s >= \
+                series["one"][i].images_per_s - 1e-9
+            assert series["opt"][i].images_per_s >= \
+                series["one"][i].images_per_s - 1e-9
+
+    def test_algorithms_mostly_agree(self, series):
+        """Paper: the three give the same mapping in most cases."""
+        same = sum(
+            1 for i in range(25)
+            if abs(series["one"][i].images_per_s
+                   - series["opt"][i].images_per_s) < 1e-9
+        )
+        assert same >= 15
+
+    def test_divergence_where_heaviest_is_composite(self, series):
+        """...and differ somewhere in the mid-budget range."""
+        diverged = [
+            series["one"][i].n_tiles
+            for i in range(25)
+            if abs(series["one"][i].images_per_s
+                   - series["opt"][i].images_per_s) > 1e-9
+        ]
+        assert diverged, "expected at least one diverging budget"
+        assert all(3 <= t <= 25 for t in diverged)
+
+    def test_24_tiles_throughput_matches_table5_binding(self, series):
+        """The 24-tile reBalanceOne point must equal the Table 5 mapping's
+        throughput (DCT x17 dominates: 19.63 us/block)."""
+        point = series["one"][23]
+        assert point.n_tiles == 24
+        assert point.images_per_s == pytest.approx(
+            1e9 / (19630 * 800), rel=0.01
+        )
+
+    def test_mapping_labels_present(self, series):
+        assert "[DCT]" in series["one"][23].mapping_label

@@ -1,0 +1,98 @@
+"""Quantization tables, scaling, and the alpha reciprocal trick."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels.jpeg.quant import (
+    CHROMINANCE_QTABLE,
+    LUMINANCE_QTABLE,
+    alpha_scale_table,
+    dequantize,
+    quantize,
+    scale_qtable,
+)
+
+
+class TestTables:
+    def test_annex_k1_spot_values(self):
+        assert LUMINANCE_QTABLE[0, 0] == 16
+        assert LUMINANCE_QTABLE[7, 7] == 99
+        assert LUMINANCE_QTABLE[0, 1] == 11
+
+    def test_annex_k2_spot_values(self):
+        assert CHROMINANCE_QTABLE[0, 0] == 17
+        assert CHROMINANCE_QTABLE[4, 4] == 99
+
+    def test_read_only(self):
+        with pytest.raises(ValueError):
+            LUMINANCE_QTABLE[0, 0] = 1
+
+
+class TestScaling:
+    def test_quality_50_is_identity(self):
+        assert np.array_equal(scale_qtable(LUMINANCE_QTABLE, 50),
+                              LUMINANCE_QTABLE)
+
+    def test_higher_quality_finer(self):
+        q90 = scale_qtable(LUMINANCE_QTABLE, 90)
+        assert np.all(q90 <= LUMINANCE_QTABLE)
+
+    def test_lower_quality_coarser(self):
+        q10 = scale_qtable(LUMINANCE_QTABLE, 10)
+        assert np.all(q10 >= LUMINANCE_QTABLE)
+
+    def test_clamped_to_byte_range(self):
+        q1 = scale_qtable(LUMINANCE_QTABLE, 1)
+        q100 = scale_qtable(LUMINANCE_QTABLE, 100)
+        assert q1.max() <= 255 and q100.min() >= 1
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            scale_qtable(LUMINANCE_QTABLE, 0)
+        with pytest.raises(ValueError):
+            scale_qtable(LUMINANCE_QTABLE, 101)
+
+
+class TestQuantize:
+    def test_rounds_half_away_from_zero(self):
+        table = np.full((8, 8), 10)
+        block = np.full((8, 8), 15.0)
+        assert quantize(block, table)[0, 0] == 2
+        assert quantize(-block, table)[0, 0] == -2
+
+    def test_dequantize_inverts_scale(self):
+        table = LUMINANCE_QTABLE
+        levels = np.ones((8, 8), dtype=np.int64)
+        np.testing.assert_array_equal(dequantize(levels, table), table)
+
+    def test_quantize_dequantize_error_bounded(self, rng):
+        table = LUMINANCE_QTABLE
+        block = rng.uniform(-500, 500, (8, 8))
+        restored = dequantize(quantize(block, table), table)
+        assert np.all(np.abs(restored - block) <= table / 2 + 1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((4, 4)), LUMINANCE_QTABLE)
+        with pytest.raises(ValueError):
+            dequantize(np.zeros((4, 4), dtype=np.int64), LUMINANCE_QTABLE)
+
+
+class TestAlphaReciprocal:
+    def test_reciprocal_values(self):
+        table = np.full((8, 8), 16)
+        recip = alpha_scale_table(table, 14)
+        assert np.all(recip == 1024)  # 2^14 / 16
+
+    def test_invalid_table(self):
+        with pytest.raises(ValueError):
+            alpha_scale_table(np.zeros((8, 8), dtype=np.int64))
+
+    @given(st.integers(min_value=1, max_value=255),
+           st.integers(min_value=-2048, max_value=2048))
+    def test_reciprocal_close_to_division(self, q, c):
+        recip = int(alpha_scale_table(np.full((8, 8), q), 14)[0, 0])
+        approx = (c * recip + (1 << 13)) >> 14
+        exact = int(np.sign(c) * np.floor(abs(c) / q + 0.5))
+        assert abs(approx - exact) <= 1

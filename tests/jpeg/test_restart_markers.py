@@ -1,0 +1,108 @@
+"""Restart markers (DRI / RSTn): emission, resync, error containment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.io.images import natural_like
+from repro.kernels.jpeg.decoder import decode_image
+from repro.kernels.jpeg.encoder import JPEGEncoder
+from repro.kernels.jpeg.huffman import BitWriter
+
+
+class TestBitWriterMarkers:
+    def test_emit_marker_byte_aligns(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        w.emit_marker(0xD0)
+        stream = w.flush()
+        assert stream[-2:] == b"\xff\xd0"
+        assert stream[0] == 0b11111111  # 1 payload bit + 7 pad ones -> stuffed
+        # 0xFF padding byte gets a stuffing zero before the marker
+        assert stream[1] == 0x00
+
+    def test_only_rst_markers_allowed(self):
+        with pytest.raises(KernelError):
+            BitWriter().emit_marker(0xD9)
+
+    def test_align_idempotent(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.align()
+        before = w.bit_length
+        w.align()
+        assert w.bit_length == before
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("interval", [1, 2, 5])
+    def test_restart_stream_decodes_identically(self, interval):
+        img = natural_like(24, 32, seed=8)
+        plain = decode_image(JPEGEncoder(quality=80).encode(img))
+        restarted = decode_image(
+            JPEGEncoder(quality=80, restart_interval=interval).encode(img)
+        )
+        assert np.array_equal(plain, restarted)
+
+    def test_dri_segment_present(self):
+        img = natural_like(16, 16, seed=8)
+        stream = JPEGEncoder(quality=80, restart_interval=2).encode(img)
+        at = stream.find(bytes([0xFF, 0xDD]))
+        assert at > 0
+        assert int.from_bytes(stream[at + 4:at + 6], "big") == 2
+
+    def test_rst_markers_in_scan(self):
+        img = natural_like(16, 32, seed=8)  # 2x4 = 8 blocks
+        stream = JPEGEncoder(quality=80, restart_interval=2).encode(img)
+        count = sum(
+            stream.count(bytes([0xFF, 0xD0 + m])) for m in range(8)
+        )
+        assert count >= 3  # 8 blocks / interval 2 -> 3 interior markers
+
+    def test_markers_cycle_mod_8(self):
+        img = natural_like(8, 8 * 20, seed=8)  # 20 blocks in a row
+        stream = JPEGEncoder(quality=80, restart_interval=1).encode(img)
+        # with 20 blocks and interval 1 there are 19 markers: RST0..7,0..
+        assert bytes([0xFF, 0xD0]) in stream
+        assert bytes([0xFF, 0xD7]) in stream
+
+    def test_no_marker_after_last_block(self):
+        img = natural_like(8, 16, seed=8)  # exactly 2 blocks
+        stream = JPEGEncoder(quality=80, restart_interval=2).encode(img)
+        scan_start = stream.find(bytes([0xFF, 0xDA]))
+        assert stream.count(bytes([0xFF, 0xD0]), scan_start) == 0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(KernelError):
+            JPEGEncoder(restart_interval=-1).encode(
+                np.zeros((8, 8), dtype=np.uint8)
+            )
+
+
+class TestErrorContainment:
+    def test_out_of_order_marker_detected(self):
+        img = natural_like(16, 32, seed=8)
+        stream = bytearray(
+            JPEGEncoder(quality=80, restart_interval=2).encode(img)
+        )
+        # swap the first RST0 into an RST5: the decoder must notice
+        at = stream.find(bytes([0xFF, 0xD0]))
+        assert at > 0
+        stream[at + 1] = 0xD5
+        with pytest.raises(KernelError, match="out of order"):
+            decode_image(bytes(stream))
+
+    def test_dc_predictor_reset_bounds_damage(self):
+        """Corrupting one block's DC bits must not shift every later
+        block when restarts are present (the whole point of RSTn)."""
+        img = np.full((8, 48), 128, dtype=np.uint8)  # 6 identical blocks
+        enc = JPEGEncoder(quality=80, restart_interval=1)
+        stream = bytearray(enc.encode(img))
+        # each flat block encodes as one byte (DC cat 0 + EOB + padding);
+        # corrupt the FIRST block's entropy byte, leaving markers intact
+        scan_at = stream.find(bytes([0xFF, 0xDA])) + 10
+        assert stream[scan_at] not in (0xFF,)  # entropy byte, not a marker
+        stream[scan_at] ^= 0b01100000
+        decoded = decode_image(bytes(stream))
+        # blocks after the first restart marker recover exactly
+        assert np.array_equal(decoded[:, 8:], img[:, 8:])

@@ -1,0 +1,57 @@
+"""Zig-zag scan order and inverse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels.jpeg.zigzag import ZIGZAG_ORDER, izigzag, zigzag
+
+
+class TestOrder:
+    def test_is_a_permutation(self):
+        assert sorted(ZIGZAG_ORDER) == list(range(64))
+
+    def test_known_prefix(self):
+        # T.81 figure 5: 0, 1, 8, 16, 9, 2, 3, 10 ...
+        assert list(ZIGZAG_ORDER[:8]) == [0, 1, 8, 16, 9, 2, 3, 10]
+
+    def test_ends_at_highest_frequency(self):
+        assert ZIGZAG_ORDER[-1] == 63
+
+    def test_neighbouring_entries_are_adjacent_cells(self):
+        for a, b in zip(ZIGZAG_ORDER, ZIGZAG_ORDER[1:]):
+            ra, ca = divmod(int(a), 8)
+            rb, cb = divmod(int(b), 8)
+            assert abs(ra - rb) <= 1 and abs(ca - cb) <= 1
+
+    def test_read_only(self):
+        with pytest.raises(ValueError):
+            ZIGZAG_ORDER[0] = 5
+
+
+class TestScan:
+    def test_dc_first(self):
+        block = np.arange(64).reshape(8, 8)
+        assert zigzag(block)[0] == block[0, 0]
+
+    def test_roundtrip(self, rng):
+        block = rng.integers(-100, 100, (8, 8))
+        assert np.array_equal(izigzag(zigzag(block)), block)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=64, max_size=64))
+    def test_roundtrip_property(self, values):
+        vec = np.array(values)
+        assert np.array_equal(zigzag(izigzag(vec)), vec)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            zigzag(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            izigzag(np.zeros(32))
+
+    def test_low_frequency_energy_moves_forward(self):
+        block = np.zeros((8, 8))
+        block[:2, :2] = 10
+        scanned = zigzag(block)
+        assert np.all(scanned[:5] != 0) or scanned[0] != 0
+        assert np.all(scanned[20:] == 0)

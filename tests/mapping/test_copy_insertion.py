@@ -1,0 +1,58 @@
+"""Copy-process insertion between stages."""
+
+import pytest
+
+from repro.mapping.copy_insertion import copy_overhead_ns, insert_copies
+from repro.mapping.placement import PipelineMapping, Stage
+from repro.pn.process import CopyVariant, Process
+
+
+def stage(name, words, cycles=100):
+    return Stage((Process(name, runtime_cycles=cycles, output_words=words),))
+
+
+class TestInsertion:
+    def test_boundary_gets_copies(self):
+        mapping = PipelineMapping([stage("a", 64), stage("b", 0)])
+        boundaries = insert_copies(mapping)
+        assert len(boundaries) == 1
+        assert boundaries[0].words == 64
+        assert [p.name for p in boundaries[0].copies] == ["CP64"]
+
+    def test_greedy_decomposition(self):
+        mapping = PipelineMapping([stage("a", 112), stage("b", 0)])
+        (boundary,) = insert_copies(mapping)
+        assert [p.name for p in boundary.copies] == ["CP64", "CP32", "CP16"]
+
+    def test_remainder_rounds_up(self):
+        mapping = PipelineMapping([stage("a", 5), stage("b", 0)])
+        (boundary,) = insert_copies(mapping)
+        assert [p.name for p in boundary.copies] == ["CP16"]
+
+    def test_zero_word_boundary_skipped(self):
+        mapping = PipelineMapping([stage("a", 0), stage("b", 0)])
+        assert insert_copies(mapping) == []
+
+    def test_last_stage_has_no_boundary(self):
+        mapping = PipelineMapping([stage("a", 64)])
+        assert insert_copies(mapping) == []
+
+
+class TestCost:
+    def test_memory_variant_cost(self):
+        mapping = PipelineMapping([stage("a", 64), stage("b", 0)])
+        cost = copy_overhead_ns(mapping, CopyVariant.MEMORY)
+        assert cost == pytest.approx(720 * 2.5)
+
+    def test_time_variant_cheaper(self):
+        mapping = PipelineMapping([stage("a", 64), stage("b", 0)])
+        fast = copy_overhead_ns(mapping, CopyVariant.TIME)
+        slow = copy_overhead_ns(mapping, CopyVariant.MEMORY)
+        assert fast < slow
+
+    def test_self_update_ablation(self):
+        mapping = PipelineMapping([stage("a", 64), stage("b", 0)])
+        optimized = copy_overhead_ns(mapping, self_update=True)
+        reloaded = copy_overhead_ns(mapping, self_update=False)
+        # the non-optimized version pays the data3 reload per firing
+        assert reloaded > optimized

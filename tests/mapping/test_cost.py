@@ -1,0 +1,114 @@
+"""Tile cost model: fits, pinning policies, reload accounting."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.cost import PinningPolicy, TileCostModel
+from repro.pn.process import Process
+from repro.pn.profiles import jpeg_processes
+from repro.units import DMEM_WORD_RELOAD_NS, IMEM_WORD_RELOAD_NS
+
+
+def proc(name, cycles=100, insts=50, data3=0):
+    return Process(name, runtime_cycles=cycles, insts=insts, data3=data3)
+
+
+class TestFitting:
+    def test_fits_under_capacity(self):
+        model = TileCostModel()
+        assert model.fits([proc("a", insts=200), proc("b", insts=300)])
+        assert not model.fits([proc("a", insts=300), proc("b", insts=300)])
+
+    def test_no_reload_when_fitting(self):
+        model = TileCostModel()
+        cost = model.block_cost([proc("a"), proc("b")])
+        assert cost.imem_reload_ns == 0.0
+        assert not cost.needs_reconfig
+
+    def test_runtime_summed(self):
+        model = TileCostModel()
+        cost = model.block_cost([proc("a", cycles=100), proc("b", cycles=300)])
+        assert cost.runtime_ns == pytest.approx(1000.0)
+
+    def test_data3_charged(self):
+        model = TileCostModel()
+        cost = model.block_cost([proc("a", data3=9)])
+        assert cost.dmem_reload_ns == pytest.approx(9 * DMEM_WORD_RELOAD_NS)
+
+    def test_data3_ablation_switch(self):
+        model = TileCostModel(charge_data3=False)
+        assert model.block_cost([proc("a", data3=9)]).dmem_reload_ns == 0.0
+
+    def test_empty_tile_rejected(self):
+        with pytest.raises(MappingError):
+            TileCostModel().block_cost([])
+
+
+class TestGreedyPinning:
+    def test_pins_everything_when_fitting(self):
+        model = TileCostModel()
+        ps = [proc("a", insts=100), proc("b", insts=100)]
+        assert model.greedy_pin_set(ps) == {"a", "b"}
+
+    def test_respects_residency_constraint(self):
+        model = TileCostModel()
+        ps = [proc(n, insts=i) for n, i in
+              (("a", 300), ("b", 250), ("c", 200))]
+        pin = model.greedy_pin_set(ps)
+        pinned_words = sum(p.insts for p in ps if p.name in pin)
+        largest_swapped = max(
+            (p.insts for p in ps if p.name not in pin), default=0
+        )
+        assert pinned_words + largest_swapped <= 512
+
+    def test_jpeg_pipeline_reload(self):
+        # the full p0..p9 pipeline exceeds 512 instructions
+        ps = [p for n, p in jpeg_processes().items() if n != "dct"]
+        model = TileCostModel(policy=PinningPolicy.GREEDY)
+        cost = model.block_cost(ps)
+        assert cost.needs_reconfig
+        assert cost.reloaded_insts > 0
+
+
+class TestExplicitPinning:
+    def test_paper_pin_set_reproduces_impl1(self):
+        """Table 4 impl 1: 419 us per block with {Hman1,3,5} pinned."""
+        catalogue = jpeg_processes()
+        chain = [catalogue[n] for n in
+                 ("shift", "DCT", "Alpha", "Quantize", "Zigzag",
+                  "Hman1", "Hman2", "Hman3", "Hman4", "Hman5")]
+        model = TileCostModel(policy=PinningPolicy.EXPLICIT)
+        cost = model.block_cost(chain, pinned={"Hman1", "Hman3", "Hman5"})
+        # runtime 391.75us + 421 insts x 50ns + 92 data3 x 33.33ns
+        assert cost.total_ns / 1000 == pytest.approx(415.9, abs=0.1)
+        assert cost.reloaded_insts == 421
+
+    def test_explicit_requires_pin_set(self):
+        model = TileCostModel(policy=PinningPolicy.EXPLICIT)
+        big = [proc("a", insts=300), proc("b", insts=300)]
+        with pytest.raises(MappingError, match="needs a pin set"):
+            model.block_cost(big)
+
+    def test_unknown_pinned_name_rejected(self):
+        model = TileCostModel(policy=PinningPolicy.EXPLICIT)
+        big = [proc("a", insts=300), proc("b", insts=300)]
+        with pytest.raises(MappingError, match="not on tile"):
+            model.block_cost(big, pinned={"zz"})
+
+    def test_infeasible_pin_set_rejected(self):
+        model = TileCostModel(policy=PinningPolicy.EXPLICIT)
+        big = [proc("a", insts=400), proc("b", insts=200)]
+        with pytest.raises(MappingError, match="no room"):
+            model.block_cost(big, pinned={"a"})
+
+
+class TestNonePolicy:
+    def test_reloads_everything_over_capacity(self):
+        model = TileCostModel(policy=PinningPolicy.NONE)
+        big = [proc("a", insts=300), proc("b", insts=300)]
+        cost = model.block_cost(big)
+        assert cost.imem_reload_ns == pytest.approx(600 * IMEM_WORD_RELOAD_NS)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(MappingError):
+            TileCostModel(imem_words=0)

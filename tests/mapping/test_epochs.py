@@ -1,0 +1,118 @@
+"""Epoch-schedule generation and the temporal-folding trade-off."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.cost import TileCostModel
+from repro.mapping.epochs import (
+    folded_epochs,
+    folding_tradeoff,
+    spatial_epochs,
+)
+from repro.mapping.placement import PipelineMapping, Stage
+from repro.pn.network import Channel, ProcessNetwork
+from repro.pn.process import Process
+from repro.pn.runtime_model import eq1_runtime
+
+
+def make_network(count=6, cycles=1000, insts=60):
+    processes = [
+        Process(f"p{i}", runtime_cycles=cycles, insts=insts, data1=8,
+                output_words=32)
+        for i in range(count)
+    ]
+    net = ProcessNetwork(processes)
+    for a, b in zip(processes, processes[1:]):
+        net.add_channel(Channel(a.name, b.name, 32))
+    return net
+
+
+class TestSpatial:
+    def test_one_epoch_per_stage(self):
+        net = make_network(4)
+        mapping = PipelineMapping(
+            [Stage((p,)) for p in net.pipeline_order()]
+        )
+        epochs = spatial_epochs(mapping, TileCostModel())
+        assert len(epochs) == 4
+        # full binding in every epoch, one distinct tile per process
+        binding = epochs[0].configuration.binding
+        assert len(binding) == 4
+        assert len(set(binding.values())) == 4
+        assert all(e.configuration.binding == binding for e in epochs)
+
+    def test_durations_are_stage_times(self):
+        net = make_network(2)
+        model = TileCostModel()
+        mapping = PipelineMapping([Stage(tuple(net.pipeline_order()))])
+        (epoch,) = spatial_epochs(mapping, model)
+        assert epoch.duration_ns == pytest.approx(
+            mapping.stages[0].tile_time_ns(model)
+        )
+
+    def test_eq1_of_spatial_schedule_has_no_reconfig(self):
+        """A pure space mapping preloads everything: term B is zero."""
+        net = make_network(4)
+        mapping = PipelineMapping([Stage((p,)) for p in net.pipeline_order()])
+        epochs = spatial_epochs(mapping, TileCostModel())
+        out = eq1_runtime(epochs, net, link_cost_ns=500.0, copy_ns_per_word=1.0)
+        assert out.reconfig_ns == 0.0
+
+
+class TestFolded:
+    def test_phase_count(self):
+        net = make_network(7)
+        epochs = folded_epochs(net.pipeline_order(), 3)
+        assert len(epochs) == 3  # ceil(7/3)
+
+    def test_single_tile_fold(self):
+        net = make_network(5)
+        epochs = folded_epochs(net.pipeline_order(), 1)
+        assert len(epochs) == 5
+        assert all(len(e.configuration.binding) == 1 for e in epochs)
+
+    def test_enough_tiles_is_single_phase(self):
+        net = make_network(5)
+        epochs = folded_epochs(net.pipeline_order(), 8)
+        assert len(epochs) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MappingError):
+            folded_epochs([], 2)
+        with pytest.raises(MappingError):
+            folded_epochs(make_network(2).pipeline_order(), 0)
+
+
+class TestTradeoff:
+    def test_reconfig_share_decreases_with_tiles(self):
+        net = make_network(8, cycles=400, insts=120)
+        points = folding_tradeoff(net, [1, 2, 4, 8], link_cost_ns=300.0)
+        shares = [p.reconfig_share for p in points]
+        assert shares[0] > shares[-1]
+        assert points[-1].breakdown.reconfig_ns == 0.0  # single phase
+
+    def test_term_a_constant_across_folds_when_balanced(self):
+        """Equal-runtime processes: compute time = phases x runtime."""
+        net = make_network(8, cycles=1000)
+        points = folding_tradeoff(net, [2, 4], link_cost_ns=0.0)
+        assert points[0].breakdown.compute_ns == pytest.approx(4 * 2500.0)
+        assert points[1].breakdown.compute_ns == pytest.approx(2 * 2500.0)
+
+    def test_runtime_monotone_nonincreasing_in_tiles(self):
+        net = make_network(9, cycles=700, insts=90)
+        points = folding_tradeoff(net, [1, 3, 9], link_cost_ns=200.0)
+        runtimes = [p.runtime_ns for p in points]
+        assert runtimes[0] >= runtimes[1] >= runtimes[2]
+
+    def test_reuse_overhead_bounded_for_heavy_processes(self):
+        """The paper's motivation, quantified: when processes run long
+        enough, folding 8 processes onto 2 tiles costs barely more than
+        the unavoidable 4x serialization — the reconfiguration term is
+        a small fraction, so area shrinks 4x for ~4x runtime."""
+        net = make_network(8, cycles=40_000, insts=100)
+        points = {p.n_tiles: p for p in
+                  folding_tradeoff(net, [2, 8], link_cost_ns=300.0)}
+        serialization = 8 / 2
+        slowdown = points[2].runtime_ns / points[8].runtime_ns
+        assert slowdown < serialization * 1.10
+        assert points[2].reconfig_share < 0.10

@@ -1,0 +1,73 @@
+"""Snake placement and link planning."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.fabric.links import Direction
+from repro.mapping.linkplan import LinkPlan, plan_links, snake_placement
+from repro.mapping.placement import PipelineMapping, Stage
+from repro.pn.process import Process
+
+
+def procs(n):
+    return [Process(f"p{i}", runtime_cycles=10) for i in range(n)]
+
+
+class TestSnake:
+    def test_first_row_left_to_right(self):
+        assert snake_placement(3, 5) == [(0, 0), (0, 1), (0, 2)]
+
+    def test_second_row_reverses(self):
+        coords = snake_placement(8, 4)
+        assert coords[4] == (1, 3)
+        assert coords[7] == (1, 0)
+
+    def test_consecutive_positions_are_neighbours(self):
+        coords = snake_placement(17, 5)
+        for a, b in zip(coords, coords[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(MappingError):
+            snake_placement(0, 4)
+        with pytest.raises(MappingError):
+            snake_placement(4, 0)
+
+
+class TestPlanLinks:
+    def test_linear_pipeline_static_chain(self):
+        mapping = PipelineMapping([Stage((p,)) for p in procs(4)])
+        plan = plan_links(mapping, mesh_cols=2)
+        assert plan.per_block_relinks == 0
+        assert not plan.needs_relink
+        assert plan.static_links[(0, 0)] is Direction.EAST
+        assert plan.static_links[(0, 1)] is Direction.SOUTH
+        assert plan.static_links[(1, 1)] is Direction.WEST
+
+    def test_replicated_stage_needs_relink(self):
+        a, b, c = procs(3)
+        mapping = PipelineMapping(
+            [Stage((a,)), Stage((b,), copies=3), Stage((c,))]
+        )
+        plan = plan_links(mapping, mesh_cols=5)
+        assert plan.needs_relink
+        assert plan.per_block_relinks == 2  # steer in + merge out
+
+    def test_replicated_at_pipeline_edges(self):
+        a, b = procs(2)
+        head = PipelineMapping([Stage((a,), copies=2), Stage((b,))])
+        assert plan_links(head).per_block_relinks == 1
+        tail = PipelineMapping([Stage((a,)), Stage((b,), copies=2)])
+        assert plan_links(tail).per_block_relinks == 1
+
+    def test_relink_time(self):
+        plan = LinkPlan(placement=((0, 0),), per_block_relinks=3)
+        assert plan.per_block_relink_ns(700.0) == pytest.approx(2100.0)
+        with pytest.raises(MappingError):
+            plan.per_block_relink_ns(-1)
+
+    def test_placement_length_counts_copies(self):
+        a, b = procs(2)
+        mapping = PipelineMapping([Stage((a,), copies=3), Stage((b,))])
+        plan = plan_links(mapping, mesh_cols=2)
+        assert len(plan.placement) == 4

@@ -1,0 +1,132 @@
+"""Exact optimal partitioner and the heuristics' optimality gap."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MappingError
+from repro.mapping.cost import TileCostModel
+from repro.mapping.optimal import min_tiles_for_interval, optimal_mapping
+from repro.mapping.rebalance import rebalance
+from repro.pn.process import Process
+
+
+def procs(*cycles):
+    return [Process(f"p{i}", runtime_cycles=c, insts=10)
+            for i, c in enumerate(cycles)]
+
+
+@pytest.fixture
+def model():
+    return TileCostModel()
+
+
+class TestFeasibility:
+    def test_single_tile_needs_total(self, model):
+        ps = procs(100, 200, 300)
+        total = model.block_time_ns(ps)
+        result = min_tiles_for_interval(ps, total, model)
+        assert result is not None and result[0] == 1
+
+    def test_unreachable_interval_needs_replication(self, model):
+        ps = procs(1000)
+        tiles, stages = min_tiles_for_interval(
+            ps, model.block_time_ns(ps) / 4, model
+        )
+        assert tiles == 4
+        assert stages[0].copies == 4
+
+    def test_non_positive_target(self, model):
+        assert min_tiles_for_interval(procs(1), 0.0, model) is None
+
+    def test_witness_achieves_target(self, model):
+        ps = procs(50, 400, 80, 120, 30)
+        target = 500.0
+        result = min_tiles_for_interval(ps, target, model)
+        assert result is not None
+        tiles, stages = result
+        from repro.mapping.placement import PipelineMapping
+
+        mapping = PipelineMapping(stages)
+        assert mapping.n_tiles == tiles
+        assert mapping.interval_ns(model) <= target + 1e-9
+        assert mapping.process_names() == [p.name for p in ps]
+
+
+class TestOptimal:
+    def test_budget_one_is_whole_pipeline(self, model):
+        ps = procs(10, 20, 30)
+        result = optimal_mapping(ps, 1, model)
+        assert result.n_tiles == 1
+        assert result.interval_ns == pytest.approx(model.block_time_ns(ps))
+
+    def test_respects_budget(self, model):
+        ps = procs(13, 88, 4, 9, 230, 17)
+        for budget in (1, 3, 6, 9):
+            assert optimal_mapping(ps, budget, model).n_tiles <= budget
+
+    def test_monotone_in_budget(self, model):
+        ps = procs(33, 45, 220, 18, 77)
+        intervals = [
+            optimal_mapping(ps, b, model).interval_ns for b in range(1, 10)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(intervals, intervals[1:]))
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(MappingError):
+            optimal_mapping([], 1, model)
+        with pytest.raises(MappingError):
+            optimal_mapping(procs(1), 0, model)
+
+    def test_beats_greedy_on_adversarial_pipeline(self, model):
+        """A case where greedy splitting commits early and pays."""
+        ps = procs(60, 60, 60, 60, 200, 60, 60, 60, 60)
+        budget = 3
+        greedy = rebalance(ps, budget, model).mappings[-1].interval_ns(model)
+        exact = optimal_mapping(ps, budget, model).interval_ns
+        assert exact <= greedy + 1e-9
+
+
+class TestOptimalityGap:
+    def test_heuristics_never_beat_the_optimum(self, model):
+        from repro.kernels.jpeg.pipeline_model import jpeg_pipeline_order
+
+        ps = jpeg_pipeline_order()
+        for budget in (1, 2, 5, 10, 17, 24):
+            exact = optimal_mapping(ps, budget, model).interval_ns
+            for algo in ("one", "two", "opt"):
+                heuristic = rebalance(
+                    ps, budget, model, algorithm=algo
+                ).mappings[-1].interval_ns(model)
+                assert heuristic >= exact - 1e-6
+
+    def test_jpeg_gap_is_small(self, model):
+        """Sec. 3.5's greedy family stays within ~15% of optimal on the
+        paper's own workload across all published budgets."""
+        from repro.kernels.jpeg.pipeline_model import jpeg_pipeline_order
+
+        ps = jpeg_pipeline_order()
+        worst_gap = 0.0
+        for budget in range(1, 26):
+            exact = optimal_mapping(ps, budget, model).interval_ns
+            greedy = rebalance(ps, budget, model).mappings[-1].interval_ns(model)
+            worst_gap = max(worst_gap, greedy / exact)
+        assert worst_gap < 1.25
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5000),
+                 min_size=1, max_size=6),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_lower_bounds_all_heuristics(self, cycles, budget):
+        model = TileCostModel()
+        ps = procs(*cycles)
+        exact = optimal_mapping(ps, budget, model).interval_ns
+        for algo in ("one", "two", "opt"):
+            heuristic = rebalance(
+                ps, budget, model, algorithm=algo
+            ).mappings[-1].interval_ns(model)
+            assert heuristic >= exact - 1e-6
+        # and the optimum respects the trivial lower bounds
+        heaviest = max(model.block_time_ns([p]) for p in ps)
+        assert exact >= heaviest / budget - 1e-6

@@ -1,0 +1,79 @@
+"""Pipeline metrics: throughput, utilization, area figures."""
+
+import pytest
+
+from repro.mapping.cost import TileCostModel
+from repro.mapping.pipeline import (
+    JPEG_BLOCKS_PER_IMAGE,
+    PipelineMetrics,
+    evaluate_mapping,
+)
+from repro.mapping.placement import PipelineMapping, Stage
+from repro.pn.process import Process
+
+
+def procs(*cycles):
+    return [Process(f"p{i}", runtime_cycles=c) for i, c in enumerate(cycles)]
+
+
+class TestMetrics:
+    def test_items_per_s(self):
+        m = PipelineMetrics(n_tiles=1, interval_ns=1000.0, busy_ns=1000.0)
+        assert m.items_per_s(1) == pytest.approx(1e6)
+        assert m.items_per_s(100) == pytest.approx(1e4)
+
+    def test_copy_overhead_extends_block_time(self):
+        m = PipelineMetrics(n_tiles=1, interval_ns=900.0, busy_ns=900.0,
+                            copy_overhead_ns=100.0)
+        assert m.block_time_ns == 1000.0
+
+    def test_invalid_blocks_per_item(self):
+        m = PipelineMetrics(n_tiles=1, interval_ns=1.0, busy_ns=1.0)
+        with pytest.raises(ValueError):
+            m.items_per_s(0)
+
+    def test_utilization_bounds(self):
+        m = PipelineMetrics(n_tiles=2, interval_ns=100.0, busy_ns=150.0)
+        assert m.utilization == pytest.approx(0.75)
+        full = PipelineMetrics(n_tiles=1, interval_ns=100.0, busy_ns=100.0)
+        assert full.utilization == 1.0
+
+    def test_utilization_clipped_at_one(self):
+        m = PipelineMetrics(n_tiles=1, interval_ns=100.0, busy_ns=150.0)
+        assert m.utilization == 1.0
+
+    def test_area(self):
+        m = PipelineMetrics(n_tiles=5, interval_ns=1.0, busy_ns=1.0)
+        assert m.area_luts == 1000
+        assert m.throughput_per_area(1) == pytest.approx(1e9 / 1000)
+
+    def test_blocks_per_image_constant(self):
+        # 256-wide stride x 200 rows of a padded 200x200 frame
+        assert JPEG_BLOCKS_PER_IMAGE == 800 == (256 // 8) * (200 // 8)
+
+
+class TestEvaluateMapping:
+    def test_single_tile_fully_utilized(self):
+        model = TileCostModel()
+        mapping = PipelineMapping.single_tile(procs(100, 200))
+        metrics = evaluate_mapping(mapping, model)
+        assert metrics.utilization == 1.0
+        assert metrics.n_tiles == 1
+
+    def test_replicated_stage_busy_accounting(self):
+        model = TileCostModel()
+        (a,) = procs(1000)
+        b = Process("b", runtime_cycles=250)
+        mapping = PipelineMapping([Stage((a,), copies=4), Stage((b,))])
+        metrics = evaluate_mapping(mapping, model)
+        # interval = 1000/4 = 250 cycles = 625ns; both stages saturated
+        assert metrics.interval_ns == pytest.approx(625.0)
+        assert metrics.utilization == pytest.approx(1.0)
+
+    def test_unbalanced_utilization(self):
+        model = TileCostModel()
+        mapping = PipelineMapping(
+            [Stage((p,)) for p in procs(1000, 100)]
+        )
+        metrics = evaluate_mapping(mapping, model)
+        assert metrics.utilization == pytest.approx((1000 + 100) / (2 * 1000))

@@ -1,0 +1,121 @@
+"""Stages and pipeline mappings."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.cost import TileCostModel
+from repro.mapping.placement import PipelineMapping, Stage
+from repro.pn.process import Process
+
+
+def procs(*specs):
+    return [Process(n, runtime_cycles=c, insts=10) for n, c in specs]
+
+
+@pytest.fixture
+def model():
+    return TileCostModel()
+
+
+class TestStage:
+    def test_empty_stage_rejected(self):
+        with pytest.raises(MappingError):
+            Stage(())
+
+    def test_replicated_multi_process_rejected(self):
+        a, b = procs(("a", 10), ("b", 10))
+        with pytest.raises(MappingError, match="single-process"):
+            Stage((a, b), copies=2)
+
+    def test_copies_must_be_positive(self):
+        (a,) = procs(("a", 10))
+        with pytest.raises(MappingError):
+            Stage((a,), copies=0)
+
+    def test_effective_time_divides_by_copies(self, model):
+        (a,) = procs(("a", 1000))
+        stage = Stage((a,), copies=4)
+        assert stage.effective_time_ns(model) == pytest.approx(
+            stage.tile_time_ns(model) / 4
+        )
+
+    def test_label(self):
+        a, b = procs(("a", 1), ("b", 1))
+        assert Stage((a, b)).label() == "[a,b]"
+        assert Stage((a,), copies=3).label() == "[a]x3"
+
+
+class TestMapping:
+    def test_single_tile_start(self, model):
+        ps = procs(("a", 10), ("b", 20))
+        mapping = PipelineMapping.single_tile(ps)
+        assert mapping.n_tiles == 1
+        assert mapping.process_names() == ["a", "b"]
+
+    def test_n_tiles_counts_copies(self):
+        a, b = procs(("a", 10), ("b", 10))
+        mapping = PipelineMapping([Stage((a,), copies=3), Stage((b,))])
+        assert mapping.n_tiles == 4
+        assert mapping.n_stages == 2
+
+    def test_heaviest_stage(self, model):
+        a, b, c = procs(("a", 10), ("b", 500), ("c", 20))
+        mapping = PipelineMapping([Stage((a,)), Stage((b,)), Stage((c,))])
+        assert mapping.heaviest_stage(model) == 1
+
+    def test_heaviest_uses_effective_time(self, model):
+        a, b = procs(("a", 400), ("b", 500))
+        mapping = PipelineMapping([Stage((a,)), Stage((b,), copies=2)])
+        # b's effective 250 < a's 400
+        assert mapping.heaviest_stage(model) == 0
+
+    def test_heaviest_tie_breaks_earliest(self, model):
+        a, b = procs(("a", 100), ("b", 100))
+        mapping = PipelineMapping([Stage((a,)), Stage((b,))])
+        assert mapping.heaviest_stage(model) == 0
+
+    def test_interval_is_max_effective(self, model):
+        a, b = procs(("a", 100), ("b", 300))
+        mapping = PipelineMapping([Stage((a,)), Stage((b,))])
+        assert mapping.interval_ns(model) == pytest.approx(750.0)
+
+    def test_tile_times_expand_copies(self, model):
+        (a,) = procs(("a", 100))
+        mapping = PipelineMapping([Stage((a,), copies=3)])
+        assert len(mapping.tile_times_ns(model)) == 3
+
+    def test_replace_stage(self, model):
+        a, b = procs(("a", 10), ("b", 10))
+        mapping = PipelineMapping([Stage((a, b))])
+        split = mapping.replace_stage(0, Stage((a,)), Stage((b,)))
+        assert split.n_stages == 2
+        assert mapping.n_stages == 1  # original untouched
+
+    def test_replace_out_of_range(self):
+        (a,) = procs(("a", 10))
+        with pytest.raises(MappingError):
+            PipelineMapping([Stage((a,))]).replace_stage(5, Stage((a,)))
+
+    def test_validate_covers(self):
+        a, b = procs(("a", 10), ("b", 10))
+        mapping = PipelineMapping([Stage((a,)), Stage((b,))])
+        mapping.validate_covers(["a", "b"])
+        with pytest.raises(MappingError):
+            mapping.validate_covers(["b", "a"])
+
+    def test_equality_by_structure(self):
+        a, b = procs(("a", 10), ("b", 10))
+        m1 = PipelineMapping([Stage((a,)), Stage((b,))])
+        m2 = PipelineMapping([Stage((a,)), Stage((b,))])
+        m3 = PipelineMapping([Stage((a, b))])
+        assert m1 == m2
+        assert m1 != m3
+
+    def test_empty_mapping_interval_rejected(self, model):
+        with pytest.raises(MappingError):
+            PipelineMapping([]).interval_ns(model)
+
+    def test_describe(self, model):
+        a, = procs(("a", 100))
+        text = PipelineMapping([Stage((a,), copies=2)]).describe(model)
+        assert "[a]x2" in text

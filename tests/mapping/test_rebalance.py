@@ -1,0 +1,196 @@
+"""Rebalancing algorithms: splits, surrounding sets, invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MappingError
+from repro.mapping.cost import TileCostModel
+from repro.mapping.placement import PipelineMapping, Stage
+from repro.mapping.rebalance import (
+    rebalance,
+    rebalance_one,
+    rebalance_opt,
+    rebalance_two,
+    redistribute_average,
+    redistribute_optimal,
+    split_stage_balanced,
+    surrounding_set,
+)
+from repro.pn.process import Process
+
+
+def procs(*cycles):
+    return [Process(f"p{i}", runtime_cycles=c, insts=10)
+            for i, c in enumerate(cycles)]
+
+
+@pytest.fixture
+def model():
+    return TileCostModel()
+
+
+class TestSplit:
+    def test_balanced_split(self, model):
+        stage = Stage(tuple(procs(100, 100, 100, 100)))
+        left, right = split_stage_balanced(stage, model)
+        assert len(left.processes) == 2 and len(right.processes) == 2
+
+    def test_split_heavy_head(self, model):
+        stage = Stage(tuple(procs(1000, 10, 10, 10)))
+        left, right = split_stage_balanced(stage, model)
+        assert len(left.processes) == 1
+
+    def test_split_preserves_order(self, model):
+        stage = Stage(tuple(procs(5, 50, 500, 5)))
+        left, right = split_stage_balanced(stage, model)
+        names = [p.name for p in left.processes + right.processes]
+        assert names == [p.name for p in stage.processes]
+
+    def test_single_process_unsplittable(self, model):
+        with pytest.raises(MappingError):
+            split_stage_balanced(Stage(tuple(procs(1))), model)
+
+
+class TestSurroundingSet:
+    def test_whole_pipeline_when_no_copies(self):
+        mapping = PipelineMapping([Stage((p,)) for p in procs(1, 2, 3)])
+        assert surrounding_set(mapping, 1) == (0, 2)
+
+    def test_bounded_by_replicated_stage(self):
+        p = procs(1, 2, 3, 4)
+        mapping = PipelineMapping(
+            [Stage((p[0],), copies=2), Stage((p[1],)), Stage((p[2],)),
+             Stage((p[3],), copies=3)]
+        )
+        assert surrounding_set(mapping, 1) == (1, 2)
+        assert surrounding_set(mapping, 2) == (1, 2)
+
+    def test_replicated_heavy_is_alone(self):
+        p = procs(1, 2)
+        mapping = PipelineMapping([Stage((p[0],), copies=2),
+                                   Stage((p[1],), copies=2)])
+        assert surrounding_set(mapping, 0) == (0, 0)
+
+    def test_out_of_range(self):
+        mapping = PipelineMapping([Stage((procs(1)[0],))])
+        with pytest.raises(MappingError):
+            surrounding_set(mapping, 3)
+
+
+class TestRedistribute:
+    def test_average_produces_requested_tiles(self, model):
+        stages = redistribute_average(procs(10, 20, 30, 40, 50), 3, model)
+        assert len(stages) == 3
+        assert sum(len(s.processes) for s in stages) == 5
+
+    def test_average_more_tiles_than_processes(self, model):
+        stages = redistribute_average(procs(10, 20), 5, model)
+        assert len(stages) == 2  # one process per tile is the max split
+
+    def test_optimal_minimizes_max(self, model):
+        ps = procs(90, 10, 10, 90)
+        stages = redistribute_optimal(ps, 2, model)
+        worst = max(model.block_time_ns(list(s.processes)) for s in stages)
+        # the optimal contiguous 2-split of (90,10,10,90) is (90,10 | 10,90)
+        assert worst == pytest.approx(model.block_time_ns(ps[:2]))
+
+    def test_optimal_never_worse_than_average(self, model):
+        ps = procs(7, 80, 12, 44, 3, 61)
+        for k in (2, 3, 4):
+            opt = redistribute_optimal(ps, k, model)
+            avg = redistribute_average(ps, k, model)
+            worst_opt = max(model.block_time_ns(list(s.processes)) for s in opt)
+            worst_avg = max(model.block_time_ns(list(s.processes)) for s in avg)
+            assert worst_opt <= worst_avg + 1e-9
+
+    def test_invalid_tile_count(self, model):
+        with pytest.raises(MappingError):
+            redistribute_optimal(procs(1), 0, model)
+
+
+class TestDrivers:
+    def test_trace_covers_all_budgets(self, model):
+        trace = rebalance(procs(10, 20, 30), 5, model)
+        assert [m.n_tiles for m in trace.mappings] == [1, 2, 3, 4, 5]
+        assert trace.at_tiles(3).n_tiles == 3
+        with pytest.raises(MappingError):
+            trace.at_tiles(99)
+
+    def test_single_heavy_process_duplicates(self, model):
+        mapping = rebalance_one(procs(1000), 4, model)
+        assert mapping.n_stages == 1
+        assert mapping.stages[0].copies == 4
+
+    def test_throughput_monotone_nondecreasing(self, model):
+        ps = procs(100, 700, 150, 300, 50)
+        trace = rebalance(ps, 10, model, algorithm="one")
+        intervals = [m.interval_ns(model) for m in trace.mappings]
+        for earlier, later in zip(intervals, intervals[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_all_algorithms_preserve_process_order(self, model):
+        ps = procs(13, 88, 4, 9, 230, 17)
+        names = [p.name for p in ps]
+        for algo in ("one", "two", "opt"):
+            mapping = rebalance(ps, 6, model, algorithm=algo).mappings[-1]
+            assert mapping.process_names() == names
+
+    def test_refined_never_worse_than_greedy(self, model):
+        ps = procs(33, 45, 220, 18, 77, 64, 12)
+        for budget in range(1, 12):
+            one = rebalance_one(ps, budget, model).interval_ns(model)
+            two = rebalance_two(ps, budget, model).interval_ns(model)
+            opt = rebalance_opt(ps, budget, model).interval_ns(model)
+            assert two <= one + 1e-9
+            assert opt <= one + 1e-9
+
+    def test_unknown_algorithm(self, model):
+        with pytest.raises(MappingError, match="unknown algorithm"):
+            rebalance(procs(1), 1, model, algorithm="zzz")
+
+    def test_empty_processes(self, model):
+        with pytest.raises(MappingError):
+            rebalance([], 1, model)
+
+    def test_zero_tiles(self, model):
+        with pytest.raises(MappingError):
+            rebalance(procs(1), 0, model)
+
+
+@st.composite
+def random_pipelines(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    cycles = draw(st.lists(st.integers(min_value=1, max_value=10_000),
+                           min_size=n, max_size=n))
+    budget = draw(st.integers(min_value=1, max_value=12))
+    return cycles, budget
+
+
+class TestProperties:
+    @given(random_pipelines())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_for_all_algorithms(self, case):
+        cycles, budget = case
+        ps = procs(*cycles)
+        model = TileCostModel()
+        for algo in ("one", "two", "opt"):
+            mapping = rebalance(ps, budget, model, algorithm=algo).mappings[-1]
+            # exact tile budget, order preserved, positive interval
+            assert mapping.n_tiles == budget
+            assert mapping.process_names() == [p.name for p in ps]
+            assert mapping.interval_ns(model) > 0
+            # interval can never beat the theoretical lower bound
+            total = model.block_time_ns(ps)
+            heaviest = max(model.block_time_ns([p]) for p in ps)
+            lower = max(total / budget * 0, heaviest / budget)
+            assert mapping.interval_ns(model) >= lower - 1e-9
+
+    @given(random_pipelines())
+    @settings(max_examples=40, deadline=None)
+    def test_trace_intervals_monotone(self, case):
+        cycles, budget = case
+        ps = procs(*cycles)
+        model = TileCostModel()
+        trace = rebalance(ps, budget, model, algorithm="one")
+        intervals = [m.interval_ns(model) for m in trace.mappings]
+        assert all(b <= a + 1e-9 for a, b in zip(intervals, intervals[1:]))

@@ -1,0 +1,283 @@
+"""Token-level network execution: firing rules, joins, JPEG semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProcessNetworkError
+from repro.pn.executor import Behavior, NetworkExecutor
+from repro.pn.network import Channel, ProcessNetwork
+from repro.pn.process import Process
+
+
+def chain_network(*names, words=1):
+    net = ProcessNetwork(Process(n, runtime_cycles=100) for n in names)
+    for a, b in zip(names, names[1:]):
+        net.add_channel(Channel(a, b, words))
+    return net
+
+
+def passthrough(dst):
+    """A behaviour forwarding its tokens to ``dst`` unchanged."""
+    def fn(inputs):
+        tokens = [t for src in sorted(inputs) for t in inputs[src]]
+        return {dst: tokens}
+    return Behavior(fn)
+
+
+class TestBasics:
+    def test_identity_pipeline(self):
+        net = chain_network("a", "b", "c")
+        exe = NetworkExecutor(net, {
+            "a": passthrough("b"),
+            "b": passthrough("c"),
+            "c": passthrough("__sink__"),
+        })
+        exe.feed("a", [1, 2, 3])
+        fired = exe.run()
+        assert exe.collect("c") == [1, 2, 3]
+        assert fired == 9  # three tokens through three processes
+        assert exe.pending_tokens() == 0
+
+    def test_transforming_pipeline(self):
+        net = chain_network("double", "inc")
+        exe = NetworkExecutor(net, {
+            "double": Behavior(lambda i: {"inc": [2 * t for t in i["__external__"]]}),
+            "inc": Behavior(lambda i: {"__sink__": [t + 1 for t in i["double"]]}),
+        })
+        exe.feed("double", [1, 5])
+        exe.run()
+        assert exe.collect("inc") == [3, 11]
+
+    def test_firing_counts_and_estimate(self):
+        net = chain_network("a", "b")
+        exe = NetworkExecutor(net, {
+            "a": passthrough("b"),
+            "b": passthrough("__sink__"),
+        })
+        exe.feed("a", [0] * 4)
+        exe.run()
+        assert exe.firing_counts() == {"a": 4, "b": 4}
+        assert exe.estimated_compute_ns() == pytest.approx(8 * 250.0)
+
+    def test_block_granularity_consumption(self):
+        """A words=4 channel fires the consumer once per 4 tokens."""
+        net = chain_network("src", "blocky", words=4)
+        exe = NetworkExecutor(net, {
+            "src": Behavior(lambda i: {"blocky": i["__external__"] * 4},
+                            produce={"blocky": 4}),
+            "blocky": Behavior(lambda i: {"__sink__": [sum(i["src"])]},
+                               produce={"__sink__": None}),
+        })
+        exe.feed("src", [1, 2, 3])
+        exe.run()
+        assert exe.collect("blocky") == [4, 8, 12]
+
+    def test_insufficient_tokens_defer_firing(self):
+        net = chain_network("a", "b", words=3)
+        exe = NetworkExecutor(net, {
+            "a": Behavior(lambda i: {"b": i["__external__"] * 3},
+                          produce={"b": 3}),
+            "b": passthrough("__sink__"),
+        })
+        exe.feed("a", [7])
+        exe.run()
+        assert exe.collect("b") == [7, 7, 7]
+        exe2 = NetworkExecutor(net, {
+            "a": Behavior(lambda i: {"b": i["__external__"]},
+                          produce={"b": None}),
+            "b": passthrough("__sink__"),
+        })
+        exe2.feed("a", [7])
+        exe2.run()
+        # only one token on a words=3 channel: b never fires
+        assert exe2.collect("b") == []
+        assert exe2.pending_tokens() == 1
+
+
+class TestValidation:
+    def test_missing_behavior_rejected(self):
+        net = chain_network("a", "b")
+        with pytest.raises(ProcessNetworkError, match="missing"):
+            NetworkExecutor(net, {"a": passthrough("b")})
+
+    def test_unknown_behavior_rejected(self):
+        net = chain_network("a")
+        with pytest.raises(ProcessNetworkError, match="unknown"):
+            NetworkExecutor(net, {"a": passthrough("__sink__"),
+                                  "zz": passthrough("x")})
+
+    def test_produce_to_non_successor_rejected(self):
+        net = chain_network("a", "b")
+        exe = NetworkExecutor(net, {
+            "a": Behavior(lambda i: {"zzz": [1]}),
+            "b": passthrough("__sink__"),
+        })
+        exe.feed("a", [1])
+        with pytest.raises(ProcessNetworkError, match="non-successors"):
+            exe.run()
+
+    def test_wrong_production_count_rejected(self):
+        net = chain_network("a", "b", words=2)
+        exe = NetworkExecutor(net, {
+            "a": Behavior(lambda i: {"b": [1]}),  # declares 2 via channel
+            "b": passthrough("__sink__"),
+        })
+        exe.feed("a", [1])
+        with pytest.raises(ProcessNetworkError, match="produced 1 tokens"):
+            exe.run()
+
+    def test_livelock_budget(self):
+        net = chain_network("a", "b")
+        # 'b' regenerates a token for itself through... a source that
+        # always produces two tokens per consumed one, flooding forever
+        exe = NetworkExecutor(net, {
+            "a": Behavior(lambda i: {"b": i["__external__"] * 2},
+                          produce={"b": None}),
+            "b": passthrough("__sink__"),
+        })
+        exe.feed("a", [0] * 200)
+        exe.run(max_firings=10_000)  # quiesces fine
+        exe.feed("a", [0] * 200)
+        with pytest.raises(ProcessNetworkError, match="exceeded"):
+            exe.run(max_firings=100)
+
+    def test_feed_non_source_rejected(self):
+        net = chain_network("a", "b")
+        exe = NetworkExecutor(net, {
+            "a": passthrough("b"), "b": passthrough("__sink__"),
+        })
+        with pytest.raises(ProcessNetworkError):
+            exe.feed("b", [1])
+        with pytest.raises(ProcessNetworkError):
+            exe.collect("a")
+
+
+class TestFanOutFanIn:
+    def test_split_join(self):
+        """A diamond: source fans out to two workers, a join sums."""
+        net = ProcessNetwork(Process(n, 10) for n in ("s", "w1", "w2", "j"))
+        net.connect("s", "w1", 1)
+        net.connect("s", "w2", 1)
+        net.connect("w1", "j", 1)
+        net.connect("w2", "j", 1)
+        exe = NetworkExecutor(net, {
+            "s": Behavior(lambda i: {"w1": i["__external__"],
+                                     "w2": i["__external__"]}),
+            "w1": Behavior(lambda i: {"j": [t * 10 for t in i["s"]]}),
+            "w2": Behavior(lambda i: {"j": [t + 1 for t in i["s"]]}),
+            "j": Behavior(lambda i: {"__sink__": [i["w1"][0] + i["w2"][0]]}),
+        })
+        exe.feed("s", [3, 4])
+        exe.run()
+        assert exe.collect("j") == [3 * 10 + 4, 4 * 10 + 5]
+
+
+class TestJPEGNetwork:
+    def test_pipeline_matches_reference_encoder(self, rng):
+        """The Fig. 3 network executed token-by-token produces the same
+        quantized zig-zag coefficients as the monolithic encoder."""
+        from repro.kernels.jpeg.dct import dct2d
+        from repro.kernels.jpeg.encoder import JPEGEncoder
+        from repro.kernels.jpeg.quant import quantize, scale_qtable, LUMINANCE_QTABLE
+        from repro.kernels.jpeg.zigzag import zigzag
+        from repro.pn.profiles import jpeg_process_network
+
+        qtable = scale_qtable(LUMINANCE_QTABLE, 75)
+        net = jpeg_process_network()
+
+        def block_stage(fn, dst):
+            return Behavior(
+                lambda i, fn=fn, : {dst: [fn(t) for src in i for t in i[src]]},
+                consume={src: 1 for src in net.predecessors(dst) or []},
+            )
+
+        behaviors = {
+            "shift": Behavior(lambda i: {
+                "DCT": [b - 128.0 for b in i["__external__"]]
+            }, produce={"DCT": None}),
+            "DCT": Behavior(lambda i: {
+                "Alpha": [dct2d(b) for b in i["shift"]]
+            }, consume={"shift": 1}, produce={"Alpha": None}),
+            "Alpha": Behavior(lambda i: {
+                "Quantize": i["DCT"]
+            }, consume={"DCT": 1}, produce={"Quantize": None}),
+            "Quantize": Behavior(lambda i: {
+                "Zigzag": [quantize(b, qtable) for b in i["Alpha"]]
+            }, consume={"Alpha": 1}, produce={"Zigzag": None}),
+            "Zigzag": Behavior(lambda i: {
+                "Hman1": [zigzag(b) for b in i["Quantize"]]
+            }, consume={"Quantize": 1}, produce={"Hman1": None}),
+        }
+        # the five Huffman stages forward the vector (their real work is
+        # exercised in kernels/jpeg tests); the sink collects it
+        chain = ["Hman1", "Hman2", "Hman3", "Hman4", "Hman5"]
+        for name, nxt in zip(chain, chain[1:] + ["__sink__"]):
+            prev = net.predecessors(name)[0]
+            behaviors[name] = Behavior(
+                lambda i, nxt=nxt, prev=prev: {nxt: i[prev]},
+                consume={prev: 1}, produce={nxt: None},
+            )
+
+        exe = NetworkExecutor(net, behaviors)
+        blocks = [rng.integers(0, 256, (8, 8)).astype(float) for _ in range(3)]
+        exe.feed("shift", blocks)
+        exe.run()
+        got = exe.collect("Hman5")
+
+        encoder = JPEGEncoder(quality=75)
+        for zz, block in zip(got, blocks):
+            want = encoder.encode_block_to_zigzag(block.astype(np.int64))
+            assert np.array_equal(zz, want)
+
+    def test_quarter_dct_fan_in(self, rng):
+        """The split-DCT network (Fig. 15) reassembles the full DCT."""
+        from repro.kernels.jpeg.dct import dct2d, dct_quarter
+        from repro.pn.profiles import jpeg_process_network
+
+        net = jpeg_process_network(split_dct=True)
+        quadrant = {f"dct_{k}": divmod(k, 2) for k in range(4)}
+
+        behaviors = {}
+        behaviors["shift"] = Behavior(
+            lambda i: {
+                f"dct_{k}": [b - 128.0 for b in i["__external__"]]
+                for k in range(4)
+            },
+            produce={f"dct_{k}": None for k in range(4)},
+        )
+        for k in range(4):
+            qr, qc = quadrant[f"dct_{k}"]
+            behaviors[f"dct_{k}"] = Behavior(
+                lambda i, qr=qr, qc=qc, k=k: {
+                    "Alpha": [dct_quarter(b, qr, qc) for b in i["shift"]]
+                },
+                consume={"shift": 1}, produce={"Alpha": None},
+            )
+
+        def join(inputs):
+            out = np.empty((8, 8))
+            for k in range(4):
+                qr, qc = quadrant[f"dct_{k}"]
+                out[4 * qr:4 * qr + 4, 4 * qc:4 * qc + 4] = \
+                    inputs[f"dct_{k}"][0]
+            return {"Quantize": [out]}
+
+        behaviors["Alpha"] = Behavior(
+            join, consume={f"dct_{k}": 1 for k in range(4)},
+            produce={"Quantize": None},
+        )
+        rest = ["Quantize", "Zigzag", "Hman1", "Hman2", "Hman3", "Hman4",
+                "Hman5"]
+        for name, nxt in zip(rest, rest[1:] + ["__sink__"]):
+            prev = net.predecessors(name)[0]
+            behaviors[name] = Behavior(
+                lambda i, nxt=nxt, prev=prev: {nxt: i[prev]},
+                consume={prev: 1}, produce={nxt: None},
+            )
+
+        exe = NetworkExecutor(net, behaviors)
+        block = rng.integers(0, 256, (8, 8)).astype(float)
+        exe.feed("shift", [block])
+        exe.run()
+        (got,) = exe.collect("Hman5")
+        np.testing.assert_allclose(got, dct2d(block - 128.0), atol=1e-10)

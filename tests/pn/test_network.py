@@ -1,0 +1,95 @@
+"""Process-network graph structure and ordering."""
+
+import pytest
+
+from repro.errors import ProcessNetworkError
+from repro.pn.network import Channel, ProcessNetwork
+from repro.pn.process import Process
+
+
+def chain(*names):
+    net = ProcessNetwork(Process(n, runtime_cycles=10) for n in names)
+    for a, b in zip(names, names[1:]):
+        net.connect(a, b, 8)
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_process_rejected(self):
+        net = ProcessNetwork([Process("a", 1)])
+        with pytest.raises(ProcessNetworkError):
+            net.add_process(Process("a", 2))
+
+    def test_channel_to_unknown_rejected(self):
+        net = ProcessNetwork([Process("a", 1)])
+        with pytest.raises(ProcessNetworkError, match="unknown"):
+            net.connect("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ProcessNetworkError, match="self-loop"):
+            Channel("a", "a")
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ProcessNetworkError):
+            Channel("a", "b", words=-1)
+
+
+class TestQueries:
+    def test_membership_and_len(self):
+        net = chain("a", "b", "c")
+        assert len(net) == 3
+        assert "b" in net and "z" not in net
+
+    def test_successors_predecessors(self):
+        net = chain("a", "b", "c")
+        assert net.successors("a") == ["b"]
+        assert net.predecessors("c") == ["b"]
+
+    def test_sources_sinks(self):
+        net = chain("a", "b", "c")
+        assert net.sources() == ["a"]
+        assert net.sinks() == ["c"]
+
+    def test_channel_words_sums_parallel_edges(self):
+        net = chain("a", "b")
+        net.connect("a", "b", 4)
+        assert net.channel_words("a", "b") == 12
+
+    def test_unknown_process_lookup(self):
+        with pytest.raises(ProcessNetworkError):
+            chain("a").process("zz")
+
+    def test_total_runtime(self):
+        assert chain("a", "b", "c").total_runtime_cycles() == 30
+
+
+class TestOrdering:
+    def test_topological_chain(self):
+        assert chain("a", "b", "c").topological_order() == ["a", "b", "c"]
+
+    def test_topological_diamond(self):
+        net = ProcessNetwork(Process(n, 1) for n in "abcd")
+        net.connect("a", "b")
+        net.connect("a", "c")
+        net.connect("b", "d")
+        net.connect("c", "d")
+        order = net.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        net = chain("a", "b")
+        net.connect("b", "a")
+        with pytest.raises(ProcessNetworkError, match="cycle"):
+            net.topological_order()
+
+    def test_pipeline_order_returns_processes(self):
+        order = chain("a", "b").pipeline_order()
+        assert [p.name for p in order] == ["a", "b"]
+
+    def test_validate_linear(self):
+        assert chain("a", "b", "c").validate_linear()
+        net = chain("a", "b")
+        net.add_process(Process("c", 1))
+        net.connect("a", "c")
+        assert not net.validate_linear()

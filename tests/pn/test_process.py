@@ -1,0 +1,54 @@
+"""Process annotations and derived costs."""
+
+import pytest
+
+from repro.pn.process import CopyVariant, Process
+from repro.units import CYCLE_NS, DMEM_WORD_RELOAD_NS, IMEM_WORD_RELOAD_NS
+
+
+class TestProcess:
+    def test_runtime_conversion(self):
+        p = Process("x", runtime_cycles=400)
+        assert p.runtime_ns == pytest.approx(1000.0)
+        assert CYCLE_NS == pytest.approx(2.5)
+
+    def test_dmem_words(self):
+        p = Process("x", runtime_cycles=1, data1=10, data2=5, data3=2)
+        assert p.dmem_words == 17
+
+    def test_swap_in_cost(self):
+        p = Process("x", runtime_cycles=1, insts=100, data1=64)
+        expected = 100 * IMEM_WORD_RELOAD_NS + 64 * DMEM_WORD_RELOAD_NS
+        assert p.swap_in_ns == pytest.approx(expected)
+
+    def test_per_firing_reload(self):
+        p = Process("x", runtime_cycles=1, data3=9)
+        assert p.per_firing_reload_ns == pytest.approx(9 * DMEM_WORD_RELOAD_NS)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Process("x", runtime_cycles=-1)
+
+    def test_negative_annotation_rejected(self):
+        with pytest.raises(ValueError):
+            Process("x", runtime_cycles=1, insts=-1)
+
+    def test_with_runtime_preserves_annotations(self):
+        p = Process("x", runtime_cycles=1, insts=7, data1=3,
+                    divisible_into=("y", 4))
+        q = p.with_runtime(99)
+        assert q.runtime_cycles == 99
+        assert q.insts == 7 and q.divisible_into == ("y", 4)
+
+    def test_str_mentions_name(self):
+        assert "x" in str(Process("x", runtime_cycles=1))
+
+    def test_frozen(self):
+        p = Process("x", runtime_cycles=1)
+        with pytest.raises(Exception):
+            p.insts = 5  # type: ignore[misc]
+
+
+class TestCopyVariant:
+    def test_variants_distinct(self):
+        assert CopyVariant.MEMORY.value != CopyVariant.TIME.value

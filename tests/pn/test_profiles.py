@@ -1,0 +1,114 @@
+"""Published profiles: Table 1 and Table 3 data integrity."""
+
+import pytest
+
+from repro.pn.process import CopyVariant
+from repro.pn.profiles import (
+    FFT1024_PROFILE,
+    JPEG_COPY_PROCESSES,
+    JPEG_PROFILE,
+    fft1024_processes,
+    jpeg_copy_process,
+    jpeg_process_network,
+    jpeg_processes,
+)
+
+
+class TestTable1:
+    def test_all_rows_present(self):
+        names = {f"BF{i}" for i in range(10)} | {"vcp", "hcp"}
+        assert set(FFT1024_PROFILE) == names
+
+    def test_published_runtimes(self):
+        assert FFT1024_PROFILE["BF0"][0] == 2672.0
+        assert FFT1024_PROFILE["BF9"][0] == 4364.0
+        assert FFT1024_PROFILE["vcp"][0] == 789.0
+        assert FFT1024_PROFILE["hcp"][0] == 1557.0
+
+    def test_twiddle_counts_follow_min_rule(self):
+        # Table 1's counts equal min(M, N / 2^(s+1)) for M=128, N=1024
+        for i in range(10):
+            assert FFT1024_PROFILE[f"BF{i}"][1] == min(128, 1024 >> (i + 1))
+
+    def test_process_objects(self):
+        ps = fft1024_processes()
+        assert ps["BF0"].insts == 101
+        assert ps["BF0"].data2 == 128 * 2 + 41
+        assert ps["vcp"].insts == 16
+        assert ps["vcp"].runtime_ns == pytest.approx(789.0)
+
+    def test_profile_is_readonly(self):
+        with pytest.raises(TypeError):
+            FFT1024_PROFILE["BF0"] = (0, 0)  # type: ignore[index]
+
+
+class TestTable3:
+    def test_row_count(self):
+        assert len(JPEG_PROFILE) == 11  # p0..p10
+
+    def test_published_key_rows(self):
+        assert JPEG_PROFILE["DCT"] == (62, 64, 14, 13, 133324)
+        assert JPEG_PROFILE["Zigzag"] == (65, 0, 0, 0, 65)
+        assert JPEG_PROFILE["dct"] == (62, 64, 14, 13, 33372)
+
+    def test_total_pipeline_runtime(self):
+        total = sum(
+            JPEG_PROFILE[n][4]
+            for n in JPEG_PROFILE
+            if n != "dct"
+        )
+        assert total == 156700  # 391.75 us at 400 MHz
+
+    def test_quarter_dct_is_quarter(self):
+        # 4 x 33372 = 133488 ~ 133324: splitting gains ~4x
+        assert 4 * JPEG_PROFILE["dct"][4] == pytest.approx(
+            JPEG_PROFILE["DCT"][4], rel=0.01
+        )
+
+    def test_huffman_does_not_fit_one_tile(self):
+        insts = sum(JPEG_PROFILE[f"Hman{i}"][0] for i in range(1, 6))
+        assert insts > 512  # why the paper splits it into five processes
+
+    def test_process_objects_divisible(self):
+        ps = jpeg_processes()
+        assert ps["DCT"].divisible_into == ("dct", 4)
+        assert ps["dct"].part_of == "DCT"
+
+
+class TestCopyProcesses:
+    def test_both_variants_published(self):
+        assert set(JPEG_COPY_PROCESSES) == {CopyVariant.MEMORY, CopyVariant.TIME}
+
+    def test_memory_variant_values(self):
+        p = jpeg_copy_process(64, CopyVariant.MEMORY)
+        assert p.insts == 11 and p.runtime_cycles == 720
+
+    def test_time_variant_values(self):
+        p = jpeg_copy_process(16, CopyVariant.TIME)
+        assert p.insts == 17 and p.runtime_cycles == 17
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            jpeg_copy_process(48)
+
+
+class TestNetworks:
+    def test_linear_pipeline(self):
+        net = jpeg_process_network()
+        assert net.validate_linear()
+        assert len(net) == 10
+        assert net.topological_order()[0] == "shift"
+        assert net.topological_order()[-1] == "Hman5"
+
+    def test_split_dct_variant(self):
+        net = jpeg_process_network(split_dct=True)
+        assert len(net) == 13  # 9 chain stages + 4 quarters
+        assert not net.validate_linear()
+        assert set(net.successors("shift")) == {f"dct_{k}" for k in range(4)}
+        for k in range(4):
+            assert net.successors(f"dct_{k}") == ["Alpha"]
+
+    def test_split_dct_total_work_preserved(self):
+        full = jpeg_process_network().total_runtime_cycles()
+        split = jpeg_process_network(split_dct=True).total_runtime_cycles()
+        assert split == pytest.approx(full - 133324 + 4 * 33372)

@@ -1,0 +1,99 @@
+"""Eq. 1 runtime decomposition."""
+
+import pytest
+
+from repro.errors import ProcessNetworkError
+from repro.fabric.links import Direction
+from repro.pn.epoch import Configuration, Epoch
+from repro.pn.network import ProcessNetwork
+from repro.pn.process import Process
+from repro.pn.runtime_model import eq1_runtime
+from repro.units import IMEM_WORD_RELOAD_NS
+
+
+@pytest.fixture
+def network():
+    net = ProcessNetwork(
+        [
+            Process("p1", 1000, insts=40, output_words=16),
+            Process("p2", 2000, insts=40, output_words=16),
+        ]
+    )
+    net.connect("p1", "p2", 16)
+    return net
+
+
+def test_empty_epochs_rejected(network):
+    with pytest.raises(ProcessNetworkError):
+        eq1_runtime([], network, 0.0, copy_ns_per_word=1.0)
+
+
+def test_single_epoch_is_pure_compute(network):
+    c = Configuration("C1", binding={"p1": (0, 0), "p2": (0, 1)})
+    out = eq1_runtime([Epoch(c, 5000.0)], network, 100.0, copy_ns_per_word=1.0)
+    assert out.compute_ns == 5000.0
+    assert out.reconfig_ns == 0.0  # first configuration is preloaded
+    assert out.copy_ns == 0.0      # neighbours: no explicit copies
+    assert out.total_ns == 5000.0
+
+
+def test_term_a_sums_epochs(network):
+    c = Configuration("C1", binding={"p1": (0, 0)})
+    epochs = [Epoch(c, 1000.0), Epoch(c, 2000.0)]
+    out = eq1_runtime(epochs, network, 0.0, copy_ns_per_word=0.0)
+    assert out.compute_ns == 3000.0
+
+
+def test_term_b_charges_link_changes(network):
+    c1 = Configuration("C1", binding={"p1": (0, 0)},
+                       links={(0, 0): Direction.EAST})
+    c2 = Configuration("C2", binding={"p1": (0, 0)},
+                       links={(0, 0): Direction.SOUTH})
+    out = eq1_runtime(
+        [Epoch(c1, 0.0), Epoch(c2, 0.0)], network, 700.0, copy_ns_per_word=0.0
+    )
+    assert out.reconfig_ns == pytest.approx(700.0)
+
+
+def test_term_b_charges_new_placement_once(network):
+    c1 = Configuration("C1", binding={"p1": (0, 0)})
+    c2 = Configuration("C2", binding={"p1": (0, 0), "p2": (0, 1)})
+    epochs = [Epoch(c1, 0.0), Epoch(c2, 0.0), Epoch(c1, 0.0), Epoch(c2, 0.0)]
+    out = eq1_runtime(epochs, network, 0.0, copy_ns_per_word=0.0)
+    # p2 swaps in once; on the revisit it is still resident
+    assert out.reconfig_ns == pytest.approx(40 * IMEM_WORD_RELOAD_NS)
+
+
+def test_term_c_charges_moves_by_distance(network):
+    c1 = Configuration("C1", binding={"p1": (0, 0)})
+    c2 = Configuration("C2", binding={"p1": (0, 3)})
+    out = eq1_runtime(
+        [Epoch(c1, 0.0), Epoch(c2, 0.0)], network, 0.0, copy_ns_per_word=2.0
+    )
+    # 16 output words x 3 hops x 2 ns
+    assert out.copy_ns == pytest.approx(96.0)
+
+
+def test_term_c_charges_non_neighbour_channels(network):
+    c = Configuration("C1", binding={"p1": (0, 0), "p2": (0, 2)})
+    out = eq1_runtime([Epoch(c, 0.0)], network, 0.0, copy_ns_per_word=1.0)
+    # channel spans 2 hops -> 1 extra hop of 16 words
+    assert out.copy_ns == pytest.approx(16.0)
+
+
+def test_pinned_processes_never_charged(network):
+    c1 = Configuration("C1", binding={"p1": (0, 0)})
+    c2 = Configuration("C2", binding={"p1": (0, 0), "p2": (0, 1)})
+    out = eq1_runtime(
+        [Epoch(c1, 0.0), Epoch(c2, 0.0)],
+        network, 0.0, copy_ns_per_word=0.0,
+        pinned={("p2", (0, 1))},
+    )
+    assert out.reconfig_ns == 0.0
+
+
+def test_breakdown_str():
+    net = ProcessNetwork([Process("p", 1)])
+    c = Configuration("C", binding={"p": (0, 0)})
+    out = eq1_runtime([Epoch(c, 10.0)], net, 0.0, copy_ns_per_word=0.0)
+    assert "total" in str(out)

@@ -1,0 +1,50 @@
+"""Host software baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    fft_pure_python,
+    host_fft_throughput,
+    host_jpeg_blocks_per_s,
+)
+from repro.errors import KernelError
+
+
+class TestPurePython:
+    def test_matches_numpy(self, rng):
+        x = list(rng.standard_normal(64) + 1j * rng.standard_normal(64))
+        got = np.array(fft_pure_python(x))
+        np.testing.assert_allclose(got, np.fft.fft(np.array(x)), atol=1e-9)
+
+    def test_trivial_sizes(self):
+        assert fft_pure_python([1 + 0j]) == [1 + 0j]
+        out = fft_pure_python([1 + 0j, 1 + 0j])
+        np.testing.assert_allclose(out, [2, 0], atol=1e-12)
+
+    def test_non_power_rejected(self):
+        with pytest.raises(KernelError):
+            fft_pure_python([0j] * 6)
+
+
+class TestThroughput:
+    def test_fft_baselines_report(self):
+        results = host_fft_throughput(n=256, min_seconds=0.02)
+        assert len(results) == 3
+        names = [r.name for r in results]
+        assert any("pure-python" in n for n in names)
+        for r in results:
+            assert r.items_per_s > 0 and r.iterations >= 3
+
+    def test_numpy_beats_pure_python(self):
+        results = {r.name: r.items_per_s
+                   for r in host_fft_throughput(n=1024, min_seconds=0.02)}
+        assert results["numpy.fft"] > results["pure-python radix-2"]
+
+    def test_invalid_duration(self):
+        with pytest.raises(KernelError):
+            host_fft_throughput(min_seconds=0)
+
+    def test_jpeg_blocks_per_s(self):
+        result = host_jpeg_blocks_per_s(min_seconds=0.02)
+        assert result.items_per_s > 0

@@ -1,0 +1,51 @@
+"""The `python -m repro` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import ARTIFACTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table4", "fig10", "table5"):
+            assert name in out
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_single_artifact(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "1066.7" in out
+
+    def test_multiple_artifacts(self, capsys):
+        assert main(["table5", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "Fig. 8" in out
+        assert "=" * 72 in out  # separator between artifacts
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("name", ["table2", "table4", "table5", "fig12"])
+    def test_fast_artifacts_render(self, name, capsys):
+        assert main([name]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_registry_complete(self):
+        # every experiments module with a render() is wired up
+        import repro.experiments as experiments
+
+        renderable = [
+            name for name in experiments.__all__
+            if hasattr(getattr(experiments, name), "render")
+        ]
+        assert len(ARTIFACTS) == len(renderable)

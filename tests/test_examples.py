@@ -1,0 +1,53 @@
+"""Smoke tests: the shipped example scripts must run cleanly.
+
+Only the fast examples run in the default suite; the longer ones
+(`fft_exploration.py`, `jpeg_pipeline.py`) are exercised manually and by
+the benchmark suite's equivalent code paths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "fft_exploration.py",
+            "jpeg_pipeline.py",
+            "custom_kernel.py",
+            "temporal_reuse.py",
+        } <= names
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "expected 31" in out
+        assert "max error vs numpy.fft" in out
+        assert "FFTs/s" in out
+
+    def test_custom_kernel(self):
+        out = run_example("custom_kernel.py")
+        assert "rebalancing over tile budgets" in out
+        assert "Eq. 1" in out
+
+    @pytest.mark.slow
+    def test_temporal_reuse(self):
+        out = run_example("temporal_reuse.py")
+        assert "Gantt" in out or "T0_0" in out

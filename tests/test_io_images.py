@@ -1,0 +1,60 @@
+"""Synthetic image generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.io.images import band_limited_noise, checkerboard, gradient, natural_like
+from repro.io.images import test_image as make_image
+
+
+@pytest.mark.parametrize("maker", [gradient, checkerboard,
+                                   band_limited_noise, natural_like])
+class TestCommon:
+    def test_shape_and_dtype(self, maker):
+        img = maker(24, 40)
+        assert img.shape == (24, 40)
+        assert img.dtype == np.uint8
+
+    def test_invalid_dimensions(self, maker):
+        with pytest.raises(KernelError):
+            maker(0, 10)
+
+
+class TestSpecifics:
+    def test_gradient_monotone_rows(self):
+        img = gradient(32, 32)
+        assert img[0, 0] <= img[-1, -1]
+        assert img[-1, -1] == 255
+
+    def test_checkerboard_two_values(self):
+        img = checkerboard(16, 16, cell=2)
+        assert set(np.unique(img)) == {0, 255}
+        assert img[0, 0] != img[0, 2]
+
+    def test_checkerboard_invalid_cell(self):
+        with pytest.raises(KernelError):
+            checkerboard(8, 8, cell=0)
+
+    def test_noise_deterministic_by_seed(self):
+        a = band_limited_noise(16, 16, seed=1)
+        b = band_limited_noise(16, 16, seed=1)
+        c = band_limited_noise(16, 16, seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_noise_cutoff_validated(self):
+        with pytest.raises(KernelError):
+            band_limited_noise(16, 16, cutoff=0)
+
+    def test_natural_spectrum_decays(self):
+        img = natural_like(64, 64, seed=0).astype(float)
+        spectrum = np.abs(np.fft.rfft2(img - img.mean()))
+        low = spectrum[1:4, 1:4].mean()
+        high = spectrum[20:30, 20:30].mean()
+        assert low > high  # 1/f character
+
+    def test_dispatch(self):
+        assert make_image("gradient", 8, 8).shape == (8, 8)
+        with pytest.raises(KernelError):
+            make_image("nope")

@@ -1,0 +1,87 @@
+"""Public API surface: imports, __all__, version, error hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AssemblerError,
+    DSEError,
+    ExecutionError,
+    FabricError,
+    KernelError,
+    LinkError,
+    MappingError,
+    ProcessNetworkError,
+    ReconfigError,
+    ReproError,
+)
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstring_mentions_paper(self):
+        assert "IPDPSW" in repro.__doc__
+
+
+class TestErrors:
+    @pytest.mark.parametrize("exc", [
+        FabricError, AssemblerError, ExecutionError, LinkError,
+        ReconfigError, MappingError, ProcessNetworkError, KernelError,
+        DSEError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_fabric_family(self):
+        for exc in (AssemblerError, ExecutionError, LinkError, ReconfigError):
+            assert issubclass(exc, FabricError)
+
+    def test_assembler_error_line_prefix(self):
+        assert "line 3" in str(AssemblerError("bad", line=3))
+        assert str(AssemblerError("bad")) == "bad"
+
+
+class TestIntegrationSmoke:
+    def test_quickstart_snippet(self):
+        """The snippet from the package docstring must keep working."""
+        from repro import FFTPerformanceModel, FFTPlan, StageProfile
+
+        model = FFTPerformanceModel(
+            plan=FFTPlan(n=1024, m=128, cols=10),
+            profile=StageProfile.table1(),
+        )
+        assert model.throughput(link_cost_ns=300.0) > 0
+
+    def test_cross_layer_flow(self, rng):
+        """fabric -> kernel -> mapping -> dse in one pass."""
+        import numpy as np
+
+        from repro import (
+            FabricFFT,
+            FFTPlan,
+            TileCostModel,
+            evaluate_mapping,
+            explore_jpeg,
+            jpeg_processes,
+            pareto_front,
+            rebalance_one,
+        )
+
+        x = (rng.standard_normal(16) + 1j * rng.standard_normal(16)) * 0.01
+        out = FabricFFT(FFTPlan(16, 4, 2)).run(x).output
+        assert np.allclose(out, np.fft.fft(x), atol=1e-6)
+
+        order = [jpeg_processes()[n] for n in
+                 ("shift", "DCT", "Quantize", "Hman1")]
+        mapping = rebalance_one(order, 4, TileCostModel())
+        metrics = evaluate_mapping(mapping, TileCostModel())
+        assert metrics.n_tiles == 4
+
+        front = pareto_front(explore_jpeg(max_tiles=6, algorithms=("one",)))
+        assert front
