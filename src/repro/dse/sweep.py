@@ -10,6 +10,7 @@ so sweeps are reproducible.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import product
@@ -18,6 +19,12 @@ from typing import Any, Callable
 from repro.errors import DSEError
 
 __all__ = ["SweepResult", "sweep", "axis_points"]
+
+
+def _call(task: tuple[Callable[..., Any], dict[str, Any]]) -> Any:
+    """Module-level trampoline so ``executor.map`` can pickle the work."""
+    fn, point = task
+    return fn(**point)
 
 
 def axis_points(axes: dict[str, list[Any]]) -> list[dict[str, Any]]:
@@ -65,21 +72,32 @@ class SweepResult:
 def sweep(
     fn: Callable[..., Any],
     axes: dict[str, list[Any]],
-    processes: int = 1,
+    processes: int | str = 1,
 ) -> SweepResult:
     """Evaluate ``fn`` over the cartesian product of ``axes``.
 
     ``processes > 1`` fans the evaluations out over a process pool —
-    the sweep axes of Figs. 10-12 are embarrassingly parallel.  Order of
-    results always matches :func:`axis_points`.
+    the sweep axes of Figs. 10-12 are embarrassingly parallel.
+    ``processes="auto"`` sizes the pool to :func:`os.cpu_count`.  Points
+    are dispatched with a chunked ``executor.map`` (one pickle round-trip
+    per chunk instead of per point), and the order of results always
+    matches :func:`axis_points`.
     """
     points = axis_points(axes)
+    if processes == "auto":
+        processes = os.cpu_count() or 1
+    if not isinstance(processes, int):
+        raise DSEError(f"processes must be an int or 'auto', got {processes!r}")
     if processes < 1:
         raise DSEError(f"processes must be >= 1, got {processes}")
-    if processes == 1:
+    if processes == 1 or len(points) == 1:
         values = [fn(**point) for point in points]
     else:
+        # ~4 chunks per worker balances scheduling slack against pickling
+        # overhead for the small, even workloads a sweep produces.
+        chunksize = max(1, len(points) // (processes * 4))
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            futures = [pool.submit(fn, **point) for point in points]
-            values = [f.result() for f in futures]
+            values = list(
+                pool.map(_call, [(fn, p) for p in points], chunksize=chunksize)
+            )
     return SweepResult(axes=axes, points=points, values=values)

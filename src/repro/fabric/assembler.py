@@ -105,8 +105,16 @@ class Program:
             raise AssemblerError(f"unknown symbol {symbol!r} in program {self.name!r}") from None
 
     def encoded(self) -> list[int]:
-        """The 72-bit encodings of all instructions (bitstream payload)."""
-        return [instr.encode() for instr in self.instructions]
+        """The 72-bit encodings of all instructions (bitstream payload).
+
+        Cached after the first call (instructions are immutable); the
+        reconfiguration planner sizes bitstreams from this every epoch.
+        """
+        cached = self.__dict__.get("_encoded_words")
+        if cached is None:
+            cached = [instr.encode() for instr in self.instructions]
+            self.__dict__["_encoded_words"] = cached
+        return list(cached)
 
     def disassemble(self) -> str:
         """Human-readable listing with addresses and label annotations."""

@@ -100,6 +100,40 @@ class FixedPointFormat:
         """Convert a fixed-point word back to a real value."""
         return wrap_word(word) / self.scale
 
+    def encode_words(self, values: np.ndarray) -> list[int]:
+        """Vectorized :meth:`encode` returning plain Python ints.
+
+        Bit-identical to calling :meth:`encode` per element: the float64
+        product is the same operation, ``np.rint`` rounds half-to-even
+        exactly like Python's ``round``, and every in-range word
+        (|w| < 2**47 < 2**53) converts exactly between float64 and int64.
+        Out-of-range elements raise the same :class:`OverflowError` the
+        scalar path produces (the first offender is re-encoded scalar-wise
+        so the message matches).
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        scaled = np.rint(arr * self.scale)
+        if not np.all((scaled >= WORD_MIN) & (scaled <= WORD_MAX)):
+            flat = arr.ravel()
+            ok = ((scaled >= WORD_MIN) & (scaled <= WORD_MAX)).ravel()
+            for i in np.flatnonzero(~ok):
+                self.encode(float(flat[i]))  # raises with the scalar message
+            raise OverflowError("value does not fit the fixed-point word")
+        return scaled.astype(np.int64).tolist()
+
+    def decode_words(self, words) -> np.ndarray:
+        """Vectorized :meth:`decode` for already-wrapped words.
+
+        ``words`` must be signed 48-bit values as stored in
+        :class:`~repro.fabric.memory.DataMemory` (e.g. from
+        ``dump_block``).  Exactness: |w| < 2**47 converts exactly to
+        float64, and dividing by the power-of-two ``scale`` only shifts
+        the exponent, so the result equals Python's correctly rounded
+        ``wrap_word(w) / scale``.
+        """
+        arr = np.asarray(words, dtype=np.int64)
+        return arr / self.scale
+
     def encode_array(self, values: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`encode`; returns an ``object`` array of ints.
 

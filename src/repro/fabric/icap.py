@@ -59,6 +59,9 @@ class IcapPort:
             raise ReconfigError(
                 f"bandwidth must be positive, got {self.bandwidth_bytes_per_s}"
             )
+        # Running duration total so :attr:`total_busy_ns` is O(1); the
+        # per-epoch full-timeline sum dominated epoch bookkeeping.
+        self._busy_total_ns = sum(t.duration_ns for t in self.transfers)
 
     def transfer_ns(self, nbytes: float) -> float:
         """Pure duration of an ``nbytes`` transfer (no queueing)."""
@@ -78,6 +81,7 @@ class IcapPort:
         end = start + self.transfer_ns(nbytes)
         self.busy_until_ns = end
         self.transfers.append(Transfer(label, int(nbytes), start, end))
+        self._busy_total_ns += end - start
         return start, end
 
     def schedule_fixed(
@@ -95,14 +99,16 @@ class IcapPort:
         end = start + duration_ns
         self.busy_until_ns = end
         self.transfers.append(Transfer(label, 0, start, end))
+        self._busy_total_ns += end - start
         return start, end
 
     @property
     def total_busy_ns(self) -> float:
-        """Total time the port has spent transferring."""
-        return sum(t.duration_ns for t in self.transfers)
+        """Total time the port has spent transferring (running total)."""
+        return self._busy_total_ns
 
     def reset(self) -> None:
         """Clear the timeline (new run)."""
         self.busy_until_ns = 0.0
         self.transfers.clear()
+        self._busy_total_ns = 0.0

@@ -33,6 +33,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.errors import ExecutionError
 from repro.fabric.fixedpoint import WORD_BITS, wrap_word
@@ -119,6 +120,13 @@ UNARY_OPS = frozenset({Opcode.MOV, Opcode.ABS, Opcode.NEG, Opcode.NOT})
 
 #: Conditional branches (test operand, target).
 BRANCH_OPS = frozenset({Opcode.BZ, Opcode.BNZ, Opcode.BNEG, Opcode.BPOS})
+
+
+#: Dense opcode → encoding-slot index (hoisted out of ``encode``; the
+#: per-call ``list(Opcode).index`` walk dominated bitstream sizing).
+_OPCODE_INDEX = {op: i for i, op in enumerate(Opcode)}
+#: Addressing-mode → 2-bit encoding field.
+_MODE_CODE = {AddrMode.IMM: 0, AddrMode.DIR: 1, AddrMode.IND: 2}
 
 
 @dataclass(frozen=True)
@@ -245,9 +253,15 @@ class Instruction:
     # timing
     # ------------------------------------------------------------------
 
-    @property
+    @cached_property
     def read_ports(self) -> int:
-        """Total data-memory reads issued by this instruction."""
+        """Total data-memory reads issued by this instruction.
+
+        Cached: instructions are frozen, so the count never changes, and
+        the execution engines consult it on hot paths (the cache write
+        goes through the instance ``__dict__``, which frozen dataclasses
+        permit).
+        """
         reads = 0
         for src in (self.src1, self.src2):
             if src is not None:
@@ -256,9 +270,9 @@ class Instruction:
             reads += 1  # pointer fetch for the write address
         return reads
 
-    @property
+    @cached_property
     def cycles(self) -> int:
-        """Execution latency in tile cycles.
+        """Execution latency in tile cycles (cached, see :attr:`read_ports`).
 
         The dual-port data memory sustains two reads per cycle, so an
         instruction needing ``r`` reads takes ``max(1, ceil(r / 2))``
@@ -276,7 +290,7 @@ class Instruction:
     _ADDR_BITS = 9  # 512-word memory
 
     def encode(self) -> int:
-        """Pack into one 72-bit instruction word.
+        """Pack into one 72-bit instruction word (cached per instruction).
 
         Layout (LSB first): opcode(6) | aux(12) | 3 x [mode(2)+field(16)].
         Immediates wider than 16 bits are encoded by reference: the
@@ -286,12 +300,16 @@ class Instruction:
         only consumer is bitstream sizing; the simulator executes the
         decoded :class:`Instruction` objects directly.
         """
-        word = list(Opcode).index(self.opcode) & 0x3F
+        return self._encoded
+
+    @cached_property
+    def _encoded(self) -> int:
+        word = _OPCODE_INDEX[self.opcode] & 0x3F
         word |= (self.aux & 0xFFF) << 6
         shift = 18
         for operand in (self.dst, self.src1, self.src2):
             if operand is not None:
-                mode = {AddrMode.IMM: 0, AddrMode.DIR: 1, AddrMode.IND: 2}[operand.mode]
+                mode = _MODE_CODE[operand.mode]
                 field = operand.value & 0xFFFF
                 word |= (mode | (field << 2)) << shift
             shift += 18

@@ -42,13 +42,9 @@ class Direction(enum.Enum):
         """(row, col) offset of the neighbour in this direction.
 
         Row 0 is the top of the mesh, so NORTH decreases the row index.
+        (Table lookup — this sits on the ``SNB`` hot path.)
         """
-        return {
-            Direction.NORTH: (-1, 0),
-            Direction.EAST: (0, 1),
-            Direction.SOUTH: (1, 0),
-            Direction.WEST: (0, -1),
-        }[self]
+        return _DELTAS[self.value]
 
     @classmethod
     def from_code(cls, code: int) -> "Direction":
@@ -69,6 +65,10 @@ class Direction(enum.Enum):
             return cls[key]
         except KeyError:
             raise LinkError(f"invalid direction name {name!r}") from None
+
+
+#: NORTH/EAST/SOUTH/WEST (row, col) offsets indexed by direction code.
+_DELTAS = ((-1, 0), (0, 1), (1, 0), (0, -1))
 
 
 class LinkState:

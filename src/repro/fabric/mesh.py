@@ -105,15 +105,36 @@ class Mesh:
         return self.links.get(coord)
 
     def _make_resolver(self, coord: Coord):
+        # Bind the underlying map's ``get`` — one dict probe per store
+        # instead of a bound-method hop (SNB stores are the hottest
+        # cross-tile path of an exchange sweep).
+        get_active = self.links._active.get
+        writers: dict[Direction, object] = {}
+
+        last_direction: Direction | None = None
+        last_write = None
+
         def resolve(direction: Direction, naddr: int, value: int) -> None:
-            active = self.links.get(coord)
-            if active is not direction:
+            nonlocal last_direction, last_write
+            if get_active(coord) is not direction:
+                active = get_active(coord)
                 raise LinkError(
                     f"tile {coord} stored toward {direction.name} but its "
                     f"link is {'detached' if active is None else active.name}"
                 )
-            target = self.neighbour_coord(coord, direction)
-            self._tiles[target].dmem.write(naddr, value)
+            # Identity-cached write port: a direction only gets here after
+            # passing the active-link check, and links are validated
+            # on-mesh when configured, so the lookup cannot go off-mesh.
+            # The ``is`` probe (links rarely flip inside a phase) skips
+            # both an enum-keyed dict hash and two attribute walks on the
+            # hottest cross-tile path of an exchange sweep.
+            if direction is not last_direction:
+                write = writers.get(direction)
+                if write is None:
+                    target = self.neighbour_coord(coord, direction)
+                    write = writers[direction] = self._tiles[target].dmem.write
+                last_direction, last_write = direction, write
+            last_write(naddr, value)
 
         return resolve
 

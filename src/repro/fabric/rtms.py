@@ -173,11 +173,17 @@ class RuntimeManager:
         icap: IcapPort | None = None,
         link_cost_ns: float = 0.0,
         dataflow: bool = False,
+        engine: str | None = None,
     ) -> None:
         self.mesh = mesh
         self.icap = icap if icap is not None else IcapPort()
         self.planner = ReconfigPlanner(mesh, self.icap, link_cost_ns)
         self.dataflow = dataflow
+        #: Execution tier forwarded to every ``run_concurrent`` call:
+        #: ``"fast"`` / ``"reference"`` / ``None`` (auto — fast unless
+        #: ``REPRO_REFERENCE_SIM`` is set).  Both tiers are architecturally
+        #: identical; see ``repro.fabric.predecode``.
+        self.engine = engine
         #: Per-tile time at which the tile is free (compute or reconfig done).
         self.tile_ready_ns: dict[Coord, float] = {}
         self.now_ns = 0.0
@@ -263,7 +269,7 @@ class RuntimeManager:
                 gate = max(gate, self.tile_ready_ns.get(coord, epoch_start))
             for coord in spec.depends_on:
                 gate = max(gate, self.tile_ready_ns.get(coord, epoch_start))
-            result = run_concurrent(tiles, start_ns=gate)
+            result = run_concurrent(tiles, start_ns=gate, engine=self.engine)
             compute_ns = result.makespan_ns
             compute_end = gate + result.makespan_ns
             busy = dict(result.busy_ns)

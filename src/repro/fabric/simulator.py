@@ -11,6 +11,19 @@ runs deterministic.
 For phases without cross-tile traffic the result is identical to running
 the tiles one after another, just with honest concurrent timing
 (makespan = slowest tile).
+
+Two execution tiers share this contract (see :mod:`repro.fabric.predecode`):
+
+* the **reference** tier pops the heap once per *instruction* — the oracle;
+* the **fast** tier (default) pops the heap once per *communication
+  boundary*: a statically decoded program advances through whole silent
+  basic-block runs between ``SNB``/``HALT`` events.  Tiles that some other
+  tile can store into are single-stepped so every remote write lands at
+  its exact global time, and silent tiles with no ``SNB`` at all run
+  straight to ``HALT`` through the run memo.  Store order, cycle counts,
+  memory images and the returned :class:`ConcurrentRun` are bit-identical
+  across tiers; ``REPRO_REFERENCE_SIM=1`` (or ``engine="reference"``)
+  forces the oracle.
 """
 
 from __future__ import annotations
@@ -19,6 +32,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
+from repro.fabric import predecode as _pd
 from repro.fabric.tile import Tile
 from repro.units import CYCLE_NS
 
@@ -48,13 +62,24 @@ def run_concurrent(
     tiles: list[Tile],
     max_cycles_per_tile: int = 10_000_000,
     start_ns: float = 0.0,
+    *,
+    engine: str | None = None,
 ) -> ConcurrentRun:
     """Run every tile to ``HALT`` with globally time-ordered interleaving.
 
     All tiles start at ``start_ns`` (per-tile skews are handled by the
     epoch scheduler, which splits skewed work into separate calls).
-    Raises :class:`~repro.errors.ExecutionError` if any tile exceeds the
-    cycle budget, identifying the runaway tile.
+
+    The per-tile cycle budget follows the same semantics as
+    :meth:`Tile.run <repro.fabric.tile.Tile.run>`: consumed cycles are
+    checked **after** each instruction with ``consumed > max_cycles``,
+    so a tile finishing at exactly the budget is legal and the
+    instruction that crosses it (including its ``HALT``) raises
+    :class:`~repro.errors.ExecutionError` identifying the runaway tile.
+
+    ``engine`` selects ``"fast"`` / ``"reference"`` / ``None`` (auto —
+    fast unless ``REPRO_REFERENCE_SIM`` is set); both tiers produce
+    bit-identical results.
     """
     if not tiles:
         return ConcurrentRun(makespan_ns=0.0)
@@ -63,41 +88,266 @@ def run_concurrent(
         if tile.coord in seen:
             raise ExecutionError(f"duplicate tile coordinate {tile.coord}")
         seen.add(tile.coord)
-
-    clock: list[tuple[float, tuple[int, int], int]] = []
-    by_index: dict[int, Tile] = {}
-    start_instr: dict[int, int] = {}
-    for index, tile in enumerate(tiles):
         if tile.halted:
             raise ExecutionError(f"{tile!r} is halted; load or restart it first")
-        heapq.heappush(clock, (start_ns, tile.coord, index))
-        by_index[index] = tile
-        start_instr[index] = tile.stats.instructions
 
-    budgets = {index: 0 for index in by_index}
-    busy: dict[tuple[int, int], float] = {t.coord: 0.0 for t in tiles}
-    makespan = start_ns
+    if _pd.resolve_engine(engine) == "fast":
+        decoded = [_pd.decode_for_tile(tile) for tile in tiles]
+        if all(entry is not None for entry in decoded):
+            return _run_fast(tiles, decoded, max_cycles_per_tile, start_ns)
+    return _run_reference(tiles, max_cycles_per_tile, start_ns)
+
+
+def _run_reference(
+    tiles: list[Tile],
+    max_cycles_per_tile: int,
+    start_ns: float,
+) -> ConcurrentRun:
+    """The oracle loop: one heap event per instruction.
+
+    The heap is keyed by *elapsed cycles* (an exact integer) rather than
+    absolute nanoseconds: all tiles share ``start_ns``, so cycle order is
+    time order, and integer keys keep the event ordering exact for any
+    ``start_ns`` (no float-rounding ties).  Both engine tiers key their
+    heaps identically, which is part of the bit-identity contract.
+    """
+    clock: list[tuple[int, tuple[int, int], int]] = []
+    start_instr: list[int] = []
+    for index, tile in enumerate(tiles):
+        heapq.heappush(clock, (0, tile.coord, index))
+        start_instr.append(tile.stats.instructions)
+
+    elapsed = [0] * len(tiles)
+    makespan_cycles = 0
 
     while clock:
         now, coord, index = heapq.heappop(clock)
-        tile = by_index[index]
+        tile = tiles[index]
         cycles = tile.step()
-        budgets[index] += cycles
-        if budgets[index] > max_cycles_per_tile:
+        finished = now + cycles
+        elapsed[index] = finished
+        if finished > max_cycles_per_tile:
             raise ExecutionError(
                 f"{tile!r} exceeded {max_cycles_per_tile} cycles without halting"
             )
-        finished_at = now + cycles * CYCLE_NS
-        busy[coord] += cycles * CYCLE_NS
-        makespan = max(makespan, finished_at)
+        if finished > makespan_cycles:
+            makespan_cycles = finished
         if not tile.halted:
-            heapq.heappush(clock, (finished_at, coord, index))
+            heapq.heappush(clock, (finished, coord, index))
 
     return ConcurrentRun(
-        makespan_ns=makespan - start_ns,
-        busy_ns=busy,
+        makespan_ns=makespan_cycles * CYCLE_NS,
+        busy_ns={t.coord: elapsed[i] * CYCLE_NS for i, t in enumerate(tiles)},
         instructions={
-            by_index[i].coord: by_index[i].stats.instructions - start_instr[i]
-            for i in by_index
+            t.coord: t.stats.instructions - start_instr[i]
+            for i, t in enumerate(tiles)
         },
     )
+
+
+# Per-tile advance mode in the fast loop.
+_MODE_FULL = 0  # proven conflict-free: runs entry->HALT in one event
+_MODE_MEMO = 1  # silent program, nobody stores into it: memoized full run
+_MODE_BATCH = 2  # runs whole silent blocks, pausing before each SNB
+_MODE_STEP = 3  # some other tile stores into it: one instruction per event
+_MODE_REF = 4  # left its decoded image (co-residency): oracle single-steps
+
+# Phase-analysis memo: the edge/commute/mode derivation is a pure function
+# of the phase signature (per-tile coord, decoded program, base, entry pc)
+# and of which footprints validated against live memory, so repeated phases
+# (every stage of a streamed transform) skip straight to the cached modes.
+# Values keep references to the decoded programs so the id()s in the key
+# stay pinned.
+_ANALYSIS_MEMO: dict[tuple, tuple[tuple[int, ...], tuple]] = {}
+_ANALYSIS_MEMO_MAX = 4096
+
+
+def _run_fast(
+    tiles: list[Tile],
+    decoded: list[tuple[_pd.DecodedProgram, int]],
+    max_cycles_per_tile: int,
+    start_ns: float,
+) -> ConcurrentRun:
+    """Communication-boundary batching over the same event heap.
+
+    Soundness argument (why this preserves bit-identical results):
+
+    * tiles only *read* their own data memory, and only *write* remotely
+      through ``SNB`` — so a tile may be advanced through a silent run
+      in one event iff no other tile in the phase can store into it;
+    * which tiles can store into which is static: the ``SNB`` direction
+      fields of each decoded program give the (conservative) set of
+      target coordinates.  Targets are single-stepped, everyone else
+      runs whole silent blocks, pausing *before* each of their own
+      ``SNB`` s so the store executes when the paused event pops — i.e.
+      at exactly the heap key ``(elapsed, coord)`` the reference
+      interpreter gives that instruction.  The global store order is
+      therefore unchanged;
+    * on top of that, the footprint profiler (:func:`predecode.footprint_for`)
+      can *prove* a phase conflict-free: when every store edge's remote
+      address set is disjoint from its target's local footprint (and
+      storers into a common target don't overlap), the interleaving of
+      the phase's stores with the target's execution commutes, so both
+      sides of an exchange advance entry-to-``HALT`` in single events;
+    * all event keys are exact integers (elapsed cycles), so ordering and
+      the final ``cycles * CYCLE_NS`` conversions are bit-exact.
+    """
+    clock: list[tuple[int, tuple[int, int], int]] = []
+    start_instr: list[int] = []
+    for index, tile in enumerate(tiles):
+        heapq.heappush(clock, (0, tile.coord, index))
+        start_instr.append(tile.stats.instructions)
+
+    # --- phase analysis -------------------------------------------------
+    coords = {tile.coord: i for i, tile in enumerate(tiles)}
+    footprints = [
+        _pd.footprint_for(tile, dec, base)
+        for tile, (dec, base) in zip(tiles, decoded)
+    ]
+
+    # Footprint objects are cached per (program, entry) on the decoded
+    # program, so the rest of the analysis is fully determined by the
+    # phase signature plus which footprints validated — memoized.
+    signature = tuple(
+        (tile.coord, id(dec), base, tile.pc)
+        for tile, (dec, base) in zip(tiles, decoded)
+    )
+    memo_key = (signature, tuple(fp is not None for fp in footprints))
+    hit = _ANALYSIS_MEMO.get(memo_key)
+    if hit is not None:
+        modes = list(hit[0])
+    else:
+        modes = _analyse_phase(tiles, decoded, coords, footprints)
+        if len(_ANALYSIS_MEMO) >= _ANALYSIS_MEMO_MAX:
+            _ANALYSIS_MEMO.clear()
+        _ANALYSIS_MEMO[memo_key] = (
+            tuple(modes),
+            tuple(dec for dec, _base in decoded),
+        )
+
+    # --- the event loop -------------------------------------------------
+    elapsed = [0] * len(tiles)
+    makespan_cycles = 0
+
+    while clock:
+        now, coord, index = heapq.heappop(clock)
+        tile = tiles[index]
+        mode = modes[index]
+        remaining = max_cycles_per_tile - now
+        if mode == _MODE_STEP:
+            dec, base = decoded[index]
+            boundary, cycles = _pd.run_block(
+                tile, dec, base, remaining, max_instrs=1
+            )
+        elif mode == _MODE_MEMO:
+            dec, base = decoded[index]
+            boundary, cycles = _pd.run_to_halt(tile, dec, base, remaining)
+        elif mode == _MODE_BATCH:
+            dec, base = decoded[index]
+            boundary, cycles = _pd.run_block(
+                tile, dec, base, remaining, stop_at_comm=True
+            )
+        elif mode == _MODE_FULL:
+            dec, base = decoded[index]
+            boundary, cycles = _pd.run_block(tile, dec, base, remaining)
+        else:  # _MODE_REF
+            cycles = tile.step()
+            boundary = _pd.BLOCK_HALT if tile.halted else _pd.BLOCK_LIMIT
+            if cycles > remaining:
+                boundary = _pd.BLOCK_BUDGET
+        if boundary == _pd.BLOCK_BUDGET:
+            raise ExecutionError(
+                f"{tile!r} exceeded {max_cycles_per_tile} cycles without halting"
+            )
+        finished = now + cycles
+        elapsed[index] = finished
+        if finished > makespan_cycles:
+            makespan_cycles = finished
+        if boundary == _pd.BLOCK_EXIT and not tile.halted:
+            # co-residency fall-through: finish this tile on the oracle
+            modes[index] = _MODE_REF
+        if not tile.halted:
+            heapq.heappush(clock, (finished, coord, index))
+
+    return ConcurrentRun(
+        makespan_ns=makespan_cycles * CYCLE_NS,
+        busy_ns={t.coord: elapsed[i] * CYCLE_NS for i, t in enumerate(tiles)},
+        instructions={
+            t.coord: t.stats.instructions - start_instr[i]
+            for i, t in enumerate(tiles)
+        },
+    )
+
+
+def _analyse_phase(tiles, decoded, coords, footprints) -> list[int]:
+    """Derive each tile's advance mode from the phase's store edges."""
+    # Store edges: (src index, target coord, frozenset(addrs) | None).
+    edges: list[tuple[int, tuple[int, int], frozenset | None]] = []
+    for i, (tile, (dec, _base)) in enumerate(zip(tiles, decoded)):
+        row, col = tile.coord
+        fp = footprints[i]
+        for direction in dec.snb_dirs:
+            dr, dc = direction.delta
+            target = (row + dr, col + dc)
+            if fp is None:
+                addrs = None  # unknown: conservative
+            else:
+                # A valid footprint pins the whole trace, so a direction
+                # the profiled run never stored toward is truly silent.
+                addrs = fp.remote.get(direction.code, frozenset())
+            edges.append((i, target, addrs))
+
+    # An edge "commutes" when its stores provably cannot interact with
+    # the target's execution or any other storer's writes there.
+    per_target: dict[tuple[int, int], list[int]] = {}
+    for e, (_i, target, _addrs) in enumerate(edges):
+        per_target.setdefault(target, []).append(e)
+    commutes = [False] * len(edges)
+    for e, (i, target, addrs) in enumerate(edges):
+        if addrs is None:
+            continue
+        j = coords.get(target)
+        if j is not None:
+            if footprints[j] is None or (addrs & footprints[j].local):
+                continue
+        overlap = False
+        for other in per_target[target]:
+            if other == e:
+                continue
+            other_addrs = edges[other][2]
+            if other_addrs is None or (addrs & other_addrs):
+                overlap = True
+                break
+        if not overlap:
+            commutes[e] = True
+
+    incoming_ok = [True] * len(tiles)  # all incoming edges commute
+    outgoing_ok = [True] * len(tiles)  # all outgoing edges commute
+    timed_into = [False] * len(tiles)  # some storer still does timed stores
+    for e, (i, target, _addrs) in enumerate(edges):
+        if not commutes[e]:
+            outgoing_ok[i] = False
+        j = coords.get(target)
+        if j is not None and not commutes[e]:
+            incoming_ok[j] = False
+    full = [
+        footprints[i] is not None and incoming_ok[i] and outgoing_ok[i]
+        for i in range(len(tiles))
+    ]
+    for e, (i, target, _addrs) in enumerate(edges):
+        if not full[i]:
+            j = coords.get(target)
+            if j is not None:
+                timed_into[j] = True
+
+    modes = []
+    for i, (dec, _base) in enumerate(decoded):
+        if full[i]:
+            modes.append(_MODE_FULL if dec.has_snb else _MODE_MEMO)
+        elif timed_into[i]:
+            modes.append(_MODE_STEP)
+        elif dec.has_snb:
+            modes.append(_MODE_BATCH)
+        else:
+            modes.append(_MODE_MEMO)
+    return modes

@@ -118,6 +118,14 @@ class Tile:
         would use).  Branch targets are relocated to the load base.
         ``reconfig=True`` marks the words as ICAP traffic for statistics;
         the *time* cost is accounted by the reconfiguration planner.
+
+        .. note::
+           Installing **starts** the program: the freshly installed image
+           becomes the current selection and the pc points at its entry
+           (an already-resident program is *not* re-selected — the call
+           just returns its base).  Epoch schedules that co-install many
+           programs re-select the one they want with :meth:`start` before
+           each run.
         """
         existing = self.resident_base(program)
         if existing is not None:
@@ -130,9 +138,17 @@ class Tile:
         if self._next_free + program.imem_words > self.imem.size:
             self.evict_programs()
         base = self._next_free
-        from repro.fabric.isa import relocate
+        # Relocated images are cached per (program, base): programs are
+        # immutable and epoch schedules re-install the same few programs
+        # at the same bases over and over after evictions.
+        reloc_cache = program.__dict__.setdefault("_relocated", {})
+        image = reloc_cache.get(base)
+        if image is None:
+            from repro.fabric.isa import relocate
 
-        image = [relocate(instr, base) for instr in program.instructions]
+            image = reloc_cache[base] = [
+                relocate(instr, base) for instr in program.instructions
+            ]
         self.imem.load(image, base=base, reconfig=reconfig)
         self.dmem.load_image(program.data_image, reconfig=reconfig)
         self._resident[id(program)] = (program, base)
@@ -166,11 +182,12 @@ class Tile:
 
         The single-program convenience used by standalone tiles and
         tests; epoch schedules prefer :meth:`install_program` +
-        :meth:`start` so small programs stay co-resident.
+        :meth:`start` so small programs stay co-resident.  The start is
+        implicit in :meth:`install_program` (a fresh install always
+        selects the program), so no extra :meth:`start` call is needed.
         """
         self.evict_programs()
         self.install_program(program, reconfig=reconfig)
-        self.start(program)
 
     def restart(self) -> None:
         """Rewind the pc to the current program's entry without touching
@@ -277,14 +294,35 @@ class Tile:
         self.stats.cycles += cycles
         return cycles
 
-    def run(self, max_cycles: int = 10_000_000) -> int:
+    def run(self, max_cycles: int = 10_000_000, *, engine: str | None = None) -> int:
         """Run until ``HALT``; returns cycles consumed by this call.
 
-        Raises :class:`ExecutionError` if the budget is exhausted, which in
-        practice means a runaway loop in a kernel program.
+        ``engine`` selects the execution tier: ``"fast"`` (predecoded
+        closures + run memo), ``"reference"`` (the per-instruction
+        interpreter above), or ``None`` for *auto* — fast unless the
+        ``REPRO_REFERENCE_SIM`` environment variable forces the oracle.
+        Both tiers are observationally identical (memories, stats,
+        counters, exceptions); the differential tests enforce it.
+
+        The budget semantics are shared by both tiers and by
+        :func:`~repro.fabric.simulator.run_concurrent`: ``consumed`` is
+        checked **after** each instruction with ``consumed > max_cycles``,
+        so a run finishing at exactly ``max_cycles`` is legal and the
+        instruction that crosses the budget (including a ``HALT``) raises
+        :class:`ExecutionError` — in practice a runaway kernel loop.
         """
         if self.program is None:
             raise ExecutionError(f"{self!r} has no program loaded")
+        from repro.fabric import predecode as _pd
+
+        if _pd.resolve_engine(engine) == "fast":
+            decoded = _pd.decode_for_tile(self)
+            if decoded is not None:
+                return self._run_fast(decoded[0], decoded[1], max_cycles)
+        return self._run_reference(max_cycles)
+
+    def _run_reference(self, max_cycles: int) -> int:
+        """The oracle run loop (one :meth:`step` per instruction)."""
         consumed = 0
         while not self.halted:
             consumed += self.step()
@@ -294,6 +332,31 @@ class Tile:
                 )
         return consumed
 
-    def run_ns(self, max_cycles: int = 10_000_000) -> float:
+    def _run_fast(self, dec, base: int, max_cycles: int) -> int:
+        """Fast-tier run loop over decoded blocks (see ``predecode``)."""
+        from repro.fabric import predecode as _pd
+
+        consumed = 0
+        while not self.halted:
+            boundary, cyc = _pd.run_to_halt(self, dec, base, max_cycles - consumed)
+            consumed += cyc
+            if boundary == _pd.BLOCK_BUDGET:
+                raise ExecutionError(
+                    f"{self!r} exceeded {max_cycles} cycles without halting"
+                )
+            if boundary == _pd.BLOCK_HALT:
+                break
+            # BLOCK_EXIT: the pc left the decoded image (co-residency
+            # fall-through) — finish on the reference interpreter.
+            while not self.halted:
+                consumed += self.step()
+                if consumed > max_cycles:
+                    raise ExecutionError(
+                        f"{self!r} exceeded {max_cycles} cycles without halting"
+                    )
+            break
+        return consumed
+
+    def run_ns(self, max_cycles: int = 10_000_000, *, engine: str | None = None) -> float:
         """Like :meth:`run` but returns elapsed nanoseconds."""
-        return self.run(max_cycles) * CYCLE_NS
+        return self.run(max_cycles, engine=engine) * CYCLE_NS

@@ -19,6 +19,7 @@ both the performance model and the fabric runner consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import KernelError
 from repro.kernels.fft.reference import ilog2, twiddle_exponent
@@ -171,8 +172,14 @@ class FFTPlan:
         """True when ``row`` holds the lower (sum-producing) elements."""
         return row < self.partner_row(row, stage)
 
+    @lru_cache(maxsize=None)
     def tile_twiddle_exponents(self, row: int, stage: int) -> list[int]:
         """Twiddle exponents (into W_n) row ``row`` consumes at ``stage``.
+
+        Memoized on the (frozen) plan: both the performance model and the
+        fabric runner re-query the same (row, stage) cells every
+        transform, and the exponent walk dominated their host-side
+        planning cost.  Callers must not mutate the returned list.
 
         For an exchange stage each partner computes half the pair block:
         the lower row the first m/2 pairs of its block, the upper row the

@@ -120,6 +120,14 @@ class FabricFFT:
         self._w = np.exp(
             -2j * np.pi * np.arange(plan.n) / plan.n
         )  # full exponent table W_n^e
+        # Encoded twiddle words, indexed by exponent.  Vectorized once per
+        # plan instead of QFORMAT.encode per element per stage per
+        # transform; encode_words is bit-identical to the scalar encode.
+        self._wre_words = QFORMAT.encode_words(self._w.real)
+        self._wim_words = QFORMAT.encode_words(self._w.imag)
+        # Twiddle images depend only on (row, stage), so streamed
+        # transforms reuse them verbatim.
+        self._twiddle_images: dict[tuple[int, int], dict[int, int]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -199,13 +207,13 @@ class FabricFFT:
         the previous one.
         """
         m, lay = self.plan.m, self.layout
+        re_words = QFORMAT.encode_words(x.real)
+        im_words = QFORMAT.encode_words(x.imag)
         pokes: dict[Coord, dict[int, int]] = {}
         for row in range(self.plan.rows):
-            block = x[row * m:(row + 1) * m]
-            image: dict[int, int] = {}
-            for j in range(m):
-                image[lay.re + j] = QFORMAT.encode(block[j].real)
-                image[lay.im + j] = QFORMAT.encode(block[j].imag)
+            base = row * m
+            image = dict(zip(range(lay.re, lay.re + m), re_words[base:base + m]))
+            image.update(zip(range(lay.im, lay.im + m), im_words[base:base + m]))
             pokes[(row, 0)] = image
         coords = [(r, 0) for r in range(self.plan.rows)]
         return EpochSpec(name=f"{tag}input", pokes=pokes, depends_on=coords)
@@ -221,10 +229,9 @@ class FabricFFT:
         for row in range(plan.rows):
             tile = mesh.tile((row, last))
             base = row * plan.m
-            for j in range(plan.m):
-                re = QFORMAT.decode(tile.dmem.peek(lay.re + j))
-                im = QFORMAT.decode(tile.dmem.peek(lay.im + j))
-                brev[base + j] = re + 1j * im
+            re = QFORMAT.decode_words(tile.dmem.dump_block(lay.re, plan.m))
+            im = QFORMAT.decode_words(tile.dmem.dump_block(lay.im, plan.m))
+            brev[base:base + plan.m] = re + 1j * im
         return brev[bit_reverse_indices(plan.n)]
 
     # ------------------------------------------------------------------
@@ -247,13 +254,14 @@ class FabricFFT:
         images: dict[Coord, dict[int, int]] = {}
         pokes: dict[Coord, dict[int, int]] = {}
         for row in range(self.plan.rows):
-            exps = self.plan.tile_twiddle_exponents(row, stage)
             cls = self.schedule.class_of(row, stage)
-            image: dict[int, int] = {}
-            for j, e in enumerate(exps):
-                w = self._w[e]
-                image[lay.wre + j] = QFORMAT.encode(w.real)
-                image[lay.wim + j] = QFORMAT.encode(w.imag)
+            image = self._twiddle_images.get((row, stage))
+            if image is None:
+                exps = self.plan.tile_twiddle_exponents(row, stage)
+                wre, wim = self._wre_words, self._wim_words
+                image = {lay.wre + j: wre[e] for j, e in enumerate(exps)}
+                image.update((lay.wim + j, wim[e]) for j, e in enumerate(exps))
+                self._twiddle_images[(row, stage)] = image
             if cls is TwiddleClass.YELLOW:
                 images[(row, col)] = image
             else:

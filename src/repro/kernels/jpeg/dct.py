@@ -16,7 +16,14 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["dct_matrix", "dct2d", "idct2d", "dct_quarter", "dct_quarters"]
+__all__ = [
+    "dct_matrix",
+    "dct2d",
+    "dct2d_batch",
+    "idct2d",
+    "dct_quarter",
+    "dct_quarters",
+]
 
 
 @lru_cache(maxsize=None)
@@ -41,6 +48,21 @@ def dct2d(block: np.ndarray) -> np.ndarray:
     a = np.asarray(block, dtype=np.float64)
     if a.shape != (8, 8):
         raise ValueError(f"expected an 8x8 block, got {a.shape}")
+    c = dct_matrix(8)
+    return c @ a @ c.T
+
+
+def dct2d_batch(blocks: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of a stack of 8x8 blocks (shape ``(..., 8, 8)``).
+
+    Bit-identical to applying :func:`dct2d` slice by slice: ``np.matmul``
+    broadcasts the stacked operand and runs the same 2-D product kernel on
+    every slice (asserted by the equivalence tests), so the encoder's
+    batched fast path cannot perturb quantization decisions.
+    """
+    a = np.asarray(blocks, dtype=np.float64)
+    if a.shape[-2:] != (8, 8):
+        raise ValueError(f"expected a stack of 8x8 blocks, got {a.shape}")
     c = dct_matrix(8)
     return c @ a @ c.T
 

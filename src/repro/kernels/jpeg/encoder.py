@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import KernelError
-from repro.kernels.jpeg.dct import dct2d
+from repro.kernels.jpeg.dct import dct2d, dct2d_batch
 from repro.kernels.jpeg.huffman import (
     BitWriter,
     HuffmanTable,
@@ -27,8 +27,13 @@ from repro.kernels.jpeg.huffman import (
     STD_DC_LUMINANCE,
     encode_block_coefficients,
 )
-from repro.kernels.jpeg.quant import LUMINANCE_QTABLE, quantize, scale_qtable
-from repro.kernels.jpeg.zigzag import ZIGZAG_ORDER, zigzag
+from repro.kernels.jpeg.quant import (
+    LUMINANCE_QTABLE,
+    quantize,
+    quantize_batch,
+    scale_qtable,
+)
+from repro.kernels.jpeg.zigzag import ZIGZAG_ORDER, zigzag, zigzag_batch
 
 __all__ = ["JPEGEncoder", "encode_image", "blocks_of", "level_shift"]
 
@@ -102,6 +107,11 @@ class JPEGEncoder:
 
     def __post_init__(self) -> None:
         self.qtable = scale_qtable(LUMINANCE_QTABLE, self.quality)
+        # With the default stages the whole frame can be pushed through the
+        # batched numpy path (level shift, stacked-matmul DCT, elementwise
+        # quantize, gather zig-zag) — bit-identical to the per-block hooks,
+        # see the stage docstrings.  Custom hooks force the per-block loop.
+        self._default_stages = self.dct is None and self.quantizer is None
         if self.dct is None:
             self.dct = dct2d
         if self.quantizer is None:
@@ -122,6 +132,13 @@ class JPEGEncoder:
 
         if self.restart_interval < 0:
             raise KernelError("restart_interval must be non-negative")
+        zz_batch = None
+        if self._default_stages:
+            # blocks is (rows, cols, 8, 8); flattening row-major matches the
+            # scan order of the loop below.
+            shifted = (blocks.reshape(rows * cols, 8, 8) - 128).astype(np.float64)
+            levels = quantize_batch(dct2d_batch(shifted), self.qtable)
+            zz_batch = zigzag_batch(levels)
         writer = BitWriter()
         self.last_coefficients = []
         prev_dc = 0
@@ -130,7 +147,10 @@ class JPEGEncoder:
         total = rows * cols
         for r in range(rows):
             for c in range(cols):
-                zz = self.encode_block_to_zigzag(blocks[r, c])
+                if zz_batch is not None:
+                    zz = zz_batch[count]
+                else:
+                    zz = self.encode_block_to_zigzag(blocks[r, c])
                 self.last_coefficients.append(zz)
                 prev_dc = encode_block_coefficients(
                     zz, prev_dc, writer, self.dc_table, self.ac_table

@@ -117,11 +117,8 @@ class FabricBlockPipeline:
         if not self._preloaded:
             self._preload()
         start_ns = self.rtms.now_ns
-        pokes = {
-            (0, 0): {
-                _PIX + i: int(v) for i, v in enumerate(block.reshape(-1))
-            }
-        }
+        pixels = [int(v) for v in block.reshape(-1).tolist()]
+        pokes = {(0, 0): dict(zip(range(_PIX, _PIX + 64), pixels))}
         epochs = [EpochSpec("pixels", pokes=pokes)]
         for stage, program in enumerate(self._programs):
             epochs.append(
@@ -134,7 +131,7 @@ class FabricBlockPipeline:
         self.rtms.execute(epochs)
         self._block_times.append(self.rtms.now_ns - start_ns)
         tile = self.mesh.tile((0, 0))
-        return np.array([tile.dmem.peek(_ZZ + i) for i in range(64)])
+        return np.array(tile.dmem.dump_block(_ZZ, 64))
 
     # ------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ __all__ = [
     "CHROMINANCE_QTABLE",
     "scale_qtable",
     "quantize",
+    "quantize_batch",
     "dequantize",
     "alpha_scale_table",
 ]
@@ -78,6 +79,20 @@ def quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
     q = np.asarray(table, dtype=np.float64)
     if c.shape != (8, 8) or q.shape != (8, 8):
         raise ValueError("quantize expects 8x8 coefficient and table blocks")
+    out = np.sign(c) * np.floor(np.abs(c) / q + 0.5)
+    return out.astype(np.int64)
+
+
+def quantize_batch(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantize a stack of 8x8 DCT blocks (shape ``(..., 8, 8)``).
+
+    Elementwise, so trivially bit-identical to :func:`quantize` per slice;
+    the table broadcasts over the leading axes.
+    """
+    c = np.asarray(coefficients, dtype=np.float64)
+    q = np.asarray(table, dtype=np.float64)
+    if c.shape[-2:] != (8, 8) or q.shape != (8, 8):
+        raise ValueError("quantize_batch expects (..., 8, 8) blocks and an 8x8 table")
     out = np.sign(c) * np.floor(np.abs(c) / q + 0.5)
     return out.astype(np.int64)
 

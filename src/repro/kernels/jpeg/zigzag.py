@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ZIGZAG_ORDER", "zigzag", "izigzag"]
+__all__ = ["ZIGZAG_ORDER", "zigzag", "zigzag_batch", "izigzag"]
 
 
 def _build_order(n: int = 8) -> np.ndarray:
@@ -43,6 +43,17 @@ def zigzag(block: np.ndarray) -> np.ndarray:
     if block.shape != (8, 8):
         raise ValueError(f"expected an 8x8 block, got {block.shape}")
     return block.reshape(64)[ZIGZAG_ORDER]
+
+
+def zigzag_batch(blocks: np.ndarray) -> np.ndarray:
+    """Scan a stack of 8x8 blocks into ``(..., 64)`` zig-zag vectors.
+
+    A pure gather, so bit-identical to :func:`zigzag` per slice.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.shape[-2:] != (8, 8):
+        raise ValueError(f"expected a stack of 8x8 blocks, got {blocks.shape}")
+    return blocks.reshape(*blocks.shape[:-2], 64)[..., ZIGZAG_ORDER]
 
 
 def izigzag(vector: np.ndarray) -> np.ndarray:

@@ -50,12 +50,24 @@ class TestSweep:
     def test_invalid_processes(self):
         with pytest.raises(DSEError):
             sweep(score, {"a": [1]}, processes=0)
+        with pytest.raises(DSEError):
+            sweep(score, {"a": [1]}, processes="many")
 
     def test_parallel_matches_serial(self):
         axes = {"a": [1, 2, 3], "b": [4, 5]}
         serial = sweep(score, axes, processes=1)
         parallel = sweep(score, axes, processes=2)
         assert serial.values == parallel.values
+
+    def test_auto_processes(self):
+        axes = {"a": [1, 2], "b": [3, 4]}
+        auto = sweep(score, axes, processes="auto")
+        assert auto.values == sweep(score, axes).values
+
+    def test_single_point_stays_serial(self):
+        # a one-point sweep must not pay for a process pool
+        result = sweep(score, {"a": [2], "b": [3]}, processes=4)
+        assert result.values == [23]
 
     def test_iteration(self):
         result = sweep(score, {"a": [1], "b": [2]})

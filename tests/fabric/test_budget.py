@@ -1,0 +1,108 @@
+"""Cycle-budget semantics: identical across engines and entry points.
+
+The reference interpreter checks ``consumed > max_cycles`` *after* each
+instruction, so a run that halts at exactly ``max_cycles`` is legal and
+one cycle less raises.  The fast path batches whole superblocks and can
+replay memoized runs, so these tests pin the boundary behaviour for
+``Tile.run`` and ``run_concurrent`` under both tiers — including the
+memo-replay second run, which must honour the budget rather than replay
+a recorded run that would not have fit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.fabric.assembler import assemble
+from repro.fabric.simulator import run_concurrent
+from repro.fabric.tile import Tile
+
+# Straightline body (fuses into one superblock) followed by a short loop
+# (exercises the branch path), then HALT.
+_SOURCE = """
+.var a
+.var i
+MOV a, #0
+ADD a, a, #3
+ADD a, a, #4
+SUB a, a, #2
+MOV i, #3
+loop:
+ADD a, a, #1
+SUB i, i, #1
+BNZ i, loop
+HALT
+"""
+
+ENGINES = ("fast", "reference")
+
+
+def _fresh_tile() -> tuple[Tile, object]:
+    program = assemble(_SOURCE)
+    tile = Tile()
+    tile.load_program(program)
+    return tile, program
+
+
+def _reference_cycles() -> int:
+    tile, _ = _fresh_tile()
+    return tile.run(engine="reference")
+
+
+@pytest.fixture(scope="module")
+def exact_cycles() -> int:
+    return _reference_cycles()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_exact_budget_is_legal(engine, exact_cycles):
+    tile, _ = _fresh_tile()
+    assert tile.run(max_cycles=exact_cycles, engine=engine) == exact_cycles
+    assert tile.halted
+    assert tile.dmem.peek(0) == 8
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_one_cycle_short_raises(engine, exact_cycles):
+    tile, _ = _fresh_tile()
+    with pytest.raises(ExecutionError, match="exceeded"):
+        tile.run(max_cycles=exact_cycles - 1, engine=engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_concurrent_exact_budget_is_legal(engine, exact_cycles):
+    tile, _ = _fresh_tile()
+    run = run_concurrent([tile], max_cycles_per_tile=exact_cycles, engine=engine)
+    assert run.makespan_ns == pytest.approx(exact_cycles * 2.5)
+    assert tile.dmem.peek(0) == 8
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_concurrent_one_cycle_short_raises(engine, exact_cycles):
+    tile, _ = _fresh_tile()
+    with pytest.raises(ExecutionError, match="exceeded"):
+        run_concurrent([tile], max_cycles_per_tile=exact_cycles - 1, engine=engine)
+
+
+def test_memo_replay_respects_budget(exact_cycles):
+    """A memoized run must not replay into a budget it would overflow."""
+    program = assemble(_SOURCE)
+    # Prime the memo with an unconstrained fast run.
+    tile = Tile()
+    tile.load_program(program)
+    tile.run(engine="fast")
+    # Exact budget: replay (or re-execution) must succeed...
+    tile2 = Tile()
+    tile2.load_program(program)
+    assert tile2.run(max_cycles=exact_cycles, engine="fast") == exact_cycles
+    # ...one cycle less must raise exactly like the reference tier.
+    tile3 = Tile()
+    tile3.load_program(program)
+    with pytest.raises(ExecutionError, match="exceeded"):
+        tile3.run(max_cycles=exact_cycles - 1, engine="fast")
+
+
+def test_engines_agree_on_cycle_count(exact_cycles):
+    tile, _ = _fresh_tile()
+    assert tile.run(engine="fast") == exact_cycles

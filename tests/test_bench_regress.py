@@ -1,0 +1,64 @@
+"""Tier-1 smoke test of the benchmark-regression harness.
+
+Runs ``benchmarks/bench_regress.py`` with a single repeat, checks the
+machine-readable ``BENCH_fabric.json`` is produced with the expected
+schema, and enforces the regression contract: the fast path must not be
+slower than the reference interpreter, and both must simulate identical
+fabric time.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_HARNESS = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_regress.py"
+
+
+@pytest.fixture(scope="module")
+def bench_regress():
+    spec = importlib.util.spec_from_file_location("bench_regress", _HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def entries(bench_regress, tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_fabric.json"
+    produced = bench_regress.run_benches(repeats=1, output=out)
+    written = json.loads(out.read_text())
+    assert written == produced
+    return produced
+
+
+def test_json_schema(entries):
+    names = [e["bench"] for e in entries]
+    assert names == ["fabric_fft_64pt", "fabric_jpeg_blocks", "dse_link_cost_sweep"]
+    for e in entries:
+        assert set(e) == {
+            "bench", "wall_s_fast", "wall_s_reference", "simulated_ns", "speedup"
+        }
+        assert e["wall_s_fast"] > 0
+        assert e["wall_s_reference"] > 0
+        assert e["simulated_ns"] > 0
+
+
+def test_fast_path_not_slower(entries):
+    for e in entries:
+        assert e["speedup"] >= 1.0, (
+            f"{e['bench']}: fast path regressed below the reference "
+            f"interpreter (speedup {e['speedup']:.2f}x)"
+        )
+
+
+def test_repo_level_json_records_target_speedups():
+    """The committed BENCH_fabric.json documents the >=5x tentpole target."""
+    path = _HARNESS.parent.parent / "BENCH_fabric.json"
+    entries = json.loads(path.read_text())
+    by_name = {e["bench"]: e for e in entries}
+    assert by_name["fabric_fft_64pt"]["speedup"] >= 5.0
+    assert by_name["fabric_jpeg_blocks"]["speedup"] >= 5.0
