@@ -1,0 +1,118 @@
+"""Serving benchmark: reconfiguration-affinity vs cold-FIFO placement.
+
+Replays one reproducible mixed 200-job FFT+JPEG trace (all jobs present
+at t=0) against a pool of simulated fabrics under both scheduling
+policies and writes a machine-readable ``BENCH_serve.json``::
+
+    {"trace": {"jobs": 200, "seed": 0, ...},
+     "policies": [{"policy": "affinity", "reconfig_ns": ..., ...},
+                  {"policy": "cold_fifo", ...}],
+     "reconfig_ratio": 2.9}
+
+``reconfig_ratio`` is total Eq. 1 term-B (reconfiguration) time under
+cold FIFO divided by the same under affinity scheduling — the headline
+amortization win.  The replay runs in deterministic simulated fabric
+time (:func:`repro.serve.scheduler.simulate_trace`): jobs execute for
+real on the pool's sessions, so the reconfiguration totals are ICAP
+measurements, not model outputs, and identical across runs and machines
+for a given seed.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_serve.py``) or
+through :func:`run_bench` from the tier-1 smoke test with a reduced
+trace.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: Committed-benchmark trace shape (the ISSUE's 200-job mixed trace).
+DEFAULT_JOBS = 200
+DEFAULT_POOL = 4
+DEFAULT_SEED = 0
+DEFAULT_FFT_FRACTION = 0.5
+
+POLICIES = ("affinity", "cold_fifo")
+
+
+def _replay(policy_name: str, n_jobs: int, pool_size: int, seed: int,
+            fft_fraction: float) -> dict:
+    """One policy's replay of the trace on a fresh pool."""
+    from repro.serve.client import generate_trace
+    from repro.serve.pool import FabricPool
+    from repro.serve.scheduler import make_policy, simulate_trace
+
+    trace = generate_trace(
+        n_jobs=n_jobs, seed=seed, fft_fraction=fft_fraction
+    )
+    pool = FabricPool(pool_size)
+    t0 = time.perf_counter()
+    result = simulate_trace(trace, pool, make_policy(policy_name))
+    wall_s = time.perf_counter() - t0
+    return {
+        "policy": result.policy,
+        "jobs": len(result.jobs),
+        "warm_jobs": result.warm_jobs,
+        "cold_jobs": result.cold_jobs,
+        "cold_starts": pool.total_cold_starts,
+        "reconfig_ns": result.total_reconfig_ns,
+        "reconfig_saved_ns": result.reconfig_saved_ns,
+        "sim_ns": result.total_sim_ns,
+        "makespan_ns": result.makespan_ns,
+        "mean_wait_ns": result.mean_wait_ns,
+        "utilization": result.utilization(pool_size),
+        "wall_s": wall_s,
+    }
+
+
+def run_bench(
+    n_jobs: int = DEFAULT_JOBS,
+    pool_size: int = DEFAULT_POOL,
+    seed: int = DEFAULT_SEED,
+    fft_fraction: float = DEFAULT_FFT_FRACTION,
+    output: Path | str = DEFAULT_OUTPUT,
+) -> dict:
+    """Replay the trace under every policy and write ``BENCH_serve.json``."""
+    policies = [
+        _replay(name, n_jobs, pool_size, seed, fft_fraction)
+        for name in POLICIES
+    ]
+    by_name = {entry["policy"]: entry for entry in policies}
+    affinity = by_name["affinity"]["reconfig_ns"]
+    cold = by_name["cold_fifo"]["reconfig_ns"]
+    report = {
+        "trace": {
+            "jobs": n_jobs,
+            "pool_size": pool_size,
+            "seed": seed,
+            "fft_fraction": fft_fraction,
+        },
+        "policies": policies,
+        "reconfig_ratio": cold / affinity if affinity > 0 else float("inf"),
+    }
+    output = Path(output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    report = run_bench()
+    print(f"wrote {DEFAULT_OUTPUT}")
+    for entry in report["policies"]:
+        print(
+            f"{entry['policy']:<10}  warm {entry['warm_jobs']:4d}  "
+            f"cold {entry['cold_jobs']:3d}  "
+            f"reconfig {entry['reconfig_ns'] / 1000:10.1f} us  "
+            f"makespan {entry['makespan_ns'] / 1e6:7.2f} ms  "
+            f"wall {entry['wall_s']:.2f} s"
+        )
+    print(f"reconfig ratio (cold_fifo / affinity): "
+          f"{report['reconfig_ratio']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,11 @@ The library has four layers:
     fabric-executed stages.
 :mod:`repro.dse` / :mod:`repro.experiments`
     Sweeps, Pareto fronts, and one module per published table/figure.
+:mod:`repro.serve`
+    A multi-tenant fabric job service on top of the kernels: persistent
+    kernel sessions, reconfiguration-affinity scheduling, asyncio QoS
+    (timeouts, retries, backpressure, drain) and Prometheus-style
+    metrics.  Not imported here — ``from repro.serve import ...``.
 
 Quickstart::
 

@@ -7,16 +7,21 @@ Usage::
     python -m repro fig10 fig11          # several at once
     python -m repro all                  # everything (slow: includes
                                          # simulator-measured profiles)
+    python -m repro serve --jobs 24      # fabric job-service demo
+    python -m repro --version            # print the package version
 
 Each artifact name maps to a module of :mod:`repro.experiments`; the
 output is exactly what the benchmark harness saves under
-``benchmarks/output/``.
+``benchmarks/output/``.  ``serve`` forwards its arguments to
+:func:`repro.serve.client.main`.
 """
 
 from __future__ import annotations
 
+import difflib
 import sys
 
+from repro._version import __version__
 from repro.experiments import (
     ablations,
     baseline,
@@ -53,11 +58,23 @@ ARTIFACTS = {
 }
 
 
+def _suggestions(name: str) -> list[str]:
+    """Close artifact-name matches for a typo'd request."""
+    return difflib.get_close_matches(name, list(ARTIFACTS), n=3, cutoff=0.5)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or args[0] in ("-h", "--help", "help"):
         print(__doc__)
         return 0
+    if args[0] in ("--version", "-V", "version"):
+        print(f"repro {__version__}")
+        return 0
+    if args[0] == "serve":
+        from repro.serve.client import main as serve_main
+
+        return serve_main(args[1:])
     if args[0] == "list":
         width = max(len(name) for name in ARTIFACTS)
         for name, (_, description) in ARTIFACTS.items():
@@ -66,9 +83,16 @@ def main(argv: list[str] | None = None) -> int:
     names = list(ARTIFACTS) if args == ["all"] else args
     unknown = [n for n in names if n not in ARTIFACTS]
     if unknown:
+        hints = []
+        for name in unknown:
+            close = _suggestions(name)
+            if close:
+                hints.append(f"  {name!r}: did you mean {', '.join(close)}?")
+        hint_text = "\n".join(hints)
         print(
             f"unknown artifact(s): {', '.join(unknown)} "
-            f"(try 'python -m repro list')",
+            f"(try 'python -m repro list')"
+            + (f"\n{hint_text}" if hint_text else ""),
             file=sys.stderr,
         )
         return 2

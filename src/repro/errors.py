@@ -67,3 +67,17 @@ class KernelError(ReproError):
 
 class DSEError(ReproError):
     """Raised by the design-space-exploration driver."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the serving layer."""
+
+
+class JobRejected(ServeError):
+    """Raised when admission control turns a job away (queue full or the
+    service is draining)."""
+
+
+class JobCancelled(ServeError):
+    """Raised inside a worker when a job's cancellation token fires (the
+    service's timeout path); the fabric is reset afterwards."""

@@ -23,6 +23,7 @@ simply epochs whose programs are copy processes).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import ReconfigError
@@ -203,6 +204,73 @@ class RuntimeManager:
         self.icap.reset()
         self.tile_ready_ns.clear()
         self.now_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # cost estimation (no side effects)
+    # ------------------------------------------------------------------
+
+    def switch_cost(self, spec: EpochSpec | Iterable[EpochSpec]) -> float:
+        """Modeled reconfiguration time to reach the given epoch state.
+
+        Returns the total configuration-port busy time (Eq. 1's term-B
+        τ contributions: ICAP payload transfers plus per-link costs) that
+        executing ``spec`` — one :class:`EpochSpec` or a sequence — would
+        add on top of the fabric's *current* resident state.  Nothing is
+        executed or mutated: this is the query a scheduler needs to score
+        "how expensive is it to switch this fabric to that workload".
+
+        The estimate follows exactly the planner's delta rules:
+
+        * programs already resident (pinned) cost nothing;
+        * data images are always charged (their values change per epoch);
+        * link settings are only charged when they actually change.
+
+        For a sequence, residency and link state established by earlier
+        specs are tracked hypothetically so later specs see the state the
+        sequence would leave behind.  Because the ICAP transfer time is
+        linear in bytes, the figure agrees with the summed
+        ``reconfig_ns`` of the corresponding executed
+        :class:`EpochReport` s (pinned to that in the test suite) — with
+        one caveat: instruction-memory eviction under capacity pressure
+        is not modeled, so a sequence that overflows a tile's IMEM may
+        cost more when executed.
+        """
+        specs = [spec] if isinstance(spec, EpochSpec) else list(spec)
+        #: hypothetical residency: coord -> set of id(program) loaded by
+        #: an earlier spec in this sequence.
+        loaded: dict[Coord, set[int]] = {}
+        #: hypothetical link state for links an earlier spec changed.
+        link_state: dict[Coord, Direction | None] = {}
+        total_ns = 0.0
+        for s in specs:
+            for coord, program in sorted(s.programs.items()):
+                tile = self.mesh.tile(coord)
+                if (
+                    tile.resident_base(program) is not None
+                    or id(program) in loaded.get(coord, ())
+                ):
+                    continue  # pinned: free
+                nbytes = len(program.encoded()) * 9
+                if program.data_image:
+                    nbytes += len(program.data_image) * 6
+                total_ns += self.icap.transfer_ns(nbytes)
+                loaded.setdefault(coord, set()).add(id(program))
+            for coord, image in sorted(s.data_images.items()):
+                if not image:
+                    continue
+                self.mesh.tile(coord)  # validates the coordinate
+                total_ns += self.icap.transfer_ns(len(image) * 6)
+            for coord, direction in sorted(s.links.items()):
+                current = (
+                    link_state[coord]
+                    if coord in link_state
+                    else self.mesh.active_link(coord)
+                )
+                if current == direction:
+                    continue
+                total_ns += self.planner.link_cost_ns
+                link_state[coord] = direction
+        return total_ns
 
     # ------------------------------------------------------------------
 

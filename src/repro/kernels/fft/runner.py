@@ -137,9 +137,9 @@ class FabricFFT:
         """Transform ``x`` (length ``plan.n``); returns natural-order output."""
         mesh = Mesh(self.plan.rows, self.plan.cols)
         rtms = RuntimeManager(mesh, IcapPort(), link_cost_ns=self.link_cost_ns)
-        report = rtms.execute(self._transform_epochs(x, tag=""))
+        report = rtms.execute(self.transform_epochs(x, tag=""))
         return FabricFFTResult(
-            output=self._read_output(mesh), report=report, mesh=mesh
+            output=self.read_output(mesh), report=report, mesh=mesh
         )
 
     def run_stream(self, xs: list[np.ndarray]) -> "FabricFFTStreamResult":
@@ -162,8 +162,8 @@ class FabricFFT:
         outputs: list[np.ndarray] = []
         completions: list[float] = []
         for t, x in enumerate(xs):
-            rtms.execute(self._transform_epochs(x, tag=f"t{t}_"))
-            outputs.append(self._read_output(mesh))
+            rtms.execute(self.transform_epochs(x, tag=f"t{t}_"))
+            outputs.append(self.read_output(mesh))
             completions.append(rtms.now_ns)
         return FabricFFTStreamResult(
             outputs=outputs, completion_ns=tuple(completions)
@@ -173,7 +173,16 @@ class FabricFFT:
     # epoch construction
     # ------------------------------------------------------------------
 
-    def _transform_epochs(self, x: np.ndarray, tag: str) -> list[EpochSpec]:
+    def transform_epochs(self, x: np.ndarray, tag: str = "") -> list[EpochSpec]:
+        """The full epoch schedule of one transform (public building block).
+
+        Callers that keep their own persistent mesh/runtime-manager — the
+        streaming path below, or a serving-layer kernel session that
+        wants program residency to survive across jobs — execute these
+        epochs on it; all programs are ``lru_cache``-shared, so a second
+        transform on the same fabric pays no instruction reconfiguration
+        (pinning).  Validates the input's shape and fixed-point headroom.
+        """
         plan = self.plan
         x = np.asarray(x, dtype=np.complex128)
         if x.shape != (plan.n,):
@@ -222,7 +231,8 @@ class FabricFFT:
     # data movement out (the external output circuit)
     # ------------------------------------------------------------------
 
-    def _read_output(self, mesh: Mesh) -> np.ndarray:
+    def read_output(self, mesh: Mesh) -> np.ndarray:
+        """Read the natural-order transform output back off ``mesh``."""
         plan, lay = self.plan, self.layout
         last = plan.cols - 1
         brev = np.empty(plan.n, dtype=np.complex128)
@@ -233,6 +243,10 @@ class FabricFFT:
             im = QFORMAT.decode_words(tile.dmem.dump_block(lay.im, plan.m))
             brev[base:base + plan.m] = re + 1j * im
         return brev[bit_reverse_indices(plan.n)]
+
+    # Backwards-compatible private aliases (pre-serving-layer callers).
+    _transform_epochs = transform_epochs
+    _read_output = read_output
 
     # ------------------------------------------------------------------
     # twiddles

@@ -176,7 +176,13 @@ class JPEGEncoder:
 
     # ------------------------------------------------------------------
 
-    def _wrap_stream(self, scan: bytes, height: int, width: int) -> bytes:
+    def wrap_stream(self, scan: bytes, height: int, width: int) -> bytes:
+        """Wrap an entropy-coded scan into a decodable JFIF container.
+
+        Public so callers that produce the scan elsewhere (the fabric
+        block pipeline, the serving layer's JPEG sessions) can finish the
+        stream with this encoder's tables.
+        """
         out = bytearray()
         out += b"\xff\xd8"  # SOI
         out += _segment(
@@ -198,6 +204,9 @@ class JPEGEncoder:
         out += scan
         out += b"\xff\xd9"  # EOI
         return bytes(out)
+
+    #: Backwards-compatible private alias.
+    _wrap_stream = wrap_stream
 
 
 def encode_image(image: np.ndarray, quality: int = 75) -> bytes:

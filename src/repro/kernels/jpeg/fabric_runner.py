@@ -96,16 +96,28 @@ class FabricBlockPipeline:
 
     # ------------------------------------------------------------------
 
-    def _preload(self) -> None:
-        """Load the fixed data (data1) through the ICAP, once."""
+    @property
+    def stage_programs(self) -> tuple:
+        """The five co-resident per-block stage programs (public so the
+        serving layer can probe their pinning cost)."""
+        return self._programs
+
+    def data1_image(self) -> dict[int, int]:
+        """The fixed ``data1`` image (DCT coefficients + quantizer
+        reciprocals), exactly as :meth:`_preload` charges it."""
         image = {
             _C + i: w for i, w in enumerate(dct_coefficient_words())
         }
         image.update(
             {_RECIP + i: int(r) for i, r in enumerate(self.recip.reshape(-1))}
         )
+        return image
+
+    def _preload(self) -> None:
+        """Load the fixed data (data1) through the ICAP, once."""
         self.rtms.execute(
-            [EpochSpec("preload_data1", data_images={(0, 0): image})]
+            [EpochSpec("preload_data1",
+                       data_images={(0, 0): self.data1_image()})]
         )
         self._preloaded = True
 

@@ -184,27 +184,50 @@ class NetworkExecutor:
         self.firings.append(FiringRecord(self._step, name))
         self._step += 1
 
-    def run(self, max_firings: int = 100_000) -> int:
-        """Fire until quiescent; returns the number of firings.
+    def run_bounded(self, max_firings: int) -> tuple[int, bool]:
+        """Fire at most ``max_firings`` times; returns ``(fired, quiescent)``.
 
-        Raises :class:`ProcessNetworkError` when the budget is exhausted
-        (a livelock or a variable-rate process flooding a channel).
+        A *resumable* slice of :meth:`run`: state (channels, queues,
+        trace) carries over between calls, so a host can interleave
+        several networks cooperatively, or enforce deadlines between
+        slices the way the serving layer's workers check cancellation
+        between fabric epochs.  ``quiescent`` is True when no process
+        could fire again immediately (all external input consumed or
+        blocked on tokens).
         """
+        if max_firings < 0:
+            raise ProcessNetworkError(
+                f"max_firings must be non-negative, got {max_firings}"
+            )
         fired_total = 0
-        while True:
+        while fired_total < max_firings:
             fired = False
             for name in self._order:
                 while self._ready(name):
                     self._fire(name)
                     fired = True
                     fired_total += 1
-                    if fired_total > max_firings:
-                        raise ProcessNetworkError(
-                            f"exceeded {max_firings} firings without "
-                            f"quiescing"
-                        )
+                    if fired_total >= max_firings:
+                        return fired_total, not self._any_ready()
             if not fired:
-                return fired_total
+                return fired_total, True
+        return fired_total, not self._any_ready()
+
+    def _any_ready(self) -> bool:
+        return any(self._ready(name) for name in self._order)
+
+    def run(self, max_firings: int = 100_000) -> int:
+        """Fire until quiescent; returns the number of firings.
+
+        Raises :class:`ProcessNetworkError` when the budget is exhausted
+        (a livelock or a variable-rate process flooding a channel).
+        """
+        fired_total, quiescent = self.run_bounded(max_firings)
+        if not quiescent:
+            raise ProcessNetworkError(
+                f"exceeded {max_firings} firings without quiescing"
+            )
+        return fired_total
 
     def firing_counts(self) -> dict[str, int]:
         """How many times each process fired."""

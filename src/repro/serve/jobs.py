@@ -1,0 +1,157 @@
+"""Job model of the fabric serving layer.
+
+A *job* is one kernel invocation a client wants executed on some fabric
+in the pool: an FFT transform or a JPEG frame encode, plus quality-of-
+service knobs (timeout, retry budget).  The scheduler never looks inside
+the payload — everything it needs for placement is the job's
+:class:`KernelSpec`, whose :attr:`~KernelSpec.config_key` names the
+fabric *configuration* (programs + links + static data) the job requires.
+Two jobs with the same config key can share a warm fabric without paying
+Eq. 1's reconfiguration term again; that equivalence class is the whole
+basis of affinity scheduling.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServeError
+
+__all__ = [
+    "JobKind",
+    "JobStatus",
+    "KernelSpec",
+    "JobRequest",
+    "JobResult",
+    "fft_spec",
+    "jpeg_spec",
+]
+
+_job_ids = itertools.count(1)
+
+
+class JobKind(str, enum.Enum):
+    """Kernel families the service knows how to run."""
+
+    FFT = "fft"
+    JPEG = "jpeg"
+
+
+class JobStatus(str, enum.Enum):
+    """Terminal states of a job (the service reports exactly one)."""
+
+    DONE = "done"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    REJECTED = "rejected"
+
+    @property
+    def ok(self) -> bool:
+        return self is JobStatus.DONE
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """What fabric configuration a job needs.
+
+    ``params`` must be hashable; together with ``kind`` it determines the
+    resident state (tile programs, link plan, static data images), so it
+    doubles as the residency-equivalence key.
+    """
+
+    kind: JobKind
+    params: tuple[Any, ...]
+
+    @property
+    def config_key(self) -> str:
+        """Identity of the resident configuration this spec requires."""
+        inner = ",".join(str(p) for p in self.params)
+        return f"{self.kind.value}({inner})"
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.config_key
+
+
+def fft_spec(n: int = 64, m: int = 8, cols: int = 2) -> KernelSpec:
+    """Spec for an ``n``-point fabric FFT with partition ``m`` on ``cols``
+    columns (the mesh is ``n/m x cols``)."""
+    return KernelSpec(JobKind.FFT, (n, m, cols))
+
+
+def jpeg_spec(quality: int = 75, chroma: bool = False) -> KernelSpec:
+    """Spec for the single-tile JPEG block pipeline at ``quality``."""
+    return KernelSpec(JobKind.JPEG, (quality, chroma))
+
+
+@dataclass
+class JobRequest:
+    """One client request.
+
+    Attributes
+    ----------
+    spec:
+        The kernel configuration the job needs (placement key).
+    payload:
+        Kernel input: a length-``n`` complex vector for FFT, an 8-bit
+        greyscale frame for JPEG.
+    timeout_s:
+        Wall-clock budget per *attempt*; exceeded attempts are cancelled
+        at the next epoch boundary and retried.
+    max_retries:
+        Extra attempts after the first (0 = fail fast).
+    job_id:
+        Auto-assigned when left empty.
+    """
+
+    spec: KernelSpec
+    payload: Any
+    timeout_s: float = 30.0
+    max_retries: int = 1
+    job_id: str = ""
+    #: Free-form client tag (shows up in metrics labels and traces).
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ServeError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ServeError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if not self.job_id:
+            self.job_id = f"job-{next(_job_ids)}"
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one job.
+
+    The simulated-time fields decompose the job's fabric occupancy the
+    way Eq. 1 decomposes an application run: ``sim_ns`` is the fabric
+    time the job held its worker, ``reconfig_ns`` the configuration-port
+    busy time it caused, and ``reconfig_saved_ns`` how much of the cold
+    configuration cost it avoided by landing on a warm fabric.
+    """
+
+    job_id: str
+    status: JobStatus
+    output: Any = None
+    error: str = ""
+    worker_id: str = ""
+    attempts: int = 0
+    #: True when the job's configuration was already resident.
+    warm: bool = False
+    # -- wall-clock accounting (service-side) --------------------------
+    queue_wait_s: float = 0.0
+    serve_s: float = 0.0
+    # -- simulated fabric accounting -----------------------------------
+    sim_ns: float = 0.0
+    reconfig_ns: float = 0.0
+    reconfig_saved_ns: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok

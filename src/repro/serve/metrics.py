@@ -1,0 +1,282 @@
+"""Structured metrics for the serving layer, Prometheus-style.
+
+A tiny self-contained registry (no client library dependency) with the
+three instrument kinds the service needs:
+
+* :class:`Counter` — monotone totals (jobs submitted/completed, saved
+  reconfiguration nanoseconds);
+* :class:`Gauge` — point-in-time values (queue depth, per-fabric
+  utilization);
+* :class:`Histogram` — latency distributions with both fixed buckets
+  (for the text exposition) and a bounded reservoir for percentile
+  queries (p50/p90/p99 of queue wait and serve time).
+
+:meth:`MetricsRegistry.render` emits the Prometheus text exposition
+format, so ``curl``-style scraping of the demo output works with stock
+tooling; :meth:`MetricsRegistry.snapshot` returns plain dicts for tests
+and the JSON bench artifacts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = key + extra
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total, optionally labelled."""
+
+    name: str
+    help: str
+    _values: dict[LabelKey, float] = field(default_factory=dict)
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ServeError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all label sets."""
+        return sum(self._values.values())
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(key)} {self._values[key]:g}"
+            )
+        if not self._values:
+            lines.append(f"{self.name} 0")
+        return lines
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "counter",
+            "values": {str(dict(k)): v for k, v in self._values.items()},
+            "total": self.total,
+        }
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down."""
+
+    name: str
+    help: str
+    _values: dict[LabelKey, float] = field(default_factory=dict)
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} gauge"]
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(key)} {self._values[key]:g}"
+            )
+        if not self._values:
+            lines.append(f"{self.name} 0")
+        return lines
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "gauge",
+            "values": {str(dict(k)): v for k, v in self._values.items()},
+        }
+
+
+class Histogram:
+    """Latency distribution: cumulative buckets + percentile reservoir.
+
+    Buckets follow Prometheus semantics (cumulative ``le`` counts with a
+    ``+Inf`` catch-all).  Percentiles come from a bounded reservoir that
+    degrades gracefully to uniform sampling past ``reservoir_size``
+    observations, with a seeded RNG so runs are reproducible.
+    """
+
+    kind = "histogram"
+
+    #: Default buckets tuned for job latencies in seconds.
+    DEFAULT_BUCKETS = (
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+        2.5, 5.0, 10.0,
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: tuple[float, ...] | None = None,
+        reservoir_size: int = 2048,
+        seed: int = 0,
+    ) -> None:
+        buckets = tuple(buckets if buckets is not None else self.DEFAULT_BUCKETS)
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ServeError(f"histogram {name}: buckets must be increasing")
+        if not buckets:
+            raise ServeError(f"histogram {name}: needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.buckets = buckets
+        self._bucket_counts = [0] * (len(buckets) + 1)  # + the +Inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._reservoir: list[float] = []
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        self._bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:  # reservoir sampling keeps a uniform subset
+            slot = self._rng.randrange(self._count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Reservoir percentile, ``q`` in [0, 1] (0.5 = median)."""
+        if not 0.0 <= q <= 1.0:
+            raise ServeError(f"percentile q must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} histogram",
+        ]
+        cumulative = 0
+        for bound, n in zip(self.buckets, self._bucket_counts):
+            cumulative += n
+            lines.append(f'{self.name}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
+        lines.append(f"{self.name}_sum {self._sum:g}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with single-creation semantics.
+
+    ``registry.counter(name, help)`` returns the existing instrument on
+    repeat calls (so call sites need no central wiring) but refuses to
+    re-register a name as a different kind.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_make(self, cls, name: str, help: str, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ServeError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_make(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_make(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        return self._get_or_make(Histogram, name, help, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __getitem__(self, name: str) -> Counter | Gauge | Histogram:
+        return self._instruments[name]
+
+    def render(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            lines.extend(self._instruments[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict dump (tests, JSON artifacts, the demo summary)."""
+        return {
+            name: instrument.snapshot()
+            for name, instrument in sorted(self._instruments.items())
+        }

@@ -1,0 +1,201 @@
+"""The fabric pool: workers, resident state, and switch-cost queries.
+
+Each :class:`FabricWorker` owns at most one live kernel session — its
+*resident configuration*.  Executing a job whose spec matches the
+resident key is **warm** (programs pinned, static data resident, only
+per-job data pays the ICAP); any other spec forces a **cold** rebuild.
+:meth:`FabricWorker.switch_cost_ns` is the scheduler's scoring oracle:
+it answers "how much Eq. 1 term-B time would placing this job here
+cost", using :meth:`repro.fabric.rtms.RuntimeManager.switch_cost` both
+ways — against the live session for warm probes (≈0 by pinning) and
+against a scratch cold session for the cold reference.
+
+The :class:`ResidencyCostModel` caches two figures per configuration:
+
+* the *modeled* cold cost (planner estimate on a scratch fabric), used
+  for placement scores before any job of that kind ever ran;
+* the *measured* cold cost (the actual first-job ``reconfig_ns``),
+  recorded after each cold run and used to compute how much
+  reconfiguration time a warm placement saved.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+from repro.serve.jobs import JobRequest, KernelSpec
+from repro.serve.sessions import (
+    CancelToken,
+    KernelSession,
+    SessionFactory,
+    SessionStats,
+    default_session_factory,
+)
+
+__all__ = ["WorkerRun", "FabricWorker", "FabricPool", "ResidencyCostModel"]
+
+
+class ResidencyCostModel:
+    """Shared per-configuration cold-cost knowledge (modeled + measured)."""
+
+    def __init__(self, session_factory: SessionFactory) -> None:
+        self._session_factory = session_factory
+        self._modeled_ns: dict[str, float] = {}
+        self._measured_ns: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def modeled_cold_ns(self, spec: KernelSpec) -> float:
+        """Planner-estimated cold configuration cost for ``spec``.
+
+        Built once per configuration from a scratch session: every
+        program and static image is charged because nothing is resident
+        on a fresh fabric — exactly what the first job would pay.
+        """
+        key = spec.config_key
+        with self._lock:
+            cached = self._modeled_ns.get(key)
+        if cached is not None:
+            return cached
+        probe = self._session_factory(spec)
+        cost = probe.rtms.switch_cost(probe.cold_setup_epochs())
+        with self._lock:
+            self._modeled_ns.setdefault(key, cost)
+        return cost
+
+    def record_cold_run(self, spec: KernelSpec, reconfig_ns: float) -> None:
+        """Remember the measured first-job reconfiguration time."""
+        with self._lock:
+            self._measured_ns[spec.config_key] = reconfig_ns
+
+    def cold_reference_ns(self, spec: KernelSpec) -> float:
+        """Best-available cold cost: measured when known, modeled else."""
+        with self._lock:
+            measured = self._measured_ns.get(spec.config_key)
+        return measured if measured is not None else self.modeled_cold_ns(spec)
+
+
+@dataclass
+class WorkerRun:
+    """One completed attempt on a worker."""
+
+    stats: SessionStats
+    warm: bool
+    #: Reconfiguration time avoided vs a cold placement of the same job.
+    reconfig_saved_ns: float
+
+
+class FabricWorker:
+    """One pool member: a fabric with (at most) one resident session."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        session_factory: SessionFactory = default_session_factory,
+        cost_model: ResidencyCostModel | None = None,
+    ) -> None:
+        self.id = worker_id
+        self._session_factory = session_factory
+        self.cost_model = cost_model or ResidencyCostModel(session_factory)
+        self.session: KernelSession | None = None
+        self.resident_key: str | None = None
+        # -- lifetime accounting ---------------------------------------
+        self.jobs_done = 0
+        self.cold_starts = 0
+        self.busy_sim_ns = 0.0
+        self.reconfig_sim_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # scheduling oracle
+    # ------------------------------------------------------------------
+
+    def is_warm_for(self, spec: KernelSpec) -> bool:
+        return self.session is not None and self.resident_key == spec.config_key
+
+    def switch_cost_ns(self, spec: KernelSpec) -> float:
+        """Modeled term-B cost of placing a ``spec`` job on this worker.
+
+        Warm probe: ask the live runtime manager what the job's program
+        set would cost — zero when everything is pinned, which is the
+        affinity signal.  Cold probe: the cached scratch-fabric estimate
+        (the session would be rebuilt, so current residency is moot).
+        """
+        if self.is_warm_for(spec):
+            assert self.session is not None
+            return self.session.rtms.switch_cost(self.session.pin_epochs())
+        return self.cost_model.modeled_cold_ns(spec)
+
+    # ------------------------------------------------------------------
+    # execution (synchronous; the service runs this in a thread)
+    # ------------------------------------------------------------------
+
+    def execute(self, request: JobRequest, cancel: CancelToken) -> WorkerRun:
+        """Run one job to completion on this worker's fabric.
+
+        Raises whatever the kernel raises; raises
+        :class:`~repro.errors.JobCancelled` when ``cancel`` fires.  On
+        any failure the session is dropped (a job aborted mid-epoch
+        leaves fabric memory in an undefined state — the next job pays a
+        cold start, like a real fabric scrub).
+        """
+        spec = request.spec
+        warm = self.is_warm_for(spec)
+        if not warm:
+            self.session = self._session_factory(spec)
+            self.resident_key = spec.config_key
+            self.cold_starts += 1
+        assert self.session is not None
+        try:
+            stats = self.session.run(request.payload, cancel)
+        except BaseException:
+            self.session = None
+            self.resident_key = None
+            raise
+        self.jobs_done += 1
+        self.busy_sim_ns += stats.sim_ns
+        self.reconfig_sim_ns += stats.reconfig_ns
+        if warm:
+            saved = max(
+                0.0,
+                self.cost_model.cold_reference_ns(spec) - stats.reconfig_ns,
+            )
+        else:
+            self.cost_model.record_cold_run(spec, stats.reconfig_ns)
+            saved = 0.0
+        return WorkerRun(stats=stats, warm=warm, reconfig_saved_ns=saved)
+
+
+class FabricPool:
+    """A fixed set of workers sharing one residency cost model."""
+
+    def __init__(
+        self,
+        size: int,
+        session_factory: SessionFactory = default_session_factory,
+    ) -> None:
+        if size < 1:
+            raise ServeError(f"pool size must be >= 1, got {size}")
+        self.cost_model = ResidencyCostModel(session_factory)
+        self.workers = [
+            FabricWorker(f"fabric-{i}", session_factory, self.cost_model)
+            for i in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __iter__(self):
+        return iter(self.workers)
+
+    @property
+    def total_reconfig_ns(self) -> float:
+        return sum(w.reconfig_sim_ns for w in self.workers)
+
+    @property
+    def total_busy_ns(self) -> float:
+        return sum(w.busy_sim_ns for w in self.workers)
+
+    @property
+    def total_cold_starts(self) -> int:
+        return sum(w.cold_starts for w in self.workers)

@@ -1,0 +1,239 @@
+"""Placement policies and a deterministic trace replayer.
+
+The scheduling question, each time a fabric frees up, is *which queued
+job should it take?*  The two answers implemented here bracket the
+paper's economics:
+
+* :class:`FIFOPolicy` ("cold FIFO") — strict arrival order, residency
+  ignored.  On a mixed trace every other job lands on a fabric resident
+  with the wrong kernel and pays the full configuration stream: the
+  serving-level equivalent of reloading every program every epoch.
+* :class:`AffinityPolicy` — scores the front window of the queue by
+  :meth:`~repro.serve.pool.FabricWorker.switch_cost_ns` (the modeled τ
+  terms of Eq. 1) and takes the cheapest job, so same-kernel jobs batch
+  onto warm fabrics and the pool self-partitions by configuration.  A
+  starvation guard bounds how often the queue head may be skipped, so a
+  lone odd-kernel job still runs.
+
+:func:`simulate_trace` replays a whole job trace against a pool under a
+policy in *simulated fabric time* — single-threaded and bit-reproducible
+— which is what the benchmark uses to compare total reconfiguration
+time between the policies.  The asyncio service uses the same policy
+objects live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.errors import ServeError
+from repro.serve.jobs import JobRequest
+from repro.serve.pool import FabricPool, FabricWorker
+from repro.serve.sessions import CancelToken
+
+__all__ = [
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "AffinityPolicy",
+    "make_policy",
+    "JobTrace",
+    "TraceReplayResult",
+    "simulate_trace",
+]
+
+
+class SchedulingPolicy(Protocol):
+    """Picks which queued job a freed worker should take."""
+
+    name: str
+
+    def select(
+        self, queue: Sequence[JobRequest], worker: FabricWorker
+    ) -> int:
+        """Index into ``queue`` of the job ``worker`` should run next.
+
+        Called only with a non-empty queue; must return a valid index.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class FIFOPolicy:
+    """Arrival order, residency-blind — the cold baseline."""
+
+    name = "cold_fifo"
+
+    def select(
+        self, queue: Sequence[JobRequest], worker: FabricWorker
+    ) -> int:
+        return 0
+
+
+class AffinityPolicy:
+    """Reconfiguration-affinity scheduling with a starvation guard.
+
+    Scans the first ``window`` queued jobs and picks the one whose
+    modeled switch cost on this worker is lowest (ties fall to arrival
+    order).  Every time the queue head is passed over its skip count
+    rises; once it reaches ``patience`` the head is forced, bounding
+    worst-case queueing delay at ``patience`` placements.
+    """
+
+    name = "affinity"
+
+    def __init__(self, window: int = 16, patience: int = 8) -> None:
+        if window < 1:
+            raise ServeError(f"window must be >= 1, got {window}")
+        if patience < 1:
+            raise ServeError(f"patience must be >= 1, got {patience}")
+        self.window = window
+        self.patience = patience
+        self._skips: dict[str, int] = {}
+
+    def select(
+        self, queue: Sequence[JobRequest], worker: FabricWorker
+    ) -> int:
+        head = queue[0]
+        if self._skips.get(head.job_id, 0) >= self.patience:
+            self._skips.pop(head.job_id, None)
+            return 0
+        best_index = 0
+        best_cost = None
+        for index, request in enumerate(queue[: self.window]):
+            cost = worker.switch_cost_ns(request.spec)
+            if best_cost is None or cost < best_cost:
+                best_index, best_cost = index, cost
+            if cost <= 0.0:
+                break  # cannot beat a free (fully warm) placement
+        if best_index != 0:
+            self._skips[head.job_id] = self._skips.get(head.job_id, 0) + 1
+        else:
+            self._skips.pop(head.job_id, None)
+        chosen = queue[best_index]
+        self._skips.pop(chosen.job_id, None)
+        return best_index
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Policy by CLI name (``affinity`` or ``cold_fifo``/``fifo``)."""
+    if name == "affinity":
+        return AffinityPolicy()
+    if name in ("fifo", "cold_fifo"):
+        return FIFOPolicy()
+    raise ServeError(f"unknown scheduling policy {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# deterministic replay (closed-loop, simulated time)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JobTrace:
+    """Per-job outcome of a replayed trace."""
+
+    job_id: str
+    kind: str
+    worker_id: str
+    warm: bool
+    start_ns: float
+    end_ns: float
+    wait_ns: float
+    sim_ns: float
+    reconfig_ns: float
+    reconfig_saved_ns: float
+
+
+@dataclass
+class TraceReplayResult:
+    """Aggregate of one policy's replay of a job trace."""
+
+    policy: str
+    jobs: list[JobTrace] = field(default_factory=list)
+
+    @property
+    def total_reconfig_ns(self) -> float:
+        """Eq. 1 term-B total across the whole trace."""
+        return sum(j.reconfig_ns for j in self.jobs)
+
+    @property
+    def total_sim_ns(self) -> float:
+        return sum(j.sim_ns for j in self.jobs)
+
+    @property
+    def makespan_ns(self) -> float:
+        return max((j.end_ns for j in self.jobs), default=0.0)
+
+    @property
+    def mean_wait_ns(self) -> float:
+        return (
+            sum(j.wait_ns for j in self.jobs) / len(self.jobs)
+            if self.jobs
+            else 0.0
+        )
+
+    @property
+    def warm_jobs(self) -> int:
+        return sum(1 for j in self.jobs if j.warm)
+
+    @property
+    def cold_jobs(self) -> int:
+        return len(self.jobs) - self.warm_jobs
+
+    @property
+    def reconfig_saved_ns(self) -> float:
+        return sum(j.reconfig_saved_ns for j in self.jobs)
+
+    def utilization(self, n_workers: int) -> float:
+        """Busy fabric-time share over the pool for the makespan."""
+        span = self.makespan_ns
+        if span <= 0 or n_workers <= 0:
+            return 0.0
+        return self.total_sim_ns / (n_workers * span)
+
+
+def simulate_trace(
+    requests: Sequence[JobRequest],
+    pool: FabricPool,
+    policy: SchedulingPolicy,
+) -> TraceReplayResult:
+    """Replay ``requests`` (all present at t=0) against ``pool``.
+
+    Event-driven over simulated fabric time: repeatedly the earliest-free
+    worker asks ``policy`` for its next job and runs it to completion.
+    Jobs execute for real on the pool's sessions (actual programs,
+    actual ICAP charges), so the reported reconfiguration totals are
+    measurements, not model outputs.  Entirely deterministic: no
+    threads, no wall clock.
+    """
+    queue: list[JobRequest] = list(requests)
+    free_at = {worker.id: 0.0 for worker in pool.workers}
+    result = TraceReplayResult(policy=policy.name)
+    cancel = CancelToken()  # never fires in replay
+    while queue:
+        worker = min(pool.workers, key=lambda w: (free_at[w.id], w.id))
+        index = policy.select(queue, worker)
+        if not 0 <= index < len(queue):
+            raise ServeError(
+                f"policy {policy.name!r} selected invalid index {index}"
+            )
+        request = queue.pop(index)
+        start_ns = free_at[worker.id]
+        run = worker.execute(request, cancel)
+        end_ns = start_ns + run.stats.sim_ns
+        free_at[worker.id] = end_ns
+        result.jobs.append(
+            JobTrace(
+                job_id=request.job_id,
+                kind=request.spec.kind.value,
+                worker_id=worker.id,
+                warm=run.warm,
+                start_ns=start_ns,
+                end_ns=end_ns,
+                wait_ns=start_ns,
+                sim_ns=run.stats.sim_ns,
+                reconfig_ns=run.stats.reconfig_ns,
+                reconfig_saved_ns=run.reconfig_saved_ns,
+            )
+        )
+    return result

@@ -1,0 +1,457 @@
+"""The asyncio fabric job service.
+
+Wiring: ``submit()`` performs admission control (bounded queue, drain
+state) and parks the request in a single shared queue; one asyncio
+worker loop per pool fabric pulls its next job through the scheduling
+policy and executes it on a thread-pool (the fabric simulator is
+synchronous CPU work), with per-attempt wall-clock timeouts, bounded
+exponential retry backoff, and cooperative cancellation at epoch
+boundaries.  ``drain()`` stops admission and waits for the backlog to
+empty; ``shutdown()`` drains (optionally) and tears the loops down.
+
+Every lifecycle edge feeds the metrics registry::
+
+    serve_jobs_submitted_total{kind}        serve_queue_depth
+    serve_jobs_completed_total{kind,status} serve_jobs_rejected_total{reason}
+    serve_job_retries_total{kind}           serve_jobs_inflight
+    serve_queue_wait_seconds   (histogram)  serve_job_serve_seconds (histogram)
+    serve_job_sim_ns_total{kind}            serve_reconfig_ns_total{kind}
+    serve_reconfig_saved_ns_total{kind}     serve_warm_jobs_total{kind}
+    serve_cold_starts_total{kind}           serve_fabric_busy_ns_total{fabric}
+    serve_fabric_jobs_total{fabric}         serve_fabric_utilization{fabric}
+
+``serve_reconfig_saved_ns_total`` is the serving-level version of the
+paper's amortization claim: reconfiguration time that Eq. 1 would have
+charged cold but that residency-aware placement avoided.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import JobCancelled, JobRejected, ServeError
+from repro.serve.jobs import JobRequest, JobResult, JobStatus
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import FabricPool, WorkerRun
+from repro.serve.scheduler import AffinityPolicy, SchedulingPolicy
+from repro.serve.sessions import CancelToken, SessionFactory, default_session_factory
+
+__all__ = ["FabricJobService", "ServiceStats"]
+
+
+@dataclass
+class _Pending:
+    request: JobRequest
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+@dataclass
+class ServiceStats:
+    """Cheap point-in-time summary (the demo prints this)."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    queue_depth: int = 0
+    inflight: int = 0
+
+
+class FabricJobService:
+    """Multi-tenant job service over a pool of simulated fabrics.
+
+    Parameters
+    ----------
+    pool_size:
+        Number of fabrics (and executor threads — one job per fabric).
+    policy:
+        Scheduling policy; defaults to reconfiguration-affinity.
+    max_queue:
+        Admission-control bound; a submit beyond it is rejected
+        immediately (callers that prefer backpressure to rejection pass
+        ``wait=True`` to :meth:`submit`).
+    default_timeout_s / default_max_retries:
+        Fallbacks for requests that leave the QoS fields at zero-ish.
+    retry_backoff_s / retry_backoff_cap_s:
+        First retry delay and its exponential cap.
+    """
+
+    def __init__(
+        self,
+        pool_size: int = 2,
+        *,
+        policy: SchedulingPolicy | None = None,
+        max_queue: int = 64,
+        session_factory: SessionFactory = default_session_factory,
+        metrics: MetricsRegistry | None = None,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_cap_s: float = 1.0,
+    ) -> None:
+        if max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {max_queue}")
+        self.pool = FabricPool(pool_size, session_factory)
+        self.policy = policy if policy is not None else AffinityPolicy()
+        self.max_queue = max_queue
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        self._queue: list[_Pending] = []
+        self._queue_changed: asyncio.Condition | None = None
+        self._loops: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._running = False
+        self._draining = False
+        self._inflight = 0
+        self._active_cancels: set[CancelToken] = set()
+        self._register_metrics()
+
+    # ------------------------------------------------------------------
+    # metrics plumbing
+    # ------------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "serve_jobs_submitted_total", "Jobs accepted into the queue"
+        )
+        self._m_completed = m.counter(
+            "serve_jobs_completed_total", "Jobs finished, by terminal status"
+        )
+        self._m_rejected = m.counter(
+            "serve_jobs_rejected_total", "Jobs turned away by admission control"
+        )
+        self._m_retries = m.counter(
+            "serve_job_retries_total", "Retry attempts scheduled"
+        )
+        self._m_queue_depth = m.gauge(
+            "serve_queue_depth", "Jobs waiting for a fabric"
+        )
+        self._m_inflight = m.gauge(
+            "serve_jobs_inflight", "Jobs currently executing"
+        )
+        self._m_wait = m.histogram(
+            "serve_queue_wait_seconds", "Wall time from submit to dispatch"
+        )
+        self._m_serve = m.histogram(
+            "serve_job_serve_seconds", "Wall time executing (final attempt)"
+        )
+        self._m_sim_ns = m.counter(
+            "serve_job_sim_ns_total", "Simulated fabric time consumed"
+        )
+        self._m_reconfig_ns = m.counter(
+            "serve_reconfig_ns_total", "Simulated reconfiguration time (Eq. 1 B)"
+        )
+        self._m_saved_ns = m.counter(
+            "serve_reconfig_saved_ns_total",
+            "Reconfiguration time avoided by warm placement vs cold baseline",
+        )
+        self._m_warm = m.counter(
+            "serve_warm_jobs_total", "Jobs served on an already-warm fabric"
+        )
+        self._m_cold = m.counter(
+            "serve_cold_starts_total", "Jobs that paid a cold configuration"
+        )
+        self._m_fabric_busy = m.counter(
+            "serve_fabric_busy_ns_total", "Simulated busy time per fabric"
+        )
+        self._m_fabric_jobs = m.counter(
+            "serve_fabric_jobs_total", "Jobs completed per fabric"
+        )
+        self._m_fabric_util = m.gauge(
+            "serve_fabric_utilization",
+            "Busy share of each fabric since service start (sim time)",
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            submitted=int(self._m_submitted.total),
+            completed=int(self._m_completed.total),
+            rejected=int(self._m_rejected.total),
+            queue_depth=len(self._queue),
+            inflight=self._inflight,
+        )
+
+    async def start(self) -> None:
+        """Spin up one worker loop per fabric."""
+        if self._running:
+            raise ServeError("service already started")
+        self._queue_changed = asyncio.Condition()
+        self._executor = ThreadPoolExecutor(
+            max_workers=len(self.pool), thread_name_prefix="fabric"
+        )
+        self._running = True
+        self._draining = False
+        self._start_time = time.monotonic()
+        self._loops = [
+            asyncio.create_task(self._worker_loop(worker), name=worker.id)
+            for worker in self.pool
+        ]
+
+    async def drain(self) -> None:
+        """Stop admitting; wait until the queue and all fabrics are idle."""
+        self._draining = True
+        assert self._queue_changed is not None
+        async with self._queue_changed:
+            await self._queue_changed.wait_for(
+                lambda: not self._queue and self._inflight == 0
+            )
+
+    async def shutdown(self, *, drain: bool = True) -> None:
+        """Tear the service down (optionally draining first)."""
+        if not self._running:
+            return
+        if drain:
+            await self.drain()
+        self._draining = True
+        self._running = False
+        for token in list(self._active_cancels):
+            token.cancel()  # abort in-flight fabric work at the next epoch
+        for task in self._loops:
+            task.cancel()
+        await asyncio.gather(*self._loops, return_exceptions=True)
+        self._loops = []
+        # fail whatever was still queued (non-drain shutdown)
+        for pending in self._queue:
+            if not pending.future.done():
+                pending.future.set_result(
+                    self._rejection(pending.request, "shutdown")
+                )
+        self._queue.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "FabricJobService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown(drain=not any(exc_info))
+
+    # ------------------------------------------------------------------
+    # submission / admission control
+    # ------------------------------------------------------------------
+
+    def _rejection(self, request: JobRequest, reason: str) -> JobResult:
+        self._m_rejected.inc(reason=reason)
+        return JobResult(
+            job_id=request.job_id,
+            status=JobStatus.REJECTED,
+            error=f"rejected: {reason}",
+        )
+
+    async def submit(
+        self, request: JobRequest, *, wait: bool = False
+    ) -> "asyncio.Future[JobResult]":
+        """Queue a job; returns a future resolving to its JobResult.
+
+        Admission control: a stopped or draining service rejects
+        outright; a full queue rejects unless ``wait=True``, in which
+        case the caller is backpressured until space frees up (or the
+        service starts draining).
+        """
+        if not self._running or self._draining:
+            reason = "draining" if self._draining else "stopped"
+            self._m_rejected.inc(reason=reason)
+            raise JobRejected(f"service is {reason}")
+        assert self._queue_changed is not None
+        async with self._queue_changed:
+            if len(self._queue) >= self.max_queue:
+                if not wait:
+                    self._m_rejected.inc(reason="queue_full")
+                    raise JobRejected(
+                        f"queue full ({self.max_queue} jobs waiting)"
+                    )
+                await self._queue_changed.wait_for(
+                    lambda: len(self._queue) < self.max_queue
+                    or self._draining
+                )
+                if self._draining:
+                    self._m_rejected.inc(reason="draining")
+                    raise JobRejected("service is draining")
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._queue.append(_Pending(request, future))
+            self._m_submitted.inc(kind=request.spec.kind.value)
+            self._m_queue_depth.set(len(self._queue))
+            self._queue_changed.notify_all()
+        return future
+
+    async def submit_and_wait(
+        self, request: JobRequest, *, wait: bool = False
+    ) -> JobResult:
+        """Submit and await the terminal result.
+
+        Admission rejections come back as ``REJECTED`` results rather
+        than exceptions — convenient for fire-hose clients.
+        """
+        try:
+            future = await self.submit(request, wait=wait)
+        except JobRejected as exc:
+            result = JobResult(
+                job_id=request.job_id,
+                status=JobStatus.REJECTED,
+                error=str(exc),
+            )
+            return result
+        return await future
+
+    # ------------------------------------------------------------------
+    # worker loops
+    # ------------------------------------------------------------------
+
+    async def _next_pending(self, worker) -> _Pending:
+        assert self._queue_changed is not None
+        async with self._queue_changed:
+            await self._queue_changed.wait_for(lambda: bool(self._queue))
+            index = self.policy.select(
+                [p.request for p in self._queue], worker
+            )
+            pending = self._queue.pop(index)
+            self._m_queue_depth.set(len(self._queue))
+            self._inflight += 1
+            self._m_inflight.set(self._inflight)
+            self._queue_changed.notify_all()
+        return pending
+
+    async def _worker_loop(self, worker) -> None:
+        try:
+            while True:
+                pending = await self._next_pending(worker)
+                try:
+                    result = await self._run_job(worker, pending)
+                except asyncio.CancelledError:
+                    if not pending.future.done():
+                        pending.future.set_result(
+                            self._rejection(pending.request, "shutdown")
+                        )
+                    raise
+                except Exception as exc:  # defensive: never kill the loop
+                    result = JobResult(
+                        job_id=pending.request.job_id,
+                        status=JobStatus.FAILED,
+                        error=f"internal: {exc!r}",
+                        worker_id=worker.id,
+                    )
+                if not pending.future.done():
+                    pending.future.set_result(result)
+                assert self._queue_changed is not None
+                async with self._queue_changed:
+                    self._inflight -= 1
+                    self._m_inflight.set(self._inflight)
+                    self._queue_changed.notify_all()
+        except asyncio.CancelledError:
+            pass
+
+    async def _run_job(self, worker, pending: _Pending) -> JobResult:
+        request = pending.request
+        kind = request.spec.kind.value
+        dispatch_time = time.monotonic()
+        queue_wait = dispatch_time - pending.enqueued_at
+        self._m_wait.observe(queue_wait)
+
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
+        attempts = 0
+        backoff = self.retry_backoff_s
+        last_error = ""
+        timed_out = False
+        while True:
+            attempts += 1
+            cancel = CancelToken()
+            self._active_cancels.add(cancel)
+            attempt_start = time.monotonic()
+            run_future = loop.run_in_executor(
+                self._executor, worker.execute, request, cancel
+            )
+            timed_out = False
+            run: WorkerRun | None = None
+            try:
+                run = await asyncio.wait_for(
+                    asyncio.shield(run_future), timeout=request.timeout_s
+                )
+            except asyncio.TimeoutError:
+                timed_out = True
+                cancel.cancel()
+                try:
+                    await run_future  # worker aborts at next epoch boundary
+                except Exception:
+                    pass
+                last_error = (
+                    f"attempt {attempts} exceeded {request.timeout_s}s"
+                )
+            except JobCancelled:
+                timed_out = True
+                last_error = f"attempt {attempts} cancelled"
+            except Exception as exc:
+                last_error = f"attempt {attempts}: {exc!r}"
+            finally:
+                self._active_cancels.discard(cancel)
+            serve_wall = time.monotonic() - attempt_start
+
+            if run is not None:
+                self._m_serve.observe(serve_wall)
+                self._account_success(worker, request, run)
+                self._m_completed.inc(kind=kind, status=JobStatus.DONE.value)
+                return JobResult(
+                    job_id=request.job_id,
+                    status=JobStatus.DONE,
+                    output=run.stats.output,
+                    worker_id=worker.id,
+                    attempts=attempts,
+                    warm=run.warm,
+                    queue_wait_s=queue_wait,
+                    serve_s=serve_wall,
+                    sim_ns=run.stats.sim_ns,
+                    reconfig_ns=run.stats.reconfig_ns,
+                    reconfig_saved_ns=run.reconfig_saved_ns,
+                )
+            if attempts > request.max_retries:
+                status = JobStatus.TIMEOUT if timed_out else JobStatus.FAILED
+                self._m_completed.inc(kind=kind, status=status.value)
+                return JobResult(
+                    job_id=request.job_id,
+                    status=status,
+                    error=last_error,
+                    worker_id=worker.id,
+                    attempts=attempts,
+                    queue_wait_s=queue_wait,
+                    serve_s=serve_wall,
+                )
+            self._m_retries.inc(kind=kind)
+            await asyncio.sleep(min(backoff, self.retry_backoff_cap_s))
+            backoff *= 2
+
+    def _account_success(
+        self, worker, request: JobRequest, run: WorkerRun
+    ) -> None:
+        kind = request.spec.kind.value
+        self._m_sim_ns.inc(run.stats.sim_ns, kind=kind)
+        self._m_reconfig_ns.inc(run.stats.reconfig_ns, kind=kind)
+        self._m_saved_ns.inc(run.reconfig_saved_ns, kind=kind)
+        if run.warm:
+            self._m_warm.inc(kind=kind)
+        else:
+            self._m_cold.inc(kind=kind)
+        self._m_fabric_busy.inc(run.stats.sim_ns, fabric=worker.id)
+        self._m_fabric_jobs.inc(fabric=worker.id)
+        total_busy = self.pool.total_busy_ns
+        for member in self.pool:
+            self._m_fabric_util.set(
+                member.busy_sim_ns / total_busy if total_busy else 0.0,
+                fabric=member.id,
+            )

@@ -1,0 +1,257 @@
+"""Kernel sessions: resident fabric state that outlives a single job.
+
+The paper's amortization trick — keep configurations resident so only
+the first epoch pays the ICAP (pinning, Table 4 label *(f)*; red/green
+twiddle reuse, Sec. 3.1) — becomes, at the serving level, a *session*: a
+mesh plus :class:`~repro.fabric.rtms.RuntimeManager` that stays alive
+between jobs of the same :class:`~repro.serve.jobs.KernelSpec`.  The
+first job on a session is *cold* (programs + static data stream through
+the ICAP); subsequent same-spec jobs are *warm* and only pay the
+per-job data movement (yellow twiddles, link replays).
+
+Sessions also own cooperative cancellation: between fabric epochs (FFT)
+or blocks (JPEG) they poll a :class:`CancelToken`, so a service timeout
+aborts a job at the next boundary instead of blocking a worker thread
+forever — the same slicing discipline
+:meth:`repro.pn.executor.NetworkExecutor.run_bounded` gives process
+networks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+import numpy as np
+
+from repro.errors import JobCancelled, ServeError
+from repro.fabric.icap import IcapPort
+from repro.fabric.mesh import Mesh
+from repro.fabric.rtms import EpochSpec, RuntimeManager
+from repro.serve.jobs import JobKind, KernelSpec
+
+__all__ = [
+    "CancelToken",
+    "SessionStats",
+    "KernelSession",
+    "FFTSession",
+    "JPEGSession",
+    "default_session_factory",
+    "SessionFactory",
+]
+
+
+class CancelToken:
+    """Thread-safe cancellation flag polled at epoch boundaries."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        """Raise :class:`JobCancelled` when the token has fired."""
+        if self._event.is_set():
+            raise JobCancelled("job cancelled at epoch boundary")
+
+
+@dataclass
+class SessionStats:
+    """Fabric accounting of one job run on a session."""
+
+    output: Any = None
+    #: Simulated fabric time this job occupied the session.
+    sim_ns: float = 0.0
+    #: Configuration-port busy time this job caused (Eq. 1 term B).
+    reconfig_ns: float = 0.0
+    #: Epochs (or blocks) executed — the cancellation granularity.
+    slices: int = 0
+
+
+class KernelSession(Protocol):
+    """What the pool needs from a session (real or injected for tests)."""
+
+    config_key: str
+
+    def run(self, payload: Any, cancel: CancelToken) -> SessionStats:
+        """Execute one job; must poll ``cancel`` between slices."""
+        ...  # pragma: no cover - protocol
+
+    def pin_epochs(self) -> list[EpochSpec]:
+        """Program-residency epochs (for warm switch-cost probes)."""
+        ...  # pragma: no cover - protocol
+
+    def cold_setup_epochs(self) -> list[EpochSpec]:
+        """Programs plus static data — what a cold start streams through
+        the ICAP before the first job's own data."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def rtms(self) -> RuntimeManager:
+        ...  # pragma: no cover - protocol
+
+
+class _BaseSession:
+    """Shared accounting: run a list of epochs slice-by-slice."""
+
+    def __init__(self, spec: KernelSpec, link_cost_ns: float) -> None:
+        self.spec = spec
+        self.config_key = spec.config_key
+        self.link_cost_ns = link_cost_ns
+        self.jobs_run = 0
+
+    def _execute_sliced(
+        self,
+        rtms: RuntimeManager,
+        epochs: list[EpochSpec],
+        cancel: CancelToken,
+        stats: SessionStats,
+    ) -> None:
+        for epoch in epochs:
+            cancel.check()
+            rtms.execute([epoch])
+            stats.slices += 1
+
+
+class FFTSession(_BaseSession):
+    """A persistent ``rows x cols`` mesh running ``n``-point transforms.
+
+    Thin serving wrapper over :class:`~repro.kernels.fft.runner.FabricFFT`:
+    the epoch schedule is the same one ``run_stream`` uses, but executed
+    job-at-a-time with cancellation polls, on a runtime manager whose
+    residency (lru-cached stage programs) survives between jobs.
+    """
+
+    def __init__(self, spec: KernelSpec, link_cost_ns: float = 100.0) -> None:
+        from repro.kernels.fft.decompose import FFTPlan
+        from repro.kernels.fft.runner import FabricFFT
+
+        super().__init__(spec, link_cost_ns)
+        n, m, cols = spec.params
+        self.fft = FabricFFT(FFTPlan(int(n), int(m), int(cols)), link_cost_ns)
+        self.mesh = Mesh(self.fft.plan.rows, self.fft.plan.cols)
+        self.rtms = RuntimeManager(
+            self.mesh, IcapPort(), link_cost_ns=link_cost_ns
+        )
+
+    def run(self, payload: Any, cancel: CancelToken) -> SessionStats:
+        x = np.asarray(payload, dtype=np.complex128)
+        stats = SessionStats()
+        start_ns = self.rtms.now_ns
+        busy_before = self.rtms.icap.total_busy_ns
+        epochs = self.fft.transform_epochs(x, tag=f"j{self.jobs_run}_")
+        self._execute_sliced(self.rtms, epochs, cancel, stats)
+        stats.output = self.fft.read_output(self.mesh)
+        stats.sim_ns = self.rtms.now_ns - start_ns
+        stats.reconfig_ns = self.rtms.icap.total_busy_ns - busy_before
+        self.jobs_run += 1
+        return stats
+
+    def pin_epochs(self) -> list[EpochSpec]:
+        """The transform's program loads, stripped of data/links/run."""
+        zeros = np.zeros(self.fft.plan.n, dtype=np.complex128)
+        return [
+            EpochSpec(name=e.name, programs=dict(e.programs))
+            for e in self.fft.transform_epochs(zeros)
+            if e.programs
+        ]
+
+    def cold_setup_epochs(self) -> list[EpochSpec]:
+        """FFT static state is all instruction images (twiddles are
+        per-job yellow data, charged warm and cold alike)."""
+        return self.pin_epochs()
+
+
+class JPEGSession(_BaseSession):
+    """A persistent single-tile JPEG block pipeline.
+
+    Wraps :class:`~repro.kernels.jpeg.fabric_runner.FabricBlockPipeline`
+    (whose five stage programs are co-resident and whose DCT/quantizer
+    tables load through the ICAP exactly once) and entropy-codes the
+    fabric's zig-zag output into a decodable JFIF stream per job.
+    """
+
+    def __init__(self, spec: KernelSpec, link_cost_ns: float = 100.0) -> None:
+        from repro.kernels.jpeg.fabric_runner import FabricBlockPipeline
+
+        super().__init__(spec, link_cost_ns)
+        quality, chroma = spec.params
+        self.pipeline = FabricBlockPipeline(
+            quality=int(quality), chroma=bool(chroma)
+        )
+        self.rtms = self.pipeline.rtms
+
+    def run(self, payload: Any, cancel: CancelToken) -> SessionStats:
+        from repro.kernels.jpeg.encoder import JPEGEncoder, blocks_of
+        from repro.kernels.jpeg.huffman import (
+            BitWriter,
+            encode_block_coefficients,
+        )
+
+        img = np.asarray(payload)
+        if img.dtype.kind == "f":
+            img = np.clip(np.rint(img), 0, 255)
+        img = img.astype(np.int64)
+        if img.ndim != 2:
+            raise ServeError(f"JPEG payload must be a 2-D frame, got {img.shape}")
+        stats = SessionStats()
+        start_ns = self.rtms.now_ns
+        busy_before = self.rtms.icap.total_busy_ns
+        height, width = img.shape
+        blocks, rows, cols = blocks_of(img)
+        writer = BitWriter()
+        prev_dc = 0
+        for r in range(rows):
+            for c in range(cols):
+                cancel.check()
+                zz = self.pipeline.encode_block(blocks[r, c])
+                prev_dc = encode_block_coefficients(zz, prev_dc, writer)
+                stats.slices += 1
+        host = JPEGEncoder(quality=self.pipeline.quality)
+        stats.output = host.wrap_stream(writer.flush(), height, width)
+        stats.sim_ns = self.rtms.now_ns - start_ns
+        stats.reconfig_ns = self.rtms.icap.total_busy_ns - busy_before
+        self.jobs_run += 1
+        return stats
+
+    def pin_epochs(self) -> list[EpochSpec]:
+        """The five co-resident stage programs."""
+        return [
+            EpochSpec(f"pin_{p.name}", programs={(0, 0): p})
+            for p in self.pipeline.stage_programs
+        ]
+
+    def cold_setup_epochs(self) -> list[EpochSpec]:
+        """Stage programs plus the charged ``data1`` preload image."""
+        return [
+            EpochSpec(
+                "data1", data_images={(0, 0): self.pipeline.data1_image()}
+            ),
+            *self.pin_epochs(),
+        ]
+
+
+_SESSION_TYPES: dict[JobKind, type] = {
+    JobKind.FFT: FFTSession,
+    JobKind.JPEG: JPEGSession,
+}
+
+#: Callable building a fresh (cold) session for a spec.
+SessionFactory = Callable[[KernelSpec], KernelSession]
+
+
+def default_session_factory(
+    spec: KernelSpec, link_cost_ns: float = 100.0
+) -> KernelSession:
+    """Build a cold session of the right kind for ``spec``."""
+    try:
+        session_type = _SESSION_TYPES[spec.kind]
+    except KeyError:
+        raise ServeError(f"no session type for kernel kind {spec.kind!r}")
+    return session_type(spec, link_cost_ns=link_cost_ns)

@@ -154,3 +154,61 @@ class TestReports:
         rtms.reset()
         assert rtms.now_ns == 0.0
         assert rtms.tile_ready_ns == {}
+
+
+class TestSwitchCost:
+    """switch_cost() must agree with executed reconfig_ns (satellite)."""
+
+    def _spec(self):
+        return EpochSpec(
+            "mix",
+            programs={(0, 0): WORK, (0, 1): TINY},
+            data_images={(1, 0): {3: 7, 4: 9}},
+            links={(0, 0): Direction.EAST, (1, 0): Direction.NORTH},
+            run=[(0, 0)],
+        )
+
+    def test_agrees_with_executed_report_single_spec(self, rtms):
+        spec = self._spec()
+        estimate = rtms.switch_cost(spec)
+        report = rtms.execute([spec])
+        assert estimate == pytest.approx(report.epochs[0].reconfig_ns)
+        assert estimate > 0
+
+    def test_agrees_with_executed_report_sequence(self, rtms):
+        specs = [
+            self._spec(),
+            # second epoch: WORK pinned from the first, link unchanged,
+            # fresh data image -> only the image + the new link charge.
+            EpochSpec(
+                "warm",
+                programs={(0, 0): WORK},
+                data_images={(0, 1): {1: 2}},
+                links={(0, 0): Direction.EAST, (0, 1): Direction.SOUTH},
+            ),
+        ]
+        estimate = rtms.switch_cost(specs)
+        report = rtms.execute(specs)
+        executed = sum(e.reconfig_ns for e in report.epochs)
+        assert estimate == pytest.approx(executed)
+
+    def test_no_side_effects(self, rtms):
+        spec = self._spec()
+        rtms.switch_cost(spec)
+        # nothing loaded, nothing scheduled, no link flipped
+        assert rtms.icap.total_busy_ns == 0.0
+        assert rtms.mesh.tile((0, 0)).resident_base(WORK) is None
+        assert rtms.mesh.active_link((0, 0)) is None
+        assert rtms.now_ns == 0.0
+
+    def test_warm_fabric_costs_nothing(self, rtms):
+        spec = EpochSpec(
+            "p", programs={(0, 0): WORK}, links={(0, 0): Direction.EAST}
+        )
+        rtms.execute([spec])
+        assert rtms.switch_cost(spec) == 0.0
+
+    def test_pinned_within_sequence(self, rtms):
+        a = EpochSpec("a", programs={(0, 0): WORK})
+        b = EpochSpec("b", programs={(0, 0): WORK})
+        assert rtms.switch_cost([a, b]) == pytest.approx(rtms.switch_cost(a))

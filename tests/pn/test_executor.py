@@ -94,6 +94,68 @@ class TestBasics:
         assert exe2.pending_tokens() == 1
 
 
+class TestBoundedRun:
+    def _pipeline(self):
+        net = chain_network("a", "b", "c")
+        exe = NetworkExecutor(net, {
+            "a": passthrough("b"),
+            "b": passthrough("c"),
+            "c": passthrough("__sink__"),
+        })
+        return exe
+
+    def test_resumable_slices_match_single_run(self):
+        exe = self._pipeline()
+        exe.feed("a", [1, 2, 3])
+        fired = 0
+        while True:
+            n, quiescent = exe.run_bounded(2)
+            fired += n
+            if quiescent:
+                break
+        assert fired == 9
+        assert exe.collect("c") == [1, 2, 3]
+        assert exe.pending_tokens() == 0
+
+    def test_reports_quiescence_exactly_at_budget(self):
+        exe = self._pipeline()
+        exe.feed("a", [7])
+        n, quiescent = exe.run_bounded(3)
+        assert (n, quiescent) == (3, True)
+        assert exe.collect("c") == [7]
+
+    def test_partial_slice_not_quiescent(self):
+        exe = self._pipeline()
+        exe.feed("a", [1, 2])
+        n, quiescent = exe.run_bounded(1)
+        assert (n, quiescent) == (1, False)
+        assert exe.pending_tokens() > 0
+
+    def test_zero_budget_probe(self):
+        exe = self._pipeline()
+        assert exe.run_bounded(0) == (0, True)
+        exe.feed("a", [1])
+        assert exe.run_bounded(0) == (0, False)
+
+    def test_negative_budget_rejected(self):
+        exe = self._pipeline()
+        with pytest.raises(ProcessNetworkError, match="non-negative"):
+            exe.run_bounded(-1)
+
+    def test_interleaved_networks(self):
+        """Two networks pumped cooperatively both complete."""
+        first, second = self._pipeline(), self._pipeline()
+        first.feed("a", [1, 2])
+        second.feed("a", [10])
+        done = {id(first): False, id(second): False}
+        for _ in range(20):
+            for exe in (first, second):
+                if not done[id(exe)]:
+                    _, done[id(exe)] = exe.run_bounded(1)
+        assert first.collect("c") == [1, 2]
+        assert second.collect("c") == [10]
+
+
 class TestValidation:
     def test_missing_behavior_rejected(self):
         net = chain_network("a", "b")

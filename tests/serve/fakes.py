@@ -1,0 +1,133 @@
+"""Injectable fake sessions for exercising the serving layer.
+
+The real sessions run the fabric simulator; these fakes satisfy the
+:class:`~repro.serve.sessions.KernelSession` protocol with controllable
+timing and failure behaviour so the service's QoS machinery (timeouts,
+retries, backpressure, drain) can be tested in milliseconds.
+
+A failed job drops its worker's session (fabric scrub), so a retry
+builds a *new* session through the factory — which is why failure
+injection lives in the factory (:func:`flaky_factory`) rather than in
+any single session instance.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve.jobs import KernelSpec
+from repro.serve.sessions import CancelToken, SessionStats
+
+__all__ = ["FakeRtms", "FakeSession", "fake_factory", "flaky_factory"]
+
+
+class FakeRtms:
+    """Switch-cost oracle stand-in: charges ``cost_ns`` per epoch."""
+
+    def __init__(self, cost_ns: float) -> None:
+        self.cost_ns = cost_ns
+
+    def switch_cost(self, specs) -> float:
+        return self.cost_ns * len(list(specs))
+
+
+class FakeSession:
+    """Protocol-complete session with scripted behaviour.
+
+    Parameters
+    ----------
+    sleep_s:
+        Wall-clock work per job, sliced into 5 ms cancel polls (so a
+        service timeout aborts promptly, like the real epoch boundary).
+    fail:
+        When true, ``run`` raises ``RuntimeError`` (every time — use
+        :func:`flaky_factory` for fail-then-recover schedules).
+    cold_reconfig_ns:
+        Simulated term-B charge of this session's first job; later jobs
+        on the same instance are warm and charge 0.
+    """
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        *,
+        sleep_s: float = 0.0,
+        fail: bool = False,
+        cold_reconfig_ns: float = 1000.0,
+        sim_ns: float = 10.0,
+    ) -> None:
+        self.spec = spec
+        self.config_key = spec.config_key
+        self.sleep_s = sleep_s
+        self.fail = fail
+        self.cold_reconfig_ns = cold_reconfig_ns
+        self.sim_ns = sim_ns
+        self.jobs_run = 0
+        self.rtms = FakeRtms(cold_reconfig_ns)
+
+    def run(self, payload, cancel: CancelToken) -> SessionStats:
+        deadline = time.monotonic() + self.sleep_s
+        slices = 0
+        while True:
+            cancel.check()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(0.005, remaining))
+            slices += 1
+        if self.fail:
+            raise RuntimeError(f"injected failure on {self.config_key}")
+        reconfig = self.cold_reconfig_ns if self.jobs_run == 0 else 0.0
+        self.jobs_run += 1
+        return SessionStats(
+            output=payload,
+            sim_ns=self.sim_ns,
+            reconfig_ns=reconfig,
+            slices=max(slices, 1),
+        )
+
+    def pin_epochs(self):
+        return []  # nothing to stream when warm -> warm probe costs 0
+
+    def cold_setup_epochs(self):
+        return ["setup"]  # one charged epoch -> cold probe costs cost_ns
+
+    # rtms is a plain attribute (FakeRtms) — protocol satisfied.
+
+
+def fake_factory(**kwargs):
+    """Session factory building identically-configured fakes."""
+
+    def factory(spec: KernelSpec) -> FakeSession:
+        return FakeSession(spec, **kwargs)
+
+    return factory
+
+
+def flaky_factory(failures: int, **kwargs):
+    """Factory whose sessions fail the first ``failures`` *runs*, then
+    recover.
+
+    Counting runs (not constructions) matters twice over: the residency
+    cost model builds probe sessions that never execute, and a failed
+    job drops the worker's session so each retry constructs a fresh one.
+    Returns ``(factory, log)`` where ``log`` collects every session
+    built, in order.
+    """
+    state = {"left": failures}
+    log: list[FakeSession] = []
+
+    class _Flaky(FakeSession):
+        def run(self, payload, cancel: CancelToken) -> SessionStats:
+            cancel.check()
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise RuntimeError(f"injected failure on {self.config_key}")
+            return super().run(payload, cancel)
+
+    def factory(spec: KernelSpec) -> FakeSession:
+        session = _Flaky(spec, **kwargs)
+        log.append(session)
+        return session
+
+    return factory, log

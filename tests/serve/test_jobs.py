@@ -1,0 +1,67 @@
+"""Job model: specs, config keys, request validation."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.jobs import (
+    JobKind,
+    JobRequest,
+    JobStatus,
+    KernelSpec,
+    fft_spec,
+    jpeg_spec,
+)
+
+
+class TestKernelSpec:
+    def test_config_key_is_residency_identity(self):
+        assert fft_spec(64, 8, 2).config_key == "fft(64,8,2)"
+        assert jpeg_spec(75).config_key == "jpeg(75,False)"
+
+    def test_same_params_same_key(self):
+        assert fft_spec(64, 8, 2) == fft_spec(64, 8, 2)
+        assert fft_spec(64, 8, 2).config_key == fft_spec(64, 8, 2).config_key
+
+    def test_different_params_different_key(self):
+        keys = {
+            fft_spec(64, 8, 2).config_key,
+            fft_spec(64, 8, 1).config_key,
+            jpeg_spec(75).config_key,
+            jpeg_spec(50).config_key,
+        }
+        assert len(keys) == 4
+
+    def test_spec_is_hashable(self):
+        assert len({fft_spec(), fft_spec(), jpeg_spec()}) == 2
+
+    def test_defaults_match_paper_workloads(self):
+        spec = fft_spec()
+        assert spec.kind is JobKind.FFT
+        assert spec.params == (64, 8, 2)  # 64-pt, M=8, 8x2 mesh
+        assert jpeg_spec().params == (75, False)
+
+
+class TestJobRequest:
+    def test_auto_job_ids_are_unique(self):
+        a = JobRequest(spec=fft_spec(), payload=None)
+        b = JobRequest(spec=fft_spec(), payload=None)
+        assert a.job_id and b.job_id and a.job_id != b.job_id
+
+    def test_explicit_job_id_kept(self):
+        request = JobRequest(spec=fft_spec(), payload=None, job_id="mine")
+        assert request.job_id == "mine"
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ServeError, match="timeout_s"):
+            JobRequest(spec=fft_spec(), payload=None, timeout_s=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ServeError, match="max_retries"):
+            JobRequest(spec=fft_spec(), payload=None, max_retries=-1)
+
+
+class TestJobStatus:
+    def test_only_done_is_ok(self):
+        assert JobStatus.DONE.ok
+        for status in (JobStatus.FAILED, JobStatus.TIMEOUT, JobStatus.REJECTED):
+            assert not status.ok

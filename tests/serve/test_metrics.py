@@ -1,0 +1,128 @@
+"""Metrics registry: counters, gauges, histograms, text exposition."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_unlabelled(self):
+        counter = Counter("jobs_total", "jobs")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total == 3.5
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("jobs_total", "jobs")
+        counter.inc(kind="fft")
+        counter.inc(kind="fft")
+        counter.inc(kind="jpeg")
+        assert counter.value(kind="fft") == 2
+        assert counter.value(kind="jpeg") == 1
+        assert counter.total == 3
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("x_total", "x")
+        counter.inc(kind="fft", status="done")
+        assert counter.value(status="done", kind="fft") == 1
+
+    def test_render_prometheus_lines(self):
+        counter = Counter("jobs_total", "All jobs")
+        counter.inc(kind="fft")
+        text = "\n".join(counter.render())
+        assert "# HELP jobs_total All jobs" in text
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{kind="fft"} 1' in text
+
+    def test_cannot_decrease(self):
+        counter = Counter("jobs_total", "jobs")
+        with pytest.raises(ServeError, match="cannot decrease"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("depth", "queue depth")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value() == 2
+
+    def test_labelled(self):
+        gauge = Gauge("util", "utilization")
+        gauge.set(0.5, fabric="fabric-0")
+        gauge.set(0.25, fabric="fabric-1")
+        assert gauge.value(fabric="fabric-0") == 0.5
+        assert 'util{fabric="fabric-1"} 0.25' in "\n".join(gauge.render())
+
+
+class TestHistogram:
+    def test_percentiles_on_known_data(self):
+        histogram = Histogram("lat", "latency")
+        for value in range(1, 101):
+            histogram.observe(value / 1000.0)
+        assert histogram.count == 100
+        assert histogram.sum == pytest.approx(5.05)
+        assert histogram.percentile(0.5) == pytest.approx(0.050, abs=0.005)
+        assert histogram.percentile(0.99) == pytest.approx(0.099, abs=0.005)
+
+    def test_cumulative_buckets_and_inf(self):
+        histogram = Histogram("lat", "latency", buckets=(0.01, 0.1))
+        for value in (0.005, 0.05, 5.0):
+            histogram.observe(value)
+        text = "\n".join(histogram.render())
+        assert 'lat_bucket{le="0.01"} 1' in text
+        assert 'lat_bucket{le="0.1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_reservoir_is_bounded(self):
+        histogram = Histogram("lat", "latency")
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert histogram.count == 10_000
+        # percentile still sane despite sampling
+        assert 3_000 < histogram.percentile(0.5) < 7_000
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("lat", "latency").percentile(0.5) == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_make_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "a")
+        second = registry.counter("a_total", "a")
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a")
+        with pytest.raises(ServeError, match="a_total"):
+            registry.gauge("a_total", "a")
+
+    def test_render_concatenates_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a").inc()
+        registry.gauge("b", "b").set(7)
+        registry.histogram("c_seconds", "c").observe(0.01)
+        text = registry.render()
+        for fragment in ("a_total 1", "b 7", "c_seconds_count 1"):
+            assert fragment in text
+
+    def test_snapshot_plain_dicts(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a").inc(kind="fft")
+        registry.histogram("c_seconds", "c").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["a_total"]["kind"] == "counter"
+        assert snap["a_total"]["total"] == 1.0
+        assert list(snap["a_total"]["values"].values()) == [1.0]
+        assert snap["c_seconds"]["count"] == 1
+        assert "p50" in snap["c_seconds"]

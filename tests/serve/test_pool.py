@@ -1,0 +1,110 @@
+"""Pool semantics: residency, switch-cost oracle, failure scrubs."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.jobs import JobRequest, fft_spec, jpeg_spec
+from repro.serve.pool import FabricPool, FabricWorker, ResidencyCostModel
+from repro.serve.sessions import CancelToken
+
+from tests.serve.fakes import fake_factory, flaky_factory
+
+
+def _request(spec, payload=None):
+    return JobRequest(spec=spec, payload=payload)
+
+
+class TestFabricWorker:
+    def test_first_job_is_cold_second_warm(self):
+        worker = FabricWorker("w0", fake_factory(cold_reconfig_ns=500.0))
+        first = worker.execute(_request(fft_spec()), CancelToken())
+        second = worker.execute(_request(fft_spec()), CancelToken())
+        assert not first.warm and first.stats.reconfig_ns == 500.0
+        assert second.warm and second.stats.reconfig_ns == 0.0
+        assert worker.cold_starts == 1
+        assert worker.jobs_done == 2
+
+    def test_spec_change_forces_cold_rebuild(self):
+        worker = FabricWorker("w0", fake_factory())
+        worker.execute(_request(fft_spec()), CancelToken())
+        run = worker.execute(_request(jpeg_spec()), CancelToken())
+        assert not run.warm
+        assert worker.cold_starts == 2
+        assert worker.resident_key == jpeg_spec().config_key
+
+    def test_switch_cost_zero_when_warm(self):
+        worker = FabricWorker("w0", fake_factory(cold_reconfig_ns=750.0))
+        spec = fft_spec()
+        assert worker.switch_cost_ns(spec) == 750.0  # cold estimate
+        worker.execute(_request(spec), CancelToken())
+        assert worker.switch_cost_ns(spec) == 0.0  # pinned -> free
+        assert worker.switch_cost_ns(jpeg_spec()) == 750.0  # other key cold
+
+    def test_warm_run_records_savings(self):
+        worker = FabricWorker("w0", fake_factory(cold_reconfig_ns=300.0))
+        cold = worker.execute(_request(fft_spec()), CancelToken())
+        warm = worker.execute(_request(fft_spec()), CancelToken())
+        assert cold.reconfig_saved_ns == 0.0
+        # warm job paid 0 vs the measured 300 ns cold reference
+        assert warm.reconfig_saved_ns == 300.0
+
+    def test_failure_scrubs_the_session(self):
+        factory, log = flaky_factory(failures=1)
+        worker = FabricWorker("w0", factory)
+        with pytest.raises(RuntimeError, match="injected"):
+            worker.execute(_request(fft_spec()), CancelToken())
+        assert worker.session is None and worker.resident_key is None
+        run = worker.execute(_request(fft_spec()), CancelToken())
+        assert not run.warm  # retry paid a fresh cold start
+        assert worker.cold_starts == 2
+        assert len(log) == 2  # a new session per attempt
+
+    def test_accounting_accumulates(self):
+        worker = FabricWorker(
+            "w0", fake_factory(sim_ns=40.0, cold_reconfig_ns=100.0)
+        )
+        for _ in range(3):
+            worker.execute(_request(fft_spec()), CancelToken())
+        assert worker.busy_sim_ns == pytest.approx(120.0)
+        assert worker.reconfig_sim_ns == pytest.approx(100.0)
+
+
+class TestResidencyCostModel:
+    def test_modeled_cost_cached_per_config(self):
+        built = []
+
+        def factory(spec):
+            built.append(spec)
+            return fake_factory(cold_reconfig_ns=42.0)(spec)
+
+        model = ResidencyCostModel(factory)
+        assert model.modeled_cold_ns(fft_spec()) == 42.0
+        assert model.modeled_cold_ns(fft_spec()) == 42.0
+        assert len(built) == 1  # probe session built once per key
+
+    def test_measured_overrides_modeled(self):
+        model = ResidencyCostModel(fake_factory(cold_reconfig_ns=42.0))
+        spec = fft_spec()
+        assert model.cold_reference_ns(spec) == 42.0
+        model.record_cold_run(spec, 99.0)
+        assert model.cold_reference_ns(spec) == 99.0
+
+    def test_pool_shares_one_model(self):
+        pool = FabricPool(3, fake_factory())
+        models = {id(worker.cost_model) for worker in pool}
+        assert len(models) == 1
+
+
+class TestFabricPool:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ServeError, match="pool size"):
+            FabricPool(0, fake_factory())
+
+    def test_totals_aggregate_workers(self):
+        pool = FabricPool(2, fake_factory(sim_ns=10.0, cold_reconfig_ns=5.0))
+        for worker in pool:
+            worker.execute(_request(fft_spec()), CancelToken())
+        assert pool.total_busy_ns == pytest.approx(20.0)
+        assert pool.total_reconfig_ns == pytest.approx(10.0)
+        assert pool.total_cold_starts == 2
+        assert len(pool) == 2

@@ -1,0 +1,142 @@
+"""Scheduling policies and the deterministic trace replayer."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.jobs import JobRequest, fft_spec, jpeg_spec
+from repro.serve.pool import FabricPool, FabricWorker
+from repro.serve.scheduler import (
+    AffinityPolicy,
+    FIFOPolicy,
+    make_policy,
+    simulate_trace,
+)
+from repro.serve.sessions import CancelToken
+
+from tests.serve.fakes import fake_factory
+
+
+def _mixed_queue():
+    """f j f j ... alternating queue of 8 requests."""
+    queue = []
+    for index in range(8):
+        spec = fft_spec() if index % 2 == 0 else jpeg_spec()
+        queue.append(JobRequest(spec=spec, payload=None, job_id=f"q{index}"))
+    return queue
+
+
+def _warm_worker(spec):
+    worker = FabricWorker("w0", fake_factory(cold_reconfig_ns=100.0))
+    worker.execute(
+        JobRequest(spec=spec, payload=None), CancelToken()
+    )
+    return worker
+
+
+class TestFIFOPolicy:
+    def test_always_head(self):
+        worker = _warm_worker(jpeg_spec())
+        queue = _mixed_queue()
+        assert FIFOPolicy().select(queue, worker) == 0  # fft head, jpeg-warm
+
+
+class TestAffinityPolicy:
+    def test_prefers_warm_match_over_head(self):
+        worker = _warm_worker(jpeg_spec())
+        policy = AffinityPolicy()
+        queue = _mixed_queue()  # head is fft, first jpeg at index 1
+        assert policy.select(queue, worker) == 1
+
+    def test_head_when_warm_for_head(self):
+        worker = _warm_worker(fft_spec())
+        assert AffinityPolicy().select(_mixed_queue(), worker) == 0
+
+    def test_cold_worker_takes_head(self):
+        worker = FabricWorker("w0", fake_factory(cold_reconfig_ns=100.0))
+        # nothing resident: every placement costs the same -> arrival order
+        assert AffinityPolicy().select(_mixed_queue(), worker) == 0
+
+    def test_starvation_guard_forces_head(self):
+        worker = _warm_worker(jpeg_spec())
+        policy = AffinityPolicy(patience=3)
+        queue = _mixed_queue()
+        skipped = [policy.select(queue, worker) for _ in range(3)]
+        assert skipped == [1, 1, 1]  # head passed over (skips accumulate)
+        assert policy.select(queue, worker) == 0  # patience exhausted
+
+    def test_window_limits_scan(self):
+        worker = _warm_worker(jpeg_spec())
+        policy = AffinityPolicy(window=1)  # can only see the head
+        assert policy.select(_mixed_queue(), worker) == 0
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ServeError):
+            AffinityPolicy(window=0)
+        with pytest.raises(ServeError):
+            AffinityPolicy(patience=0)
+
+    def test_make_policy_names(self):
+        assert make_policy("affinity").name == "affinity"
+        assert make_policy("cold_fifo").name == "cold_fifo"
+        assert make_policy("fifo").name == "cold_fifo"
+        with pytest.raises(ServeError, match="unknown"):
+            make_policy("nope")
+
+
+class TestSimulateTrace:
+    def _trace(self, n=12):
+        # f f j j f f ... — paired so a 2-worker FIFO pool cannot get
+        # lucky via arrival parity (both workers see kind flips).
+        return [
+            JobRequest(
+                spec=fft_spec() if (i // 2) % 2 == 0 else jpeg_spec(),
+                payload=None,
+                job_id=f"t{i}",
+            )
+            for i in range(n)
+        ]
+
+    def test_affinity_beats_cold_fifo_on_mixed_trace(self):
+        cold = simulate_trace(
+            self._trace(), FabricPool(2, fake_factory()), FIFOPolicy()
+        )
+        warm = simulate_trace(
+            self._trace(), FabricPool(2, fake_factory()), AffinityPolicy()
+        )
+        assert warm.total_reconfig_ns < cold.total_reconfig_ns
+        assert warm.warm_jobs > cold.warm_jobs
+        # affinity self-partitions: at worst one switch per kind per worker
+        assert warm.cold_jobs <= 4
+        assert warm.reconfig_saved_ns > cold.reconfig_saved_ns
+
+    def test_all_jobs_replayed_exactly_once(self):
+        trace = self._trace()
+        result = simulate_trace(
+            trace, FabricPool(2, fake_factory()), AffinityPolicy()
+        )
+        assert sorted(j.job_id for j in result.jobs) == sorted(
+            r.job_id for r in trace
+        )
+
+    def test_simulated_clock_is_consistent(self):
+        result = simulate_trace(
+            self._trace(), FabricPool(2, fake_factory(sim_ns=10.0)), FIFOPolicy()
+        )
+        for job in result.jobs:
+            assert job.end_ns == pytest.approx(job.start_ns + job.sim_ns)
+        assert result.makespan_ns == pytest.approx(
+            max(j.end_ns for j in result.jobs)
+        )
+        assert 0.0 < result.utilization(2) <= 1.0
+
+    def test_invalid_policy_index_raises(self):
+        class Broken:
+            name = "broken"
+
+            def select(self, queue, worker):
+                return len(queue)  # off the end
+
+        with pytest.raises(ServeError, match="invalid index"):
+            simulate_trace(
+                self._trace(2), FabricPool(1, fake_factory()), Broken()
+            )

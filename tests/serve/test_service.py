@@ -1,0 +1,342 @@
+"""Service QoS machinery: timeouts, retries, backpressure, drain.
+
+These are the ISSUE's failure-path tests.  They run against injected
+fake sessions (milliseconds, no fabric sim); an end-to-end test against
+the real kernels lives in ``test_serve_end_to_end.py``.  No
+pytest-asyncio in the toolchain, so each test drives its own event loop
+via ``asyncio.run``.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobRejected, ServeError
+from repro.serve.jobs import JobRequest, JobStatus, fft_spec, jpeg_spec
+from repro.serve.service import FabricJobService
+
+from tests.serve.fakes import FakeSession, fake_factory, flaky_factory
+
+
+def _request(spec=None, **kwargs):
+    kwargs.setdefault("payload", "payload")
+    return JobRequest(spec=spec or fft_spec(), **kwargs)
+
+
+class TestHappyPath:
+    def test_submit_returns_result_with_accounting(self):
+        async def scenario():
+            service = FabricJobService(
+                pool_size=1, session_factory=fake_factory(cold_reconfig_ns=500.0)
+            )
+            async with service:
+                first = await (await service.submit(_request()))
+                second = await (await service.submit(_request()))
+            return service, first, second
+
+        service, first, second = asyncio.run(scenario())
+        assert first.status is JobStatus.DONE and first.ok
+        assert first.output == "payload"
+        assert not first.warm and first.reconfig_ns == 500.0
+        assert second.warm and second.reconfig_saved_ns == 500.0
+        assert first.attempts == 1
+        assert first.worker_id == "fabric-0"
+        metrics = service.metrics
+        assert metrics["serve_jobs_submitted_total"].total == 2
+        assert metrics["serve_warm_jobs_total"].total == 1
+        assert metrics["serve_cold_starts_total"].total == 1
+        assert metrics["serve_reconfig_saved_ns_total"].total == 500.0
+
+    def test_submit_and_wait(self):
+        async def scenario():
+            async with FabricJobService(
+                pool_size=1, session_factory=fake_factory()
+            ) as service:
+                return await service.submit_and_wait(_request())
+
+        assert asyncio.run(scenario()).status is JobStatus.DONE
+
+    def test_stopped_service_rejects(self):
+        async def scenario():
+            service = FabricJobService(
+                pool_size=1, session_factory=fake_factory()
+            )
+            with pytest.raises(JobRejected, match="stopped"):
+                await service.submit(_request())
+            result = await service.submit_and_wait(_request())
+            assert result.status is JobStatus.REJECTED
+
+        asyncio.run(scenario())
+
+
+class TestTimeout:
+    def test_slow_job_times_out_and_cancels(self):
+        async def scenario():
+            factory = fake_factory(sleep_s=5.0)
+            async with FabricJobService(
+                pool_size=1, session_factory=factory
+            ) as service:
+                t0 = time.monotonic()
+                result = await service.submit_and_wait(
+                    _request(timeout_s=0.05, max_retries=0)
+                )
+                elapsed = time.monotonic() - t0
+                # the worker thread was released promptly (cooperative
+                # cancellation at the next 5 ms slice), so a follow-up
+                # job still completes
+                follow_up = await service.submit_and_wait(
+                    _request(timeout_s=5.0)
+                )
+            return result, elapsed, follow_up
+
+        result, elapsed, follow_up = asyncio.run(scenario())
+        assert result.status is JobStatus.TIMEOUT
+        assert not result.ok
+        assert result.attempts == 1
+        assert "exceeded" in result.error
+        assert elapsed < 2.0  # nowhere near the 5 s of scripted work
+        assert follow_up.status is JobStatus.DONE
+
+    def test_timeout_counts_in_metrics(self):
+        async def scenario():
+            service = FabricJobService(
+                pool_size=1, session_factory=fake_factory(sleep_s=5.0)
+            )
+            async with service:
+                await service.submit_and_wait(
+                    _request(timeout_s=0.05, max_retries=0)
+                )
+            return service.metrics
+
+        metrics = asyncio.run(scenario())
+        assert (
+            metrics["serve_jobs_completed_total"].value(
+                kind="fft", status="timeout"
+            )
+            == 1
+        )
+
+
+class TestRetry:
+    def test_retry_then_fail_exhausts_budget(self):
+        async def scenario():
+            factory, log = flaky_factory(failures=10)  # never recovers
+            service = FabricJobService(
+                pool_size=1,
+                session_factory=factory,
+                retry_backoff_s=0.001,
+            )
+            async with service:
+                result = await service.submit_and_wait(
+                    _request(max_retries=2)
+                )
+            return service, result, log
+
+        service, result, log = asyncio.run(scenario())
+        assert result.status is JobStatus.FAILED
+        assert result.attempts == 3  # first try + 2 retries
+        assert "injected failure" in result.error
+        assert service.metrics["serve_job_retries_total"].total == 2
+        # every attempt rebuilt the scrubbed session (3 attempts) and the
+        # affinity cost model built one scratch probe for the config key
+        assert len(log) == 4
+
+    def test_retry_then_succeed(self):
+        async def scenario():
+            factory, _ = flaky_factory(failures=1)
+            service = FabricJobService(
+                pool_size=1,
+                session_factory=factory,
+                retry_backoff_s=0.001,
+            )
+            async with service:
+                result = await service.submit_and_wait(
+                    _request(max_retries=2)
+                )
+            return service, result
+
+        service, result = asyncio.run(scenario())
+        assert result.status is JobStatus.DONE
+        assert result.attempts == 2
+        assert not result.warm  # recovery attempt was a cold start
+        assert service.metrics["serve_job_retries_total"].total == 1
+
+    def test_zero_retries_fails_fast(self):
+        async def scenario():
+            factory, _ = flaky_factory(failures=10)
+            async with FabricJobService(
+                pool_size=1, session_factory=factory, retry_backoff_s=0.001
+            ) as service:
+                return await service.submit_and_wait(_request(max_retries=0))
+
+        result = asyncio.run(scenario())
+        assert result.status is JobStatus.FAILED
+        assert result.attempts == 1
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejection(self):
+        async def scenario():
+            release = threading.Event()
+
+            def factory(spec):
+                return _BlockingSession(spec, release)
+
+            service = FabricJobService(
+                pool_size=1, session_factory=factory, max_queue=1
+            )
+            async with service:
+                running = await service.submit(_request(job_id="running"))
+                await _wait_until(lambda: service.stats().inflight == 1)
+                queued = await service.submit(_request(job_id="queued"))
+                with pytest.raises(JobRejected, match="queue full"):
+                    await service.submit(_request(job_id="overflow"))
+                rejected = await service.submit_and_wait(
+                    _request(job_id="overflow2")
+                )
+                release.set()
+                first, second = await asyncio.gather(running, queued)
+            return service, first, second, rejected
+
+        service, first, second, rejected = asyncio.run(scenario())
+        assert first.status is JobStatus.DONE
+        assert second.status is JobStatus.DONE
+        assert rejected.status is JobStatus.REJECTED
+        assert "queue full" in rejected.error
+        assert service.metrics["serve_jobs_rejected_total"].total >= 1
+
+    def test_submit_wait_backpressures_until_space(self):
+        async def scenario():
+            release = threading.Event()
+
+            def factory(spec):
+                return _BlockingSession(spec, release)
+
+            async with FabricJobService(
+                pool_size=1, session_factory=factory, max_queue=1
+            ) as service:
+                running = await service.submit(_request())
+                await _wait_until(lambda: service.stats().inflight == 1)
+                queued = await service.submit(_request())
+                waiter = asyncio.create_task(
+                    service.submit(_request(), wait=True)
+                )
+                await asyncio.sleep(0.05)
+                assert not waiter.done()  # backpressured, not rejected
+                release.set()
+                third_future = await waiter
+                results = await asyncio.gather(running, queued, third_future)
+            return results
+
+        results = asyncio.run(scenario())
+        assert [r.status for r in results] == [JobStatus.DONE] * 3
+
+
+class TestDrainAndShutdown:
+    def test_drain_under_load_finishes_backlog(self):
+        async def scenario():
+            service = FabricJobService(
+                pool_size=2, session_factory=fake_factory(sleep_s=0.01)
+            )
+            async with service:
+                futures = [
+                    await service.submit(_request(job_id=f"d{i}"))
+                    for i in range(10)
+                ]
+                await service.drain()
+                # drained: backlog empty, fabrics idle, admission closed
+                stats = service.stats()
+                assert stats.queue_depth == 0 and stats.inflight == 0
+                with pytest.raises(JobRejected, match="draining"):
+                    await service.submit(_request())
+                results = [future.result() for future in futures]
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(results) == 10
+        assert all(r.status is JobStatus.DONE for r in results)
+
+    def test_hard_shutdown_rejects_queued_jobs(self):
+        async def scenario():
+            release = threading.Event()
+
+            def factory(spec):
+                return _BlockingSession(spec, release)
+
+            service = FabricJobService(
+                pool_size=1, session_factory=factory, max_queue=8
+            )
+            await service.start()
+            running = await service.submit(_request(job_id="running"))
+            await _wait_until(lambda: service.stats().inflight == 1)
+            queued = [
+                await service.submit(_request(job_id=f"q{i}"))
+                for i in range(3)
+            ]
+            await service.shutdown(drain=False)  # fires cancel tokens
+            outcomes = await asyncio.gather(running, *queued)
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        # queued jobs were turned away, nothing hangs
+        assert all(o.status is not JobStatus.DONE for o in outcomes[1:])
+        for outcome in outcomes[1:]:
+            assert outcome.status is JobStatus.REJECTED
+
+    def test_shutdown_is_idempotent(self):
+        async def scenario():
+            service = FabricJobService(
+                pool_size=1, session_factory=fake_factory()
+            )
+            await service.start()
+            await service.shutdown()
+            await service.shutdown()  # second call is a no-op
+            assert not service.running
+
+        asyncio.run(scenario())
+
+    def test_restart_after_shutdown_raises(self):
+        async def scenario():
+            service = FabricJobService(
+                pool_size=1, session_factory=fake_factory()
+            )
+            await service.start()
+            with pytest.raises(ServeError, match="already started"):
+                await service.start()
+            await service.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestServiceConfig:
+    def test_rejects_bad_queue_bound(self):
+        with pytest.raises(ServeError, match="max_queue"):
+            FabricJobService(pool_size=1, max_queue=0)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+class _BlockingSession(FakeSession):
+    """Runs until ``release`` fires (still polling cancellation)."""
+
+    def __init__(self, spec, release: threading.Event) -> None:
+        super().__init__(spec)
+        self._release = release
+
+    def run(self, payload, cancel):
+        while not self._release.wait(timeout=0.005):
+            cancel.check()
+        return super().run(payload, cancel)
+
+
+async def _wait_until(predicate, timeout_s: float = 2.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.005)

@@ -1,0 +1,93 @@
+"""Tier-1 smoke test of the serving benchmark.
+
+Runs ``benchmarks/bench_serve.py`` on a reduced trace, checks the
+machine-readable ``BENCH_serve.json`` schema, and enforces the ISSUE's
+acceptance contract: reconfiguration-affinity scheduling must spend at
+least 1.5x less total reconfiguration time than the residency-blind
+cold-FIFO baseline on a mixed FFT+JPEG trace.  A separate test holds
+the committed repo-level ``BENCH_serve.json`` (full 200-job trace) to
+the same bar.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_HARNESS = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_serve.py"
+
+_POLICY_KEYS = {
+    "policy", "jobs", "warm_jobs", "cold_jobs", "cold_starts",
+    "reconfig_ns", "reconfig_saved_ns", "sim_ns", "makespan_ns",
+    "mean_wait_ns", "utilization", "wall_s",
+}
+
+
+@pytest.fixture(scope="module")
+def bench_serve():
+    spec = importlib.util.spec_from_file_location("bench_serve", _HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report(bench_serve, tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_serve.json"
+    produced = bench_serve.run_bench(n_jobs=40, pool_size=2, output=out)
+    written = json.loads(out.read_text())
+    assert written == produced
+    return produced
+
+
+def test_json_schema(report):
+    assert set(report) == {"trace", "policies", "reconfig_ratio"}
+    assert set(report["trace"]) == {"jobs", "pool_size", "seed", "fft_fraction"}
+    names = [entry["policy"] for entry in report["policies"]]
+    assert names == ["affinity", "cold_fifo"]
+    for entry in report["policies"]:
+        assert set(entry) == _POLICY_KEYS
+        assert entry["jobs"] == report["trace"]["jobs"]
+        assert entry["warm_jobs"] + entry["cold_jobs"] == entry["jobs"]
+        assert entry["reconfig_ns"] > 0
+        assert entry["sim_ns"] > entry["reconfig_ns"]
+        assert entry["makespan_ns"] > 0
+        assert 0.0 < entry["utilization"] <= 1.0
+
+
+def test_affinity_amortizes_reconfiguration(report):
+    """The acceptance bar: >=1.5x less term-B time under affinity."""
+    assert report["reconfig_ratio"] >= 1.5, (
+        f"affinity scheduling saved only {report['reconfig_ratio']:.2f}x "
+        f"reconfiguration time vs cold FIFO (need >= 1.5x)"
+    )
+    by_name = {entry["policy"]: entry for entry in report["policies"]}
+    assert by_name["affinity"]["warm_jobs"] > by_name["cold_fifo"]["warm_jobs"]
+    assert by_name["affinity"]["cold_starts"] < by_name["cold_fifo"]["cold_starts"]
+
+
+def test_replay_is_deterministic(bench_serve, tmp_path):
+    first = bench_serve.run_bench(
+        n_jobs=16, pool_size=2, output=tmp_path / "a.json"
+    )
+    second = bench_serve.run_bench(
+        n_jobs=16, pool_size=2, output=tmp_path / "b.json"
+    )
+    for left, right in zip(first["policies"], second["policies"]):
+        assert left["reconfig_ns"] == right["reconfig_ns"]
+        assert left["sim_ns"] == right["sim_ns"]
+        assert left["makespan_ns"] == right["makespan_ns"]
+        assert left["warm_jobs"] == right["warm_jobs"]
+
+
+def test_repo_level_json_records_target_ratio():
+    """The committed BENCH_serve.json documents the >=1.5x acceptance bar."""
+    path = _HARNESS.parent.parent / "BENCH_serve.json"
+    report = json.loads(path.read_text())
+    assert report["trace"]["jobs"] == 200
+    assert report["reconfig_ratio"] >= 1.5
+    names = [entry["policy"] for entry in report["policies"]]
+    assert names == ["affinity", "cold_fifo"]

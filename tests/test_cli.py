@@ -35,6 +35,37 @@ class TestCLI:
         assert main(["nope"]) == 2
         assert "unknown artifact" in capsys.readouterr().err
 
+    def test_unknown_artifact_suggests_close_match(self, capsys):
+        assert main(["tabel4"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown artifact" in err
+        assert "did you mean" in err
+        assert "table4" in err
+
+    def test_unknown_artifact_mixed_with_known_runs_nothing(self, capsys):
+        assert main(["table2", "nope"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown artifact" in captured.err
+        assert "Table 2" not in captured.out
+
+    def test_version_flag(self, capsys):
+        from repro._version import __version__
+
+        for flag in ("--version", "-V"):
+            assert main([flag]) == 0
+            out = capsys.readouterr().out.strip()
+            assert out == f"repro {__version__}"
+
+    def test_serve_subcommand(self, capsys):
+        assert main(["serve", "--jobs", "6", "--pool", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "repro serve demo" in out
+        assert "warm / cold" in out
+
+    def test_serve_forwards_policy(self, capsys):
+        assert main(["serve", "--jobs", "4", "--policy", "cold_fifo"]) == 0
+        assert "policy=cold_fifo" in capsys.readouterr().out
+
     @pytest.mark.parametrize("name", ["table2", "table4", "table5", "fig12"])
     def test_fast_artifacts_render(self, name, capsys):
         assert main([name]) == 0

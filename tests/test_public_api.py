@@ -8,12 +8,15 @@ from repro.errors import (
     DSEError,
     ExecutionError,
     FabricError,
+    JobCancelled,
+    JobRejected,
     KernelError,
     LinkError,
     MappingError,
     ProcessNetworkError,
     ReconfigError,
     ReproError,
+    ServeError,
 )
 
 
@@ -33,7 +36,7 @@ class TestErrors:
     @pytest.mark.parametrize("exc", [
         FabricError, AssemblerError, ExecutionError, LinkError,
         ReconfigError, MappingError, ProcessNetworkError, KernelError,
-        DSEError,
+        DSEError, ServeError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -41,6 +44,10 @@ class TestErrors:
     def test_fabric_family(self):
         for exc in (AssemblerError, ExecutionError, LinkError, ReconfigError):
             assert issubclass(exc, FabricError)
+
+    def test_serve_family(self):
+        for exc in (JobRejected, JobCancelled):
+            assert issubclass(exc, ServeError)
 
     def test_assembler_error_line_prefix(self):
         assert "line 3" in str(AssemblerError("bad", line=3))
