@@ -1,0 +1,299 @@
+"""Fault-tolerance benchmark: scrub overhead, latency, repair policies.
+
+Runs one reproducible Poisson SEU campaign over a fabric FFT at several
+scrub periods and writes a machine-readable ``BENCH_faults.json``::
+
+    {"workload": {...}, "baseline": {...},
+     "scrub_period_sweep": [{"scrub_period": 1, "overhead_vs_baseline": ...,
+                             "outputs_match": true, ...}, ...],
+     "detection_latency_ns": {...}, "mttr_ns": {...},
+     "repair_policy": {"partial": {...}, "full": {...}, "speedup": ...},
+     "acceptance": {...}}
+
+Three questions, one artifact:
+
+* **Runtime overhead vs. scrub period** — every campaign replays the
+  *same* seeded fault timeline; only the scrub cadence changes.  Period
+  0 is the unprotected baseline (faults run free), period 1 scrubs at
+  every epoch boundary and guarantees bit-exact outputs, larger periods
+  trade output protection for ICAP bandwidth.
+* **Detection latency distribution** — injection-to-detection times of
+  every detected fault in the period-1 campaign (scrubbing is the
+  detector, so latency is bounded by the inter-scrub interval).
+* **Partial repair vs. full reload** — the same period-1 campaign run
+  under both repair policies; partial rewrites only the words that
+  differ from the verified checkpoint, full reloads every affected tile
+  wholesale.  The acceptance bar is a >= 2x modeled ICAP-time win.
+
+Everything is simulated fabric time — **no wall-clock fields** — so two
+runs of this benchmark produce byte-identical JSON.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_faults.py``) or
+through :func:`run_bench` from the smoke test with a reduced workload.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+#: Committed-benchmark workload shape.
+DEFAULT_N = 64
+DEFAULT_M = 16
+DEFAULT_COLS = 1
+DEFAULT_SEED = 17
+#: One SEU every ~20 us of fabric time, on average.
+DEFAULT_RATE_PER_NS = 1.0 / 20_000.0
+#: Scrub cadences swept (0 = unprotected baseline).
+DEFAULT_PERIODS = (0, 1, 2, 4, 8)
+
+
+def _build_workload(n: int, m: int, cols: int, seed: int):
+    """The FFT under test: plan, input, epoch schedule factory."""
+    import numpy as np
+
+    from repro.kernels.fft.decompose import FFTPlan
+    from repro.kernels.fft.runner import FabricFFT
+
+    plan = FFTPlan(n, m, cols)
+    fft = FabricFFT(plan)
+    rng = np.random.default_rng(seed)
+    x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)) * 0.05
+    return plan, fft, x
+
+
+def _fault_free_run(plan, fft, x) -> tuple:
+    """Reference run on a clean fabric: (golden output, total_ns, reconfig_ns)."""
+    from repro.fabric.icap import IcapPort
+    from repro.fabric.mesh import Mesh
+    from repro.fabric.rtms import RuntimeManager
+
+    mesh = Mesh(plan.rows, plan.cols)
+    rtms = RuntimeManager(mesh, IcapPort())
+    rtms.execute(fft.transform_epochs(x, tag=""))
+    return fft.read_output(mesh), rtms.now_ns, rtms.icap.total_busy_ns
+
+
+def _campaign(
+    plan,
+    fft,
+    x,
+    *,
+    seed: int,
+    rate_per_ns: float,
+    window_ns: float,
+    scrub_period: int,
+    repair_policy: str = "partial",
+):
+    """One seeded campaign; returns (CampaignResult, output array)."""
+    from repro.fabric.icap import IcapPort
+    from repro.fabric.mesh import Mesh
+    from repro.fabric.rtms import RuntimeManager
+    from repro.faults import (
+        CampaignConfig,
+        FaultInjector,
+        FaultTarget,
+        ReadbackScrubber,
+        run_campaign,
+    )
+
+    mesh = Mesh(plan.rows, plan.cols)
+    rtms = RuntimeManager(mesh, IcapPort())
+    injector = FaultInjector(mesh, seed=seed)
+    # DMEM-only: data corruption propagates silently when unprotected,
+    # which is exactly the contrast the sweep is after (an unscrubbed
+    # instruction fault would abort execution instead of corrupting it).
+    injector.schedule_poisson(
+        rate_per_ns=rate_per_ns,
+        until_ns=window_ns,
+        targets=(FaultTarget.DMEM,),
+    )
+    result = run_campaign(
+        rtms,
+        fft.transform_epochs(x, tag=""),
+        injector,
+        ReadbackScrubber(),
+        CampaignConfig(scrub_period=scrub_period, repair_policy=repair_policy),
+    )
+    return result, fft.read_output(mesh), rtms
+
+
+def _distribution(values: list) -> dict:
+    values = sorted(float(v) for v in values)
+    if not values:
+        return {"samples": 0, "min_ns": 0.0, "mean_ns": 0.0,
+                "median_ns": 0.0, "max_ns": 0.0, "values_ns": []}
+    return {
+        "samples": len(values),
+        "min_ns": values[0],
+        "mean_ns": sum(values) / len(values),
+        "median_ns": float(statistics.median(values)),
+        "max_ns": values[-1],
+        "values_ns": values,
+    }
+
+
+def _policy_entry(result) -> dict:
+    repair_ns = sum(r.repair_ns for r in result.repairs)
+    return {
+        "repairs": len(result.repairs),
+        "rollbacks": result.rollbacks,
+        "repair_ns": repair_ns,
+        "mean_repair_ns": repair_ns / len(result.repairs)
+        if result.repairs
+        else 0.0,
+        "total_ns": result.total_ns,
+        "scrub_ns": result.scrub_ns,
+    }
+
+
+def run_bench(
+    n: int = DEFAULT_N,
+    m: int = DEFAULT_M,
+    cols: int = DEFAULT_COLS,
+    seed: int = DEFAULT_SEED,
+    rate_per_ns: float = DEFAULT_RATE_PER_NS,
+    periods: tuple = DEFAULT_PERIODS,
+    output: Path | str = DEFAULT_OUTPUT,
+) -> dict:
+    """Sweep the fault campaign and write ``BENCH_faults.json``."""
+    import numpy as np
+
+    from repro.faults.campaign import partial_vs_full_repair_ns
+
+    plan, fft, x = _build_workload(n, m, cols, seed)
+    golden, golden_ns, golden_reconfig_ns = _fault_free_run(plan, fft, x)
+    window_ns = golden_ns * 3  # faults keep striking through retries
+
+    sweep = []
+    period_one = None
+    for period in periods:
+        result, out, rtms = _campaign(
+            plan, fft, x,
+            seed=seed, rate_per_ns=rate_per_ns, window_ns=window_ns,
+            scrub_period=period,
+        )
+        matches = bool(np.array_equal(out, golden))
+        sweep.append({
+            "scrub_period": period,
+            "total_ns": result.total_ns,
+            "scrub_ns": result.scrub_ns,
+            "reconfig_ns": result.reconfig_ns,
+            "scrub_bandwidth_fraction": result.scrub_bandwidth_fraction,
+            "overhead_vs_baseline": result.total_ns / golden_ns - 1.0,
+            "injected": result.injected,
+            "detected": result.detected,
+            "corrected": result.corrected,
+            "masked": result.masked,
+            "rollbacks": result.rollbacks,
+            "retried_epochs": result.retried_epochs,
+            "outputs_match": matches,
+        })
+        if period == 1:
+            period_one = (result, rtms)
+
+    assert period_one is not None, "sweep must include scrub_period=1"
+    partial_result, partial_rtms = period_one
+
+    # Same timeline, full-tile-reload repair policy.
+    full_result, full_out, _ = _campaign(
+        plan, fft, x,
+        seed=seed, rate_per_ns=rate_per_ns, window_ns=window_ns,
+        scrub_period=1, repair_policy="full",
+    )
+    partial_entry = _policy_entry(partial_result)
+    full_entry = _policy_entry(full_result)
+    measured_speedup = (
+        full_entry["mean_repair_ns"] / partial_entry["mean_repair_ns"]
+        if partial_entry["mean_repair_ns"] > 0
+        else 0.0
+    )
+    # Modeled single-SEU comparison: rewrite one 48-bit word vs. reload
+    # the whole tile image through the ICAP.
+    active = [t.coord for t in partial_rtms.mesh]
+    modeled_partial, modeled_full = partial_vs_full_repair_ns(
+        partial_rtms, None, active, corrupt_words=1
+    )
+    modeled_speedup = (
+        modeled_full / modeled_partial if modeled_partial > 0 else 0.0
+    )
+
+    protected = next(e for e in sweep if e["scrub_period"] == 1)
+    report = {
+        "workload": {
+            "kernel": "fft",
+            "n": n,
+            "m": m,
+            "cols": cols,
+            "seed": seed,
+            "fault_rate_per_ns": rate_per_ns,
+            "fault_window_ns": window_ns,
+            "targets": ["dmem"],
+        },
+        "baseline": {
+            "total_ns": golden_ns,
+            "reconfig_ns": golden_reconfig_ns,
+        },
+        "scrub_period_sweep": sweep,
+        "detection_latency_ns": _distribution(
+            partial_result.detection_latencies_ns
+        ),
+        "mttr_ns": _distribution(partial_result.mttr_ns),
+        "repair_policy": {
+            "partial": partial_entry,
+            "full": full_entry,
+            "measured_speedup": measured_speedup,
+            "modeled": {
+                "partial_ns": modeled_partial,
+                "full_ns": modeled_full,
+                "speedup": modeled_speedup,
+            },
+            "outputs_agree": bool(np.array_equal(full_out, golden)),
+        },
+        "acceptance": {
+            "protected_outputs_match": protected["outputs_match"],
+            "partial_speedup_ge_2x": measured_speedup >= 2.0
+            and modeled_speedup >= 2.0,
+        },
+    }
+    output = Path(output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> int:
+    report = run_bench()
+    print(f"wrote {DEFAULT_OUTPUT}")
+    base = report["baseline"]["total_ns"]
+    print(f"fault-free baseline: {base / 1e3:.1f} us")
+    for entry in report["scrub_period_sweep"]:
+        print(
+            f"scrub_period {entry['scrub_period']:>2}  "
+            f"overhead {100 * entry['overhead_vs_baseline']:6.1f}%  "
+            f"scrub share {100 * entry['scrub_bandwidth_fraction']:5.1f}%  "
+            f"detected {entry['detected']:2d}/{entry['injected']:2d}  "
+            f"exact {'yes' if entry['outputs_match'] else 'NO'}"
+        )
+    lat = report["detection_latency_ns"]
+    print(
+        f"detection latency: n={lat['samples']} "
+        f"mean {lat['mean_ns']:.0f} ns  median {lat['median_ns']:.0f} ns  "
+        f"max {lat['max_ns']:.0f} ns"
+    )
+    pol = report["repair_policy"]
+    print(
+        f"repair: partial {pol['partial']['mean_repair_ns']:.0f} ns/rollback "
+        f"vs full {pol['full']['mean_repair_ns']:.0f} ns/rollback "
+        f"-> {pol['measured_speedup']:.1f}x measured, "
+        f"{pol['modeled']['speedup']:.1f}x modeled"
+    )
+    ok = all(report["acceptance"].values())
+    print(f"acceptance: {report['acceptance']} -> {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

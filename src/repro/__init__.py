@@ -48,12 +48,14 @@ from repro.errors import (
     DSEError,
     ExecutionError,
     FabricError,
+    FaultError,
     KernelError,
     LinkError,
     MappingError,
     ProcessNetworkError,
     ReconfigError,
     ReproError,
+    ScrubError,
 )
 from repro.fabric import (
     Direction,
@@ -115,6 +117,7 @@ __all__ = [
     "FFTPlan",
     "FabricError",
     "FabricFFT",
+    "FaultError",
     "IcapPort",
     "JPEGDecoder",
     "JPEGEncoder",
@@ -131,6 +134,7 @@ __all__ = [
     "ReconfigError",
     "ReproError",
     "RuntimeManager",
+    "ScrubError",
     "Stage",
     "StageProfile",
     "Tile",

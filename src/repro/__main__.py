@@ -8,12 +8,14 @@ Usage::
     python -m repro all                  # everything (slow: includes
                                          # simulator-measured profiles)
     python -m repro serve --jobs 24      # fabric job-service demo
+    python -m repro faults               # SEU injection + scrubbing demo
     python -m repro --version            # print the package version
 
 Each artifact name maps to a module of :mod:`repro.experiments`; the
 output is exactly what the benchmark harness saves under
 ``benchmarks/output/``.  ``serve`` forwards its arguments to
-:func:`repro.serve.client.main`.
+:func:`repro.serve.client.main`; ``faults`` runs the deterministic
+fault-tolerance walkthrough of :mod:`repro.faults.demo`.
 """
 
 from __future__ import annotations
@@ -75,6 +77,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.client import main as serve_main
 
         return serve_main(args[1:])
+    if args[0] == "faults":
+        from repro.faults.demo import main as faults_main
+
+        return faults_main()
     if args[0] == "list":
         width = max(len(name) for name in ARTIFACTS)
         for name, (_, description) in ARTIFACTS.items():

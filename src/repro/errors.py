@@ -50,7 +50,51 @@ class LinkError(FabricError):
 
 
 class ReconfigError(FabricError):
-    """Raised on invalid reconfiguration requests (e.g. oversized images)."""
+    """Raised on invalid reconfiguration requests (e.g. oversized images).
+
+    When the failure concerns a specific tile the raiser attaches the
+    tile coordinate and the ICAP timeline position so the message reads
+    like a configuration-port trace entry::
+
+        IMEM bitstream without a decoded program [tile (1, 0), icap t=1200.00 ns]
+
+    Both fields are optional (kept as attributes for programmatic use)
+    so validation errors raised before any tile is involved keep their
+    plain form.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        coord: tuple[int, int] | None = None,
+        icap_ns: float | None = None,
+    ) -> None:
+        self.coord = coord
+        self.icap_ns = icap_ns
+        details = []
+        if coord is not None:
+            details.append(f"tile {coord}")
+        if icap_ns is not None:
+            details.append(f"icap t={icap_ns:.2f} ns")
+        if details:
+            message = f"{message} [{', '.join(details)}]"
+        super().__init__(message)
+
+
+class FaultError(FabricError):
+    """Raised by the SEU fault-injection / recovery subsystem.
+
+    Examples: executing an SEU-corrupted instruction word, a recovery
+    retry budget exhausted with the fabric still corrupt, or a hard
+    fault on a tile with no spare to remap onto.
+    """
+
+
+class ScrubError(FaultError):
+    """Raised when readback scrubbing cannot proceed (mismatched golden
+    image shapes, scrubbing a coordinate outside the mesh, invalid scrub
+    periods)."""
 
 
 class MappingError(ReproError):

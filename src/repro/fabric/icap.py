@@ -107,6 +107,19 @@ class IcapPort:
         """Total time the port has spent transferring (running total)."""
         return self._busy_total_ns
 
+    def busy_ns_by_prefix(self, prefix: str) -> float:
+        """Port busy time of transfers whose label starts with ``prefix``.
+
+        Scrubbing labels its readback/repair traffic ``scrub:`` so the
+        fault campaign can report how much of the single port's bandwidth
+        went to scrubbing vs. epoch reconfiguration — the two streams
+        compete on the same timeline exactly as Eq. 1 predicts.  O(n) in
+        the transfer count; meant for end-of-run reporting, not hot paths.
+        """
+        return sum(
+            t.duration_ns for t in self.transfers if t.label.startswith(prefix)
+        )
+
     def reset(self) -> None:
         """Clear the timeline (new run)."""
         self.busy_until_ns = 0.0

@@ -14,9 +14,9 @@ claims.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
-from repro.errors import MemoryError_
+from repro.errors import FaultError, MemoryError_
 from repro.fabric.fixedpoint import WORD_BITS, wrap_word
 
 # wrap_word's constants, inlined into the hot store path below.
@@ -124,6 +124,42 @@ class DataMemory:
         """Copy of the full memory contents."""
         return list(self._words)
 
+    def load_words(self, words: Sequence[int]) -> None:
+        """Replace the whole contents from a :meth:`snapshot` copy.
+
+        Counters are untouched (checkpoint restore is a host/ICAP-side
+        operation whose *time* cost is charged by whoever schedules the
+        transfer).  Values are re-wrapped defensively so hand-built word
+        lists behave like a sequence of :meth:`poke` calls.
+        """
+        if len(words) != self.size:
+            raise MemoryError_(
+                f"restore image has {len(words)} words, memory has {self.size}"
+            )
+        # In-place so any alias of the word list stays valid.
+        self._words[:] = [wrap_word(w) for w in words]
+
+    def diff(self, other: "DataMemory | Sequence[int]") -> list[int]:
+        """Addresses whose words differ from ``other`` (ascending).
+
+        ``other`` may be another :class:`DataMemory` of the same size or
+        a full word list as returned by :meth:`snapshot`.  This is the
+        primitive readback scrubbing is built on: compare the frame just
+        read back against the golden/checkpoint image and return exactly
+        the corrupted word addresses, so a *partial* repair can rewrite
+        only those words (33.33 ns each over the ICAP) instead of
+        reloading the whole 512-word memory.  No access counters are
+        touched — readback does not go through the tile's ports.
+        """
+        words = other._words if isinstance(other, DataMemory) else other
+        if len(words) != self.size:
+            raise MemoryError_(
+                f"cannot diff {self.size}-word memory against "
+                f"{len(words)}-word image"
+            )
+        mine = self._words
+        return [addr for addr in range(self.size) if mine[addr] != words[addr]]
+
     def clear(self) -> None:
         """Zero the memory and reset counters."""
         self._words = [0] * self.size
@@ -140,6 +176,18 @@ class DataMemory:
         self.reconfig_writes = 0
 
 
+#: Sentinel stored in an instruction slot hit by an SEU.  Executing it is
+#: an error; readback scrubbing recognises it as a corrupted frame word.
+class _CorruptedWord:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return "<SEU-corrupted instruction word>"
+
+
+SEU_CORRUPTED = _CorruptedWord()
+
+
 class InstructionMemory:
     """A 512-word instruction store holding decoded instructions.
 
@@ -154,6 +202,8 @@ class InstructionMemory:
         self.size = size
         self._slots: list[object | None] = [None] * size
         self.reconfig_writes = 0
+        #: SEU-hit slots: addr -> the original (pre-fault) slot contents.
+        self._corrupted: dict[int, object | None] = {}
 
     def load(self, instructions: list, base: int = 0, *, reconfig: bool = False) -> int:
         """Load a program image at ``base``; returns words written.
@@ -184,13 +234,111 @@ class InstructionMemory:
         instr = self._slots[pc]
         if instr is None:
             raise MemoryError_(f"fetch from unloaded instruction word {pc}")
+        if instr is SEU_CORRUPTED:
+            raise FaultError(
+                f"fetch from SEU-corrupted instruction word {pc} "
+                f"(scrub the tile before running it)"
+            )
         return instr
+
+    # ------------------------------------------------------------------
+    # fault-model hooks (SEU corruption, readback scrubbing)
+    # ------------------------------------------------------------------
+
+    def corrupt_slot(self, addr: int) -> None:
+        """Model an SEU in instruction word ``addr``.
+
+        The decoded model cannot meaningfully flip one of the 72 encoded
+        bits, so the whole word is replaced by :data:`SEU_CORRUPTED`:
+        executing it raises :class:`~repro.errors.FaultError` and
+        readback scrubbing sees a frame mismatch.  The pre-fault slot is
+        kept so :meth:`repair_slot` can restore it (the golden-image
+        rewrite).  Corrupting a corrupted word is a no-op (stuck-at).
+        """
+        if not 0 <= addr < self.size:
+            raise MemoryError_(f"address {addr} outside instruction memory")
+        if addr in self._corrupted:
+            return
+        self._corrupted[addr] = self._slots[addr]
+        self._slots[addr] = SEU_CORRUPTED
+
+    def repair_slot(self, addr: int) -> None:
+        """Rewrite a corrupted word from its pre-fault contents."""
+        if addr in self._corrupted:
+            self._slots[addr] = self._corrupted.pop(addr)
+
+    @property
+    def has_corruption(self) -> bool:
+        """True when any slot currently holds an SEU-corrupted word."""
+        return bool(self._corrupted)
+
+    def corrupted_slots(self) -> list[int]:
+        """Addresses of SEU-corrupted words (ascending)."""
+        return sorted(self._corrupted)
+
+    # ------------------------------------------------------------------
+    # snapshots (checkpoint / golden-image machinery)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> list[object | None]:
+        """Copy of the slot list (decoded objects are shared, immutable)."""
+        return list(self._slots)
+
+    def load_slots(self, slots: Sequence[object | None]) -> None:
+        """Restore the slot list from a :meth:`snapshot` copy.
+
+        Clears any SEU corruption (a full golden rewrite repairs it) and
+        leaves ``reconfig_writes`` untouched — time/traffic accounting is
+        the scheduler's job.
+        """
+        if len(slots) != self.size:
+            raise MemoryError_(
+                f"restore image has {len(slots)} slots, memory has {self.size}"
+            )
+        self._slots = list(slots)
+        self._corrupted.clear()
+
+    def diff(self, golden: Sequence[object | None]) -> list[int]:
+        """Slot addresses that differ from a golden :meth:`snapshot`.
+
+        Comparison is by identity: decoded instruction objects are shared
+        between the image and the memory, so any slot that is not the
+        same object (corrupted sentinel, evicted, different program) is a
+        mismatch.
+        """
+        if len(golden) != self.size:
+            raise MemoryError_(
+                f"cannot diff {self.size}-slot memory against "
+                f"{len(golden)}-slot image"
+            )
+        mine = self._slots
+        return [addr for addr in range(self.size) if mine[addr] is not golden[addr]]
 
     def loaded_words(self) -> int:
         """Number of occupied instruction slots."""
         return sum(1 for slot in self._slots if slot is not None)
 
+    def loaded_addrs(self) -> list[int]:
+        """Addresses of occupied instruction slots (ascending).
+
+        Used by the fault injector to retarget an SEU that hit an
+        unloaded slot onto architecturally live state.
+        """
+        return [a for a, slot in enumerate(self._slots) if slot is not None]
+
+    def peek_slot(self, addr: int):
+        """Slot contents without the fetch-time checks (host/debug view).
+
+        Unlike :meth:`fetch` this returns unloaded (``None``) and
+        SEU-corrupted slots as-is instead of raising — it is the readback
+        path, not the execution path.
+        """
+        if not 0 <= addr < self.size:
+            raise MemoryError_(f"address {addr} outside instruction memory")
+        return self._slots[addr]
+
     def clear(self) -> None:
         """Erase all instruction slots."""
         self._slots = [None] * self.size
         self.reconfig_writes = 0
+        self._corrupted.clear()

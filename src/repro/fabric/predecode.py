@@ -540,6 +540,12 @@ def decode_for_tile(tile: "Tile") -> tuple[DecodedProgram, int] | None:
     program = tile.program
     if program is None or tile.dmem.size != DATA_MEM_WORDS:
         return None
+    if tile.imem.has_corruption:
+        # An SEU-corrupted instruction word must fault when (and only
+        # when) the pc actually reaches it; the decoded closures bypass
+        # the instruction memory, so fall back to the reference
+        # interpreter, whose fetch path raises FaultError on the word.
+        return None
     base = tile.resident_base(program)
     if base is None:
         return None

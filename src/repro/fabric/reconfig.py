@@ -209,7 +209,9 @@ class ReconfigPlanner:
                     program = txn.programs.get(coord)
                     if program is None:
                         raise ReconfigError(
-                            f"IMEM bitstream for {coord} without a decoded program"
+                            "IMEM bitstream without a decoded program",
+                            coord=coord,
+                            icap_ns=self.icap.busy_until_ns,
                         )
                     tile = self.mesh.tile(coord)
                     if tile.resident_base(program) is None:

@@ -34,7 +34,13 @@ from repro.fabric.mesh import Mesh
 from repro.fabric.reconfig import ReconfigPlanner
 from repro.fabric.simulator import run_concurrent
 
-__all__ = ["EpochSpec", "EpochReport", "RunReport", "RuntimeManager"]
+__all__ = [
+    "EpochSpec",
+    "EpochReport",
+    "FabricCheckpoint",
+    "RunReport",
+    "RuntimeManager",
+]
 
 Coord = tuple[int, int]
 
@@ -151,6 +157,33 @@ class RunReport:
         return "\n".join(lines)
 
 
+@dataclass
+class FabricCheckpoint:
+    """Epoch-boundary snapshot of all architecturally visible mesh state.
+
+    Captures, per tile, both memories plus residency and control state
+    (via :meth:`repro.fabric.tile.Tile.capture`) and the mesh's link
+    configuration.  Taken at verified epoch boundaries by the fault
+    campaign; restoring one is the *functional* half of a repair — the
+    ICAP time the rewrite costs is charged separately by the caller,
+    which is what lets the campaign compare partial-word repair against
+    a full-fabric reload on identical state.
+    """
+
+    #: Simulated time the checkpoint was taken (diagnostic only).
+    taken_at_ns: float
+    tiles: dict[Coord, dict] = field(default_factory=dict)
+    links: dict[Coord, Direction | None] = field(default_factory=dict)
+
+    def dmem_words(self, coord: Coord) -> list[int]:
+        """The checkpointed data-memory image of one tile."""
+        return self.tiles[coord]["dmem"]
+
+    def imem_slots(self, coord: Coord) -> list:
+        """The checkpointed instruction-slot image of one tile."""
+        return self.tiles[coord]["imem"]
+
+
 class RuntimeManager:
     """Sequences epochs on a mesh, accounting reconfiguration overlap.
 
@@ -204,6 +237,33 @@ class RuntimeManager:
         self.icap.reset()
         self.tile_ready_ns.clear()
         self.now_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # checkpointing (epoch-boundary recovery)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> FabricCheckpoint:
+        """Snapshot every tile's memories/control state and all links."""
+        return FabricCheckpoint(
+            taken_at_ns=self.now_ns,
+            tiles={tile.coord: tile.capture() for tile in self.mesh},
+            links={tile.coord: self.mesh.active_link(tile.coord) for tile in self.mesh},
+        )
+
+    def restore(self, cp: FabricCheckpoint) -> None:
+        """Restore a :meth:`checkpoint` (memories, residency, links).
+
+        Timing state (``now_ns``, the ICAP timeline, per-tile ready
+        times) is deliberately **not** rolled back: simulated time only
+        moves forward, so a recovery's rollback + re-execution shows up
+        as real elapsed time — the retry cost the fault benchmarks
+        measure.  The ICAP transfer time of the rewrite itself is charged
+        by the caller (partial diff vs. full reload policies differ).
+        """
+        for coord, state in cp.tiles.items():
+            self.mesh.tile(coord).restore(state)
+        for coord, direction in cp.links.items():
+            self.mesh.configure_link(coord, direction)
 
     # ------------------------------------------------------------------
     # cost estimation (no side effects)

@@ -189,6 +189,44 @@ class Tile:
         self.evict_programs()
         self.install_program(program, reconfig=reconfig)
 
+    # ------------------------------------------------------------------
+    # checkpointing (epoch-boundary recovery)
+    # ------------------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Snapshot all architecturally visible tile state.
+
+        Covers both memories, the residency table (so restored programs
+        stay pinned), the bump allocator and the control state (pc /
+        halted / selected program).  Statistics are *not* captured: a
+        rolled-back epoch's work really happened and stays counted, the
+        same way its ICAP traffic stays on the timeline.
+        """
+        return {
+            "dmem": self.dmem.snapshot(),
+            "imem": self.imem.snapshot(),
+            "resident": dict(self._resident),
+            "next_free": self._next_free,
+            "pc": self.pc,
+            "halted": self.halted,
+            "program": self.program,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`capture` snapshot (memories + control state).
+
+        The *time* cost of streaming the words back through the ICAP is
+        charged by the caller (the fault campaign's repair path); this
+        method only performs the state mutation.
+        """
+        self.dmem.load_words(state["dmem"])
+        self.imem.load_slots(state["imem"])
+        self._resident = dict(state["resident"])
+        self._next_free = state["next_free"]
+        self.pc = state["pc"]
+        self.halted = state["halted"]
+        self.program = state["program"]
+
     def restart(self) -> None:
         """Rewind the pc to the current program's entry without touching
         memories.

@@ -1,0 +1,60 @@
+"""SEU fault injection, ICAP readback scrubbing, and recovery.
+
+The partial-reconfiguration machinery the paper builds for *performance*
+(swap one tile's bitstream while the others compute) is the same
+machinery that makes the fabric *repairable*: the single ICAP can read
+configuration frames back, compare them against golden images, rewrite
+exactly the corrupted words, and — when a tile turns out stuck-at —
+stream its state onto a spare.  This package models that whole loop:
+
+* :mod:`repro.faults.model` — fault events, classes (transient vs.
+  hard), targets (data memory / instruction memory / link state), and
+  per-fault lifecycle records;
+* :mod:`repro.faults.injector` — seeded, reproducible injection on a
+  Poisson SEU timeline or from scripted campaigns, with stuck-at
+  re-assertion;
+* :mod:`repro.faults.scrubber` — frame-level readback and partial /
+  full repair, all charged on the shared
+  :class:`~repro.fabric.icap.IcapPort` timeline so scrub traffic
+  competes with epoch reconfiguration exactly as Eq. 1 prices it;
+* :mod:`repro.faults.campaign` — the epoch-boundary campaign driver:
+  inject due faults, scrub, roll back to the last verified checkpoint
+  on detection, re-run, and remap hard-failed tiles onto spares via
+  :mod:`repro.mapping.spare`.
+
+``python -m repro faults`` walks through both a transient shower and a
+hard-fault remap; ``benchmarks/bench_faults.py`` measures the overhead
+vs. scrub-period trade and the partial-repair speedup.
+"""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+    used_coords,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FaultClass,
+    FaultEvent,
+    FaultTarget,
+    InjectionRecord,
+    flip_word,
+)
+from repro.faults.scrubber import ReadbackScrubber, RepairReport, ScrubReport
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultClass",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultTarget",
+    "InjectionRecord",
+    "ReadbackScrubber",
+    "RepairReport",
+    "ScrubReport",
+    "flip_word",
+    "run_campaign",
+    "used_coords",
+]

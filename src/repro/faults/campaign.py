@@ -1,0 +1,323 @@
+"""Epoch-boundary fault campaigns: inject → scrub → repair → re-run.
+
+:func:`run_campaign` drives an epoch schedule through a
+:class:`~repro.fabric.rtms.RuntimeManager` under SEU fire, with the full
+recovery loop the paper's partial-reconfiguration story enables:
+
+1. at every epoch boundary, due faults strike (and hard faults
+   re-assert);
+2. every ``scrub_period`` boundaries the
+   :class:`~repro.faults.scrubber.ReadbackScrubber` reads the active
+   tiles back over the shared ICAP;
+3. a detection rolls the fabric back to the last *verified* checkpoint
+   (repair traffic charged per policy: partial word rewrite vs. full
+   tile reload), re-runs the epochs since that checkpoint, and re-scrubs
+   until clean;
+4. a coordinate that stays corrupt through ``hard_streak`` consecutive
+   scrubs is declared hard-failed: its checkpointed state is streamed
+   onto a healthy spare tile (:mod:`repro.mapping.spare` picks it), all
+   remaining epochs are remapped, and the coordinate is retired.
+
+When scrubbing runs at every boundary (``scrub_period=1``) the ordering
+guarantees *exact* outputs: faults are detected and repaired before the
+epoch that would consume them executes, so the final memories are
+bit-identical to a fault-free run.  Larger periods trade output
+guarantees for bandwidth: a fault can be read (and propagated) by an
+epoch, be overwritten (masked), and escape the persistence check — the
+scrub-period sweep in ``benchmarks/bench_faults.py`` quantifies the
+overhead side of that trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScrubError
+from repro.fabric.rtms import EpochReport, EpochSpec, RuntimeManager
+from repro.faults.injector import FaultInjector
+from repro.faults.model import Coord
+from repro.faults.scrubber import ReadbackScrubber, RepairReport, ScrubReport
+from repro.mapping.spare import plan_remap, remap_epochs
+from repro.units import DMEM_WORD_RELOAD_NS, IMEM_WORD_RELOAD_NS
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign", "used_coords"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Tunables of one fault campaign."""
+
+    #: Scrub every this many epoch boundaries (1 = every boundary,
+    #: 0 = never — faults run free, the unprotected baseline).
+    scrub_period: int = 1
+    #: ``"partial"`` (rewrite differing words) or ``"full"`` (reload tiles).
+    repair_policy: str = "partial"
+    #: Give up (raise ScrubError) after this many repair attempts at one
+    #: boundary; must exceed the scrubber's ``hard_streak`` so stuck-at
+    #: faults reach their spare-tile remap before the limit.
+    max_repair_attempts: int = 6
+    #: Remap hard-failed tiles onto spares (False: raise instead).
+    spare_remap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scrub_period < 0:
+            raise ScrubError(
+                f"scrub_period must be >= 0, got {self.scrub_period}"
+            )
+        if self.repair_policy not in ("partial", "full"):
+            raise ScrubError(f"unknown repair policy {self.repair_policy!r}")
+        if self.max_repair_attempts < 1:
+            raise ScrubError(
+                f"max_repair_attempts must be >= 1, got {self.max_repair_attempts}"
+            )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured."""
+
+    config: CampaignConfig
+    epochs_run: int = 0
+    #: First-execution reports, in schedule order (retries excluded).
+    epoch_reports: list[EpochReport] = field(default_factory=list)
+    scrub_reports: list[ScrubReport] = field(default_factory=list)
+    repairs: list[RepairReport] = field(default_factory=list)
+    #: Rollback + re-execution events (fabric restored to a checkpoint).
+    rollbacks: int = 0
+    #: Epoch re-executions forced by rollbacks.
+    retried_epochs: int = 0
+    #: Hard-failed coordinates, in declaration order.
+    hard_failures: list[Coord] = field(default_factory=list)
+    #: (failed, spare) pairs of executed remaps.
+    remaps: list[tuple[Coord, Coord]] = field(default_factory=list)
+    injected: int = 0
+    detected: int = 0
+    corrected: int = 0
+    masked: int = 0
+    abandoned: int = 0
+    detection_latencies_ns: list[float] = field(default_factory=list)
+    mttr_ns: list[float] = field(default_factory=list)
+    total_ns: float = 0.0
+    #: ICAP busy time spent on scrub traffic (readback + repair + remap).
+    scrub_ns: float = 0.0
+    #: ICAP busy time spent on ordinary epoch reconfiguration.
+    reconfig_ns: float = 0.0
+
+    @property
+    def scrub_bandwidth_fraction(self) -> float:
+        """Share of configuration-port busy time consumed by scrubbing."""
+        busy = self.scrub_ns + self.reconfig_ns
+        return self.scrub_ns / busy if busy > 0 else 0.0
+
+    @property
+    def mean_detection_latency_ns(self) -> float:
+        lat = self.detection_latencies_ns
+        return sum(lat) / len(lat) if lat else 0.0
+
+    @property
+    def mean_mttr_ns(self) -> float:
+        return sum(self.mttr_ns) / len(self.mttr_ns) if self.mttr_ns else 0.0
+
+
+def used_coords(epochs: list[EpochSpec]) -> set[Coord]:
+    """Every coordinate an epoch list touches (for spare planning)."""
+    used: set[Coord] = set()
+    for spec in epochs:
+        used |= set(spec.programs) | set(spec.data_images) | set(spec.pokes)
+        used |= set(spec.links) | set(spec.run) | set(spec.depends_on)
+    return used
+
+
+def _remap_failed(
+    rtms: RuntimeManager,
+    checkpoint,
+    failed: Coord,
+    remaining: list[EpochSpec],
+    retired: set[Coord],
+) -> tuple[Coord, float]:
+    """Move ``failed``'s checkpoint state onto a spare; returns (spare, ns).
+
+    Chooses the spare with :func:`repro.mapping.spare.plan_remap` over
+    the coordinates the remaining schedule still uses, streams the
+    displaced tile image onto it (full reload of the one moved tile —
+    charged ``scrub:remap:``), rewrites the checkpoint in place, and
+    detaches the failed tile's link.  The *epoch* rewrite is the
+    caller's job (it owns both the pending and the future epoch lists).
+    """
+    mesh = rtms.mesh
+    used = used_coords(remaining) | {failed}
+    coord_map = plan_remap(
+        mesh.rows, mesh.cols, used, {failed} | set(retired)
+    )
+    spare = coord_map[failed]
+    # Stream the displaced tile image onto the spare (one full tile).
+    state = checkpoint.tiles.pop(failed)
+    checkpoint.tiles[spare] = state
+    n_imem = sum(1 for slot in state["imem"] if slot is not None)
+    nbytes = len(state["dmem"]) * 6 + n_imem * 9
+    _, end_ns = rtms.icap.schedule(
+        nbytes, earliest_ns=rtms.now_ns, label=f"scrub:remap:{failed}->{spare}"
+    )
+    mesh.tile(spare).restore(state)
+    # Carry the link over and detach the dead tile.
+    direction = checkpoint.links.pop(failed, None)
+    checkpoint.links[spare] = direction
+    checkpoint.links[failed] = None
+    mesh.configure_link(failed, None)
+    if direction is not None:
+        mesh.configure_link(spare, direction)
+        _, end_ns = rtms.icap.schedule_fixed(
+            rtms.link_cost_ns, earliest_ns=rtms.now_ns,
+            label=f"scrub:remap:l{spare}",
+        )
+    rtms.now_ns = max(rtms.now_ns, end_ns)
+    return spare, end_ns
+
+
+def run_campaign(
+    rtms: RuntimeManager,
+    epochs: list[EpochSpec],
+    injector: FaultInjector,
+    scrubber: ReadbackScrubber | None = None,
+    config: CampaignConfig | None = None,
+) -> CampaignResult:
+    """Execute ``epochs`` under fault injection with scrub/repair recovery.
+
+    The injector must target ``rtms.mesh``.  Returns the full
+    :class:`CampaignResult`; raises :class:`~repro.errors.ScrubError`
+    when a boundary cannot be cleaned within ``max_repair_attempts``
+    (e.g. a hard fault with ``spare_remap=False`` or no spare left).
+    """
+    scrubber = scrubber if scrubber is not None else ReadbackScrubber()
+    config = config if config is not None else CampaignConfig()
+    if config.max_repair_attempts < scrubber.hard_streak + 1:
+        raise ScrubError(
+            f"max_repair_attempts ({config.max_repair_attempts}) must exceed "
+            f"hard_streak ({scrubber.hard_streak}) for remap to engage"
+        )
+    result = CampaignResult(config=config)
+    mesh = rtms.mesh
+    retired: set[Coord] = set(injector.retired_coords)
+    remaining = list(epochs)
+    checkpoint = rtms.checkpoint()
+    pending: list[EpochSpec] = []
+
+    def active() -> list[Coord]:
+        return [t.coord for t in mesh if t.coord not in retired]
+
+    def scrub_boundary() -> None:
+        """Scan; on detection repair/rollback/re-run until verified clean."""
+        nonlocal checkpoint, pending
+        attempts = 0
+        while True:
+            report = scrubber.scan(rtms, injector, coords=active())
+            result.scrub_reports.append(report)
+            if report.clean:
+                break
+            attempts += 1
+            if attempts > config.max_repair_attempts:
+                raise ScrubError(
+                    f"boundary still corrupt after {attempts - 1} repair "
+                    f"attempts (coords "
+                    f"{sorted({r.coord for r in report.detected})})"
+                )
+            # Declare hard failures before repairing: their state moves
+            # with the checkpoint remap below.
+            declared = [c for c in report.hard_suspects if c not in retired]
+            if declared and not config.spare_remap:
+                raise ScrubError(
+                    f"hard fault at {declared[0]} with spare_remap disabled"
+                )
+            repair = scrubber.repair(
+                rtms, checkpoint, policy=config.repair_policy
+            )
+            result.repairs.append(repair)
+            result.rollbacks += 1
+            for coord in declared:
+                spare, _ = _remap_failed(
+                    rtms, checkpoint, coord, pending + remaining, retired
+                )
+                coord_map = {coord: spare}
+                pending = remap_epochs(
+                    pending, coord_map, rows=mesh.rows, cols=mesh.cols
+                )
+                remaining[:] = remap_epochs(
+                    remaining, coord_map, rows=mesh.rows, cols=mesh.cols
+                )
+                retired.add(coord)
+                injector.retire(coord)
+                scrubber.reset_streak(coord)
+                result.hard_failures.append(coord)
+                result.remaps.append((coord, spare))
+            # Stuck cells read corrupt again immediately after rollback.
+            injector.reassert()
+            if pending:
+                rerun = rtms.execute(pending)
+                result.retried_epochs += len(rerun.epochs)
+                injector.reassert()
+        # Verified clean: everything detected is now repaired.
+        for record in injector.records:
+            if (
+                record.detected_at_ns is not None
+                and record.repaired_at_ns is None
+                and not record.abandoned
+            ):
+                record.repaired_at_ns = rtms.now_ns
+        checkpoint = rtms.checkpoint()
+        pending = []
+
+    boundary = 0
+    while remaining:
+        injector.inject_due(rtms.now_ns)
+        injector.reassert()
+        if config.scrub_period and boundary % config.scrub_period == 0:
+            scrub_boundary()
+        spec = remaining.pop(0)
+        run = rtms.execute([spec])
+        result.epoch_reports.extend(run.epochs)
+        result.epochs_run += 1
+        pending.append(spec)
+        boundary += 1
+    # Final boundary: catch faults that struck during the tail epochs.
+    injector.inject_due(rtms.now_ns)
+    injector.reassert()
+    if config.scrub_period:
+        scrub_boundary()
+
+    counts = injector.counts()
+    result.injected = counts["injected"]
+    result.detected = counts["detected"]
+    result.corrected = counts["repaired"]
+    result.masked = counts["masked"]
+    result.abandoned = counts["abandoned"]
+    result.detection_latencies_ns = [
+        r.detection_latency_ns
+        for r in injector.records
+        if r.detection_latency_ns is not None
+    ]
+    result.mttr_ns = [
+        r.time_to_repair_ns
+        for r in injector.records
+        if r.time_to_repair_ns is not None
+    ]
+    result.total_ns = rtms.now_ns
+    result.scrub_ns = rtms.icap.busy_ns_by_prefix("scrub:")
+    result.reconfig_ns = rtms.icap.total_busy_ns - result.scrub_ns
+    return result
+
+
+def partial_vs_full_repair_ns(
+    rtms: RuntimeManager, checkpoint, coords: list[Coord], corrupt_words: int
+) -> tuple[float, float]:
+    """Modeled repair times: rewrite ``corrupt_words`` vs. reload tiles.
+
+    The acceptance comparison: a partial repair pays per corrupted data
+    word, the baseline reloads every affected tile wholesale.
+    """
+    partial = corrupt_words * DMEM_WORD_RELOAD_NS
+    full = 0.0
+    for coord in coords:
+        tile = rtms.mesh.tile(coord)
+        full += tile.dmem.size * DMEM_WORD_RELOAD_NS
+        full += tile.imem.loaded_words() * IMEM_WORD_RELOAD_NS
+    return partial, full

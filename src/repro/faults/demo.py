@@ -1,0 +1,146 @@
+"""``python -m repro faults`` — the fault-tolerance walkthrough.
+
+Two scenarios, both deterministic (fixed seed):
+
+1. **Transient SEU shower over an FFT.**  A 64-point fabric FFT runs
+   under a seeded Poisson SEU timeline with scrubbing at every epoch
+   boundary; the demo verifies the scrubbed output is *bit-identical*
+   to the fault-free golden run and prints the detection/repair
+   statistics and the scrub share of the ICAP bandwidth.
+
+2. **Hard fault and spare-tile remap.**  A single-tile FFT on a 1x2
+   mesh takes a stuck-at data-memory fault; scrubbing repairs it,
+   watches it re-assert, declares the tile hard-failed and streams the
+   workload onto the spare — the output (read from the spare) still
+   matches the golden run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fabric.icap import IcapPort
+from repro.fabric.mesh import Mesh
+from repro.fabric.rtms import RuntimeManager
+from repro.faults.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultClass, FaultEvent, FaultTarget
+from repro.faults.scrubber import ReadbackScrubber
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.runner import FabricFFT
+
+__all__ = ["main"]
+
+
+def _input(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(n) + 1j * rng.standard_normal(n)) * 0.05
+
+
+def _golden(fft: FabricFFT, x: np.ndarray) -> tuple[np.ndarray, float]:
+    result = fft.run(x)
+    return result.output, result.total_ns
+
+
+def _summary(result: CampaignResult) -> list[str]:
+    lines = [
+        f"  epochs run            : {result.epochs_run} "
+        f"(+{result.retried_epochs} retried)",
+        f"  faults injected       : {result.injected}",
+        f"  detected / corrected  : {result.detected} / {result.corrected}",
+        f"  masked (overwritten)  : {result.masked}",
+        f"  rollbacks             : {result.rollbacks}",
+        f"  hard failures         : {len(result.hard_failures)} "
+        f"{result.remaps if result.remaps else ''}".rstrip(),
+        f"  mean detection latency: {result.mean_detection_latency_ns:12.1f} ns",
+        f"  mean time-to-repair   : {result.mean_mttr_ns:12.1f} ns",
+        f"  total runtime         : {result.total_ns:12.1f} ns",
+        f"  ICAP scrub share      : {100 * result.scrub_bandwidth_fraction:.1f}% "
+        f"({result.scrub_ns:.0f} ns scrub vs {result.reconfig_ns:.0f} ns reconfig)",
+    ]
+    return lines
+
+
+def transient_shower(seed: int = 7) -> tuple[CampaignResult, bool]:
+    """Scenario 1: Poisson transient SEUs over a 64-point FFT."""
+    plan = FFTPlan(64, 16, 1)
+    fft = FabricFFT(plan)
+    x = _input(plan.n, seed)
+    golden, golden_ns = _golden(fft, x)
+
+    mesh = Mesh(plan.rows, plan.cols)
+    rtms = RuntimeManager(mesh, IcapPort())
+    injector = FaultInjector(mesh, seed=seed)
+    injector.schedule_poisson(
+        rate_per_ns=1.0 / 40_000.0,
+        until_ns=golden_ns * 3,
+        targets=(FaultTarget.DMEM, FaultTarget.IMEM),
+    )
+    result = run_campaign(
+        rtms,
+        fft.transform_epochs(x, tag=""),
+        injector,
+        ReadbackScrubber(),
+        CampaignConfig(scrub_period=1, repair_policy="partial"),
+    )
+    output = fft.read_output(mesh)
+    return result, bool(np.array_equal(output, golden))
+
+
+def hard_fault_remap(seed: int = 11) -> tuple[CampaignResult, bool]:
+    """Scenario 2: stuck-at fault, hard declaration, spare-tile remap."""
+    plan = FFTPlan(16, 16, 1)  # single working tile at (0, 0)
+    fft = FabricFFT(plan)
+    x = _input(plan.n, seed)
+    golden, _ = _golden(fft, x)
+
+    mesh = Mesh(1, 2)  # (0, 1) is the reserved spare
+    rtms = RuntimeManager(mesh, IcapPort())
+    injector = FaultInjector(mesh, seed=seed)
+    injector.script(
+        [
+            FaultEvent(
+                time_ns=0.0,
+                coord=(0, 0),
+                target=FaultTarget.DMEM,
+                addr=3,
+                bit=17,
+                fault_class=FaultClass.HARD,
+                label="stuck-at",
+            )
+        ]
+    )
+    result = run_campaign(
+        rtms,
+        fft.transform_epochs(x, tag=""),
+        injector,
+        ReadbackScrubber(hard_streak=2),
+        CampaignConfig(scrub_period=1, max_repair_attempts=4),
+    )
+    # The workload now lives on the spare; read the output from there.
+    spare_mesh = Mesh(plan.rows, plan.cols)
+    src = mesh.tile(result.remaps[0][1]) if result.remaps else mesh.tile((0, 0))
+    spare_mesh.tile((0, 0)).dmem.load_words(src.dmem.snapshot())
+    output = fft.read_output(spare_mesh)
+    return result, bool(np.array_equal(output, golden))
+
+
+def main() -> int:
+    print("=== Fault model demo: SEU injection + ICAP readback scrubbing ===")
+    print()
+    print("[1] transient SEU shower over a 64-point fabric FFT")
+    result, exact = transient_shower()
+    for line in _summary(result):
+        print(line)
+    print(f"  output vs fault-free  : {'bit-identical' if exact else 'MISMATCH'}")
+    print()
+    print("[2] stuck-at fault -> hard declaration -> spare-tile remap")
+    result, exact = hard_fault_remap()
+    for line in _summary(result):
+        print(line)
+    print(f"  output vs fault-free  : {'bit-identical' if exact else 'MISMATCH'}")
+    return 0 if exact else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

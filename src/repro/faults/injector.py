@@ -1,0 +1,281 @@
+"""Seeded, reproducible SEU injection into a mesh.
+
+:class:`FaultInjector` owns a fault *schedule* — either a scripted list
+of :class:`~repro.faults.model.FaultEvent` or a Poisson process drawn
+from a seeded ``random.Random`` — and applies due events to the mesh on
+demand.  Every corruption is a pure function of the event (the RNG is
+used only to *build* the schedule), so a campaign with a fixed seed is
+bit-reproducible.
+
+Hard (stuck-at) faults are tracked and :meth:`reassert`-ed after every
+rollback or re-execution: rewriting a stuck cell does not heal it, which
+is what eventually drives the scrubbing streak over its threshold and
+triggers the spare-tile remap.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.errors import FaultError
+from repro.fabric.links import Direction
+from repro.fabric.mesh import Mesh
+from repro.faults.model import (
+    Coord,
+    FaultClass,
+    FaultEvent,
+    FaultTarget,
+    InjectionRecord,
+    flip_word,
+)
+from repro.units import DATA_WORD_BITS
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules and applies SEUs to one mesh.
+
+    Parameters
+    ----------
+    mesh:
+        The fabric under test.
+    seed:
+        Seed for the schedule RNG (Poisson arrivals, target draws).
+    """
+
+    def __init__(self, mesh: Mesh, *, seed: int = 0) -> None:
+        self.mesh = mesh
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: Future events, kept sorted by (time, insertion order).
+        self._pending: list[FaultEvent] = []
+        #: Lifecycle of every injected event, in injection order.
+        self.records: list[InjectionRecord] = []
+        #: Hard-fault records that must re-assert after rewrites.
+        self._hard: list[InjectionRecord] = []
+        #: Coordinates abandoned to spares (no more reasserts/injections).
+        self._retired: set[Coord] = set()
+
+    # ------------------------------------------------------------------
+    # schedule construction
+    # ------------------------------------------------------------------
+
+    def script(self, events: Iterable[FaultEvent]) -> None:
+        """Queue an explicit campaign (merged into the pending schedule)."""
+        self._pending.extend(events)
+        self._pending.sort(key=lambda e: e.time_ns)
+
+    def schedule_poisson(
+        self,
+        rate_per_ns: float,
+        until_ns: float,
+        *,
+        start_ns: float = 0.0,
+        targets: tuple[FaultTarget, ...] = (
+            FaultTarget.DMEM,
+            FaultTarget.IMEM,
+            FaultTarget.LINK,
+        ),
+        hard_fraction: float = 0.0,
+    ) -> list[FaultEvent]:
+        """Draw a Poisson SEU timeline over ``[start_ns, until_ns)``.
+
+        Inter-arrival gaps are exponential with mean ``1 / rate_per_ns``;
+        each strike picks a uniformly random tile, target kind, word
+        address and bit.  A ``hard_fraction`` of strikes (Bernoulli per
+        event) are stuck-at.  Events are queued and also returned so
+        callers can log the campaign.
+        """
+        if rate_per_ns <= 0:
+            raise FaultError(f"rate must be positive, got {rate_per_ns}")
+        if not 0.0 <= hard_fraction <= 1.0:
+            raise FaultError(f"hard_fraction must be in [0, 1], got {hard_fraction}")
+        if not targets:
+            raise FaultError("at least one fault target required")
+        events: list[FaultEvent] = []
+        t = start_ns
+        rng = self._rng
+        coords = sorted(tile.coord for tile in self.mesh)
+        while True:
+            t += rng.expovariate(rate_per_ns)
+            if t >= until_ns:
+                break
+            target = targets[rng.randrange(len(targets))]
+            coord = coords[rng.randrange(len(coords))]
+            if target is FaultTarget.DMEM:
+                addr = rng.randrange(self.mesh.tile(coord).dmem.size)
+                bit = rng.randrange(DATA_WORD_BITS)
+            elif target is FaultTarget.IMEM:
+                addr = rng.randrange(self.mesh.tile(coord).imem.size)
+                bit = rng.randrange(72)
+            else:
+                addr, bit = 0, rng.randrange(64)
+            fault_class = (
+                FaultClass.HARD
+                if rng.random() < hard_fraction
+                else FaultClass.TRANSIENT
+            )
+            events.append(
+                FaultEvent(
+                    time_ns=t,
+                    coord=coord,
+                    target=target,
+                    addr=addr,
+                    bit=bit,
+                    fault_class=fault_class,
+                )
+            )
+        self.script(events)
+        return events
+
+    def due(self, now_ns: float) -> list[FaultEvent]:
+        """Pop every pending event with ``time_ns <= now_ns``."""
+        ready: list[FaultEvent] = []
+        while self._pending and self._pending[0].time_ns <= now_ns:
+            ready.append(self._pending.pop(0))
+        return ready
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+
+    def inject(self, event: FaultEvent, now_ns: float | None = None) -> InjectionRecord:
+        """Apply one upset to the mesh; returns its lifecycle record.
+
+        Strikes on retired (spare-remapped) coordinates are recorded as
+        immediately masked: the tile is out of service, nothing reads it.
+        """
+        injected_at = event.time_ns if now_ns is None else now_ns
+        if event.coord in self._retired:
+            record = InjectionRecord(
+                event=event, addr=event.addr, original=None, corrupted=None,
+                injected_at_ns=injected_at, masked=True,
+            )
+            self.records.append(record)
+            return record
+        tile = self.mesh.tile(event.coord)
+        if event.target is FaultTarget.DMEM:
+            original = tile.dmem.peek(event.addr)
+            corrupted = flip_word(original, event.bit)
+            tile.dmem.poke(event.addr, corrupted)
+            record = InjectionRecord(
+                event=event, addr=event.addr, original=original,
+                corrupted=corrupted, injected_at_ns=injected_at,
+            )
+        elif event.target is FaultTarget.IMEM:
+            loaded = tile.imem.loaded_addrs()
+            if not loaded:
+                # Upset in unused SRAM: no architectural effect.
+                record = InjectionRecord(
+                    event=event, addr=event.addr, original=None,
+                    corrupted=None, injected_at_ns=injected_at, masked=True,
+                )
+                self.records.append(record)
+                return record
+            addr = loaded[event.addr % len(loaded)]
+            already = set(tile.imem.corrupted_slots())
+            original = tile.imem.peek_slot(addr)
+            tile.imem.corrupt_slot(addr)
+            record = InjectionRecord(
+                event=event, addr=addr, original=original,
+                corrupted=tile.imem.peek_slot(addr),
+                injected_at_ns=injected_at,
+                masked=addr in already,  # absorbed by an existing upset
+            )
+        else:  # LINK
+            current = self.mesh.active_link(event.coord)
+            options: list[Direction | None] = [
+                d for d in Direction if d in self.mesh.neighbours(event.coord)
+            ]
+            options.append(None)
+            options = [d for d in options if d != current]
+            corrupted = options[event.bit % len(options)]
+            self.mesh.configure_link(event.coord, corrupted)
+            record = InjectionRecord(
+                event=event, addr=0, original=current, corrupted=corrupted,
+                injected_at_ns=injected_at,
+            )
+        self.records.append(record)
+        if event.fault_class is FaultClass.HARD and not record.masked:
+            self._hard.append(record)
+        return record
+
+    def inject_due(self, now_ns: float) -> list[InjectionRecord]:
+        """Inject every due event at ``now_ns``; returns the new records."""
+        return [self.inject(event, now_ns=now_ns) for event in self.due(now_ns)]
+
+    # ------------------------------------------------------------------
+    # hard-fault persistence
+    # ------------------------------------------------------------------
+
+    def reassert(self) -> int:
+        """Re-apply every live hard fault (stuck-at semantics).
+
+        Called after any rewrite of fabric state (rollback, repair,
+        re-execution): a repaired stuck cell immediately reads corrupt
+        again.  Idempotent — the corruption is a fixed function of the
+        original injection.  Returns how many faults re-asserted.
+        """
+        count = 0
+        for record in self._hard:
+            if record.abandoned or record.coord in self._retired:
+                continue
+            tile = self.mesh.tile(record.coord)
+            if record.target is FaultTarget.DMEM:
+                tile.dmem.poke(record.addr, record.corrupted)
+            elif record.target is FaultTarget.IMEM:
+                tile.imem.corrupt_slot(record.addr)
+            else:
+                self.mesh.configure_link(record.coord, record.corrupted)
+            count += 1
+        return count
+
+    def retire(self, coord: Coord) -> int:
+        """Abandon a hard-failed coordinate (after a spare-tile remap).
+
+        Every record on the coordinate is marked ``abandoned`` and stops
+        re-asserting / being scanned; future strikes on it are masked.
+        Returns how many records were abandoned.
+        """
+        self._retired.add(coord)
+        count = 0
+        for record in self.records:
+            if record.coord == coord and not record.abandoned:
+                record.abandoned = True
+                count += 1
+        self._hard = [r for r in self._hard if not r.abandoned]
+        return count
+
+    @property
+    def retired_coords(self) -> set[Coord]:
+        return set(self._retired)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Injected/detected/repaired/masked/abandoned record counts."""
+        out = {
+            "injected": len(self.records),
+            "detected": 0,
+            "repaired": 0,
+            "masked": 0,
+            "abandoned": 0,
+        }
+        for record in self.records:
+            if record.detected_at_ns is not None:
+                out["detected"] += 1
+            if record.repaired_at_ns is not None:
+                out["repaired"] += 1
+            if record.masked:
+                out["masked"] += 1
+            if record.abandoned:
+                out["abandoned"] += 1
+        return out

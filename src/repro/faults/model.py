@@ -1,0 +1,196 @@
+"""SEU fault model: events, classes, targets and lifecycle records.
+
+The paper's Sec. 5 motivation for partial reconfiguration includes fault
+tolerance: the same ICAP path that swaps epoch bitstreams can *scrub*
+configuration memory — read frames back, compare against golden images,
+and rewrite only corrupted words.  This package models that loop.  The
+vocabulary lives here:
+
+* :class:`FaultEvent` — one scheduled single-event upset: at ``time_ns``,
+  flip ``bit`` of word ``addr`` in a tile memory, or derange a tile's
+  link attachment;
+* :class:`FaultClass` — ``TRANSIENT`` upsets go away once rewritten,
+  ``HARD`` faults (stuck-at) re-assert after every repair and eventually
+  force the tile out of service (spare-tile remap);
+* :class:`FaultTarget` — data memory, instruction memory, or the link
+  configuration state;
+* :class:`InjectionRecord` — the mutable lifecycle of one injected
+  event: original/corrupted values, when scrubbing detected it, when
+  repair restored it, whether a legitimate overwrite masked it before
+  detection, whether its tile was abandoned to a spare.
+
+Everything is deterministic: an event fully determines its corruption
+(no randomness at injection time), so campaigns with a fixed seed
+reproduce byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.fabric.fixedpoint import wrap_word
+from repro.units import DATA_WORD_BITS, INSTR_WORD_BITS
+
+__all__ = [
+    "FaultClass",
+    "FaultEvent",
+    "FaultTarget",
+    "InjectionRecord",
+    "flip_word",
+]
+
+Coord = tuple[int, int]
+
+#: Unsigned mask of a 48-bit data word (two's-complement view).
+_WORD_MASK = (1 << DATA_WORD_BITS) - 1
+
+
+class FaultClass(enum.Enum):
+    """Persistence class of an upset."""
+
+    #: Goes away once the word is rewritten (classic SEU).
+    TRANSIENT = "transient"
+    #: Stuck-at: re-asserts after every rewrite; only a spare-tile remap
+    #: removes it from the active fabric.
+    HARD = "hard"
+
+
+class FaultTarget(enum.Enum):
+    """Which piece of per-tile state the upset hits."""
+
+    DMEM = "dmem"
+    IMEM = "imem"
+    LINK = "link"
+
+
+def flip_word(word: int, bit: int) -> int:
+    """Flip one bit of a signed 48-bit data word (two's complement).
+
+    The word is viewed as its 48-bit unsigned pattern, the bit is
+    XOR-ed, and the result is re-wrapped to the signed range — exactly
+    what an SEU does to a BRAM cell.
+    """
+    if not 0 <= bit < DATA_WORD_BITS:
+        raise FaultError(f"bit {bit} outside data word [0, {DATA_WORD_BITS})")
+    return wrap_word((word & _WORD_MASK) ^ (1 << bit))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled upset.
+
+    Attributes
+    ----------
+    time_ns:
+        Simulated time at which the upset strikes.  The campaign driver
+        injects every event whose time has passed at each epoch boundary.
+    coord:
+        Target tile coordinate.
+    target:
+        Which state the upset hits (:class:`FaultTarget`).
+    addr:
+        Word address for memory targets.  For ``IMEM`` the injector
+        retargets unloaded slots onto loaded ones (an upset in unused
+        SRAM has no architectural effect).  Ignored for ``LINK``.
+    bit:
+        Bit to flip for ``DMEM``; for ``LINK`` it deterministically
+        selects which wrong attachment the port flips to; for ``IMEM``
+        it is informational (the decoded model corrupts whole words).
+    fault_class:
+        ``TRANSIENT`` or ``HARD``.
+    label:
+        Free-form tag for traces.
+    """
+
+    time_ns: float
+    coord: Coord
+    target: FaultTarget
+    addr: int = 0
+    bit: int = 0
+    fault_class: FaultClass = FaultClass.TRANSIENT
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise FaultError(f"fault time must be non-negative, got {self.time_ns}")
+        if self.addr < 0:
+            raise FaultError(f"fault address must be non-negative, got {self.addr}")
+        limit = {
+            FaultTarget.DMEM: DATA_WORD_BITS,
+            FaultTarget.IMEM: INSTR_WORD_BITS,
+            FaultTarget.LINK: 64,
+        }[self.target]
+        if not 0 <= self.bit < limit:
+            raise FaultError(
+                f"bit {self.bit} out of range for {self.target.value} fault"
+            )
+
+
+@dataclass
+class InjectionRecord:
+    """Lifecycle of one injected fault, from strike to repair.
+
+    ``original``/``corrupted`` are ints for ``DMEM``, instruction-slot
+    objects for ``IMEM`` and :class:`~repro.fabric.links.Direction` (or
+    ``None``) for ``LINK``.  Detection works by *persistence*: at scrub
+    time the word still holding its corrupted value is flagged (the
+    parity/ECC analogue); a word legitimately overwritten in between is
+    ``masked`` — the upset had no further architectural effect.
+    """
+
+    event: FaultEvent
+    #: Effective address (IMEM events may be retargeted to a loaded slot).
+    addr: int
+    original: object
+    corrupted: object
+    injected_at_ns: float
+    detected_at_ns: float | None = None
+    repaired_at_ns: float | None = None
+    #: Overwritten by legitimate traffic before detection.
+    masked: bool = False
+    #: Tile declared hard-failed and remapped to a spare.
+    abandoned: bool = False
+    #: Times scrubbing found the fault corrupt again after a repair
+    #: (hard faults re-assert; the streak drives hard declaration).
+    redetections: int = 0
+
+    @property
+    def coord(self) -> Coord:
+        return self.event.coord
+
+    @property
+    def target(self) -> FaultTarget:
+        return self.event.target
+
+    @property
+    def fault_class(self) -> FaultClass:
+        return self.event.fault_class
+
+    @property
+    def detection_latency_ns(self) -> float | None:
+        """Strike-to-detection latency (None while undetected)."""
+        if self.detected_at_ns is None:
+            return None
+        return self.detected_at_ns - self.event.time_ns
+
+    @property
+    def time_to_repair_ns(self) -> float | None:
+        """Detection-to-verified-repair time (the per-fault MTTR sample)."""
+        if self.detected_at_ns is None or self.repaired_at_ns is None:
+            return None
+        return self.repaired_at_ns - self.detected_at_ns
+
+    @property
+    def status(self) -> str:
+        """One-word lifecycle state for reports."""
+        if self.abandoned:
+            return "abandoned"
+        if self.repaired_at_ns is not None:
+            return "repaired"
+        if self.masked:
+            return "masked"
+        if self.detected_at_ns is not None:
+            return "detected"
+        return "latent"

@@ -1,0 +1,305 @@
+"""Readback scrubbing and repair over the shared ICAP timeline.
+
+The prototype's single configuration port does double duty: it streams
+epoch bitstreams *and* scrubs — reads configuration frames back, checks
+them, and rewrites corrupted words.  :class:`ReadbackScrubber` charges
+both activities on the same :class:`~repro.fabric.icap.IcapPort`
+busy-until timeline (labels prefixed ``scrub:`` so reports can split the
+bandwidth), which is exactly the Eq. 1 interaction the paper's cost
+model predicts: scrub traffic delays reconfiguration and vice versa.
+
+Detection is modeled at the parity/ECC level: the scrubber checks each
+live :class:`~repro.faults.model.InjectionRecord` for *persistence* — a
+word still holding its corrupted value is flagged, a word legitimately
+overwritten since the strike is masked.  Per-coordinate consecutive-
+detection streaks identify stuck-at faults (a repaired word that reads
+corrupt again scrub after scrub), which the campaign turns into a
+spare-tile remap.
+
+Repair has two policies, both rolling the fabric back to the last
+verified :class:`~repro.fabric.rtms.FabricCheckpoint`:
+
+* ``partial`` — rewrite only the words that differ from the checkpoint
+  (via the memories' ``diff``), 33.33 ns per 48-bit data word and 50 ns
+  per 72-bit instruction word;
+* ``full`` — reload every scanned tile wholesale (512 data words plus
+  the loaded instruction image), the no-readback baseline.
+
+The benchmark harness compares the two on identical fault scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScrubError
+from repro.fabric.mesh import Mesh
+from repro.fabric.rtms import FabricCheckpoint, RuntimeManager
+from repro.faults.injector import FaultInjector
+from repro.faults.model import Coord, FaultTarget, InjectionRecord
+from repro.units import DMEM_WORD_RELOAD_NS, IMEM_WORD_RELOAD_NS
+
+__all__ = ["ReadbackScrubber", "RepairReport", "ScrubReport"]
+
+#: Bytes per data / instruction word on the ICAP.
+_DMEM_BYTES = 6
+_IMEM_BYTES = 9
+
+
+@dataclass
+class ScrubReport:
+    """One readback pass: what was scanned, found and suspected."""
+
+    start_ns: float
+    end_ns: float
+    coords_scanned: int
+    words_read: int
+    #: Records found corrupt this pass (new detections *and* re-detections).
+    detected: list[InjectionRecord] = field(default_factory=list)
+    #: Records that turned out overwritten before detection.
+    newly_masked: int = 0
+    #: Coordinates whose consecutive-detection streak crossed the
+    #: hard-fault threshold this pass.
+    hard_suspects: list[Coord] = field(default_factory=list)
+
+    @property
+    def readback_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    @property
+    def clean(self) -> bool:
+        return not self.detected
+
+
+@dataclass
+class RepairReport:
+    """One repair action (rollback rewrite or spare remap) on the ICAP."""
+
+    policy: str
+    start_ns: float
+    end_ns: float
+    dmem_words: int
+    imem_words: int
+    links: int
+
+    @property
+    def repair_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class ReadbackScrubber:
+    """Scans a mesh for SEUs and repairs it from checkpoints.
+
+    Parameters
+    ----------
+    frame_words:
+        Readback granularity: frames of this many words are read per
+        ICAP transaction (cost is linear either way; frames shape the
+        transfer trace the serialization tests inspect).
+    hard_streak:
+        Consecutive scrubs a coordinate must stay corrupt (through
+        repairs) before it is declared hard-failed.
+    """
+
+    def __init__(self, *, frame_words: int = 64, hard_streak: int = 3) -> None:
+        if frame_words < 1:
+            raise ScrubError(f"frame_words must be >= 1, got {frame_words}")
+        if hard_streak < 1:
+            raise ScrubError(f"hard_streak must be >= 1, got {hard_streak}")
+        self.frame_words = frame_words
+        self.hard_streak = hard_streak
+        #: Per-coordinate consecutive corrupt-scrub count.
+        self._streaks: dict[Coord, int] = {}
+
+    # ------------------------------------------------------------------
+    # detection helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def still_corrupt(mesh: Mesh, record: InjectionRecord) -> bool:
+        """Does the fabric still hold this record's corrupted value?"""
+        if record.masked or record.abandoned:
+            return False
+        if record.target is FaultTarget.DMEM:
+            return (
+                mesh.tile(record.coord).dmem.peek(record.addr)
+                == record.corrupted
+            )
+        if record.target is FaultTarget.IMEM:
+            return record.addr in mesh.tile(record.coord).imem.corrupted_slots()
+        return mesh.active_link(record.coord) == record.corrupted
+
+    # ------------------------------------------------------------------
+    # readback scan
+    # ------------------------------------------------------------------
+
+    def scan(
+        self,
+        rtms: RuntimeManager,
+        injector: FaultInjector,
+        *,
+        coords: list[Coord] | None = None,
+    ) -> ScrubReport:
+        """Read back ``coords`` (default: whole mesh) and check records.
+
+        Charges one ICAP transaction per ``frame_words`` frame of every
+        scanned tile's data memory plus its loaded instruction words
+        (labels ``scrub:rb:<coord>``), then classifies every live
+        injection record: still-corrupt records are detected (or
+        re-detected after a repair — the streak input), records whose
+        word was legitimately overwritten before first detection are
+        masked.  Advances ``rtms.now_ns`` to the readback end: the
+        boundary blocks on scrub completion.
+        """
+        mesh = rtms.mesh
+        scanned = (
+            [tile.coord for tile in mesh] if coords is None else list(coords)
+        )
+        start_ns = rtms.now_ns
+        words_read = 0
+        end_ns = start_ns
+        for coord in scanned:
+            tile = mesh.tile(coord)
+            n_words = tile.dmem.size
+            words_read += n_words + tile.imem.loaded_words()
+            # Data frames.
+            for base in range(0, n_words, self.frame_words):
+                frame = min(self.frame_words, n_words - base)
+                _, end_ns = rtms.icap.schedule(
+                    frame * _DMEM_BYTES,
+                    earliest_ns=start_ns,
+                    label=f"scrub:rb:d{coord}",
+                )
+            # Loaded instruction image (one readback per frame).
+            imem_words = tile.imem.loaded_words()
+            for base in range(0, imem_words, self.frame_words):
+                frame = min(self.frame_words, imem_words - base)
+                _, end_ns = rtms.icap.schedule(
+                    frame * _IMEM_BYTES,
+                    earliest_ns=start_ns,
+                    label=f"scrub:rb:i{coord}",
+                )
+        end_ns = max(end_ns, start_ns)
+
+        report = ScrubReport(
+            start_ns=start_ns,
+            end_ns=end_ns,
+            coords_scanned=len(scanned),
+            words_read=words_read,
+        )
+        scanned_set = set(scanned)
+        corrupt_coords: set[Coord] = set()
+        for record in injector.records:
+            if record.masked or record.abandoned:
+                continue
+            if record.coord not in scanned_set:
+                continue
+            if self.still_corrupt(mesh, record):
+                corrupt_coords.add(record.coord)
+                if record.detected_at_ns is None:
+                    record.detected_at_ns = end_ns
+                else:
+                    record.redetections += 1
+                report.detected.append(record)
+            elif record.detected_at_ns is None:
+                record.masked = True
+                report.newly_masked += 1
+        for coord in scanned:
+            if coord in corrupt_coords:
+                streak = self._streaks.get(coord, 0) + 1
+                self._streaks[coord] = streak
+                if streak >= self.hard_streak:
+                    report.hard_suspects.append(coord)
+            else:
+                self._streaks.pop(coord, None)
+        rtms.now_ns = max(rtms.now_ns, end_ns)
+        return report
+
+    def reset_streak(self, coord: Coord) -> None:
+        """Forget a coordinate's streak (after remapping it away)."""
+        self._streaks.pop(coord, None)
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+
+    def repair(
+        self,
+        rtms: RuntimeManager,
+        checkpoint: FabricCheckpoint,
+        *,
+        policy: str = "partial",
+        coords: list[Coord] | None = None,
+    ) -> RepairReport:
+        """Roll the fabric back to ``checkpoint`` and charge the rewrite.
+
+        ``partial`` charges exactly the words (and links) that differ
+        from the checkpoint — the readback-scrub advantage; ``full``
+        charges a wholesale reload of every repaired tile.  Both end in
+        the same functional state (:meth:`RuntimeManager.restore`), so
+        campaigns can compare policies on identical scenarios.  Advances
+        ``rtms.now_ns`` past the repair traffic.
+        """
+        if policy not in ("partial", "full"):
+            raise ScrubError(f"unknown repair policy {policy!r}")
+        mesh = rtms.mesh
+        targets = (
+            list(checkpoint.tiles) if coords is None else list(coords)
+        )
+        start_ns = rtms.now_ns
+        end_ns = start_ns
+        dmem_words = 0
+        imem_words = 0
+        links = 0
+        for coord in targets:
+            tile = mesh.tile(coord)
+            if policy == "partial":
+                n_d = len(tile.dmem.diff(checkpoint.dmem_words(coord)))
+                n_i = len(tile.imem.diff(checkpoint.imem_slots(coord)))
+            else:
+                n_d = tile.dmem.size
+                n_i = sum(
+                    1 for slot in checkpoint.imem_slots(coord) if slot is not None
+                )
+            if n_d:
+                _, end_ns = rtms.icap.schedule(
+                    n_d * _DMEM_BYTES,
+                    earliest_ns=start_ns,
+                    label=f"scrub:rw:d{coord}",
+                )
+                dmem_words += n_d
+            if n_i:
+                _, end_ns = rtms.icap.schedule(
+                    n_i * _IMEM_BYTES,
+                    earliest_ns=start_ns,
+                    label=f"scrub:rw:i{coord}",
+                )
+                imem_words += n_i
+            want = checkpoint.links.get(coord)
+            if mesh.active_link(coord) != want or policy == "full":
+                _, end_ns = rtms.icap.schedule_fixed(
+                    rtms.link_cost_ns,
+                    earliest_ns=start_ns,
+                    label=f"scrub:rw:l{coord}",
+                )
+                links += 1
+        rtms.restore(checkpoint)
+        end_ns = max(end_ns, start_ns)
+        rtms.now_ns = max(rtms.now_ns, end_ns)
+        return RepairReport(
+            policy=policy,
+            start_ns=start_ns,
+            end_ns=end_ns,
+            dmem_words=dmem_words,
+            imem_words=imem_words,
+            links=links,
+        )
+
+    @staticmethod
+    def full_reload_ns(rtms: RuntimeManager, coord: Coord) -> float:
+        """Modeled time to reload one tile wholesale (the baseline)."""
+        tile = rtms.mesh.tile(coord)
+        return (
+            tile.dmem.size * DMEM_WORD_RELOAD_NS
+            + tile.imem.loaded_words() * IMEM_WORD_RELOAD_NS
+        )

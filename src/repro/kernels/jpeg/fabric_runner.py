@@ -113,37 +113,56 @@ class FabricBlockPipeline:
         )
         return image
 
+    def preload_epochs(self) -> list[EpochSpec]:
+        """The one-time ``data1`` load epoch (public building block)."""
+        return [
+            EpochSpec("preload_data1", data_images={(0, 0): self.data1_image()})
+        ]
+
     def _preload(self) -> None:
         """Load the fixed data (data1) through the ICAP, once."""
-        self.rtms.execute(
-            [EpochSpec("preload_data1",
-                       data_images={(0, 0): self.data1_image()})]
-        )
+        self.rtms.execute(self.preload_epochs())
         self._preloaded = True
 
-    def encode_block(self, block: np.ndarray) -> np.ndarray:
-        """Run one 8x8 block through the tile; returns the zig-zag vector."""
+    def block_epochs(self, block: np.ndarray, tag: str = "") -> list[EpochSpec]:
+        """The epoch schedule of one 8x8 block (public building block).
+
+        Pixels arrive as a free host poke, then the five co-resident
+        stage programs fire in order — exactly what :meth:`encode_block`
+        executes.  Exposed so external drivers (the fault campaign, a
+        serving session) can run blocks through their *own* runtime
+        manager / recovery loop and read the result back with
+        :meth:`read_zigzag`.
+        """
         block = np.asarray(block)
         if block.shape != (8, 8):
             raise KernelError(f"expected an 8x8 block, got {block.shape}")
-        if not self._preloaded:
-            self._preload()
-        start_ns = self.rtms.now_ns
         pixels = [int(v) for v in block.reshape(-1).tolist()]
         pokes = {(0, 0): dict(zip(range(_PIX, _PIX + 64), pixels))}
-        epochs = [EpochSpec("pixels", pokes=pokes)]
+        epochs = [EpochSpec(f"{tag}pixels", pokes=pokes)]
         for stage, program in enumerate(self._programs):
             epochs.append(
                 EpochSpec(
-                    f"stage{stage}_{program.name}",
+                    f"{tag}stage{stage}_{program.name}",
                     programs={(0, 0): program},
                     run=[(0, 0)],
                 )
             )
-        self.rtms.execute(epochs)
-        self._block_times.append(self.rtms.now_ns - start_ns)
-        tile = self.mesh.tile((0, 0))
+        return epochs
+
+    def read_zigzag(self, mesh: Mesh | None = None) -> np.ndarray:
+        """Read the 64 zig-zag coefficients back off a mesh (default: own)."""
+        tile = (mesh if mesh is not None else self.mesh).tile((0, 0))
         return np.array(tile.dmem.dump_block(_ZZ, 64))
+
+    def encode_block(self, block: np.ndarray) -> np.ndarray:
+        """Run one 8x8 block through the tile; returns the zig-zag vector."""
+        if not self._preloaded:
+            self._preload()
+        start_ns = self.rtms.now_ns
+        self.rtms.execute(self.block_epochs(block))
+        self._block_times.append(self.rtms.now_ns - start_ns)
+        return self.read_zigzag()
 
     # ------------------------------------------------------------------
 

@@ -34,6 +34,12 @@ from repro.mapping.epochs import (
     folding_tradeoff,
     spatial_epochs,
 )
+from repro.mapping.spare import (
+    free_coords,
+    plan_remap,
+    remap_configuration,
+    remap_epochs,
+)
 
 __all__ = [
     "FoldPoint",
@@ -51,8 +57,12 @@ __all__ = [
     "TileCostModel",
     "copy_overhead_ns",
     "evaluate_mapping",
+    "free_coords",
     "insert_copies",
     "plan_links",
+    "plan_remap",
+    "remap_configuration",
+    "remap_epochs",
     "rebalance",
     "rebalance_one",
     "rebalance_opt",

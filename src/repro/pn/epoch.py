@@ -68,6 +68,27 @@ class Configuration:
             if p in other.binding and other.binding[p] != self.binding[p]
         ]
 
+    def rebind(self, coord_map: dict[Coord, Coord]) -> "Configuration":
+        """New configuration with tile coordinates remapped.
+
+        Used by spare-tile recovery: when a tile hard-fails, its
+        processes (and its link endpoint) move to the spare coordinate
+        ``coord_map`` assigns.  Coordinates absent from the map are kept.
+        Link *directions* are preserved as-is; callers that move one
+        endpoint of a communicating pair must revalidate adjacency —
+        :func:`repro.mapping.spare.remap_configuration` does exactly
+        that.
+        """
+        return Configuration(
+            name=self.name,
+            binding={
+                p: coord_map.get(c, c) for p, c in self.binding.items()
+            },
+            links={
+                coord_map.get(c, c): d for c, d in self.links.items()
+            },
+        )
+
 
 @dataclass(frozen=True)
 class Epoch:

@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import ProcessNetworkError
+from repro.errors import FaultError, ProcessNetworkError
 from repro.pn.network import ProcessNetwork
 
 __all__ = ["Behavior", "FiringRecord", "NetworkExecutor"]
@@ -215,6 +215,88 @@ class NetworkExecutor:
 
     def _any_ready(self) -> bool:
         return any(self._ready(name) for name in self._order)
+
+    # ------------------------------------------------------------------
+    # checkpoint / verify / retry (fault recovery)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot all execution state (channels, queues, outputs, trace).
+
+        Tokens are shallow-copied: behaviours that treat tokens as
+        immutable values (every shipped kernel does) restore exactly.
+        """
+        return {
+            "channels": {edge: deque(q) for edge, q in self._channels.items()},
+            "inputs": {name: deque(q) for name, q in self._inputs.items()},
+            "outputs": {name: list(t) for name, t in self._outputs.items()},
+            "firings": list(self.firings),
+            "step": self._step,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Roll execution back to a :meth:`checkpoint` snapshot."""
+        self._channels = {edge: deque(q) for edge, q in state["channels"].items()}
+        self._inputs = {name: deque(q) for name, q in state["inputs"].items()}
+        self._outputs = {name: list(t) for name, t in state["outputs"].items()}
+        self.firings = list(state["firings"])
+        self._step = state["step"]
+
+    def run_verified(
+        self,
+        verify: Callable[["NetworkExecutor"], bool],
+        *,
+        slice_firings: int = 256,
+        max_retries: int = 2,
+        max_firings: int = 100_000,
+    ) -> tuple[int, int]:
+        """Run to quiescence in checkpointed slices; returns
+        ``(firings, retries)``.
+
+        The token-level twin of the fabric campaign's epoch-boundary
+        recovery: a checkpoint is taken, at most ``slice_firings``
+        firings execute, then ``verify`` inspects the executor (a fault
+        harness corrupts channel tokens between slices and repairs them
+        inside ``verify``).  When ``verify`` returns False the slice is
+        rolled back to its checkpoint and re-fired; ``max_retries``
+        consecutive failures of the same slice raise
+        :class:`~repro.errors.FaultError`.  The total firing budget works
+        like :meth:`run`'s.
+        """
+        if slice_firings < 1:
+            raise ProcessNetworkError(
+                f"slice_firings must be >= 1, got {slice_firings}"
+            )
+        if max_retries < 0:
+            raise ProcessNetworkError(
+                f"max_retries must be non-negative, got {max_retries}"
+            )
+        fired_total = 0
+        retries_total = 0
+        while True:
+            snapshot = self.checkpoint()
+            attempts = 0
+            while True:
+                fired, quiescent = self.run_bounded(
+                    min(slice_firings, max_firings - fired_total)
+                )
+                if verify(self):
+                    break
+                attempts += 1
+                retries_total += 1
+                if attempts > max_retries:
+                    raise FaultError(
+                        f"slice still corrupt after {max_retries} retries "
+                        f"at firing {fired_total}"
+                    )
+                self.restore(snapshot)
+            fired_total += fired
+            if quiescent:
+                return fired_total, retries_total
+            if fired_total >= max_firings:
+                raise ProcessNetworkError(
+                    f"exceeded {max_firings} firings without quiescing"
+                )
 
     def run(self, max_firings: int = 100_000) -> int:
         """Fire until quiescent; returns the number of firings.

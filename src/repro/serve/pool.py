@@ -21,10 +21,11 @@ The :class:`ResidencyCostModel` caches two figures per configuration:
 
 from __future__ import annotations
 
+import enum
 import threading
 from dataclasses import dataclass
 
-from repro.errors import ServeError
+from repro.errors import FaultError, JobCancelled, ServeError
 from repro.serve.jobs import JobRequest, KernelSpec
 from repro.serve.sessions import (
     CancelToken,
@@ -34,7 +35,35 @@ from repro.serve.sessions import (
     default_session_factory,
 )
 
-__all__ = ["WorkerRun", "FabricWorker", "FabricPool", "ResidencyCostModel"]
+__all__ = [
+    "HealthState",
+    "WorkerRun",
+    "FabricWorker",
+    "FabricPool",
+    "ResidencyCostModel",
+]
+
+
+class HealthState(enum.Enum):
+    """Serving-level health of one fabric.
+
+    ``HEALTHY`` fabrics take any job.  ``DEGRADED`` fabrics stay in
+    rotation — they have seen correctable faults (scrubbing caught and
+    repaired SEUs) or isolated job failures, which is exactly what the
+    fault model predicts for a long-lived fabric.  ``QUARANTINED``
+    fabrics are out of rotation: repeated failures or an unrepairable
+    (hard) fault ejected them; an operator (or a recovery probe)
+    re-admits them after the fabric is scrubbed/replaced.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    QUARANTINED = "quarantined"
+
+    @property
+    def code(self) -> int:
+        """Dense gauge value (0 healthy / 1 degraded / 2 quarantined)."""
+        return {"healthy": 0, "degraded": 1, "quarantined": 2}[self.value]
 
 
 class ResidencyCostModel:
@@ -94,7 +123,13 @@ class FabricWorker:
         worker_id: str,
         session_factory: SessionFactory = default_session_factory,
         cost_model: ResidencyCostModel | None = None,
+        *,
+        failure_threshold: int = 3,
     ) -> None:
+        if failure_threshold < 1:
+            raise ServeError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
         self.id = worker_id
         self._session_factory = session_factory
         self.cost_model = cost_model or ResidencyCostModel(session_factory)
@@ -105,6 +140,83 @@ class FabricWorker:
         self.cold_starts = 0
         self.busy_sim_ns = 0.0
         self.reconfig_sim_ns = 0.0
+        # -- health ----------------------------------------------------
+        self.health = HealthState.HEALTHY
+        self.failure_threshold = failure_threshold
+        self.consecutive_failures = 0
+        self.quarantine_reason: str | None = None
+        self.quarantines = 0
+        self.faults_detected = 0
+        self.faults_corrected = 0
+        self.hard_faults = 0
+        self.scrub_sim_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # health lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        """May the scheduler place jobs here?"""
+        return self.health is not HealthState.QUARANTINED
+
+    def eject(self, reason: str) -> None:
+        """Take the fabric out of rotation (drops the resident session).
+
+        Idempotent: ejecting an already-quarantined worker only updates
+        the reason.
+        """
+        if self.health is not HealthState.QUARANTINED:
+            self.quarantines += 1
+        self.health = HealthState.QUARANTINED
+        self.quarantine_reason = reason
+        self.session = None
+        self.resident_key = None
+
+    def readmit(self) -> None:
+        """Return a quarantined/degraded fabric to rotation as healthy.
+
+        Models the post-repair re-admission: the physical fabric was
+        scrubbed (or swapped), so the failure history is cleared.  The
+        next job pays a cold start — the session was dropped at eject.
+        """
+        self.health = HealthState.HEALTHY
+        self.quarantine_reason = None
+        self.consecutive_failures = 0
+
+    def record_failure(self, reason: str) -> None:
+        """Account one failed job attempt; escalates the health state.
+
+        The first failure degrades the fabric; ``failure_threshold``
+        *consecutive* failures — or any :class:`~repro.errors.FaultError`
+        (an unrepairable fabric fault) — quarantine it.
+        """
+        self.consecutive_failures += 1
+        if self.health is HealthState.HEALTHY:
+            self.health = HealthState.DEGRADED
+        if self.consecutive_failures >= self.failure_threshold:
+            self.eject(
+                f"{self.consecutive_failures} consecutive failures "
+                f"(last: {reason})"
+            )
+
+    def record_fault_stats(self, stats: SessionStats) -> None:
+        """Fold a job's fault counters into the worker's health view.
+
+        Correctable faults (detected and repaired by scrubbing) degrade
+        the fabric but keep it serving; a hard fault that survived into
+        the stats (tile remapped onto a spare) also only degrades —
+        the session's fabric healed itself — but is tracked so operators
+        can see spare consumption per fabric.
+        """
+        self.faults_detected += stats.faults_detected
+        self.faults_corrected += stats.faults_corrected
+        self.hard_faults += stats.hard_faults
+        self.scrub_sim_ns += stats.scrub_ns
+        if (
+            stats.faults_detected or stats.hard_faults
+        ) and self.health is HealthState.HEALTHY:
+            self.health = HealthState.DEGRADED
 
     # ------------------------------------------------------------------
     # scheduling oracle
@@ -137,9 +249,18 @@ class FabricWorker:
         :class:`~repro.errors.JobCancelled` when ``cancel`` fires.  On
         any failure the session is dropped (a job aborted mid-epoch
         leaves fabric memory in an undefined state — the next job pays a
-        cold start, like a real fabric scrub).
+        cold start, like a real fabric scrub) and the health state
+        escalates: kernel failures degrade then quarantine at
+        ``failure_threshold``; a :class:`~repro.errors.FaultError` (an
+        unrepairable fabric fault surfaced to the job) quarantines
+        immediately.  A quarantined worker refuses jobs outright.
         """
         spec = request.spec
+        if not self.available:
+            raise ServeError(
+                f"worker {self.id} is quarantined "
+                f"({self.quarantine_reason or 'no reason recorded'})"
+            )
         warm = self.is_warm_for(spec)
         if not warm:
             self.session = self._session_factory(spec)
@@ -148,11 +269,19 @@ class FabricWorker:
         assert self.session is not None
         try:
             stats = self.session.run(request.payload, cancel)
-        except BaseException:
+        except FaultError as exc:
+            self.eject(f"fabric fault: {exc}")
+            raise
+        except BaseException as exc:
             self.session = None
             self.resident_key = None
+            # Cancellation is the service's doing, not the fabric's fault.
+            if not isinstance(exc, JobCancelled):
+                self.record_failure(repr(exc))
             raise
         self.jobs_done += 1
+        self.consecutive_failures = 0
+        self.record_fault_stats(stats)
         self.busy_sim_ns += stats.sim_ns
         self.reconfig_sim_ns += stats.reconfig_ns
         if warm:
@@ -173,12 +302,19 @@ class FabricPool:
         self,
         size: int,
         session_factory: SessionFactory = default_session_factory,
+        *,
+        failure_threshold: int = 3,
     ) -> None:
         if size < 1:
             raise ServeError(f"pool size must be >= 1, got {size}")
         self.cost_model = ResidencyCostModel(session_factory)
         self.workers = [
-            FabricWorker(f"fabric-{i}", session_factory, self.cost_model)
+            FabricWorker(
+                f"fabric-{i}",
+                session_factory,
+                self.cost_model,
+                failure_threshold=failure_threshold,
+            )
             for i in range(size)
         ]
 
@@ -187,6 +323,28 @@ class FabricPool:
 
     def __iter__(self):
         return iter(self.workers)
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def worker(self, worker_id: str) -> FabricWorker:
+        for member in self.workers:
+            if member.id == worker_id:
+                return member
+        raise ServeError(f"no worker {worker_id!r} in pool")
+
+    def available_workers(self) -> list[FabricWorker]:
+        """Workers the scheduler may still place jobs on."""
+        return [w for w in self.workers if w.available]
+
+    def quarantined_workers(self) -> list[FabricWorker]:
+        return [w for w in self.workers if not w.available]
+
+    @property
+    def quarantine_count(self) -> int:
+        """Lifetime number of eject events across the pool."""
+        return sum(w.quarantines for w in self.workers)
 
     @property
     def total_reconfig_ns(self) -> float:

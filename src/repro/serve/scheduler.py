@@ -211,7 +211,13 @@ def simulate_trace(
     result = TraceReplayResult(policy=policy.name)
     cancel = CancelToken()  # never fires in replay
     while queue:
-        worker = min(pool.workers, key=lambda w: (free_at[w.id], w.id))
+        candidates = pool.available_workers()
+        if not candidates:
+            raise ServeError(
+                "every worker is quarantined; cannot place "
+                f"{len(queue)} remaining jobs"
+            )
+        worker = min(candidates, key=lambda w: (free_at[w.id], w.id))
         index = policy.select(queue, worker)
         if not 0 <= index < len(queue):
             raise ServeError(

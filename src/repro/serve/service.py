@@ -19,6 +19,11 @@ Every lifecycle edge feeds the metrics registry::
     serve_reconfig_saved_ns_total{kind}     serve_warm_jobs_total{kind}
     serve_cold_starts_total{kind}           serve_fabric_busy_ns_total{fabric}
     serve_fabric_jobs_total{fabric}         serve_fabric_utilization{fabric}
+    serve_faults_detected_total{kind}       serve_faults_corrected_total{kind}
+    serve_hard_faults_total{kind}           serve_scrub_ns_total{kind}
+    serve_fault_mttr_ns        (histogram)  serve_worker_health{fabric}
+    serve_worker_quarantined_total{fabric}  serve_worker_readmitted_total{fabric}
+    serve_jobs_requeued_total{kind}
 
 ``serve_reconfig_saved_ns_total`` is the serving-level version of the
 paper's amortization claim: reconfiguration time that Eq. 1 would have
@@ -164,6 +169,49 @@ class FabricJobService:
             "serve_fabric_utilization",
             "Busy share of each fabric since service start (sim time)",
         )
+        # -- fault tolerance -------------------------------------------
+        self._m_faults_detected = m.counter(
+            "serve_faults_detected_total", "SEUs detected by scrubbing"
+        )
+        self._m_faults_corrected = m.counter(
+            "serve_faults_corrected_total", "Detected faults repaired"
+        )
+        self._m_hard_faults = m.counter(
+            "serve_hard_faults_total", "Tiles declared hard-failed (remapped)"
+        )
+        self._m_scrub_ns = m.counter(
+            "serve_scrub_ns_total", "Simulated ICAP time spent on scrubbing"
+        )
+        self._m_mttr = m.histogram(
+            "serve_fault_mttr_ns",
+            "Detection-to-repair time of corrected faults (sim ns)",
+        )
+        self._m_quarantined = m.counter(
+            "serve_worker_quarantined_total", "Worker eject (quarantine) events"
+        )
+        self._m_readmitted = m.counter(
+            "serve_worker_readmitted_total", "Workers returned to rotation"
+        )
+        self._m_requeued = m.counter(
+            "serve_jobs_requeued_total",
+            "Jobs pushed back to the queue after their fabric was quarantined",
+        )
+        self._m_health = m.gauge(
+            "serve_worker_health",
+            "Per-fabric health (0 healthy / 1 degraded / 2 quarantined)",
+        )
+        self._seen_quarantines: dict[str, int] = {}
+
+    def _update_health_metrics(self) -> None:
+        """Sync the health gauge and quarantine counter to the pool."""
+        for member in self.pool:
+            self._m_health.set(float(member.health.code), fabric=member.id)
+            seen = self._seen_quarantines.get(member.id, 0)
+            if member.quarantines > seen:
+                self._m_quarantined.inc(
+                    member.quarantines - seen, fabric=member.id
+                )
+                self._seen_quarantines[member.id] = member.quarantines
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -311,13 +359,42 @@ class FabricJobService:
         return await future
 
     # ------------------------------------------------------------------
+    # health operations
+    # ------------------------------------------------------------------
+
+    async def eject(self, worker_id: str, reason: str = "operator") -> None:
+        """Take a fabric out of rotation (operator action).
+
+        A job currently running on it finishes (or fails) normally; the
+        worker loop then idles until :meth:`readmit`.
+        """
+        self.pool.worker(worker_id).eject(reason)
+        self._update_health_metrics()
+
+    async def readmit(self, worker_id: str) -> None:
+        """Return a quarantined fabric to rotation (post-repair).
+
+        The next job on it pays a cold start — its session was dropped
+        at eject time, modelling the physical scrub/replacement.
+        """
+        self.pool.worker(worker_id).readmit()
+        self._m_readmitted.inc(fabric=worker_id)
+        self._update_health_metrics()
+        if self._queue_changed is not None:
+            async with self._queue_changed:
+                self._queue_changed.notify_all()
+
+    # ------------------------------------------------------------------
     # worker loops
     # ------------------------------------------------------------------
 
     async def _next_pending(self, worker) -> _Pending:
         assert self._queue_changed is not None
         async with self._queue_changed:
-            await self._queue_changed.wait_for(lambda: bool(self._queue))
+            # A quarantined worker idles here until readmit() notifies.
+            await self._queue_changed.wait_for(
+                lambda: bool(self._queue) and worker.available
+            )
             index = self.policy.select(
                 [p.request for p in self._queue], worker
             )
@@ -347,7 +424,10 @@ class FabricJobService:
                         error=f"internal: {exc!r}",
                         worker_id=worker.id,
                     )
-                if not pending.future.done():
+                # ``None`` means the job was requeued (this fabric was
+                # quarantined mid-attempt); its future resolves when a
+                # healthy fabric picks it up again.
+                if result is not None and not pending.future.done():
                     pending.future.set_result(result)
                 assert self._queue_changed is not None
                 async with self._queue_changed:
@@ -357,7 +437,13 @@ class FabricJobService:
         except asyncio.CancelledError:
             pass
 
-    async def _run_job(self, worker, pending: _Pending) -> JobResult:
+    async def _run_job(self, worker, pending: _Pending) -> JobResult | None:
+        """Run one job on ``worker``; returns its terminal JobResult.
+
+        Returns ``None`` when the worker was quarantined mid-job and the
+        request was pushed back to the queue front for a healthy fabric
+        (the caller must then *not* resolve the future).
+        """
         request = pending.request
         kind = request.spec.kind.value
         dispatch_time = time.monotonic()
@@ -420,6 +506,38 @@ class FabricJobService:
                     reconfig_ns=run.stats.reconfig_ns,
                     reconfig_saved_ns=run.reconfig_saved_ns,
                 )
+            if not worker.available:
+                # The fabric just quarantined itself (repeated failures
+                # or an unrepairable fault).  Hand the job to a healthy
+                # fabric if one exists; this attempt does not count
+                # against the job's retry budget — the fabric failed,
+                # not the job.
+                self._update_health_metrics()
+                if self.pool.available_workers():
+                    assert self._queue_changed is not None
+                    async with self._queue_changed:
+                        self._queue.insert(0, pending)
+                        self._m_requeued.inc(kind=kind)
+                        self._m_queue_depth.set(len(self._queue))
+                        self._queue_changed.notify_all()
+                    return None
+                # Every fabric is out of rotation: fail fast rather than
+                # strand the job (and deadlock drain()).
+                self._m_completed.inc(
+                    kind=kind, status=JobStatus.FAILED.value
+                )
+                return JobResult(
+                    job_id=request.job_id,
+                    status=JobStatus.FAILED,
+                    error=(
+                        f"{last_error}; worker {worker.id} quarantined and "
+                        "no healthy fabric remains"
+                    ),
+                    worker_id=worker.id,
+                    attempts=attempts,
+                    queue_wait_s=queue_wait,
+                    serve_s=serve_wall,
+                )
             if attempts > request.max_retries:
                 status = JobStatus.TIMEOUT if timed_out else JobStatus.FAILED
                 self._m_completed.inc(kind=kind, status=status.value)
@@ -449,9 +567,19 @@ class FabricJobService:
             self._m_cold.inc(kind=kind)
         self._m_fabric_busy.inc(run.stats.sim_ns, fabric=worker.id)
         self._m_fabric_jobs.inc(fabric=worker.id)
+        if run.stats.faults_detected:
+            self._m_faults_detected.inc(run.stats.faults_detected, kind=kind)
+        if run.stats.faults_corrected:
+            self._m_faults_corrected.inc(run.stats.faults_corrected, kind=kind)
+            self._m_mttr.observe(run.stats.mttr_ns)
+        if run.stats.hard_faults:
+            self._m_hard_faults.inc(run.stats.hard_faults, kind=kind)
+        if run.stats.scrub_ns:
+            self._m_scrub_ns.inc(run.stats.scrub_ns, kind=kind)
         total_busy = self.pool.total_busy_ns
         for member in self.pool:
             self._m_fabric_util.set(
                 member.busy_sim_ns / total_busy if total_busy else 0.0,
                 fabric=member.id,
             )
+        self._update_health_metrics()

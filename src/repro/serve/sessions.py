@@ -72,6 +72,18 @@ class SessionStats:
     reconfig_ns: float = 0.0
     #: Epochs (or blocks) executed — the cancellation granularity.
     slices: int = 0
+    # -- fault-tolerance accounting (sessions running under a fault
+    # -- campaign fill these; plain sessions leave them zero) ----------
+    #: SEUs scrubbing detected during the job.
+    faults_detected: int = 0
+    #: Detected faults repaired (rollback + rewrite) during the job.
+    faults_corrected: int = 0
+    #: ICAP busy time spent on scrub readback/repair traffic.
+    scrub_ns: float = 0.0
+    #: Mean detection-to-repair time of this job's corrected faults.
+    mttr_ns: float = 0.0
+    #: Tiles declared hard-failed (spare-remapped) during the job.
+    hard_faults: int = 0
 
 
 class KernelSession(Protocol):

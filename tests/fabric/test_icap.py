@@ -70,3 +70,70 @@ class TestSerialization:
         icap.schedule(6, label="dmem:test")
         assert icap.transfers[0].label == "dmem:test"
         assert icap.transfers[0].duration_ns == pytest.approx(DMEM_WORD_RELOAD_NS)
+
+
+class TestScrubInterleaving:
+    """Scrub readback/repair and epoch reconfiguration share one port."""
+
+    def test_interleaved_transfers_serialize_in_order(self):
+        icap = IcapPort()
+        icap.schedule(6, earliest_ns=0, label="reconfig:imem")
+        icap.schedule(64 * 6, earliest_ns=0, label="scrub:rb:d(0, 0)")
+        icap.schedule(6, earliest_ns=0, label="reconfig:dmem")
+        icap.schedule(6, earliest_ns=0, label="scrub:rw:d(0, 0)")
+        labels = [t.label for t in icap.transfers]
+        assert labels == [
+            "reconfig:imem", "scrub:rb:d(0, 0)",
+            "reconfig:dmem", "scrub:rw:d(0, 0)",
+        ]
+        # No overlap anywhere: each transfer starts when the last ended.
+        for prev, cur in zip(icap.transfers, icap.transfers[1:]):
+            assert cur.start_ns == pytest.approx(prev.end_ns)
+
+    def test_scrub_delays_reconfiguration(self):
+        # A pending scrub readback pushes the next epoch's stream out —
+        # the Eq. 1 interaction the shared port forces.
+        icap = IcapPort()
+        _, scrub_end = icap.schedule(512 * 6, earliest_ns=0, label="scrub:rb")
+        start, _ = icap.schedule(6, earliest_ns=0, label="reconfig:imem")
+        assert start == pytest.approx(scrub_end)
+
+    def test_busy_until_monotone_under_interleaving(self):
+        icap = IcapPort()
+        seen = [icap.busy_until_ns]
+        for i, (nbytes, label) in enumerate(
+            [(6, "reconfig:a"), (384, "scrub:rb:x"), (0, "scrub:rb:empty"),
+             (9, "reconfig:b"), (54, "scrub:rw:x")]
+        ):
+            icap.schedule(nbytes, earliest_ns=10.0 * i, label=label)
+            seen.append(icap.busy_until_ns)
+        assert seen == sorted(seen)
+
+    def test_busy_ns_by_prefix_splits_the_timeline(self):
+        icap = IcapPort()
+        icap.schedule(600, label="reconfig:imem")
+        icap.schedule(1200, label="scrub:rb:d(0, 0)")
+        icap.schedule_fixed(100, label="scrub:rw:l(0, 0)")
+        scrub = icap.busy_ns_by_prefix("scrub:")
+        other = icap.total_busy_ns - scrub
+        assert scrub == pytest.approx(icap.transfer_ns(1200) + 100)
+        assert other == pytest.approx(icap.transfer_ns(600))
+
+    def test_zero_size_transfer_is_instant_but_recorded(self):
+        icap = IcapPort()
+        icap.schedule(6, label="reconfig:a")
+        start, end = icap.schedule(0, label="scrub:rb:empty")
+        assert start == end == icap.transfers[0].end_ns
+        assert len(icap.transfers) == 2
+
+    def test_negative_sizes_rejected_mid_stream(self):
+        icap = IcapPort()
+        icap.schedule(6, label="reconfig:a")
+        before = icap.busy_until_ns
+        with pytest.raises(ReconfigError):
+            icap.schedule(-6, label="scrub:rb:bad")
+        with pytest.raises(ReconfigError):
+            icap.schedule_fixed(-1, label="scrub:rw:bad")
+        # A rejected request must not corrupt the timeline.
+        assert icap.busy_until_ns == before
+        assert len(icap.transfers) == 1

@@ -112,3 +112,96 @@ class TestInstructionMemory:
         imem.load(assemble("HALT").instructions)
         imem.clear()
         assert imem.loaded_words() == 0
+
+
+class TestDataMemoryScrubPrimitives:
+    """snapshot / load_words / diff — what readback scrubbing builds on."""
+
+    def test_diff_against_snapshot(self):
+        mem = DataMemory(size=8)
+        golden = mem.snapshot()
+        mem.poke(2, 5)
+        mem.poke(6, -1)
+        assert mem.diff(golden) == [2, 6]
+
+    def test_diff_against_memory(self):
+        a, b = DataMemory(size=8), DataMemory(size=8)
+        a.poke(3, 7)
+        assert a.diff(b) == [3]
+        assert b.diff(a) == [3]
+
+    def test_diff_clean_is_empty(self):
+        mem = DataMemory(size=8)
+        assert mem.diff(mem.snapshot()) == []
+
+    def test_diff_size_mismatch_rejected(self):
+        with pytest.raises(MemoryError_):
+            DataMemory(size=8).diff([0] * 7)
+
+    def test_diff_does_not_touch_port_counters(self):
+        mem = DataMemory(size=8)
+        mem.diff(mem.snapshot())
+        assert (mem.reads, mem.writes) == (0, 0)
+
+    def test_load_words_restores_snapshot(self):
+        mem = DataMemory(size=8)
+        mem.poke(1, 42)
+        golden = mem.snapshot()
+        mem.poke(1, 0)
+        mem.load_words(golden)
+        assert mem.peek(1) == 42
+        with pytest.raises(MemoryError_):
+            mem.load_words([0] * 7)
+
+
+class TestInstructionMemoryCorruption:
+    """SEU sentinel, repair, identity diff."""
+
+    def _loaded(self):
+        imem = InstructionMemory(size=8)
+        imem.load(assemble("NOP\nNOP\nHALT").instructions, base=2)
+        return imem
+
+    def test_corrupt_then_fetch_raises_faulterror(self):
+        from repro.errors import FaultError
+
+        imem = self._loaded()
+        imem.corrupt_slot(3)
+        assert imem.has_corruption
+        assert imem.corrupted_slots() == [3]
+        with pytest.raises(FaultError, match="SEU-corrupted"):
+            imem.fetch(3)
+
+    def test_repair_restores_original_word(self):
+        imem = self._loaded()
+        original = imem.peek_slot(3)
+        imem.corrupt_slot(3)
+        imem.repair_slot(3)
+        assert imem.peek_slot(3) is original
+        assert not imem.has_corruption
+
+    def test_corrupting_corrupt_slot_is_stuck_at_noop(self):
+        imem = self._loaded()
+        original = imem.peek_slot(3)
+        imem.corrupt_slot(3)
+        imem.corrupt_slot(3)  # keeps the original pre-fault image
+        imem.repair_slot(3)
+        assert imem.peek_slot(3) is original
+
+    def test_diff_is_identity_based(self):
+        imem = self._loaded()
+        golden = imem.snapshot()
+        imem.corrupt_slot(2)
+        assert imem.diff(golden) == [2]
+        imem.load_slots(golden)  # golden rewrite clears corruption
+        assert imem.diff(golden) == []
+        assert not imem.has_corruption
+        with pytest.raises(MemoryError_):
+            imem.diff(golden[:-1])
+
+    def test_loaded_addrs_and_peek(self):
+        imem = self._loaded()
+        assert imem.loaded_addrs() == [2, 3, 4]
+        assert imem.peek_slot(0) is None
+        with pytest.raises(MemoryError_):
+            imem.peek_slot(8)

@@ -113,3 +113,28 @@ class TestApply:
     def test_negative_link_cost_rejected(self):
         with pytest.raises(Exception):
             ReconfigPlanner(Mesh(1, 1), IcapPort(), link_cost_ns=-1)
+
+
+class TestReconfigErrorContext:
+    """ReconfigError carries the tile coordinate and ICAP timestamp."""
+
+    def test_plain_message_without_context(self):
+        from repro.errors import ReconfigError
+
+        err = ReconfigError("bad image")
+        assert str(err) == "bad image"
+        assert err.coord is None and err.icap_ns is None
+
+    def test_coord_and_timestamp_render_like_a_trace_entry(self):
+        from repro.errors import ReconfigError
+
+        err = ReconfigError("bad image", coord=(1, 0), icap_ns=1200.0)
+        assert err.coord == (1, 0)
+        assert err.icap_ns == 1200.0
+        assert str(err) == "bad image [tile (1, 0), icap t=1200.00 ns]"
+
+    def test_fault_hierarchy(self):
+        from repro.errors import FabricError, FaultError, ScrubError
+
+        assert issubclass(FaultError, FabricError)
+        assert issubclass(ScrubError, FaultError)

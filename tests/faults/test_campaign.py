@@ -1,0 +1,219 @@
+"""End-to-end fault campaigns: recovery, exactness, hard remap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScrubError
+from repro.fabric.icap import IcapPort
+from repro.fabric.mesh import Mesh
+from repro.fabric.rtms import EpochSpec, RuntimeManager
+from repro.faults import (
+    CampaignConfig,
+    FaultClass,
+    FaultEvent,
+    FaultInjector,
+    FaultTarget,
+    ReadbackScrubber,
+    run_campaign,
+    used_coords,
+)
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.runner import FabricFFT
+
+
+def _fft_workload(seed=3):
+    plan = FFTPlan(16, 16, 1)
+    fft = FabricFFT(plan)
+    rng = np.random.default_rng(seed)
+    x = (rng.standard_normal(plan.n) + 1j * rng.standard_normal(plan.n)) * 0.05
+    golden = fft.run(x).output
+    return plan, fft, x, golden
+
+
+def _campaign_setup(plan, rows=None, cols=None):
+    mesh = Mesh(rows if rows is not None else plan.rows,
+                cols if cols is not None else plan.cols)
+    rtms = RuntimeManager(mesh, IcapPort())
+    return mesh, rtms
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ScrubError):
+            CampaignConfig(scrub_period=-1)
+        with pytest.raises(ScrubError):
+            CampaignConfig(repair_policy="magic")
+        with pytest.raises(ScrubError):
+            CampaignConfig(max_repair_attempts=0)
+
+    def test_attempts_must_exceed_hard_streak(self):
+        plan, fft, x, _ = _fft_workload()
+        mesh, rtms = _campaign_setup(plan)
+        with pytest.raises(ScrubError):
+            run_campaign(
+                rtms, fft.transform_epochs(x), FaultInjector(mesh),
+                ReadbackScrubber(hard_streak=5),
+                CampaignConfig(max_repair_attempts=5),
+            )
+
+
+class TestUsedCoords:
+    def test_collects_every_epoch_field(self):
+        spec = EpochSpec(
+            "e", programs={(0, 0): object()}, pokes={(1, 0): {0: 1}},
+            run=[(1, 1)],
+        )
+        assert used_coords([spec]) == {(0, 0), (1, 0), (1, 1)}
+
+
+class TestTransientRecovery:
+    def test_fault_free_campaign_matches_golden(self):
+        plan, fft, x, golden = _fft_workload()
+        mesh, rtms = _campaign_setup(plan)
+        result = run_campaign(
+            rtms, fft.transform_epochs(x), FaultInjector(mesh)
+        )
+        assert result.injected == 0 and result.rollbacks == 0
+        assert np.array_equal(fft.read_output(mesh), golden)
+
+    def test_scrubbed_output_is_bit_identical(self):
+        plan, fft, x, golden = _fft_workload()
+        mesh, rtms = _campaign_setup(plan)
+        injector = FaultInjector(mesh, seed=5)
+        injector.schedule_poisson(
+            1.0 / 5_000.0, 60_000.0, targets=(FaultTarget.DMEM,)
+        )
+        result = run_campaign(
+            rtms, fft.transform_epochs(x), injector,
+            ReadbackScrubber(), CampaignConfig(scrub_period=1),
+        )
+        assert result.injected > 0
+        assert result.detected + result.masked == result.injected
+        assert result.corrected == result.detected
+        assert np.array_equal(fft.read_output(mesh), golden)
+
+    def test_campaign_is_deterministic(self):
+        def once():
+            plan, fft, x, _ = _fft_workload()
+            mesh, rtms = _campaign_setup(plan)
+            injector = FaultInjector(mesh, seed=5)
+            injector.schedule_poisson(
+                1.0 / 5_000.0, 60_000.0, targets=(FaultTarget.DMEM,)
+            )
+            result = run_campaign(
+                rtms, fft.transform_epochs(x), injector,
+                ReadbackScrubber(), CampaignConfig(scrub_period=1),
+            )
+            return (
+                result.injected, result.detected, result.corrected,
+                result.rollbacks, result.total_ns, result.scrub_ns,
+                result.detection_latencies_ns,
+            )
+
+        assert once() == once()
+
+    def test_unprotected_campaign_never_scrubs(self):
+        plan, fft, x, _ = _fft_workload()
+        mesh, rtms = _campaign_setup(plan)
+        injector = FaultInjector(mesh, seed=5)
+        injector.schedule_poisson(
+            1.0 / 5_000.0, 60_000.0, targets=(FaultTarget.DMEM,)
+        )
+        result = run_campaign(
+            rtms, fft.transform_epochs(x), injector,
+            config=CampaignConfig(scrub_period=0),
+        )
+        assert result.scrub_reports == []
+        assert result.scrub_ns == 0.0
+        assert result.detected == 0
+
+    def test_partial_repair_at_least_2x_cheaper_than_full(self):
+        def repairs(policy):
+            plan, fft, x, _ = _fft_workload()
+            mesh, rtms = _campaign_setup(plan)
+            injector = FaultInjector(mesh, seed=5)
+            injector.schedule_poisson(
+                1.0 / 5_000.0, 60_000.0, targets=(FaultTarget.DMEM,)
+            )
+            result = run_campaign(
+                rtms, fft.transform_epochs(x), injector,
+                ReadbackScrubber(),
+                CampaignConfig(scrub_period=1, repair_policy=policy),
+            )
+            assert result.rollbacks > 0
+            return sum(r.repair_ns for r in result.repairs) / result.rollbacks
+
+        assert repairs("full") >= 2.0 * repairs("partial")
+
+    def test_scrub_and_reconfig_share_one_port(self):
+        plan, fft, x, _ = _fft_workload()
+        mesh, rtms = _campaign_setup(plan)
+        injector = FaultInjector(mesh, seed=5)
+        injector.schedule_poisson(
+            1.0 / 5_000.0, 60_000.0, targets=(FaultTarget.DMEM,)
+        )
+        result = run_campaign(
+            rtms, fft.transform_epochs(x), injector, ReadbackScrubber(),
+        )
+        assert result.scrub_ns > 0 and result.reconfig_ns > 0
+        assert result.scrub_ns + result.reconfig_ns == pytest.approx(
+            rtms.icap.total_busy_ns
+        )
+        assert 0.0 < result.scrub_bandwidth_fraction < 1.0
+
+
+class TestHardFaultRemap:
+    def _stuck_at(self):
+        return FaultEvent(
+            time_ns=0.0, coord=(0, 0), target=FaultTarget.DMEM,
+            addr=3, bit=17, fault_class=FaultClass.HARD,
+        )
+
+    def test_remap_onto_spare_preserves_output(self):
+        plan, fft, x, golden = _fft_workload()
+        mesh, rtms = _campaign_setup(plan, rows=1, cols=2)  # (0,1) spare
+        injector = FaultInjector(mesh, seed=0)
+        injector.script([self._stuck_at()])
+        result = run_campaign(
+            rtms, fft.transform_epochs(x), injector,
+            ReadbackScrubber(hard_streak=2),
+            CampaignConfig(scrub_period=1, max_repair_attempts=4),
+        )
+        assert result.hard_failures == [(0, 0)]
+        assert result.remaps == [((0, 0), (0, 1))]
+        assert result.abandoned >= 1
+        assert injector.retired_coords == {(0, 0)}
+        # The workload finished on the spare with the right answer.
+        out_mesh = Mesh(plan.rows, plan.cols)
+        out_mesh.tile((0, 0)).dmem.load_words(
+            mesh.tile((0, 1)).dmem.snapshot()
+        )
+        assert np.array_equal(fft.read_output(out_mesh), golden)
+        # Remap traffic went over the shared ICAP, scrub-labeled.
+        assert rtms.icap.busy_ns_by_prefix("scrub:remap:") > 0
+
+    def test_hard_fault_without_spare_remap_raises(self):
+        plan, fft, x, _ = _fft_workload()
+        mesh, rtms = _campaign_setup(plan, rows=1, cols=2)
+        injector = FaultInjector(mesh, seed=0)
+        injector.script([self._stuck_at()])
+        with pytest.raises(ScrubError):
+            run_campaign(
+                rtms, fft.transform_epochs(x), injector,
+                ReadbackScrubber(hard_streak=2),
+                CampaignConfig(
+                    scrub_period=1, max_repair_attempts=4, spare_remap=False
+                ),
+            )
+
+    def test_hard_fault_with_no_spare_exhausts_attempts(self):
+        plan, fft, x, _ = _fft_workload()
+        mesh, rtms = _campaign_setup(plan)  # 1x1: nowhere to go
+        injector = FaultInjector(mesh, seed=0)
+        injector.script([self._stuck_at()])
+        with pytest.raises(Exception):  # MappingError or ScrubError
+            run_campaign(
+                rtms, fft.transform_epochs(x), injector,
+                ReadbackScrubber(hard_streak=2),
+                CampaignConfig(scrub_period=1, max_repair_attempts=4),
+            )

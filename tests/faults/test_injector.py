@@ -1,0 +1,142 @@
+"""Seeded SEU injection: determinism, targeting, stuck-at persistence."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.fabric.mesh import Mesh
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultClass, FaultEvent, FaultTarget, flip_word
+
+
+def _event(**kwargs):
+    base = dict(
+        time_ns=0.0, coord=(0, 0), target=FaultTarget.DMEM, addr=3, bit=5
+    )
+    base.update(kwargs)
+    return FaultEvent(**base)
+
+
+class TestSchedule:
+    def test_poisson_is_seed_deterministic(self):
+        a = FaultInjector(Mesh(2, 2), seed=42).schedule_poisson(
+            1e-3, 100_000.0
+        )
+        b = FaultInjector(Mesh(2, 2), seed=42).schedule_poisson(
+            1e-3, 100_000.0
+        )
+        assert a == b
+        c = FaultInjector(Mesh(2, 2), seed=43).schedule_poisson(
+            1e-3, 100_000.0
+        )
+        assert a != c
+
+    def test_poisson_times_ordered_and_bounded(self):
+        events = FaultInjector(Mesh(1, 1), seed=0).schedule_poisson(
+            1e-3, 50_000.0
+        )
+        times = [e.time_ns for e in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 50_000.0 for t in times)
+
+    def test_poisson_validation(self):
+        injector = FaultInjector(Mesh(1, 1))
+        with pytest.raises(FaultError):
+            injector.schedule_poisson(0.0, 1000.0)
+        with pytest.raises(FaultError):
+            injector.schedule_poisson(1e-3, 1000.0, hard_fraction=1.5)
+        with pytest.raises(FaultError):
+            injector.schedule_poisson(1e-3, 1000.0, targets=())
+
+    def test_hard_fraction_one_makes_everything_hard(self):
+        events = FaultInjector(Mesh(1, 1), seed=1).schedule_poisson(
+            1e-3, 50_000.0, hard_fraction=1.0
+        )
+        assert events
+        assert all(e.fault_class is FaultClass.HARD for e in events)
+
+    def test_due_pops_in_time_order(self):
+        injector = FaultInjector(Mesh(1, 1))
+        injector.script([_event(time_ns=30.0), _event(time_ns=10.0)])
+        assert [e.time_ns for e in injector.due(20.0)] == [10.0]
+        assert injector.pending_count == 1
+        assert [e.time_ns for e in injector.due(100.0)] == [30.0]
+
+
+class TestInjection:
+    def test_dmem_flip(self):
+        mesh = Mesh(1, 1)
+        mesh.tile((0, 0)).dmem.poke(3, 1000)
+        injector = FaultInjector(mesh)
+        record = injector.inject(_event(addr=3, bit=5))
+        assert record.original == 1000
+        assert record.corrupted == flip_word(1000, 5)
+        assert mesh.tile((0, 0)).dmem.peek(3) == record.corrupted
+
+    def test_imem_retargets_onto_loaded_slot(self):
+        mesh = Mesh(1, 1)
+        tile = mesh.tile((0, 0))
+        tile.imem.load(["i0", "i1", "i2"], base=10)
+        injector = FaultInjector(mesh)
+        record = injector.inject(
+            _event(target=FaultTarget.IMEM, addr=500, bit=0)
+        )
+        # 500 % 3 loaded slots -> third loaded address (12).
+        assert record.addr == 12
+        assert tile.imem.corrupted_slots() == [12]
+        assert not record.masked
+
+    def test_imem_without_program_is_masked(self):
+        mesh = Mesh(1, 1)
+        injector = FaultInjector(mesh)
+        record = injector.inject(_event(target=FaultTarget.IMEM))
+        assert record.masked
+        assert not mesh.tile((0, 0)).imem.has_corruption
+
+    def test_link_derangement_changes_attachment(self):
+        mesh = Mesh(1, 2)
+        injector = FaultInjector(mesh)
+        before = mesh.active_link((0, 0))
+        record = injector.inject(
+            _event(target=FaultTarget.LINK, addr=0, bit=0)
+        )
+        assert record.corrupted != before
+        assert mesh.active_link((0, 0)) == record.corrupted
+
+    def test_retired_coord_strikes_are_masked(self):
+        mesh = Mesh(1, 2)
+        injector = FaultInjector(mesh)
+        injector.retire((0, 0))
+        record = injector.inject(_event())
+        assert record.masked
+        assert injector.counts()["masked"] == 1
+
+
+class TestHardFaults:
+    def test_reassert_after_repair(self):
+        mesh = Mesh(1, 1)
+        mesh.tile((0, 0)).dmem.poke(3, 7)
+        injector = FaultInjector(mesh)
+        record = injector.inject(
+            _event(addr=3, bit=1, fault_class=FaultClass.HARD)
+        )
+        # Rewrite (repair) the word, then the stuck cell re-asserts.
+        mesh.tile((0, 0)).dmem.poke(3, 7)
+        assert injector.reassert() == 1
+        assert mesh.tile((0, 0)).dmem.peek(3) == record.corrupted
+
+    def test_transient_does_not_reassert(self):
+        mesh = Mesh(1, 1)
+        injector = FaultInjector(mesh)
+        injector.inject(_event(addr=3, bit=1))
+        mesh.tile((0, 0)).dmem.poke(3, 0)
+        assert injector.reassert() == 0
+        assert mesh.tile((0, 0)).dmem.peek(3) == 0
+
+    def test_retire_stops_reassertion(self):
+        mesh = Mesh(1, 2)
+        injector = FaultInjector(mesh)
+        injector.inject(_event(fault_class=FaultClass.HARD))
+        assert injector.retire((0, 0)) == 1
+        assert injector.reassert() == 0
+        assert injector.counts()["abandoned"] == 1
+        assert injector.retired_coords == {(0, 0)}

@@ -1,0 +1,106 @@
+"""Fault vocabulary: bit flips, event validation, record lifecycle."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.fabric.fixedpoint import WORD_MAX, WORD_MIN
+from repro.faults.model import (
+    FaultClass,
+    FaultEvent,
+    FaultTarget,
+    InjectionRecord,
+    flip_word,
+)
+
+
+class TestFlipWord:
+    def test_flip_is_involutive(self):
+        for word in (0, 1, -1, 12345, WORD_MAX, WORD_MIN):
+            for bit in (0, 17, 47):
+                flipped = flip_word(word, bit)
+                assert flipped != word
+                assert flip_word(flipped, bit) == word
+
+    def test_flip_stays_in_word_range(self):
+        for bit in range(48):
+            assert WORD_MIN <= flip_word(WORD_MAX, bit) <= WORD_MAX
+
+    def test_sign_bit_flip(self):
+        assert flip_word(0, 47) == WORD_MIN
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(FaultError):
+            flip_word(0, 48)
+        with pytest.raises(FaultError):
+            flip_word(0, -1)
+
+
+class TestFaultEvent:
+    def test_valid_event(self):
+        event = FaultEvent(
+            time_ns=10.0, coord=(0, 0), target=FaultTarget.DMEM, addr=3, bit=5
+        )
+        assert event.fault_class is FaultClass.TRANSIENT
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time_ns=-1.0, coord=(0, 0), target=FaultTarget.DMEM)
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(
+                time_ns=0.0, coord=(0, 0), target=FaultTarget.DMEM, addr=-1
+            )
+
+    def test_bit_limit_per_target(self):
+        # 48-bit data words, 72-bit instruction words.
+        with pytest.raises(FaultError):
+            FaultEvent(time_ns=0.0, coord=(0, 0), target=FaultTarget.DMEM, bit=48)
+        FaultEvent(time_ns=0.0, coord=(0, 0), target=FaultTarget.IMEM, bit=71)
+        with pytest.raises(FaultError):
+            FaultEvent(time_ns=0.0, coord=(0, 0), target=FaultTarget.IMEM, bit=72)
+
+    def test_frozen(self):
+        event = FaultEvent(time_ns=0.0, coord=(0, 0), target=FaultTarget.DMEM)
+        with pytest.raises(AttributeError):
+            event.time_ns = 5.0  # type: ignore[misc]
+
+
+class TestInjectionRecord:
+    def _record(self, **kwargs):
+        event = FaultEvent(
+            time_ns=100.0, coord=(1, 0), target=FaultTarget.DMEM, addr=7, bit=2
+        )
+        return InjectionRecord(
+            event=event, addr=7, original=0, corrupted=4,
+            injected_at_ns=100.0, **kwargs,
+        )
+
+    def test_lifecycle_status(self):
+        record = self._record()
+        assert record.status == "latent"
+        record.detected_at_ns = 250.0
+        assert record.status == "detected"
+        record.repaired_at_ns = 300.0
+        assert record.status == "repaired"
+        record.abandoned = True
+        assert record.status == "abandoned"
+
+    def test_masked_status(self):
+        record = self._record(masked=True)
+        assert record.status == "masked"
+
+    def test_latency_and_mttr(self):
+        record = self._record()
+        assert record.detection_latency_ns is None
+        assert record.time_to_repair_ns is None
+        record.detected_at_ns = 250.0
+        assert record.detection_latency_ns == 150.0
+        record.repaired_at_ns = 400.0
+        assert record.time_to_repair_ns == 150.0
+
+    def test_event_passthrough(self):
+        record = self._record()
+        assert record.coord == (1, 0)
+        assert record.target is FaultTarget.DMEM
+        assert record.fault_class is FaultClass.TRANSIENT

@@ -1,0 +1,137 @@
+"""Readback scrubbing: detection, masking, repair policies, streaks."""
+
+import pytest
+
+from repro.errors import ScrubError
+from repro.fabric.icap import IcapPort
+from repro.fabric.mesh import Mesh
+from repro.fabric.rtms import RuntimeManager
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultClass, FaultEvent, FaultTarget
+from repro.faults.scrubber import ReadbackScrubber
+from repro.units import DMEM_WORD_RELOAD_NS
+
+
+def _setup(rows=1, cols=1):
+    mesh = Mesh(rows, cols)
+    rtms = RuntimeManager(mesh, IcapPort())
+    injector = FaultInjector(mesh)
+    return mesh, rtms, injector
+
+
+def _dmem_event(coord=(0, 0), addr=3, bit=5, fault_class=FaultClass.TRANSIENT):
+    return FaultEvent(
+        time_ns=0.0, coord=coord, target=FaultTarget.DMEM,
+        addr=addr, bit=bit, fault_class=fault_class,
+    )
+
+
+class TestScan:
+    def test_validation(self):
+        with pytest.raises(ScrubError):
+            ReadbackScrubber(frame_words=0)
+        with pytest.raises(ScrubError):
+            ReadbackScrubber(hard_streak=0)
+
+    def test_clean_fabric_scans_clean(self):
+        mesh, rtms, injector = _setup()
+        report = ReadbackScrubber().scan(rtms, injector)
+        assert report.clean
+        assert report.coords_scanned == 1
+        assert report.words_read == mesh.tile((0, 0)).dmem.size
+
+    def test_scan_charges_labeled_icap_traffic(self):
+        _, rtms, injector = _setup()
+        report = ReadbackScrubber(frame_words=64).scan(rtms, injector)
+        scrub_ns = rtms.icap.busy_ns_by_prefix("scrub:")
+        assert scrub_ns == pytest.approx(512 * DMEM_WORD_RELOAD_NS)
+        assert report.readback_ns == pytest.approx(scrub_ns)
+        # 512 data words in 64-word frames -> 8 transfers.
+        assert len(rtms.icap.transfers) == 8
+        # The boundary blocks on scrub completion.
+        assert rtms.now_ns == pytest.approx(report.end_ns)
+
+    def test_persistent_corruption_is_detected(self):
+        mesh, rtms, injector = _setup()
+        record = injector.inject(_dmem_event())
+        report = ReadbackScrubber().scan(rtms, injector)
+        assert not report.clean
+        assert report.detected == [record]
+        assert record.detected_at_ns == report.end_ns
+        assert record.detection_latency_ns is not None
+
+    def test_overwritten_word_is_masked(self):
+        mesh, rtms, injector = _setup()
+        record = injector.inject(_dmem_event(addr=3))
+        # Legitimate traffic rewrites the word before the next scrub.
+        mesh.tile((0, 0)).dmem.poke(3, 0)
+        report = ReadbackScrubber().scan(rtms, injector)
+        assert report.clean
+        assert report.newly_masked == 1
+        assert record.masked
+
+    def test_redetection_counts_after_detection(self):
+        _, rtms, injector = _setup()
+        record = injector.inject(_dmem_event())
+        scrubber = ReadbackScrubber()
+        scrubber.scan(rtms, injector)
+        scrubber.scan(rtms, injector)
+        assert record.redetections == 1
+
+    def test_hard_streak_produces_suspects(self):
+        _, rtms, injector = _setup()
+        injector.inject(_dmem_event(fault_class=FaultClass.HARD))
+        scrubber = ReadbackScrubber(hard_streak=2)
+        first = scrubber.scan(rtms, injector)
+        assert first.hard_suspects == []
+        second = scrubber.scan(rtms, injector)
+        assert second.hard_suspects == [(0, 0)]
+        # A clean scan (or an explicit reset) clears the streak.
+        scrubber.reset_streak((0, 0))
+        assert scrubber.scan(rtms, injector).hard_suspects == []
+
+
+class TestRepair:
+    def test_unknown_policy_rejected(self):
+        _, rtms, injector = _setup()
+        with pytest.raises(ScrubError):
+            ReadbackScrubber().repair(rtms, rtms.checkpoint(), policy="magic")
+
+    def test_partial_repair_rewrites_only_diff_words(self):
+        mesh, rtms, injector = _setup()
+        checkpoint = rtms.checkpoint()
+        injector.inject(_dmem_event(addr=3))
+        injector.inject(_dmem_event(addr=9, bit=1))
+        scrubber = ReadbackScrubber()
+        scrubber.scan(rtms, injector)
+        report = scrubber.repair(rtms, checkpoint, policy="partial")
+        assert report.dmem_words == 2
+        assert report.repair_ns == pytest.approx(2 * DMEM_WORD_RELOAD_NS)
+        # Fabric is back at the checkpoint.
+        assert mesh.tile((0, 0)).dmem.peek(3) == 0
+        assert mesh.tile((0, 0)).dmem.peek(9) == 0
+
+    def test_full_repair_reloads_whole_tile(self):
+        mesh, rtms, injector = _setup()
+        checkpoint = rtms.checkpoint()
+        injector.inject(_dmem_event(addr=3))
+        report = ReadbackScrubber().repair(rtms, checkpoint, policy="full")
+        assert report.dmem_words == mesh.tile((0, 0)).dmem.size
+
+    def test_partial_beats_full(self):
+        _, rtms, injector = _setup()
+        checkpoint = rtms.checkpoint()
+        injector.inject(_dmem_event(addr=3))
+        scrubber = ReadbackScrubber()
+        partial = scrubber.repair(rtms, checkpoint, policy="partial")
+        injector.inject(_dmem_event(addr=3))
+        full = scrubber.repair(rtms, checkpoint, policy="full")
+        assert full.repair_ns >= 2 * partial.repair_ns
+
+    def test_repair_traffic_is_scrub_labeled(self):
+        _, rtms, injector = _setup()
+        checkpoint = rtms.checkpoint()
+        injector.inject(_dmem_event())
+        before = rtms.icap.busy_ns_by_prefix("scrub:rw:")
+        ReadbackScrubber().repair(rtms, checkpoint)
+        assert rtms.icap.busy_ns_by_prefix("scrub:rw:") > before

@@ -66,6 +66,17 @@ class TestCLI:
         assert main(["serve", "--jobs", "4", "--policy", "cold_fifo"]) == 0
         assert "policy=cold_fifo" in capsys.readouterr().out
 
+    def test_faults_subcommand_dispatches(self, monkeypatch):
+        # The real demo runs two full campaigns (exercised by CI's
+        # fault-smoke job); dispatch is what the CLI owns, so stub the
+        # entry point and assert it is reached.
+        import repro.faults.demo as demo
+
+        calls = []
+        monkeypatch.setattr(demo, "main", lambda: calls.append(1) or 0)
+        assert main(["faults"]) == 0
+        assert calls == [1]
+
     @pytest.mark.parametrize("name", ["table2", "table4", "table5", "fig12"])
     def test_fast_artifacts_render(self, name, capsys):
         assert main([name]) == 0
