@@ -1,0 +1,158 @@
+"""Compile-cache benchmark: repeated DSE sweep, cold vs warm.
+
+The workload mirrors what a design-space exploration does to the
+configuration compiler: visit a grid of FFT decompositions x link costs
+plus a set of JPEG quantizer setups, building the full
+:class:`~repro.compile.ir.CompiledArtifact` for each point.  Pass 1 runs
+against an empty cache (every point lowers, validates, predecodes and
+hashes); pass 2 revisits the identical grid and must be served entirely
+from the content-addressed cache.
+
+Writes ``BENCH_compile.json``::
+
+    {"bench": "compile_cache_repeated_sweep",
+     "points": 15,
+     "cold_s": 0.41, "warm_s": 0.002, "speedup": 195.3,
+     "cache": {"hits": 15, "misses": 15, ...},
+     "hashes": {"fft:n=64,m=8,cols=2,link=0.0": "4e62…", ...},
+     "hashes_stable": true,
+     "pass_timings_ms": {"validate-links": 0.1, ...},
+     "acceptance": {"min_speedup": 5.0, "pass": true}}
+
+``speedup`` is the acceptance figure (>= 5x required); ``hashes_stable``
+asserts that a fresh cold compile in a *new* cache reproduces every
+content hash byte for byte.  Run directly
+(``PYTHONPATH=src python benchmarks/bench_compile.py``) or through
+:func:`run_bench` from the smoke tests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_compile.json"
+
+MIN_SPEEDUP = 5.0
+
+#: The sweep grid: (n, m, cols) x link costs, plus (quality, chroma).
+FFT_POINTS = [
+    (64, 8, 1),
+    (64, 8, 2),
+    (64, 16, 1),
+    (64, 16, 2),
+    (256, 16, 1),
+    (256, 16, 2),
+]
+LINK_COSTS = [0.0, 100.0]
+JPEG_POINTS = [(50, False), (75, False), (90, True)]
+
+
+def _sweep_keys() -> list[str]:
+    keys = [
+        f"fft:n={n},m={m},cols={c},link={cost}"
+        for (n, m, c) in FFT_POINTS
+        for cost in LINK_COSTS
+    ]
+    keys.extend(f"jpeg:q={q},chroma={ch}" for q, ch in JPEG_POINTS)
+    return keys
+
+
+def _build_all(cache) -> tuple[float, dict[str, str]]:
+    """Compile every sweep point through ``cache``.
+
+    Returns (config-build seconds, {point key: artifact hash}).  Only the
+    compile calls are timed — this is the config-build cost Eq. 1's
+    C_i constructions charge, not fabric execution.
+    """
+    from repro.compile import compile_fft, compile_jpeg
+    from repro.kernels.fft.decompose import FFTPlan
+
+    hashes: dict[str, str] = {}
+    total = 0.0
+    for (n, m, c) in FFT_POINTS:
+        plan = FFTPlan(n, m, c)
+        for cost in LINK_COSTS:
+            t0 = time.perf_counter()
+            artifact = compile_fft(plan, cost, cache=cache)
+            total += time.perf_counter() - t0
+            hashes[f"fft:n={n},m={m},cols={c},link={cost}"] = (
+                artifact.artifact_hash
+            )
+    for quality, chroma in JPEG_POINTS:
+        t0 = time.perf_counter()
+        artifact = compile_jpeg(quality, chroma, cache=cache)
+        total += time.perf_counter() - t0
+        hashes[f"jpeg:q={quality},chroma={chroma}"] = artifact.artifact_hash
+    return total, hashes
+
+
+def run_bench(output: Path | str = DEFAULT_OUTPUT) -> dict:
+    """Run the repeated sweep and write ``BENCH_compile.json``."""
+    from repro.compile import ArtifactCache, compile_fft
+    from repro.kernels.fft.decompose import FFTPlan
+
+    # Warm imports / numpy / program factories so pass 1 times compilation,
+    # not module loading (the lru_cached programs are shared either way —
+    # identical treatment for both passes).
+    warm_cache = ArtifactCache()
+    compile_fft(FFTPlan(16, 16, 1), cache=warm_cache)
+
+    cache = ArtifactCache(capacity=64)
+    cold_s, cold_hashes = _build_all(cache)
+    warm_s, warm_hashes = _build_all(cache)
+    if cold_hashes != warm_hashes:
+        raise AssertionError("artifact hashes changed between passes")
+
+    # Byte-stability across runs: a fresh cache must reproduce every hash.
+    _, fresh_hashes = _build_all(ArtifactCache(capacity=64))
+    hashes_stable = fresh_hashes == cold_hashes
+
+    points = len(_sweep_keys())
+    stats = cache.stats.snapshot()  # freeze before the sample compile below
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    # Per-pass wall-time breakdown of one representative compile.
+    sample = compile_fft(FFTPlan(64, 8, 2), 100.0, cache=cache)
+    pass_timings_ms = {
+        t.name: t.wall_ns / 1e6 for t in sample.pass_timings
+    }
+
+    entry = {
+        "bench": "compile_cache_repeated_sweep",
+        "points": points,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "cache": stats.as_dict(),
+        "hashes": cold_hashes,
+        "hashes_stable": hashes_stable,
+        "pass_timings_ms": pass_timings_ms,
+        "acceptance": {
+            "min_speedup": MIN_SPEEDUP,
+            "pass": bool(speedup >= MIN_SPEEDUP and hashes_stable
+                         and stats.hits == points),
+        },
+    }
+    output = Path(output)
+    output.write_text(json.dumps(entry, indent=2) + "\n")
+    return entry
+
+
+def main() -> int:
+    entry = run_bench()
+    print(f"wrote {DEFAULT_OUTPUT}")
+    print(
+        f"points {entry['points']}  cold {entry['cold_s'] * 1e3:8.2f} ms  "
+        f"warm {entry['warm_s'] * 1e3:8.2f} ms  "
+        f"speedup {entry['speedup']:7.1f}x  "
+        f"hashes stable: {entry['hashes_stable']}"
+    )
+    ok = entry["acceptance"]["pass"]
+    print("acceptance:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,13 +9,16 @@ Usage::
                                          # simulator-measured profiles)
     python -m repro serve --jobs 24      # fabric job-service demo
     python -m repro faults               # SEU injection + scrubbing demo
+    python -m repro compile              # configuration-compiler demo
     python -m repro --version            # print the package version
 
 Each artifact name maps to a module of :mod:`repro.experiments`; the
 output is exactly what the benchmark harness saves under
 ``benchmarks/output/``.  ``serve`` forwards its arguments to
 :func:`repro.serve.client.main`; ``faults`` runs the deterministic
-fault-tolerance walkthrough of :mod:`repro.faults.demo`.
+fault-tolerance walkthrough of :mod:`repro.faults.demo`; ``compile``
+runs the configuration-compiler walkthrough of
+:mod:`repro.compile.demo` (pass timings, cache stats, artifact hashes).
 """
 
 from __future__ import annotations
@@ -60,9 +63,15 @@ ARTIFACTS = {
 }
 
 
+#: Non-artifact subcommands (included in typo suggestions).
+SUBCOMMANDS = ("list", "serve", "faults", "compile")
+
+
 def _suggestions(name: str) -> list[str]:
-    """Close artifact-name matches for a typo'd request."""
-    return difflib.get_close_matches(name, list(ARTIFACTS), n=3, cutoff=0.5)
+    """Close artifact/subcommand matches for a typo'd request."""
+    return difflib.get_close_matches(
+        name, [*ARTIFACTS, *SUBCOMMANDS], n=3, cutoff=0.5
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -81,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults.demo import main as faults_main
 
         return faults_main()
+    if args[0] == "compile":
+        from repro.compile.demo import main as compile_main
+
+        return compile_main(args[1:])
     if args[0] == "list":
         width = max(len(name) for name in ARTIFACTS)
         for name, (_, description) in ARTIFACTS.items():

@@ -1,0 +1,64 @@
+"""``repro.compile`` — the configuration-compilation pipeline.
+
+The fabric's ``torch.compile``: a typed IR
+(:class:`~repro.compile.ir.KernelGraph` →
+:class:`~repro.compile.ir.EpochPlan` →
+:class:`~repro.compile.ir.CompiledArtifact`), a pass manager with
+individually-testable validation/analysis passes
+(:mod:`repro.compile.passes`), stable content addressing
+(:mod:`repro.compile.hashing`) and a content-addressed artifact cache
+(:mod:`repro.compile.cache`).  Kernel frontends live in
+:mod:`repro.compile.frontends`; ``python -m repro compile`` demos the
+whole flow.
+"""
+
+from repro.compile.cache import (
+    ArtifactCache,
+    CacheStats,
+    cache_stats,
+    clear_cache,
+    get_cache,
+)
+from repro.compile.frontends import compile_fft, compile_jpeg, compile_plan
+from repro.compile.hashing import canonical_bytes, plan_hash
+from repro.compile.ir import (
+    CompiledArtifact,
+    EpochPlan,
+    InputPort,
+    IRBuilder,
+    KernelGraph,
+    LinkDemand,
+    MemoryDemand,
+    PassTiming,
+    ProcessNode,
+    rebuild_port_encoder,
+    register_port_encoder,
+)
+from repro.compile.passes import CompileUnit, PassManager, default_passes
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CompileUnit",
+    "CompiledArtifact",
+    "EpochPlan",
+    "IRBuilder",
+    "InputPort",
+    "KernelGraph",
+    "LinkDemand",
+    "MemoryDemand",
+    "PassManager",
+    "PassTiming",
+    "ProcessNode",
+    "cache_stats",
+    "canonical_bytes",
+    "clear_cache",
+    "compile_fft",
+    "compile_jpeg",
+    "compile_plan",
+    "default_passes",
+    "get_cache",
+    "plan_hash",
+    "rebuild_port_encoder",
+    "register_port_encoder",
+]

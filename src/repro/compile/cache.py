@@ -1,0 +1,303 @@
+"""Content-addressed artifact cache.
+
+Two-level keying, deliberately split:
+
+* **request memo** — ``(kind, sorted(params))`` → plan hash.  Lowering a
+  kernel graph is itself not free (program assembly, twiddle tables), so
+  repeated compile *requests* skip straight to the hash without running
+  the frontend again.
+* **content store** — plan hash → :class:`CompiledArtifact`, an
+  :class:`~collections.OrderedDict` LRU.  Two different requests that
+  lower to the same plan (e.g. a DSE sweep revisiting a point, a fault
+  campaign rolling back to a config it already built) share one entry.
+
+The optional on-disk store persists artifacts as pickles named by their
+content hash, plus an ``index.json`` mapping request keys to hashes so a
+fresh process reaches the disk tier without lowering first.  Predecoded
+closures are unpicklable by design
+(:meth:`CompiledArtifact.__getstate__` drops them) and input-port
+encoders pickle as their static signature
+(:func:`repro.compile.ir.register_port_encoder` rebuilds them), so a
+disk load re-runs the predecode pass before the artifact is handed out;
+loaded artifacts are re-verified against the hash embedded in the file
+name.
+Note that disk-loaded artifacts carry *fresh* ``Program`` objects —
+internally consistent (plan and artifact share them) but distinct from
+the in-process ``lru_cache``d factories, so mixing disk-loaded and
+freshly-lowered artifacts on one fabric forfeits cross-artifact pinning.
+
+Stats (hits/misses/lowers, per level) feed the ``python -m repro
+compile`` demo, the sweep reports, and ``benchmarks/bench_compile.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import CompileError
+
+from repro.compile.ir import CompiledArtifact
+from repro.compile.passes import predecode_pass, CompileUnit
+
+__all__ = ["CacheStats", "ArtifactCache", "get_cache", "cache_stats",
+           "clear_cache"]
+
+
+RequestKey = tuple[str, tuple[tuple[str, Any], ...]]
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ArtifactCache` (cumulative until reset)."""
+
+    hits: int = 0          # artifact served from memory
+    misses: int = 0        # full lower + pass pipeline ran
+    disk_hits: int = 0     # artifact revived from the disk store
+    lowers: int = 0        # frontend lowerings actually executed
+    evictions: int = 0     # LRU pressure drops
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return (self.hits + self.disk_hits) / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "lowers": self.lowers,
+            "evictions": self.evictions,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.disk_hits,
+                          self.lowers, self.evictions)
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``before`` (a prior snapshot)."""
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            disk_hits=self.disk_hits - before.disk_hits,
+            lowers=self.lowers - before.lowers,
+            evictions=self.evictions - before.evictions,
+        )
+
+
+@dataclass
+class ArtifactCache:
+    """In-memory LRU of compiled artifacts with an optional disk tier."""
+
+    capacity: int = 64
+    disk_dir: Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _store: OrderedDict[str, CompiledArtifact] = field(
+        default_factory=OrderedDict)
+    _memo: dict[RequestKey, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise CompileError(f"cache capacity must be >= 1, "
+                               f"got {self.capacity}")
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            self._load_index()
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters (disk files are kept,
+        and the persisted request index is re-read so later requests can
+        still revive artifacts from disk)."""
+        self._store.clear()
+        self._memo.clear()
+        self.stats = CacheStats()
+        if self.disk_dir is not None:
+            self._load_index()
+
+    def _touch(self, key: str) -> CompiledArtifact:
+        self._store.move_to_end(key)
+        return self._store[key]
+
+    def _insert(self, artifact: CompiledArtifact) -> None:
+        self._store[artifact.artifact_hash] = artifact
+        self._store.move_to_end(artifact.artifact_hash)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- the disk tier ---------------------------------------------------
+
+    def _index_path(self) -> Path:
+        return self.disk_dir / "index.json"
+
+    def _load_index(self) -> None:
+        """Merge the persisted request->hash index into the memo.
+
+        Without this a fresh process could never *reach* the disk tier:
+        ``get_or_compile`` only consults disk once it knows which hash a
+        request lowers to.  A corrupt or missing index is ignored — it
+        is rebuilt as requests compile.
+        """
+        path = self._index_path()
+        if not path.exists():
+            return
+        try:
+            entries = json.loads(path.read_text())
+        except ValueError:
+            return
+        for entry in entries:
+            try:
+                key: RequestKey = (
+                    entry["kind"],
+                    tuple((k, v) for k, v in entry["params"]),
+                )
+                self._memo.setdefault(key, entry["hash"])
+            except (KeyError, TypeError, ValueError):
+                continue
+
+    def _save_index(self) -> None:
+        if self.disk_dir is None:
+            return
+        entries = []
+        for (kind, params), artifact_hash in self._memo.items():
+            try:
+                entries.append(json.dumps({
+                    "kind": kind,
+                    "params": [list(pair) for pair in params],
+                    "hash": artifact_hash,
+                }))
+            except (TypeError, ValueError):
+                continue  # non-JSON params stay memory-only
+        tmp = self._index_path().with_suffix(".tmp")
+        tmp.write_text("[\n" + ",\n".join(entries) + "\n]\n")
+        tmp.replace(self._index_path())  # atomic publish
+
+    def _disk_path(self, artifact_hash: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{artifact_hash}.artifact"
+
+    def _disk_load(self, artifact_hash: str) -> CompiledArtifact | None:
+        path = self._disk_path(artifact_hash)
+        if path is None or not path.exists():
+            return None
+        with path.open("rb") as fh:
+            artifact = pickle.load(fh)
+        if not isinstance(artifact, CompiledArtifact):
+            raise CompileError(
+                f"disk store entry {path.name} is not a CompiledArtifact"
+            )
+        if artifact.artifact_hash != artifact_hash:
+            raise CompileError(
+                f"disk store entry {path.name} hashes to "
+                f"{artifact.artifact_hash[:12]}… (corrupt or renamed)"
+            )
+        # Predecoded closures are stripped before pickling; revive them.
+        unit = CompileUnit(graph=artifact.graph, plan=artifact.plan)
+        predecode_pass(unit)
+        artifact.programs = tuple(unit.programs)
+        artifact.decoded = tuple(unit.decoded)
+        return artifact
+
+    def _disk_save(self, artifact: CompiledArtifact) -> None:
+        path = self._disk_path(artifact.artifact_hash)
+        if path is None or path.exists():
+            return
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(artifact, fh)
+        tmp.replace(path)  # atomic publish: readers never see a torn file
+
+    # -- the main entry point --------------------------------------------
+
+    def get_or_compile(
+        self,
+        kind: str,
+        params: dict[str, Any],
+        build: Callable[[], CompiledArtifact],
+    ) -> CompiledArtifact:
+        """The artifact for ``(kind, params)``, compiling at most once.
+
+        ``build`` runs the frontend lowering plus the pass pipeline and
+        must return an artifact whose ``artifact_hash`` is set; it is
+        only invoked on a full miss.
+        """
+        request: RequestKey = (kind, tuple(sorted(params.items())))
+        known_hash = self._memo.get(request)
+        if known_hash is not None:
+            if known_hash in self._store:
+                self.stats.hits += 1
+                return self._touch(known_hash)
+            revived = self._disk_load(known_hash)
+            if revived is not None:
+                self.stats.disk_hits += 1
+                self._insert(revived)
+                return revived
+        self.stats.misses += 1
+        self.stats.lowers += 1
+        artifact = build()
+        if not artifact.artifact_hash:
+            raise CompileError(
+                f"build for {kind!r} returned an artifact without a "
+                f"content hash (did the hash pass run?)"
+            )
+        self._memo[request] = artifact.artifact_hash
+        if self.disk_dir is not None:
+            self._save_index()
+        existing = self._store.get(artifact.artifact_hash)
+        if existing is not None:
+            # Another request lowered to the same plan: share the entry.
+            return self._touch(artifact.artifact_hash)
+        self._insert(artifact)
+        self._disk_save(artifact)
+        return artifact
+
+    def lookup(self, artifact_hash: str) -> CompiledArtifact | None:
+        """Content lookup (memory, then disk) without compiling."""
+        if artifact_hash in self._store:
+            self.stats.hits += 1
+            return self._touch(artifact_hash)
+        revived = self._disk_load(artifact_hash)
+        if revived is not None:
+            self.stats.disk_hits += 1
+            self._insert(revived)
+        return revived
+
+
+# ---------------------------------------------------------------------------
+# the process-default cache
+# ---------------------------------------------------------------------------
+
+_default_cache = ArtifactCache()
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide default cache the frontends compile through."""
+    return _default_cache
+
+
+def cache_stats() -> CacheStats:
+    """Counters of the default cache (live object; snapshot() to freeze)."""
+    return _default_cache.stats
+
+
+def clear_cache() -> None:
+    """Empty the default cache and reset its counters."""
+    _default_cache.clear()

@@ -1,0 +1,88 @@
+"""Kernel frontends: parameters in, cached :class:`CompiledArtifact` out.
+
+``compile_fft`` / ``compile_jpeg`` are the two entry points every
+consumer (runners, serving sessions, DSE sweeps, fault campaigns, the
+CLI demo) goes through.  Each routes a lowering
+(:mod:`repro.kernels.fft.lowering` / :mod:`repro.kernels.jpeg.lowering`)
+through the default pass pipeline and the process-wide artifact cache —
+a repeated request for the same parameters never lowers or re-runs the
+passes again.
+
+The kernel lowerings are imported inside the functions: the kernels
+import :mod:`repro.compile.ir`, so importing them at module scope here
+would be a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.compile.cache import ArtifactCache, get_cache
+from repro.compile.ir import CompiledArtifact
+from repro.compile.passes import CompileUnit, PassManager
+
+__all__ = ["compile_fft", "compile_jpeg", "compile_plan"]
+
+
+def compile_plan(graph, plan) -> CompiledArtifact:
+    """Run the default pass pipeline over an already-lowered plan.
+
+    The uncached building block — useful for hand-built plans and for
+    tests that exercise individual passes around it.
+    """
+    return PassManager().run(CompileUnit(graph=graph, plan=plan))
+
+
+def _get_or_compile(
+    cache: ArtifactCache | None,
+    kind: str,
+    params: dict[str, Any],
+    lower,
+) -> CompiledArtifact:
+    if cache is None:
+        cache = get_cache()
+
+    def build() -> CompiledArtifact:
+        graph, plan = lower()
+        return compile_plan(graph, plan)
+
+    return cache.get_or_compile(kind, params, build)
+
+
+def compile_fft(
+    plan,
+    link_cost_ns: float = 0.0,
+    *,
+    cache: ArtifactCache | None = None,
+) -> CompiledArtifact:
+    """Compile the fabric FFT for one :class:`~repro.kernels.fft.decompose.FFTPlan`.
+
+    ``link_cost_ns`` is part of the cache key (the switch-cost table
+    depends on it).
+    """
+    from repro.kernels.fft.lowering import lower_fft
+
+    params = {
+        "n": plan.n,
+        "m": plan.m,
+        "cols": plan.cols,
+        "link_cost_ns": float(link_cost_ns),
+    }
+    return _get_or_compile(
+        cache, "fft", params, lambda: lower_fft(plan, link_cost_ns)
+    )
+
+
+def compile_jpeg(
+    quality: int = 75,
+    chroma: bool = False,
+    *,
+    cache: ArtifactCache | None = None,
+) -> CompiledArtifact:
+    """Compile the single-tile JPEG block pipeline for one quantizer setup."""
+    from repro.kernels.jpeg.lowering import lower_jpeg
+
+    params = {"quality": int(quality), "chroma": bool(chroma)}
+    return _get_or_compile(
+        cache, "jpeg", params, lambda: lower_jpeg(quality, chroma)
+    )

@@ -1,0 +1,121 @@
+"""Stable content hashing of epoch plans.
+
+The cache key of the compilation pipeline is a SHA-256 over a *canonical
+serialization* of the plan: every dictionary is emitted in sorted key
+order, every value is tagged with its type, floats are serialized with
+``repr`` (shortest round-trip form, stable across processes), and
+programs are fingerprinted by their encoded instruction words plus data
+image — never by object identity.  Two consequences the property tests
+pin down:
+
+* **order insensitivity** — building the same pokes/links/images dicts
+  in a different insertion order yields the same hash;
+* **semantic sensitivity** — flipping one link direction, one memory
+  word, or one instruction word yields a different hash.
+
+Python's built-in ``hash`` is salted per process and is never used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.errors import CompileError
+from repro.fabric.links import Direction
+from repro.fabric.rtms import EpochSpec
+
+__all__ = ["canonical_bytes", "plan_hash", "program_fingerprint", "epoch_fingerprint"]
+
+
+def _emit(value: Any, out: list[bytes]) -> None:
+    """Append the canonical encoding of ``value`` to ``out``.
+
+    Supports the closed set of types a plan contains; anything else is a
+    compile error (better loud than a silently unstable ``repr``).
+    """
+    if value is None:
+        out.append(b"n;")
+    elif value is True or value is False:
+        out.append(b"b1;" if value else b"b0;")
+    elif isinstance(value, int):
+        out.append(b"i%d;" % value)
+    elif isinstance(value, float):
+        out.append(b"f" + repr(value).encode("ascii") + b";")
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(b"s%d:" % len(raw))
+        out.append(raw)
+    elif isinstance(value, Direction):
+        out.append(b"d" + value.name.encode("ascii") + b";")
+    elif isinstance(value, (tuple, list)):
+        out.append(b"t%d:" % len(value))
+        for item in value:
+            _emit(item, out)
+    elif isinstance(value, dict):
+        items = sorted(value.items())
+        out.append(b"m%d:" % len(items))
+        for key, item in items:
+            _emit(key, out)
+            _emit(item, out)
+    else:
+        raise CompileError(
+            f"cannot canonically hash a {type(value).__name__}: {value!r}"
+        )
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """The canonical byte serialization used for hashing."""
+    out: list[bytes] = []
+    _emit(value, out)
+    return b"".join(out)
+
+
+def program_fingerprint(program) -> tuple:
+    """Identity-free fingerprint of a tile program.
+
+    Encoded 72-bit words capture opcode, operands, addressing modes and
+    branch targets; the data image captures ``.var`` initializers — the
+    full semantic content the ICAP would stream.
+    """
+    return (
+        "program",
+        program.name,
+        tuple(program.encoded()),
+        dict(program.data_image),
+    )
+
+
+def epoch_fingerprint(spec: EpochSpec) -> tuple:
+    """Canonical description of one epoch template."""
+    return (
+        "epoch",
+        spec.name,
+        {coord: direction for coord, direction in spec.links.items()},
+        {coord: program_fingerprint(program)
+         for coord, program in spec.programs.items()},
+        {coord: dict(image) for coord, image in spec.data_images.items()},
+        {coord: dict(image) for coord, image in spec.pokes.items()},
+        tuple(spec.run),
+        bool(spec.restart),
+        tuple(spec.depends_on),
+    )
+
+
+def plan_hash(plan) -> str:
+    """SHA-256 content address of an :class:`~repro.compile.ir.EpochPlan`."""
+    port = plan.input_port
+    doc = (
+        "epoch-plan-v1",
+        plan.kind,
+        tuple(plan.params),
+        plan.rows,
+        plan.cols,
+        float(plan.link_cost_ns),
+        tuple(epoch_fingerprint(spec) for spec in plan.setup),
+        None if port is None else (
+            "input", port.name, tuple(port.depends_on), tuple(port.signature)
+        ),
+        tuple(epoch_fingerprint(spec) for spec in plan.body),
+    )
+    return hashlib.sha256(canonical_bytes(doc)).hexdigest()

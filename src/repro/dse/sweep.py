@@ -45,6 +45,11 @@ class SweepResult:
     axes: dict[str, list[Any]]
     points: list[dict[str, Any]] = field(default_factory=list)
     values: list[Any] = field(default_factory=list)
+    #: Configuration-compiler cache activity during this sweep (the
+    #: :class:`repro.compile.CacheStats` delta of the parent process;
+    #: worker processes keep their own caches).  Fabric-measured sweeps
+    #: over repeated points show up here as hits instead of lowers.
+    compile_cache: Any = None
 
     def __len__(self) -> int:
         return len(self.points)
@@ -83,6 +88,8 @@ def sweep(
     per chunk instead of per point), and the order of results always
     matches :func:`axis_points`.
     """
+    from repro.compile import cache_stats
+
     points = axis_points(axes)
     if processes == "auto":
         processes = os.cpu_count() or 1
@@ -90,6 +97,7 @@ def sweep(
         raise DSEError(f"processes must be an int or 'auto', got {processes!r}")
     if processes < 1:
         raise DSEError(f"processes must be >= 1, got {processes}")
+    before = cache_stats().snapshot()
     if processes == 1 or len(points) == 1:
         values = [fn(**point) for point in points]
     else:
@@ -100,4 +108,9 @@ def sweep(
             values = list(
                 pool.map(_call, [(fn, p) for p in points], chunksize=chunksize)
             )
-    return SweepResult(axes=axes, points=points, values=values)
+    return SweepResult(
+        axes=axes,
+        points=points,
+        values=values,
+        compile_cache=cache_stats().delta(before),
+    )

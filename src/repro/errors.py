@@ -109,6 +109,32 @@ class KernelError(ReproError):
     """Raised by kernel generators (FFT / JPEG) on invalid parameters."""
 
 
+class CompileError(ReproError):
+    """Raised by the configuration-compilation pipeline (:mod:`repro.compile`).
+
+    Carries the failing pass name and, when the failure concerns a
+    specific epoch or tile, their identifiers — so a validation failure
+    reads like a compiler diagnostic::
+
+        [validate-links] epoch 'hcp_c0to1': tile (7, 0) links EAST off the mesh
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pass_name: str | None = None,
+        epoch: str | None = None,
+        coord: tuple[int, int] | None = None,
+    ) -> None:
+        self.pass_name = pass_name
+        self.epoch = epoch
+        self.coord = coord
+        prefix = f"[{pass_name}] " if pass_name else ""
+        where = f"epoch {epoch!r}: " if epoch else ""
+        super().__init__(f"{prefix}{where}{message}")
+
+
 class DSEError(ReproError):
     """Raised by the design-space-exploration driver."""
 

@@ -116,6 +116,14 @@ class Program:
             self.__dict__["_encoded_words"] = cached
         return list(cached)
 
+    def __getstate__(self) -> dict:
+        """Pickling support (the compile cache's on-disk artifact store):
+        drop the derived caches stashed in ``__dict__`` — the encoded
+        words are cheap to rebuild and the predecoded table holds
+        closures that cannot be pickled at all."""
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_")}
+
     def disassemble(self) -> str:
         """Human-readable listing with addresses and label annotations."""
         by_pc = {pc: name for name, pc in self.labels.items()}

@@ -342,6 +342,39 @@ class RuntimeManager:
         self.now_ns = max(self.now_ns, report.total_ns)
         return report
 
+    # ------------------------------------------------------------------
+    # compiled-artifact entry points (duck-typed: any object exposing
+    # rows/cols, setup_epochs() and bind(payload, tag) — in practice a
+    # repro.compile CompiledArtifact; kept structural so this module
+    # does not import the compiler)
+    # ------------------------------------------------------------------
+
+    def _check_artifact(self, artifact) -> None:
+        if (artifact.rows, artifact.cols) != (self.mesh.rows, self.mesh.cols):
+            raise ReconfigError(
+                f"artifact compiled for a {artifact.rows}x{artifact.cols} "
+                f"mesh cannot run on this {self.mesh.rows}x{self.mesh.cols} "
+                f"mesh"
+            )
+
+    def run_setup(self, artifact) -> RunReport:
+        """Execute a compiled artifact's one-time cold prologue
+        (static data images, program pinning)."""
+        self._check_artifact(artifact)
+        return self.execute(artifact.setup_epochs())
+
+    def execute_artifact(self, artifact, payload=None, tag: str = "") -> RunReport:
+        """Execute one bound work item of a compiled artifact.
+
+        ``payload`` feeds the artifact's input port (validated by its
+        encoder); ``tag`` prefixes the epoch names, the per-work-item
+        labelling streamed/serving callers already use.  The artifact's
+        programs arrive eagerly predecoded, so even the first work item
+        runs on the fast execution tier.
+        """
+        self._check_artifact(artifact)
+        return self.execute(artifact.bind(payload, tag))
+
     def _involved_tiles(self, spec: EpochSpec) -> set[Coord]:
         involved: set[Coord] = set(spec.run) | set(spec.depends_on)
         involved |= set(spec.programs) | set(spec.data_images)

@@ -176,18 +176,35 @@ def _remap_failed(
 
 def run_campaign(
     rtms: RuntimeManager,
-    epochs: list[EpochSpec],
+    epochs,
     injector: FaultInjector,
     scrubber: ReadbackScrubber | None = None,
     config: CampaignConfig | None = None,
+    *,
+    payload=None,
+    tag: str = "",
 ) -> CampaignResult:
     """Execute ``epochs`` under fault injection with scrub/repair recovery.
+
+    ``epochs`` is either a plain ``list[EpochSpec]`` or a compiled
+    artifact (:class:`repro.compile.CompiledArtifact`): an artifact is
+    expanded to its setup prologue plus one work item bound from
+    ``payload``/``tag`` — so a campaign rollback/re-run reuses the
+    cached, validated configuration instead of hand-assembled epochs.
+    The expansion happens here (not via ``rtms.execute_artifact``) on
+    purpose: remap campaigns run schedules on meshes *larger* than the
+    compiled shape to keep spare tiles in reserve.
 
     The injector must target ``rtms.mesh``.  Returns the full
     :class:`CampaignResult`; raises :class:`~repro.errors.ScrubError`
     when a boundary cannot be cleaned within ``max_repair_attempts``
     (e.g. a hard fault with ``spare_remap=False`` or no spare left).
     """
+    if hasattr(epochs, "bind"):  # a CompiledArtifact, duck-typed
+        artifact = epochs
+        epochs = artifact.setup_epochs() + artifact.bind(payload, tag)
+    elif payload is not None:
+        raise ScrubError("payload is only meaningful with a compiled artifact")
     scrubber = scrubber if scrubber is not None else ReadbackScrubber()
     config = config if config is not None else CampaignConfig()
     if config.max_repair_attempts < scrubber.hard_streak + 1:

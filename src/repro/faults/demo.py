@@ -78,10 +78,11 @@ def transient_shower(seed: int = 7) -> tuple[CampaignResult, bool]:
     )
     result = run_campaign(
         rtms,
-        fft.transform_epochs(x, tag=""),
+        fft.artifact,
         injector,
         ReadbackScrubber(),
         CampaignConfig(scrub_period=1, repair_policy="partial"),
+        payload=x,
     )
     output = fft.read_output(mesh)
     return result, bool(np.array_equal(output, golden))
@@ -112,10 +113,11 @@ def hard_fault_remap(seed: int = 11) -> tuple[CampaignResult, bool]:
     )
     result = run_campaign(
         rtms,
-        fft.transform_epochs(x, tag=""),
+        fft.artifact,
         injector,
         ReadbackScrubber(hard_streak=2),
         CampaignConfig(scrub_period=1, max_repair_attempts=4),
+        payload=x,
     )
     # The workload now lives on the spare; read the output from there.
     spare_mesh = Mesh(plan.rows, plan.cols)

@@ -10,13 +10,14 @@ moves through real ``SNB`` stores over configured links — the orchestrator
 only pokes the initial input (the "preprocessing column") and reads back
 the final output.
 
-Vertical exchanges between rows ``d`` apart are realized as *systolic
-relay sweeps*: all payloads advance one hop per epoch through staging
-buffers, alternating between two buffers per direction so that an epoch
-never reads and writes the same buffer (race-free by construction; the
-southward chain uses buffers A/B, the northward chain C/D — see
-``programs.py`` for the full layout and DESIGN.md for the deviation note
-versus the paper's single-exchange scheme).
+The epoch schedule itself is produced by the configuration compiler: the
+runner holds a :class:`~repro.compile.ir.CompiledArtifact` (lowered by
+:mod:`repro.kernels.fft.lowering`, validated and analysed by the
+:mod:`repro.compile` passes, served from the content-addressed cache) and
+binds one work item per transform.  ``transform_epochs`` therefore
+returns exactly the epoch lists the pre-compiler runner assembled by
+hand — same names, same program objects, same images — which is pinned
+by the engine-equivalence tests.
 
 The result is validated against the from-scratch reference FFT in the
 test suite; ``measured_profile`` produces the simulator's own Table-1
@@ -29,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compile import CompiledArtifact, compile_fft
 from repro.errors import KernelError
 from repro.fabric.icap import IcapPort
 from repro.fabric.links import Direction
@@ -42,12 +44,10 @@ from repro.kernels.fft.programs import (
     FFTLayout,
     bf_exchange_program,
     bf_internal_program,
-    copy_pair_program,
     copy_program,
-    local_copy_pair_program,
 )
 from repro.kernels.fft.reference import bit_reverse_indices
-from repro.kernels.fft.twiddle import TwiddleClass, classify_twiddles
+from repro.kernels.fft.twiddle import classify_twiddles
 from repro.units import CYCLE_NS
 
 __all__ = ["FabricFFT", "FabricFFTResult", "FabricFFTStreamResult"]
@@ -117,17 +117,11 @@ class FabricFFT:
         self.layout = FFTLayout(plan.m)  # validates the memory budget
         self.link_cost_ns = link_cost_ns
         self.schedule = classify_twiddles(plan)
-        self._w = np.exp(
-            -2j * np.pi * np.arange(plan.n) / plan.n
-        )  # full exponent table W_n^e
-        # Encoded twiddle words, indexed by exponent.  Vectorized once per
-        # plan instead of QFORMAT.encode per element per stage per
-        # transform; encode_words is bit-identical to the scalar encode.
-        self._wre_words = QFORMAT.encode_words(self._w.real)
-        self._wim_words = QFORMAT.encode_words(self._w.imag)
-        # Twiddle images depend only on (row, stage), so streamed
-        # transforms reuse them verbatim.
-        self._twiddle_images: dict[tuple[int, int], dict[int, int]] = {}
+        #: The compiled configuration this runner executes.  Compiling is
+        #: cached process-wide, so building many runners over the same
+        #: decomposition (a DSE sweep, a fault campaign's rebuilds) pays
+        #: for lowering + validation exactly once.
+        self.artifact: CompiledArtifact = compile_fft(plan, link_cost_ns)
 
     # ------------------------------------------------------------------
     # public API
@@ -137,7 +131,7 @@ class FabricFFT:
         """Transform ``x`` (length ``plan.n``); returns natural-order output."""
         mesh = Mesh(self.plan.rows, self.plan.cols)
         rtms = RuntimeManager(mesh, IcapPort(), link_cost_ns=self.link_cost_ns)
-        report = rtms.execute(self.transform_epochs(x, tag=""))
+        report = rtms.execute_artifact(self.artifact, x)
         return FabricFFTResult(
             output=self.read_output(mesh), report=report, mesh=mesh
         )
@@ -162,7 +156,7 @@ class FabricFFT:
         outputs: list[np.ndarray] = []
         completions: list[float] = []
         for t, x in enumerate(xs):
-            rtms.execute(self.transform_epochs(x, tag=f"t{t}_"))
+            rtms.execute_artifact(self.artifact, x, tag=f"t{t}_")
             outputs.append(self.read_output(mesh))
             completions.append(rtms.now_ns)
         return FabricFFTStreamResult(
@@ -170,62 +164,21 @@ class FabricFFT:
         )
 
     # ------------------------------------------------------------------
-    # epoch construction
+    # epoch construction (delegated to the compiled artifact)
     # ------------------------------------------------------------------
 
     def transform_epochs(self, x: np.ndarray, tag: str = "") -> list[EpochSpec]:
         """The full epoch schedule of one transform (public building block).
 
         Callers that keep their own persistent mesh/runtime-manager — the
-        streaming path below, or a serving-layer kernel session that
+        streaming path above, or a serving-layer kernel session that
         wants program residency to survive across jobs — execute these
         epochs on it; all programs are ``lru_cache``-shared, so a second
         transform on the same fabric pays no instruction reconfiguration
-        (pinning).  Validates the input's shape and fixed-point headroom.
+        (pinning).  The input-port encoder validates the payload's shape
+        and fixed-point headroom.
         """
-        plan = self.plan
-        x = np.asarray(x, dtype=np.complex128)
-        if x.shape != (plan.n,):
-            raise KernelError(f"input must have shape ({plan.n},), got {x.shape}")
-        limit = QFORMAT.max_value / (2 * plan.n)
-        peak = float(np.max(np.abs(x.real)) + np.max(np.abs(x.imag))) or 1.0
-        if peak > limit:
-            raise KernelError(
-                f"input magnitude {peak:.3g} risks Q{QFORMAT.frac_bits} "
-                f"overflow after {plan.stages} stages (limit {limit:.3g})"
-            )
-
-        epochs: list[EpochSpec] = [self._input_epoch(x, tag)]
-        for col in range(plan.cols):
-            if col > 0:
-                epochs.append(self._hcp_epoch(col, tag))
-            for stage in plan.stages_of_column(col):
-                self._load_twiddles(col, stage, epochs, tag)
-                if plan.is_exchange_stage(stage):
-                    epochs.extend(self._exchange_epochs(col, stage, tag))
-                else:
-                    epochs.append(self._internal_epoch(col, stage, tag))
-        return epochs
-
-    def _input_epoch(self, x: np.ndarray, tag: str) -> EpochSpec:
-        """Deliver the input block to column 0 (the preprocessing column).
-
-        Input delivery is free in the paper's accounting (tau_0 covers the
-        hcp that *receives* it); declaring the column-0 tiles as
-        dependencies makes a streamed transform wait until they forwarded
-        the previous one.
-        """
-        m, lay = self.plan.m, self.layout
-        re_words = QFORMAT.encode_words(x.real)
-        im_words = QFORMAT.encode_words(x.imag)
-        pokes: dict[Coord, dict[int, int]] = {}
-        for row in range(self.plan.rows):
-            base = row * m
-            image = dict(zip(range(lay.re, lay.re + m), re_words[base:base + m]))
-            image.update(zip(range(lay.im, lay.im + m), im_words[base:base + m]))
-            pokes[(row, 0)] = image
-        coords = [(r, 0) for r in range(self.plan.rows)]
-        return EpochSpec(name=f"{tag}input", pokes=pokes, depends_on=coords)
+        return self.artifact.bind(x, tag)
 
     # ------------------------------------------------------------------
     # data movement out (the external output circuit)
@@ -247,241 +200,6 @@ class FabricFFT:
     # Backwards-compatible private aliases (pre-serving-layer callers).
     _transform_epochs = transform_epochs
     _read_output = read_output
-
-    # ------------------------------------------------------------------
-    # twiddles
-    # ------------------------------------------------------------------
-
-    def _load_twiddles(
-        self, col: int, stage: int, epochs: list[EpochSpec], tag: str = ""
-    ) -> None:
-        """Install stage twiddles; YELLOW tiles pay the ICAP, others are free.
-
-        RED sets are preloaded during preprocessing, GREEN sets are
-        generated on-tile (2.5 ns/instruction, off the ICAP), BLUE sets
-        are already resident — the model pokes all three and only routes
-        YELLOW images through a charged epoch, mirroring Sec. 3.1's
-        algorithm.  (The on-tile GREEN squaring program is exercised
-        separately in the tests; see ``twiddle_square_program``.)
-        """
-        lay = self.layout
-        images: dict[Coord, dict[int, int]] = {}
-        pokes: dict[Coord, dict[int, int]] = {}
-        for row in range(self.plan.rows):
-            cls = self.schedule.class_of(row, stage)
-            image = self._twiddle_images.get((row, stage))
-            if image is None:
-                exps = self.plan.tile_twiddle_exponents(row, stage)
-                wre, wim = self._wre_words, self._wim_words
-                image = {lay.wre + j: wre[e] for j, e in enumerate(exps)}
-                image.update((lay.wim + j, wim[e]) for j, e in enumerate(exps))
-                self._twiddle_images[(row, stage)] = image
-            if cls is TwiddleClass.YELLOW:
-                images[(row, col)] = image
-            else:
-                pokes[(row, col)] = image
-        if images or pokes:
-            epochs.append(
-                EpochSpec(
-                    name=f"{tag}twiddles_s{stage}_c{col}",
-                    data_images=images,
-                    pokes=pokes,
-                )
-            )
-
-    # ------------------------------------------------------------------
-    # epochs
-    # ------------------------------------------------------------------
-
-    def _hcp_epoch(self, col: int, tag: str = "") -> EpochSpec:
-        """Forward the 2m data words from column ``col - 1`` east.
-
-        The destination column is declared as a dependency: forwarding a
-        streamed transform must wait until those tiles consumed the
-        previous one (dataflow discipline).
-        """
-        m = self.plan.m
-        program = copy_program(2 * m, 0, 0, "E")
-        coords = [(r, col - 1) for r in range(self.plan.rows)]
-        return EpochSpec(
-            name=f"{tag}hcp_c{col - 1}to{col}",
-            links={c: Direction.EAST for c in coords},
-            programs={c: program for c in coords},
-            run=coords,
-            depends_on=[(r, col) for r in range(self.plan.rows)],
-        )
-
-    def _internal_epoch(self, col: int, stage: int, tag: str = "") -> EpochSpec:
-        program = bf_internal_program(self.plan.m, self.plan.span(stage))
-        coords = [(r, col) for r in range(self.plan.rows)]
-        return EpochSpec(
-            name=f"{tag}bf_int_s{stage}_c{col}",
-            programs={c: program for c in coords},
-            run=coords,
-        )
-
-    def _exchange_epochs(
-        self, col: int, stage: int, tag: str = ""
-    ) -> list[EpochSpec]:
-        """Pre-sweeps, butterflies, post-sweeps and commits for one stage."""
-        plan, lay = self.plan, self.layout
-        m, half = plan.m, plan.m // 2
-        d = plan.span(stage) // m
-        lowers = [r for r in range(plan.rows) if plan.is_lower_partner(r, stage)]
-        uppers = [r for r in range(plan.rows) if r not in lowers]
-        epochs: list[EpochSpec] = []
-
-        south = ["A", "B"]   # pre-south chain: hop k writes south[(k-1) % 2]
-        north = ["C", "D"]   # pre-north chain
-        f_s = south[(d - 1) % 2]   # arrival of pre-south at upper tiles
-        f_n = north[(d - 1) % 2]   # arrival of pre-north at lower tiles
-
-        # Pre-south: lower tiles' second halves travel d hops south.
-        epochs.extend(
-            self._sweep(
-                col, stage, f"{tag}pre_s", lowers, Direction.SOUTH, d,
-                first_src=(lay.re + half, lay.im + half),
-                chain=south,
-            )
-        )
-        # Pre-north: upper tiles' first halves travel d hops north.
-        epochs.extend(
-            self._sweep(
-                col, stage, f"{tag}pre_n", uppers, Direction.NORTH, d,
-                first_src=(lay.re, lay.im),
-                chain=north,
-            )
-        )
-
-        # Compute.  Lower reads the north arrival and emits diffs into A's
-        # chain start; upper reads the south arrival and emits sums into
-        # C's chain start.  Output buffers are always free: sweeps only
-        # parked payloads in the *other* chain at each tile class.
-        out_lower = "A" if f_n != "A" else "B"
-        out_upper = "C" if f_s != "C" else "D"
-        programs = {}
-        for r in lowers:
-            programs[(r, col)] = bf_exchange_program(m, True, f_n, out_lower)
-        for r in uppers:
-            programs[(r, col)] = bf_exchange_program(m, False, f_s, out_upper)
-        coords = [(r, col) for r in range(plan.rows)]
-        epochs.append(
-            EpochSpec(name=f"{tag}bf_x_s{stage}_c{col}", programs=programs, run=coords)
-        )
-
-        # Post-south: lower diffs -> upper tiles' first halves.
-        post_s_chain = ["B", "A"] if out_lower == "A" else ["A", "B"]
-        epochs.extend(
-            self._sweep(
-                col, stage, f"{tag}post_s", lowers, Direction.SOUTH, d,
-                first_src_buf=out_lower,
-                chain=post_s_chain,
-            )
-        )
-        arrival = post_s_chain[(d - 1) % 2]
-        epochs.append(
-            self._commit_epoch(
-                col, stage, f"{tag}commit_s", lowers, arrival, dst_offset=0
-            )
-        )
-
-        # Post-north: upper sums -> lower tiles' second halves.
-        post_n_chain = ["D", "C"] if out_upper == "C" else ["C", "D"]
-        epochs.extend(
-            self._sweep(
-                col, stage, f"{tag}post_n", uppers, Direction.NORTH, d,
-                first_src_buf=out_upper,
-                chain=post_n_chain,
-            )
-        )
-        arrival = post_n_chain[(d - 1) % 2]
-        epochs.append(
-            self._commit_epoch(
-                col, stage, f"{tag}commit_n", uppers, arrival, dst_offset=half
-            )
-        )
-        return epochs
-
-    def _sweep(
-        self,
-        col: int,
-        stage: int,
-        label: str,
-        origins: list[int],
-        direction: Direction,
-        d: int,
-        chain: list[str],
-        first_src: tuple[int, int] | None = None,
-        first_src_buf: str | None = None,
-    ) -> list[EpochSpec]:
-        """``d`` relay epochs moving one payload per origin row.
-
-        Hop ``k`` (1-based): the payload from origin ``r`` sits at row
-        ``r + step*(k-1)`` and moves one row further; it is written into
-        staging buffer ``chain[(k-1) % 2]`` of the receiver.  Hop 1 reads
-        either the RE/IM chunks (``first_src``) or a staging buffer
-        (``first_src_buf``); later hops read the previous chain buffer.
-        All of an epoch's copies read one buffer class and write the
-        other, so no same-buffer read/write race exists by construction.
-        """
-        lay, half, m = self.layout, self.plan.m // 2, self.plan.m
-        step = 1 if direction is Direction.SOUTH else -1
-        epochs = []
-        for k in range(1, d + 1):
-            dst_buf = lay.staging(chain[(k - 1) % 2])
-            if k == 1:
-                if first_src is not None:
-                    src_re, src_im = first_src
-                    program = copy_pair_program(
-                        half, src_re, dst_buf, src_im, dst_buf + half,
-                        direction.name[0],
-                    )
-                else:
-                    assert first_src_buf is not None
-                    program = copy_program(
-                        m, lay.staging(first_src_buf), dst_buf, direction.name[0]
-                    )
-            else:
-                src_buf = lay.staging(chain[(k - 2) % 2])
-                program = copy_program(m, src_buf, dst_buf, direction.name[0])
-            senders = [(r + step * (k - 1), col) for r in origins]
-            epochs.append(
-                EpochSpec(
-                    name=f"{label}_s{stage}_c{col}_h{k}",
-                    links={c: direction for c in senders},
-                    programs={c: program for c in senders},
-                    run=senders,
-                )
-            )
-        return epochs
-
-    def _commit_epoch(
-        self,
-        col: int,
-        stage: int,
-        label: str,
-        origins: list[int],
-        arrival_buf: str,
-        dst_offset: int,
-    ) -> EpochSpec:
-        """Move an arrived payload from staging into RE/IM at an offset.
-
-        ``origins`` are the rows the payloads came *from*; the commit runs
-        on their partners (where the payloads arrived).
-        """
-        lay, half = self.layout, self.plan.m // 2
-        src = lay.staging(arrival_buf)
-        program = local_copy_pair_program(
-            half, src, lay.re + dst_offset, src + half, lay.im + dst_offset
-        )
-        targets = [
-            (self.plan.partner_row(r, stage), col) for r in origins
-        ]
-        return EpochSpec(
-            name=f"{label}_s{stage}_c{col}",
-            programs={c: program for c in targets},
-            run=targets,
-        )
 
     # ------------------------------------------------------------------
     # simulator-measured profile (the Table 1 analogue)

@@ -12,6 +12,13 @@ the epoch runtime manager accounting every cost:
   loaded through the ICAP once, exactly the 64+64 words Table 3 charges;
 * pixels arrive as free host pokes (the camera-side preprocessing).
 
+The epoch schedule is produced by the configuration compiler
+(:mod:`repro.kernels.jpeg.lowering` via :func:`repro.compile.compile_jpeg`):
+the ``data1`` load is the artifact's setup prologue, pixels flow through
+its input port and the five stage firings are its body — bit-identical
+to the hand-assembled pre-compiler schedule, and cached per
+``(quality, chroma)`` across pipelines.
+
 ``encode_image`` runs every block of a greyscale frame through the tile
 and entropy-codes the resulting coefficients with the reference Huffman
 stage (whose five-way split is modelled separately), returning a
@@ -24,26 +31,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compile import CompiledArtifact, compile_jpeg
 from repro.errors import KernelError
 from repro.fabric.icap import IcapPort
 from repro.fabric.mesh import Mesh
 from repro.fabric.rtms import EpochSpec, RuntimeManager
 from repro.kernels.jpeg.encoder import JPEGEncoder, blocks_of
 from repro.kernels.jpeg.huffman import BitWriter, encode_block_coefficients
-from repro.kernels.jpeg.programs import (
-    PIXEL_QBITS,
-    alpha_quantize_program,
-    dct_coefficient_words,
-    matmul8_program,
-    shift_program,
-    zigzag_program,
-)
+from repro.kernels.jpeg.lowering import REGION_ZZ
 from repro.kernels.jpeg.quant import LUMINANCE_QTABLE, alpha_scale_table, scale_qtable
 
 __all__ = ["FabricBlockPipeline", "FabricEncodeResult"]
-
-# Tile data-memory regions (see kernels/jpeg/programs.py):
-_C, _PIX, _OUT, _RECIP, _ZZ = 0, 64, 128, 192, 320
 
 
 @dataclass
@@ -82,14 +80,10 @@ class FabricBlockPipeline:
         self.recip = alpha_scale_table(self.qtable, 14)
         self.mesh = Mesh(1, 1)
         self.rtms = RuntimeManager(self.mesh, IcapPort())
-        self._programs = (
-            shift_program(64, _PIX, PIXEL_QBITS),
-            matmul8_program(a_base=_C, b_base=_PIX, out_base=_OUT, qbits=30),
-            matmul8_program(a_base=_OUT, b_base=_C, out_base=_PIX, qbits=30,
-                            transpose_b=True),
-            alpha_quantize_program(64, qbits=28, a_base=_PIX,
-                                   recip_base=_RECIP, out_base=_OUT),
-            zigzag_program(a_base=_OUT, out_base=_ZZ),
+        #: The compiled per-block configuration (cached per quality/chroma).
+        self.artifact: CompiledArtifact = compile_jpeg(quality, chroma)
+        self._programs = tuple(
+            spec.programs[(0, 0)] for spec in self.artifact.plan.body
         )
         self._block_times: list[float] = []
         self._preloaded = False
@@ -105,23 +99,16 @@ class FabricBlockPipeline:
     def data1_image(self) -> dict[int, int]:
         """The fixed ``data1`` image (DCT coefficients + quantizer
         reciprocals), exactly as :meth:`_preload` charges it."""
-        image = {
-            _C + i: w for i, w in enumerate(dct_coefficient_words())
-        }
-        image.update(
-            {_RECIP + i: int(r) for i, r in enumerate(self.recip.reshape(-1))}
-        )
-        return image
+        [setup] = self.artifact.plan.setup
+        return dict(setup.data_images[(0, 0)])
 
     def preload_epochs(self) -> list[EpochSpec]:
         """The one-time ``data1`` load epoch (public building block)."""
-        return [
-            EpochSpec("preload_data1", data_images={(0, 0): self.data1_image()})
-        ]
+        return self.artifact.setup_epochs()
 
     def _preload(self) -> None:
         """Load the fixed data (data1) through the ICAP, once."""
-        self.rtms.execute(self.preload_epochs())
+        self.rtms.run_setup(self.artifact)
         self._preloaded = True
 
     def block_epochs(self, block: np.ndarray, tag: str = "") -> list[EpochSpec]:
@@ -134,33 +121,19 @@ class FabricBlockPipeline:
         manager / recovery loop and read the result back with
         :meth:`read_zigzag`.
         """
-        block = np.asarray(block)
-        if block.shape != (8, 8):
-            raise KernelError(f"expected an 8x8 block, got {block.shape}")
-        pixels = [int(v) for v in block.reshape(-1).tolist()]
-        pokes = {(0, 0): dict(zip(range(_PIX, _PIX + 64), pixels))}
-        epochs = [EpochSpec(f"{tag}pixels", pokes=pokes)]
-        for stage, program in enumerate(self._programs):
-            epochs.append(
-                EpochSpec(
-                    f"{tag}stage{stage}_{program.name}",
-                    programs={(0, 0): program},
-                    run=[(0, 0)],
-                )
-            )
-        return epochs
+        return self.artifact.bind(block, tag)
 
     def read_zigzag(self, mesh: Mesh | None = None) -> np.ndarray:
         """Read the 64 zig-zag coefficients back off a mesh (default: own)."""
         tile = (mesh if mesh is not None else self.mesh).tile((0, 0))
-        return np.array(tile.dmem.dump_block(_ZZ, 64))
+        return np.array(tile.dmem.dump_block(REGION_ZZ, 64))
 
     def encode_block(self, block: np.ndarray) -> np.ndarray:
         """Run one 8x8 block through the tile; returns the zig-zag vector."""
         if not self._preloaded:
             self._preload()
         start_ns = self.rtms.now_ns
-        self.rtms.execute(self.block_epochs(block))
+        self.rtms.execute_artifact(self.artifact, block)
         self._block_times.append(self.rtms.now_ns - start_ns)
         return self.read_zigzag()
 

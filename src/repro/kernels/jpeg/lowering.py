@@ -1,0 +1,138 @@
+"""Lowering the JPEG block pipeline to the configuration-compiler IR.
+
+Moves the epoch assembly out of
+:class:`~repro.kernels.jpeg.fabric_runner.FabricBlockPipeline`: the
+one-time ``data1`` load (DCT coefficients + quantizer reciprocals,
+charged through the ICAP exactly as Table 3 bills it) becomes the plan's
+*setup* epoch, the per-block pixel delivery becomes the
+:class:`InputPort` (free host pokes, validated as an 8x8 block), and the
+five co-resident stage firings form the tagless *body* —
+:meth:`CompiledArtifact.bind` reproduces the legacy per-block epoch
+names (``pixels``, ``stage0_shift64``, …) when tagged.
+
+Stage programs come from the ``lru_cache``-d factories, so every
+pipeline/artifact of any quality shares the same program objects — only
+the first block of a fabric ever pays instruction reconfiguration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compile.ir import (
+    Coord,
+    EpochPlan,
+    InputPort,
+    IRBuilder,
+    KernelGraph,
+    register_port_encoder,
+)
+from repro.errors import KernelError
+from repro.fabric.rtms import EpochSpec
+from repro.kernels.jpeg.programs import (
+    PIXEL_QBITS,
+    alpha_quantize_program,
+    dct_coefficient_words,
+    matmul8_program,
+    shift_program,
+    zigzag_program,
+)
+from repro.kernels.jpeg.quant import (
+    CHROMINANCE_QTABLE,
+    LUMINANCE_QTABLE,
+    alpha_scale_table,
+    scale_qtable,
+)
+
+__all__ = ["lower_jpeg", "stage_programs", "data1_image",
+           "REGION_C", "REGION_PIX", "REGION_OUT", "REGION_RECIP",
+           "REGION_ZZ"]
+
+# Tile data-memory regions (see kernels/jpeg/programs.py):
+REGION_C, REGION_PIX, REGION_OUT, REGION_RECIP, REGION_ZZ = 0, 64, 128, 192, 320
+
+
+def stage_programs() -> tuple:
+    """The five co-resident per-block stage programs (shared objects)."""
+    return (
+        shift_program(64, REGION_PIX, PIXEL_QBITS),
+        matmul8_program(a_base=REGION_C, b_base=REGION_PIX,
+                        out_base=REGION_OUT, qbits=30),
+        matmul8_program(a_base=REGION_OUT, b_base=REGION_C,
+                        out_base=REGION_PIX, qbits=30, transpose_b=True),
+        alpha_quantize_program(64, qbits=28, a_base=REGION_PIX,
+                               recip_base=REGION_RECIP, out_base=REGION_OUT),
+        zigzag_program(a_base=REGION_OUT, out_base=REGION_ZZ),
+    )
+
+
+def data1_image(recip: np.ndarray) -> dict[int, int]:
+    """The fixed ``data1`` image: DCT coefficients + quantizer reciprocals."""
+    image = {
+        REGION_C + i: w for i, w in enumerate(dct_coefficient_words())
+    }
+    image.update(
+        {REGION_RECIP + i: int(r) for i, r in enumerate(recip.reshape(-1))}
+    )
+    return image
+
+
+def _pixel_encoder(signature: tuple):
+    """The ``jpeg-pixels-v1`` encoder, rebuildable from its signature
+    (the artifact cache's disk tier relies on this; see
+    :func:`repro.compile.ir.register_port_encoder`)."""
+    _tag, base, count = signature
+    side = int(count ** 0.5)
+
+    def encode(block) -> dict[Coord, dict[int, int]]:
+        block = np.asarray(block)
+        if block.shape != (side, side):
+            raise KernelError(
+                f"expected an {side}x{side} block, got {block.shape}"
+            )
+        pixels = [int(v) for v in block.reshape(-1).tolist()]
+        return {(0, 0): dict(zip(range(base, base + count), pixels))}
+
+    return encode
+
+
+register_port_encoder("jpeg-pixels-v1", _pixel_encoder)
+
+
+def _pixel_port() -> InputPort:
+    signature = ("jpeg-pixels-v1", REGION_PIX, 64)
+    return InputPort(
+        name="pixels",
+        encoder=_pixel_encoder(signature),
+        signature=signature,
+    )
+
+
+def lower_jpeg(
+    quality: int = 75, chroma: bool = False
+) -> tuple[KernelGraph, EpochPlan]:
+    """Lower one JPEG block-pipeline configuration to a (graph, plan) pair."""
+    base = CHROMINANCE_QTABLE if chroma else LUMINANCE_QTABLE
+    qtable = scale_qtable(base, quality)
+    recip = alpha_scale_table(qtable, 14)
+
+    builder = IRBuilder(
+        kind="jpeg",
+        params={"quality": int(quality), "chroma": bool(chroma)},
+        rows=1,
+        cols=1,
+        link_cost_ns=0.0,
+    )
+    builder.emit_setup(
+        EpochSpec("preload_data1", data_images={(0, 0): data1_image(recip)})
+    )
+    builder.set_input(_pixel_port())
+    for stage, program in enumerate(stage_programs()):
+        builder.emit(
+            EpochSpec(
+                f"stage{stage}_{program.name}",
+                programs={(0, 0): program},
+                run=[(0, 0)],
+            )
+        )
+    return builder.graph(), builder.plan()

@@ -134,9 +134,10 @@ class _BaseSession:
 class FFTSession(_BaseSession):
     """A persistent ``rows x cols`` mesh running ``n``-point transforms.
 
-    Thin serving wrapper over :class:`~repro.kernels.fft.runner.FabricFFT`:
-    the epoch schedule is the same one ``run_stream`` uses, but executed
-    job-at-a-time with cancellation polls, on a runtime manager whose
+    Thin serving wrapper over the FFT's compiled artifact (the same
+    :class:`~repro.compile.ir.CompiledArtifact` ``FabricFFT`` executes):
+    every job binds one work item off the shared artifact and runs it
+    slice-by-slice with cancellation polls, on a runtime manager whose
     residency (lru-cached stage programs) survives between jobs.
     """
 
@@ -147,6 +148,7 @@ class FFTSession(_BaseSession):
         super().__init__(spec, link_cost_ns)
         n, m, cols = spec.params
         self.fft = FabricFFT(FFTPlan(int(n), int(m), int(cols)), link_cost_ns)
+        self.artifact = self.fft.artifact
         self.mesh = Mesh(self.fft.plan.rows, self.fft.plan.cols)
         self.rtms = RuntimeManager(
             self.mesh, IcapPort(), link_cost_ns=link_cost_ns
@@ -157,7 +159,7 @@ class FFTSession(_BaseSession):
         stats = SessionStats()
         start_ns = self.rtms.now_ns
         busy_before = self.rtms.icap.total_busy_ns
-        epochs = self.fft.transform_epochs(x, tag=f"j{self.jobs_run}_")
+        epochs = self.artifact.bind(x, tag=f"j{self.jobs_run}_")
         self._execute_sliced(self.rtms, epochs, cancel, stats)
         stats.output = self.fft.read_output(self.mesh)
         stats.sim_ns = self.rtms.now_ns - start_ns
@@ -167,12 +169,7 @@ class FFTSession(_BaseSession):
 
     def pin_epochs(self) -> list[EpochSpec]:
         """The transform's program loads, stripped of data/links/run."""
-        zeros = np.zeros(self.fft.plan.n, dtype=np.complex128)
-        return [
-            EpochSpec(name=e.name, programs=dict(e.programs))
-            for e in self.fft.transform_epochs(zeros)
-            if e.programs
-        ]
+        return self.artifact.pin_epochs()
 
     def cold_setup_epochs(self) -> list[EpochSpec]:
         """FFT static state is all instruction images (twiddles are
@@ -197,6 +194,7 @@ class JPEGSession(_BaseSession):
         self.pipeline = FabricBlockPipeline(
             quality=int(quality), chroma=bool(chroma)
         )
+        self.artifact = self.pipeline.artifact
         self.rtms = self.pipeline.rtms
 
     def run(self, payload: Any, cancel: CancelToken) -> SessionStats:
@@ -234,19 +232,12 @@ class JPEGSession(_BaseSession):
 
     def pin_epochs(self) -> list[EpochSpec]:
         """The five co-resident stage programs."""
-        return [
-            EpochSpec(f"pin_{p.name}", programs={(0, 0): p})
-            for p in self.pipeline.stage_programs
-        ]
+        return self.artifact.pin_epochs()
 
     def cold_setup_epochs(self) -> list[EpochSpec]:
-        """Stage programs plus the charged ``data1`` preload image."""
-        return [
-            EpochSpec(
-                "data1", data_images={(0, 0): self.pipeline.data1_image()}
-            ),
-            *self.pin_epochs(),
-        ]
+        """Stage programs plus the charged ``data1`` preload image (the
+        artifact's setup prologue)."""
+        return [*self.artifact.setup_epochs(), *self.pin_epochs()]
 
 
 _SESSION_TYPES: dict[JobKind, type] = {

@@ -1,0 +1,60 @@
+"""Shared builders for the configuration-compiler tests.
+
+Small synthetic plans keep the pass/hash tests independent of the real
+kernel frontends: every helper builds through :class:`IRBuilder` exactly
+the way the lowerings do, so the fixtures exercise the same code paths
+without dragging in FFT twiddle tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.ir import IRBuilder
+from repro.fabric.assembler import Program, assemble
+from repro.fabric.links import Direction
+from repro.fabric.rtms import EpochSpec
+
+
+@pytest.fixture
+def tiny_program() -> Program:
+    return assemble("MOV 5, #1\nHALT", name="tiny")
+
+
+def build_tiny_plan(
+    *,
+    link_dir: Direction | None = Direction.EAST,
+    image_word: int = 7,
+    source: str = "MOV 5, #1\nHALT",
+    rows: int = 2,
+    cols: int = 2,
+    link_cost_ns: float = 10.0,
+    epoch_name: str = "stage0",
+):
+    """A one-setup, one-body plan over a tiny mesh.
+
+    Keyword knobs flip exactly one semantic ingredient at a time — the
+    hash-sensitivity tests vary each in isolation.
+    """
+    program = assemble(source, name="tiny")
+    builder = IRBuilder(
+        "tiny", {"image_word": image_word}, rows, cols, link_cost_ns
+    )
+    builder.emit_setup(
+        EpochSpec(name="setup", data_images={(0, 0): {3: image_word}})
+    )
+    links = {} if link_dir is None else {(0, 0): link_dir}
+    builder.emit(
+        EpochSpec(
+            name=epoch_name,
+            links=links,
+            programs={(0, 0): program},
+            run=[(0, 0)],
+        )
+    )
+    return builder
+
+
+@pytest.fixture
+def tiny_builder() -> IRBuilder:
+    return build_tiny_plan()

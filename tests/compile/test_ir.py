@@ -1,0 +1,115 @@
+"""IRBuilder demand recording, artifact binding, pin epochs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.frontends import compile_fft, compile_plan
+from repro.compile.ir import InputPort, IRBuilder
+from repro.errors import CompileError
+from repro.fabric.assembler import assemble
+from repro.fabric.links import Direction
+from repro.fabric.rtms import EpochSpec
+from repro.kernels.fft.decompose import FFTPlan
+
+from tests.compile.conftest import build_tiny_plan
+
+
+class TestIRBuilder:
+    def test_graph_mirrors_the_emission_stream(self, tiny_builder):
+        graph = tiny_builder.graph()
+        assert graph.kind == "tiny"
+        assert [node.program for node in graph.processes] == ["tiny"]
+        assert graph.processes[0].coords == ((0, 0),)
+        assert [d.direction for d in graph.links] == [Direction.EAST]
+        # setup image is charged, and there are no free pokes
+        assert [(m.words, m.charged) for m in graph.memory] == [(1, True)]
+
+    def test_program_var_image_is_a_charged_demand(self):
+        program = assemble(".var a\n.word a, 42\nHALT", name="with_image")
+        builder = IRBuilder("t", {}, 1, 1, 0.0)
+        builder.emit(EpochSpec(name="e", programs={(0, 0): program},
+                               run=[(0, 0)]))
+        charged = builder.graph().charged_words()
+        assert charged == {(0, 0): 1}
+
+    def test_pokes_are_uncharged(self):
+        builder = IRBuilder("t", {}, 1, 1, 0.0)
+        builder.emit(EpochSpec(name="e", pokes={(0, 0): {0: 1, 1: 2}}))
+        graph = builder.graph()
+        assert graph.charged_words() == {}
+        assert graph.memory[0].words == 2
+
+    def test_second_input_port_rejected(self):
+        builder = IRBuilder("t", {}, 1, 1, 0.0)
+        port = InputPort("input", encoder=lambda payload: {})
+        builder.set_input(port)
+        with pytest.raises(CompileError, match="already has an input port"):
+            builder.set_input(port)
+
+    def test_params_are_sorted(self):
+        builder = IRBuilder("t", {"zeta": 1, "alpha": 2}, 1, 1, 0.0)
+        assert builder.plan().params == (("alpha", 2), ("zeta", 1))
+
+    def test_imem_pressure_counts_distinct_programs_once(self, tiny_program):
+        builder = IRBuilder("t", {}, 1, 1, 0.0)
+        builder.emit(EpochSpec(name="a", programs={(0, 0): tiny_program},
+                               run=[(0, 0)]))
+        builder.emit(EpochSpec(name="b", programs={(0, 0): tiny_program},
+                               run=[(0, 0)]))
+        pressure = builder.graph().imem_pressure()
+        assert pressure == {(0, 0): tiny_program.imem_words}
+
+
+class TestBind:
+    def test_tag_prefixes_every_epoch_name(self):
+        artifact = compile_plan(*_tiny_artifact_parts())
+        names = [spec.name for spec in artifact.bind(tag="t3_")]
+        assert names == ["t3_stage0"]
+
+    def test_binding_never_mutates_the_template(self):
+        artifact = compile_plan(*_tiny_artifact_parts())
+        artifact.bind(tag="x_")
+        assert [spec.name for spec in artifact.plan.body] == ["stage0"]
+
+    def test_bound_epochs_share_program_objects(self):
+        # Sharing is what keeps pinning free across work items.
+        artifact = compile_plan(*_tiny_artifact_parts())
+        a = artifact.bind(tag="a_")[0]
+        b = artifact.bind(tag="b_")[0]
+        template = artifact.plan.body[0]
+        assert a.programs[(0, 0)] is template.programs[(0, 0)]
+        assert b.programs[(0, 0)] is template.programs[(0, 0)]
+
+    def test_payload_required_when_plan_has_input_port(self):
+        artifact = compile_fft(FFTPlan(16, 16, 1))
+        with pytest.raises(CompileError, match="needs a payload"):
+            artifact.bind()
+
+    def test_payload_rejected_when_plan_has_none(self):
+        artifact = compile_plan(*_tiny_artifact_parts())
+        with pytest.raises(CompileError, match="unexpected payload"):
+            artifact.bind(payload=[1, 2, 3])
+
+    def test_pin_epochs_strip_everything_but_programs(self):
+        artifact = compile_plan(*_tiny_artifact_parts())
+        pins = artifact.pin_epochs()
+        assert len(pins) == 1  # the data-only setup epoch carries none
+        assert pins[0].programs and not pins[0].links
+        assert not pins[0].run and not pins[0].data_images
+
+    def test_decoded_for_unknown_program_raises(self):
+        artifact = compile_plan(*_tiny_artifact_parts())
+        stranger = assemble("HALT", name="stranger")
+        with pytest.raises(CompileError, match="not part of"):
+            artifact.decoded_for(stranger)
+
+    def test_decoded_for_returns_the_predecoded_table(self):
+        artifact = compile_plan(*_tiny_artifact_parts())
+        program = artifact.programs[0]
+        assert artifact.decoded_for(program) is artifact.decoded[0]
+
+
+def _tiny_artifact_parts():
+    builder = build_tiny_plan()
+    return builder.graph(), builder.plan()

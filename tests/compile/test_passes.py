@@ -1,0 +1,231 @@
+"""Each compiler pass in isolation, plus the manager's error wrapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.passes import (
+    CompileUnit,
+    PassManager,
+    cold_deltas_pass,
+    default_passes,
+    validate_links_pass,
+    validate_memory_pass,
+    validate_routes_pass,
+    validate_schedule_pass,
+)
+from repro.compile.ir import IRBuilder
+from repro.errors import CompileError
+from repro.fabric.assembler import assemble
+from repro.fabric.links import Direction
+from repro.fabric.rtms import EpochSpec
+from repro.units import DATA_MEM_WORDS
+
+from tests.compile.conftest import build_tiny_plan
+
+
+def _unit(builder: IRBuilder) -> CompileUnit:
+    return CompileUnit(graph=builder.graph(), plan=builder.plan())
+
+
+def _single_epoch_unit(spec: EpochSpec, rows: int = 2,
+                       cols: int = 2) -> CompileUnit:
+    builder = IRBuilder("t", {}, rows, cols, 0.0)
+    builder.emit(spec)
+    return _unit(builder)
+
+
+class TestValidateLinks:
+    def test_legal_plan_passes(self, tiny_builder):
+        validate_links_pass(_unit(tiny_builder))
+
+    def test_detach_is_always_legal(self):
+        unit = _single_epoch_unit(EpochSpec(name="e", links={(0, 0): None}))
+        validate_links_pass(unit)
+
+    def test_link_off_the_mesh_is_rejected(self):
+        # (0, 1) is the east edge of a 2x2 mesh; EAST points outside.
+        unit = _single_epoch_unit(
+            EpochSpec(name="e", links={(0, 1): Direction.EAST})
+        )
+        with pytest.raises(CompileError, match="off\nthe mesh|off the mesh|outside"):
+            validate_links_pass(unit)
+
+    def test_error_carries_pass_name_and_location(self):
+        unit = _single_epoch_unit(
+            EpochSpec(name="edge", links={(1, 1): Direction.SOUTH})
+        )
+        with pytest.raises(CompileError) as excinfo:
+            validate_links_pass(unit)
+        assert excinfo.value.pass_name == "validate-links"
+        assert excinfo.value.epoch == "edge"
+        assert excinfo.value.coord == (1, 1)
+
+    def test_non_direction_link_is_rejected(self):
+        unit = _single_epoch_unit(EpochSpec(name="e", links={(0, 0): "EAST"}))
+        with pytest.raises(CompileError, match="principal direction"):
+            validate_links_pass(unit)
+
+    def test_link_coordinate_outside_mesh_is_rejected(self):
+        unit = _single_epoch_unit(
+            EpochSpec(name="e", links={(5, 5): Direction.WEST})
+        )
+        with pytest.raises(CompileError, match="outside"):
+            validate_links_pass(unit)
+
+
+class TestValidateMemory:
+    def test_legal_plan_passes(self, tiny_builder):
+        validate_memory_pass(_unit(tiny_builder))
+
+    def test_data_image_address_out_of_range(self):
+        unit = _single_epoch_unit(
+            EpochSpec(name="e", data_images={(0, 0): {DATA_MEM_WORDS: 1}})
+        )
+        with pytest.raises(CompileError, match="data memory"):
+            validate_memory_pass(unit)
+
+    def test_poke_address_out_of_range(self):
+        unit = _single_epoch_unit(
+            EpochSpec(name="e", pokes={(0, 0): {-1: 1}})
+        )
+        with pytest.raises(CompileError, match="data memory"):
+            validate_memory_pass(unit)
+
+    def test_program_placed_off_mesh(self, tiny_program):
+        unit = _single_epoch_unit(
+            EpochSpec(name="e", programs={(9, 9): tiny_program})
+        )
+        with pytest.raises(CompileError, match="outside"):
+            validate_memory_pass(unit)
+
+
+class TestValidateSchedule:
+    def test_legal_plan_passes(self, tiny_builder):
+        validate_schedule_pass(_unit(tiny_builder))
+
+    def test_duplicate_epoch_names_rejected(self, tiny_program):
+        builder = IRBuilder("t", {}, 1, 1, 0.0)
+        spec = EpochSpec(name="dup", programs={(0, 0): tiny_program},
+                         run=[(0, 0)])
+        builder.emit(spec)
+        builder.emit(spec)
+        with pytest.raises(CompileError, match="duplicate epoch name"):
+            validate_schedule_pass(_unit(builder))
+
+    def test_run_before_any_program_installed(self):
+        unit = _single_epoch_unit(EpochSpec(name="e", run=[(0, 0)]))
+        with pytest.raises(CompileError, match="runs before"):
+            validate_schedule_pass(unit)
+
+    def test_resident_rerun_in_a_later_epoch_is_legal(self, tiny_program):
+        builder = IRBuilder("t", {}, 1, 1, 0.0)
+        builder.emit(EpochSpec(name="load", programs={(0, 0): tiny_program},
+                               run=[(0, 0)]))
+        builder.emit(EpochSpec(name="rerun", run=[(0, 0)], restart=True))
+        validate_schedule_pass(_unit(builder))
+
+    def test_duplicate_run_coordinates_rejected(self, tiny_program):
+        unit = _single_epoch_unit(
+            EpochSpec(name="e", programs={(0, 0): tiny_program},
+                      run=[(0, 0), (0, 0)])
+        )
+        with pytest.raises(CompileError, match="duplicate coordinates"):
+            validate_schedule_pass(unit)
+
+    def test_depends_on_must_be_in_mesh(self, tiny_program):
+        unit = _single_epoch_unit(
+            EpochSpec(name="e", programs={(0, 0): tiny_program},
+                      run=[(0, 0)], depends_on=[(7, 0)])
+        )
+        with pytest.raises(CompileError, match="outside"):
+            validate_schedule_pass(unit)
+
+
+class TestValidateRoutes:
+    def test_matching_store_direction_passes(self):
+        builder = build_tiny_plan(
+            link_dir=Direction.EAST, source="SNB.E 0, 5\nHALT"
+        )
+        validate_routes_pass(_unit(builder))
+
+    def test_mismatched_store_direction_rejected(self):
+        builder = build_tiny_plan(
+            link_dir=Direction.SOUTH, source="SNB.E 0, 5\nHALT"
+        )
+        with pytest.raises(CompileError, match="stores\n?.*EAST"):
+            validate_routes_pass(_unit(builder))
+
+    def test_store_over_detached_link_rejected(self):
+        builder = build_tiny_plan(link_dir=None, source="SNB.E 0, 5\nHALT")
+        with pytest.raises(CompileError, match="detached"):
+            validate_routes_pass(_unit(builder))
+
+    def test_link_state_persists_across_epochs(self):
+        # Epoch 1 configures the link; epoch 2 re-installs the storing
+        # program without repeating the link — still legal, because the
+        # fabric's link state persists.
+        program = assemble("SNB.E 0, 5\nHALT", name="store_e")
+        builder = IRBuilder("t", {}, 2, 2, 0.0)
+        builder.emit(EpochSpec(name="cfg", links={(0, 0): Direction.EAST},
+                               programs={(0, 0): program}, run=[(0, 0)]))
+        builder.emit(EpochSpec(name="again", programs={(0, 0): program},
+                               run=[(0, 0)]))
+        validate_routes_pass(_unit(builder))
+
+
+class TestColdDeltas:
+    def test_resident_program_not_recharged(self, tiny_program):
+        builder = IRBuilder("t", {}, 1, 1, 0.0)
+        builder.emit(EpochSpec(name="load", programs={(0, 0): tiny_program},
+                               run=[(0, 0)]))
+        builder.emit(EpochSpec(name="rerun", programs={(0, 0): tiny_program},
+                               run=[(0, 0)]))
+        unit = _unit(builder)
+        cold_deltas_pass(unit)
+        assert unit.cold_bytes[0] > 0
+        assert unit.cold_bytes[1] == 0
+
+    def test_unchanged_link_not_recounted(self, tiny_program):
+        builder = IRBuilder("t", {}, 2, 2, 0.0)
+        for name in ("a", "b"):
+            builder.emit(
+                EpochSpec(name=name, links={(0, 0): Direction.EAST},
+                          programs={(0, 0): tiny_program}, run=[(0, 0)])
+            )
+        unit = _unit(builder)
+        cold_deltas_pass(unit)
+        assert unit.cold_link_changes == (1, 0)
+
+
+class TestPassManager:
+    def test_default_pipeline_produces_a_complete_artifact(self, tiny_builder):
+        artifact = PassManager().run(_unit(tiny_builder))
+        assert artifact.artifact_hash
+        assert len(artifact.programs) == len(artifact.decoded) == 1
+        assert artifact.epoch_names == ("setup", "stage0")
+        assert len(artifact.switch_table) == 2
+        assert len(artifact.pass_timings) == len(default_passes())
+
+    def test_compile_errors_pass_through_unwrapped(self):
+        builder = build_tiny_plan(link_dir=Direction.SOUTH,
+                                  source="SNB.E 0, 5\nHALT")
+        with pytest.raises(CompileError) as excinfo:
+            PassManager().run(_unit(builder))
+        assert excinfo.value.pass_name == "validate-routes"
+
+    def test_crashing_pass_is_wrapped_with_its_name(self, tiny_builder):
+        def boom(unit):
+            raise ValueError("kaboom")
+
+        manager = PassManager([("explode", boom)])
+        with pytest.raises(CompileError, match="pass crashed: kaboom") as excinfo:
+            manager.run(_unit(tiny_builder))
+        assert excinfo.value.pass_name == "explode"
+
+    def test_spliced_pipeline_runs_in_order(self, tiny_builder):
+        ran = []
+        passes = [(name, fn) for name, fn in default_passes()]
+        passes.insert(0, ("probe", lambda unit: ran.append("probe")))
+        PassManager(passes).run(_unit(tiny_builder))
+        assert ran == ["probe"]

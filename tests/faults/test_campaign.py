@@ -217,3 +217,40 @@ class TestHardFaultRemap:
                 ReadbackScrubber(hard_streak=2),
                 CampaignConfig(scrub_period=1, max_repair_attempts=4),
             )
+
+
+class TestArtifactCampaigns:
+    """run_campaign accepts a CompiledArtifact + payload directly."""
+
+    def test_artifact_and_epoch_list_are_equivalent(self):
+        plan, fft, x, golden = _fft_workload()
+        mesh, rtms = _campaign_setup(plan)
+        result = run_campaign(
+            rtms, fft.artifact, FaultInjector(mesh, seed=0),
+            ReadbackScrubber(), CampaignConfig(),
+            payload=x,
+        )
+        assert result.injected == 0
+        assert np.array_equal(fft.read_output(mesh), golden)
+
+    def test_payload_with_plain_epoch_list_rejected(self):
+        plan, fft, x, _ = _fft_workload()
+        mesh, rtms = _campaign_setup(plan)
+        with pytest.raises(ScrubError, match="payload"):
+            run_campaign(
+                rtms, fft.transform_epochs(x), FaultInjector(mesh),
+                ReadbackScrubber(), CampaignConfig(),
+                payload=x,
+            )
+
+    def test_artifact_campaign_may_run_on_a_larger_mesh(self):
+        # The spare-remap scenario: a 1x1-compiled workload on a 1x2
+        # mesh.  Artifact expansion must not enforce the mesh shape.
+        plan, fft, x, golden = _fft_workload()
+        mesh, rtms = _campaign_setup(plan, rows=1, cols=2)
+        run_campaign(
+            rtms, fft.artifact, FaultInjector(mesh, seed=0),
+            ReadbackScrubber(), CampaignConfig(),
+            payload=x,
+        )
+        assert np.array_equal(fft.read_output(mesh), golden)

@@ -1,0 +1,76 @@
+"""Tier-1 smoke test of the compile-cache benchmark.
+
+Runs ``benchmarks/bench_compile.py`` against a temporary output path,
+checks the ``BENCH_compile.json`` schema, and enforces the acceptance
+contract: the warm pass must be served entirely from the cache at
+>= 5x the cold config-build time, with byte-stable content hashes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_HARNESS = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_compile.py"
+
+
+@pytest.fixture(scope="module")
+def bench_compile():
+    spec = importlib.util.spec_from_file_location("bench_compile", _HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def entry(bench_compile, tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_compile.json"
+    produced = bench_compile.run_bench(output=out)
+    written = json.loads(out.read_text())
+    assert written == produced
+    return produced
+
+
+def test_json_schema(entry):
+    assert entry["bench"] == "compile_cache_repeated_sweep"
+    assert set(entry) == {
+        "bench", "points", "cold_s", "warm_s", "speedup", "cache",
+        "hashes", "hashes_stable", "pass_timings_ms", "acceptance",
+    }
+    assert set(entry["acceptance"]) == {"min_speedup", "pass"}
+    assert set(entry["cache"]) == {
+        "hits", "misses", "disk_hits", "lowers", "evictions",
+        "requests", "hit_rate",
+    }
+
+
+def test_sweep_shape(entry):
+    # 6 FFT decompositions x 2 link costs + 3 JPEG setups.
+    assert entry["points"] == 15
+    assert len(entry["hashes"]) == 15
+    assert all(len(h) == 64 for h in entry["hashes"].values())
+
+
+def test_warm_pass_served_from_cache(entry):
+    cache = entry["cache"]
+    assert cache["hits"] == entry["points"]
+    assert cache["misses"] == cache["lowers"] == entry["points"]
+    assert cache["hit_rate"] == pytest.approx(0.5)
+
+
+def test_acceptance(entry):
+    assert entry["hashes_stable"] is True
+    assert entry["speedup"] >= entry["acceptance"]["min_speedup"] == 5.0
+    assert entry["acceptance"]["pass"] is True
+
+
+def test_pass_timings_cover_the_pipeline(entry):
+    from repro.compile.passes import default_passes
+
+    assert set(entry["pass_timings_ms"]) == {
+        name for name, _ in default_passes()
+    }
+    assert all(t >= 0 for t in entry["pass_timings_ms"].values())

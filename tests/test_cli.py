@@ -66,6 +66,23 @@ class TestCLI:
         assert main(["serve", "--jobs", "4", "--policy", "cold_fifo"]) == 0
         assert "policy=cold_fifo" in capsys.readouterr().out
 
+    def test_compile_subcommand(self, capsys):
+        assert main(["compile"]) == 0
+        out = capsys.readouterr().out
+        assert "Configuration compiler demo" in out
+        assert "artifact hash" in out
+        assert "pass timings" in out
+        assert "cache check: OK" in out
+
+    def test_subcommand_typo_suggests_compile(self, capsys):
+        assert main(["compil"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "compile" in err
+
+    def test_help_mentions_compile(self, capsys):
+        assert main(["--help"]) == 0
+        assert "compile" in capsys.readouterr().out
+
     def test_faults_subcommand_dispatches(self, monkeypatch):
         # The real demo runs two full campaigns (exercised by CI's
         # fault-smoke job); dispatch is what the CLI owns, so stub the
