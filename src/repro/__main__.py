@@ -10,6 +10,7 @@ Usage::
     python -m repro serve --jobs 24      # fabric job-service demo
     python -m repro faults               # SEU injection + scrubbing demo
     python -m repro compile              # configuration-compiler demo
+    python -m repro chaos                # kill-and-restart durability demo
     python -m repro --version            # print the package version
 
 Each artifact name maps to a module of :mod:`repro.experiments`; the
@@ -18,7 +19,10 @@ output is exactly what the benchmark harness saves under
 :func:`repro.serve.client.main`; ``faults`` runs the deterministic
 fault-tolerance walkthrough of :mod:`repro.faults.demo`; ``compile``
 runs the configuration-compiler walkthrough of
-:mod:`repro.compile.demo` (pass timings, cache stats, artifact hashes).
+:mod:`repro.compile.demo` (pass timings, cache stats, artifact hashes);
+``chaos`` runs the deterministic kill-and-restart durability ladder of
+:mod:`repro.chaos.demo` (write-ahead journal, crash recovery, epoch
+resume — exits non-zero on any invariant violation).
 """
 
 from __future__ import annotations
@@ -64,7 +68,7 @@ ARTIFACTS = {
 
 
 #: Non-artifact subcommands (included in typo suggestions).
-SUBCOMMANDS = ("list", "serve", "faults", "compile")
+SUBCOMMANDS = ("list", "serve", "faults", "compile", "chaos")
 
 
 def _suggestions(name: str) -> list[str]:
@@ -94,6 +98,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.compile.demo import main as compile_main
 
         return compile_main(args[1:])
+    if args[0] == "chaos":
+        from repro.chaos.demo import main as chaos_main
+
+        return chaos_main(args[1:])
     if args[0] == "list":
         width = max(len(name) for name in ARTIFACTS)
         for name, (_, description) in ARTIFACTS.items():

@@ -1,0 +1,50 @@
+"""repro.chaos — deterministic chaos engineering for the serving stack.
+
+Chaos testing here is *seeded and replayable*: a fault plan names a
+crash point (a string like ``"journal.append.partial"``) registered by
+the durability code, an action (process crash, injected ``OSError``,
+torn/short write), and the hit index at which it fires.  Running the
+same plan against the same trace produces the same failure at the same
+byte — so every recovery bug found by the harness is reproducible with
+two integers (seed, hit).
+
+Modules
+-------
+:mod:`repro.chaos.crashpoints`
+    The crash-point registry, the fault controller, and the
+    ``crashpoint()`` / ``guarded_write()`` hooks the durable code calls.
+:mod:`repro.chaos.harness`
+    Kill-and-restart scenarios over the durable serving engine, with the
+    recovery invariants (no acknowledged job lost, no duplicated client
+    result, idempotent replay) asserted after every restart.
+:mod:`repro.chaos.demo`
+    The ``python -m repro chaos`` walkthrough.
+"""
+
+from repro.chaos.crashpoints import (
+    FaultSpec,
+    SimulatedCrash,
+    armed,
+    crashpoint,
+    guarded_write,
+    register_crashpoint,
+    registered_crashpoints,
+)
+from repro.chaos.harness import (
+    ChaosScenario,
+    ScenarioReport,
+    run_scenario,
+)
+
+__all__ = [
+    "ChaosScenario",
+    "FaultSpec",
+    "ScenarioReport",
+    "SimulatedCrash",
+    "armed",
+    "crashpoint",
+    "guarded_write",
+    "register_crashpoint",
+    "registered_crashpoints",
+    "run_scenario",
+]

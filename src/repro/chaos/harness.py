@@ -1,0 +1,273 @@
+"""Kill-and-restart chaos scenarios over the durable engine.
+
+A :class:`ChaosScenario` is fully determined by its fields: a seeded job
+trace, a fault plan (crash points + actions + hit indices), and the
+engine knobs.  :func:`run_scenario` then:
+
+1. runs the trace **fault-free** on a scratch engine to capture the
+   baseline output of every job (the bit-identical reference);
+2. replays the same trace against a journaled engine with the fault plan
+   armed — every :class:`~repro.chaos.crashpoints.SimulatedCrash` kills
+   the current engine *incarnation* and a fresh one is constructed over
+   the same journal directory (construction = recovery), up to
+   ``max_restarts`` times;
+3. checks the recovery invariants and returns a
+   :class:`ScenarioReport` listing every violation (empty = pass):
+
+   * **no acknowledged job lost** — every job whose SUBMITTED append
+     returned normally reaches a terminal result by the end;
+   * **no duplicated client result** — no job is delivered two
+     conflicting terminal results across incarnations, and the final
+     journal holds at most one valid DONE record per job;
+   * **bit-identical outputs** — every executed DONE output equals the
+     fault-free baseline, including jobs resumed mid-transform from an
+     epoch checkpoint;
+   * **idempotent replay** — folding the final journal twice yields the
+     same recovery state.
+
+An injected ``OSError`` at submit time models a failed disk during the
+acknowledgment write: the client sees the error (the job was never
+acked), retries once, and the invariants only cover jobs whose ack
+succeeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.chaos.crashpoints import FaultSpec, SimulatedCrash, armed
+from repro.errors import ChaosError
+from repro.serve.durability.engine import DurableEngine
+from repro.serve.durability.journal import FsyncPolicy, JobJournal
+from repro.serve.durability.records import RecordType
+from repro.serve.durability.recovery import replay
+from repro.serve.jobs import JobRequest, JobResult, JobStatus, fft_spec, jpeg_spec
+
+__all__ = ["ChaosScenario", "ScenarioReport", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One deterministic kill-and-restart experiment."""
+
+    #: Fault plan (empty = a plain durability smoke run).
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    n_jobs: int = 4
+    #: Fraction of FFT jobs in the trace (the rest are JPEG frames).
+    fft_fraction: float = 0.75
+    #: Epoch-progress cadence (slices between checkpoints; 0 disables).
+    checkpoint_every_slices: int = 2
+    pool_size: int = 1
+    #: Hard bound on incarnations (a scenario needing more is a bug).
+    max_restarts: int = 8
+    fsync: FsyncPolicy = FsyncPolicy.NEVER
+
+    def requests(self) -> list[JobRequest]:
+        """The scenario's job trace (fresh objects every call — requests
+        are mutated in flight, incarnations must not share them)."""
+        rng = np.random.default_rng(self.seed)
+        requests = []
+        for index in range(self.n_jobs):
+            if rng.random() < self.fft_fraction:
+                spec = fft_spec(16, 4, 2)
+                payload = (
+                    rng.standard_normal(16) + 1j * rng.standard_normal(16)
+                )
+            else:
+                spec = jpeg_spec(75, False)
+                payload = rng.integers(0, 256, size=(8, 8), dtype=np.int64)
+            requests.append(
+                JobRequest(
+                    spec=spec,
+                    payload=payload,
+                    job_id=f"chaos-{index:03d}",
+                    max_retries=1,
+                )
+            )
+        return requests
+
+
+@dataclass
+class ScenarioReport:
+    """What the scenario did and which invariants (if any) it broke."""
+
+    restarts: int = 0
+    faults_fired: list[str] = field(default_factory=list)
+    jobs_acked: int = 0
+    jobs_completed: int = 0
+    jobs_recovered_finished: int = 0
+    jobs_resumed: int = 0
+    resumed_slices: int = 0
+    submit_errors: int = 0
+    corrupt_lines_dropped: int = 0
+    journal_records: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        body = dict(self.__dict__)
+        body["ok"] = self.ok
+        return body
+
+
+def _baseline_outputs(scenario: ChaosScenario, tmp: Path) -> dict[str, object]:
+    """Fault-free reference run (own journal dir, discarded after)."""
+    engine = DurableEngine(
+        tmp / "baseline",
+        pool_size=scenario.pool_size,
+        fsync=FsyncPolicy.NEVER,
+    )
+    outputs: dict[str, object] = {}
+    for request in scenario.requests():
+        engine.submit(request)
+    engine.run()
+    for job_id, result in engine.results.items():
+        if result.status is JobStatus.DONE:
+            outputs[job_id] = result.output
+    engine.close()
+    return outputs
+
+
+def _outputs_equal(a, b) -> bool:
+    if isinstance(a, bytes) or isinstance(b, bytes):
+        return a == b
+    return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+
+
+def run_scenario(scenario: ChaosScenario, workdir: Path | str) -> ScenarioReport:
+    """Execute one scenario under ``workdir`` (a scratch directory)."""
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    journal_dir = workdir / "journal"
+    report = ScenarioReport()
+    baseline = _baseline_outputs(scenario, workdir)
+
+    acked: set[str] = set()
+    delivered: dict[str, JobStatus] = {}
+    executed_outputs: dict[str, object] = {}
+
+    def deliver(result: JobResult) -> None:
+        prior = delivered.get(result.job_id)
+        if prior is not None and prior is not result.status:
+            report.violations.append(
+                f"{result.job_id}: delivered {prior.value} then "
+                f"{result.status.value} (conflicting client results)"
+            )
+        delivered[result.job_id] = result.status
+        if result.status is JobStatus.DONE and not result.recovered:
+            executed_outputs[result.job_id] = result.output
+            report.resumed_slices += result.resumed_slices
+            if result.resumed_slices:
+                report.jobs_resumed += 1
+
+    with armed(*scenario.faults) as controller:
+        incarnation = 0
+        while True:
+            incarnation += 1
+            if incarnation > scenario.max_restarts + 1:
+                raise ChaosError(
+                    f"scenario needed more than {scenario.max_restarts} "
+                    f"restarts — runaway crash loop"
+                )
+            try:
+                engine = DurableEngine(
+                    journal_dir,
+                    pool_size=scenario.pool_size,
+                    fsync=scenario.fsync,
+                    checkpoint_every_slices=scenario.checkpoint_every_slices,
+                )
+            except SimulatedCrash:
+                report.restarts += 1
+                continue
+            report.corrupt_lines_dropped += engine.scan_report.dropped
+            # Recovered-finished results are (re)deliveries of earlier
+            # completions — the dedup path a restarted client hits.
+            for job_id, result in engine.results.items():
+                if result.recovered and job_id in acked:
+                    deliver(result)
+            try:
+                # Submit whatever was never acknowledged (clients retry
+                # an errored ack exactly once — the fault fires by hit
+                # count, so the retry lands).
+                for request in scenario.requests():
+                    if request.job_id in acked:
+                        continue
+                    try:
+                        pre = engine.submit(request)
+                    except OSError:
+                        report.submit_errors += 1
+                        pre = engine.submit(request)
+                    acked.add(request.job_id)
+                    if pre is not None:
+                        deliver(pre)
+                engine.run()
+            except SimulatedCrash:
+                report.restarts += 1
+                continue
+            for job_id, result in engine.results.items():
+                if job_id in acked:
+                    deliver(result)
+            engine.close()
+            break
+
+    report.faults_fired = [
+        f"{spec.point}:{spec.action}@{spec.hit}" for spec in controller.fired
+    ]
+    report.jobs_acked = len(acked)
+    report.jobs_completed = sum(
+        1 for s in delivered.values() if s is JobStatus.DONE
+    )
+    report.jobs_recovered_finished = sum(
+        1
+        for job_id, result in engine.results.items()
+        if result.recovered and job_id in acked
+    )
+
+    # ---- invariant: no acknowledged job lost -------------------------
+    for job_id in sorted(acked):
+        if job_id not in delivered:
+            report.violations.append(f"{job_id}: acknowledged but lost")
+
+    # ---- invariants over the final journal ---------------------------
+    journal = JobJournal(journal_dir, fsync=FsyncPolicy.NEVER, lock=False)
+    records, scan = journal.scan()
+    journal.close()
+    report.journal_records = scan.records
+    done_counts: dict[str, int] = {}
+    for record in records:
+        if record.type is RecordType.DONE:
+            done_counts[record.job_id] = done_counts.get(record.job_id, 0) + 1
+    for job_id, count in sorted(done_counts.items()):
+        if count > 1:
+            report.violations.append(
+                f"{job_id}: {count} DONE records (duplicated result)"
+            )
+    state_a, state_b = replay(records), replay(records)
+    fold_a = {
+        j.job_id: (j.finished, j.progress_slice, j.dispatches, j.retries)
+        for j in state_a.jobs.values()
+    }
+    fold_b = {
+        j.job_id: (j.finished, j.progress_slice, j.dispatches, j.retries)
+        for j in state_b.jobs.values()
+    }
+    if fold_a != fold_b:
+        report.violations.append("journal replay is not idempotent")
+
+    # ---- invariant: executed outputs match the fault-free baseline ---
+    for job_id, output in sorted(executed_outputs.items()):
+        want = baseline.get(job_id)
+        if want is None:
+            continue  # baseline failed too (not a durability question)
+        if not _outputs_equal(output, want):
+            report.violations.append(
+                f"{job_id}: output differs from fault-free baseline"
+            )
+    return report

@@ -33,13 +33,16 @@ compile`` demo, the sweep reports, and ``benchmarks/bench_compile.py``.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.chaos.crashpoints import guarded_write, register_crashpoint
 from repro.errors import CompileError
+from repro.locks import FileLock
 
 from repro.compile.ir import CompiledArtifact
 from repro.compile.passes import predecode_pass, CompileUnit
@@ -49,6 +52,10 @@ __all__ = ["CacheStats", "ArtifactCache", "get_cache", "cache_stats",
 
 
 RequestKey = tuple[str, tuple[tuple[str, Any], ...]]
+
+#: Crash points instrumented by the disk tier (chaos matrix enumerable).
+CP_CACHE_PAYLOAD = register_crashpoint("cache.payload.write")
+CP_CACHE_INDEX = register_crashpoint("cache.index.write")
 
 
 @dataclass
@@ -60,6 +67,7 @@ class CacheStats:
     disk_hits: int = 0     # artifact revived from the disk store
     lowers: int = 0        # frontend lowerings actually executed
     evictions: int = 0     # LRU pressure drops
+    corrupt_quarantined: int = 0  # unreadable disk entries moved aside
 
     @property
     def requests(self) -> int:
@@ -77,13 +85,15 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "lowers": self.lowers,
             "evictions": self.evictions,
+            "corrupt_quarantined": self.corrupt_quarantined,
             "requests": self.requests,
             "hit_rate": self.hit_rate,
         }
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(self.hits, self.misses, self.disk_hits,
-                          self.lowers, self.evictions)
+                          self.lowers, self.evictions,
+                          self.corrupt_quarantined)
 
     def delta(self, before: "CacheStats") -> "CacheStats":
         """Counters accumulated since ``before`` (a prior snapshot)."""
@@ -93,19 +103,35 @@ class CacheStats:
             disk_hits=self.disk_hits - before.disk_hits,
             lowers=self.lowers - before.lowers,
             evictions=self.evictions - before.evictions,
+            corrupt_quarantined=(
+                self.corrupt_quarantined - before.corrupt_quarantined
+            ),
         )
 
 
 @dataclass
 class ArtifactCache:
-    """In-memory LRU of compiled artifacts with an optional disk tier."""
+    """In-memory LRU of compiled artifacts with an optional disk tier.
+
+    ``fsync=True`` pushes every atomic publish (payload + index) to
+    stable storage before the rename — power-loss durability at the cost
+    of one fsync per new artifact.  Index rewrites are serialized across
+    processes through a ``flock`` on ``index.lock`` (best-effort no-op
+    on platforms without ``fcntl``), so two processes sharing one disk
+    cache cannot interleave a rewrite.  Disk entries that fail to load
+    (truncated pickle, wrong type, hash mismatch) are *quarantined* —
+    moved into ``corrupt/`` and counted — and the request falls back to
+    a fresh compile instead of failing.
+    """
 
     capacity: int = 64
     disk_dir: Path | None = None
+    fsync: bool = False
     stats: CacheStats = field(default_factory=CacheStats)
     _store: OrderedDict[str, CompiledArtifact] = field(
         default_factory=OrderedDict)
     _memo: dict[RequestKey, str] = field(default_factory=dict)
+    _index_lock: FileLock | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -114,6 +140,7 @@ class ArtifactCache:
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
+            self._index_lock = FileLock(self.disk_dir / "index.lock")
             self._load_index()
 
     # -- bookkeeping -----------------------------------------------------
@@ -185,21 +212,63 @@ class ArtifactCache:
                 }))
             except (TypeError, ValueError):
                 continue  # non-JSON params stay memory-only
+        data = ("[\n" + ",\n".join(entries) + "\n]\n").encode("utf-8")
         tmp = self._index_path().with_suffix(".tmp")
-        tmp.write_text("[\n" + ",\n".join(entries) + "\n]\n")
-        tmp.replace(self._index_path())  # atomic publish
+        # flock: two processes sharing the disk cache serialize their
+        # index rewrites (the tmp name is shared; an interleaved write
+        # could publish a mix of two indexes).
+        assert self._index_lock is not None
+        with self._index_lock:
+            with tmp.open("wb") as fh:
+                guarded_write(fh, data, CP_CACHE_INDEX)
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            tmp.replace(self._index_path())  # atomic publish
 
     def _disk_path(self, artifact_hash: str) -> Path | None:
         if self.disk_dir is None:
             return None
         return self.disk_dir / f"{artifact_hash}.artifact"
 
+    def _quarantine(self, artifact_hash: str) -> None:
+        """Move an unreadable disk entry into ``corrupt/`` (kept for the
+        operator's post-mortem rather than silently deleted) and count
+        it; the caller falls back to a fresh compile."""
+        path = self._disk_path(artifact_hash)
+        if path is None or not path.exists():
+            return
+        corrupt_dir = self.disk_dir / "corrupt"
+        corrupt_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            path.replace(corrupt_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.stats.corrupt_quarantined += 1
+
+    def _disk_load_quarantining(
+        self, artifact_hash: str
+    ) -> CompiledArtifact | None:
+        """:meth:`_disk_load`, but corruption quarantines instead of
+        raising — the resilient path ``get_or_compile`` uses."""
+        try:
+            return self._disk_load(artifact_hash)
+        except CompileError:
+            self._quarantine(artifact_hash)
+            return None
+
     def _disk_load(self, artifact_hash: str) -> CompiledArtifact | None:
         path = self._disk_path(artifact_hash)
         if path is None or not path.exists():
             return None
-        with path.open("rb") as fh:
-            artifact = pickle.load(fh)
+        try:
+            with path.open("rb") as fh:
+                artifact = pickle.load(fh)
+        except Exception as exc:
+            raise CompileError(
+                f"disk store entry {path.name} is unreadable "
+                f"(corrupt or truncated pickle: {exc!r})"
+            ) from None
         if not isinstance(artifact, CompiledArtifact):
             raise CompileError(
                 f"disk store entry {path.name} is not a CompiledArtifact"
@@ -222,7 +291,10 @@ class ArtifactCache:
             return
         tmp = path.with_suffix(".tmp")
         with tmp.open("wb") as fh:
-            pickle.dump(artifact, fh)
+            guarded_write(fh, pickle.dumps(artifact), CP_CACHE_PAYLOAD)
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
         tmp.replace(path)  # atomic publish: readers never see a torn file
 
     # -- the main entry point --------------------------------------------
@@ -245,7 +317,7 @@ class ArtifactCache:
             if known_hash in self._store:
                 self.stats.hits += 1
                 return self._touch(known_hash)
-            revived = self._disk_load(known_hash)
+            revived = self._disk_load_quarantining(known_hash)
             if revived is not None:
                 self.stats.disk_hits += 1
                 self._insert(revived)
@@ -270,11 +342,12 @@ class ArtifactCache:
         return artifact
 
     def lookup(self, artifact_hash: str) -> CompiledArtifact | None:
-        """Content lookup (memory, then disk) without compiling."""
+        """Content lookup (memory, then disk) without compiling; a
+        corrupt disk entry is quarantined and reported as a miss."""
         if artifact_hash in self._store:
             self.stats.hits += 1
             return self._touch(artifact_hash)
-        revived = self._disk_load(artifact_hash)
+        revived = self._disk_load_quarantining(artifact_hash)
         if revived is not None:
             self.stats.disk_hits += 1
             self._insert(revived)

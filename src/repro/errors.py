@@ -144,10 +144,39 @@ class ServeError(ReproError):
 
 
 class JobRejected(ServeError):
-    """Raised when admission control turns a job away (queue full or the
-    service is draining)."""
+    """Raised when admission control turns a job away.
+
+    Carries the structured rejection ``reason`` (a
+    :class:`repro.serve.jobs.RejectReason` value, stored as its string
+    so this module stays dependency-free) and, for load-shedding
+    rejections, a ``retry_after_s`` hint the client should back off by
+    before resubmitting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "",
+        retry_after_s: float = 0.0,
+    ) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class JournalError(ServeError):
+    """Raised by the write-ahead job journal on unusable journal state
+    (a locked journal directory, an unreadable segment layout, appends
+    after close)."""
 
 
 class JobCancelled(ServeError):
     """Raised inside a worker when a job's cancellation token fires (the
     service's timeout path); the fabric is reset afterwards."""
+
+
+class ChaosError(ReproError):
+    """Raised by the chaos harness on malformed fault plans or scenario
+    misuse (never by an injected fault itself — those surface as
+    ``SimulatedCrash`` or ``OSError``)."""

@@ -1,0 +1,103 @@
+"""Cross-process file locks (``flock``-based) for shared on-disk state.
+
+Two services sharing one artifact-cache directory, or one journal
+directory, must not interleave their index rewrites: POSIX rename is
+atomic per call, but read-modify-write of ``index.json`` is not, and the
+last writer silently drops the other's entries.  :class:`FileLock`
+serialises those critical sections with an advisory ``flock(2)`` on a
+sidecar lock file — advisory is enough because every writer in this
+codebase goes through the same helper.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a no-op
+and :data:`HAS_FLOCK` is False so tests can skip; single-process
+correctness is unaffected (in-process callers already hold thread
+locks).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from types import TracebackType
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+
+    HAS_FLOCK = True
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
+    HAS_FLOCK = False
+
+__all__ = ["FileLock", "HAS_FLOCK"]
+
+
+class FileLock:
+    """An advisory exclusive lock on ``path`` (created if missing).
+
+    Usable as a context manager (blocking acquire) or via
+    :meth:`try_acquire` for a non-blocking attempt.  Re-entrant within
+    one instance is an error; use one instance per critical section or
+    hold it for the owner's lifetime (the journal does the latter).
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def _open(self) -> int:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        return os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+
+    def acquire(self) -> None:
+        """Block until the lock is held (no-op without ``flock``)."""
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} already held")
+        fd = self._open()
+        if HAS_FLOCK:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        self._fd = fd
+
+    def try_acquire(self) -> bool:
+        """Attempt the lock without blocking; True when acquired.
+
+        Without ``flock`` support this always "succeeds" (advisory
+        degradation) — callers that need a hard guarantee check
+        :data:`HAS_FLOCK`.
+        """
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} already held")
+        fd = self._open()
+        if HAS_FLOCK:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        try:
+            if HAS_FLOCK:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()

@@ -1,0 +1,194 @@
+"""Per-fabric circuit breakers (closed -> open -> half-open -> closed).
+
+The health states of PR 3 (healthy/degraded/quarantined) answer "is this
+fabric *broken*?"; the breaker answers the softer, faster question "is
+this fabric *currently hurting us*?".  A burst of consecutive failures
+trips the breaker **open**: the scheduler stops placing jobs there for a
+cooldown, which both protects latency (jobs stop queueing behind a
+failing fabric) and gives a transiently-sick fabric (SEU shower, hot
+spot) time to recover without the operator-level eject/readmit cycle.
+After the cooldown the breaker goes **half-open** and admits a bounded
+number of *probe* jobs; one success closes it (full trust restored), one
+failure re-opens it with an exponentially grown cooldown, capped.
+
+The clock is injectable so the deterministic serving engine can drive
+breakers in simulated time and tests never sleep.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ServeError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(str, enum.Enum):
+    """The classic three-state machine."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    @property
+    def code(self) -> int:
+        """Dense gauge value (0 closed / 1 half-open / 2 open)."""
+        return {"closed": 0, "half_open": 1, "open": 2}[self.value]
+
+
+class CircuitBreaker:
+    """One fabric's breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown_s:
+        Open duration before the first half-open probe window.  Doubles
+        on every re-open (a probe failed), capped at ``cooldown_cap_s``.
+    half_open_probes:
+        Jobs admitted concurrently while half-open.
+    clock:
+        Monotonic time source (injected as simulated time by the
+        deterministic engine and by tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 2,
+        cooldown_s: float = 0.5,
+        cooldown_cap_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServeError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0 or cooldown_cap_s < cooldown_s:
+            raise ServeError(
+                f"need 0 < cooldown_s <= cooldown_cap_s, got "
+                f"{cooldown_s}/{cooldown_cap_s}"
+            )
+        if half_open_probes < 1:
+            raise ServeError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.base_cooldown_s = cooldown_s
+        self.cooldown_cap_s = cooldown_cap_s
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._cooldown_s = cooldown_s
+        self._probes_inflight = 0
+        # -- lifetime accounting (metrics) -----------------------------
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+        self.transitions: list[tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+
+    def _transition(self, state: BreakerState) -> None:
+        self._state = state
+        self.transitions.append((self.clock(), state.value))
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self.clock() - self._opened_at >= self._cooldown_s
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+            self._probes_inflight = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (advances open -> half-open on read when the
+        cooldown has elapsed; reads are how time enters the machine)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def admits(self) -> bool:
+        """May the scheduler place a job on this fabric right now?"""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                return self._probes_inflight < self.half_open_probes
+            return False
+
+    def on_dispatch(self) -> bool:
+        """Account a job being placed; True when it is a half-open probe.
+
+        Dispatching against a (still) open breaker raises — the
+        scheduler must consult :meth:`admits` first.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state is BreakerState.OPEN:
+                raise ServeError("dispatch against an open circuit breaker")
+            if self._state is BreakerState.HALF_OPEN:
+                if self._probes_inflight >= self.half_open_probes:
+                    raise ServeError("half-open probe budget exhausted")
+                self._probes_inflight += 1
+                self.probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A job finished cleanly; a half-open success closes fully."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._transition(BreakerState.CLOSED)
+                self._cooldown_s = self.base_cooldown_s
+                self.closes += 1
+
+    def record_cancelled(self) -> None:
+        """A dispatched job was cancelled by the *service* (timeout,
+        shutdown): neither evidence of health nor of sickness.  Only
+        releases a half-open probe slot so the next probe can run."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+
+    def record_failure(self) -> None:
+        """A job failed; trips (or re-trips, with a grown cooldown)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._cooldown_s = min(
+                    self._cooldown_s * 2.0, self.cooldown_cap_s
+                )
+                self._opened_at = self.clock()
+                self._transition(BreakerState.OPEN)
+                self.opens += 1
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self.clock()
+                self._transition(BreakerState.OPEN)
+                self.opens += 1
+
+    def reset(self) -> None:
+        """Force-close (operator readmit path)."""
+        with self._lock:
+            self._transition(BreakerState.CLOSED)
+            self._consecutive_failures = 0
+            self._probes_inflight = 0
+            self._cooldown_s = self.base_cooldown_s

@@ -1,0 +1,293 @@
+"""A synchronous, deterministic durable serving engine.
+
+The asyncio :class:`~repro.serve.service.FabricJobService` is the
+production wiring, but wall clocks, thread pools and event-loop
+scheduling make it a poor *subject* for crash testing: a kill lands at a
+nondeterministic instruction.  The chaos harness therefore drives this
+engine instead — same journal, same records, same recovery fold, same
+:class:`~repro.serve.pool.FabricWorker` execution path, but strictly
+sequential and entirely in simulated fabric time.  A
+:class:`~repro.chaos.crashpoints.SimulatedCrash` raised at any armed
+crash point unwinds straight out of :meth:`run`; the harness then builds
+a **new** engine over the same journal directory, which replays the
+journal exactly the way a restarted service process would.
+
+One engine instance is one process incarnation:
+
+* construction **is** recovery — the journal is scanned and folded,
+  finished jobs become recorded results (served on resubmit, never
+  re-executed), unfinished jobs are requeued oldest-first, and FFT jobs
+  with a verified epoch checkpoint carry resume fields;
+* :meth:`submit` acknowledges a job only after its SUBMITTED record is
+  framed into the journal (the write-ahead contract; an injected
+  ``OSError`` propagates to the caller, which therefore knows the job
+  was *not* acknowledged);
+* :meth:`run` drains the queue one job at a time with the same
+  dispatch/retry/done journaling the service performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import JobCancelled, ServeError
+from repro.serve.durability.journal import FsyncPolicy, JobJournal
+from repro.serve.durability.records import encode_request
+from repro.serve.durability.recovery import replay
+from repro.serve.durability.resume import checkpoint_dir, write_checkpoint
+from repro.serve.jobs import JobRequest, JobResult, JobStatus
+from repro.serve.pool import FabricPool
+from repro.serve.sessions import (
+    CancelToken,
+    SessionFactory,
+    default_session_factory,
+)
+
+__all__ = ["DurableEngine", "EngineReport"]
+
+
+@dataclass
+class EngineReport:
+    """What one engine incarnation did (all counts deterministic)."""
+
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    #: Finished jobs reconstructed from the journal at start.
+    recovered_finished: int = 0
+    #: Unfinished jobs requeued from the journal (from scratch).
+    recovered_requeued: int = 0
+    #: Requeued jobs that carried a verified resume checkpoint.
+    recovered_resumed: int = 0
+    #: Epoch slices skipped across all resumed jobs.
+    resumed_slices: int = 0
+    #: Simulated fabric time / reconfiguration time of completed jobs.
+    sim_ns: float = 0.0
+    reconfig_ns: float = 0.0
+    #: Journal-scan corruption observed during recovery.
+    corrupt_lines_dropped: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class DurableEngine:
+    """One incarnation of a durable, sequential serving engine.
+
+    Parameters
+    ----------
+    journal_dir:
+        Journal directory (shared across incarnations; recovery reads
+        whatever the previous incarnation managed to get to disk).
+    pool_size / session_factory:
+        The fabric pool under the engine (defaults to one fabric — the
+        chaos matrix wants minimal nondeterminism surface).
+    fsync:
+        Journal fsync policy; chaos runs use ``NEVER`` (tmpfs speed) —
+        the *torn-write* model, not the page-cache model, is what the
+        harness exercises.
+    checkpoint_every_slices:
+        Epoch-progress journaling cadence (0 disables; FFT jobs then
+        always restart from scratch after a crash).
+    lock:
+        Whether the journal takes its ``flock``; chaos incarnations live
+        in one process and "die" without cleanup, so they run unlocked.
+    """
+
+    def __init__(
+        self,
+        journal_dir: Path | str,
+        *,
+        pool_size: int = 1,
+        session_factory: SessionFactory = default_session_factory,
+        fsync: FsyncPolicy | str = FsyncPolicy.NEVER,
+        checkpoint_every_slices: int = 0,
+        segment_records: int = 1024,
+        lock: bool = False,
+    ) -> None:
+        self.journal = JobJournal(
+            journal_dir,
+            segment_records=segment_records,
+            fsync=fsync,
+            lock=lock,
+        )
+        self.pool = FabricPool(pool_size, session_factory)
+        self.checkpoint_every_slices = checkpoint_every_slices
+        self.report = EngineReport()
+        self.results: dict[str, JobResult] = {}
+        self.queue: list[JobRequest] = []
+        # -- recovery: construction replays the previous incarnation ---
+        records, self.scan_report = self.journal.scan()
+        self.report.corrupt_lines_dropped = self.scan_report.dropped
+        state = replay(records)
+        for job in state.finished_jobs():
+            done = job.done or {}
+            try:
+                status = JobStatus(done.get("status", "done"))
+            except ValueError:
+                status = JobStatus.FAILED
+            self.results[job.job_id] = JobResult(
+                job_id=job.job_id,
+                status=status,
+                error=str(done.get("error", "")),
+                worker_id=str(done.get("worker", "")),
+                attempts=int(done.get("attempts", 0)),
+                warm=bool(done.get("warm", False)),
+                sim_ns=float(done.get("sim_ns", 0.0)),
+                reconfig_ns=float(done.get("reconfig_ns", 0.0)),
+                recovered=True,
+            )
+            self.report.recovered_finished += 1
+        for request in state.recovered_requests():
+            self.queue.append(request)
+            if request.resume_slice:
+                self.report.recovered_resumed += 1
+            else:
+                self.report.recovered_requeued += 1
+
+    # ------------------------------------------------------------------
+    # submission (the write-ahead acknowledgment edge)
+    # ------------------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> JobResult | None:
+        """Acknowledge one job; returns its recorded result when the
+        journal already holds a terminal record for this job id (result
+        dedup across restarts), else ``None`` (queued).
+
+        The SUBMITTED record hits the journal *before* this returns —
+        if an injected ``OSError`` (or a crash) interrupts the append,
+        the caller never saw an acknowledgment and the no-lost-job
+        invariant does not cover the request.
+        """
+        if request.job_id in self.results:
+            return self.results[request.job_id]
+        if any(q.job_id == request.job_id for q in self.queue):
+            return None  # already requeued by recovery
+        self.journal.submitted(request.job_id, encode_request(request))
+        self.queue.append(request)
+        return None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _select_worker(self, request: JobRequest):
+        candidates = self.pool.available_workers()
+        if not candidates:
+            raise ServeError("every fabric is out of rotation")
+        return min(
+            candidates,
+            key=lambda w: (w.switch_cost_ns(request.spec), w.id),
+        )
+
+    def _progress_hook(self, request: JobRequest):
+        if self.checkpoint_every_slices <= 0:
+            return None
+        every = self.checkpoint_every_slices
+        directory = checkpoint_dir(self.journal.directory)
+        job_id = request.job_id
+        journal = self.journal
+
+        def hook(slice_index: int, rtms) -> None:
+            if slice_index % every != 0:
+                return
+            path, crc = write_checkpoint(directory, job_id, slice_index, rtms)
+            journal.epoch_progress(
+                job_id,
+                {"slice": slice_index, "checkpoint": path, "crc": crc},
+            )
+
+        return hook
+
+    def step(self) -> JobResult:
+        """Run the queue's oldest job to a terminal state."""
+        if not self.queue:
+            raise ServeError("step() on an empty queue")
+        request = self.queue.pop(0)
+        worker = self._select_worker(request)
+        progress = self._progress_hook(request)
+        attempts = 0
+        last_error = ""
+        while True:
+            attempts += 1
+            self.journal.dispatched(
+                request.job_id, {"worker": worker.id, "attempt": attempts}
+            )
+            try:
+                run = worker.execute(request, CancelToken(), progress)
+            except JobCancelled:
+                raise  # the engine never cancels; a test driving it may
+            except Exception as exc:
+                last_error = f"attempt {attempts}: {exc!r}"
+                if not worker.available:
+                    remaining = self.pool.available_workers()
+                    if remaining:
+                        worker = self._select_worker(request)
+                        continue  # fabric failed, not the job: free retry
+                if attempts > request.max_retries:
+                    result = JobResult(
+                        job_id=request.job_id,
+                        status=JobStatus.FAILED,
+                        error=last_error,
+                        worker_id=worker.id,
+                        attempts=attempts,
+                    )
+                    self.journal.done(
+                        request.job_id,
+                        {
+                            "status": result.status.value,
+                            "error": result.error,
+                            "worker": worker.id,
+                            "attempts": attempts,
+                        },
+                    )
+                    self.results[request.job_id] = result
+                    self.report.failed += 1
+                    return result
+                self.report.retries += 1
+                self.journal.retry(
+                    request.job_id,
+                    {"attempt": attempts, "error": last_error},
+                )
+                continue
+            result = JobResult(
+                job_id=request.job_id,
+                status=JobStatus.DONE,
+                output=run.stats.output,
+                worker_id=worker.id,
+                attempts=attempts,
+                warm=run.warm,
+                sim_ns=run.stats.sim_ns,
+                reconfig_ns=run.stats.reconfig_ns,
+                reconfig_saved_ns=run.reconfig_saved_ns,
+                resumed_slices=run.resumed_slices,
+            )
+            self.journal.done(
+                request.job_id,
+                {
+                    "status": JobStatus.DONE.value,
+                    "worker": worker.id,
+                    "attempts": attempts,
+                    "warm": run.warm,
+                    "sim_ns": run.stats.sim_ns,
+                    "reconfig_ns": run.stats.reconfig_ns,
+                },
+            )
+            self.results[request.job_id] = result
+            self.report.completed += 1
+            self.report.resumed_slices += run.resumed_slices
+            self.report.sim_ns += run.stats.sim_ns
+            self.report.reconfig_ns += run.stats.reconfig_ns
+            return result
+
+    def run(self) -> EngineReport:
+        """Drain the queue (recovered jobs first, submit order after)."""
+        while self.queue:
+            self.step()
+        return self.report
+
+    def close(self) -> None:
+        """Clean shutdown of this incarnation (crashed ones never call
+        this — that is the point)."""
+        self.journal.close()

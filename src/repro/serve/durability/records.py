@@ -1,0 +1,157 @@
+"""Journal record model and the payload codec.
+
+A journal record is one JSON object per line (canonical separators,
+sorted keys — byte-stable for a given record) with a CRC32 prefix added
+by the journal's framing.  Five record types cover a job's whole
+lifecycle::
+
+    SUBMITTED       job accepted (spec + encoded payload — everything a
+                    restart needs to re-run it from scratch)
+    DISPATCHED      job handed to a fabric (worker id, attempt number)
+    EPOCH_PROGRESS  epoch slice finished; optionally names a checkpoint
+                    file an FFT resume can restore
+    RETRY           an attempt failed and a retry was scheduled
+    DONE            terminal result (status + compact result fields)
+
+Payloads are numpy arrays (complex FFT vectors, integer JPEG frames);
+:func:`encode_payload`/:func:`decode_payload` round-trip them through
+JSON exactly (complex values as ``[re, im]`` pairs with full float
+repr precision, frames as nested int lists), so a replayed job computes
+bit-identically to the lost original.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import JournalError
+from repro.serve.jobs import JobKind, JobRequest, KernelSpec
+
+__all__ = [
+    "RecordType",
+    "JournalRecord",
+    "encode_payload",
+    "decode_payload",
+    "encode_request",
+    "decode_request",
+]
+
+
+class RecordType(str, enum.Enum):
+    """The journal's closed record vocabulary."""
+
+    SUBMITTED = "SUBMITTED"
+    DISPATCHED = "DISPATCHED"
+    EPOCH_PROGRESS = "EPOCH_PROGRESS"
+    RETRY = "RETRY"
+    DONE = "DONE"
+
+
+@dataclass
+class JournalRecord:
+    """One journal entry: a type, the job it concerns, and a data dict.
+
+    ``seq`` is assigned by the journal at append time (monotonic across
+    segments) and is what makes replay order-independent of file-system
+    listing quirks.
+    """
+
+    type: RecordType
+    job_id: str
+    data: dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, no spaces)."""
+        body = {
+            "t": self.type.value,
+            "job": self.job_id,
+            "seq": self.seq,
+            "data": self.data,
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "JournalRecord":
+        try:
+            body = json.loads(text)
+            return cls(
+                type=RecordType(body["t"]),
+                job_id=str(body["job"]),
+                data=dict(body["data"]),
+                seq=int(body["seq"]),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise JournalError(f"malformed journal record: {exc}") from None
+
+
+# --------------------------------------------------------------------------
+# payload codec
+# --------------------------------------------------------------------------
+
+
+def encode_payload(kind: JobKind, payload: Any) -> dict[str, Any]:
+    """JSON-encode a kernel payload losslessly.
+
+    FFT payloads are 1-D complex vectors -> ``[[re, im], ...]`` with
+    Python float repr (shortest round-trip) precision; JPEG payloads are
+    2-D integer frames -> nested int lists.
+    """
+    if kind is JobKind.FFT:
+        x = np.asarray(payload, dtype=np.complex128)
+        return {
+            "shape": list(x.shape),
+            "values": [[float(v.real), float(v.imag)] for v in x.ravel()],
+        }
+    if kind is JobKind.JPEG:
+        img = np.asarray(payload)
+        if img.dtype.kind == "f":
+            img = np.clip(np.rint(img), 0, 255)
+        img = img.astype(np.int64)
+        return {"shape": list(img.shape), "values": img.ravel().tolist()}
+    raise JournalError(f"no payload codec for kernel kind {kind!r}")
+
+
+def decode_payload(kind: JobKind, data: dict[str, Any]) -> Any:
+    """Invert :func:`encode_payload` bit-exactly."""
+    shape = tuple(int(s) for s in data["shape"])
+    if kind is JobKind.FFT:
+        flat = np.array(
+            [complex(re, im) for re, im in data["values"]],
+            dtype=np.complex128,
+        )
+        return flat.reshape(shape)
+    if kind is JobKind.JPEG:
+        return np.array(data["values"], dtype=np.int64).reshape(shape)
+    raise JournalError(f"no payload codec for kernel kind {kind!r}")
+
+
+def encode_request(request: JobRequest) -> dict[str, Any]:
+    """The SUBMITTED record body: everything a restart needs."""
+    return {
+        "kind": request.spec.kind.value,
+        "params": list(request.spec.params),
+        "payload": encode_payload(request.spec.kind, request.payload),
+        "timeout_s": request.timeout_s,
+        "max_retries": request.max_retries,
+        "tag": request.tag,
+    }
+
+
+def decode_request(job_id: str, data: dict[str, Any]) -> JobRequest:
+    """Rebuild the :class:`JobRequest` a SUBMITTED record described."""
+    kind = JobKind(data["kind"])
+    spec = KernelSpec(kind, tuple(data["params"]))
+    return JobRequest(
+        spec=spec,
+        payload=decode_payload(kind, data["payload"]),
+        timeout_s=float(data.get("timeout_s", 30.0)),
+        max_retries=int(data.get("max_retries", 1)),
+        job_id=job_id,
+        tag=str(data.get("tag", "")),
+    )

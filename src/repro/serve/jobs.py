@@ -23,6 +23,7 @@ from repro.errors import ServeError
 __all__ = [
     "JobKind",
     "JobStatus",
+    "RejectReason",
     "KernelSpec",
     "JobRequest",
     "JobResult",
@@ -51,6 +52,23 @@ class JobStatus(str, enum.Enum):
     @property
     def ok(self) -> bool:
         return self is JobStatus.DONE
+
+
+class RejectReason(str, enum.Enum):
+    """Why admission control turned a job away.
+
+    The closed vocabulary of the ``serve_jobs_rejected_total{reason}``
+    metric label and of :attr:`JobResult.error` for rejected jobs
+    (``"rejected: <reason>"``) — previously free-form strings scattered
+    through the service, now auditable in one place.
+    """
+
+    STOPPED = "stopped"        #: service not started (or already torn down)
+    DRAINING = "draining"      #: drain() in progress, no new admissions
+    QUEUE_FULL = "queue_full"  #: bounded queue at capacity, wait=False
+    SHED = "shed"              #: probabilistic overload shedding fired
+    ADMISSION_CAP = "admission_cap"  #: hard shedding cap (queue delay)
+    SHUTDOWN = "shutdown"      #: queued job failed by a non-drain shutdown
 
 
 @dataclass(frozen=True)
@@ -113,6 +131,15 @@ class JobRequest:
     job_id: str = ""
     #: Free-form client tag (shows up in metrics labels and traces).
     tag: str = ""
+    # -- crash recovery (filled by the durability layer, not clients) --
+    #: First epoch slice still to execute (0 = run from scratch).  A
+    #: recovered FFT job resumes from its last journaled checkpoint.
+    resume_slice: int = 0
+    #: Path of the pickled fabric checkpoint to restore before resuming.
+    checkpoint_path: str = ""
+    #: CRC32 of the checkpoint file (validated before restore; a
+    #: mismatch silently falls back to running from scratch).
+    checkpoint_crc: int = 0
 
     def __post_init__(self) -> None:
         if self.timeout_s <= 0:
@@ -151,6 +178,15 @@ class JobResult:
     sim_ns: float = 0.0
     reconfig_ns: float = 0.0
     reconfig_saved_ns: float = 0.0
+    # -- durability ----------------------------------------------------
+    #: For shed rejections: how long the client should back off before
+    #: resubmitting (the ``Retry-After`` hint).
+    retry_after_s: float = 0.0
+    #: True when this result was reconstructed from the job journal
+    #: after a restart rather than executed in this incarnation.
+    recovered: bool = False
+    #: Epoch slices skipped by resuming from a journaled checkpoint.
+    resumed_slices: int = 0
 
     @property
     def ok(self) -> bool:

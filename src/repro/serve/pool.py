@@ -24,8 +24,10 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import FaultError, JobCancelled, ServeError
+from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.jobs import JobRequest, KernelSpec
 from repro.serve.sessions import (
     CancelToken,
@@ -113,6 +115,8 @@ class WorkerRun:
     warm: bool
     #: Reconfiguration time avoided vs a cold placement of the same job.
     reconfig_saved_ns: float
+    #: Epoch slices skipped by resuming from a journaled checkpoint.
+    resumed_slices: int = 0
 
 
 class FabricWorker:
@@ -125,6 +129,7 @@ class FabricWorker:
         cost_model: ResidencyCostModel | None = None,
         *,
         failure_threshold: int = 3,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ServeError(
@@ -133,6 +138,9 @@ class FabricWorker:
         self.id = worker_id
         self._session_factory = session_factory
         self.cost_model = cost_model or ResidencyCostModel(session_factory)
+        #: Optional per-fabric circuit breaker (PR 8).  ``None`` keeps the
+        #: PR 3 semantics exactly: availability is health-state-only.
+        self.breaker = breaker
         self.session: KernelSession | None = None
         self.resident_key: str | None = None
         # -- lifetime accounting ---------------------------------------
@@ -157,8 +165,29 @@ class FabricWorker:
 
     @property
     def available(self) -> bool:
-        """May the scheduler place jobs here?"""
-        return self.health is not HealthState.QUARANTINED
+        """May the scheduler place jobs here?
+
+        Quarantine (PR 3) is the hard gate; a tripped circuit breaker
+        (PR 8) is the soft one — an open breaker keeps the worker out of
+        rotation for a cooldown, after which half-open probe slots make
+        it available again without an operator readmit.
+        """
+        if self.health is HealthState.QUARANTINED:
+            return False
+        if self.breaker is not None:
+            return self.breaker.admits()
+        return True
+
+    @property
+    def breaker_open(self) -> bool:
+        """Is this worker unavailable *only* because its breaker is
+        refusing jobs (i.e. it will come back by itself after the
+        cooldown, unlike a quarantine)?"""
+        return (
+            self.health is not HealthState.QUARANTINED
+            and self.breaker is not None
+            and not self.breaker.admits()
+        )
 
     def eject(self, reason: str) -> None:
         """Take the fabric out of rotation (drops the resident session).
@@ -183,6 +212,8 @@ class FabricWorker:
         self.health = HealthState.HEALTHY
         self.quarantine_reason = None
         self.consecutive_failures = 0
+        if self.breaker is not None:
+            self.breaker.reset()
 
     def record_failure(self, reason: str) -> None:
         """Account one failed job attempt; escalates the health state.
@@ -242,7 +273,12 @@ class FabricWorker:
     # execution (synchronous; the service runs this in a thread)
     # ------------------------------------------------------------------
 
-    def execute(self, request: JobRequest, cancel: CancelToken) -> WorkerRun:
+    def execute(
+        self,
+        request: JobRequest,
+        cancel: CancelToken,
+        progress: Callable | None = None,
+    ) -> WorkerRun:
         """Run one job to completion on this worker's fabric.
 
         Raises whatever the kernel raises; raises
@@ -254,23 +290,56 @@ class FabricWorker:
         ``failure_threshold``; a :class:`~repro.errors.FaultError` (an
         unrepairable fabric fault surfaced to the job) quarantines
         immediately.  A quarantined worker refuses jobs outright.
+
+        ``progress`` (optional, installed by the durability layer) is a
+        per-slice hook ``progress(completed_slices, rtms)`` used to
+        journal epoch progress and write fabric checkpoints.  A request
+        carrying ``resume_slice > 0`` on a **cold** placement restores
+        its verified checkpoint and executes only the remaining epochs;
+        any doubt about the checkpoint falls back to a from-scratch run.
         """
         spec = request.spec
-        if not self.available:
+        if self.health is HealthState.QUARANTINED:
             raise ServeError(
                 f"worker {self.id} is quarantined "
                 f"({self.quarantine_reason or 'no reason recorded'})"
             )
+        if self.breaker is not None:
+            # Raises on a (still) open breaker; accounts half-open probes.
+            self.breaker.on_dispatch()
         warm = self.is_warm_for(spec)
         if not warm:
             self.session = self._session_factory(spec)
             self.resident_key = spec.config_key
             self.cold_starts += 1
         assert self.session is not None
+        if progress is not None and hasattr(self.session, "progress"):
+            self.session.progress = progress
+        resumed_slices = 0
         try:
-            stats = self.session.run(request.payload, cancel)
+            stats = None
+            if (
+                not warm
+                and request.resume_slice > 0
+                and hasattr(self.session, "run_resumed")
+            ):
+                # Lazy import: repro.serve.durability imports this module.
+                from repro.serve.durability.resume import load_checkpoint
+
+                loaded = load_checkpoint(
+                    request.checkpoint_path, request.checkpoint_crc
+                )
+                if loaded is not None and loaded[0] == request.resume_slice:
+                    stats = self.session.run_resumed(
+                        request.payload, cancel, loaded[0], loaded[1]
+                    )
+                    resumed_slices = loaded[0]
+            if stats is None:
+                stats = self.session.run(request.payload, cancel)
         except FaultError as exc:
             self.eject(f"fabric fault: {exc}")
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise
         except BaseException as exc:
             self.session = None
@@ -278,9 +347,20 @@ class FabricWorker:
             # Cancellation is the service's doing, not the fabric's fault.
             if not isinstance(exc, JobCancelled):
                 self.record_failure(repr(exc))
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+            elif self.breaker is not None:
+                # Cancellation is neutral: release the probe slot only.
+                self.breaker.record_cancelled()
             raise
+        finally:
+            if progress is not None and self.session is not None:
+                if hasattr(self.session, "progress"):
+                    self.session.progress = None
         self.jobs_done += 1
         self.consecutive_failures = 0
+        if self.breaker is not None:
+            self.breaker.record_success()
         self.record_fault_stats(stats)
         self.busy_sim_ns += stats.sim_ns
         self.reconfig_sim_ns += stats.reconfig_ns
@@ -292,7 +372,12 @@ class FabricWorker:
         else:
             self.cost_model.record_cold_run(spec, stats.reconfig_ns)
             saved = 0.0
-        return WorkerRun(stats=stats, warm=warm, reconfig_saved_ns=saved)
+        return WorkerRun(
+            stats=stats,
+            warm=warm,
+            reconfig_saved_ns=saved,
+            resumed_slices=resumed_slices,
+        )
 
 
 class FabricPool:
@@ -304,6 +389,7 @@ class FabricPool:
         session_factory: SessionFactory = default_session_factory,
         *,
         failure_threshold: int = 3,
+        breaker_factory: Callable[[], CircuitBreaker] | None = None,
     ) -> None:
         if size < 1:
             raise ServeError(f"pool size must be >= 1, got {size}")
@@ -314,6 +400,7 @@ class FabricPool:
                 session_factory,
                 self.cost_model,
                 failure_threshold=failure_threshold,
+                breaker=breaker_factory() if breaker_factory else None,
             )
             for i in range(size)
         ]
@@ -339,7 +426,25 @@ class FabricPool:
         return [w for w in self.workers if w.available]
 
     def quarantined_workers(self) -> list[FabricWorker]:
-        return [w for w in self.workers if not w.available]
+        return [
+            w for w in self.workers if w.health is HealthState.QUARANTINED
+        ]
+
+    def breaker_open_workers(self) -> list[FabricWorker]:
+        """Workers sidelined *only* by a tripped breaker (they will
+        re-admit themselves after the cooldown)."""
+        return [w for w in self.workers if w.breaker_open]
+
+    def recoverable(self) -> bool:
+        """Can this pool ever serve another job without operator help?
+
+        True when some worker is available now **or** is merely behind
+        an open breaker whose cooldown will elapse.  False only when
+        every worker is quarantined — the PR 3 dead-pool condition.
+        """
+        return any(
+            w.health is not HealthState.QUARANTINED for w in self.workers
+        )
 
     @property
     def quarantine_count(self) -> int:

@@ -23,7 +23,11 @@ Every lifecycle edge feeds the metrics registry::
     serve_hard_faults_total{kind}           serve_scrub_ns_total{kind}
     serve_fault_mttr_ns        (histogram)  serve_worker_health{fabric}
     serve_worker_quarantined_total{fabric}  serve_worker_readmitted_total{fabric}
-    serve_jobs_requeued_total{kind}
+    serve_jobs_requeued_total{kind}         serve_journal_records_total{type}
+    serve_journal_bytes_total               serve_journal_fsyncs_total
+    serve_recovered_jobs_total{outcome}     serve_queue_delay_ewma_seconds
+    serve_shed_probability                  serve_breaker_state{fabric}
+    serve_breaker_transitions_total{fabric} serve_probe_jobs_total{fabric}
 
 ``serve_reconfig_saved_ns_total`` is the serving-level version of the
 paper's amortization claim: reconfiguration time that Eq. 1 would have
@@ -37,12 +41,16 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from repro.errors import JobCancelled, JobRejected, ServeError
-from repro.serve.jobs import JobRequest, JobResult, JobStatus
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobs import JobRequest, JobResult, JobStatus, RejectReason
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import FabricPool, WorkerRun
 from repro.serve.scheduler import AffinityPolicy, SchedulingPolicy
 from repro.serve.sessions import CancelToken, SessionFactory, default_session_factory
+from repro.serve.shedding import LoadShedder
 
 __all__ = ["FabricJobService", "ServiceStats"]
 
@@ -82,6 +90,26 @@ class FabricJobService:
         Fallbacks for requests that leave the QoS fields at zero-ish.
     retry_backoff_s / retry_backoff_cap_s:
         First retry delay and its exponential cap.
+    journal:
+        Optional write-ahead :class:`~repro.serve.durability.JobJournal`.
+        When present, every lifecycle edge is journaled *before* it is
+        acknowledged, and :meth:`start` replays the journal: finished
+        jobs are served from their recorded results (never re-executed),
+        unfinished jobs are requeued — FFT jobs with a verified epoch
+        checkpoint resume mid-transform.
+    shedder:
+        Optional :class:`~repro.serve.shedding.LoadShedder`; when
+        present, ``submit`` sheds probabilistically once the queue-delay
+        EWMA exceeds its target (rejections carry ``retry_after_s``).
+    breaker_factory:
+        Optional per-fabric :class:`~repro.serve.breaker.CircuitBreaker`
+        factory; tripped breakers sideline a fabric for a cooldown
+        without the operator-level quarantine cycle.
+    checkpoint_every_slices:
+        With a journal: write an EPOCH_PROGRESS record (and a fabric
+        checkpoint for resumable sessions) every this-many epoch slices
+        (0 disables epoch journaling — only submit/dispatch/done edges
+        are durable).
     """
 
     def __init__(
@@ -94,15 +122,36 @@ class FabricJobService:
         metrics: MetricsRegistry | None = None,
         retry_backoff_s: float = 0.05,
         retry_backoff_cap_s: float = 1.0,
+        journal=None,
+        shedder: LoadShedder | None = None,
+        breaker_factory: Callable[[], CircuitBreaker] | None = None,
+        checkpoint_every_slices: int = 0,
+        breaker_poll_s: float = 0.05,
     ) -> None:
         if max_queue < 1:
             raise ServeError(f"max_queue must be >= 1, got {max_queue}")
-        self.pool = FabricPool(pool_size, session_factory)
+        if checkpoint_every_slices < 0:
+            raise ServeError(
+                f"checkpoint_every_slices must be >= 0, "
+                f"got {checkpoint_every_slices}"
+            )
+        self.pool = FabricPool(
+            pool_size, session_factory, breaker_factory=breaker_factory
+        )
         self.policy = policy if policy is not None else AffinityPolicy()
         self.max_queue = max_queue
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.retry_backoff_s = retry_backoff_s
         self.retry_backoff_cap_s = retry_backoff_cap_s
+        self.journal = journal
+        self.shedder = shedder
+        self.checkpoint_every_slices = checkpoint_every_slices
+        self.breaker_poll_s = breaker_poll_s
+        #: DONE results replayed from the journal at start (result dedup:
+        #: resubmitting a finished job id returns this, never re-executes).
+        self.recovered_results: dict[str, JobResult] = {}
+        #: Futures of jobs the journal requeued at start (job_id -> future).
+        self.recovered_futures: dict[str, "asyncio.Future[JobResult]"] = {}
         self._queue: list[_Pending] = []
         self._queue_changed: asyncio.Condition | None = None
         self._loops: list[asyncio.Task] = []
@@ -200,7 +249,42 @@ class FabricJobService:
             "serve_worker_health",
             "Per-fabric health (0 healthy / 1 degraded / 2 quarantined)",
         )
+        # -- durability & overload resilience --------------------------
+        self._m_journal_records = m.counter(
+            "serve_journal_records_total", "Journal records appended, by type"
+        )
+        self._m_journal_bytes = m.counter(
+            "serve_journal_bytes_total", "Framed journal bytes written"
+        )
+        self._m_journal_fsyncs = m.counter(
+            "serve_journal_fsyncs_total", "Journal fsync calls issued"
+        )
+        self._m_recovered = m.counter(
+            "serve_recovered_jobs_total",
+            "Jobs reconstructed from the journal at start, by outcome",
+        )
+        self._m_queue_delay_ewma = m.gauge(
+            "serve_queue_delay_ewma_seconds",
+            "Smoothed submit-to-dispatch delay the shedder tracks",
+        )
+        self._m_shed_probability = m.gauge(
+            "serve_shed_probability",
+            "Current probability an admission attempt is shed",
+        )
+        self._m_breaker_state = m.gauge(
+            "serve_breaker_state",
+            "Per-fabric breaker state (0 closed / 1 half-open / 2 open)",
+        )
+        self._m_breaker_transitions = m.counter(
+            "serve_breaker_transitions_total",
+            "Breaker open+close transitions per fabric",
+        )
+        self._m_probes = m.counter(
+            "serve_probe_jobs_total", "Half-open probe jobs per fabric"
+        )
         self._seen_quarantines: dict[str, int] = {}
+        self._seen_breaker: dict[str, tuple[int, int]] = {}
+        self._seen_journal = (0, 0)  # (bytes_written, fsyncs)
 
     def _update_health_metrics(self) -> None:
         """Sync the health gauge and quarantine counter to the pool."""
@@ -212,6 +296,34 @@ class FabricJobService:
                     member.quarantines - seen, fabric=member.id
                 )
                 self._seen_quarantines[member.id] = member.quarantines
+            if member.breaker is not None:
+                breaker = member.breaker
+                self._m_breaker_state.set(
+                    float(breaker.state.code), fabric=member.id
+                )
+                transitions = breaker.opens + breaker.closes
+                probes = breaker.probes
+                seen_t, seen_p = self._seen_breaker.get(member.id, (0, 0))
+                if transitions > seen_t:
+                    self._m_breaker_transitions.inc(
+                        transitions - seen_t, fabric=member.id
+                    )
+                if probes > seen_p:
+                    self._m_probes.inc(probes - seen_p, fabric=member.id)
+                self._seen_breaker[member.id] = (transitions, probes)
+
+    def _journal_append(self, record_type: str, append) -> None:
+        """Append one journal record and mirror the journal's counters."""
+        if self.journal is None:
+            return
+        append()
+        self._m_journal_records.inc(type=record_type)
+        seen_bytes, seen_fsyncs = self._seen_journal
+        if self.journal.bytes_written > seen_bytes:
+            self._m_journal_bytes.inc(self.journal.bytes_written - seen_bytes)
+        if self.journal.fsyncs > seen_fsyncs:
+            self._m_journal_fsyncs.inc(self.journal.fsyncs - seen_fsyncs)
+        self._seen_journal = (self.journal.bytes_written, self.journal.fsyncs)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -235,7 +347,11 @@ class FabricJobService:
         )
 
     async def start(self) -> None:
-        """Spin up one worker loop per fabric."""
+        """Spin up one worker loop per fabric.
+
+        With a journal: replays it first, so recovered jobs are already
+        queued (oldest first) before any fresh submit lands.
+        """
         if self._running:
             raise ServeError("service already started")
         self._queue_changed = asyncio.Condition()
@@ -245,10 +361,47 @@ class FabricJobService:
         self._running = True
         self._draining = False
         self._start_time = time.monotonic()
+        if self.journal is not None:
+            self._recover()
         self._loops = [
             asyncio.create_task(self._worker_loop(worker), name=worker.id)
             for worker in self.pool
         ]
+
+    def _recover(self) -> None:
+        """Replay the journal: dedup finished jobs, requeue the rest."""
+        from repro.serve.durability.recovery import replay
+
+        records, _report = self.journal.scan()
+        state = replay(records)
+        loop = asyncio.get_running_loop()
+        for job in state.finished_jobs():
+            done = job.done or {}
+            try:
+                status = JobStatus(done.get("status", "done"))
+            except ValueError:
+                status = JobStatus.FAILED
+            self.recovered_results[job.job_id] = JobResult(
+                job_id=job.job_id,
+                status=status,
+                error=str(done.get("error", "")),
+                worker_id=str(done.get("worker", "")),
+                attempts=int(done.get("attempts", 0)),
+                warm=bool(done.get("warm", False)),
+                sim_ns=float(done.get("sim_ns", 0.0)),
+                reconfig_ns=float(done.get("reconfig_ns", 0.0)),
+                recovered=True,
+            )
+            self._m_recovered.inc(outcome="finished")
+        for request in state.recovered_requests():
+            future: asyncio.Future = loop.create_future()
+            self._queue.append(_Pending(request, future))
+            self.recovered_futures[request.job_id] = future
+            self._m_recovered.inc(
+                outcome="resumed" if request.resume_slice else "requeued"
+            )
+            self._m_submitted.inc(kind=request.spec.kind.value)
+        self._m_queue_depth.set(len(self._queue))
 
     async def drain(self) -> None:
         """Stop admitting; wait until the queue and all fabrics are idle."""
@@ -277,7 +430,7 @@ class FabricJobService:
         for pending in self._queue:
             if not pending.future.done():
                 pending.future.set_result(
-                    self._rejection(pending.request, "shutdown")
+                    self._rejection(pending.request, RejectReason.SHUTDOWN)
                 )
         self._queue.clear()
         if self._executor is not None:
@@ -295,12 +448,31 @@ class FabricJobService:
     # submission / admission control
     # ------------------------------------------------------------------
 
-    def _rejection(self, request: JobRequest, reason: str) -> JobResult:
-        self._m_rejected.inc(reason=reason)
+    def _rejection(
+        self,
+        request: JobRequest,
+        reason: RejectReason,
+        retry_after_s: float = 0.0,
+    ) -> JobResult:
+        self._m_rejected.inc(reason=reason.value)
         return JobResult(
             job_id=request.job_id,
             status=JobStatus.REJECTED,
-            error=f"rejected: {reason}",
+            error=f"rejected: {reason.value}",
+            retry_after_s=retry_after_s,
+        )
+
+    def _reject(
+        self,
+        reason: RejectReason,
+        message: str,
+        retry_after_s: float = 0.0,
+    ) -> None:
+        """Count and raise one admission rejection (reason is the closed
+        :class:`RejectReason` vocabulary, never free-form)."""
+        self._m_rejected.inc(reason=reason.value)
+        raise JobRejected(
+            message, reason=reason.value, retry_after_s=retry_after_s
         )
 
     async def submit(
@@ -308,54 +480,98 @@ class FabricJobService:
     ) -> "asyncio.Future[JobResult]":
         """Queue a job; returns a future resolving to its JobResult.
 
-        Admission control: a stopped or draining service rejects
-        outright; a full queue rejects unless ``wait=True``, in which
-        case the caller is backpressured until space frees up (or the
-        service starts draining).
+        Admission control, in order: a stopped or draining service
+        rejects outright; the load shedder (when configured) rejects
+        probabilistically once queue delay runs past its target (the
+        raised :class:`~repro.errors.JobRejected` carries a
+        ``retry_after_s`` back-off hint); a full queue rejects unless
+        ``wait=True``, in which case the caller is backpressured until
+        space frees up (or the service starts draining).
+
+        With a journal, the SUBMITTED record is on disk *before* the
+        future is returned — that is the write-ahead acknowledgment
+        contract — and resubmitting the job id of an already-finished
+        journaled job returns its recorded (deduplicated) result
+        immediately, without re-execution.
         """
         if not self._running or self._draining:
-            reason = "draining" if self._draining else "stopped"
-            self._m_rejected.inc(reason=reason)
-            raise JobRejected(f"service is {reason}")
+            reason = (
+                RejectReason.DRAINING if self._draining else RejectReason.STOPPED
+            )
+            self._reject(reason, f"service is {reason.value}")
+        loop = asyncio.get_running_loop()
+        if request.job_id in self.recovered_results:
+            future: asyncio.Future = loop.create_future()
+            future.set_result(self.recovered_results[request.job_id])
+            return future
+        if request.job_id in self.recovered_futures:
+            return self.recovered_futures[request.job_id]
+        if self.shedder is not None:
+            decision = self.shedder.decide(len(self._queue))
+            self._m_shed_probability.set(decision.shed_probability)
+            if not decision.admit:
+                reason = (
+                    RejectReason.ADMISSION_CAP
+                    if decision.reason == "admission_cap"
+                    else RejectReason.SHED
+                )
+                self._reject(
+                    reason,
+                    f"overloaded (queue delay EWMA "
+                    f"{self.shedder.ewma_s:.3f}s, shed p="
+                    f"{decision.shed_probability:.2f})",
+                    retry_after_s=decision.retry_after_s,
+                )
         assert self._queue_changed is not None
         async with self._queue_changed:
             if len(self._queue) >= self.max_queue:
                 if not wait:
-                    self._m_rejected.inc(reason="queue_full")
-                    raise JobRejected(
-                        f"queue full ({self.max_queue} jobs waiting)"
+                    self._reject(
+                        RejectReason.QUEUE_FULL,
+                        f"queue full ({self.max_queue} jobs waiting)",
                     )
                 await self._queue_changed.wait_for(
                     lambda: len(self._queue) < self.max_queue
                     or self._draining
                 )
                 if self._draining:
-                    self._m_rejected.inc(reason="draining")
-                    raise JobRejected("service is draining")
-            future: asyncio.Future = asyncio.get_running_loop().create_future()
+                    self._reject(RejectReason.DRAINING, "service is draining")
+            self._journal_append(
+                "SUBMITTED", lambda: self._journal_submitted(request)
+            )
+            future = loop.create_future()
             self._queue.append(_Pending(request, future))
             self._m_submitted.inc(kind=request.spec.kind.value)
             self._m_queue_depth.set(len(self._queue))
             self._queue_changed.notify_all()
         return future
 
+    def _journal_submitted(self, request: JobRequest) -> None:
+        from repro.serve.durability.records import encode_request
+
+        self.journal.submitted(request.job_id, encode_request(request))
+
     async def submit_and_wait(
         self, request: JobRequest, *, wait: bool = False
     ) -> JobResult:
         """Submit and await the terminal result.
 
-        Admission rejections come back as ``REJECTED`` results rather
-        than exceptions — convenient for fire-hose clients.
+        Admission rejections come back as structured ``REJECTED``
+        results (``error="rejected: <reason>"`` with the shedder's
+        ``retry_after_s`` hint) rather than exceptions — convenient for
+        fire-hose clients.
         """
         try:
             future = await self.submit(request, wait=wait)
         except JobRejected as exc:
-            result = JobResult(
+            return JobResult(
                 job_id=request.job_id,
                 status=JobStatus.REJECTED,
-                error=str(exc),
+                error=(
+                    f"rejected: {exc.reason}" if exc.reason else str(exc)
+                ),
+                retry_after_s=exc.retry_after_s,
             )
-            return result
         return await future
 
     # ------------------------------------------------------------------
@@ -392,9 +608,22 @@ class FabricJobService:
         assert self._queue_changed is not None
         async with self._queue_changed:
             # A quarantined worker idles here until readmit() notifies.
-            await self._queue_changed.wait_for(
-                lambda: bool(self._queue) and worker.available
-            )
+            # A worker with a breaker must *poll*: an open breaker
+            # re-admits by time alone (cooldown elapse), which produces
+            # no condition notification.
+            if worker.breaker is None:
+                await self._queue_changed.wait_for(
+                    lambda: bool(self._queue) and worker.available
+                )
+            else:
+                while not (self._queue and worker.available):
+                    try:
+                        await asyncio.wait_for(
+                            self._queue_changed.wait(),
+                            timeout=self.breaker_poll_s,
+                        )
+                    except asyncio.TimeoutError:
+                        pass
             index = self.policy.select(
                 [p.request for p in self._queue], worker
             )
@@ -414,7 +643,9 @@ class FabricJobService:
                 except asyncio.CancelledError:
                     if not pending.future.done():
                         pending.future.set_result(
-                            self._rejection(pending.request, "shutdown")
+                            self._rejection(
+                                pending.request, RejectReason.SHUTDOWN
+                            )
                         )
                     raise
                 except Exception as exc:  # defensive: never kill the loop
@@ -449,7 +680,12 @@ class FabricJobService:
         dispatch_time = time.monotonic()
         queue_wait = dispatch_time - pending.enqueued_at
         self._m_wait.observe(queue_wait)
+        if self.shedder is not None:
+            self.shedder.observe(queue_wait)
+            self._m_queue_delay_ewma.set(self.shedder.ewma_s)
+            self._m_shed_probability.set(self.shedder.shed_probability())
 
+        progress = self._progress_hook(request)
         loop = asyncio.get_running_loop()
         assert self._executor is not None
         attempts = 0
@@ -458,11 +694,18 @@ class FabricJobService:
         timed_out = False
         while True:
             attempts += 1
+            self._journal_append(
+                "DISPATCHED",
+                lambda: self.journal.dispatched(
+                    request.job_id,
+                    {"worker": worker.id, "attempt": attempts},
+                ),
+            )
             cancel = CancelToken()
             self._active_cancels.add(cancel)
             attempt_start = time.monotonic()
             run_future = loop.run_in_executor(
-                self._executor, worker.execute, request, cancel
+                self._executor, worker.execute, request, cancel, progress
             )
             timed_out = False
             run: WorkerRun | None = None
@@ -493,6 +736,20 @@ class FabricJobService:
                 self._m_serve.observe(serve_wall)
                 self._account_success(worker, request, run)
                 self._m_completed.inc(kind=kind, status=JobStatus.DONE.value)
+                self._journal_append(
+                    "DONE",
+                    lambda: self.journal.done(
+                        request.job_id,
+                        {
+                            "status": JobStatus.DONE.value,
+                            "worker": worker.id,
+                            "attempts": attempts,
+                            "warm": run.warm,
+                            "sim_ns": run.stats.sim_ns,
+                            "reconfig_ns": run.stats.reconfig_ns,
+                        },
+                    ),
+                )
                 return JobResult(
                     job_id=request.job_id,
                     status=JobStatus.DONE,
@@ -505,15 +762,36 @@ class FabricJobService:
                     sim_ns=run.stats.sim_ns,
                     reconfig_ns=run.stats.reconfig_ns,
                     reconfig_saved_ns=run.reconfig_saved_ns,
+                    resumed_slices=run.resumed_slices,
                 )
             if not worker.available:
-                # The fabric just quarantined itself (repeated failures
-                # or an unrepairable fault).  Hand the job to a healthy
-                # fabric if one exists; this attempt does not count
-                # against the job's retry budget — the fabric failed,
-                # not the job.
+                # The fabric just took itself out of rotation: either it
+                # quarantined (repeated failures / unrepairable fault) or
+                # its circuit breaker tripped open.  Hand the job to
+                # another fabric when the pool can still recover.  A
+                # quarantine-requeue is free (the fabric failed, not the
+                # job); a breaker-requeue charges the attempts already
+                # made against the retry budget, so a poison job cannot
+                # ping-pong between fabrics forever.
                 self._update_health_metrics()
-                if self.pool.available_workers():
+                breaker_only = worker.breaker_open
+                budget_left = request.max_retries - attempts
+                if self.pool.recoverable() and (
+                    not breaker_only or budget_left >= 0
+                ):
+                    if breaker_only:
+                        request.max_retries = budget_left
+                        self._journal_append(
+                            "RETRY",
+                            lambda: self.journal.retry(
+                                request.job_id,
+                                {
+                                    "attempt": attempts,
+                                    "error": last_error,
+                                    "breaker": worker.id,
+                                },
+                            ),
+                        )
                     assert self._queue_changed is not None
                     async with self._queue_changed:
                         self._queue.insert(0, pending)
@@ -521,18 +799,31 @@ class FabricJobService:
                         self._m_queue_depth.set(len(self._queue))
                         self._queue_changed.notify_all()
                     return None
-                # Every fabric is out of rotation: fail fast rather than
-                # strand the job (and deadlock drain()).
-                self._m_completed.inc(
-                    kind=kind, status=JobStatus.FAILED.value
+                # Every fabric is out of rotation for good (or the
+                # breaker-requeue budget is spent): fail fast rather
+                # than strand the job (and deadlock drain()).
+                if breaker_only:
+                    status = (
+                        JobStatus.TIMEOUT if timed_out else JobStatus.FAILED
+                    )
+                    error = (
+                        f"{last_error}; worker {worker.id} breaker open "
+                        "and retry budget exhausted"
+                    )
+                else:
+                    status = JobStatus.FAILED
+                    error = (
+                        f"{last_error}; worker {worker.id} quarantined and "
+                        "no healthy fabric remains"
+                    )
+                self._m_completed.inc(kind=kind, status=status.value)
+                self._journal_done_failure(
+                    request, status, error, worker.id, attempts
                 )
                 return JobResult(
                     job_id=request.job_id,
-                    status=JobStatus.FAILED,
-                    error=(
-                        f"{last_error}; worker {worker.id} quarantined and "
-                        "no healthy fabric remains"
-                    ),
+                    status=status,
+                    error=error,
                     worker_id=worker.id,
                     attempts=attempts,
                     queue_wait_s=queue_wait,
@@ -541,6 +832,9 @@ class FabricJobService:
             if attempts > request.max_retries:
                 status = JobStatus.TIMEOUT if timed_out else JobStatus.FAILED
                 self._m_completed.inc(kind=kind, status=status.value)
+                self._journal_done_failure(
+                    request, status, last_error, worker.id, attempts
+                )
                 return JobResult(
                     job_id=request.job_id,
                     status=status,
@@ -551,8 +845,70 @@ class FabricJobService:
                     serve_s=serve_wall,
                 )
             self._m_retries.inc(kind=kind)
+            self._journal_append(
+                "RETRY",
+                lambda: self.journal.retry(
+                    request.job_id,
+                    {"attempt": attempts, "error": last_error},
+                ),
+            )
             await asyncio.sleep(min(backoff, self.retry_backoff_cap_s))
             backoff *= 2
+
+    def _journal_done_failure(
+        self,
+        request: JobRequest,
+        status: JobStatus,
+        error: str,
+        worker_id: str,
+        attempts: int,
+    ) -> None:
+        self._journal_append(
+            "DONE",
+            lambda: self.journal.done(
+                request.job_id,
+                {
+                    "status": status.value,
+                    "error": error,
+                    "worker": worker_id,
+                    "attempts": attempts,
+                },
+            ),
+        )
+
+    def _progress_hook(self, request: JobRequest):
+        """Build the per-slice checkpoint/journal hook for one job.
+
+        Returns ``None`` (no hook, zero overhead) unless a journal is
+        configured and epoch journaling is enabled.  The hook runs on
+        the executor thread, between fabric epochs: every
+        ``checkpoint_every_slices`` slices it writes a fabric checkpoint
+        sidecar and journals an EPOCH_PROGRESS record pointing at it.
+        """
+        if self.journal is None or self.checkpoint_every_slices <= 0:
+            return None
+        from repro.serve.durability.resume import (
+            checkpoint_dir,
+            write_checkpoint,
+        )
+
+        every = self.checkpoint_every_slices
+        directory = checkpoint_dir(self.journal.directory)
+        job_id = request.job_id
+
+        def hook(slice_index: int, rtms) -> None:
+            if slice_index % every != 0:
+                return
+            path, crc = write_checkpoint(directory, job_id, slice_index, rtms)
+            self._journal_append(
+                "EPOCH_PROGRESS",
+                lambda: self.journal.epoch_progress(
+                    job_id,
+                    {"slice": slice_index, "checkpoint": path, "crc": crc},
+                ),
+            )
+
+        return hook
 
     def _account_success(
         self, worker, request: JobRequest, run: WorkerRun

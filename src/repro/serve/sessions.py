@@ -117,6 +117,12 @@ class _BaseSession:
         self.config_key = spec.config_key
         self.link_cost_ns = link_cost_ns
         self.jobs_run = 0
+        #: Optional per-slice hook ``progress(completed_slices, rtms)``,
+        #: set by the durability layer to journal epoch progress (and
+        #: write fabric checkpoints) between slices.  Exceptions from
+        #: the hook propagate — a journaling failure must not be
+        #: silently swallowed mid-job.
+        self.progress: Callable[[int, RuntimeManager], None] | None = None
 
     def _execute_sliced(
         self,
@@ -124,11 +130,15 @@ class _BaseSession:
         epochs: list[EpochSpec],
         cancel: CancelToken,
         stats: SessionStats,
+        *,
+        start_slice: int = 0,
     ) -> None:
-        for epoch in epochs:
+        for offset, epoch in enumerate(epochs):
             cancel.check()
             rtms.execute([epoch])
             stats.slices += 1
+            if self.progress is not None:
+                self.progress(start_slice + offset + 1, rtms)
 
 
 class FFTSession(_BaseSession):
@@ -161,6 +171,52 @@ class FFTSession(_BaseSession):
         busy_before = self.rtms.icap.total_busy_ns
         epochs = self.artifact.bind(x, tag=f"j{self.jobs_run}_")
         self._execute_sliced(self.rtms, epochs, cancel, stats)
+        stats.output = self.fft.read_output(self.mesh)
+        stats.sim_ns = self.rtms.now_ns - start_ns
+        stats.reconfig_ns = self.rtms.icap.total_busy_ns - busy_before
+        self.jobs_run += 1
+        return stats
+
+    def run_resumed(
+        self,
+        payload: Any,
+        cancel: CancelToken,
+        from_slice: int,
+        checkpoint,
+    ) -> SessionStats:
+        """Resume a transform from a journaled epoch checkpoint.
+
+        Restores ``checkpoint`` (a
+        :class:`~repro.fabric.rtms.FabricCheckpoint`, typically
+        unpickled from a restart's journal sidecar) into this fresh
+        session's mesh, re-keys the restored residency tables onto this
+        process's artifact programs (see
+        :func:`repro.serve.durability.resume.rekey_residency`), then
+        executes only epochs ``from_slice..end``.  The produced output
+        and final data memories are bit-identical to an uninterrupted
+        run of the same payload; ``stats.slices`` counts only the
+        slices actually executed here.
+        """
+        from repro.serve.durability.resume import rekey_residency
+
+        x = np.asarray(payload, dtype=np.complex128)
+        stats = SessionStats()
+        self.rtms.restore(checkpoint)
+        rekey_residency(self.mesh, self.artifact.programs)
+        start_ns = self.rtms.now_ns
+        busy_before = self.rtms.icap.total_busy_ns
+        epochs = self.artifact.bind(x, tag=f"j{self.jobs_run}_")
+        if not 0 <= from_slice <= len(epochs):
+            raise ServeError(
+                f"resume slice {from_slice} outside 0..{len(epochs)}"
+            )
+        self._execute_sliced(
+            self.rtms,
+            epochs[from_slice:],
+            cancel,
+            stats,
+            start_slice=from_slice,
+        )
         stats.output = self.fft.read_output(self.mesh)
         stats.sim_ns = self.rtms.now_ns - start_ns
         stats.reconfig_ns = self.rtms.icap.total_busy_ns - busy_before

@@ -1,0 +1,149 @@
+"""Adaptive load shedding: queue-delay EWMA -> probabilistic rejection.
+
+Under sustained overload a bounded queue alone fails ugly: every job
+admitted near the cap waits the *whole* queue's worth of delay, p99
+latency runs away, and by the time ``queue_full`` rejections start the
+damage is done.  The shedder fails pretty instead: it tracks an EWMA of
+observed queue delay and, once that exceeds a target, rejects a
+*fraction* of new work proportional to the overshoot — so the queue
+settles around the delay target rather than around the size cap, and
+every rejected client gets a ``retry_after_s`` hint sized to the current
+backlog instead of a blind error.
+
+Two layers, in order:
+
+1. **hard admission cap** — queue depth at ``hard_cap`` rejects
+   outright (``admission_cap``), the backstop the EWMA cannot race;
+2. **probabilistic shedding** — shed probability ramps linearly from 0
+   at ``target_delay_s`` to ``max_shed`` at ``collapse_delay_s``
+   (seeded RNG: a given trace sheds the same jobs every run).
+
+The shedder is wall-clock-free: callers feed it delays they measured
+(real seconds in the asyncio service, simulated seconds in the
+deterministic engine), so it behaves identically in both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+__all__ = ["ShedDecision", "LoadShedder"]
+
+
+@dataclass(frozen=True)
+class ShedDecision:
+    """The verdict on one admission attempt."""
+
+    admit: bool
+    reason: str = ""           #: "shed" | "admission_cap" | "" (admitted)
+    shed_probability: float = 0.0
+    retry_after_s: float = 0.0
+
+
+class LoadShedder:
+    """Queue-delay EWMA with probabilistic rejection.
+
+    Parameters
+    ----------
+    target_delay_s:
+        Queue delay the service wants to hold; below it nothing sheds.
+    collapse_delay_s:
+        Delay at which shedding saturates at ``max_shed`` (must exceed
+        the target).
+    ewma_alpha:
+        Smoothing factor of the delay EWMA (1.0 = last sample only).
+    max_shed:
+        Ceiling on the shed probability (keep < 1.0 so some traffic
+        always lands and the EWMA keeps getting samples).
+    hard_cap:
+        Queue depth rejected unconditionally (0 disables the cap).
+    seed:
+        Seed of the shedding RNG — deterministic replay is a feature.
+    """
+
+    def __init__(
+        self,
+        *,
+        target_delay_s: float = 0.5,
+        collapse_delay_s: float = 2.0,
+        ewma_alpha: float = 0.2,
+        max_shed: float = 0.95,
+        hard_cap: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if target_delay_s <= 0:
+            raise ServeError(
+                f"target_delay_s must be positive, got {target_delay_s}"
+            )
+        if collapse_delay_s <= target_delay_s:
+            raise ServeError(
+                f"collapse_delay_s ({collapse_delay_s}) must exceed "
+                f"target_delay_s ({target_delay_s})"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ServeError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if not 0.0 < max_shed < 1.0:
+            raise ServeError(f"max_shed must be in (0, 1), got {max_shed}")
+        if hard_cap < 0:
+            raise ServeError(f"hard_cap must be >= 0, got {hard_cap}")
+        self.target_delay_s = target_delay_s
+        self.collapse_delay_s = collapse_delay_s
+        self.ewma_alpha = ewma_alpha
+        self.max_shed = max_shed
+        self.hard_cap = hard_cap
+        self._rng = random.Random(seed)
+        self.ewma_s = 0.0
+        self.samples = 0
+        self.shed_total = 0
+        self.capped_total = 0
+        self.admitted_total = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(self, delay_s: float) -> None:
+        """Feed one measured queue delay (submit -> dispatch)."""
+        if delay_s < 0:
+            delay_s = 0.0
+        if self.samples == 0:
+            self.ewma_s = delay_s
+        else:
+            self.ewma_s += self.ewma_alpha * (delay_s - self.ewma_s)
+        self.samples += 1
+
+    def shed_probability(self) -> float:
+        """Current probability an admission attempt is shed."""
+        over = self.ewma_s - self.target_delay_s
+        if over <= 0:
+            return 0.0
+        span = self.collapse_delay_s - self.target_delay_s
+        return min(self.max_shed, self.max_shed * over / span)
+
+    def retry_after_s(self) -> float:
+        """Back-off hint: roughly when the backlog should have drained
+        to target (never less than the target itself)."""
+        return max(self.target_delay_s, 2.0 * self.ewma_s)
+
+    def decide(self, queue_depth: int) -> ShedDecision:
+        """Admission verdict for one submit at the given queue depth."""
+        if self.hard_cap and queue_depth >= self.hard_cap:
+            self.capped_total += 1
+            return ShedDecision(
+                admit=False,
+                reason="admission_cap",
+                shed_probability=1.0,
+                retry_after_s=self.retry_after_s(),
+            )
+        p = self.shed_probability()
+        if p > 0.0 and self._rng.random() < p:
+            self.shed_total += 1
+            return ShedDecision(
+                admit=False,
+                reason="shed",
+                shed_probability=p,
+                retry_after_s=self.retry_after_s(),
+            )
+        self.admitted_total += 1
+        return ShedDecision(admit=True, shed_probability=p)

@@ -1,0 +1,119 @@
+"""Crash-point registry, fault controller, guarded writes."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+import repro.compile.cache  # noqa: F401  (registers cache.* crash points)
+import repro.serve.durability.journal  # noqa: F401  (journal.* points)
+import repro.serve.durability.resume  # noqa: F401  (checkpoint.write)
+from repro.chaos.crashpoints import (
+    FaultSpec,
+    SimulatedCrash,
+    armed,
+    crashpoint,
+    guarded_write,
+    register_crashpoint,
+    registered_crashpoints,
+)
+from repro.errors import ChaosError
+
+#: Every instrumented site the durable modules register at import time.
+EXPECTED_POINTS = {
+    "journal.append",
+    "journal.append.after",
+    "journal.fsync",
+    "journal.rotate",
+    "journal.compact.write",
+    "journal.compact.swap",
+    "checkpoint.write",
+    "cache.payload.write",
+    "cache.index.write",
+}
+
+
+class TestRegistry:
+    def test_all_instrumented_sites_are_registered(self):
+        assert EXPECTED_POINTS <= set(registered_crashpoints())
+
+    def test_registration_is_idempotent(self):
+        before = registered_crashpoints()
+        assert register_crashpoint("journal.append") == "journal.append"
+        assert registered_crashpoints() == before
+
+
+class TestController:
+    def test_unarmed_crashpoints_are_free(self):
+        crashpoint("journal.append")  # no controller: no-op
+
+    def test_crash_fires_at_the_exact_hit(self):
+        with armed(FaultSpec("p", action="crash", hit=3)) as controller:
+            crashpoint("p")
+            crashpoint("p")
+            with pytest.raises(SimulatedCrash) as info:
+                crashpoint("p")
+            crashpoint("p")  # fired specs never re-fire
+        assert info.value.point == "p" and info.value.hit == 3
+        assert controller.visits["p"] == 4
+        assert len(controller.fired) == 1
+
+    def test_oserror_action_is_catchable(self):
+        with armed(FaultSpec("p", action="oserror")):
+            with pytest.raises(OSError, match="injected"):
+                crashpoint("p")
+
+    def test_simulated_crash_pierces_except_exception(self):
+        with armed(FaultSpec("p", action="crash")):
+            with pytest.raises(SimulatedCrash):
+                try:
+                    crashpoint("p")
+                except Exception:  # the defensive block a kill ignores
+                    pytest.fail("SimulatedCrash must not be an Exception")
+
+    def test_nested_arming_rejected(self):
+        with armed():
+            with pytest.raises(ChaosError, match="already armed"):
+                with armed():
+                    pass
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"action": "explode"},
+            {"hit": 0},
+            {"torn_fraction": 1.5},
+        ],
+    )
+    def test_fault_spec_validation(self, kwargs):
+        with pytest.raises(ChaosError):
+            FaultSpec("p", **kwargs)
+
+
+class TestGuardedWrite:
+    def test_plain_write_when_unarmed(self):
+        sink = io.BytesIO()
+        guarded_write(sink, b"abcdef", "w")
+        assert sink.getvalue() == b"abcdef"
+
+    def test_torn_write_keeps_the_fraction_then_dies(self):
+        sink = io.BytesIO()
+        with armed(FaultSpec("w", action="torn", torn_fraction=0.5)):
+            with pytest.raises(SimulatedCrash):
+                guarded_write(sink, b"abcdef", "w")
+        assert sink.getvalue() == b"abc"
+
+    def test_torn_fraction_zero_writes_nothing(self):
+        sink = io.BytesIO()
+        with armed(FaultSpec("w", action="torn", torn_fraction=0.0)):
+            with pytest.raises(SimulatedCrash):
+                guarded_write(sink, b"abcdef", "w")
+        assert sink.getvalue() == b""
+
+    def test_oserror_writes_nothing(self):
+        sink = io.BytesIO()
+        with armed(FaultSpec("w", action="oserror")):
+            with pytest.raises(OSError):
+                guarded_write(sink, b"abcdef", "w")
+        assert sink.getvalue() == b""

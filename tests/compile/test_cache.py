@@ -32,7 +32,8 @@ class TestStats:
     def test_as_dict_schema(self):
         keys = set(CacheStats().as_dict())
         assert keys == {"hits", "misses", "disk_hits", "lowers",
-                        "evictions", "requests", "hit_rate"}
+                        "evictions", "corrupt_quarantined",
+                        "requests", "hit_rate"}
 
 
 class TestMemoryCache:
@@ -140,3 +141,61 @@ class TestDiskTier:
         path.write_bytes(pickle.dumps({"not": "an artifact"}))
         with pytest.raises(CompileError, match="not a CompiledArtifact"):
             cache._disk_load("2" * 64)
+
+
+class TestDiskHardening:
+    """ISSUE 5 satellites: quarantine, fsync publishes, index locking,
+    torn-write crash points."""
+
+    def test_corrupt_artifact_is_quarantined_not_fatal(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        artifact = compile_jpeg(75, cache=cache)
+        path = tmp_path / f"{artifact.artifact_hash}.artifact"
+        path.write_bytes(b"rotted bytes")
+        cache._store.clear()  # force the disk tier
+
+        revived = compile_jpeg(75, cache=cache)  # falls back to compile
+        assert revived.artifact_hash == artifact.artifact_hash
+        assert cache.stats.corrupt_quarantined == 1
+        moved = tmp_path / "corrupt" / path.name
+        assert moved.read_bytes() == b"rotted bytes"
+        # The fresh compile re-published a good copy under the old name.
+        assert path.exists() and path.read_bytes() != b"rotted bytes"
+
+    def test_lookup_reports_quarantined_entry_as_miss(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        artifact = compile_jpeg(75, cache=cache)
+        path = tmp_path / f"{artifact.artifact_hash}.artifact"
+        path.write_bytes(b"rotted bytes")
+        cache._store.clear()
+        assert cache.lookup(artifact.artifact_hash) is None
+        assert cache.stats.corrupt_quarantined == 1
+
+    def test_fsync_publish_round_trips(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path, fsync=True)
+        artifact = compile_jpeg(75, cache=cache)
+        second = ArtifactCache(disk_dir=tmp_path)
+        revived = compile_jpeg(75, cache=second)
+        assert revived.artifact_hash == artifact.artifact_hash
+        assert second.stats.disk_hits == 1
+
+    def test_index_rewrites_take_the_file_lock(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        compile_jpeg(75, cache=cache)
+        assert (tmp_path / "index.lock").exists()
+
+    def test_torn_payload_write_publishes_nothing(self, tmp_path):
+        from repro.chaos.crashpoints import FaultSpec, SimulatedCrash, armed
+
+        cache = ArtifactCache(disk_dir=tmp_path)
+        with armed(FaultSpec("cache.payload.write", action="torn",
+                             torn_fraction=0.5)):
+            with pytest.raises(SimulatedCrash):
+                compile_jpeg(75, cache=cache)
+        # The atomic publish never happened: no visible artifact, only
+        # the torn tmp file a restart can ignore.
+        assert list(tmp_path.glob("*.artifact")) == []
+
+        fresh = ArtifactCache(disk_dir=tmp_path)
+        artifact = compile_jpeg(75, cache=fresh)
+        assert artifact.artifact_hash

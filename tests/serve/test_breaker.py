@@ -1,0 +1,198 @@
+"""Circuit breaker state machine, driven by an injected fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.pool import FabricPool
+
+from tests.serve.fakes import fake_factory
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make(clock=None, **kwargs):
+    kwargs.setdefault("failure_threshold", 2)
+    kwargs.setdefault("cooldown_s", 1.0)
+    kwargs.setdefault("cooldown_cap_s", 8.0)
+    return CircuitBreaker(clock=clock or FakeClock(), **kwargs)
+
+
+class TestTripping:
+    def test_closed_until_threshold(self):
+        breaker = make()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.admits()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.admits()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_dispatch_raises(self):
+        breaker = make()
+        breaker.record_failure()
+        breaker.record_failure()
+        with pytest.raises(ServeError, match="open circuit breaker"):
+            breaker.on_dispatch()
+
+
+class TestHalfOpen:
+    def test_cooldown_elapses_into_half_open(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(0.99)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.02)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.admits()
+
+    def test_probe_budget_is_bounded(self):
+        clock = FakeClock()
+        breaker = make(clock, half_open_probes=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.on_dispatch() is True  # the probe
+        assert not breaker.admits()  # budget spent
+        with pytest.raises(ServeError, match="probe budget"):
+            breaker.on_dispatch()
+
+    def test_probe_success_closes_and_resets_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.on_dispatch()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.closes == 1
+        # Cooldown is back at base after a clean close.
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_failure_reopens_with_doubled_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.on_dispatch()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(1.5)
+        assert breaker.state is BreakerState.OPEN  # doubled to 2.0
+        clock.advance(0.6)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_cooldown_growth_is_capped(self):
+        clock = FakeClock()
+        breaker = make(clock, cooldown_s=1.0, cooldown_cap_s=4.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(5):  # repeated probe failures: 2, 4, 4, 4, ...
+            clock.advance(100.0)
+            assert breaker.state is BreakerState.HALF_OPEN
+            breaker.on_dispatch()
+            breaker.record_failure()
+        clock.advance(3.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_cancelled_probe_releases_the_slot_without_closing(self):
+        clock = FakeClock()
+        breaker = make(clock, half_open_probes=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.on_dispatch()
+        breaker.record_cancelled()
+        assert breaker.state is BreakerState.HALF_OPEN  # not closed
+        assert breaker.admits()  # but the next probe may run
+
+
+class TestMiscellany:
+    def test_reset_force_closes(self):
+        breaker = make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.admits()
+
+    def test_state_codes_are_dense(self):
+        assert BreakerState.CLOSED.code == 0
+        assert BreakerState.HALF_OPEN.code == 1
+        assert BreakerState.OPEN.code == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"cooldown_s": 0.0},
+            {"cooldown_s": 2.0, "cooldown_cap_s": 1.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ServeError):
+            CircuitBreaker(**kwargs)
+
+
+class TestPoolWiring:
+    def test_breaker_factory_gives_each_worker_its_own(self):
+        clock = FakeClock()
+        pool = FabricPool(
+            2,
+            fake_factory(),
+            breaker_factory=lambda: make(clock),
+        )
+        a, b = pool.workers
+        assert a.breaker is not None and b.breaker is not None
+        assert a.breaker is not b.breaker
+
+    def test_open_breaker_removes_worker_from_rotation(self):
+        clock = FakeClock()
+        pool = FabricPool(
+            2, fake_factory(), breaker_factory=lambda: make(clock)
+        )
+        worker = pool.workers[0]
+        worker.breaker.record_failure()
+        worker.breaker.record_failure()
+        assert not worker.available
+        assert worker.breaker_open
+        assert worker not in pool.available_workers()
+        assert pool.breaker_open_workers() == [worker]
+        # Breaker-open is softer than quarantine.
+        assert worker not in pool.quarantined_workers()
+        clock.advance(1.0)
+        assert worker.available  # half-open probe slot
+
+    def test_no_factory_means_no_breakers(self):
+        pool = FabricPool(1, fake_factory())
+        assert pool.workers[0].breaker is None
+        assert pool.workers[0].available

@@ -1,0 +1,241 @@
+"""Journal replay, engine recovery and service restart.
+
+The replay fold is tested directly (idempotency, DONE-wins monotony,
+seq dedup), then through the sequential :class:`DurableEngine`
+(construction = recovery: result dedup, requeue, epoch resume), and
+finally through the asyncio :class:`FabricJobService` (restart replays
+the journal the same way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.serve.durability.engine import DurableEngine
+from repro.serve.durability.journal import FsyncPolicy, JobJournal
+from repro.serve.durability.records import JournalRecord, RecordType, encode_request
+from repro.serve.durability.recovery import replay
+from repro.serve.jobs import JobRequest, JobStatus, fft_spec, jpeg_spec
+from repro.serve.service import FabricJobService
+
+from tests.serve.fakes import fake_factory
+
+
+def _fft_request(job_id="job-0", n=16, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    return JobRequest(
+        spec=fft_spec(n, 4, 2),
+        payload=rng.standard_normal(n) + 1j * rng.standard_normal(n),
+        job_id=job_id,
+        **kwargs,
+    )
+
+
+def _record(type_, job_id, data=None, seq=0):
+    return JournalRecord(type=type_, job_id=job_id, data=data or {}, seq=seq)
+
+
+class TestReplayFold:
+    def test_lifecycle_counting(self):
+        request = _fft_request("a")
+        records = [
+            _record(RecordType.SUBMITTED, "a", encode_request(request), 1),
+            _record(RecordType.DISPATCHED, "a", {"worker": "f0"}, 2),
+            _record(RecordType.RETRY, "a", {"attempt": 1}, 3),
+            _record(RecordType.DISPATCHED, "a", {"worker": "f1"}, 4),
+            _record(RecordType.DONE, "a", {"status": "done"}, 5),
+        ]
+        state = replay(records)
+        job = state.jobs["a"]
+        assert job.finished
+        assert job.dispatches == 2
+        assert job.retries == 1
+        assert job.last_worker == "f1"
+        assert state.finished_jobs() == [job]
+        assert state.unfinished_jobs() == []
+
+    def test_seq_dedup_makes_compaction_duplicates_harmless(self):
+        records = [
+            _record(RecordType.SUBMITTED, "a", {}, 1),
+            _record(RecordType.DISPATCHED, "a", {"worker": "f0"}, 2),
+        ]
+        doubled = records + [
+            _record(r.type, r.job_id, dict(r.data), r.seq) for r in records
+        ]
+        assert replay(doubled).jobs["a"].dispatches == 1
+
+    def test_done_wins_and_first_done_sticks(self):
+        records = [
+            _record(RecordType.SUBMITTED, "a", {}, 1),
+            _record(RecordType.DONE, "a", {"status": "done"}, 2),
+            _record(RecordType.DONE, "a", {"status": "failed"}, 3),
+        ]
+        assert replay(records).jobs["a"].done == {"status": "done"}
+
+    def test_progress_only_advances(self):
+        records = [
+            _record(RecordType.EPOCH_PROGRESS, "a",
+                    {"slice": 4, "checkpoint": "x", "crc": 1}, 1),
+            _record(RecordType.EPOCH_PROGRESS, "a",
+                    {"slice": 2, "checkpoint": "y", "crc": 2}, 2),
+        ]
+        job = replay(records).jobs["a"]
+        assert job.progress_slice == 4
+        assert job.checkpoint_path == "x"
+
+    def test_unsubmitted_jobs_are_not_requeued(self):
+        # A DISPATCHED with no SUBMITTED (its segment was corrupt):
+        # nothing to requeue from, and nothing to lose — the job was
+        # never acknowledged.
+        records = [_record(RecordType.DISPATCHED, "ghost", {}, 1)]
+        state = replay(records)
+        assert state.unfinished_jobs() == []
+        assert state.recovered_requests() == []
+
+    def test_resume_requires_verified_checkpoint(self, tmp_path):
+        request = _fft_request("a")
+        blob = b"checkpoint-bytes"
+        good = tmp_path / "a.ckpt"
+        good.write_bytes(blob)
+        crc = zlib.crc32(blob) & 0xFFFFFFFF
+        base = [
+            _record(RecordType.SUBMITTED, "a", encode_request(request), 1),
+        ]
+        verified = replay(
+            base
+            + [_record(RecordType.EPOCH_PROGRESS, "a",
+                       {"slice": 2, "checkpoint": str(good), "crc": crc}, 2)]
+        ).recovered_requests()
+        assert verified[0].resume_slice == 2
+        assert verified[0].checkpoint_path == str(good)
+
+        bad_crc = replay(
+            base
+            + [_record(RecordType.EPOCH_PROGRESS, "a",
+                       {"slice": 2, "checkpoint": str(good), "crc": crc ^ 1},
+                       2)]
+        ).recovered_requests()
+        assert bad_crc[0].resume_slice == 0  # downgrade to from-scratch
+
+        missing = replay(
+            base
+            + [_record(RecordType.EPOCH_PROGRESS, "a",
+                       {"slice": 2, "checkpoint": str(tmp_path / "nope"),
+                        "crc": crc}, 2)]
+        ).recovered_requests()
+        assert missing[0].resume_slice == 0
+
+
+class TestEngineRecovery:
+    def test_finished_jobs_recover_as_results_not_reruns(self, tmp_path):
+        engine = DurableEngine(tmp_path)
+        engine.submit(_fft_request("a"))
+        engine.submit(
+            JobRequest(spec=jpeg_spec(75, False),
+                       payload=np.zeros((8, 8), dtype=np.int64),
+                       job_id="b")
+        )
+        engine.run()
+        engine.close()
+
+        restarted = DurableEngine(tmp_path)
+        assert restarted.report.recovered_finished == 2
+        assert restarted.queue == []
+        recorded = restarted.submit(_fft_request("a"))  # client resubmit
+        assert recorded is not None
+        assert recorded.recovered
+        assert recorded.status is JobStatus.DONE
+        # The resubmit appended nothing: dedup is journal-free.
+        assert restarted.journal.appended == 0
+        restarted.close()
+
+    def test_unfinished_job_is_requeued_and_completes(self, tmp_path):
+        # Simulate a crash by writing SUBMITTED without running.
+        journal = JobJournal(tmp_path, fsync=FsyncPolicy.NEVER, lock=False)
+        request = _fft_request("lost")
+        journal.submitted("lost", encode_request(request))
+        journal.close()
+
+        engine = DurableEngine(tmp_path)
+        assert engine.report.recovered_requeued == 1
+        report = engine.run()
+        assert report.completed == 1
+        assert engine.results["lost"].status is JobStatus.DONE
+        engine.close()
+
+    def test_recovered_run_is_bit_identical(self, tmp_path):
+        request = _fft_request("x", seed=11)
+        clean = DurableEngine(tmp_path / "clean")
+        clean.submit(_fft_request("x", seed=11))
+        clean.run()
+        want = clean.results["x"].output
+        clean.close()
+
+        journal = JobJournal(
+            tmp_path / "crashed", fsync=FsyncPolicy.NEVER, lock=False
+        )
+        journal.submitted("x", encode_request(request))
+        journal.close()
+        recovered = DurableEngine(tmp_path / "crashed")
+        recovered.run()
+        assert np.array_equal(recovered.results["x"].output, want)
+        recovered.close()
+
+
+class TestServiceRestart:
+    def test_restarted_service_requeues_and_dedups(self, tmp_path):
+        async def first_life():
+            journal = JobJournal(tmp_path, fsync=FsyncPolicy.NEVER)
+            service = FabricJobService(
+                pool_size=1, session_factory=fake_factory(), journal=journal
+            )
+            async with service:
+                done = await (await service.submit(_request("finished-0")))
+            journal.close()
+            return done
+
+        def _request(job_id):
+            # Journaled submissions must carry codec-able payloads.
+            return JobRequest(
+                spec=fft_spec(), payload=[0.5] * 16, job_id=job_id
+            )
+
+        done = asyncio.run(first_life())
+        assert done.status is JobStatus.DONE
+
+        # The process "dies" with one more job acknowledged but not run.
+        journal = JobJournal(tmp_path, fsync=FsyncPolicy.NEVER)
+        journal.submitted(
+            "lost-1",
+            encode_request(
+                JobRequest(spec=fft_spec(), payload=[0.0] * 16,
+                           job_id="lost-1")
+            ),
+        )
+        journal.close()
+
+        async def second_life():
+            journal = JobJournal(tmp_path, fsync=FsyncPolicy.NEVER)
+            service = FabricJobService(
+                pool_size=1, session_factory=fake_factory(), journal=journal
+            )
+            async with service:
+                # The requeued job finishes without any client resubmit.
+                recovered = await service.recovered_futures["lost-1"]
+                # Resubmitting the finished job returns the recorded
+                # result instead of re-executing it.
+                replayed = await (await service.submit(_request("finished-0")))
+            journal.close()
+            return service, recovered, replayed
+
+        service, recovered, replayed = asyncio.run(second_life())
+        assert recovered.status is JobStatus.DONE
+        assert replayed.recovered
+        assert replayed.status is JobStatus.DONE
+        outcomes = service.metrics["serve_recovered_jobs_total"]
+        assert outcomes.value(outcome="finished") == 1
+        assert outcomes.value(outcome="requeued") == 1

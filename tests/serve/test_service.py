@@ -204,7 +204,7 @@ class TestAdmissionControl:
         assert first.status is JobStatus.DONE
         assert second.status is JobStatus.DONE
         assert rejected.status is JobStatus.REJECTED
-        assert "queue full" in rejected.error
+        assert rejected.error == "rejected: queue_full"  # structured reason
         assert service.metrics["serve_jobs_rejected_total"].total >= 1
 
     def test_submit_wait_backpressures_until_space(self):

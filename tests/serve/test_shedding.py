@@ -1,0 +1,111 @@
+"""Adaptive load shedding: EWMA, ramp, hard cap, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.shedding import LoadShedder
+
+
+def make(**kwargs):
+    kwargs.setdefault("target_delay_s", 1.0)
+    kwargs.setdefault("collapse_delay_s", 3.0)
+    kwargs.setdefault("ewma_alpha", 1.0)  # last sample only: easy math
+    return LoadShedder(**kwargs)
+
+
+class TestEwma:
+    def test_first_sample_seeds_the_ewma(self):
+        shedder = make(ewma_alpha=0.5)
+        shedder.observe(4.0)
+        assert shedder.ewma_s == 4.0
+
+    def test_smoothing(self):
+        shedder = make(ewma_alpha=0.5)
+        shedder.observe(4.0)
+        shedder.observe(0.0)
+        assert shedder.ewma_s == pytest.approx(2.0)
+
+    def test_negative_delays_clamp_to_zero(self):
+        shedder = make()
+        shedder.observe(-5.0)
+        assert shedder.ewma_s == 0.0
+
+
+class TestRamp:
+    def test_no_shedding_below_target(self):
+        shedder = make()
+        shedder.observe(0.9)
+        assert shedder.shed_probability() == 0.0
+        for _ in range(100):
+            assert shedder.decide(queue_depth=5).admit
+
+    def test_linear_ramp_between_target_and_collapse(self):
+        shedder = make(max_shed=0.8)
+        shedder.observe(2.0)  # halfway from target (1) to collapse (3)
+        assert shedder.shed_probability() == pytest.approx(0.4)
+
+    def test_saturates_at_max_shed(self):
+        shedder = make(max_shed=0.8)
+        shedder.observe(100.0)
+        assert shedder.shed_probability() == pytest.approx(0.8)
+
+    def test_retry_after_tracks_backlog(self):
+        shedder = make()
+        assert shedder.retry_after_s() == 1.0  # never below target
+        shedder.observe(4.0)
+        assert shedder.retry_after_s() == pytest.approx(8.0)
+
+
+class TestDecide:
+    def test_hard_cap_rejects_unconditionally(self):
+        shedder = make(hard_cap=10)
+        decision = shedder.decide(queue_depth=10)
+        assert not decision.admit
+        assert decision.reason == "admission_cap"
+        assert decision.shed_probability == 1.0
+        assert decision.retry_after_s >= 1.0
+        assert shedder.capped_total == 1
+
+    def test_zero_hard_cap_disables_the_cap(self):
+        shedder = make(hard_cap=0)
+        assert shedder.decide(queue_depth=10_000).admit
+
+    def test_shed_decisions_are_seed_deterministic(self):
+        def trace(seed):
+            shedder = make(seed=seed)
+            shedder.observe(2.0)  # p = 0.475
+            return [shedder.decide(0).admit for _ in range(200)]
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+    def test_shed_fraction_approximates_the_probability(self):
+        shedder = make(seed=0)
+        shedder.observe(2.0)
+        p = shedder.shed_probability()
+        rejected = sum(
+            0 if shedder.decide(0).admit else 1 for _ in range(2000)
+        )
+        assert rejected / 2000 == pytest.approx(p, abs=0.05)
+        assert shedder.shed_total == rejected
+        assert shedder.admitted_total == 2000 - rejected
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_delay_s": 0.0},
+            {"target_delay_s": 2.0, "collapse_delay_s": 2.0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"max_shed": 1.0},
+            {"max_shed": 0.0},
+            {"hard_cap": -1},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ServeError):
+            make(**kwargs)

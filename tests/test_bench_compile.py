@@ -43,7 +43,7 @@ def test_json_schema(entry):
     assert set(entry["acceptance"]) == {"min_speedup", "pass"}
     assert set(entry["cache"]) == {
         "hits", "misses", "disk_hits", "lowers", "evictions",
-        "requests", "hit_rate",
+        "corrupt_quarantined", "requests", "hit_rate",
     }
 
 

@@ -1,0 +1,133 @@
+"""Tier-1 smoke test of the resilience benchmark.
+
+Runs ``benchmarks/bench_resilience.py`` at reduced sizes, checks the
+machine-readable ``BENCH_resilience.json`` schema, and enforces the
+ISSUE's acceptance contract on the committed full-size artifact:
+journal overhead <= 15 % of the simulated makespan on the 200-job
+mixed trace, recovery work linear in journal length, and the load
+shedder holding p99 queue delay well under the naive bounded queue at
+5x overload.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_HARNESS = _ROOT / "benchmarks" / "bench_resilience.py"
+_COMMITTED = _ROOT / "BENCH_resilience.json"
+
+_JOURNAL_KEYS = {
+    "jobs", "seed", "fft_fraction", "records", "bytes", "segments",
+    "rotations", "makespan_ns", "journal_ns", "overhead_pct", "model",
+}
+_RECOVERY_KEYS = {
+    "jobs", "records", "bytes", "segments", "recovered_finished",
+    "recovered_requeued", "replay_ns",
+}
+_POLICY_KEYS = {
+    "policy", "arrivals", "completed", "rejected", "rejected_total",
+    "mean_wait_s", "p50_wait_s", "p99_wait_s",
+}
+
+
+@pytest.fixture(scope="module")
+def bench_resilience():
+    spec = importlib.util.spec_from_file_location(
+        "bench_resilience", _HARNESS
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report(bench_resilience, tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_resilience.json"
+    produced = bench_resilience.run_bench(
+        n_jobs=20,
+        recovery_lengths=(5, 10, 20),
+        n_arrivals=600,
+        output=out,
+    )
+    assert json.loads(out.read_text()) == produced
+    return produced
+
+
+def _check_schema(report):
+    assert set(report) == {"journal", "recovery", "overload"}
+    assert set(report["journal"]) == _JOURNAL_KEYS
+    for point in report["recovery"]:
+        assert set(point) == _RECOVERY_KEYS
+    overload = report["overload"]
+    names = [entry["policy"] for entry in overload["policies"]]
+    assert names == ["shed", "queue_only"]
+    for entry in overload["policies"]:
+        assert set(entry) == _POLICY_KEYS
+        assert entry["completed"] + entry["rejected_total"] == entry["arrivals"]
+        assert set(entry["rejected"]) == {"shed", "admission_cap",
+                                         "queue_full"}
+
+
+def test_reduced_run_schema(report):
+    _check_schema(report)
+
+
+def test_recovery_work_tracks_journal_length(report):
+    points = report["recovery"]
+    assert [p["jobs"] for p in points] == sorted(p["jobs"] for p in points)
+    records = [p["records"] for p in points]
+    assert records == sorted(records)
+    for point in points:
+        # Every completed job recovers as a recorded result, and the
+        # replay never invents work: 3 records per completed job.
+        assert point["recovered_finished"] == point["jobs"]
+        assert point["recovered_requeued"] == 0
+        assert point["records"] == 3 * point["jobs"]
+
+
+def test_shedder_bounds_p99_even_at_reduced_size(report):
+    overload = report["overload"]
+    shed, naive = overload["policies"]
+    assert shed["p99_wait_s"] < naive["p99_wait_s"]
+    assert shed["rejected_total"] > 0  # the shedder did shed
+
+
+class TestCommittedArtifact:
+    @pytest.fixture(scope="class")
+    def committed(self):
+        assert _COMMITTED.is_file(), "BENCH_resilience.json not committed"
+        return json.loads(_COMMITTED.read_text())
+
+    def test_schema(self, committed):
+        _check_schema(committed)
+
+    def test_journal_overhead_bar(self, committed):
+        journal = committed["journal"]
+        assert journal["jobs"] == 200
+        assert journal["overhead_pct"] <= 15.0
+
+    def test_recovery_scaling_is_linear(self, committed):
+        points = committed["recovery"]
+        assert len(points) >= 3
+        ratios = [p["records"] / p["jobs"] for p in points]
+        # Per-job replay work is constant: linear scaling in trace size.
+        assert max(ratios) == min(ratios)
+
+    def test_shed_vs_collapse_bar(self, committed):
+        overload = committed["overload"]
+        assert overload["overload_factor"] == 5.0
+        shed, naive = overload["policies"]
+        assert shed["policy"] == "shed"
+        assert overload["p99_ratio"] >= 2.0
+        assert shed["p99_wait_s"] <= overload["collapse_delay_s"] * 2.0
+
+    def test_no_wall_clock_leaks(self, committed):
+        # Byte-reproducibility: the artifact must not contain any
+        # wall-clock measurement.
+        text = _COMMITTED.read_text()
+        assert "wall_s" not in text
