@@ -22,6 +22,7 @@ repeats.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from pathlib import Path
@@ -47,6 +48,30 @@ def bench_fabric_fft() -> float:
     runner = FabricFFT(FFTPlan(64, 8, 2), link_cost_ns=100.0)
     result = runner.run(x)
     return result.report.total_ns
+
+
+#: Lanes in the batched-FFT regression bench (64 transforms per call).
+BATCH_K = 64
+
+
+def bench_fabric_fft_batch() -> float:
+    """64 transforms through the vector-batched tier in one dispatch.
+
+    Under ``REPRO_REFERENCE_SIM`` the batch tier degrades to sequential
+    scalar lanes on the reference interpreter, so both legs execute the
+    same 64 jobs and the simulated clocks must agree exactly — the
+    sequential-equivalence contract of :mod:`repro.fabric.batch`.
+    """
+    from repro.kernels.fft.decompose import FFTPlan
+    from repro.kernels.fft.runner import FabricFFT
+
+    rng = np.random.default_rng(0)
+    xs = (
+        rng.standard_normal((BATCH_K, 64))
+        + 1j * rng.standard_normal((BATCH_K, 64))
+    ) * 0.01
+    runner = FabricFFT(FFTPlan(64, 8, 2), link_cost_ns=100.0)
+    return runner.run_batch(xs).total_ns
 
 
 def bench_fabric_jpeg() -> float:
@@ -79,9 +104,21 @@ def bench_dse_sweep() -> float:
 
 BENCHES = [
     ("fabric_fft_64pt", bench_fabric_fft),
+    ("fabric_fft_batch64", bench_fabric_fft_batch),
     ("fabric_jpeg_blocks", bench_fabric_jpeg),
     ("dse_link_cost_sweep", bench_dse_sweep),
 ]
+
+#: Minimum fast-vs-reference speedup each bench must hold.  ``main``
+#: (and therefore the CI bench job) fails when a regression drops a
+#: bench below its floor; the committed ``BENCH_fabric.json`` is checked
+#: against the same table by ``tests/test_bench_regress.py``.
+SPEEDUP_FLOORS = {
+    "fabric_fft_64pt": 5.0,
+    "fabric_fft_batch64": 50.0,
+    "fabric_jpeg_blocks": 5.0,
+    "dse_link_cost_sweep": 1.0,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -122,7 +159,17 @@ def run_benches(repeats: int = 3, output: Path | str = DEFAULT_OUTPUT) -> list[d
         _with_engine(False, fn, 1)  # warm imports, caches, and the run memo
         wall_fast, sim_fast = _with_engine(False, fn, repeats)
         wall_ref, sim_ref = _with_engine(True, fn, repeats)
-        if sim_fast != sim_ref:
+        if name == "fabric_fft_batch64":
+            # The batch tier replicates the pilot's per-job delta as one
+            # k*delta product; the sequential reference accumulates the
+            # same delta k times.  Identical mathematically, but float
+            # addition order leaves last-ulp dust on a microsecond-scale
+            # clock — outputs (the real contract) are asserted
+            # bit-identical by tests/fabric/test_batch.py.
+            agree = math.isclose(sim_fast, sim_ref, rel_tol=1e-12)
+        else:
+            agree = sim_fast == sim_ref
+        if not agree:
             raise AssertionError(
                 f"{name}: simulated time diverged between engines "
                 f"(fast {sim_fast} ns vs reference {sim_ref} ns)"
@@ -141,6 +188,19 @@ def run_benches(repeats: int = 3, output: Path | str = DEFAULT_OUTPUT) -> list[d
     return entries
 
 
+def check_floors(entries: list[dict]) -> None:
+    """Raise if any bench regressed below its :data:`SPEEDUP_FLOORS` bar."""
+    failures = [
+        f"{e['bench']}: speedup {e['speedup']:.2f}x "
+        f"< floor {SPEEDUP_FLOORS[e['bench']]:.1f}x"
+        for e in entries
+        if e["bench"] in SPEEDUP_FLOORS
+        and e["speedup"] < SPEEDUP_FLOORS[e["bench"]]
+    ]
+    if failures:
+        raise AssertionError("speedup regression: " + "; ".join(failures))
+
+
 def main() -> None:
     entries = run_benches()
     width = max(len(e["bench"]) for e in entries)
@@ -152,6 +212,7 @@ def main() -> None:
             f"speedup {e['speedup']:5.2f}x  "
             f"simulated {e['simulated_ns'] / 1000:.2f} us"
         )
+    check_floors(entries)
 
 
 if __name__ == "__main__":

@@ -66,6 +66,9 @@ __all__ = [
     "run_to_halt",
     "reference_forced",
     "memo_enabled",
+    "resolve_engine",
+    "VALID_ENGINES",
+    "ENGINE_ENV",
     "BLOCK_HALT",
     "BLOCK_COMM",
     "BLOCK_BUDGET",
@@ -81,8 +84,13 @@ __all__ = [
 REFERENCE_ENV = "REPRO_REFERENCE_SIM"
 #: Environment variable disabling the run memo (fast path still active).
 MEMO_ENV = "REPRO_RUN_MEMO"
+#: Environment variable naming the default engine (``fast``/``reference``).
+ENGINE_ENV = "REPRO_ENGINE"
 
 _TRUTHY = ("1", "true", "yes", "on")
+
+#: The engine names :func:`resolve_engine` accepts.
+VALID_ENGINES = ("fast", "reference")
 
 
 def reference_forced() -> bool:
@@ -99,13 +107,24 @@ def memo_enabled() -> bool:
 def resolve_engine(engine: str | None) -> str:
     """Normalize an ``engine`` keyword against the environment override.
 
-    ``None`` means *auto*: fast unless ``REPRO_REFERENCE_SIM`` is set.
-    Explicit ``"fast"`` / ``"reference"`` keywords always win.
+    ``None`` means *auto*: the ``REPRO_ENGINE`` environment variable when
+    set, else fast unless ``REPRO_REFERENCE_SIM`` forces the oracle.
+    Explicit ``"fast"`` / ``"reference"`` keywords always win.  Unknown
+    names — keyword or environment — raise a :class:`ValueError` naming
+    the valid engines instead of silently falling back.
     """
     if engine is None:
-        return "reference" if reference_forced() else "fast"
-    if engine not in ("fast", "reference"):
-        raise ValueError(f"engine must be 'fast', 'reference' or None, got {engine!r}")
+        env = os.environ.get(ENGINE_ENV, "").strip().lower()
+        if env:
+            engine = env
+        else:
+            return "reference" if reference_forced() else "fast"
+    if engine not in VALID_ENGINES:
+        valid = ", ".join(repr(name) for name in VALID_ENGINES)
+        raise ValueError(
+            f"unknown engine {engine!r}: valid engines are {valid} "
+            f"(or None for auto via {ENGINE_ENV}/{REFERENCE_ENV})"
+        )
     return engine
 
 
@@ -759,6 +778,13 @@ class Footprint:
     remote: dict[int, frozenset[int]]
     #: Total cycles of the profiled run (scheduling heuristics only).
     cycles: int
+    #: Program-local pcs that ever read or produced *tainted* (payload)
+    #: data during the profiled run.  Everything outside this set is pure
+    #: control: given a matching fingerprint its operands and results are
+    #: identical in every run, which is what lets the vector-batched tier
+    #: (:mod:`repro.fabric.batch`) execute those instructions once on
+    #: lane 0 and broadcast, vectorizing only the data-plane pcs.
+    vector_pcs: frozenset[int] = frozenset()
 
 
 class _Bail(Exception):
@@ -793,6 +819,7 @@ def _profile_footprint(
     fingerprint: dict[int, int] = {}
     local: set[int] = set()
     remote: dict[int, set[int]] = {}
+    vector_pcs: set[int] = set()
 
     def read(addr: int, control: bool) -> tuple[int, bool]:
         local.add(addr)
@@ -841,6 +868,7 @@ def _profile_footprint(
                     local=frozenset(local),
                     remote={d: frozenset(s) for d, s in remote.items()},
                     cycles=cyc,
+                    vector_pcs=frozenset(vector_pcs),
                 )
             if op is Opcode.NOP:
                 pass
@@ -855,6 +883,8 @@ def _profile_footprint(
                     raise _Bail
                 local.add(addr)
                 written[addr] = t1 or t2
+                if t1 or t2:
+                    vector_pcs.add(pc)
                 w[addr] = result
             elif op in UNARY_OPS:
                 addr = write_addr(instr.dst)
@@ -869,6 +899,8 @@ def _profile_footprint(
                     raise _Bail
                 local.add(addr)
                 written[addr] = taint
+                if taint:
+                    vector_pcs.add(pc)
                 w[addr] = wrap_word(value)
             elif op is Opcode.JMP:
                 nxt = targets[pc]
@@ -884,9 +916,11 @@ def _profile_footprint(
                     nxt = targets[pc]
             elif op is Opcode.SNB:
                 naddr = write_addr(instr.dst)
-                read_operand(instr.src1, False)
+                _, taint = read_operand(instr.src1, False)
                 if not 0 <= naddr < size:
                     raise _Bail  # would fault in the neighbour: not provable
+                if taint:
+                    vector_pcs.add(pc)
                 remote.setdefault(instr.aux, set()).add(naddr)
             pc = nxt
         raise _Bail  # fell out of the region without halting

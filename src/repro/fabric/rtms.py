@@ -221,6 +221,11 @@ class RuntimeManager:
         #: Per-tile time at which the tile is free (compute or reconfig done).
         self.tile_ready_ns: dict[Coord, float] = {}
         self.now_ns = 0.0
+        #: Optional ``hook(spec, tiles)`` fired per epoch after tile
+        #: start/restart, immediately before the compute phase runs —
+        #: the batched execution tier (``repro.fabric.batch``) installs
+        #: its lane driver here.  Hooks must not raise.
+        self.phase_hook = None
 
     @property
     def link_cost_ns(self) -> float:
@@ -375,6 +380,36 @@ class RuntimeManager:
         self._check_artifact(artifact)
         return self.execute(artifact.bind(payload, tag))
 
+    def execute_artifact_batch(
+        self,
+        artifact,
+        payloads,
+        *,
+        tag: str = "",
+        on_slice=None,
+        jit: str | None = None,
+        min_vector_lanes: int | None = None,
+    ):
+        """Execute one artifact over K payloads, vectorized across lanes.
+
+        Semantically identical to K sequential :meth:`execute_artifact`
+        calls (bit-for-bit output equivalence is the contract); the
+        batched tier in :mod:`repro.fabric.batch` makes it cheaper by
+        advancing all lanes through the predecoded superblocks at once.
+        Returns a :class:`repro.fabric.batch.BatchResult`.
+        """
+        from repro.fabric.batch import execute_artifact_batch
+
+        return execute_artifact_batch(
+            self,
+            artifact,
+            payloads,
+            tag=tag,
+            on_slice=on_slice,
+            jit=jit,
+            min_vector_lanes=min_vector_lanes,
+        )
+
     def _involved_tiles(self, spec: EpochSpec) -> set[Coord]:
         involved: set[Coord] = set(spec.run) | set(spec.depends_on)
         involved |= set(spec.programs) | set(spec.data_images)
@@ -430,6 +465,8 @@ class RuntimeManager:
                 gate = max(gate, self.tile_ready_ns.get(coord, epoch_start))
             for coord in spec.depends_on:
                 gate = max(gate, self.tile_ready_ns.get(coord, epoch_start))
+            if self.phase_hook is not None:
+                self.phase_hook(spec, tiles)
             result = run_concurrent(tiles, start_ns=gate, engine=self.engine)
             compute_ns = result.makespan_ns
             compute_end = gate + result.makespan_ns

@@ -126,7 +126,14 @@ class FabricBlockPipeline:
     def read_zigzag(self, mesh: Mesh | None = None) -> np.ndarray:
         """Read the 64 zig-zag coefficients back off a mesh (default: own)."""
         tile = (mesh if mesh is not None else self.mesh).tile((0, 0))
-        return np.array(tile.dmem.dump_block(REGION_ZZ, 64))
+        return self.zigzag_from_words(
+            lambda coord, base, count: tile.dmem.dump_block(base, count)
+        )
+
+    def zigzag_from_words(self, words) -> np.ndarray:
+        """The zig-zag vector via a ``words(coord, base, count)`` reader —
+        the mesh-agnostic form batched lane views read through."""
+        return np.array(words((0, 0), REGION_ZZ, 64))
 
     def encode_block(self, block: np.ndarray) -> np.ndarray:
         """Run one 8x8 block through the tile; returns the zig-zag vector."""
@@ -136,6 +143,71 @@ class FabricBlockPipeline:
         self.rtms.execute_artifact(self.artifact, block)
         self._block_times.append(self.rtms.now_ns - start_ns)
         return self.read_zigzag()
+
+    def encode_blocks(self, stack: np.ndarray, on_slice=None) -> np.ndarray:
+        """Run a ``(K, 8, 8)`` stack of blocks through the tile at once.
+
+        The vector-batched tier (:mod:`repro.fabric.batch`) executes the
+        five stage programs once over all K lanes; outputs are
+        bit-identical to K sequential :meth:`encode_block` calls, and the
+        per-block timing record is kept lane-by-lane (sequential-
+        equivalent clock).  Returns the ``(K, 64)`` zig-zag vectors.
+        """
+        out, _, _ = self.encode_block_stack(stack, on_slice=on_slice)
+        return out
+
+    def encode_block_stack(
+        self, stack: np.ndarray, on_slice=None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`encode_blocks` plus per-block fabric accounting.
+
+        Returns ``(zigzags, sim_ns, reconfig_ns)`` — the ``(K, 64)``
+        coefficient rows and two length-K arrays carrying each block's
+        simulated fabric time and configuration-port busy time.  The
+        serving layer batches the blocks of *several* frames through one
+        dispatch and needs the per-lane numbers to keep every job's
+        lifecycle records separate.
+        """
+        stack = np.asarray(stack)
+        if stack.ndim != 3 or stack.shape[1:] != (8, 8):
+            raise KernelError(
+                f"encode_blocks wants a (K, 8, 8) stack, got {stack.shape}"
+            )
+        # The one-time data1 preload bills to the first block, exactly
+        # where the sequential scalar path's rtms-delta accounting puts it.
+        setup_sim = setup_busy = 0.0
+        if not self._preloaded:
+            sim_before = self.rtms.now_ns
+            busy_before = self.rtms.icap.total_busy_ns
+            self._preload()
+            setup_sim = self.rtms.now_ns - sim_before
+            setup_busy = self.rtms.icap.total_busy_ns - busy_before
+        out = np.empty((len(stack), 64), dtype=np.int64)
+        sims = np.empty(len(stack))
+        reconfigs = np.empty(len(stack))
+        tile = self.mesh.tile((0, 0))
+        first = 0
+        if any(tile.resident_base(p) is None for p in self._programs):
+            # Cold fabric: the first block pays the program pinning on the
+            # scalar path (exactly like encode_block), so the batch pilot
+            # is warm and replicated lane timings stay honest.
+            busy_before = self.rtms.icap.total_busy_ns
+            out[0] = self.encode_block(stack[0])
+            sims[0] = setup_sim + self._block_times[-1]
+            reconfigs[0] = (
+                setup_busy + self.rtms.icap.total_busy_ns - busy_before
+            )
+            first = 1
+        if first < len(stack):
+            result = self.rtms.execute_artifact_batch(
+                self.artifact, list(stack[first:]), on_slice=on_slice
+            )
+            for lane in result.lanes:
+                out[first + lane.index] = self.zigzag_from_words(lane.words)
+                sims[first + lane.index] = lane.sim_ns
+                reconfigs[first + lane.index] = lane.reconfig_ns
+                self._block_times.append(lane.sim_ns)
+        return out, sims, reconfigs
 
     # ------------------------------------------------------------------
 

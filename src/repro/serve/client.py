@@ -140,9 +140,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--pool", type=int, default=2, help="number of fabrics")
     parser.add_argument(
         "--policy",
-        choices=("affinity", "cold_fifo", "fifo"),
+        choices=("affinity", "batch_affinity", "batch", "cold_fifo", "fifo"),
         default="affinity",
-        help="placement policy (cold_fifo = residency-blind baseline)",
+        help="placement policy (cold_fifo = residency-blind baseline; "
+        "batch_affinity adds same-configuration coalescing in the "
+        "trace replayer and durable engine — the async service places "
+        "one job at a time, where it behaves like affinity)",
     )
     parser.add_argument("--seed", type=int, default=0, help="trace seed")
     parser.add_argument(

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.chaos.crashpoints import crashpoint, register_crashpoint
 from repro.errors import JobCancelled, ServeError
 from repro.serve.durability.journal import FsyncPolicy, JobJournal
 from repro.serve.durability.records import encode_request
@@ -45,6 +46,12 @@ from repro.serve.sessions import (
 )
 
 __all__ = ["DurableEngine", "EngineReport"]
+
+#: Visited before each batched lane's DONE record is journaled.  A crash
+#: here leaves earlier lanes finished-on-journal and later lanes
+#: dispatched-but-unfinished — recovery must requeue exactly the
+#: unfinished ones (the batch crash-matrix case).
+BATCH_LANE_DONE = register_crashpoint("serve.batch.lane.done")
 
 
 @dataclass
@@ -90,6 +97,14 @@ class DurableEngine:
     checkpoint_every_slices:
         Epoch-progress journaling cadence (0 disables; FFT jobs then
         always restart from scratch after a crash).
+    max_batch:
+        When > 1, :meth:`step` coalesces up to this many queued jobs
+        with the head's ``config_key`` into one vector-batched dispatch
+        (:meth:`FabricWorker.execute_batch`).  Every lane keeps its own
+        journal lifecycle — per-lane DISPATCHED before execution,
+        per-lane DONE after — so a crash mid-finalize requeues exactly
+        the lanes whose DONE record never hit the disk.  Jobs resuming
+        from a checkpoint are never coalesced.
     lock:
         Whether the journal takes its ``flock``; chaos incarnations live
         in one process and "die" without cleanup, so they run unlocked.
@@ -103,9 +118,12 @@ class DurableEngine:
         session_factory: SessionFactory = default_session_factory,
         fsync: FsyncPolicy | str = FsyncPolicy.NEVER,
         checkpoint_every_slices: int = 0,
+        max_batch: int = 1,
         segment_records: int = 1024,
         lock: bool = False,
     ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
         self.journal = JobJournal(
             journal_dir,
             segment_records=segment_records,
@@ -114,6 +132,9 @@ class DurableEngine:
         )
         self.pool = FabricPool(pool_size, session_factory)
         self.checkpoint_every_slices = checkpoint_every_slices
+        self.max_batch = max_batch
+        #: Job ids a failed batch demoted to the scalar path for good.
+        self._no_batch: set[str] = set()
         self.report = EngineReport()
         self.results: dict[str, JobResult] = {}
         self.queue: list[JobRequest] = []
@@ -200,11 +221,115 @@ class DurableEngine:
 
         return hook
 
+    def _coalesce_partners(self, head: JobRequest) -> list[JobRequest]:
+        """Pop queued jobs batchable with ``head`` (same ``config_key``,
+        running from scratch), oldest first, up to ``max_batch`` lanes."""
+        if (
+            self.max_batch < 2
+            or head.resume_slice
+            or head.job_id in self._no_batch
+        ):
+            return []
+        key = head.spec.config_key
+        indices = [
+            i
+            for i, r in enumerate(self.queue)
+            if r.spec.config_key == key
+            and not r.resume_slice
+            and r.job_id not in self._no_batch
+        ][: self.max_batch - 1]
+        partners = [self.queue[i] for i in indices]
+        for i in reversed(indices):
+            self.queue.pop(i)
+        return partners
+
+    def _step_batch(
+        self, head: JobRequest, partners: list[JobRequest]
+    ) -> JobResult | None:
+        """One vector-batched dispatch of ``[head] + partners``.
+
+        Returns the head's result on success.  On a batch execution
+        failure every lane gets a RETRY record and is demoted to the
+        scalar path: partners go back to the queue front (in order) and
+        ``None`` is returned so :meth:`step` runs the head scalar — no
+        attempt is burned, mirroring the fabric-failed free retry.
+        """
+        group = [head] + partners
+        worker = self._select_worker(head)
+        for lane, request in enumerate(group):
+            self.journal.dispatched(
+                request.job_id,
+                {
+                    "worker": worker.id,
+                    "attempt": 1,
+                    "batch": len(group),
+                    "lane": lane,
+                },
+            )
+        try:
+            runs = worker.execute_batch(group, CancelToken())
+        except JobCancelled:
+            raise
+        except Exception as exc:
+            error = f"batched attempt: {exc!r}"
+            for request in group:
+                self._no_batch.add(request.job_id)
+                self.journal.retry(
+                    request.job_id, {"attempt": 1, "error": error}
+                )
+            self.report.retries += len(group)
+            self.queue[:0] = partners
+            return None
+        head_result: JobResult | None = None
+        for request, run in zip(group, runs):
+            # A crash between lanes leaves this lane (and the rest)
+            # dispatched-but-unfinished; recovery requeues exactly them.
+            crashpoint(BATCH_LANE_DONE)
+            result = JobResult(
+                job_id=request.job_id,
+                status=JobStatus.DONE,
+                output=run.stats.output,
+                worker_id=worker.id,
+                attempts=1,
+                warm=run.warm,
+                sim_ns=run.stats.sim_ns,
+                reconfig_ns=run.stats.reconfig_ns,
+                reconfig_saved_ns=run.reconfig_saved_ns,
+            )
+            self.journal.done(
+                request.job_id,
+                {
+                    "status": JobStatus.DONE.value,
+                    "worker": worker.id,
+                    "attempts": 1,
+                    "warm": run.warm,
+                    "sim_ns": run.stats.sim_ns,
+                    "reconfig_ns": run.stats.reconfig_ns,
+                },
+            )
+            self.results[request.job_id] = result
+            self.report.completed += 1
+            self.report.sim_ns += run.stats.sim_ns
+            self.report.reconfig_ns += run.stats.reconfig_ns
+            if head_result is None:
+                head_result = result
+        return head_result
+
     def step(self) -> JobResult:
-        """Run the queue's oldest job to a terminal state."""
+        """Run the queue's oldest job to a terminal state.
+
+        With ``max_batch > 1`` the head may pull same-configuration
+        queue mates along as batch lanes; their results land in
+        :attr:`results` in the same step."""
         if not self.queue:
             raise ServeError("step() on an empty queue")
         request = self.queue.pop(0)
+        partners = self._coalesce_partners(request)
+        if partners:
+            result = self._step_batch(request, partners)
+            if result is not None:
+                return result
+            # fall through: batch degraded, head runs scalar below
         worker = self._select_worker(request)
         progress = self._progress_hook(request)
         attempts = 0

@@ -380,6 +380,109 @@ class FabricWorker:
         )
 
 
+    def execute_batch(
+        self,
+        requests: list[JobRequest],
+        cancel: CancelToken,
+        progress: Callable | None = None,
+    ) -> list[WorkerRun]:
+        """Run a group of same-configuration jobs as one batched dispatch.
+
+        All requests must share one ``config_key`` (the coalescing
+        policy's grouping invariant).  The session executes them through
+        its vector-batched ``run_batch`` — outputs bit-identical to
+        sequential :meth:`execute` calls, each lane keeping its own
+        :class:`WorkerRun` (warm flag, accounting, reconfig savings).
+        Sessions without a ``run_batch``, single-job groups, and resume
+        requests fall back to sequential scalar execution.
+
+        The circuit breaker sees the group as **one** dispatch: one
+        ``on_dispatch`` admission, one success/failure record — a batch
+        occupies the fabric once, so it consumes one half-open probe
+        slot, not K.
+        """
+        if not requests:
+            raise ServeError("execute_batch needs at least one request")
+        spec = requests[0].spec
+        for request in requests[1:]:
+            if request.spec.config_key != spec.config_key:
+                raise ServeError(
+                    f"execute_batch got mixed configurations "
+                    f"({request.spec.config_key!r} vs {spec.config_key!r})"
+                )
+        if (
+            len(requests) == 1
+            or any(r.resume_slice > 0 for r in requests)
+            or (self.is_warm_for(spec)
+                and not hasattr(self.session, "run_batch"))
+        ):
+            return [self.execute(r, cancel, progress) for r in requests]
+        if self.health is HealthState.QUARANTINED:
+            raise ServeError(
+                f"worker {self.id} is quarantined "
+                f"({self.quarantine_reason or 'no reason recorded'})"
+            )
+        if self.breaker is not None:
+            self.breaker.on_dispatch()
+        warm = self.is_warm_for(spec)
+        if not warm:
+            session = self._session_factory(spec)
+            if not hasattr(session, "run_batch"):
+                # No batched tier on this session type: release the probe
+                # slot (neutral — nothing ran) and dispatch sequentially,
+                # where each execute() does its own breaker admission.
+                if self.breaker is not None:
+                    self.breaker.record_cancelled()
+                return [self.execute(r, cancel, progress) for r in requests]
+            self.session = session
+            self.resident_key = spec.config_key
+            self.cold_starts += 1
+        session = self.session
+        assert session is not None
+        try:
+            stats_list = session.run_batch(
+                [r.payload for r in requests], cancel
+            )
+        except FaultError as exc:
+            self.eject(f"fabric fault: {exc}")
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        except BaseException as exc:
+            self.session = None
+            self.resident_key = None
+            if not isinstance(exc, JobCancelled):
+                self.record_failure(repr(exc))
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+            elif self.breaker is not None:
+                self.breaker.record_cancelled()
+            raise
+        self.consecutive_failures = 0
+        if self.breaker is not None:
+            self.breaker.record_success()
+        runs: list[WorkerRun] = []
+        for index, stats in enumerate(stats_list):
+            lane_warm = warm or index > 0
+            self.jobs_done += 1
+            self.record_fault_stats(stats)
+            self.busy_sim_ns += stats.sim_ns
+            self.reconfig_sim_ns += stats.reconfig_ns
+            if lane_warm:
+                saved = max(
+                    0.0,
+                    self.cost_model.cold_reference_ns(spec)
+                    - stats.reconfig_ns,
+                )
+            else:
+                self.cost_model.record_cold_run(spec, stats.reconfig_ns)
+                saved = 0.0
+            runs.append(
+                WorkerRun(stats=stats, warm=lane_warm, reconfig_saved_ns=saved)
+            )
+        return runs
+
+
 class FabricPool:
     """A fixed set of workers sharing one residency cost model."""
 

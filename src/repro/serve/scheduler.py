@@ -36,6 +36,7 @@ __all__ = [
     "SchedulingPolicy",
     "FIFOPolicy",
     "AffinityPolicy",
+    "BatchCoalescingPolicy",
     "make_policy",
     "JobTrace",
     "TraceReplayResult",
@@ -114,10 +115,59 @@ class AffinityPolicy:
         return best_index
 
 
+class BatchCoalescingPolicy(AffinityPolicy):
+    """Affinity placement plus same-configuration batch coalescing.
+
+    Picks the anchor job exactly like :class:`AffinityPolicy` (same
+    window, same starvation guard), then sweeps the rest of the window
+    for queued jobs with the *same* ``config_key`` as the anchor and
+    groups up to ``max_batch`` of them into one dispatch.  The group
+    runs through :meth:`FabricWorker.execute_batch` — one admission
+    check, one breaker dispatch, K lanes with per-lane accounting — so
+    the vector tier amortises phase orchestration over every coalesced
+    job.  Jobs resuming from a checkpoint are never coalesced (their
+    mid-stream state is lane-incompatible); they anchor a group of one.
+    """
+
+    name = "batch_affinity"
+
+    def __init__(
+        self, window: int = 16, patience: int = 8, max_batch: int = 16
+    ) -> None:
+        super().__init__(window, patience)
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+
+    def select_group(
+        self, queue: Sequence[JobRequest], worker: FabricWorker
+    ) -> list[int]:
+        """Queue indices of the group ``worker`` should run, in arrival
+        order.  The anchor (affinity pick) is always included."""
+        anchor = self.select(queue, worker)
+        chosen = [anchor]
+        if queue[anchor].resume_slice == 0:
+            key = queue[anchor].spec.config_key
+            for index, request in enumerate(queue[: self.window]):
+                if len(chosen) >= self.max_batch:
+                    break
+                if index == anchor or request.resume_slice > 0:
+                    continue
+                if request.spec.config_key == key:
+                    chosen.append(index)
+        chosen.sort()
+        for index in chosen:
+            self._skips.pop(queue[index].job_id, None)
+        return chosen
+
+
 def make_policy(name: str) -> SchedulingPolicy:
-    """Policy by CLI name (``affinity`` or ``cold_fifo``/``fifo``)."""
+    """Policy by CLI name (``affinity``, ``batch_affinity`` or
+    ``cold_fifo``/``fifo``)."""
     if name == "affinity":
         return AffinityPolicy()
+    if name in ("batch", "batch_affinity"):
+        return BatchCoalescingPolicy()
     if name in ("fifo", "cold_fifo"):
         return FIFOPolicy()
     raise ServeError(f"unknown scheduling policy {name!r}")
@@ -218,28 +268,51 @@ def simulate_trace(
                 f"{len(queue)} remaining jobs"
             )
         worker = min(candidates, key=lambda w: (free_at[w.id], w.id))
-        index = policy.select(queue, worker)
-        if not 0 <= index < len(queue):
-            raise ServeError(
-                f"policy {policy.name!r} selected invalid index {index}"
-            )
-        request = queue.pop(index)
+        select_group = getattr(policy, "select_group", None)
+        if select_group is not None:
+            indices = select_group(queue, worker)
+            if (
+                not indices
+                or len(set(indices)) != len(indices)
+                or not all(0 <= i < len(queue) for i in indices)
+            ):
+                raise ServeError(
+                    f"policy {policy.name!r} selected invalid group {indices}"
+                )
+            group = [queue[i] for i in sorted(indices)]
+            for i in sorted(indices, reverse=True):
+                queue.pop(i)
+        else:
+            index = policy.select(queue, worker)
+            if not 0 <= index < len(queue):
+                raise ServeError(
+                    f"policy {policy.name!r} selected invalid index {index}"
+                )
+            group = [queue.pop(index)]
         start_ns = free_at[worker.id]
-        run = worker.execute(request, cancel)
-        end_ns = start_ns + run.stats.sim_ns
-        free_at[worker.id] = end_ns
-        result.jobs.append(
-            JobTrace(
-                job_id=request.job_id,
-                kind=request.spec.kind.value,
-                worker_id=worker.id,
-                warm=run.warm,
-                start_ns=start_ns,
-                end_ns=end_ns,
-                wait_ns=start_ns,
-                sim_ns=run.stats.sim_ns,
-                reconfig_ns=run.stats.reconfig_ns,
-                reconfig_saved_ns=run.reconfig_saved_ns,
+        if len(group) > 1:
+            runs = worker.execute_batch(group, cancel)
+        else:
+            runs = [worker.execute(group[0], cancel)]
+        # Lanes occupy the fabric back to back (sequential-equivalent
+        # clock), so each lane's trace window follows the previous one.
+        lane_start = start_ns
+        for request, run in zip(group, runs):
+            end_ns = lane_start + run.stats.sim_ns
+            result.jobs.append(
+                JobTrace(
+                    job_id=request.job_id,
+                    kind=request.spec.kind.value,
+                    worker_id=worker.id,
+                    warm=run.warm,
+                    start_ns=lane_start,
+                    end_ns=end_ns,
+                    wait_ns=start_ns,
+                    sim_ns=run.stats.sim_ns,
+                    reconfig_ns=run.stats.reconfig_ns,
+                    reconfig_saved_ns=run.reconfig_saved_ns,
+                )
             )
-        )
+            lane_start = end_ns
+        free_at[worker.id] = lane_start
     return result

@@ -177,6 +177,50 @@ class FFTSession(_BaseSession):
         self.jobs_run += 1
         return stats
 
+    def run_batch(
+        self, payloads: list, cancel: CancelToken
+    ) -> list[SessionStats]:
+        """Execute K same-plan transforms vector-batched across lanes.
+
+        Bit-identical to K sequential :meth:`run` calls (the batched
+        tier's contract) with sequential-equivalent timing.  A cold
+        session runs its first job on the scalar path so the batch pilot
+        is warm; cancellation is polled at every pilot epoch boundary.
+        Per-slice ``progress`` journaling is scalar-path-only — batched
+        lanes are journaled per lane by the durable engine instead.
+        """
+        xs = [np.asarray(p, dtype=np.complex128) for p in payloads]
+        if not xs:
+            raise ServeError("run_batch needs at least one payload")
+        results: list[SessionStats] = []
+        if self.jobs_run == 0:
+            results.append(self.run(xs[0], cancel))
+            xs = xs[1:]
+        if not xs:
+            return results
+        if len(xs) == 1:
+            results.append(self.run(xs[0], cancel))
+            return results
+        port = self.artifact.plan.input_port
+        n_slices = len(self.artifact.plan.body) + (1 if port else 0)
+        batch = self.rtms.execute_artifact_batch(
+            self.artifact,
+            xs,
+            tag=f"j{self.jobs_run}_",
+            on_slice=lambda index: cancel.check(),
+        )
+        for lane in batch.lanes:
+            results.append(
+                SessionStats(
+                    output=self.fft.read_output_words(lane.words),
+                    sim_ns=lane.sim_ns,
+                    reconfig_ns=lane.reconfig_ns,
+                    slices=n_slices,
+                )
+            )
+        self.jobs_run += len(xs)
+        return results
+
     def run_resumed(
         self,
         payload: Any,
@@ -285,6 +329,68 @@ class JPEGSession(_BaseSession):
         stats.reconfig_ns = self.rtms.icap.total_busy_ns - busy_before
         self.jobs_run += 1
         return stats
+
+    def run_batch(
+        self, payloads: list, cancel: CancelToken
+    ) -> list[SessionStats]:
+        """Encode K frames with all their blocks in one vector dispatch.
+
+        JPEG's natural lane axis is the *block*: the blocks of every
+        frame in the group are concatenated into one stack and run
+        through the five stage programs at once (bit-identical to the
+        per-block scalar loop), which is what lets a group of small
+        frames amortise the dispatch the way one big frame would.  The
+        host Huffman stage then consumes each frame's zig-zag rows
+        sequentially, and each frame's stats sum exactly its own lanes'
+        fabric time — per-job lifecycle records stay separate.  Frames
+        of different shapes group fine (lanes are always 8x8 blocks).
+        """
+        from repro.kernels.jpeg.encoder import JPEGEncoder, blocks_of
+        from repro.kernels.jpeg.huffman import (
+            BitWriter,
+            encode_block_coefficients,
+        )
+
+        if not payloads:
+            raise ServeError("run_batch needs at least one payload")
+        frames = []  # (height, width, block_count) per payload
+        stacks = []
+        for payload in payloads:
+            img = np.asarray(payload)
+            if img.dtype.kind == "f":
+                img = np.clip(np.rint(img), 0, 255)
+            img = img.astype(np.int64)
+            if img.ndim != 2:
+                raise ServeError(
+                    f"JPEG payload must be a 2-D frame, got {img.shape}"
+                )
+            height, width = img.shape
+            blocks, rows, cols = blocks_of(img)
+            frames.append((height, width, rows * cols))
+            stacks.append(blocks.reshape(-1, 8, 8))
+        cancel.check()
+        zz_all, sims, reconfigs = self.pipeline.encode_block_stack(
+            np.concatenate(stacks),
+            on_slice=lambda index: cancel.check(),
+        )
+        results: list[SessionStats] = []
+        offset = 0
+        for height, width, count in frames:
+            stats = SessionStats(slices=count)
+            writer = BitWriter()
+            prev_dc = 0
+            for zz in zz_all[offset:offset + count]:
+                prev_dc = encode_block_coefficients(zz, prev_dc, writer)
+            host = JPEGEncoder(quality=self.pipeline.quality)
+            stats.output = host.wrap_stream(writer.flush(), height, width)
+            stats.sim_ns = float(sims[offset:offset + count].sum())
+            stats.reconfig_ns = float(
+                reconfigs[offset:offset + count].sum()
+            )
+            offset += count
+            self.jobs_run += 1
+            results.append(stats)
+        return results
 
     def pin_epochs(self) -> list[EpochSpec]:
         """The five co-resident stage programs."""

@@ -37,7 +37,12 @@ def entries(bench_regress, tmp_path_factory):
 
 def test_json_schema(entries):
     names = [e["bench"] for e in entries]
-    assert names == ["fabric_fft_64pt", "fabric_jpeg_blocks", "dse_link_cost_sweep"]
+    assert names == [
+        "fabric_fft_64pt",
+        "fabric_fft_batch64",
+        "fabric_jpeg_blocks",
+        "dse_link_cost_sweep",
+    ]
     for e in entries:
         assert set(e) == {
             "bench", "wall_s_fast", "wall_s_reference", "simulated_ns", "speedup"
@@ -55,10 +60,15 @@ def test_fast_path_not_slower(entries):
         )
 
 
-def test_repo_level_json_records_target_speedups():
-    """The committed BENCH_fabric.json documents the >=5x tentpole target."""
+def test_repo_level_json_records_target_speedups(bench_regress):
+    """The committed BENCH_fabric.json meets every per-bench floor
+    (>=5x scalar tentpole, >=50x vector-batched FFT)."""
     path = _HARNESS.parent.parent / "BENCH_fabric.json"
     entries = json.loads(path.read_text())
     by_name = {e["bench"]: e for e in entries}
-    assert by_name["fabric_fft_64pt"]["speedup"] >= 5.0
-    assert by_name["fabric_jpeg_blocks"]["speedup"] >= 5.0
+    for bench, floor in bench_regress.SPEEDUP_FLOORS.items():
+        assert by_name[bench]["speedup"] >= floor, (
+            f"{bench}: committed speedup {by_name[bench]['speedup']:.2f}x "
+            f"below floor {floor:.1f}x"
+        )
+    bench_regress.check_floors(entries)
