@@ -1,0 +1,178 @@
+"""Cluster benchmark: sharded scale-out vs a single serving node.
+
+Drives the :mod:`repro.cluster.loadgen` open-loop simulator with
+service times **calibrated from real fabric sessions** (one cold and
+one warm job per kernel kind, measured on a
+:class:`~repro.serve.pool.FabricWorker` in simulated fabric time) and a
+million-job Zipf-skewed trace, then writes a machine-readable
+``BENCH_cluster.json``::
+
+    {"calibration": {"warm_service_us": ..., "cold_service_us": ...},
+     "load": {"jobs": 1000000, "seed": 0, ...},
+     "shards": [{"shards": 1, "p50_ms": ..., "p99_ms": ..., "p999_ms": ...,
+                 "speedup_vs_single": ...}, ...],
+     "speedup_4_shards": 2.9}
+
+For every shard count the *same* arrival trace replays on the sharded
+cluster and on a single node, so ``speedup_vs_single`` (ratio of
+makespans) is the honest scale-out factor under identical offered load.
+``speedup_4_shards`` is the headline number the tier-1 regression guard
+holds to >= 1.8x (mirroring ``BENCH_serve.json``'s 1.5x affinity
+floor).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_cluster.py``) or
+through :func:`run_bench` from the tier-1 smoke test with a reduced
+trace.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+#: Committed-benchmark shape: the ISSUE's million-job load sweep.
+DEFAULT_JOBS = 1_000_000
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+DEFAULT_SEED = 0
+DEFAULT_PLANS = 64
+DEFAULT_ZIPF_S = 1.1
+DEFAULT_UTILIZATION = 0.85
+
+
+def calibrate() -> dict:
+    """Measure warm/cold service times on real fabric sessions.
+
+    Runs one cold job (fresh fabric: full configuration) and one warm
+    job (same spec resident) per kernel kind and returns microsecond
+    figures in *simulated fabric time* — deterministic, so calibration
+    never makes the benchmark machine-dependent.
+    """
+    import numpy as np
+
+    from repro.serve.jobs import JobRequest, fft_spec, jpeg_spec
+    from repro.serve.pool import FabricWorker
+    from repro.serve.sessions import CancelToken
+
+    rng = np.random.default_rng(0)
+    kinds = {
+        "fft": (
+            fft_spec(16, 4, 2),
+            rng.standard_normal(16) + 1j * rng.standard_normal(16),
+        ),
+        "jpeg": (jpeg_spec(75, False), rng.integers(0, 256, (8, 8))),
+    }
+    per_kind = {}
+    for name, (spec, payload) in kinds.items():
+        worker = FabricWorker(f"cal-{name}")
+        cold = worker.execute(
+            JobRequest(spec=spec, payload=payload), CancelToken()
+        )
+        warm = worker.execute(
+            JobRequest(spec=spec, payload=payload), CancelToken()
+        )
+        assert not cold.warm and warm.warm
+        warm_us = warm.stats.sim_ns / 1e3
+        cold_us = warm_us + cold.stats.reconfig_ns / 1e3
+        per_kind[name] = {"warm_us": warm_us, "cold_us": cold_us}
+    warm = sum(k["warm_us"] for k in per_kind.values()) / len(per_kind)
+    cold = sum(k["cold_us"] for k in per_kind.values()) / len(per_kind)
+    return {
+        "warm_service_us": warm,
+        "cold_service_us": max(cold, warm),
+        "per_kind": per_kind,
+    }
+
+
+def run_bench(
+    n_jobs: int = DEFAULT_JOBS,
+    shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+    seed: int = DEFAULT_SEED,
+    output: Path | str = DEFAULT_OUTPUT,
+) -> dict:
+    """Sweep shard counts over one calibrated load; write the JSON."""
+    from repro.cluster.loadgen import LoadSpec, generate_trace, simulate
+
+    calibration = calibrate()
+    entries = []
+    for shards in shard_counts:
+        spec = LoadSpec(
+            n_jobs=n_jobs,
+            n_shards=shards,
+            seed=seed,
+            n_plans=DEFAULT_PLANS,
+            zipf_s=DEFAULT_ZIPF_S,
+            utilization=DEFAULT_UTILIZATION,
+            warm_service_us=calibration["warm_service_us"],
+            cold_service_us=calibration["cold_service_us"],
+        )
+        trace = generate_trace(spec)
+        t0 = time.perf_counter()
+        clustered = simulate(spec, trace)
+        single = (
+            clustered if shards == 1 else simulate(spec, trace, n_shards=1)
+        )
+        wall_s = time.perf_counter() - t0
+        entries.append(
+            {
+                "shards": shards,
+                "jobs": n_jobs,
+                "makespan_s": clustered.makespan_s,
+                "throughput_jobs_per_s": clustered.throughput_jobs_per_s,
+                "mean_ms": clustered.mean_ms,
+                "p50_ms": clustered.p50_ms,
+                "p99_ms": clustered.p99_ms,
+                "p999_ms": clustered.p999_ms,
+                "warm_fraction": clustered.warm_fraction,
+                "steals": clustered.steals,
+                "single_node_makespan_s": single.makespan_s,
+                "speedup_vs_single": single.makespan_s / clustered.makespan_s,
+                "wall_s": wall_s,
+            }
+        )
+    by_shards = {entry["shards"]: entry for entry in entries}
+    report = {
+        "calibration": calibration,
+        "load": {
+            "jobs": n_jobs,
+            "seed": seed,
+            "n_plans": DEFAULT_PLANS,
+            "zipf_s": DEFAULT_ZIPF_S,
+            "utilization": DEFAULT_UTILIZATION,
+            "shard_counts": list(shard_counts),
+        },
+        "shards": entries,
+        "speedup_4_shards": (
+            by_shards[4]["speedup_vs_single"] if 4 in by_shards else None
+        ),
+    }
+    output = Path(output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    report = run_bench()
+    print(f"wrote {DEFAULT_OUTPUT}")
+    cal = report["calibration"]
+    print(
+        f"calibrated service: warm {cal['warm_service_us']:.1f} us  "
+        f"cold {cal['cold_service_us']:.1f} us"
+    )
+    for entry in report["shards"]:
+        print(
+            f"shards {entry['shards']:>2}  "
+            f"p50 {entry['p50_ms']:8.3f} ms  "
+            f"p99 {entry['p99_ms']:8.3f} ms  "
+            f"p999 {entry['p999_ms']:8.3f} ms  "
+            f"steals {entry['steals']:>7}  "
+            f"speedup {entry['speedup_vs_single']:5.2f}x  "
+            f"wall {entry['wall_s']:.1f} s"
+        )
+    print(f"speedup at 4 shards: {report['speedup_4_shards']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ Usage::
     python -m repro faults               # SEU injection + scrubbing demo
     python -m repro compile              # configuration-compiler demo
     python -m repro chaos                # kill-and-restart durability demo
+    python -m repro cluster              # sharded scale-out serving demo
     python -m repro --version            # print the package version
 
 Each artifact name maps to a module of :mod:`repro.experiments`; the
@@ -22,7 +23,10 @@ runs the configuration-compiler walkthrough of
 :mod:`repro.compile.demo` (pass timings, cache stats, artifact hashes);
 ``chaos`` runs the deterministic kill-and-restart durability ladder of
 :mod:`repro.chaos.demo` (write-ahead journal, crash recovery, epoch
-resume — exits non-zero on any invariant violation).
+resume — exits non-zero on any invariant violation); ``cluster`` runs
+the sharded scale-out walkthrough of :mod:`repro.cluster.demo`
+(consistent-hash routing, work stealing, shard-kill handoff — also
+exits non-zero on any invariant violation).
 """
 
 from __future__ import annotations
@@ -68,7 +72,7 @@ ARTIFACTS = {
 
 
 #: Non-artifact subcommands (included in typo suggestions).
-SUBCOMMANDS = ("list", "serve", "faults", "compile", "chaos")
+SUBCOMMANDS = ("list", "serve", "faults", "compile", "chaos", "cluster")
 
 
 def _suggestions(name: str) -> list[str]:
@@ -102,6 +106,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.chaos.demo import main as chaos_main
 
         return chaos_main(args[1:])
+    if args[0] == "cluster":
+        from repro.cluster.demo import main as cluster_main
+
+        return cluster_main(args[1:])
     if args[0] == "list":
         width = max(len(name) for name in ARTIFACTS)
         for name, (_, description) in ARTIFACTS.items():

@@ -1,0 +1,44 @@
+"""``repro.cluster`` — the sharded scale-out serving tier.
+
+Affinity scheduling promoted one level: where a single
+:class:`~repro.serve.service.FabricJobService` keeps same-configuration
+jobs on warm *fabrics*, the cluster keeps same-plan-hash jobs on the
+same *shard* — a :class:`~repro.cluster.shard.ShardWorker` owning its
+own fabric pool, artifact-cache slice and journal directory — behind a
+consistent-hash :class:`~repro.cluster.router.ShardRouter`.  Hot shards
+shed cold-hash work to idle ones (never breaking a warm run), dead
+shards hand their journal off to their ring successors (the PR 5
+recovery fold, reused across shard boundaries), and
+:mod:`repro.cluster.loadgen` scales the whole design to a million
+synthetic jobs with calibrated service times.
+
+``python -m repro cluster`` demos the tier;
+:mod:`repro.cluster.harness` is its deterministic chaos counterpart.
+"""
+
+from repro.cluster.harness import (
+    ClusterReport,
+    ClusterScenario,
+    run_cluster_scenario,
+)
+from repro.cluster.loadgen import LoadSpec, LoadReport, generate_trace, run_load, simulate
+from repro.cluster.ring import KEY_BITS, HashRing, ring_position
+from repro.cluster.router import ShardRouter, spec_routing_key
+from repro.cluster.shard import ShardWorker
+
+__all__ = [
+    "KEY_BITS",
+    "ClusterReport",
+    "ClusterScenario",
+    "HashRing",
+    "LoadReport",
+    "LoadSpec",
+    "ShardRouter",
+    "ShardWorker",
+    "generate_trace",
+    "ring_position",
+    "run_cluster_scenario",
+    "run_load",
+    "simulate",
+    "spec_routing_key",
+]

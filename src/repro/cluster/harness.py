@@ -1,0 +1,343 @@
+"""Kill-and-restart chaos scenarios over the sharded cluster.
+
+The cluster analogue of :mod:`repro.chaos.harness`, with two distinct
+failure axes layered on one scenario:
+
+* a **shard kill** — one shard's "process" dies mid-run while the
+  cluster keeps serving; the router removes it from the ring and
+  re-homes its journal via :meth:`~repro.cluster.router.ShardRouter.handoff`;
+* **whole-cluster crashes** — a :class:`~repro.chaos.crashpoints.FaultSpec`
+  fires at any registered crash point (journal edges, ``cluster.steal``,
+  ``cluster.handoff``) and unwinds the entire incarnation; the next one
+  reconstructs every surviving shard from its journal directory and
+  redoes the handoff (idempotently).
+
+Invariants checked (a superset of the single-node harness, adjusted for
+multi-journal ownership):
+
+* **no acknowledged job lost** — every acked job reaches a terminal
+  result even across steal + kill + replay;
+* **no conflicting client result** — first-wins delivery never reports
+  two different terminal statuses for one id;
+* **bit-identical outputs** — every executed DONE output equals a
+  fault-free single-engine baseline, including jobs that migrated;
+* **per-journal no duplicate DONE** — one journal never records two
+  terminal results for a job (a job *may* legally complete in two
+  different journals when a crash lands inside the steal window; that
+  count is reported, not a violation, because delivery dedups it);
+* **no job moved into the void** — every MOVED record's job is
+  SUBMITTED in some other shard's journal;
+* **idempotent replay** per journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.chaos.crashpoints import FaultSpec, SimulatedCrash, armed
+from repro.cluster.router import ShardRouter
+from repro.errors import ChaosError
+from repro.serve.durability.engine import DurableEngine
+from repro.serve.durability.journal import FsyncPolicy, JobJournal
+from repro.serve.durability.records import RecordType
+from repro.serve.durability.recovery import replay
+from repro.serve.jobs import (
+    JobRequest,
+    JobResult,
+    JobStatus,
+    fft_spec,
+    jpeg_spec,
+)
+
+__all__ = ["ClusterScenario", "ClusterReport", "run_cluster_scenario"]
+
+#: The scenario trace draws specs from this palette — three distinct
+#: configurations so the ring has something to spread and stealing has
+#: cold-hash material.
+_SPEC_PALETTE = (
+    ("fft", fft_spec(16, 4, 2)),
+    ("jpeg", jpeg_spec(75, False)),
+    ("jpeg", jpeg_spec(50, False)),
+)
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One deterministic cluster kill-and-restart experiment."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    n_jobs: int = 12
+    n_shards: int = 3
+    #: Zipf-ish skew: probability mass of the hottest palette entry.
+    hot_fraction: float = 0.6
+    #: Kill this shard (by sorted index) after ``kill_after`` completions
+    #: (``None`` = nobody dies).
+    kill_shard: int | None = None
+    kill_after: int = 2
+    steal: bool = True
+    pool_size: int = 1
+    max_restarts: int = 8
+    fsync: FsyncPolicy = FsyncPolicy.NEVER
+
+    def shard_names(self) -> list[str]:
+        return [f"shard-{i}" for i in range(self.n_shards)]
+
+    def requests(self) -> list[JobRequest]:
+        """Fresh request objects each call (incarnations must not share)."""
+        rng = np.random.default_rng(self.seed)
+        weights = np.full(len(_SPEC_PALETTE), 0.0)
+        weights[0] = self.hot_fraction
+        weights[1:] = (1.0 - self.hot_fraction) / (len(_SPEC_PALETTE) - 1)
+        requests = []
+        for index in range(self.n_jobs):
+            kind, spec = _SPEC_PALETTE[
+                int(rng.choice(len(_SPEC_PALETTE), p=weights))
+            ]
+            if kind == "fft":
+                payload = (
+                    rng.standard_normal(16) + 1j * rng.standard_normal(16)
+                )
+            else:
+                payload = rng.integers(0, 256, size=(8, 8), dtype=np.int64)
+            requests.append(
+                JobRequest(
+                    spec=spec,
+                    payload=payload,
+                    job_id=f"cl-{index:04d}",
+                    max_retries=1,
+                )
+            )
+        return requests
+
+
+@dataclass
+class ClusterReport:
+    """What the scenario did and which invariants (if any) it broke."""
+
+    restarts: int = 0
+    faults_fired: list[str] = field(default_factory=list)
+    jobs_acked: int = 0
+    jobs_completed: int = 0
+    steals: int = 0
+    handoffs: int = 0
+    shard_killed: str = ""
+    #: Jobs that (legally) completed in more than one journal — the
+    #: steal/handoff crash window made the duplicate; delivery deduped it.
+    duplicate_executions: int = 0
+    submit_errors: int = 0
+    journal_records: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        body = dict(self.__dict__)
+        body["ok"] = self.ok
+        return body
+
+
+def _baseline_outputs(
+    scenario: ClusterScenario, tmp: Path
+) -> dict[str, object]:
+    """Fault-free single-engine reference (the bit-identical oracle)."""
+    engine = DurableEngine(tmp / "baseline", fsync=FsyncPolicy.NEVER)
+    for request in scenario.requests():
+        engine.submit(request)
+    engine.run()
+    outputs = {
+        job_id: result.output
+        for job_id, result in engine.results.items()
+        if result.status is JobStatus.DONE
+    }
+    engine.close()
+    return outputs
+
+
+def _outputs_equal(a, b) -> bool:
+    if isinstance(a, bytes) or isinstance(b, bytes):
+        return a == b
+    return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+
+
+def run_cluster_scenario(
+    scenario: ClusterScenario, workdir: Path | str
+) -> ClusterReport:
+    """Execute one scenario under ``workdir`` (a scratch directory)."""
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    root = workdir / "cluster"
+    report = ClusterReport()
+    baseline = _baseline_outputs(scenario, workdir)
+
+    all_names = scenario.shard_names()
+    kill_name = (
+        all_names[scenario.kill_shard]
+        if scenario.kill_shard is not None
+        else None
+    )
+    if kill_name is not None:
+        report.shard_killed = kill_name
+
+    acked: set[str] = set()
+    killed: set[str] = set()  # persists across incarnations: dead is dead
+    delivered: dict[str, JobStatus] = {}
+    executed_outputs: dict[str, object] = {}
+
+    def deliver(result: JobResult) -> None:
+        prior = delivered.get(result.job_id)
+        if prior is not None and prior is not result.status:
+            report.violations.append(
+                f"{result.job_id}: delivered {prior.value} then "
+                f"{result.status.value} (conflicting client results)"
+            )
+        delivered[result.job_id] = result.status
+        if result.status is JobStatus.DONE and not result.recovered:
+            executed_outputs.setdefault(result.job_id, result.output)
+
+    router: ShardRouter | None = None
+    with armed(*scenario.faults) as controller:
+        incarnation = 0
+        while True:
+            incarnation += 1
+            if incarnation > scenario.max_restarts + 1:
+                raise ChaosError(
+                    f"scenario needed more than {scenario.max_restarts} "
+                    f"restarts — runaway crash loop"
+                )
+            try:
+                survivors = [n for n in all_names if n not in killed]
+                router = ShardRouter(
+                    root,
+                    survivors,
+                    pool_size=scenario.pool_size,
+                    fsync=scenario.fsync,
+                )
+                # A shard that died in an earlier incarnation stays dead;
+                # redo its handoff (idempotent) before serving.
+                for name in sorted(killed):
+                    router.handoff(name, root / name)
+                # Recovered finished results are (re)deliveries.
+                for shard in router.live_shards():
+                    assert shard.engine is not None
+                    for job_id, result in shard.engine.results.items():
+                        if result.recovered and job_id in acked:
+                            deliver(router._record(result) or result)
+                for request in scenario.requests():
+                    if request.job_id in acked:
+                        continue
+                    try:
+                        pre = router.submit(request)
+                    except OSError:
+                        report.submit_errors += 1
+                        pre = router.submit(request)
+                    acked.add(request.job_id)
+                    if pre is not None:
+                        deliver(pre)
+                completions = 0
+                while router.pending:
+                    if scenario.steal:
+                        router.rebalance()
+                    before = len(router.results)
+                    router.step_round()
+                    completions += len(router.results) - before
+                    if (
+                        kill_name is not None
+                        and kill_name not in killed
+                        and completions >= scenario.kill_after
+                    ):
+                        killed.add(kill_name)
+                        router.kill_shard(kill_name)
+                        router.handoff(kill_name)
+                router.publish_metrics()
+            except SimulatedCrash:
+                report.restarts += 1
+                continue
+            for job_id, result in router.results.items():
+                if job_id in acked:
+                    deliver(result)
+            report.steals = router.steals
+            report.handoffs = router.handoffs
+            router.close()
+            break
+
+    report.faults_fired = [
+        f"{spec.point}:{spec.action}@{spec.hit}" for spec in controller.fired
+    ]
+    report.jobs_acked = len(acked)
+    report.jobs_completed = sum(
+        1 for s in delivered.values() if s is JobStatus.DONE
+    )
+
+    # ---- invariant: no acknowledged job lost --------------------------
+    for job_id in sorted(acked):
+        if job_id not in delivered:
+            report.violations.append(f"{job_id}: acknowledged but lost")
+
+    # ---- invariants over every shard journal ---------------------------
+    submitted_by_shard: dict[str, set[str]] = {}
+    done_by_job: dict[str, int] = {}
+    moved: list[tuple[str, str]] = []  # (shard, job_id)
+    for name in all_names:
+        directory = root / name
+        if not directory.exists():
+            continue
+        journal = JobJournal(directory, fsync=FsyncPolicy.NEVER, lock=False)
+        records, scan = journal.scan()
+        journal.close()
+        report.journal_records += scan.records
+        submitted_by_shard[name] = {
+            r.job_id for r in records if r.type is RecordType.SUBMITTED
+        }
+        per_job_done: dict[str, int] = {}
+        for record in records:
+            if record.type is RecordType.DONE:
+                per_job_done[record.job_id] = (
+                    per_job_done.get(record.job_id, 0) + 1
+                )
+            elif record.type is RecordType.MOVED:
+                moved.append((name, record.job_id))
+        for job_id, count in sorted(per_job_done.items()):
+            if count > 1:
+                report.violations.append(
+                    f"{name}/{job_id}: {count} DONE records in one journal"
+                )
+            done_by_job[job_id] = done_by_job.get(job_id, 0) + 1
+        state_a, state_b = replay(records), replay(records)
+        fold = lambda s: {  # noqa: E731 - local comparison key
+            j.job_id: (j.finished, j.moved is None, j.dispatches, j.retries)
+            for j in s.jobs.values()
+        }
+        if fold(state_a) != fold(state_b):
+            report.violations.append(f"{name}: journal replay not idempotent")
+    report.duplicate_executions = sum(
+        1 for count in done_by_job.values() if count > 1
+    )
+
+    # ---- invariant: no job moved into the void -------------------------
+    for shard_name, job_id in moved:
+        elsewhere = any(
+            job_id in ids
+            for name, ids in submitted_by_shard.items()
+            if name != shard_name
+        )
+        if not elsewhere:
+            report.violations.append(
+                f"{shard_name}/{job_id}: MOVED but SUBMITTED nowhere else"
+            )
+
+    # ---- invariant: executed outputs match the baseline ----------------
+    for job_id, output in sorted(executed_outputs.items()):
+        want = baseline.get(job_id)
+        if want is None:
+            continue
+        if not _outputs_equal(output, want):
+            report.violations.append(
+                f"{job_id}: output differs from fault-free baseline"
+            )
+    return report

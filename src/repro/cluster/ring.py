@@ -1,0 +1,123 @@
+"""Consistent-hash ring over shard names.
+
+Routing in the cluster tier is *cache locality promoted one level up*:
+the serving layer's affinity scheduler keeps same-configuration jobs on
+warm fabrics inside one pool; the ring keeps same-plan-hash jobs on the
+same **shard**, so a shard's fabrics and artifact cache only ever see a
+slice of the plan universe.  The ring must therefore be
+
+* **deterministic** — every router incarnation (including one rebuilt
+  after a crash) maps the same key to the same shard, or recovery would
+  scatter requeued jobs;
+* **minimally disruptive** — removing a shard may only re-home the keys
+  that shard owned (its successors absorb them); everything else keeps
+  its warm cache.
+
+Both come from the textbook construction: each node contributes
+``vnodes`` virtual points, positioned by SHA-256 of ``"{node}#{i}"`` in
+the 64-bit key space (the same space
+:func:`repro.compile.hashing.plan_hash_prefix` projects plan hashes
+into), and a key routes to the first point clockwise from it.  Python's
+salted ``hash`` is never used.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from repro.errors import ClusterError
+
+__all__ = ["KEY_BITS", "HashRing", "ring_position"]
+
+#: Width of the ring's key space; matches ``plan_hash_prefix``'s default.
+KEY_BITS = 64
+_KEY_SPACE = 1 << KEY_BITS
+
+
+def ring_position(label: str) -> int:
+    """Deterministic position of ``label`` on the ring (64-bit)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ClusterError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        #: Sorted virtual-point positions and the node each belongs to.
+        self._positions: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        if not node:
+            raise ClusterError("ring nodes need a non-empty name")
+        if node in self._nodes:
+            raise ClusterError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            position = ring_position(f"{node}#{i}")
+            index = bisect.bisect_left(self._positions, position)
+            # SHA-256 collisions across distinct labels are not a real
+            # concern; ties (if ever) resolve by insertion order.
+            self._positions.insert(index, position)
+            self._owners.insert(index, node)
+
+    def remove_node(self, node: str) -> None:
+        """Drop ``node``; only its keys re-home (to their successors)."""
+        if node not in self._nodes:
+            raise ClusterError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._positions = [self._positions[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(self, key: int, *, exclude: frozenset[str] | set[str] = frozenset()) -> str:
+        """The node owning ``key``: first virtual point clockwise.
+
+        ``exclude`` skips nodes without mutating the ring — the answer
+        any ring *without* those nodes would give, used to preview a
+        drain target before actually removing the node.
+        """
+        candidates = self._nodes - set(exclude)
+        if not candidates:
+            raise ClusterError("route() on an empty ring")
+        key %= _KEY_SPACE
+        start = bisect.bisect_right(self._positions, key)
+        n = len(self._positions)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner in candidates:
+                return owner
+        raise ClusterError("ring positions inconsistent with node set")
+
+    def spread(self, keys: Iterable[int]) -> dict[str, int]:
+        """How many of ``keys`` each node owns (balance diagnostics)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

@@ -1,0 +1,398 @@
+"""The shard router: consistent-hash placement, stealing, handoff.
+
+``ShardRouter`` is the cluster's front door.  Every job routes by the
+**content address of its compiled plan** — :func:`plan_hash_prefix` of
+the artifact its :class:`~repro.serve.jobs.KernelSpec` compiles to —
+so all jobs sharing a configuration land on one shard and hit its warm
+fabrics and artifact cache.  The router owns three protocols whose
+orderings carry the durability invariants:
+
+**Routing + dedup.**  A job id is acknowledged cluster-wide exactly
+once: the router consults its delivered results and every live shard
+(results *and* queues) before forwarding, so client retries after a
+router restart are absorbed no matter which shard the job migrated to.
+
+**Work stealing** (hot shard → cold shard), thief-first::
+
+    thief journal:  SUBMITTED          <- the job is never unowned
+    --- crashpoint "cluster.steal" ---
+    victim journal: MOVED              <- victim replay stops covering it
+
+A crash between the two writes leaves the job in *both* journals; both
+incarnations may execute it, which is safe — outputs are bit-identical
+by construction and the router delivers first-wins — while a crash
+before the first write leaves it exactly where it was.  At no point can
+replay drop it, which is the invariant the steal chaos matrix pins.
+Only cold-hash jobs are stolen (see
+:meth:`~repro.cluster.shard.ShardWorker.steal_candidates`), so stealing
+never breaks a warm affinity run.
+
+**Handoff** (dead shard → successors) is recovery-as-construction
+reused across shard boundaries: scan the dead shard's journal
+*read-only*, fold it with the same
+:func:`~repro.serve.durability.recovery.replay`, deliver its finished
+results, and re-route every unfinished job through the ring (which no
+longer contains the dead shard).  Each re-submission is write-ahead on
+the successor and deduplicated there, so handoff is idempotent — a
+crash mid-handoff (crashpoint ``"cluster.handoff"``) just means the
+next incarnation folds the same journal again.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.chaos.crashpoints import crashpoint, register_crashpoint
+from repro.compile.hashing import plan_hash_prefix
+from repro.errors import ClusterError
+from repro.cluster.ring import KEY_BITS, HashRing
+from repro.cluster.shard import ShardWorker
+from repro.serve.durability.journal import FsyncPolicy, JobJournal
+from repro.serve.durability.recovery import replay
+from repro.serve.jobs import (
+    JobKind,
+    JobRequest,
+    JobResult,
+    JobStatus,
+    KernelSpec,
+)
+from repro.serve.metrics import MetricsRegistry
+
+__all__ = ["ShardRouter", "spec_routing_key", "CP_STEAL", "CP_HANDOFF"]
+
+#: Between the thief's SUBMITTED and the victim's MOVED — the window in
+#: which a job legitimately exists in two journals.
+CP_STEAL = register_crashpoint("cluster.steal")
+#: Before each handoff re-submission — the window in which part of a
+#: dead shard's queue has re-homed and part has not.
+CP_HANDOFF = register_crashpoint("cluster.handoff")
+
+#: Link cost used when compiling routing artifacts; matches the serving
+#: sessions' default so the router shares their cache entries.
+_ROUTING_LINK_COST_NS = 100.0
+
+
+def spec_routing_key(spec: KernelSpec, bits: int = KEY_BITS) -> int:
+    """The cluster routing key of a kernel spec.
+
+    Compiles the spec through the cached frontends (a repeat spec never
+    re-lowers) and projects the artifact's content address into the
+    ring's key space.  Every router incarnation computes the same key
+    for the same spec — the property recovery re-routing relies on.
+    """
+    # Lazy imports: the kernels import repro.compile.ir.
+    if spec.kind is JobKind.FFT:
+        from repro.compile.frontends import compile_fft
+        from repro.kernels.fft.decompose import FFTPlan
+
+        n, m, cols = spec.params
+        artifact = compile_fft(
+            FFTPlan(int(n), int(m), int(cols)), _ROUTING_LINK_COST_NS
+        )
+    elif spec.kind is JobKind.JPEG:
+        from repro.compile.frontends import compile_jpeg
+
+        quality, chroma = spec.params
+        artifact = compile_jpeg(int(quality), bool(chroma))
+    else:  # pragma: no cover - the kind enum is closed
+        raise ClusterError(f"no routing frontend for kind {spec.kind!r}")
+    return plan_hash_prefix(artifact, bits)
+
+
+class ShardRouter:
+    """Consistent-hash front door over a set of :class:`ShardWorker` s."""
+
+    def __init__(
+        self,
+        root: Path | str,
+        shard_names: list[str] | tuple[str, ...],
+        *,
+        pool_size: int = 1,
+        fsync: FsyncPolicy | str = FsyncPolicy.NEVER,
+        checkpoint_every_slices: int = 0,
+        max_batch: int = 1,
+        vnodes: int = 64,
+        steal_margin: int = 2,
+        max_steals_per_round: int = 4,
+        session_factory=None,
+        breaker_factory=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not shard_names:
+            raise ClusterError("a cluster needs at least one shard")
+        if len(set(shard_names)) != len(shard_names):
+            raise ClusterError(f"duplicate shard names: {shard_names}")
+        if steal_margin < 1:
+            raise ClusterError(f"steal_margin must be >= 1, got {steal_margin}")
+        from repro.serve.sessions import default_session_factory
+
+        self.root = Path(root)
+        self.metrics = metrics or MetricsRegistry()
+        self.steal_margin = steal_margin
+        self.max_steals_per_round = max_steals_per_round
+        self.shards: dict[str, ShardWorker] = {}
+        for name in shard_names:
+            self.shards[name] = ShardWorker(
+                name,
+                self.root / name,
+                pool_size=pool_size,
+                session_factory=session_factory or default_session_factory,
+                fsync=fsync,
+                checkpoint_every_slices=checkpoint_every_slices,
+                max_batch=max_batch,
+                breaker_factory=breaker_factory,
+                metrics=self.metrics,
+            )
+        self.ring = HashRing(shard_names, vnodes=vnodes)
+        #: First-wins delivered results (the client-facing dedup line).
+        self.results: dict[str, JobResult] = {}
+        #: Where each acknowledged job currently lives.
+        self.owner: dict[str, str] = {}
+        self._key_memo: dict[str, int] = {}
+        # -- accounting ---------------------------------------------------
+        self.steals = 0
+        self.handoffs = 0
+        self.duplicate_results = 0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def routing_key(self, spec: KernelSpec) -> int:
+        key = self._key_memo.get(spec.config_key)
+        if key is None:
+            key = self._key_memo[spec.config_key] = spec_routing_key(spec)
+        return key
+
+    def shard_for(self, spec: KernelSpec) -> str:
+        return self.ring.route(self.routing_key(spec))
+
+    def live_shards(self) -> list[ShardWorker]:
+        return [s for s in self.shards.values() if s.alive]
+
+    def submit(self, request: JobRequest) -> JobResult | None:
+        """Route one job to its shard; returns a recorded result when the
+        cluster has already delivered (or recovered) one for this id."""
+        recorded = self.results.get(request.job_id)
+        if recorded is not None:
+            return recorded
+        for shard in self.live_shards():
+            if shard.engine and request.job_id in shard.engine.results:
+                result = shard.engine.results[request.job_id]
+                self._record(result)
+                return result
+        if any(s.has_job(request.job_id) for s in self.live_shards()):
+            return None  # queued somewhere (recovered or stolen) — acked
+        name = self.shard_for(request.spec)
+        pre = self.shards[name].submit(request)
+        self.owner[request.job_id] = name
+        self.metrics.counter(
+            "cluster_jobs_routed_total", "Jobs placed by the ring"
+        ).inc(shard=name)
+        if pre is not None:
+            self._record(pre)
+        return pre
+
+    def _record(self, result: JobResult | None) -> JobResult | None:
+        """Fold one shard result into the first-wins delivered map."""
+        if result is None:
+            return None
+        if result.job_id in self.results:
+            self.duplicate_results += 1
+            self.metrics.counter(
+                "cluster_results_deduped_total",
+                "Shard results suppressed by first-wins delivery",
+            ).inc()
+            return self.results[result.job_id]
+        self.results[result.job_id] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return sum(s.queue_depth for s in self.live_shards())
+
+    def step_round(self) -> int:
+        """One lockstep round: every live shard runs one queued job.
+
+        Deterministic (shards step in name order), which is what lets
+        the cluster chaos matrix place crashes reproducibly.  Returns
+        the number of jobs completed this round.
+        """
+        completed = 0
+        for name in sorted(self.shards):
+            shard = self.shards[name]
+            if not shard.alive:
+                continue
+            result = shard.step_one()
+            if result is not None:
+                self._record(result)
+                completed += 1
+        return completed
+
+    def run(self, *, rebalance: bool = True) -> int:
+        """Drain every live shard's queue; returns jobs completed."""
+        total = 0
+        while self.pending:
+            if rebalance:
+                self.rebalance()
+            total += self.step_round()
+        return total
+
+    # ------------------------------------------------------------------
+    # work stealing
+    # ------------------------------------------------------------------
+
+    def rebalance(self) -> int:
+        """Steal cold-hash jobs from hot shards to cold ones.
+
+        Moves at most ``max_steals_per_round`` jobs, only while the
+        hottest live shard is more than ``steal_margin`` jobs deeper
+        than the coldest, and never moves a job whose configuration is
+        warm on its current shard.  Returns the number of steals.
+        """
+        moved = 0
+        while moved < self.max_steals_per_round:
+            live = self.live_shards()
+            if len(live) < 2:
+                break
+            victim = max(live, key=lambda s: (s.queue_depth, s.name))
+            thief = min(live, key=lambda s: (s.queue_depth, s.name))
+            if victim.queue_depth - thief.queue_depth <= self.steal_margin:
+                break
+            candidates = victim.steal_candidates()
+            if not candidates:
+                break
+            if not self._steal(victim, thief, candidates[-1]):
+                break
+            moved += 1
+        return moved
+
+    def _steal(
+        self, victim: ShardWorker, thief: ShardWorker, request: JobRequest
+    ) -> bool:
+        """Move one queued job, thief-first (see the module docstring)."""
+        pre = thief.submit(request)
+        if pre is not None:
+            # The thief already finished this id (a duplicate left over
+            # from an earlier crash window): don't take ownership twice.
+            self._record(pre)
+            return False
+        thief.jobs_stolen_in += 1
+        crashpoint(CP_STEAL)
+        victim.release(
+            request.job_id, {"to": thief.name, "reason": "steal"}
+        )
+        self.owner[request.job_id] = thief.name
+        self.steals += 1
+        self.metrics.counter(
+            "cluster_jobs_stolen_total", "Jobs moved by work stealing"
+        ).inc(src=victim.name, dst=thief.name)
+        return True
+
+    # ------------------------------------------------------------------
+    # shard death + handoff
+    # ------------------------------------------------------------------
+
+    def kill_shard(self, name: str) -> Path:
+        """Simulate shard ``name`` dying; it leaves the ring immediately.
+
+        Its journal directory survives — run :meth:`handoff` to re-home
+        its unfinished jobs and re-serve its finished results.
+        """
+        shard = self.shards.get(name)
+        if shard is None:
+            raise ClusterError(f"no shard {name!r}")
+        if len(self.live_shards()) < 2:
+            raise ClusterError(f"cannot kill {name!r}: it is the last shard")
+        journal_dir = shard.kill()
+        if name in self.ring:
+            self.ring.remove_node(name)
+        return journal_dir
+
+    def handoff(self, name: str, journal_dir: Path | str | None = None) -> int:
+        """Re-home a dead shard's jobs by replaying its journal.
+
+        Pure read + re-submit: the dead journal is scanned (never
+        appended to), finished jobs become recovered results, unfinished
+        ones re-route through the ring and are write-ahead-acknowledged
+        on their successors (which deduplicate repeats).  Idempotent —
+        safe to run again after a crash mid-handoff.  Returns the number
+        of jobs re-homed this call.
+        """
+        shard = self.shards.get(name)
+        if shard is not None and shard.alive:
+            raise ClusterError(f"shard {name!r} is alive — drain it instead")
+        if name in self.ring:
+            self.ring.remove_node(name)
+        directory = Path(
+            journal_dir
+            if journal_dir is not None
+            else (shard.journal_dir if shard is not None else self.root / name)
+        )
+        journal = JobJournal(directory, fsync=FsyncPolicy.NEVER, lock=False)
+        records, _ = journal.scan()
+        journal.close()
+        state = replay(records)
+        for job in state.finished_jobs():
+            done = job.done or {}
+            try:
+                status = JobStatus(done.get("status", "done"))
+            except ValueError:
+                status = JobStatus.FAILED
+            self._record(
+                JobResult(
+                    job_id=job.job_id,
+                    status=status,
+                    error=str(done.get("error", "")),
+                    worker_id=str(done.get("worker", "")),
+                    attempts=int(done.get("attempts", 0)),
+                    warm=bool(done.get("warm", False)),
+                    sim_ns=float(done.get("sim_ns", 0.0)),
+                    reconfig_ns=float(done.get("reconfig_ns", 0.0)),
+                    recovered=True,
+                )
+            )
+        rehomed = 0
+        for request in state.recovered_requests():
+            # Checkpoints are local to the dead shard; successors run
+            # the job from scratch (always safe, just slower).
+            request.resume_slice = 0
+            request.checkpoint_path = ""
+            request.checkpoint_crc = 0
+            crashpoint(CP_HANDOFF)
+            successor = self.ring.route(self.routing_key(request.spec))
+            target = self.shards[successor]
+            if target.engine and request.job_id in target.engine.results:
+                self._record(target.engine.results[request.job_id])
+                continue
+            if target.has_job(request.job_id):
+                continue  # an earlier handoff pass already re-homed it
+            pre = target.submit(request)
+            if pre is None:
+                target.jobs_handed_in += 1
+                self.owner[request.job_id] = successor
+                rehomed += 1
+            else:
+                self._record(pre)
+        self.handoffs += 1
+        self.metrics.counter(
+            "cluster_handoffs_total", "Dead-shard journal handoffs"
+        ).inc(shard=name)
+        return rehomed
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def publish_metrics(self) -> None:
+        for shard in self.shards.values():
+            shard.publish_metrics(self.metrics)
+
+    def close(self) -> None:
+        for shard in self.shards.values():
+            if shard.alive:
+                shard.close()

@@ -20,7 +20,7 @@ from repro.compile.cache import (
     get_cache,
 )
 from repro.compile.frontends import compile_fft, compile_jpeg, compile_plan
-from repro.compile.hashing import canonical_bytes, plan_hash
+from repro.compile.hashing import canonical_bytes, plan_hash, plan_hash_prefix
 from repro.compile.ir import (
     CompiledArtifact,
     EpochPlan,
@@ -59,6 +59,7 @@ __all__ = [
     "default_passes",
     "get_cache",
     "plan_hash",
+    "plan_hash_prefix",
     "rebuild_port_encoder",
     "register_port_encoder",
 ]

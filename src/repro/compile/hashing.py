@@ -25,7 +25,13 @@ from repro.errors import CompileError
 from repro.fabric.links import Direction
 from repro.fabric.rtms import EpochSpec
 
-__all__ = ["canonical_bytes", "plan_hash", "program_fingerprint", "epoch_fingerprint"]
+__all__ = [
+    "canonical_bytes",
+    "plan_hash",
+    "plan_hash_prefix",
+    "program_fingerprint",
+    "epoch_fingerprint",
+]
 
 
 def _emit(value: Any, out: list[bytes]) -> None:
@@ -100,6 +106,42 @@ def epoch_fingerprint(spec: EpochSpec) -> tuple:
         bool(spec.restart),
         tuple(spec.depends_on),
     )
+
+
+def plan_hash_prefix(artifact, bits: int = 64) -> int:
+    """Routing key: the top ``bits`` bits of a plan's content address.
+
+    ``artifact`` may be a :class:`~repro.compile.ir.CompiledArtifact`
+    (its ``artifact_hash`` is used), anything else exposing an
+    ``artifact_hash`` attribute, or a raw 64-hex-digit SHA-256 string.
+    The result is an integer in ``[0, 2**bits)`` — uniformly distributed
+    because SHA-256 prefixes are, which is what consistent-hash routing
+    relies on.  Deriving routing keys here (rather than slicing hash
+    strings ad hoc at call sites) keeps every router, bench and test on
+    the same key space.
+    """
+    if not 1 <= bits <= 256:
+        raise CompileError(
+            f"plan_hash_prefix bits must be in 1..256, got {bits}"
+        )
+    digest = getattr(artifact, "artifact_hash", artifact)
+    if not isinstance(digest, str):
+        raise CompileError(
+            f"plan_hash_prefix wants an artifact or hex digest, "
+            f"got {type(artifact).__name__}"
+        )
+    if len(digest) != 64:
+        raise CompileError(
+            f"plan_hash_prefix wants a 64-hex-digit SHA-256, "
+            f"got {len(digest)} characters"
+        )
+    try:
+        value = int(digest, 16)
+    except ValueError:
+        raise CompileError(
+            f"plan_hash_prefix got a non-hex digest: {digest[:16]!r}..."
+        ) from None
+    return value >> (256 - bits)
 
 
 def plan_hash(plan) -> str:

@@ -176,6 +176,12 @@ class JobCancelled(ServeError):
     service's timeout path); the fabric is reset afterwards."""
 
 
+class ClusterError(ServeError):
+    """Raised by the sharded scale-out tier (:mod:`repro.cluster`) on
+    misrouted jobs, operations against dead shards, or unusable ring
+    configurations."""
+
+
 class ChaosError(ReproError):
     """Raised by the chaos harness on malformed fault plans or scenario
     misuse (never by an injected fault itself — those surface as

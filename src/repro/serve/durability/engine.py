@@ -121,6 +121,7 @@ class DurableEngine:
         max_batch: int = 1,
         segment_records: int = 1024,
         lock: bool = False,
+        breaker_factory=None,
     ) -> None:
         if max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {max_batch}")
@@ -130,7 +131,9 @@ class DurableEngine:
             fsync=fsync,
             lock=lock,
         )
-        self.pool = FabricPool(pool_size, session_factory)
+        self.pool = FabricPool(
+            pool_size, session_factory, breaker_factory=breaker_factory
+        )
         self.checkpoint_every_slices = checkpoint_every_slices
         self.max_batch = max_batch
         #: Job ids a failed batch demoted to the scalar path for good.
@@ -188,6 +191,21 @@ class DurableEngine:
         self.journal.submitted(request.job_id, encode_request(request))
         self.queue.append(request)
         return None
+
+    def mark_moved(self, job_id: str, data: dict) -> JobRequest:
+        """Transfer ownership of a *queued* job out of this engine.
+
+        Journals the MOVED record (so this journal's replay stops
+        covering the job) and removes the job from the queue, returning
+        the request for the new owner to submit.  Only queued jobs can
+        move — a dispatched job's fabric is already running it, and a
+        finished job's result must stay servable here.
+        """
+        for i, request in enumerate(self.queue):
+            if request.job_id == job_id:
+                self.journal.moved(job_id, data)
+                return self.queue.pop(i)
+        raise ServeError(f"mark_moved: job {job_id!r} is not queued here")
 
     # ------------------------------------------------------------------
     # execution

@@ -291,25 +291,25 @@ class JobJournal:
     def compact(self) -> int:
         """Drop records replay no longer needs; returns records removed.
 
-        Keeps every record of jobs without a DONE record (they will be
-        requeued/resumed) and only the DONE record of finished jobs
-        (result dedup across restarts).  Crash-safe: the survivor set is
+        Keeps every record of jobs without a terminal record (they will
+        be requeued/resumed) and only the terminal record of finished
+        (DONE — result dedup across restarts) or moved (MOVED — another
+        shard owns them now) jobs.  Crash-safe: the survivor set is
         written to a fresh segment first, the old segments are removed
         only after it is fully on disk — a crash mid-compaction leaves
         either the old or the new layout, both replayable (at worst
         with duplicate records, which replay tolerates idempotently).
         """
+        terminal = (RecordType.DONE, RecordType.MOVED)
         with self._lock:
             if self._closed:
                 raise JournalError("compact on a closed journal")
             records, _ = self.scan()
-            done_jobs = {
-                r.job_id for r in records if r.type is RecordType.DONE
-            }
+            done_jobs = {r.job_id for r in records if r.type in terminal}
             keep = [
                 r
                 for r in records
-                if r.job_id not in done_jobs or r.type is RecordType.DONE
+                if r.job_id not in done_jobs or r.type in terminal
             ]
             removed = len(records) - len(keep)
             old_segments = self.segments()
@@ -356,3 +356,6 @@ class JobJournal:
 
     def done(self, job_id: str, data: dict) -> JournalRecord:
         return self.append(JournalRecord(RecordType.DONE, job_id, data))
+
+    def moved(self, job_id: str, data: dict) -> JournalRecord:
+        return self.append(JournalRecord(RecordType.MOVED, job_id, data))

@@ -12,6 +12,8 @@ lifecycle::
                     file an FFT resume can restore
     RETRY           an attempt failed and a retry was scheduled
     DONE            terminal result (status + compact result fields)
+    MOVED           the job left this journal's ownership (stolen by, or
+                    handed off to, another shard — cluster routing)
 
 Payloads are numpy arrays (complex FFT vectors, integer JPEG frames);
 :func:`encode_payload`/:func:`decode_payload` round-trip them through
@@ -50,6 +52,10 @@ class RecordType(str, enum.Enum):
     EPOCH_PROGRESS = "EPOCH_PROGRESS"
     RETRY = "RETRY"
     DONE = "DONE"
+    #: Ownership of the job left this journal (work stealing or shard
+    #: handoff); replay must neither requeue nor serve a result for it —
+    #: the destination shard's journal owns the job now.
+    MOVED = "MOVED"
 
 
 @dataclass

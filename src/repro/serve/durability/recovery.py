@@ -51,6 +51,9 @@ class JobReplay:
     checkpoint_crc: int = 0
     #: Terminal DONE body (None while unfinished).
     done: dict[str, Any] | None = None
+    #: MOVED body (None while owned here).  A moved job belongs to the
+    #: destination shard's journal: replay must not requeue it.
+    moved: dict[str, Any] | None = None
 
     @property
     def finished(self) -> bool:
@@ -79,6 +82,9 @@ class JobReplay:
         elif record.type is RecordType.DONE:
             if self.done is None:
                 self.done = record.data
+        elif record.type is RecordType.MOVED:
+            if self.moved is None:
+                self.moved = record.data
 
 
 @dataclass
@@ -92,11 +98,16 @@ class RecoveryState:
         return [j for j in self.jobs.values() if j.finished]
 
     def unfinished_jobs(self) -> list[JobReplay]:
-        """Acknowledged-but-unfinished jobs, oldest first (stable)."""
+        """Acknowledged-but-unfinished jobs, oldest first (stable).
+
+        Jobs with a MOVED record are excluded: a steal or handoff
+        transferred their ownership to another shard's journal, and
+        requeueing them here would duplicate execution.
+        """
         return [
             j
             for j in self.jobs.values()
-            if not j.finished and j.submitted is not None
+            if not j.finished and j.submitted is not None and j.moved is None
         ]
 
     def recovered_requests(self) -> list[JobRequest]:

@@ -69,6 +69,7 @@ class RejectReason(str, enum.Enum):
     SHED = "shed"              #: probabilistic overload shedding fired
     ADMISSION_CAP = "admission_cap"  #: hard shedding cap (queue delay)
     SHUTDOWN = "shutdown"      #: queued job failed by a non-drain shutdown
+    HANDOFF = "handoff"        #: queued job handed off to another shard
 
 
 @dataclass(frozen=True)

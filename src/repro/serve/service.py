@@ -158,6 +158,7 @@ class FabricJobService:
         self._executor: ThreadPoolExecutor | None = None
         self._running = False
         self._draining = False
+        self._handing_off = False
         self._inflight = 0
         self._active_cancels: set[CancelToken] = set()
         self._register_metrics()
@@ -412,6 +413,47 @@ class FabricJobService:
                 lambda: not self._queue and self._inflight == 0
             )
 
+    async def handoff(self) -> list[JobRequest]:
+        """Drain-for-migration: surrender the queued backlog instead of
+        executing it.
+
+        Stops admission and job pickup, waits for in-flight work to
+        finish (a running job is never interrupted — its fabric owns
+        it), then returns every still-queued request for a successor
+        service/shard to adopt.  For each surrendered job, a MOVED
+        record is journaled first (so this journal's replay stops
+        requeueing it — the successor's SUBMITTED record owns it now)
+        and its local future resolves to a ``REJECTED(handoff)`` result,
+        telling a co-located waiter to follow the job to its new home.
+
+        After handoff the service is drained (empty queue, no inflight)
+        and still running; call :meth:`shutdown` to tear it down.
+        """
+        if not self._running:
+            raise ServeError("handoff on a stopped service")
+        self._draining = True
+        self._handing_off = True
+        assert self._queue_changed is not None
+        async with self._queue_changed:
+            await self._queue_changed.wait_for(lambda: self._inflight == 0)
+            surrendered: list[JobRequest] = []
+            for pending in self._queue:
+                self._journal_append(
+                    "MOVED",
+                    lambda: self.journal.moved(
+                        pending.request.job_id, {"reason": "handoff"}
+                    ),
+                )
+                if not pending.future.done():
+                    pending.future.set_result(
+                        self._rejection(pending.request, RejectReason.HANDOFF)
+                    )
+                surrendered.append(pending.request)
+            self._queue.clear()
+            self._m_queue_depth.set(0)
+            self._queue_changed.notify_all()
+        return surrendered
+
     async def shutdown(self, *, drain: bool = True) -> None:
         """Tear the service down (optionally draining first)."""
         if not self._running:
@@ -611,12 +653,18 @@ class FabricJobService:
             # A worker with a breaker must *poll*: an open breaker
             # re-admits by time alone (cooldown elapse), which produces
             # no condition notification.
+            # A handoff in progress freezes pickup entirely: the backlog
+            # is about to be surrendered, not executed.
             if worker.breaker is None:
                 await self._queue_changed.wait_for(
-                    lambda: bool(self._queue) and worker.available
+                    lambda: bool(self._queue)
+                    and worker.available
+                    and not self._handing_off
                 )
             else:
-                while not (self._queue and worker.available):
+                while self._handing_off or not (
+                    self._queue and worker.available
+                ):
                     try:
                         await asyncio.wait_for(
                             self._queue_changed.wait(),

@@ -1,0 +1,100 @@
+"""The open-loop load simulator: determinism, skew, stealing, speedup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.loadgen import (
+    LoadSpec,
+    generate_trace,
+    plan_routing_keys,
+    run_load,
+    simulate,
+)
+from repro.cluster.ring import KEY_BITS
+from repro.errors import ClusterError
+
+#: Small enough for tier-1, skewed enough that stealing has work to do.
+SPEC = LoadSpec(n_jobs=20_000, n_shards=4, seed=3, zipf_s=1.2)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_load(SPEC)
+
+
+class TestTrace:
+    def test_trace_is_deterministic(self):
+        a_arr, a_plan, a_ten = generate_trace(SPEC)
+        b_arr, b_plan, b_ten = generate_trace(SPEC)
+        assert (a_arr == b_arr).all()
+        assert (a_plan == b_plan).all()
+        assert (a_ten == b_ten).all()
+
+    def test_plan_keys_live_in_the_ring_key_space(self):
+        keys = plan_routing_keys(32)
+        assert keys == plan_routing_keys(32)
+        assert len(set(keys)) == 32
+        assert all(0 <= k < (1 << KEY_BITS) for k in keys)
+
+    def test_zipf_skew_shows_in_the_report(self, report):
+        # Uniform would give ~1/64 per plan; Zipf makes one plan hot.
+        assert report.hottest_plan_share > 3.0 / SPEC.n_plans
+        assert report.hottest_tenant_share > 1.5 / 16
+
+
+class TestSimulation:
+    def test_report_is_deterministic(self, report):
+        assert run_load(SPEC).as_dict() == report.as_dict()
+
+    def test_every_job_completes_exactly_once(self, report):
+        assert report.n_jobs == SPEC.n_jobs
+        assert sum(report.per_shard_completed.values()) == SPEC.n_jobs
+
+    def test_percentiles_are_ordered(self, report):
+        assert 0.0 < report.p50_ms <= report.p99_ms <= report.p999_ms
+        assert report.warm_fraction > 0.0
+        assert report.makespan_s > 0.0
+        assert report.throughput_jobs_per_s > 0.0
+
+    def test_stealing_cuts_the_tail_under_skew(self, report):
+        frozen = run_load(
+            LoadSpec(**{**SPEC.__dict__, "steal": False})
+        )
+        assert report.steals > 0
+        assert frozen.steals == 0
+        assert report.p99_ms < frozen.p99_ms
+
+    def test_single_node_cannot_steal(self):
+        solo = simulate(SPEC, generate_trace(SPEC), n_shards=1)
+        assert solo.steals == 0
+        assert solo.n_shards == 1
+
+    def test_sharding_beats_a_single_node_on_the_same_trace(self):
+        trace = generate_trace(SPEC)
+        sharded = simulate(SPEC, trace)
+        solo = simulate(SPEC, trace, n_shards=1)
+        assert solo.makespan_s / sharded.makespan_s >= 1.8
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, value, match",
+        [
+            ("n_jobs", 0, "n_jobs"),
+            ("n_shards", 0, "n_shards"),
+            ("n_plans", 0, "n_plans"),
+            ("zipf_s", 0.0, "zipf_s"),
+            ("utilization", 0.0, "utilization"),
+            ("utilization", 2.5, "utilization"),
+            ("warm_service_us", 0.0, "warm_service_us"),
+            ("cold_service_us", 1.0, "warm_service_us"),
+        ],
+    )
+    def test_bad_spec_fields_raise(self, field, value, match):
+        with pytest.raises(ClusterError, match=match):
+            LoadSpec(**{**LoadSpec().__dict__, field: value})
+
+    def test_simulate_rejects_bad_shard_override(self):
+        with pytest.raises(ClusterError, match="n_shards"):
+            simulate(SPEC, generate_trace(SPEC), n_shards=0)

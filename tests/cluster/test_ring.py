@@ -1,0 +1,99 @@
+"""The consistent-hash ring: determinism, balance, minimal disruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import KEY_BITS, HashRing, ring_position
+from repro.errors import ClusterError
+
+NODES = ["shard-0", "shard-1", "shard-2", "shard-3"]
+KEYS = [ring_position(f"key-{i}") for i in range(1000)]
+
+
+class TestPositions:
+    def test_ring_position_is_deterministic_and_64_bit(self):
+        assert ring_position("a") == ring_position("a")
+        assert ring_position("a") != ring_position("b")
+        for label in ("", "shard-0#0", "x" * 100):
+            assert 0 <= ring_position(label) < (1 << KEY_BITS)
+
+    def test_python_hash_salting_is_irrelevant(self):
+        # sha256("shard-0#0")[:8] — pinned so a process with a different
+        # PYTHONHASHSEED (or a refactor to builtin hash) cannot drift.
+        assert ring_position("shard-0#0") == 0xADC99C73A290F5A8
+
+
+class TestRouting:
+    def test_two_rings_agree(self):
+        a, b = HashRing(NODES), HashRing(list(reversed(NODES)))
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_keys_wrap_around_the_ring(self):
+        ring = HashRing(NODES)
+        assert ring.route(0) in NODES
+        assert ring.route((1 << KEY_BITS) - 1) in NODES
+        # Keys beyond the space reduce into it.
+        assert ring.route(1 << KEY_BITS) == ring.route(0)
+
+    def test_spread_is_roughly_balanced(self):
+        counts = HashRing(NODES, vnodes=64).spread(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+        for node, count in counts.items():
+            assert 100 <= count <= 500, (node, count)
+
+    def test_exclude_previews_removal(self):
+        ring = HashRing(NODES)
+        owners = {k: ring.route(k) for k in KEYS}
+        previewed = {k: ring.route(k, exclude={"shard-1"}) for k in KEYS}
+        ring.remove_node("shard-1")
+        assert previewed == {k: ring.route(k) for k in KEYS}
+        # And only shard-1's keys moved.
+        for key, owner in owners.items():
+            if owner != "shard-1":
+                assert previewed[key] == owner
+
+
+class TestMinimalDisruption:
+    def test_remove_rehomes_only_the_dead_nodes_keys(self):
+        ring = HashRing(NODES)
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove_node("shard-2")
+        after = {k: ring.route(k) for k in KEYS}
+        for key in KEYS:
+            if before[key] != "shard-2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "shard-2"
+
+    def test_add_moves_keys_only_to_the_new_node(self):
+        ring = HashRing(NODES)
+        before = {k: ring.route(k) for k in KEYS}
+        ring.add_node("shard-4")
+        after = {k: ring.route(k) for k in KEYS}
+        moved = {k for k in KEYS if after[k] != before[k]}
+        assert moved  # a new node must take some load...
+        assert all(after[k] == "shard-4" for k in moved)  # ...only to itself
+
+
+class TestMembership:
+    def test_len_contains_nodes(self):
+        ring = HashRing(NODES)
+        assert len(ring) == 4
+        assert "shard-0" in ring and "shard-9" not in ring
+        assert ring.nodes() == sorted(NODES)
+
+    def test_errors(self):
+        with pytest.raises(ClusterError, match="vnodes"):
+            HashRing(NODES, vnodes=0)
+        with pytest.raises(ClusterError, match="non-empty"):
+            HashRing([""])
+        ring = HashRing(NODES)
+        with pytest.raises(ClusterError, match="already"):
+            ring.add_node("shard-0")
+        with pytest.raises(ClusterError, match="not on the ring"):
+            ring.remove_node("shard-9")
+        with pytest.raises(ClusterError, match="empty ring"):
+            HashRing().route(0)
+        with pytest.raises(ClusterError, match="empty ring"):
+            ring.route(0, exclude=set(NODES))

@@ -1,0 +1,62 @@
+"""``plan_hash_prefix``: the plan-hash → ring-key projection."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.compile.frontends import compile_jpeg
+from repro.compile.hashing import plan_hash_prefix
+from repro.errors import CompileError
+
+DIGEST = hashlib.sha256(b"a plan").hexdigest()
+
+
+class TestProjection:
+    def test_default_is_the_top_64_bits(self):
+        assert plan_hash_prefix(DIGEST) == int(DIGEST, 16) >> 192
+        assert plan_hash_prefix(DIGEST) < (1 << 64)
+
+    @pytest.mark.parametrize("bits", [1, 8, 16, 64, 255, 256])
+    def test_bits_slices_from_the_top(self, bits):
+        value = plan_hash_prefix(DIGEST, bits)
+        assert 0 <= value < (1 << bits)
+        assert value == int(DIGEST, 16) >> (256 - bits)
+
+    def test_narrower_prefixes_nest(self):
+        # The 16-bit key is the 64-bit key's own top 16 bits.
+        assert plan_hash_prefix(DIGEST, 16) == plan_hash_prefix(DIGEST) >> 48
+
+    def test_accepts_a_compiled_artifact(self):
+        artifact = compile_jpeg(75, False)
+        assert plan_hash_prefix(artifact) == plan_hash_prefix(
+            artifact.artifact_hash
+        )
+
+    def test_deterministic_across_compiles(self):
+        assert plan_hash_prefix(compile_jpeg(75, False)) == plan_hash_prefix(
+            compile_jpeg(75, False)
+        )
+        assert plan_hash_prefix(compile_jpeg(75, False)) != plan_hash_prefix(
+            compile_jpeg(50, False)
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bits", [0, -1, 257])
+    def test_bits_out_of_range(self, bits):
+        with pytest.raises(CompileError, match="bits"):
+            plan_hash_prefix(DIGEST, bits)
+
+    def test_non_string_input(self):
+        with pytest.raises(CompileError, match="artifact or hex digest"):
+            plan_hash_prefix(12345)
+
+    def test_wrong_length_digest(self):
+        with pytest.raises(CompileError, match="64-hex-digit"):
+            plan_hash_prefix("abc123")
+
+    def test_non_hex_digest(self):
+        with pytest.raises(CompileError, match="non-hex"):
+            plan_hash_prefix("z" * 64)

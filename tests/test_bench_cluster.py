@@ -1,0 +1,131 @@
+"""Tier-1 guard for the cluster scale-out benchmark.
+
+Mirrors ``tests/test_bench_serve.py``: load ``benchmarks/
+bench_cluster.py`` as a module, run a reduced trace, and pin the
+report schema, the determinism of the simulation, and the router-vs-
+single speedup floor (>= 1.8x at 4 shards) that the committed
+``BENCH_cluster.json`` must also honour.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_HARNESS = _ROOT / "benchmarks" / "bench_cluster.py"
+_COMMITTED = _ROOT / "BENCH_cluster.json"
+
+#: Small enough for tier-1, large enough for stable percentiles.
+_SMOKE_JOBS = 20_000
+
+ENTRY_KEYS = {
+    "shards",
+    "jobs",
+    "makespan_s",
+    "throughput_jobs_per_s",
+    "mean_ms",
+    "p50_ms",
+    "p99_ms",
+    "p999_ms",
+    "warm_fraction",
+    "steals",
+    "single_node_makespan_s",
+    "speedup_vs_single",
+    "wall_s",
+}
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_cluster", _HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report(bench, tmp_path_factory):
+    output = tmp_path_factory.mktemp("bench_cluster") / "BENCH_cluster.json"
+    produced = bench.run_bench(n_jobs=_SMOKE_JOBS, output=output)
+    written = json.loads(output.read_text())
+    assert written == produced
+    return produced
+
+
+def _strip_wall(report: dict) -> dict:
+    """Drop the only non-deterministic field (host wall-clock)."""
+    clone = json.loads(json.dumps(report))
+    for entry in clone["shards"]:
+        entry.pop("wall_s")
+    return clone
+
+
+def test_json_schema(report):
+    assert set(report) == {"calibration", "load", "shards", "speedup_4_shards"}
+    assert set(report["calibration"]) == {
+        "warm_service_us",
+        "cold_service_us",
+        "per_kind",
+    }
+    assert set(report["load"]) == {
+        "jobs",
+        "seed",
+        "n_plans",
+        "zipf_s",
+        "utilization",
+        "shard_counts",
+    }
+    assert report["load"]["jobs"] == _SMOKE_JOBS
+    assert [e["shards"] for e in report["shards"]] == report["load"][
+        "shard_counts"
+    ]
+    for entry in report["shards"]:
+        assert set(entry) == ENTRY_KEYS
+        assert entry["jobs"] == _SMOKE_JOBS
+        assert 0.0 < entry["p50_ms"] <= entry["p99_ms"] <= entry["p999_ms"]
+        assert entry["makespan_s"] > 0
+        assert entry["speedup_vs_single"] > 0
+
+
+def test_calibration_comes_from_real_sessions(bench):
+    calibration = bench.calibrate()
+    assert 0 < calibration["warm_service_us"] <= calibration["cold_service_us"]
+    for kind in ("fft", "jpeg"):
+        measured = calibration["per_kind"][kind]
+        assert 0 < measured["warm_us"] <= measured["cold_us"]
+
+
+def test_four_shard_speedup_floor(report):
+    """The regression guard: sharding must pay for itself."""
+    assert report["speedup_4_shards"] >= 1.8
+    by_shards = {e["shards"]: e for e in report["shards"]}
+    # Single node vs itself is exactly 1.0 by construction.
+    assert by_shards[1]["speedup_vs_single"] == pytest.approx(1.0)
+    # More shards never slow the same offered load down.
+    assert by_shards[8]["makespan_s"] <= by_shards[4]["makespan_s"]
+
+
+def test_stealing_engages_under_skew(report):
+    """Zipf skew concentrates load; idle shards must actually steal."""
+    multi = [e for e in report["shards"] if e["shards"] > 1]
+    assert all(e["steals"] > 0 for e in multi)
+
+
+def test_run_is_deterministic(bench, tmp_path):
+    a = bench.run_bench(n_jobs=2_000, output=tmp_path / "a.json")
+    b = bench.run_bench(n_jobs=2_000, output=tmp_path / "b.json")
+    assert _strip_wall(a) == _strip_wall(b)
+
+
+def test_repo_level_json_holds_the_floor():
+    """The committed million-job report satisfies the acceptance bar."""
+    committed = json.loads(_COMMITTED.read_text())
+    assert committed["load"]["jobs"] == 1_000_000
+    assert committed["load"]["shard_counts"] == [1, 2, 4, 8]
+    assert committed["speedup_4_shards"] >= 1.8
+    for entry in committed["shards"]:
+        assert entry["p999_ms"] > 0
