@@ -11,7 +11,8 @@ million-job Zipf-skewed trace, then writes a machine-readable
      "load": {"jobs": 1000000, "seed": 0, ...},
      "shards": [{"shards": 1, "p50_ms": ..., "p99_ms": ..., "p999_ms": ...,
                  "speedup_vs_single": ...}, ...],
-     "speedup_4_shards": 2.9}
+     "speedup_4_shards": 2.9,
+     "drain": {"steady_p99_ms": ..., "drain_p99_ms": ..., "p99_ratio": ...}}
 
 For every shard count the *same* arrival trace replays on the sharded
 cluster and on a single node, so ``speedup_vs_single`` (ratio of
@@ -19,6 +20,12 @@ makespans) is the honest scale-out factor under identical offered load.
 ``speedup_4_shards`` is the headline number the tier-1 regression guard
 holds to >= 1.8x (mirroring ``BENCH_serve.json``'s 1.5x affinity
 floor).
+
+The ``drain`` leg replays the four-shard trace and live-drains the
+hottest shard halfway through (the simulator twin of
+:func:`repro.cluster.lifecycle.drain.drain_shard`): the tier-1 guard
+holds its ``p99_ratio`` — p99 latency during the drain window over
+steady-state p99 — to <= 3x.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_cluster.py``) or
 through :func:`run_bench` from the tier-1 smoke test with a reduced
@@ -93,7 +100,12 @@ def run_bench(
     output: Path | str = DEFAULT_OUTPUT,
 ) -> dict:
     """Sweep shard counts over one calibrated load; write the JSON."""
-    from repro.cluster.loadgen import LoadSpec, generate_trace, simulate
+    from repro.cluster.loadgen import (
+        LoadSpec,
+        generate_trace,
+        simulate,
+        simulate_drain,
+    )
 
     calibration = calibrate()
     entries = []
@@ -132,6 +144,20 @@ def run_bench(
                 "wall_s": wall_s,
             }
         )
+    drain_spec = LoadSpec(
+        n_jobs=n_jobs,
+        n_shards=4,
+        seed=seed,
+        n_plans=DEFAULT_PLANS,
+        zipf_s=DEFAULT_ZIPF_S,
+        utilization=DEFAULT_UTILIZATION,
+        warm_service_us=calibration["warm_service_us"],
+        cold_service_us=calibration["cold_service_us"],
+    )
+    t0 = time.perf_counter()
+    drain = simulate_drain(drain_spec).as_dict()
+    drain["wall_s"] = time.perf_counter() - t0
+
     by_shards = {entry["shards"]: entry for entry in entries}
     report = {
         "calibration": calibration,
@@ -147,6 +173,7 @@ def run_bench(
         "speedup_4_shards": (
             by_shards[4]["speedup_vs_single"] if 4 in by_shards else None
         ),
+        "drain": drain,
     }
     output = Path(output)
     output.write_text(json.dumps(report, indent=2) + "\n")
@@ -172,6 +199,14 @@ def main() -> None:
             f"wall {entry['wall_s']:.1f} s"
         )
     print(f"speedup at 4 shards: {report['speedup_4_shards']:.2f}x")
+    drain = report["drain"]
+    print(
+        f"drain leg ({drain['drained_shard']} @ "
+        f"{drain['drain_start_s']:.1f} s): "
+        f"steady p99 {drain['steady_p99_ms']:.3f} ms  "
+        f"drain p99 {drain['drain_p99_ms']:.3f} ms  "
+        f"ratio {drain['p99_ratio']:.2f}x"
+    )
 
 
 if __name__ == "__main__":

@@ -12,6 +12,12 @@ recovery fold, reused across shard boundaries), and
 :mod:`repro.cluster.loadgen` scales the whole design to a million
 synthetic jobs with calibrated service times.
 
+:mod:`repro.cluster.lifecycle` supervises the membership itself:
+deterministic phi-accrual failure detection over per-round shard
+heartbeats, *live* drains that migrate a running shard's backlog
+without losing an acked job, and anti-entropy scrubbing that re-verifies
+journal CRCs and cache disk entries before recovery has to trust them.
+
 ``python -m repro cluster`` demos the tier;
 :mod:`repro.cluster.harness` is its deterministic chaos counterpart.
 """
@@ -21,6 +27,18 @@ from repro.cluster.harness import (
     ClusterScenario,
     run_cluster_scenario,
 )
+from repro.cluster.lifecycle import (
+    AntiEntropyScrubber,
+    ClusterSupervisor,
+    DrainReport,
+    HealthMonitor,
+    ScrubReport,
+    ShardHeartbeat,
+    ShardState,
+    StateTransition,
+    SupervisorReport,
+    drain_shard,
+)
 from repro.cluster.loadgen import LoadSpec, LoadReport, generate_trace, run_load, simulate
 from repro.cluster.ring import KEY_BITS, HashRing, ring_position
 from repro.cluster.router import ShardRouter, spec_routing_key
@@ -28,13 +46,23 @@ from repro.cluster.shard import ShardWorker
 
 __all__ = [
     "KEY_BITS",
+    "AntiEntropyScrubber",
     "ClusterReport",
     "ClusterScenario",
+    "ClusterSupervisor",
+    "DrainReport",
     "HashRing",
+    "HealthMonitor",
     "LoadReport",
     "LoadSpec",
+    "ScrubReport",
+    "ShardHeartbeat",
     "ShardRouter",
+    "ShardState",
     "ShardWorker",
+    "StateTransition",
+    "SupervisorReport",
+    "drain_shard",
     "generate_trace",
     "ring_position",
     "run_cluster_scenario",

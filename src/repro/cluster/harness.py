@@ -6,11 +6,17 @@ failure axes layered on one scenario:
 * a **shard kill** — one shard's "process" dies mid-run while the
   cluster keeps serving; the router removes it from the ring and
   re-homes its journal via :meth:`~repro.cluster.router.ShardRouter.handoff`;
+* a **live drain** — one shard is administratively drained mid-run
+  (:func:`~repro.cluster.lifecycle.drain.drain_shard`): admission stops,
+  its backlog migrates to ring successors under the thief-first MOVED
+  protocol, and only an empty shard leaves the ring;
 * **whole-cluster crashes** — a :class:`~repro.chaos.crashpoints.FaultSpec`
   fires at any registered crash point (journal edges, ``cluster.steal``,
-  ``cluster.handoff``) and unwinds the entire incarnation; the next one
-  reconstructs every surviving shard from its journal directory and
-  redoes the handoff (idempotently).
+  ``cluster.handoff``, ``cluster.drain.*``) and unwinds the entire
+  incarnation; the next one reconstructs every surviving shard from its
+  journal directory, redoes the handoff (idempotently) and — when the
+  crash interrupted a drain — re-drains the shard from wherever the
+  MOVED records left off.
 
 Invariants checked (a superset of the single-node harness, adjusted for
 multi-journal ownership):
@@ -38,6 +44,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.chaos.crashpoints import FaultSpec, SimulatedCrash, armed
+from repro.cluster.lifecycle.drain import drain_shard as live_drain
 from repro.cluster.router import ShardRouter
 from repro.errors import ChaosError
 from repro.serve.durability.engine import DurableEngine
@@ -78,6 +85,11 @@ class ClusterScenario:
     #: (``None`` = nobody dies).
     kill_shard: int | None = None
     kill_after: int = 2
+    #: Live-drain this shard (by sorted index) after ``drain_after``
+    #: completions (``None`` = nobody drains).  May be combined with a
+    #: kill of a *different* shard.
+    drain_shard: int | None = None
+    drain_after: int = 2
     steal: bool = True
     pool_size: int = 1
     max_restarts: int = 8
@@ -125,6 +137,14 @@ class ClusterReport:
     steals: int = 0
     handoffs: int = 0
     shard_killed: str = ""
+    shard_drained: str = ""
+    #: Backlog jobs the (final, completed) drain migrated / expired /
+    #: found already owned by the successor.
+    drain_moved: int = 0
+    drain_expired: int = 0
+    drain_deduped: int = 0
+    #: Drain attempts, counting ones a crash interrupted.
+    drain_attempts: int = 0
     #: Jobs that (legally) completed in more than one journal — the
     #: steal/handoff crash window made the duplicate; delivery deduped it.
     duplicate_executions: int = 0
@@ -183,9 +203,24 @@ def run_cluster_scenario(
     )
     if kill_name is not None:
         report.shard_killed = kill_name
+    drain_name = (
+        all_names[scenario.drain_shard]
+        if scenario.drain_shard is not None
+        else None
+    )
+    if drain_name is not None:
+        report.shard_drained = drain_name
+        if drain_name == kill_name:
+            raise ChaosError(
+                f"cannot both kill and drain {drain_name} in one scenario"
+            )
 
     acked: set[str] = set()
     killed: set[str] = set()  # persists across incarnations: dead is dead
+    #: Shards whose drain *completed* (left the ring, closed).  A drain a
+    #: crash interrupted is NOT here — the shard revives as a survivor
+    #: next incarnation and is re-drained idempotently.
+    drained: set[str] = set()
     delivered: dict[str, JobStatus] = {}
     executed_outputs: dict[str, object] = {}
 
@@ -211,7 +246,11 @@ def run_cluster_scenario(
                     f"restarts — runaway crash loop"
                 )
             try:
-                survivors = [n for n in all_names if n not in killed]
+                survivors = [
+                    n
+                    for n in all_names
+                    if n not in killed and n not in drained
+                ]
                 router = ShardRouter(
                     root,
                     survivors,
@@ -219,8 +258,11 @@ def run_cluster_scenario(
                     fsync=scenario.fsync,
                 )
                 # A shard that died in an earlier incarnation stays dead;
-                # redo its handoff (idempotent) before serving.
-                for name in sorted(killed):
+                # redo its handoff (idempotent) before serving.  A shard
+                # whose drain *completed* stays out too — its journal is
+                # all terminal records, so the handoff fold only revives
+                # its finished results (nothing requeues).
+                for name in sorted(killed | drained):
                     router.handoff(name, root / name)
                 # Recovered finished results are (re)deliveries.
                 for shard in router.live_shards():
@@ -254,6 +296,21 @@ def run_cluster_scenario(
                         killed.add(kill_name)
                         router.kill_shard(kill_name)
                         router.handoff(kill_name)
+                    if (
+                        drain_name is not None
+                        and drain_name not in drained
+                        and completions >= scenario.drain_after
+                        and len(router.serving_shards()) > 1
+                    ):
+                        report.drain_attempts += 1
+                        drain = live_drain(router, drain_name)
+                        # Only reached when no crashpoint fired inside
+                        # the drain; an interrupted drain re-runs next
+                        # incarnation (the shard revives as a survivor).
+                        drained.add(drain_name)
+                        report.drain_moved = drain.moved
+                        report.drain_expired = drain.expired
+                        report.drain_deduped = drain.deduped
                 router.publish_metrics()
             except SimulatedCrash:
                 report.restarts += 1

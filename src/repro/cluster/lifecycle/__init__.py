@@ -1,0 +1,43 @@
+"""``repro.cluster.lifecycle`` — supervision over the sharded tier.
+
+The cluster's analogue of the paper's continuous ICAP readback
+scrubbing, one level up: where PR 3 watches *tiles* for silent SEU
+corruption and repairs them without stopping the fabric, this package
+watches *shards* and *durable state* without stopping the cluster:
+
+* :mod:`~repro.cluster.lifecycle.health` — a deterministic, round-based
+  phi-accrual health monitor folding per-shard heartbeats into
+  healthy → suspect → dead transitions;
+* :mod:`~repro.cluster.lifecycle.drain` — live drain: remove a running
+  shard from the ring without killing it, migrating its backlog with
+  the same thief-first MOVED protocol work stealing uses;
+* :mod:`~repro.cluster.lifecycle.scrub` — an anti-entropy scrubber
+  re-verifying journal segment CRCs and artifact-cache disk entries in
+  the background, quarantining corruption before recovery needs it;
+* :mod:`~repro.cluster.lifecycle.supervisor` — the control loop tying
+  them together over a :class:`~repro.cluster.router.ShardRouter`
+  (dead shards are handed off automatically; gauges are published).
+"""
+
+from repro.cluster.lifecycle.drain import DrainReport, drain_shard
+from repro.cluster.lifecycle.health import (
+    HealthMonitor,
+    ShardHeartbeat,
+    ShardState,
+    StateTransition,
+)
+from repro.cluster.lifecycle.scrub import AntiEntropyScrubber, ScrubReport
+from repro.cluster.lifecycle.supervisor import ClusterSupervisor, SupervisorReport
+
+__all__ = [
+    "AntiEntropyScrubber",
+    "ClusterSupervisor",
+    "DrainReport",
+    "HealthMonitor",
+    "ScrubReport",
+    "ShardHeartbeat",
+    "ShardState",
+    "StateTransition",
+    "SupervisorReport",
+    "drain_shard",
+]

@@ -1,0 +1,198 @@
+"""Anti-entropy scrubbing of durable state — journals and cache disk.
+
+The paper's fabrics are protected by *continuous readback scrubbing*:
+the ICAP re-reads configuration frames in the background and repairs
+silent SEU corruption before it matters.  PR 3 reproduced that at the
+tile level; this module is the same idea applied to the serving tier's
+durable state, which rots the same way (bit flips, torn writes, partial
+page loss) and whose corruption is otherwise only *discovered at the
+worst possible moment* — during crash recovery, when the journal is the
+only copy of the backlog.
+
+Two scrub targets:
+
+* **journal segments** — every shard's WAL segments are CRC-verified
+  read-only (:func:`~repro.serve.durability.journal.verify_segment`);
+  a corrupt segment is reported (and accrues health phi via the
+  supervisor) *before* a restart has to silently drop its tail;
+* **artifact-cache disk entries** — each ``*.artifact`` pickle is
+  reloaded through the cache's quarantining loader, which moves
+  unreadable entries into ``corrupt/`` and falls back to recompiling;
+  scrubbing just moves that discovery off the serving path.
+
+Work is spread over *rounds* (a bounded number of segments and cache
+entries per call, round-robin cursors) so the supervisor can interleave
+scrubbing with serving instead of stopping the world.  Everything is
+deterministic: file lists are sorted, cursors advance predictably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ClusterError
+from repro.serve.durability.journal import (
+    SEGMENT_PREFIX,
+    SEGMENT_SUFFIX,
+    verify_segment,
+)
+
+__all__ = ["ScrubReport", "AntiEntropyScrubber"]
+
+
+@dataclass
+class ScrubReport:
+    """Cumulative scrub accounting (one instance per scrubber)."""
+
+    rounds: int = 0
+    segments_verified: int = 0
+    records_verified: int = 0
+    corrupt_lines_found: int = 0
+    #: Segment paths (as strings) found corrupt, with the shard owning
+    #: them — the supervisor turns these into phi accrual.
+    corrupt_segments: dict[str, int] = field(default_factory=dict)
+    cache_entries_verified: int = 0
+    cache_entries_quarantined: int = 0
+
+    @property
+    def corruption_found(self) -> int:
+        return self.corrupt_lines_found + self.cache_entries_quarantined
+
+    def as_dict(self) -> dict:
+        body = dict(self.__dict__)
+        body["corruption_found"] = self.corruption_found
+        return body
+
+
+class AntiEntropyScrubber:
+    """Background re-verification of journals and cache disk entries.
+
+    Parameters
+    ----------
+    journal_dirs:
+        ``{shard name: journal directory}`` — scanned fresh every round,
+        so segments that rotate in (or compact away) are picked up.
+    cache:
+        Optional :class:`~repro.compile.cache.ArtifactCache` with a disk
+        tier; ``None`` (or a memory-only cache) skips the cache leg.
+    segments_per_round / cache_entries_per_round:
+        Work bound per :meth:`scrub_round` call — the knob trading scrub
+        latency (time to full coverage) against serving interference.
+    """
+
+    def __init__(
+        self,
+        journal_dirs: dict[str, Path | str],
+        cache=None,
+        *,
+        segments_per_round: int = 2,
+        cache_entries_per_round: int = 4,
+    ) -> None:
+        if segments_per_round < 1 or cache_entries_per_round < 1:
+            raise ClusterError(
+                "scrub work bounds must be >= 1, got "
+                f"{segments_per_round} / {cache_entries_per_round}"
+            )
+        self.journal_dirs = {
+            name: Path(directory) for name, directory in journal_dirs.items()
+        }
+        self.cache = cache
+        self.segments_per_round = segments_per_round
+        self.cache_entries_per_round = cache_entries_per_round
+        self.report = ScrubReport()
+        self._segment_cursor = 0
+        self._cache_cursor = 0
+        #: Corruption found by the *latest* round, per shard — what the
+        #: supervisor feeds into phi (cumulative totals stay in report).
+        self.last_round_corruption: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # target enumeration (fresh each round: segments rotate, entries land)
+    # ------------------------------------------------------------------
+
+    def _segments(self) -> list[tuple[str, Path]]:
+        found: list[tuple[str, Path]] = []
+        for name in sorted(self.journal_dirs):
+            directory = self.journal_dirs[name]
+            if not directory.is_dir():
+                continue
+            found.extend(
+                (name, p)
+                for p in sorted(
+                    directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}")
+                )
+                if p.is_file()
+            )
+        return found
+
+    def _cache_entries(self) -> list[Path]:
+        if self.cache is None or getattr(self.cache, "disk_dir", None) is None:
+            return []
+        return sorted(self.cache.disk_dir.glob("*.artifact"))
+
+    # ------------------------------------------------------------------
+    # scrubbing
+    # ------------------------------------------------------------------
+
+    def _scrub_segment(self, shard: str, path: Path) -> None:
+        try:
+            valid, corrupt = verify_segment(path)
+        except OSError:
+            # Compaction won the race and unlinked it — nothing to scrub.
+            return
+        self.report.segments_verified += 1
+        self.report.records_verified += valid
+        if corrupt:
+            self.report.corrupt_lines_found += corrupt
+            self.report.corrupt_segments[str(path)] = corrupt
+            self.last_round_corruption[shard] = (
+                self.last_round_corruption.get(shard, 0) + corrupt
+            )
+
+    def _scrub_cache_entry(self, path: Path) -> None:
+        before = self.cache.stats.corrupt_quarantined
+        self.cache._disk_load_quarantining(path.stem)
+        self.report.cache_entries_verified += 1
+        self.report.cache_entries_quarantined += (
+            self.cache.stats.corrupt_quarantined - before
+        )
+
+    def scrub_round(self) -> ScrubReport:
+        """One bounded round over both targets; returns the cumulative
+        report (``last_round_corruption`` holds just this round's finds).
+        """
+        self.report.rounds += 1
+        self.last_round_corruption = {}
+        segments = self._segments()
+        if segments:
+            for offset in range(min(self.segments_per_round, len(segments))):
+                shard, path = segments[
+                    (self._segment_cursor + offset) % len(segments)
+                ]
+                self._scrub_segment(shard, path)
+            self._segment_cursor = (
+                self._segment_cursor + self.segments_per_round
+            ) % len(segments)
+        entries = self._cache_entries()
+        if entries:
+            for offset in range(
+                min(self.cache_entries_per_round, len(entries))
+            ):
+                self._scrub_cache_entry(
+                    entries[(self._cache_cursor + offset) % len(entries)]
+                )
+            self._cache_cursor = (
+                self._cache_cursor + self.cache_entries_per_round
+            ) % len(entries)
+        return self.report
+
+    def scrub_all(self) -> ScrubReport:
+        """Full sweep of everything currently on disk (one big round)."""
+        self.report.rounds += 1
+        self.last_round_corruption = {}
+        for shard, path in self._segments():
+            self._scrub_segment(shard, path)
+        for path in self._cache_entries():
+            self._scrub_cache_entry(path)
+        return self.report

@@ -34,7 +34,15 @@ from repro.compile.hashing import plan_hash_prefix
 from repro.cluster.ring import HashRing
 from repro.errors import ClusterError
 
-__all__ = ["LoadSpec", "LoadReport", "generate_trace", "simulate", "run_load"]
+__all__ = [
+    "DrainLoadReport",
+    "LoadReport",
+    "LoadSpec",
+    "generate_trace",
+    "run_load",
+    "simulate",
+    "simulate_drain",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,34 @@ class LoadReport:
     #: Share of jobs belonging to the hottest plan / tenant (skew view).
     hottest_plan_share: float = 0.0
     hottest_tenant_share: float = 0.0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class DrainLoadReport:
+    """Latency impact of live-draining one shard mid-trace."""
+
+    n_jobs: int = 0
+    n_shards: int = 0
+    drained_shard: str = ""
+    #: When the drain fired (simulated seconds into the trace).
+    drain_start_s: float = 0.0
+    #: When the last migrated job finished — the disruption window edge.
+    drain_settle_s: float = 0.0
+    #: Queued jobs re-homed off the draining shard.
+    migrated: int = 0
+    #: Sojourn p99 of completions before the drain fired.
+    steady_p99_ms: float = 0.0
+    #: Sojourn p99 of completions inside the drain window.
+    drain_p99_ms: float = 0.0
+    #: Sojourn p99 after the window settles (the smaller cluster's
+    #: steady state).
+    post_p99_ms: float = 0.0
+    #: The acceptance number: drain-window p99 over steady-state p99.
+    p99_ratio: float = 0.0
+    makespan_s: float = 0.0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -277,6 +313,197 @@ def simulate(
         hottest_tenant_share=float(tenant_counts.max() / n_jobs),
     )
     return report
+
+
+def simulate_drain(
+    spec: LoadSpec,
+    trace: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    *,
+    drain_shard: int | None = None,
+    drain_at: float = 0.5,
+    drain_window: float = 0.1,
+) -> DrainLoadReport:
+    """Replay ``trace`` and live-drain one shard partway through.
+
+    At ``drain_at`` of the trace's arrival horizon the chosen shard —
+    the hottest one by routed offered load when ``drain_shard=None``,
+    the worst case — stops admitting: its queued jobs migrate to their
+    ring successors (the minimal consistent-hash remap of removing one
+    node, exactly what :func:`repro.cluster.lifecycle.drain.drain_shard`
+    does to a real shard), its in-flight job finishes undisturbed, and
+    from then on arrivals route around it.
+
+    Completions are bucketed into *steady state* (finished before the
+    drain fired), the *drain window* (``drain_window`` of the arrival
+    horizon after the drain — the migrated backlog plus the successors'
+    cold re-warm transient — stretched to the last migrated job's
+    finish if that lands later), and *post-drain*; ``p99_ratio`` —
+    window p99 over steady p99 — is the bench's acceptance number.
+    """
+    if trace is None:
+        trace = generate_trace(spec)
+    arrivals, plans, _ = trace
+    shards = spec.n_shards
+    if shards < 2:
+        raise ClusterError(
+            f"draining needs >= 2 shards, got {shards}"
+        )
+    if not 0.0 < drain_at < 1.0:
+        raise ClusterError(f"drain_at must be in (0, 1), got {drain_at}")
+    if not 0.0 < drain_window <= 1.0 - drain_at:
+        raise ClusterError(
+            f"drain_window must be in (0, {1.0 - drain_at:g}], "
+            f"got {drain_window}"
+        )
+    if drain_shard is not None and not 0 <= drain_shard < shards:
+        raise ClusterError(
+            f"drain_shard must be in [0, {shards}), got {drain_shard}"
+        )
+    names = [f"shard-{i}" for i in range(shards)]
+    ring = HashRing(names, vnodes=spec.vnodes)
+    keys = plan_routing_keys(spec.n_plans)
+    index_of = {name: i for i, name in enumerate(names)}
+    home = np.array(
+        [index_of[ring.route(key)] for key in keys], dtype=np.int64
+    )
+
+    if drain_shard is None:
+        offered = np.bincount(home[plans], minlength=shards)
+        drain_shard = int(np.argmax(offered))
+    t_drain = float(arrivals[-1]) * drain_at
+
+    warm_s = spec.warm_service_us * 1e-6
+    cold_s = spec.cold_service_us * 1e-6
+    n_jobs = len(arrivals)
+
+    queues: list[deque[int]] = [deque() for _ in range(shards)]
+    busy = [False] * shards
+    active = [True] * shards
+    resident: list[dict[int, None]] = [{} for _ in range(shards)]
+    cap = spec.fabrics_per_shard
+    sojourn = np.zeros(n_jobs, dtype=np.float64)
+    migrated: list[int] = []
+    seq = 0
+    heap: list[tuple[float, int, int, int]] = []  # (t, seq, shard, job)
+
+    def start(shard: int, job: int, now: float) -> None:
+        nonlocal seq
+        plan = int(plans[job])
+        lru = resident[shard]
+        if plan in lru:
+            del lru[plan]
+            lru[plan] = None
+            service = warm_s
+        else:
+            lru[plan] = None
+            if len(lru) > cap:
+                del lru[next(iter(lru))]
+            service = cold_s
+        busy[shard] = True
+        seq += 1
+        heapq.heappush(heap, (now + service, seq, shard, job))
+
+    def steal_for(thief: int, now: float) -> bool:
+        victim, depth = -1, spec.steal_margin
+        for other in range(shards):
+            if (
+                other != thief
+                and active[other]
+                and len(queues[other]) > depth
+            ):
+                victim, depth = other, len(queues[other])
+        if victim < 0:
+            return False
+        vq = queues[victim]
+        vres = resident[victim]
+        for back in range(1, min(spec.steal_scan, len(vq)) + 1):
+            job = vq[-back]
+            if int(plans[job]) not in vres:
+                del vq[-back]
+                start(thief, job, now)
+                return True
+        return False
+
+    drained = False
+    ai = 0
+    done = 0
+    now = 0.0
+    while done < n_jobs:
+        t_arr = arrivals[ai] if ai < n_jobs else np.inf
+        t_cmp = heap[0][0] if heap else np.inf
+        if not drained and min(t_arr, t_cmp) >= t_drain:
+            # -- the drain fires ---------------------------------------
+            # Stop admitting (recompute homes with the shard gone — the
+            # ring's minimal remap) and re-home the queued backlog; the
+            # in-flight job, if any, finishes undisturbed.
+            drained = True
+            now = t_drain
+            active[drain_shard] = False
+            ring.remove_node(names[drain_shard])
+            home = np.array(
+                [index_of[ring.route(key)] for key in keys],
+                dtype=np.int64,
+            )
+            backlog = list(queues[drain_shard])
+            queues[drain_shard].clear()
+            for job in backlog:
+                successor = int(home[plans[job]])
+                if busy[successor]:
+                    queues[successor].append(job)
+                else:
+                    start(successor, job, now)
+            migrated.extend(backlog)
+            continue
+        if t_arr <= t_cmp:
+            now = float(t_arr)
+            job = ai
+            ai += 1
+            shard = int(home[plans[job]])
+            if busy[shard]:
+                queues[shard].append(job)
+            else:
+                start(shard, job, now)
+        else:
+            now, _, shard, job = heapq.heappop(heap)
+            sojourn[job] = now - float(arrivals[job])
+            done += 1
+            busy[shard] = False
+            if not active[shard]:
+                continue  # drained: its last in-flight job just ended
+            if queues[shard]:
+                start(shard, queues[shard].popleft(), now)
+            elif spec.steal and shards > 1:
+                steal_for(shard, now)
+
+    finish = arrivals + sojourn
+    t_settle = t_drain + float(arrivals[-1]) * drain_window
+    if migrated:
+        t_settle = max(
+            t_settle,
+            float(finish[np.array(migrated, dtype=np.int64)].max()),
+        )
+    steady = sojourn[finish < t_drain]
+    window = sojourn[(finish >= t_drain) & (finish <= t_settle)]
+    post = sojourn[finish > t_settle]
+
+    def p99_ms(bucket: np.ndarray) -> float:
+        return float(np.percentile(bucket, 99) * 1e3) if len(bucket) else 0.0
+
+    steady_p99 = p99_ms(steady)
+    drain_p99 = p99_ms(window)
+    return DrainLoadReport(
+        n_jobs=n_jobs,
+        n_shards=shards,
+        drained_shard=names[drain_shard],
+        drain_start_s=t_drain,
+        drain_settle_s=t_settle,
+        migrated=len(migrated),
+        steady_p99_ms=steady_p99,
+        drain_p99_ms=drain_p99,
+        post_p99_ms=p99_ms(post),
+        p99_ratio=drain_p99 / steady_p99 if steady_p99 > 0 else 0.0,
+        makespan_s=float(now),
+    )
 
 
 def run_load(spec: LoadSpec) -> LoadReport:

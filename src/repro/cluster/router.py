@@ -40,7 +40,9 @@ next incarnation folds the same journal again.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
+from typing import Callable
 
 from repro.chaos.crashpoints import crashpoint, register_crashpoint
 from repro.compile.hashing import plan_hash_prefix
@@ -117,6 +119,7 @@ class ShardRouter:
         session_factory=None,
         breaker_factory=None,
         metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not shard_names:
             raise ClusterError("a cluster needs at least one shard")
@@ -130,6 +133,7 @@ class ShardRouter:
         self.metrics = metrics or MetricsRegistry()
         self.steal_margin = steal_margin
         self.max_steals_per_round = max_steals_per_round
+        self.clock = clock
         self.shards: dict[str, ShardWorker] = {}
         for name in shard_names:
             self.shards[name] = ShardWorker(
@@ -142,8 +146,13 @@ class ShardRouter:
                 max_batch=max_batch,
                 breaker_factory=breaker_factory,
                 metrics=self.metrics,
+                clock=clock,
             )
         self.ring = HashRing(shard_names, vnodes=vnodes)
+        #: Shards mid-drain: still alive (and on the ring — removal is
+        #: the drain's *last* step), but excluded from routing and from
+        #: stealing in both directions.
+        self.draining: set[str] = set()
         #: First-wins delivered results (the client-facing dedup line).
         self.results: dict[str, JobResult] = {}
         #: Where each acknowledged job currently lives.
@@ -165,10 +174,18 @@ class ShardRouter:
         return key
 
     def shard_for(self, spec: KernelSpec) -> str:
-        return self.ring.route(self.routing_key(spec))
+        return self.ring.route(self.routing_key(spec), exclude=self.draining)
 
     def live_shards(self) -> list[ShardWorker]:
         return [s for s in self.shards.values() if s.alive]
+
+    def serving_shards(self) -> list[ShardWorker]:
+        """Live shards still admitting work (not mid-drain)."""
+        return [
+            s
+            for s in self.shards.values()
+            if s.alive and s.name not in self.draining
+        ]
 
     def submit(self, request: JobRequest) -> JobResult | None:
         """Route one job to its shard; returns a recorded result when the
@@ -256,7 +273,9 @@ class ShardRouter:
         """
         moved = 0
         while moved < self.max_steals_per_round:
-            live = self.live_shards()
+            # Draining shards take no part: drain owns their backlog
+            # migration, and feeding them work would never terminate it.
+            live = self.serving_shards()
             if len(live) < 2:
                 break
             victim = max(live, key=lambda s: (s.queue_depth, s.name))
@@ -309,6 +328,7 @@ class ShardRouter:
         if len(self.live_shards()) < 2:
             raise ClusterError(f"cannot kill {name!r}: it is the last shard")
         journal_dir = shard.kill()
+        self.draining.discard(name)
         if name in self.ring:
             self.ring.remove_node(name)
         return journal_dir
@@ -326,6 +346,7 @@ class ShardRouter:
         shard = self.shards.get(name)
         if shard is not None and shard.alive:
             raise ClusterError(f"shard {name!r} is alive — drain it instead")
+        self.draining.discard(name)
         if name in self.ring:
             self.ring.remove_node(name)
         directory = Path(
@@ -364,7 +385,9 @@ class ShardRouter:
             request.checkpoint_path = ""
             request.checkpoint_crc = 0
             crashpoint(CP_HANDOFF)
-            successor = self.ring.route(self.routing_key(request.spec))
+            successor = self.ring.route(
+                self.routing_key(request.spec), exclude=self.draining
+            )
             target = self.shards[successor]
             if target.engine and request.job_id in target.engine.results:
                 self._record(target.engine.results[request.job_id])

@@ -19,7 +19,9 @@ The shard also answers the two questions stealing needs:
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
+from typing import Callable
 
 from repro.errors import ClusterError
 from repro.serve.durability.engine import DurableEngine
@@ -46,6 +48,7 @@ class ShardWorker:
         max_batch: int = 1,
         breaker_factory=None,
         metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not name:
             raise ClusterError("shards need a non-empty name")
@@ -60,8 +63,13 @@ class ShardWorker:
             checkpoint_every_slices=checkpoint_every_slices,
             max_batch=max_batch,
             breaker_factory=breaker_factory,
+            clock=clock,
         )
         self.alive = True
+        #: True while a live drain is migrating this shard's backlog —
+        #: the ring stops routing here and stealing stops feeding it,
+        #: but queued/in-flight work still executes or moves away.
+        self.draining = False
         # -- cluster accounting -----------------------------------------
         self.jobs_submitted = 0
         self.jobs_completed = 0
@@ -98,6 +106,42 @@ class ShardWorker:
             return False
         return job_id in self.engine.results or any(
             r.job_id == job_id for r in self.engine.queue
+        )
+
+    def backlog(self) -> list[JobRequest]:
+        """Snapshot of the queued requests, oldest first (drain walks
+        this copy while :meth:`release` mutates the real queue)."""
+        if not self.alive or self.engine is None:
+            return []
+        return list(self.engine.queue)
+
+    @property
+    def journal_records(self) -> int:
+        """Records appended by this incarnation — the replay debt a
+        restart (or handoff) would have to fold; a health signal."""
+        if not self.alive or self.engine is None:
+            return 0
+        return self.engine.journal.appended
+
+    def heartbeat(self, round_index: int) -> "ShardHeartbeat":
+        """One per-round health report (what the supervisor folds)."""
+        from repro.cluster.lifecycle.health import ShardHeartbeat
+
+        if not self.alive or self.engine is None:
+            return ShardHeartbeat(
+                shard=self.name, round_index=round_index, alive=False
+            )
+        pool = self.engine.pool
+        return ShardHeartbeat(
+            shard=self.name,
+            round_index=round_index,
+            alive=True,
+            draining=self.draining,
+            queue_depth=self.queue_depth,
+            breaker_open_fabrics=len(pool.breaker_open_workers()),
+            quarantined_fabrics=len(pool.quarantined_workers()),
+            total_fabrics=len(pool.workers),
+            journal_records=self.journal_records,
         )
 
     def steal_candidates(self) -> list[JobRequest]:
@@ -143,6 +187,12 @@ class ShardWorker:
         engine = self._require_alive()
         self.jobs_stolen_away += 1
         return engine.mark_moved(job_id, data)
+
+    def expire(self, job_id: str, *, where: str = "in queue") -> JobResult:
+        """Fail a queued job whose deadline lapsed (TIMEOUT journaled
+        here — an expired job is never worth migrating)."""
+        engine = self._require_alive()
+        return engine.expire(job_id, where=where)
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -28,8 +28,10 @@ One engine instance is one process incarnation:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.chaos.crashpoints import crashpoint, register_crashpoint
 from repro.errors import JobCancelled, ServeError
@@ -61,6 +63,9 @@ class EngineReport:
     completed: int = 0
     failed: int = 0
     retries: int = 0
+    #: Jobs whose deadline lapsed before (or between) dispatches; they
+    #: terminate with a journaled TIMEOUT and never touch a fabric.
+    expired: int = 0
     #: Finished jobs reconstructed from the journal at start.
     recovered_finished: int = 0
     #: Unfinished jobs requeued from the journal (from scratch).
@@ -108,6 +113,11 @@ class DurableEngine:
     lock:
         Whether the journal takes its ``flock``; chaos incarnations live
         in one process and "die" without cleanup, so they run unlocked.
+    clock:
+        Monotonic time source for deadline checks.  Only consulted for
+        jobs that actually carry a ``deadline_s``, so deterministic
+        chaos scenarios (which never set one) stay clock-free; tests
+        inject a fake to fire expiry deterministically.
     """
 
     def __init__(
@@ -122,6 +132,7 @@ class DurableEngine:
         segment_records: int = 1024,
         lock: bool = False,
         breaker_factory=None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {max_batch}")
@@ -136,6 +147,7 @@ class DurableEngine:
         )
         self.checkpoint_every_slices = checkpoint_every_slices
         self.max_batch = max_batch
+        self.clock = clock
         #: Job ids a failed batch demoted to the scalar path for good.
         self._no_batch: set[str] = set()
         self.report = EngineReport()
@@ -206,6 +218,48 @@ class DurableEngine:
                 self.journal.moved(job_id, data)
                 return self.queue.pop(i)
         raise ServeError(f"mark_moved: job {job_id!r} is not queued here")
+
+    # ------------------------------------------------------------------
+    # deadline expiry
+    # ------------------------------------------------------------------
+
+    def _finish_expired(
+        self, request: JobRequest, *, where: str, attempts: int = 0
+    ) -> JobResult:
+        """Terminate ``request`` as TIMEOUT without (further) execution.
+
+        The DONE record makes the expiry durable: a restart serves the
+        timeout result instead of requeueing a job whose client stopped
+        waiting long ago.
+        """
+        error = f"deadline expired {where}"
+        self.journal.done(
+            request.job_id,
+            {
+                "status": JobStatus.TIMEOUT.value,
+                "error": error,
+                "attempts": attempts,
+            },
+        )
+        result = JobResult(
+            job_id=request.job_id,
+            status=JobStatus.TIMEOUT,
+            error=error,
+            attempts=attempts,
+        )
+        self.results[request.job_id] = result
+        self.report.expired += 1
+        self.report.failed += 1
+        return result
+
+    def expire(self, job_id: str, *, where: str = "in queue") -> JobResult:
+        """Expire a *queued* job in place (the drain path's fast reject:
+        a dead-on-arrival job is failed here, not migrated)."""
+        for i, request in enumerate(self.queue):
+            if request.job_id == job_id:
+                self.queue.pop(i)
+                return self._finish_expired(request, where=where)
+        raise ServeError(f"expire: job {job_id!r} is not queued here")
 
     # ------------------------------------------------------------------
     # execution
@@ -342,6 +396,8 @@ class DurableEngine:
         if not self.queue:
             raise ServeError("step() on an empty queue")
         request = self.queue.pop(0)
+        if request.expired(self.clock()):
+            return self._finish_expired(request, where="before dispatch")
         partners = self._coalesce_partners(request)
         if partners:
             result = self._step_batch(request, partners)
@@ -388,6 +444,10 @@ class DurableEngine:
                     self.results[request.job_id] = result
                     self.report.failed += 1
                     return result
+                if request.expired(self.clock()):
+                    return self._finish_expired(
+                        request, where="between retries", attempts=attempts
+                    )
                 self.report.retries += 1
                 self.journal.retry(
                     request.job_id,

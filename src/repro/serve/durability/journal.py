@@ -57,7 +57,7 @@ from repro.errors import JournalError
 from repro.locks import FileLock
 from repro.serve.durability.records import JournalRecord, RecordType
 
-__all__ = ["FsyncPolicy", "ScanReport", "JobJournal"]
+__all__ = ["FsyncPolicy", "ScanReport", "JobJournal", "verify_segment"]
 
 SEGMENT_PREFIX = "wal-"
 SEGMENT_SUFFIX = ".log"
@@ -115,6 +115,25 @@ def _unframe(line: bytes) -> JournalRecord | None:
         return JournalRecord.from_json(body.decode("utf-8"))
     except (JournalError, UnicodeDecodeError):
         return None
+
+
+def verify_segment(path: Path) -> tuple[int, int]:
+    """CRC-verify one segment file: ``(valid_records, corrupt_lines)``.
+
+    Read-only (safe on a *live* shard's journal — the anti-entropy
+    scrubber's whole point) and consistent with :meth:`JobJournal.scan`
+    semantics: the first torn/corrupt line poisons the rest of the
+    segment, so everything after it counts as corrupt too.
+    """
+    valid = 0
+    corrupt = 0
+    lines = path.read_bytes().splitlines(keepends=True)
+    for index, raw in enumerate(lines):
+        if _unframe(raw) is None:
+            corrupt = len(lines) - index
+            break
+        valid += 1
+    return valid, corrupt
 
 
 class JobJournal:
@@ -305,7 +324,24 @@ class JobJournal:
             if self._closed:
                 raise JournalError("compact on a closed journal")
             records, _ = self.scan()
-            done_jobs = {r.job_id for r in records if r.type in terminal}
+            # A job is closed only when its newest terminal record is
+            # newer than its newest SUBMITTED: a SUBMITTED after a MOVED
+            # is a re-adoption (the job was stolen/drained away and came
+            # back), and dropping its records would disown it.
+            last_open: dict[str, int] = {}
+            last_closed: dict[str, int] = {}
+            for r in records:
+                if r.type is RecordType.SUBMITTED:
+                    if r.seq > last_open.get(r.job_id, -1):
+                        last_open[r.job_id] = r.seq
+                elif r.type in terminal:
+                    if r.seq > last_closed.get(r.job_id, -1):
+                        last_closed[r.job_id] = r.seq
+            done_jobs = {
+                job_id
+                for job_id, seq in last_closed.items()
+                if seq > last_open.get(job_id, -1)
+            }
             keep = [
                 r
                 for r in records

@@ -145,6 +145,7 @@ def encode_request(request: JobRequest) -> dict[str, Any]:
         "payload": encode_payload(request.spec.kind, request.payload),
         "timeout_s": request.timeout_s,
         "max_retries": request.max_retries,
+        "deadline_s": request.deadline_s,
         "tag": request.tag,
     }
 
@@ -158,6 +159,7 @@ def decode_request(job_id: str, data: dict[str, Any]) -> JobRequest:
         payload=decode_payload(kind, data["payload"]),
         timeout_s=float(data.get("timeout_s", 30.0)),
         max_retries=int(data.get("max_retries", 1)),
+        deadline_s=float(data.get("deadline_s", 0.0)),
         job_id=job_id,
         tag=str(data.get("tag", "")),
     )

@@ -68,6 +68,14 @@ class JobReplay:
         if record.type is RecordType.SUBMITTED:
             if self.submitted is None:
                 self.submitted = record.data
+            elif self.moved is not None:
+                # Re-adoption: a job stolen or drained away can bounce
+                # *back* (steal here -> drain returns it).  The fresher
+                # SUBMITTED supersedes the older MOVED — ownership came
+                # home, and replay must requeue it or both journals
+                # would disown the job.
+                self.submitted = record.data
+                self.moved = None
         elif record.type is RecordType.DISPATCHED:
             self.dispatches += 1
             self.last_worker = str(record.data.get("worker", ""))

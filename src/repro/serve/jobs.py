@@ -70,6 +70,7 @@ class RejectReason(str, enum.Enum):
     ADMISSION_CAP = "admission_cap"  #: hard shedding cap (queue delay)
     SHUTDOWN = "shutdown"      #: queued job failed by a non-drain shutdown
     HANDOFF = "handoff"        #: queued job handed off to another shard
+    EXPIRED = "expired"        #: deadline already past at admission time
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,12 @@ class JobRequest:
         at the next epoch boundary and retried.
     max_retries:
         Extra attempts after the first (0 = fail fast).
+    deadline_s:
+        Absolute deadline in the ``time.monotonic()`` domain (0 = none).
+        Unlike ``timeout_s`` (a per-attempt budget), the deadline bounds
+        the job's *whole* life: admission, queueing, retries, breaker
+        requeues and drain migrations all check it, so a cluster never
+        spends fabric time on an answer nobody is waiting for anymore.
     job_id:
         Auto-assigned when left empty.
     """
@@ -129,6 +136,7 @@ class JobRequest:
     payload: Any
     timeout_s: float = 30.0
     max_retries: int = 1
+    deadline_s: float = 0.0
     job_id: str = ""
     #: Free-form client tag (shows up in metrics labels and traces).
     tag: str = ""
@@ -149,8 +157,20 @@ class JobRequest:
             raise ServeError(
                 f"max_retries must be non-negative, got {self.max_retries}"
             )
+        if self.deadline_s < 0:
+            raise ServeError(
+                f"deadline_s must be non-negative, got {self.deadline_s}"
+            )
         if not self.job_id:
             self.job_id = f"job-{next(_job_ids)}"
+
+    def expired(self, now: float) -> bool:
+        """Is the deadline past at monotonic instant ``now``?
+
+        Always ``False`` for deadline-free jobs, so deterministic
+        harnesses that never set ``deadline_s`` never consult a clock.
+        """
+        return self.deadline_s > 0 and now >= self.deadline_s
 
 
 @dataclass

@@ -110,6 +110,11 @@ class FabricJobService:
         checkpoint for resumable sessions) every this-many epoch slices
         (0 disables epoch journaling — only submit/dispatch/done edges
         are durable).
+    handoff_retry_after_s:
+        Back-off hint stamped on the ``REJECTED(handoff)`` results that
+        :meth:`handoff` resolves surrendered futures with — a co-located
+        waiter should wait this long before following the job to its
+        new shard (which needs a moment to journal/adopt the backlog).
     """
 
     def __init__(
@@ -127,6 +132,7 @@ class FabricJobService:
         breaker_factory: Callable[[], CircuitBreaker] | None = None,
         checkpoint_every_slices: int = 0,
         breaker_poll_s: float = 0.05,
+        handoff_retry_after_s: float = 0.25,
     ) -> None:
         if max_queue < 1:
             raise ServeError(f"max_queue must be >= 1, got {max_queue}")
@@ -147,6 +153,7 @@ class FabricJobService:
         self.shedder = shedder
         self.checkpoint_every_slices = checkpoint_every_slices
         self.breaker_poll_s = breaker_poll_s
+        self.handoff_retry_after_s = handoff_retry_after_s
         #: DONE results replayed from the journal at start (result dedup:
         #: resubmitting a finished job id returns this, never re-executes).
         self.recovered_results: dict[str, JobResult] = {}
@@ -180,6 +187,10 @@ class FabricJobService:
         )
         self._m_retries = m.counter(
             "serve_job_retries_total", "Retry attempts scheduled"
+        )
+        self._m_expired = m.counter(
+            "serve_jobs_expired_total",
+            "Jobs failed because their end-to-end deadline lapsed",
         )
         self._m_queue_depth = m.gauge(
             "serve_queue_depth", "Jobs waiting for a fabric"
@@ -423,8 +434,10 @@ class FabricJobService:
         service/shard to adopt.  For each surrendered job, a MOVED
         record is journaled first (so this journal's replay stops
         requeueing it — the successor's SUBMITTED record owns it now)
-        and its local future resolves to a ``REJECTED(handoff)`` result,
-        telling a co-located waiter to follow the job to its new home.
+        and its local future resolves to a ``REJECTED(handoff)`` result
+        carrying the :attr:`handoff_retry_after_s` back-off hint,
+        telling a co-located waiter when to follow the job to its new
+        home.
 
         After handoff the service is drained (empty queue, no inflight)
         and still running; call :meth:`shutdown` to tear it down.
@@ -446,7 +459,11 @@ class FabricJobService:
                 )
                 if not pending.future.done():
                     pending.future.set_result(
-                        self._rejection(pending.request, RejectReason.HANDOFF)
+                        self._rejection(
+                            pending.request,
+                            RejectReason.HANDOFF,
+                            retry_after_s=self.handoff_retry_after_s,
+                        )
                     )
                 surrendered.append(pending.request)
             self._queue.clear()
@@ -548,6 +565,13 @@ class FabricJobService:
             return future
         if request.job_id in self.recovered_futures:
             return self.recovered_futures[request.job_id]
+        if request.expired(time.monotonic()):
+            # Dead on arrival: admitting it would only spend queue space
+            # and journal bytes on an answer nobody is waiting for.
+            self._reject(
+                RejectReason.EXPIRED,
+                f"deadline {request.deadline_s:.3f} already lapsed at submit",
+            )
         if self.shedder is not None:
             decision = self.shedder.decide(len(self._queue))
             self._m_shed_probability.set(decision.shed_probability)
@@ -727,6 +751,13 @@ class FabricJobService:
         kind = request.spec.kind.value
         dispatch_time = time.monotonic()
         queue_wait = dispatch_time - pending.enqueued_at
+        if request.expired(dispatch_time):
+            # The deadline lapsed while the job sat in the queue —
+            # dispatching now would burn a fabric on a thrown-away
+            # answer.  Journaled terminally so replay never revives it.
+            return self._finish_expired(
+                request, "in queue", queue_wait=queue_wait
+            )
         self._m_wait.observe(queue_wait)
         if self.shedder is not None:
             self.shedder.observe(queue_wait)
@@ -752,6 +783,15 @@ class FabricJobService:
             cancel = CancelToken()
             self._active_cancels.add(cancel)
             attempt_start = time.monotonic()
+            attempt_timeout = request.timeout_s
+            if request.deadline_s > 0:
+                # An attempt never gets more wall time than the deadline
+                # has left — the job is cancelled at the next epoch edge
+                # instead of overshooting by a full timeout_s.
+                attempt_timeout = min(
+                    attempt_timeout,
+                    max(request.deadline_s - attempt_start, 0.001),
+                )
             run_future = loop.run_in_executor(
                 self._executor, worker.execute, request, cancel, progress
             )
@@ -759,7 +799,7 @@ class FabricJobService:
             run: WorkerRun | None = None
             try:
                 run = await asyncio.wait_for(
-                    asyncio.shield(run_future), timeout=request.timeout_s
+                    asyncio.shield(run_future), timeout=attempt_timeout
                 )
             except asyncio.TimeoutError:
                 timed_out = True
@@ -769,7 +809,7 @@ class FabricJobService:
                 except Exception:
                     pass
                 last_error = (
-                    f"attempt {attempts} exceeded {request.timeout_s}s"
+                    f"attempt {attempts} exceeded {attempt_timeout:.3g}s"
                 )
             except JobCancelled:
                 timed_out = True
@@ -822,6 +862,16 @@ class FabricJobService:
                 # made against the retry budget, so a poison job cannot
                 # ping-pong between fabrics forever.
                 self._update_health_metrics()
+                if request.expired(time.monotonic()):
+                    # Requeueing an expired job just moves the waste to
+                    # the next fabric; fail it terminally here.
+                    return self._finish_expired(
+                        request,
+                        "at breaker requeue",
+                        worker_id=worker.id,
+                        attempts=attempts,
+                        queue_wait=queue_wait,
+                    )
                 breaker_only = worker.breaker_open
                 budget_left = request.max_retries - attempts
                 if self.pool.recoverable() and (
@@ -892,6 +942,16 @@ class FabricJobService:
                     queue_wait_s=queue_wait,
                     serve_s=serve_wall,
                 )
+            if request.expired(time.monotonic()):
+                # No point scheduling another attempt the caller will
+                # never see; ``last_error`` keeps the real failure.
+                return self._finish_expired(
+                    request,
+                    f"between retries ({last_error})",
+                    worker_id=worker.id,
+                    attempts=attempts,
+                    queue_wait=queue_wait,
+                )
             self._m_retries.inc(kind=kind)
             self._journal_append(
                 "RETRY",
@@ -902,6 +962,37 @@ class FabricJobService:
             )
             await asyncio.sleep(min(backoff, self.retry_backoff_cap_s))
             backoff *= 2
+
+    def _finish_expired(
+        self,
+        request: JobRequest,
+        where: str,
+        *,
+        worker_id: str = "",
+        attempts: int = 0,
+        queue_wait: float = 0.0,
+    ) -> JobResult:
+        """Terminally fail a job whose end-to-end deadline lapsed.
+
+        Journaled as ``DONE(timeout)`` so replay treats it exactly like
+        any other finished job — an expired job is never requeued,
+        re-dispatched or migrated.
+        """
+        error = f"deadline expired {where}"
+        kind = request.spec.kind.value
+        self._m_expired.inc(kind=kind)
+        self._m_completed.inc(kind=kind, status=JobStatus.TIMEOUT.value)
+        self._journal_done_failure(
+            request, JobStatus.TIMEOUT, error, worker_id, attempts
+        )
+        return JobResult(
+            job_id=request.job_id,
+            status=JobStatus.TIMEOUT,
+            error=error,
+            worker_id=worker_id,
+            attempts=attempts,
+            queue_wait_s=queue_wait,
+        )
 
     def _journal_done_failure(
         self,

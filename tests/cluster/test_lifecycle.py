@@ -1,0 +1,458 @@
+"""Cluster lifecycle supervision: health verdicts, live drain, scrub.
+
+Three layers under test, bottom-up:
+
+* :class:`HealthMonitor` — the deterministic phi-accrual state machine
+  (healthy → suspect → dead, with draining as an administrative edge);
+* :func:`drain_shard` — live backlog migration off a *running* shard
+  (no acked job lost, MOVED never dangles, finished results survive);
+* :class:`AntiEntropyScrubber` / :class:`ClusterSupervisor` — the
+  control loop that folds heartbeats into verdicts, verdicts into
+  membership actions, and background CRC scrubbing into health.
+"""
+
+from __future__ import annotations
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.cluster.lifecycle import (
+    AntiEntropyScrubber,
+    ClusterSupervisor,
+    HealthMonitor,
+    ShardHeartbeat,
+    ShardState,
+    drain_shard,
+)
+from repro.cluster.router import ShardRouter
+from repro.errors import ClusterError
+from repro.serve.durability.journal import (
+    FsyncPolicy,
+    JobJournal,
+    verify_segment,
+)
+from repro.serve.durability.records import RecordType
+from repro.serve.jobs import JobRequest, JobStatus, fft_spec, jpeg_spec
+
+#: Distinct config keys so the ring spreads work over several shards
+#: (a single spec hashes every job onto one shard).
+_SPECS = (
+    fft_spec(16, 4, 2),
+    jpeg_spec(75, False),
+    jpeg_spec(50, False),
+    jpeg_spec(25, False),
+)
+
+
+def _request(job_id: str, index: int = 0, **kwargs) -> JobRequest:
+    spec = _SPECS[index % len(_SPECS)]
+    if spec.kind.value == "fft":
+        payload = [0.5] * 16
+    else:
+        payload = np.full((8, 8), 100 + index, dtype=np.int64)
+    return JobRequest(spec=spec, payload=payload, job_id=job_id, **kwargs)
+
+
+def _router(tmp_path, n=3, **kwargs) -> ShardRouter:
+    return ShardRouter(
+        tmp_path / "cluster",
+        [f"shard-{i}" for i in range(n)],
+        pool_size=1,
+        fsync=FsyncPolicy.NEVER,
+        **kwargs,
+    )
+
+
+def _hb(shard="shard-0", round_index=1, **kwargs) -> ShardHeartbeat:
+    return ShardHeartbeat(shard=shard, round_index=round_index, **kwargs)
+
+
+class TestHeartbeat:
+    def test_sidelined_and_serving_capacity(self):
+        hb = _hb(total_fabrics=4, breaker_open_fabrics=1, quarantined_fabrics=2)
+        assert hb.sidelined_fabrics == 3
+        assert hb.serving_capacity == 1
+
+    def test_fully_sidelined_clamps_to_zero(self):
+        hb = _hb(total_fabrics=1, breaker_open_fabrics=1, quarantined_fabrics=1)
+        assert hb.serving_capacity == 0
+
+
+class TestHealthMonitor:
+    def test_fresh_shard_is_healthy(self):
+        monitor = HealthMonitor()
+        assert monitor.state("shard-0") is ShardState.HEALTHY
+        assert monitor.phi("shard-0") == 0.0
+
+    def test_missing_heartbeats_promote_suspect_then_dead(self):
+        monitor = HealthMonitor()
+        monitor.observe(_hb(alive=False, round_index=1))
+        assert monitor.state("shard-0") is ShardState.SUSPECT
+        monitor.observe(_hb(alive=False, round_index=2))
+        assert monitor.state("shard-0") is ShardState.DEAD
+        assert [t.after for t in monitor.transitions] == [
+            ShardState.SUSPECT,
+            ShardState.DEAD,
+        ]
+
+    def test_fully_sidelined_pool_accrues_to_suspect(self):
+        monitor = HealthMonitor()
+        for round_index in (1, 2):
+            monitor.observe(
+                _hb(
+                    round_index=round_index,
+                    total_fabrics=2,
+                    breaker_open_fabrics=2,
+                )
+            )
+        assert monitor.state("shard-0") is ShardState.SUSPECT
+        assert monitor.phi("shard-0") == pytest.approx(4.0)
+
+    def test_clean_rounds_decay_phi_back_to_healthy(self):
+        monitor = HealthMonitor()
+        monitor.observe(_hb(round_index=1, total_fabrics=1, quarantined_fabrics=1))
+        monitor.observe(_hb(round_index=2, total_fabrics=1, quarantined_fabrics=1))
+        assert monitor.state("shard-0") is ShardState.SUSPECT
+        for round_index in (3, 4):
+            monitor.observe(_hb(round_index=round_index))
+        assert monitor.state("shard-0") is ShardState.HEALTHY
+        assert monitor.phi("shard-0") < 3.0
+
+    def test_queue_growth_past_the_ewma_envelope_is_evidence(self):
+        monitor = HealthMonitor()
+        monitor.observe(_hb(round_index=1, queue_depth=2))  # seeds EWMA
+        monitor.observe(_hb(round_index=2, queue_depth=50))
+        assert monitor.phi("shard-0") == pytest.approx(1.0)
+
+    def test_dead_is_sticky(self):
+        monitor = HealthMonitor()
+        monitor.mark_dead("shard-0", round_index=1, reason="killed")
+        for round_index in range(2, 6):
+            monitor.observe(_hb(round_index=round_index))
+        assert monitor.state("shard-0") is ShardState.DEAD
+        assert len(monitor.transitions) == 1
+
+    def test_draining_is_an_administrative_state(self):
+        monitor = HealthMonitor()
+        monitor.mark_draining("shard-0", round_index=3)
+        assert monitor.state("shard-0") is ShardState.DRAINING
+        monitor.mark_dead("shard-0", round_index=4, reason="drained")
+        assert monitor.state("shard-0") is ShardState.DEAD
+        assert [t.reason for t in monitor.transitions] == [
+            "drain requested",
+            "drained",
+        ]
+
+    def test_corruption_accrues_phi(self):
+        monitor = HealthMonitor()
+        monitor.note_corruption("shard-0", 3, round_index=1)
+        assert monitor.phi("shard-0") > 0.0
+
+    def test_state_codes_are_stable(self):
+        # The gauge encoding is operator-facing; renumbering breaks
+        # every dashboard built on it.
+        assert [s.code for s in (
+            ShardState.HEALTHY,
+            ShardState.SUSPECT,
+            ShardState.DRAINING,
+            ShardState.DEAD,
+        )] == [0, 1, 2, 3]
+
+
+class TestVerifySegment:
+    def test_clean_segment_verifies_every_record(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=FsyncPolicy.NEVER)
+        for index in range(5):
+            journal.submitted(f"v-{index}", {})
+        journal.close()
+        (segment,) = [
+            p for p in tmp_path.iterdir() if p.name.startswith("wal-")
+        ]
+        assert verify_segment(segment) == (5, 0)
+
+    def test_flipped_byte_poisons_the_rest_of_the_segment(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=FsyncPolicy.NEVER)
+        for index in range(5):
+            journal.submitted(f"v-{index}", {})
+        journal.close()
+        (segment,) = [
+            p for p in tmp_path.iterdir() if p.name.startswith("wal-")
+        ]
+        data = bytearray(segment.read_bytes())
+        lines = segment.read_bytes().splitlines(keepends=True)
+        offset = len(lines[0]) + len(lines[1]) + 12  # inside line 3
+        data[offset] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        # Two clean records, then the flipped line and everything after
+        # it (scan semantics: nothing past a tear is trusted).
+        assert verify_segment(segment) == (2, 3)
+
+
+class TestDrain:
+    def _loaded_router(self, tmp_path, n_jobs=9):
+        router = _router(tmp_path)
+        for index in range(n_jobs):
+            router.submit(_request(f"dr-{index:02d}", index))
+        return router
+
+    def test_drain_migrates_the_backlog_and_leaves_the_ring(self, tmp_path):
+        router = self._loaded_router(tmp_path)
+        victim = max(
+            router.shards.values(), key=lambda s: s.queue_depth
+        ).name
+        backlog = router.shards[victim].queue_depth
+        report = drain_shard(router, victim)
+        assert report.backlog == backlog
+        assert report.moved == backlog
+        assert victim not in router.ring
+        assert not router.shards[victim].alive
+        assert router.draining == set()
+        # Nothing routes there any more; everything still completes.
+        router.run()
+        assert len(router.results) == 9
+        assert all(
+            r.status is JobStatus.DONE for r in router.results.values()
+        )
+
+    def test_drained_moved_records_never_dangle(self, tmp_path):
+        router = self._loaded_router(tmp_path)
+        victim = max(
+            router.shards.values(), key=lambda s: s.queue_depth
+        ).name
+        root = router.shards[victim].journal_dir.parent
+        drain_shard(router, victim)
+        router.run()
+        router.close()
+        submitted: dict[str, set[str]] = {}
+        moved: set[str] = set()
+        for directory in root.iterdir():
+            journal = JobJournal(
+                directory, fsync=FsyncPolicy.NEVER, lock=False
+            )
+            records, _ = journal.scan()
+            journal.close()
+            submitted[directory.name] = {
+                r.job_id
+                for r in records
+                if r.type is RecordType.SUBMITTED
+            }
+            if directory.name == victim:
+                moved = {
+                    r.job_id
+                    for r in records
+                    if r.type is RecordType.MOVED
+                }
+        assert moved  # the drain did move something
+        for job_id in moved:
+            assert any(
+                job_id in ids
+                for name, ids in submitted.items()
+                if name != victim
+            )
+
+    def test_finished_results_survive_the_drain(self, tmp_path):
+        router = self._loaded_router(tmp_path, n_jobs=8)
+        victim = max(
+            router.shards.values(), key=lambda s: s.queue_depth
+        ).name
+        done = router.shards[victim].step_one()
+        assert done is not None
+        drain_shard(router, victim)
+        # The finished job's result is still servable cluster-wide.
+        assert router.submit(_request(done.job_id)).job_id == done.job_id
+
+    def test_expired_jobs_fail_locally_instead_of_migrating(self, tmp_path):
+        clock = types.SimpleNamespace(now=100.0)
+        router = _router(tmp_path, clock=lambda: clock.now)
+        router.submit(_request("dr-live"))
+        router.submit(_request("dr-dead", deadline_s=50.0))
+        victim = router.owner["dr-dead"]
+        report = drain_shard(router, victim)
+        assert report.expired == 1
+        result = router.results["dr-dead"]
+        assert result.status is JobStatus.TIMEOUT
+        assert "during drain" in result.error
+        router.run()
+        assert router.results["dr-live"].status is JobStatus.DONE
+
+    def test_last_serving_shard_refuses_to_drain(self, tmp_path):
+        router = _router(tmp_path, n=1)
+        with pytest.raises(ClusterError, match="last serving"):
+            drain_shard(router, "shard-0")
+
+    def test_dead_shard_refuses_to_drain(self, tmp_path):
+        router = _router(tmp_path)
+        router.kill_shard("shard-1")
+        with pytest.raises(ClusterError, match="dead"):
+            drain_shard(router, "shard-1")
+
+    def test_unknown_shard_refuses_to_drain(self, tmp_path):
+        router = _router(tmp_path)
+        with pytest.raises(ClusterError, match="no shard"):
+            drain_shard(router, "shard-9")
+
+
+class _FakeCache:
+    """Duck-typed stand-in for ArtifactCache's scrub surface."""
+
+    def __init__(self, disk_dir, bad=()):
+        self.disk_dir = disk_dir
+        self.bad = set(bad)
+        self.stats = types.SimpleNamespace(corrupt_quarantined=0)
+        self.loads: list[str] = []
+
+    def _disk_load_quarantining(self, key):
+        self.loads.append(key)
+        if key in self.bad:
+            self.stats.corrupt_quarantined += 1
+
+
+class TestScrubber:
+    def _journal_dir(self, tmp_path, name="shard-0", records=6):
+        directory = tmp_path / name
+        journal = JobJournal(
+            directory, fsync=FsyncPolicy.NEVER, segment_records=2
+        )
+        for index in range(records):
+            journal.submitted(f"sc-{index}", {})
+        journal.close()
+        return directory
+
+    def test_clean_journals_scrub_clean(self, tmp_path):
+        directory = self._journal_dir(tmp_path)
+        scrubber = AntiEntropyScrubber({"shard-0": directory})
+        report = scrubber.scrub_all()
+        assert report.segments_verified == 3
+        assert report.records_verified == 6
+        assert report.corruption_found == 0
+
+    def test_corrupt_segment_is_found_and_attributed(self, tmp_path):
+        directory = self._journal_dir(tmp_path)
+        segment = sorted(directory.glob("wal-*.log"))[1]
+        data = bytearray(segment.read_bytes())
+        data[4] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        scrubber = AntiEntropyScrubber({"shard-0": directory})
+        report = scrubber.scrub_all()
+        assert report.corrupt_lines_found == 2
+        assert str(segment) in report.corrupt_segments
+        assert scrubber.last_round_corruption == {"shard-0": 2}
+
+    def test_rounds_are_bounded_and_cover_everything(self, tmp_path):
+        directory = self._journal_dir(tmp_path)  # 3 segments
+        scrubber = AntiEntropyScrubber(
+            {"shard-0": directory}, segments_per_round=1
+        )
+        for _ in range(3):
+            scrubber.scrub_round()
+        assert scrubber.report.segments_verified == 3
+        assert scrubber.report.records_verified == 6
+
+    def test_cache_entries_scrub_through_the_quarantining_loader(
+        self, tmp_path
+    ):
+        disk = tmp_path / "cache"
+        disk.mkdir()
+        for name in ("aaaa", "bbbb", "cccc"):
+            (disk / f"{name}.artifact").write_bytes(b"x")
+        cache = _FakeCache(disk, bad={"bbbb"})
+        scrubber = AntiEntropyScrubber({}, cache)
+        report = scrubber.scrub_all()
+        assert report.cache_entries_verified == 3
+        assert report.cache_entries_quarantined == 1
+        assert report.corruption_found == 1
+        assert cache.loads == ["aaaa", "bbbb", "cccc"]
+
+    def test_work_bounds_validate(self):
+        with pytest.raises(ClusterError):
+            AntiEntropyScrubber({}, segments_per_round=0)
+
+
+class TestSupervisor:
+    def test_silent_shard_death_triggers_automatic_failover(self, tmp_path):
+        router = _router(tmp_path)
+        for index in range(9):
+            router.submit(_request(f"sv-{index:02d}", index))
+        # The "process" dies without telling the router: the ring still
+        # routes to it; only missing heartbeats reveal the death.
+        router.shards["shard-1"].kill()
+        supervisor = ClusterSupervisor(router, scrub_every=0)
+        report = supervisor.run()
+        assert report.auto_handoffs == 1
+        assert supervisor.monitor.state("shard-1") is ShardState.DEAD
+        assert len(router.results) == 9
+        assert all(
+            r.status is JobStatus.DONE for r in router.results.values()
+        )
+
+    def test_suspect_verdict_drains_live_when_enabled(self, tmp_path):
+        router = _router(tmp_path)
+        for index in range(9):
+            router.submit(_request(f"sv-{index:02d}", index))
+        # shard-1 is up but its only fabric sits behind an open breaker:
+        # SUSPECT-grade evidence, not DEAD-grade.
+        router.shards["shard-1"].heartbeat = lambda r: _hb(
+            shard="shard-1",
+            round_index=r,
+            total_fabrics=1,
+            breaker_open_fabrics=1,
+        )
+        supervisor = ClusterSupervisor(
+            router, scrub_every=0, drain_on_suspect=True
+        )
+        report = supervisor.run()
+        assert report.auto_drains == 1
+        assert "shard-1" not in router.ring
+        assert supervisor.monitor.state("shard-1") is ShardState.DEAD
+        assert len(router.results) == 9
+
+    def test_gauges_and_scrub_counters_are_published(self, tmp_path):
+        router = _router(tmp_path)
+        for index in range(6):
+            router.submit(_request(f"sv-{index:02d}", index))
+        supervisor = ClusterSupervisor(router, scrub_every=1)
+        supervisor.run()
+        for name in router.shards:
+            assert supervisor._m_state.value(shard=name) == float(
+                supervisor.monitor.state(name).code
+            )
+        assert supervisor._m_scrub_segments.total > 0
+        assert supervisor._m_scrub_corruption.total == 0
+        assert supervisor.report.scrub_rounds > 0
+
+    def test_scrub_corruption_feeds_health(self, tmp_path):
+        router = _router(tmp_path)
+        router.submit(_request("sv-00"))
+        router.run()
+        # Rot the owning shard's journal on disk behind the running
+        # cluster.
+        victim = router.owner["sv-00"]
+        directory = router.shards[victim].journal_dir
+        segment = sorted(directory.glob("wal-*.log"))[0]
+        data = bytearray(segment.read_bytes())
+        data[4] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        supervisor = ClusterSupervisor(router, scrub_every=1)
+        supervisor.scrubber.segments_per_round = 16
+        supervisor.tick()
+        assert supervisor.scrubber.report.corrupt_lines_found > 0
+        assert supervisor.monitor.phi(victim) > 0.0
+        assert supervisor._m_scrub_corruption.total > 0
+
+    def test_supervised_run_matches_unsupervised_results(self, tmp_path):
+        plain = _router(tmp_path / "plain")
+        supervised = _router(tmp_path / "supervised")
+        for index in range(8):
+            plain.submit(_request(f"sv-{index:02d}", index))
+            supervised.submit(_request(f"sv-{index:02d}", index))
+        plain.run()
+        ClusterSupervisor(supervised, scrub_every=2).run()
+        assert set(plain.results) == set(supervised.results)
+        for job_id, result in plain.results.items():
+            other = supervised.results[job_id]
+            assert result.status is other.status
+            assert np.array_equal(
+                np.asarray(result.output), np.asarray(other.output)
+            )

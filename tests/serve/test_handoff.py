@@ -74,6 +74,33 @@ class TestHandoff:
             assert result.status is JobStatus.REJECTED
             assert RejectReason.HANDOFF.value in result.error
 
+    def test_surrendered_futures_carry_the_retry_after_hint(self, tmp_path):
+        """A co-located waiter shouldn't hammer the successor the instant
+        its future resolves — the rejection tells it when to follow."""
+
+        async def run():
+            service = FabricJobService(
+                pool_size=1,
+                session_factory=fake_factory(sleep_s=0.05),
+                handoff_retry_after_s=1.5,
+            )
+            async with service:
+                futures = [
+                    await service.submit(_request(f"ho-{i}"))
+                    for i in range(3)
+                ]
+                await asyncio.sleep(0.01)
+                await service.handoff()
+                return await asyncio.gather(*futures)
+
+        outcomes = asyncio.run(run())
+        rejected = [
+            r for r in outcomes if r.status is JobStatus.REJECTED
+        ]
+        assert rejected  # the backlog was surrendered
+        for result in rejected:
+            assert result.retry_after_s == 1.5
+
     def test_surrender_is_journaled_as_moved(self, tmp_path):
         _, surrendered, records = _scenario(tmp_path)
         moved = {

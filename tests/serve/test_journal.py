@@ -218,6 +218,25 @@ class TestCompaction:
         assert ("done-job", RecordType.SUBMITTED) not in kinds
         journal.close()
 
+    def test_readopted_job_survives_compaction(self, tmp_path):
+        """SUBMITTED after MOVED means the job bounced back (stolen
+        away, then drained home).  Compaction must not treat the stale
+        MOVED as terminal and disown the job."""
+        journal = JobJournal(tmp_path, fsync="never", lock=False)
+        journal.submitted("bounce", {"payload": 1})
+        journal.moved("bounce", {"to": "shard-2"})
+        journal.submitted("bounce", {"payload": 1})
+        journal.compact()
+        records, _ = journal.scan()
+        journal.close()
+        types = [r.type for r in sorted(records, key=lambda r: r.seq)]
+        # Everything kept: the job is open, replay must requeue it.
+        assert types == [
+            RecordType.SUBMITTED,
+            RecordType.MOVED,
+            RecordType.SUBMITTED,
+        ]
+
 
 @pytest.mark.skipif(not HAS_FLOCK, reason="platform lacks flock()")
 class TestLocking:

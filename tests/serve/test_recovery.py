@@ -87,6 +87,33 @@ class TestReplayFold:
         assert job.progress_slice == 4
         assert job.checkpoint_path == "x"
 
+    def test_moved_jobs_are_not_requeued(self):
+        request = _fft_request("a")
+        records = [
+            _record(RecordType.SUBMITTED, "a", encode_request(request), 1),
+            _record(RecordType.MOVED, "a", {"to": "shard-2"}, 2),
+        ]
+        state = replay(records)
+        assert state.unfinished_jobs() == []  # the successor owns it
+
+    def test_submitted_after_moved_readopts_the_job(self):
+        # Steal it away, drain it back: the journal reads SUBMITTED,
+        # MOVED, SUBMITTED.  The fresher SUBMITTED supersedes the stale
+        # MOVED — without this, *both* journals disown the job and an
+        # acknowledged job is lost.
+        request = _fft_request("a")
+        records = [
+            _record(RecordType.SUBMITTED, "a", encode_request(request), 1),
+            _record(RecordType.MOVED, "a", {"to": "shard-2"}, 2),
+            _record(RecordType.SUBMITTED, "a", encode_request(request), 3),
+        ]
+        state = replay(records)
+        assert [j.job_id for j in state.unfinished_jobs()] == ["a"]
+        assert [r.job_id for r in state.recovered_requests()] == ["a"]
+        # And a move after the re-adoption closes it again.
+        records.append(_record(RecordType.MOVED, "a", {"to": "shard-1"}, 4))
+        assert replay(records).unfinished_jobs() == []
+
     def test_unsubmitted_jobs_are_not_requeued(self):
         # A DISPATCHED with no SUBMITTED (its segment was corrupt):
         # nothing to requeue from, and nothing to lose — the job was

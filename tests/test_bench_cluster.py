@@ -38,6 +38,21 @@ ENTRY_KEYS = {
     "wall_s",
 }
 
+DRAIN_KEYS = {
+    "n_jobs",
+    "n_shards",
+    "drained_shard",
+    "drain_start_s",
+    "drain_settle_s",
+    "migrated",
+    "steady_p99_ms",
+    "drain_p99_ms",
+    "post_p99_ms",
+    "p99_ratio",
+    "makespan_s",
+    "wall_s",
+}
+
 
 @pytest.fixture(scope="module")
 def bench():
@@ -61,11 +76,18 @@ def _strip_wall(report: dict) -> dict:
     clone = json.loads(json.dumps(report))
     for entry in clone["shards"]:
         entry.pop("wall_s")
+    clone["drain"].pop("wall_s")
     return clone
 
 
 def test_json_schema(report):
-    assert set(report) == {"calibration", "load", "shards", "speedup_4_shards"}
+    assert set(report) == {
+        "calibration",
+        "load",
+        "shards",
+        "speedup_4_shards",
+        "drain",
+    }
     assert set(report["calibration"]) == {
         "warm_service_us",
         "cold_service_us",
@@ -89,6 +111,7 @@ def test_json_schema(report):
         assert 0.0 < entry["p50_ms"] <= entry["p99_ms"] <= entry["p999_ms"]
         assert entry["makespan_s"] > 0
         assert entry["speedup_vs_single"] > 0
+    assert set(report["drain"]) == DRAIN_KEYS
 
 
 def test_calibration_comes_from_real_sessions(bench):
@@ -115,6 +138,20 @@ def test_stealing_engages_under_skew(report):
     assert all(e["steals"] > 0 for e in multi)
 
 
+def test_drain_leg_holds_the_latency_bar(report):
+    """The ISSUE's acceptance: live drain under load must not blow the
+    tail — p99 during the drain window <= 3x steady-state p99."""
+    drain = report["drain"]
+    assert drain["n_shards"] == 4
+    assert drain["steady_p99_ms"] > 0
+    assert drain["drain_p99_ms"] > 0
+    assert 0 < drain["drain_start_s"] <= drain["drain_settle_s"]
+    assert drain["p99_ratio"] == pytest.approx(
+        drain["drain_p99_ms"] / drain["steady_p99_ms"]
+    )
+    assert drain["p99_ratio"] <= 3.0
+
+
 def test_run_is_deterministic(bench, tmp_path):
     a = bench.run_bench(n_jobs=2_000, output=tmp_path / "a.json")
     b = bench.run_bench(n_jobs=2_000, output=tmp_path / "b.json")
@@ -129,3 +166,5 @@ def test_repo_level_json_holds_the_floor():
     assert committed["speedup_4_shards"] >= 1.8
     for entry in committed["shards"]:
         assert entry["p999_ms"] > 0
+    assert committed["drain"]["n_jobs"] == 1_000_000
+    assert 0 < committed["drain"]["p99_ratio"] <= 3.0
