@@ -12,6 +12,7 @@ Usage::
     python -m repro compile              # configuration-compiler demo
     python -m repro chaos                # kill-and-restart durability demo
     python -m repro cluster              # sharded scale-out serving demo
+    python -m repro kernels              # registered kernel frontends
     python -m repro --version            # print the package version
 
 Each artifact name maps to a module of :mod:`repro.experiments`; the
@@ -72,14 +73,41 @@ ARTIFACTS = {
 
 
 #: Non-artifact subcommands (included in typo suggestions).
-SUBCOMMANDS = ("list", "serve", "faults", "compile", "chaos", "cluster")
+SUBCOMMANDS = ("list", "kernels", "serve", "faults", "compile", "chaos",
+               "cluster")
 
 
 def _suggestions(name: str) -> list[str]:
-    """Close artifact/subcommand matches for a typo'd request."""
-    return difflib.get_close_matches(
+    """Close artifact/subcommand/kernel matches for a typo'd request.
+
+    Kernel kinds come from the frontend registry, not a hardcoded list,
+    so third-party kernels registered before invocation get suggested
+    too.
+    """
+    from repro.compile.frontends import kernel_suggestions
+
+    close = difflib.get_close_matches(
         name, [*ARTIFACTS, *SUBCOMMANDS], n=3, cutoff=0.5
     )
+    for kind in kernel_suggestions(name):
+        if kind not in close:
+            close.append(kind)
+    return close[:3]
+
+
+def _list_kernels() -> int:
+    """Print every registered kernel kind with its parameters."""
+    from repro.compile.frontends import frontend_names, get_frontend
+
+    names = frontend_names()
+    width = max(len(name) for name in names)
+    for name in names:
+        frontend = get_frontend(name)
+        params = ", ".join(
+            f"{key}={value!r}" for key, value in frontend.defaults
+        )
+        print(f"{name:<{width}}  {frontend.description}  [{params}]")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -110,6 +138,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cluster.demo import main as cluster_main
 
         return cluster_main(args[1:])
+    if args[0] == "kernels":
+        return _list_kernels()
     if args[0] == "list":
         width = max(len(name) for name in ARTIFACTS)
         for name, (_, description) in ARTIFACTS.items():

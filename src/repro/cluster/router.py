@@ -52,7 +52,6 @@ from repro.cluster.shard import ShardWorker
 from repro.serve.durability.journal import FsyncPolicy, JobJournal
 from repro.serve.durability.recovery import replay
 from repro.serve.jobs import (
-    JobKind,
     JobRequest,
     JobResult,
     JobStatus,
@@ -69,35 +68,31 @@ CP_STEAL = register_crashpoint("cluster.steal")
 #: dead shard's queue has re-homed and part has not.
 CP_HANDOFF = register_crashpoint("cluster.handoff")
 
-#: Link cost used when compiling routing artifacts; matches the serving
-#: sessions' default so the router shares their cache entries.
-_ROUTING_LINK_COST_NS = 100.0
-
-
 def spec_routing_key(spec: KernelSpec, bits: int = KEY_BITS) -> int:
     """The cluster routing key of a kernel spec.
 
-    Compiles the spec through the cached frontends (a repeat spec never
-    re-lowers) and projects the artifact's content address into the
-    ring's key space.  Every router incarnation computes the same key
-    for the same spec — the property recovery re-routing relies on.
+    Compiles the spec through the kernel-frontend registry (a repeat
+    spec never re-lowers — the artifact cache serves it) and projects
+    the artifact's content address into the ring's key space.  Every
+    router incarnation computes the same key for the same spec — the
+    property recovery re-routing relies on.  Registry dispatch means a
+    newly registered kernel is routable with no router change; hidden
+    parameters the spec tuple omits (e.g. the FFT's ``link_cost_ns``)
+    canonicalize to the frontend's defaults, which match the serving
+    sessions' so the router shares their cache entries.
     """
     # Lazy imports: the kernels import repro.compile.ir.
-    if spec.kind is JobKind.FFT:
-        from repro.compile.frontends import compile_fft
-        from repro.kernels.fft.decompose import FFTPlan
+    from repro.compile.frontends import compile_kernel, get_frontend
+    from repro.errors import CompileError, KernelError
 
-        n, m, cols = spec.params
-        artifact = compile_fft(
-            FFTPlan(int(n), int(m), int(cols)), _ROUTING_LINK_COST_NS
-        )
-    elif spec.kind is JobKind.JPEG:
-        from repro.compile.frontends import compile_jpeg
-
-        quality, chroma = spec.params
-        artifact = compile_jpeg(int(quality), bool(chroma))
-    else:  # pragma: no cover - the kind enum is closed
-        raise ClusterError(f"no routing frontend for kind {spec.kind!r}")
+    try:
+        frontend = get_frontend(spec.kind.value)
+        params = frontend.params_from_spec(spec.params)
+        artifact = compile_kernel(spec.kind.value, params)
+    except (CompileError, KernelError) as exc:
+        raise ClusterError(
+            f"cannot compile routing artifact for {spec}: {exc}"
+        ) from exc
     return plan_hash_prefix(artifact, bits)
 
 

@@ -19,7 +19,20 @@ from repro.compile.cache import (
     clear_cache,
     get_cache,
 )
-from repro.compile.frontends import compile_fft, compile_jpeg, compile_plan
+from repro.compile.frontends import (
+    KernelFrontend,
+    compile_fft,
+    compile_jpeg,
+    compile_kernel,
+    compile_plan,
+    frontend_names,
+    frontend_summaries,
+    get_frontend,
+    import_all_frontends,
+    kernel_suggestions,
+    register_frontend,
+)
+from repro.compile.graph import DataflowGraph, Process
 from repro.compile.hashing import canonical_bytes, plan_hash, plan_hash_prefix
 from repro.compile.ir import (
     CompiledArtifact,
@@ -41,23 +54,33 @@ __all__ = [
     "CacheStats",
     "CompileUnit",
     "CompiledArtifact",
+    "DataflowGraph",
     "EpochPlan",
     "IRBuilder",
     "InputPort",
+    "KernelFrontend",
     "KernelGraph",
     "LinkDemand",
     "MemoryDemand",
     "PassManager",
     "PassTiming",
+    "Process",
     "ProcessNode",
     "cache_stats",
     "canonical_bytes",
     "clear_cache",
     "compile_fft",
     "compile_jpeg",
+    "compile_kernel",
     "compile_plan",
     "default_passes",
+    "frontend_names",
+    "frontend_summaries",
     "get_cache",
+    "get_frontend",
+    "import_all_frontends",
+    "kernel_suggestions",
+    "register_frontend",
     "plan_hash",
     "plan_hash_prefix",
     "rebuild_port_encoder",

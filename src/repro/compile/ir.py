@@ -171,21 +171,36 @@ def register_port_encoder(
 
 
 def rebuild_port_encoder(signature: tuple) -> Callable:
-    """The encoder for ``signature``, importing kernel lowerings if needed."""
+    """The encoder for ``signature``, importing kernel frontends if needed.
+
+    Raises a typed ``CompileError(pass_name="frontend")`` when no
+    registered frontend provides the tag — the error a disk-cached
+    artifact surfaces when it references a kernel this process never
+    registered (e.g. a cache directory shared with a build that carried
+    an out-of-tree kernel).
+    """
     if not signature:
         raise CompileError(
-            "cannot rebuild an input-port encoder without a signature"
+            "cannot rebuild an input-port encoder without a signature",
+            pass_name="frontend",
         )
     tag = signature[0]
     if tag not in _PORT_ENCODERS:
         # The factories live with the kernel lowerings; a disk load in a
-        # fresh process may reach here before any frontend ran.
-        import repro.kernels.fft.lowering  # noqa: F401
-        import repro.kernels.jpeg.lowering  # noqa: F401
+        # fresh process may reach here before any frontend ran.  The
+        # registry knows every built-in lowering module, so new kernels
+        # need no edit here.
+        from repro.compile.frontends import import_all_frontends
+
+        import_all_frontends()
     factory = _PORT_ENCODERS.get(tag)
     if factory is None:
         raise CompileError(
-            f"no registered input-port encoder for signature tag {tag!r}"
+            f"no registered input-port encoder for signature tag {tag!r} "
+            f"(registered: {sorted(_PORT_ENCODERS) or 'none'}); register "
+            f"the kernel frontend that owns it before loading this "
+            f"artifact",
+            pass_name="frontend",
         )
     return factory(signature)
 

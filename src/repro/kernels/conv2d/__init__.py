@@ -1,0 +1,15 @@
+"""2-D convolution / stencil kernel (single-tile, integer-exact).
+
+The first workload opened through the dataflow frontend
+(:mod:`repro.compile.graph`): a 3x3 integer stencil over a square frame,
+computed entirely in tile data memory with full-width ``MUL``/``ADD``
+MACs — bit-identical to the numpy reference oracle in
+:mod:`repro.kernels.conv2d.reference`.
+"""
+
+from repro.kernels.conv2d.lowering import lower_conv2d
+from repro.kernels.conv2d.programs import PRESET_TAPS
+from repro.kernels.conv2d.reference import conv2d_reference
+from repro.kernels.conv2d.runner import FabricConv2D
+
+__all__ = ["lower_conv2d", "PRESET_TAPS", "conv2d_reference", "FabricConv2D"]

@@ -1,0 +1,146 @@
+"""Lowering the 3x3 stencil through the dataflow frontend.
+
+The kernel is a two-process network on a single tile: the tap preset is
+the graph's *setup* process (nine words charged through the ICAP once
+per fabric), the frame arrives through the ``conv2d-image-v1`` input
+port (free host pokes), and one body process fires the looped
+convolution program.  The whole kernel is integer-exact — fabric output
+must equal :func:`repro.kernels.conv2d.reference.conv2d_reference`
+bit for bit, which is the registry's default ``check_output`` contract
+(``exact=True``).
+
+Importing this module registers the ``conv2d`` kernel frontend (and the
+``conv2d-image-v1`` input-port encoder factory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compile.graph import DataflowGraph
+from repro.compile.ir import (
+    Coord,
+    EpochPlan,
+    KernelGraph,
+    register_port_encoder,
+)
+from repro.errors import CompileError, KernelError
+from repro.fabric.fixedpoint import wrap_word
+from repro.kernels.conv2d.programs import (
+    PRESET_TAPS,
+    Conv2DLayout,
+    conv2d_program,
+)
+
+__all__ = ["lower_conv2d", "taps_image"]
+
+
+def _image_encoder(signature: tuple):
+    """The ``conv2d-image-v1`` encoder, rebuildable from its signature."""
+    _tag, base, size = signature
+
+    def encode(frame) -> dict[Coord, dict[int, int]]:
+        frame = np.asarray(frame)
+        if frame.shape != (size, size):
+            raise KernelError(
+                f"expected a {size}x{size} frame, got {frame.shape}"
+            )
+        if frame.dtype.kind not in "iu":
+            raise KernelError(
+                f"conv2d frames are integer, got dtype {frame.dtype}"
+            )
+        pixels = [int(v) for v in frame.reshape(-1).tolist()]
+        count = size * size
+        return {(0, 0): dict(zip(range(base, base + count), pixels))}
+
+    return encode
+
+
+register_port_encoder("conv2d-image-v1", _image_encoder)
+
+
+def taps_image(lay: Conv2DLayout, taps: tuple[int, ...]) -> dict[int, int]:
+    """The charged tap image: nine row-major words at the taps region."""
+    return {
+        lay.taps_base + i: wrap_word(int(t)) for i, t in enumerate(taps)
+    }
+
+
+def lower_conv2d(
+    size: int = 16, kernel: str = "sharpen"
+) -> tuple[KernelGraph, EpochPlan]:
+    """Lower one stencil configuration to a (graph, plan) pair."""
+    if kernel not in PRESET_TAPS:
+        raise CompileError(
+            f"unknown conv2d tap preset {kernel!r} "
+            f"(expected one of {sorted(PRESET_TAPS)})",
+            pass_name="frontend",
+        )
+    taps, shift = PRESET_TAPS[kernel]
+    lay = Conv2DLayout(size)
+    program = conv2d_program(size, shift)
+
+    graph = DataflowGraph(
+        kind="conv2d",
+        params={"size": int(size), "kernel": str(kernel)},
+        rows=1,
+        cols=1,
+        link_cost_ns=0.0,
+    )
+    preload = graph.add_process(
+        "preload_taps",
+        data_images={(0, 0): taps_image(lay, taps)},
+        setup=True,
+    )
+    graph.set_input(
+        "image", signature=("conv2d-image-v1", lay.in_base, size)
+    )
+    graph.add_process(
+        "stencil",
+        programs={(0, 0): program},
+        run=[(0, 0)],
+        after=preload,
+    )
+    return graph.lower()
+
+
+# ---------------------------------------------------------------------------
+# frontend registration
+# ---------------------------------------------------------------------------
+
+
+def _example_payload(params: dict, rng) -> np.ndarray:
+    """A deterministic 8-bit frame at the configured side."""
+    size = int(params["size"])
+    return rng.integers(0, 256, size=(size, size)).astype(np.int64)
+
+
+def _reference(params: dict, payload) -> np.ndarray:
+    from repro.kernels.conv2d.reference import conv2d_reference
+
+    taps, shift = PRESET_TAPS[params["kernel"]]
+    taps_mat = np.array(taps, dtype=np.int64).reshape(3, 3)
+    return conv2d_reference(np.asarray(payload), taps_mat, shift)
+
+
+def _register() -> None:
+    from repro.compile.frontends import KernelFrontend, register_frontend
+
+    register_frontend(
+        KernelFrontend(
+            kind="conv2d",
+            description="single-tile 3x3 integer stencil "
+            f"(presets: {', '.join(sorted(PRESET_TAPS))})",
+            param_names=("size", "kernel"),
+            defaults=(("size", 16), ("kernel", "sharpen")),
+            lower=lambda params: lower_conv2d(
+                params["size"], params["kernel"]
+            ),
+            example_payload=_example_payload,
+            reference=_reference,
+            exact=True,
+        )
+    )
+
+
+_register()

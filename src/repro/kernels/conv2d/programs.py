@@ -1,0 +1,123 @@
+"""Tile assembly for the 3x3 stencil kernel.
+
+One looped program computes the whole *valid* convolution of a
+``size x size`` integer frame against a 3x3 tap matrix resident in data
+memory: per output pixel the nine MACs are unrolled (full-width ``MUL``,
+no fixed-point shift — the kernel is integer-exact), the two loop levels
+walk pointer-indirect over rows and columns exactly like the JPEG
+matrix-multiply, and an optional rounding arithmetic shift normalizes
+smoothing taps whose weights sum to a power of two.
+
+Data-memory layout for frame side ``size`` (``out = size - 2``)::
+
+    IN    [0,            size^2)        the input frame (host pokes)
+    OUT   [size^2,  size^2 + out^2)     the valid convolution result
+    TAPS  [OUT_end,     OUT_end + 9)    3x3 taps, row-major (charged)
+    TMP   [TAPS_end,  TAPS_end + 16)    loop variables
+
+which caps ``size`` at 16 on the 512-word memory (256 + 196 + 9 + 16).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import KernelError
+from repro.fabric.assembler import Program, assemble
+from repro.units import DATA_MEM_WORDS
+
+__all__ = [
+    "PRESET_TAPS",
+    "Conv2DLayout",
+    "conv2d_program",
+]
+
+#: Named 3x3 tap presets: row-major taps plus the normalizing right
+#: shift (0 = none).  All integer, so the fabric result is exact.
+PRESET_TAPS: dict[str, tuple[tuple[int, ...], int]] = {
+    "sharpen": ((0, -1, 0, -1, 5, -1, 0, -1, 0), 0),
+    "blur": ((1, 2, 1, 2, 4, 2, 1, 2, 1), 4),
+    "edge": ((-1, -1, -1, -1, 8, -1, -1, -1, -1), 0),
+    "identity": ((0, 0, 0, 0, 1, 0, 0, 0, 0), 0),
+}
+
+
+class Conv2DLayout:
+    """Region bases of the stencil data-memory layout for one frame side."""
+
+    def __init__(self, size: int) -> None:
+        if size < 3:
+            raise KernelError(f"frame side {size} must be >= 3")
+        self.size = size
+        self.out_dim = size - 2
+        self.in_base = 0
+        self.out_base = size * size
+        self.taps_base = self.out_base + self.out_dim * self.out_dim
+        self.tmp_base = self.taps_base + 9
+        if self.tmp_base + 16 > DATA_MEM_WORDS:
+            raise KernelError(
+                f"frame side {size} needs {self.tmp_base + 16} data words; "
+                f"the single-tile stencil layout requires "
+                f"size^2 + (size-2)^2 + 25 <= {DATA_MEM_WORDS} (size <= 16)"
+            )
+
+
+@lru_cache(maxsize=None)
+def conv2d_program(size: int, shift: int = 0) -> Program:
+    """The valid 3x3 convolution over a ``size x size`` frame.
+
+    ``out[r, c] = sum(in[r+i, c+j] * taps[i, j])`` with the nine MACs
+    unrolled per pixel; ``shift > 0`` appends MULQ-style rounding
+    (``(acc + half) >> shift``, arithmetic) for normalized smoothing
+    taps.  Taps are read from their fixed region, so one program object
+    serves every tap preset of the same shape — the pinning contract.
+    """
+    lay = Conv2DLayout(size)
+    if not 0 <= shift < 47:
+        raise KernelError(f"normalizing shift {shift} outside [0, 47)")
+    macs: list[str] = []
+    for wr in range(3):
+        for wc in range(3):
+            macs.append(f"    MUL t, @p_win, {lay.taps_base + 3 * wr + wc}")
+            macs.append("    ADD acc, acc, t")
+            if wc < 2:
+                macs.append("    ADD p_win, p_win, #1")
+            elif wr < 2:
+                macs.append(f"    ADD p_win, p_win, #{size - 2}")
+    rounding = ""
+    if shift:
+        rounding = f"""
+    ADD acc, acc, #{1 << (shift - 1)}
+    SRA acc, acc, #{shift}"""
+    mac_block = "\n".join(macs)
+    src = f"""
+.org {lay.tmp_base}
+.var i
+.var j
+.var acc
+.var t
+.var p_row
+.var p_col
+.var p_win
+.var p_out
+    MOV i, #{lay.out_dim}
+    MOV p_row, #{lay.in_base}
+    MOV p_out, #{lay.out_base}
+rowloop:
+    MOV j, #{lay.out_dim}
+    MOV p_col, p_row
+colloop:
+    MOV acc, #0
+    MOV p_win, p_col
+{mac_block}{rounding}
+    MOV @p_out, acc
+    ADD p_out, p_out, #1
+    ADD p_col, p_col, #1
+    SUB j, j, #1
+    BNZ j, colloop
+    ADD p_row, p_row, #{size}
+    SUB i, i, #1
+    BNZ i, rowloop
+    HALT
+"""
+    return assemble(src, name=f"conv3x3_{size}_s{shift}")

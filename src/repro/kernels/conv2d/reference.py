@@ -1,0 +1,53 @@
+"""Reference oracle for the 3x3 stencil: exact integer convolution.
+
+Mirrors the tile program instruction for instruction — full-width
+wrapping MACs, then the optional rounding arithmetic shift — so fabric
+output must match **bit for bit** (the contract the kernel tests and
+the generic registry round-trip pin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.fabric.fixedpoint import WORD_BITS
+
+__all__ = ["conv2d_reference", "wrap_words"]
+
+_MOD = 1 << WORD_BITS
+_HALF = 1 << (WORD_BITS - 1)
+
+
+def wrap_words(values: np.ndarray) -> np.ndarray:
+    """48-bit two's-complement wrap, vectorized (int64-safe)."""
+    return ((np.asarray(values, dtype=np.int64) + _HALF) % _MOD) - _HALF
+
+
+def conv2d_reference(
+    image: np.ndarray, taps: np.ndarray, shift: int = 0
+) -> np.ndarray:
+    """The valid 3x3 convolution, exactly as the tile computes it.
+
+    ``image`` is ``(size, size)`` integer, ``taps`` ``(3, 3)`` integer;
+    the result is ``(size-2, size-2)``.  The per-pixel accumulate wraps
+    at 48 bits (a no-op for in-range inputs) and ``shift`` applies the
+    program's ``(acc + half) >> shift`` rounding arithmetic shift.
+    """
+    img = np.asarray(image, dtype=np.int64)
+    taps = np.asarray(taps, dtype=np.int64)
+    if img.ndim != 2 or img.shape[0] != img.shape[1]:
+        raise KernelError(f"image must be square 2-D, got {img.shape}")
+    if taps.shape != (3, 3):
+        raise KernelError(f"taps must be 3x3, got {taps.shape}")
+    size = img.shape[0]
+    out_dim = size - 2
+    out = np.zeros((out_dim, out_dim), dtype=np.int64)
+    for i in range(3):
+        for j in range(3):
+            out = wrap_words(
+                out + taps[i, j] * img[i:i + out_dim, j:j + out_dim]
+            )
+    if shift:
+        out = wrap_words(out + (1 << (shift - 1))) >> shift
+    return out

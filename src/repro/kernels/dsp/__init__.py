@@ -1,0 +1,21 @@
+"""Streaming DSP-chain kernel (FIR → decimate → FFT, single tile).
+
+The third workload opened through the dataflow frontend
+(:mod:`repro.compile.graph`): an anti-aliasing FIR over an oversampled
+real frame, decimation to the transform length, then an in-place DIF FFT
+reusing the FFT kernel's butterfly programs — word-exact against the
+fixed-point reference oracle in :mod:`repro.kernels.dsp.reference`.
+"""
+
+from repro.kernels.dsp.lowering import lower_dsp
+from repro.kernels.dsp.programs import DSPLayout, triangle_taps
+from repro.kernels.dsp.reference import dsp_reference
+from repro.kernels.dsp.runner import FabricDSP
+
+__all__ = [
+    "lower_dsp",
+    "DSPLayout",
+    "triangle_taps",
+    "dsp_reference",
+    "FabricDSP",
+]

@@ -1,0 +1,176 @@
+"""Lowering the streaming DSP chain through the dataflow frontend.
+
+The chain is the frontend's deepest single-tile pipeline: a setup
+process charges the Q30 FIR taps (and the zero history), the oversampled
+frame arrives through the ``dsp-input-v1`` input port, and the body runs
+``fir`` → ``decimate`` → per-stage twiddle pokes + butterfly firings —
+the butterflies being the FFT kernel's own
+:func:`~repro.kernels.fft.programs.bf_internal_program`, reused
+unchanged on a 1x1 mesh.  The chain edges make the stream order
+explicit, and the whole kernel is word-exact against
+:func:`repro.kernels.dsp.reference.dsp_reference`.
+
+Importing this module registers the ``dsp`` kernel frontend (and the
+``dsp-input-v1`` input-port encoder factory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compile.graph import DataflowGraph
+from repro.compile.ir import (
+    Coord,
+    EpochPlan,
+    KernelGraph,
+    register_port_encoder,
+)
+from repro.errors import KernelError
+from repro.kernels.dsp.programs import (
+    DSPLayout,
+    decimate_program,
+    fir_program,
+    triangle_taps,
+)
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.programs import QFORMAT, bf_internal_program
+
+__all__ = ["lower_dsp", "taps_image"]
+
+
+def _sample_encoder(signature: tuple):
+    """The ``dsp-input-v1`` encoder, rebuildable from its signature."""
+    _tag, raw_base, raw_len, n = signature
+
+    def encode(x) -> dict[Coord, dict[int, int]]:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (raw_len,):
+            raise KernelError(
+                f"input must have shape ({raw_len},), got {x.shape}"
+            )
+        limit = QFORMAT.max_value / (2 * n)
+        peak = float(np.max(np.abs(x))) if raw_len else 0.0
+        if peak > limit:
+            raise KernelError(
+                f"input magnitude {peak:.3g} risks Q{QFORMAT.frac_bits} "
+                f"overflow after {n.bit_length() - 1} stages "
+                f"(limit {limit:.3g})"
+            )
+        words = QFORMAT.encode_words(x)
+        return {
+            (0, 0): dict(zip(range(raw_base, raw_base + raw_len), words))
+        }
+
+    return encode
+
+
+register_port_encoder("dsp-input-v1", _sample_encoder)
+
+
+def taps_image(lay: DSPLayout) -> dict[int, int]:
+    """The charged setup image: Q30 taps plus the FIR's zero history."""
+    image = {
+        lay.taps_base + k: w
+        for k, w in enumerate(QFORMAT.encode_words(triangle_taps(lay.taps)))
+    }
+    image.update({lay.hist_base + i: 0 for i in range(lay.taps - 1)})
+    return image
+
+
+def lower_dsp(
+    n: int = 16, taps: int = 8, decim: int = 2
+) -> tuple[KernelGraph, EpochPlan]:
+    """Lower one DSP-chain configuration to a (graph, plan) pair."""
+    lay = DSPLayout(n, taps, decim)
+    plan = FFTPlan(n, n, 1)
+    w = np.exp(-2j * np.pi * np.arange(n) / n)
+    wre_w = QFORMAT.encode_words(w.real)
+    wim_w = QFORMAT.encode_words(w.imag)
+
+    graph = DataflowGraph(
+        kind="dsp",
+        params={"n": int(n), "taps": int(taps), "decim": int(decim)},
+        rows=1,
+        cols=1,
+        link_cost_ns=0.0,
+    )
+    preload = graph.add_process(
+        "preload_taps", data_images={(0, 0): taps_image(lay)}, setup=True
+    )
+    graph.set_input(
+        "samples",
+        signature=("dsp-input-v1", lay.raw_base, lay.raw_len, n),
+    )
+    prev = graph.add_process(
+        "fir",
+        programs={(0, 0): fir_program(n, taps, decim)},
+        run=[(0, 0)],
+        after=preload,
+    )
+    prev = graph.add_process(
+        "decimate",
+        programs={(0, 0): decimate_program(n, taps, decim)},
+        run=[(0, 0)],
+        after=prev,
+    )
+    fft_lay = lay.fft
+    for stage in range(plan.stages):
+        exps = plan.tile_twiddle_exponents(0, stage)
+        image = {fft_lay.wre + j: wre_w[e] for j, e in enumerate(exps)}
+        image.update((fft_lay.wim + j, wim_w[e]) for j, e in enumerate(exps))
+        prev = graph.add_process(
+            f"twiddles_s{stage}", pokes={(0, 0): image}, after=prev
+        )
+        prev = graph.add_process(
+            f"bf_s{stage}",
+            programs={(0, 0): bf_internal_program(n, plan.span(stage))},
+            run=[(0, 0)],
+            after=prev,
+        )
+    return graph.lower()
+
+
+# ---------------------------------------------------------------------------
+# frontend registration
+# ---------------------------------------------------------------------------
+
+
+def _example_payload(params: dict, rng) -> np.ndarray:
+    """A deterministic real frame well inside the Q-format headroom."""
+    n, decim = int(params["n"]), int(params["decim"])
+    limit = QFORMAT.max_value / (2 * n)
+    return (limit / 8.0) * rng.standard_normal(n * decim)
+
+
+def _reference(params: dict, payload) -> np.ndarray:
+    from repro.kernels.dsp.reference import dsp_reference
+
+    return dsp_reference(
+        np.asarray(payload),
+        int(params["n"]),
+        int(params["taps"]),
+        int(params["decim"]),
+    )
+
+
+def _register() -> None:
+    from repro.compile.frontends import KernelFrontend, register_frontend
+
+    register_frontend(
+        KernelFrontend(
+            kind="dsp",
+            description="single-tile streaming DSP chain "
+            "(FIR -> decimate -> n-point FFT, word-exact)",
+            param_names=("n", "taps", "decim"),
+            defaults=(("n", 16), ("taps", 8), ("decim", 2)),
+            lower=lambda params: lower_dsp(
+                params["n"], params["taps"], params["decim"]
+            ),
+            example_payload=_example_payload,
+            reference=_reference,
+            exact=True,
+        )
+    )
+
+
+_register()

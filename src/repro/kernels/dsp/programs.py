@@ -1,0 +1,152 @@
+"""Tile assembly for the streaming DSP-chain kernel.
+
+The chain is the classic front end of a spectrum analyzer: an
+anti-aliasing FIR over an oversampled real signal, decimation down to
+the transform length, then an in-place DIF FFT — all on one tile, all in
+the FFT programs' Q30 format, so the butterfly stages are literally
+:func:`repro.kernels.fft.programs.bf_internal_program` reused unchanged.
+
+Data-memory layout for ``n`` output points, ``taps`` FIR taps and
+decimation factor ``decim`` (``raw_len = n * decim``), packed directly
+above the FFT layout's scratch region::
+
+    FFT   [0,  7n + 48)            the full FFT layout (RE/IM/W/staging/TMP)
+    TAPS  [fft_end, +taps)         Q30 FIR taps (charged once)
+    HIST  [+taps,  +taps-1)        zero history below RAW (charged once)
+    RAW   [.., +raw_len)           oversampled input samples (host pokes)
+    Y     [.., +raw_len)           FIR output
+
+The FIR reads ``x[t-k]`` straight off a descending pointer: for
+``t < taps - 1`` the pointer walks down into HIST's zeros, so the
+program is branch-free (batch-tier friendly) and the history is the
+textbook zero initial state.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.fabric.assembler import Program, assemble
+from repro.kernels.fft.programs import QFORMAT, FFTLayout
+from repro.units import DATA_MEM_WORDS
+
+__all__ = ["DSPLayout", "triangle_taps", "fir_program", "decimate_program"]
+
+
+class DSPLayout:
+    """Region bases of the DSP-chain data-memory layout."""
+
+    def __init__(self, n: int, taps: int, decim: int) -> None:
+        if taps < 1:
+            raise KernelError(f"FIR length {taps} must be >= 1")
+        if decim < 1:
+            raise KernelError(f"decimation factor {decim} must be >= 1")
+        self.n = n
+        self.taps = taps
+        self.decim = decim
+        self.raw_len = n * decim
+        self.fft = FFTLayout(n)  # validates n and the FFT memory budget
+        self.taps_base = self.fft.tmp + 48
+        self.hist_base = self.taps_base + taps
+        self.raw_base = self.hist_base + (taps - 1)
+        self.y_base = self.raw_base + self.raw_len
+        end = self.y_base + self.raw_len
+        if end > DATA_MEM_WORDS:
+            raise KernelError(
+                f"dsp chain (n={n}, taps={taps}, decim={decim}) needs "
+                f"{end} data words; the single-tile layout requires "
+                f"7n + 47 + 2*taps + 2*n*decim <= {DATA_MEM_WORDS}"
+            )
+
+
+def triangle_taps(taps: int) -> np.ndarray:
+    """The symmetric triangular lowpass window, normalized to unit sum.
+
+    Unit DC gain keeps the FIR output inside the input's Q30 headroom
+    bound, so the chain shares the FFT's overflow-safety argument.
+    """
+    if taps < 1:
+        raise KernelError(f"FIR length {taps} must be >= 1")
+    vals = np.array(
+        [min(k + 1, taps - k) for k in range(taps)], dtype=np.float64
+    )
+    return vals / vals.sum()
+
+
+@lru_cache(maxsize=None)
+def fir_program(n: int, taps: int, decim: int) -> Program:
+    """The direct-form FIR: ``y[t] = sum_k MULQ(x[t-k], h[k])``.
+
+    The inner MAC pointer walks *down* from ``RAW + t``; the first
+    ``taps - 1`` outputs read HIST's charged zeros, so there is no
+    start-up branch and every firing executes the identical instruction
+    stream (the batch tier's replication requirement).
+    """
+    lay = DSPLayout(n, taps, decim)
+    src = f"""
+.org {lay.fft.tmp}
+.var t
+.var k
+.var acc
+.var tv
+.var p_x0
+.var p_x
+.var p_h
+.var p_y
+    MOV t, #{lay.raw_len}
+    MOV p_x0, #{lay.raw_base}
+    MOV p_y, #{lay.y_base}
+tloop:
+    MOV acc, #0
+    MOV p_x, p_x0
+    MOV p_h, #{lay.taps_base}
+    MOV k, #{taps}
+kloop:
+    MULQ tv, @p_x, @p_h, {QFORMAT.frac_bits}
+    ADD acc, acc, tv
+    SUB p_x, p_x, #1
+    ADD p_h, p_h, #1
+    SUB k, k, #1
+    BNZ k, kloop
+    MOV @p_y, acc
+    ADD p_y, p_y, #1
+    ADD p_x0, p_x0, #1
+    SUB t, t, #1
+    BNZ t, tloop
+    HALT
+"""
+    return assemble(src, name=f"fir{taps}_n{n}d{decim}")
+
+
+@lru_cache(maxsize=None)
+def decimate_program(n: int, taps: int, decim: int) -> Program:
+    """Keep every ``decim``-th FIR output as the FFT's real input.
+
+    ``RE[i] = y[i * decim]``, ``IM[i] = 0`` — the stride walk that turns
+    the oversampled stream into the transform frame.
+    """
+    lay = DSPLayout(n, taps, decim)
+    src = f"""
+.org {lay.fft.tmp}
+.var i
+.var p_y
+.var p_re
+.var p_im
+    MOV i, #{n}
+    MOV p_y, #{lay.y_base}
+    MOV p_re, #{lay.fft.re}
+    MOV p_im, #{lay.fft.im}
+iloop:
+    MOV @p_re, @p_y
+    MOV @p_im, #0
+    ADD p_y, p_y, #{decim}
+    ADD p_re, p_re, #1
+    ADD p_im, p_im, #1
+    SUB i, i, #1
+    BNZ i, iloop
+    HALT
+"""
+    return assemble(src, name=f"decim{decim}_n{n}")

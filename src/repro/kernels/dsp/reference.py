@@ -1,0 +1,84 @@
+"""Reference oracle for the DSP chain: exact word-level fixed-point model.
+
+Unlike the FFT's float oracle (``np.fft.fft`` within a rounding bound),
+the DSP chain's oracle mirrors the tile programs word for word — every
+``MULQ`` via :meth:`FixedPointFormat.mul`, every ``ADD``/``SUB`` via
+:func:`wrap_word`, the same pair-order twiddle tables, the same
+bit-reversal unscramble — so the fabric output must match
+**bit-identically** (``exact=True`` in the registry, the default
+``check_output`` contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.fabric.fixedpoint import wrap_word
+from repro.kernels.fft.decompose import FFTPlan
+from repro.kernels.fft.programs import QFORMAT
+from repro.kernels.fft.reference import bit_reverse_indices
+
+__all__ = ["dsp_reference"]
+
+
+def dsp_reference(
+    x: np.ndarray, n: int, taps: int, decim: int
+) -> np.ndarray:
+    """FIR → decimate → n-point FFT, exactly as the tile computes it.
+
+    ``x`` is the real oversampled frame of length ``n * decim``; the
+    result is the natural-order complex spectrum decoded from the Q30
+    words the fabric would hold.
+    """
+    from repro.kernels.dsp.programs import triangle_taps
+
+    raw_len = n * decim
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (raw_len,):
+        raise KernelError(
+            f"input must have shape ({raw_len},), got {x.shape}"
+        )
+    x_w = QFORMAT.encode_words(x)
+    h_w = QFORMAT.encode_words(triangle_taps(taps))
+
+    # FIR with zero history, accumulating through wrapping ADDs.
+    y_w = []
+    for t in range(raw_len):
+        acc = 0
+        for k in range(taps):
+            xi = x_w[t - k] if t - k >= 0 else 0
+            acc = wrap_word(acc + QFORMAT.mul(xi, h_w[k]))
+        y_w.append(acc)
+
+    # Decimate: every decim-th output becomes the transform's real input.
+    re = [y_w[i * decim] for i in range(n)]
+    im = [0] * n
+
+    # In-place DIF FFT, mirroring bf_internal_program stage by stage:
+    # the twiddle table is stored in pair order, so the walk is linear.
+    plan = FFTPlan(n, n, 1)
+    w = np.exp(-2j * np.pi * np.arange(n) / n)
+    wre_w = QFORMAT.encode_words(w.real)
+    wim_w = QFORMAT.encode_words(w.imag)
+    for stage in range(plan.stages):
+        h = plan.span(stage)
+        exps = plan.tile_twiddle_exponents(0, stage)
+        idx = 0
+        for g in range(n // (2 * h)):
+            base = g * 2 * h
+            for j in range(h):
+                ia, ib = base + j, base + j + h
+                ar, ai = re[ia], im[ia]
+                br, bi = re[ib], im[ib]
+                re[ia] = wrap_word(ar + br)
+                im[ia] = wrap_word(ai + bi)
+                dr = wrap_word(ar - br)
+                di = wrap_word(ai - bi)
+                wr, wi = wre_w[exps[idx]], wim_w[exps[idx]]
+                re[ib] = wrap_word(QFORMAT.mul(dr, wr) - QFORMAT.mul(di, wi))
+                im[ib] = wrap_word(QFORMAT.mul(dr, wi) + QFORMAT.mul(di, wr))
+                idx += 1
+
+    brev = QFORMAT.decode_words(re) + 1j * QFORMAT.decode_words(im)
+    return brev[bit_reverse_indices(n)]

@@ -1,14 +1,15 @@
 """Lowering the fabric FFT to the configuration-compiler IR.
 
-This module owns the epoch-assembly logic that used to live inline in
-:class:`~repro.kernels.fft.runner.FabricFFT.transform_epochs`: per column
-a horizontal copy (``hcp``) forwards data from the previous column, per
-stage twiddles are installed (YELLOW reloads charged to the ICAP, the
-rest free pokes), and the butterflies run either tile-internally or as
-systolic relay-sweep exchanges.  The lowering emits *tagless* epoch
-templates — :meth:`CompiledArtifact.bind` prefixes the per-transform tag
-(``t0_``, ``t1_``, …) at bind time, which reproduces the legacy epoch
-names byte for byte.
+The FFT is expressed as a process chain on a
+:class:`~repro.compile.graph.DataflowGraph`: per column a horizontal
+copy (``hcp``) forwards data from the previous column, per stage
+twiddles are installed (YELLOW reloads charged to the ICAP, the rest
+free pokes), and the butterflies run either tile-internally or as
+systolic relay-sweep exchanges — one process per epoch, chained in
+firing order, so the graph's edges mirror the systolic schedule.  The
+lowering emits *tagless* epoch templates — :meth:`CompiledArtifact.bind`
+prefixes the per-transform tag (``t0_``, ``t1_``, …) at bind time, which
+reproduces the legacy epoch names byte for byte.
 
 The transform input is late-bound through an :class:`InputPort` whose
 encoder performs the same shape and Q-format-headroom validation the
@@ -19,17 +20,19 @@ All tile programs come from the ``lru_cache``-d factories in
 ``programs.py``; two artifacts of the same shape therefore share program
 *objects*, which is what keeps program pinning (and hence reconfiguration
 accounting) bit-identical across compiles.
+
+Importing this module registers the ``fft`` kernel frontend (and the
+``fft-input-v1`` input-port encoder factory).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.compile.graph import DataflowGraph
 from repro.compile.ir import (
     Coord,
     EpochPlan,
-    InputPort,
-    IRBuilder,
     KernelGraph,
     register_port_encoder,
 )
@@ -113,7 +116,7 @@ class _FFTLowering:
         self._wre_words = QFORMAT.encode_words(w.real)
         self._wim_words = QFORMAT.encode_words(w.imag)
         self._twiddle_images: dict[tuple[int, int], dict[int, int]] = {}
-        self.builder = IRBuilder(
+        self.graph = DataflowGraph(
             kind="fft",
             params={
                 "n": plan.n,
@@ -125,37 +128,35 @@ class _FFTLowering:
             cols=plan.cols,
             link_cost_ns=float(link_cost_ns),
         )
+        self._prev = None
+
+    def _chain(self, spec: EpochSpec) -> None:
+        """Add one process, chained after the previous one (the systolic
+        schedule is a linear pipeline per transform)."""
+        self._prev = self.graph.add_process(
+            spec.name, spec=spec, after=self._prev
+        )
 
     def lower(self) -> tuple[KernelGraph, EpochPlan]:
-        plan, builder = self.plan, self.builder
-        builder.set_input(self._input_port())
+        plan, lay = self.plan, self.layout
+        self.graph.set_input(
+            "input",
+            signature=("fft-input-v1", plan.n, plan.m, lay.re, lay.im),
+            depends_on=tuple((r, 0) for r in range(plan.rows)),
+        )
         for col in range(plan.cols):
             if col > 0:
-                builder.emit(self._hcp_epoch(col))
+                self._chain(self._hcp_epoch(col))
             for stage in plan.stages_of_column(col):
                 twiddles = self._twiddle_epoch(col, stage)
                 if twiddles is not None:
-                    builder.emit(twiddles)
+                    self._chain(twiddles)
                 if plan.is_exchange_stage(stage):
                     for spec in self._exchange_epochs(col, stage):
-                        builder.emit(spec)
+                        self._chain(spec)
                 else:
-                    builder.emit(self._internal_epoch(col, stage))
-        return builder.graph(), builder.plan()
-
-    # ------------------------------------------------------------------
-    # the input port (late-bound payload)
-    # ------------------------------------------------------------------
-
-    def _input_port(self) -> InputPort:
-        plan, lay = self.plan, self.layout
-        signature = ("fft-input-v1", plan.n, plan.m, lay.re, lay.im)
-        return InputPort(
-            name="input",
-            encoder=_fft_input_encoder(signature),
-            depends_on=tuple((r, 0) for r in range(plan.rows)),
-            signature=signature,
-        )
+                    self._chain(self._internal_epoch(col, stage))
+        return self.graph.lower()
 
     # ------------------------------------------------------------------
     # twiddles
@@ -376,3 +377,62 @@ class _FFTLowering:
             programs={c: program for c in targets},
             run=targets,
         )
+
+
+# ---------------------------------------------------------------------------
+# frontend registration
+# ---------------------------------------------------------------------------
+
+
+def _example_payload(params: dict, rng) -> np.ndarray:
+    """A deterministic complex vector well inside the Q-format headroom."""
+    n = int(params["n"])
+    limit = QFORMAT.max_value / (2 * n)
+    scale = limit / 8.0
+    return scale * (
+        rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    )
+
+
+def _reference(params: dict, payload) -> np.ndarray:
+    return np.fft.fft(np.asarray(payload, dtype=np.complex128))
+
+
+def _verify(params: dict, payload, output) -> None:
+    """FFT's oracle rule: within the Q30 rounding bound of the float
+    reference (the same ``atol`` the runner tests pin)."""
+    n = int(params["n"])
+    expected = _reference(params, payload)
+    if not np.allclose(np.asarray(output), expected, atol=2e-7 * n):
+        err = float(np.max(np.abs(np.asarray(output) - expected)))
+        raise KernelError(
+            f"fft output diverged from the float reference by {err:.3g} "
+            f"(bound {2e-7 * n:.3g})"
+        )
+
+
+def _register() -> None:
+    from repro.compile.frontends import KernelFrontend, register_frontend
+
+    register_frontend(
+        KernelFrontend(
+            kind="fft",
+            description="n-point decimation-in-frequency FFT on an "
+            "n/m x cols mesh (systolic relay exchanges)",
+            param_names=("n", "m", "cols"),
+            defaults=(
+                ("n", 64), ("m", 8), ("cols", 2), ("link_cost_ns", 100.0)
+            ),
+            lower=lambda params: lower_fft(
+                FFTPlan(params["n"], params["m"], params["cols"]),
+                params["link_cost_ns"],
+            ),
+            example_payload=_example_payload,
+            reference=_reference,
+            verify=_verify,
+            exact=False,
+        )
+    )
+
+
+_register()

@@ -1,0 +1,14 @@
+"""Blocked integer GEMM kernel (single-tile, integer-exact).
+
+The second workload opened through the dataflow frontend
+(:mod:`repro.compile.graph`): ``C = A @ B`` over ``n x n`` integer
+operands, decomposed into ``(n/block)^3`` panel firings whose ``bk``
+accumulation chains are explicit graph edges — bit-identical to the
+int64 reference oracle in :mod:`repro.kernels.gemm.reference`.
+"""
+
+from repro.kernels.gemm.lowering import lower_gemm
+from repro.kernels.gemm.reference import OPERAND_LIMIT, gemm_reference
+from repro.kernels.gemm.runner import FabricGEMM
+
+__all__ = ["lower_gemm", "OPERAND_LIMIT", "gemm_reference", "FabricGEMM"]

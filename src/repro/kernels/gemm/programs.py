@@ -1,0 +1,117 @@
+"""Tile assembly for the blocked integer GEMM kernel.
+
+The matrix multiply ``C = A @ B`` over ``n x n`` integer operands is
+decomposed into ``(n/block)^3`` block firings, one tile program per
+``(bi, bj, bk)`` triple: each firing accumulates the ``block x block``
+panel product ``A[bi, bk] @ B[bk, bj]`` into the resident ``C[bi, bj]``
+panel with full-width ``MUL``/``ADD`` MACs (integer-exact, no fixed
+point).  The ``bk`` firings of one output panel form an accumulation
+chain — the dataflow edges the lowering declares.
+
+Data-memory layout for side ``n``::
+
+    A     [0,        n^2)       row-major operand (host pokes)
+    B     [n^2,    2*n^2)       row-major operand (host pokes)
+    C     [2*n^2,  3*n^2)       accumulator/result (host zero-pokes)
+    TMP   [3*n^2,  3*n^2 + 12)  loop variables
+
+which caps ``n`` at 12 on the 512-word memory.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import KernelError
+from repro.fabric.assembler import Program, assemble
+from repro.units import DATA_MEM_WORDS
+
+__all__ = ["GEMMLayout", "gemm_block_program"]
+
+
+class GEMMLayout:
+    """Region bases of the blocked-GEMM data-memory layout."""
+
+    def __init__(self, n: int, block: int) -> None:
+        if n < 1 or block < 1:
+            raise KernelError(f"matrix side {n} / block {block} must be >= 1")
+        if n % block:
+            raise KernelError(
+                f"block {block} must divide the matrix side {n}"
+            )
+        self.n = n
+        self.block = block
+        self.blocks = n // block
+        self.a_base = 0
+        self.b_base = n * n
+        self.c_base = 2 * n * n
+        self.tmp_base = 3 * n * n
+        if self.tmp_base + 12 > DATA_MEM_WORDS:
+            raise KernelError(
+                f"matrix side {n} needs {self.tmp_base + 12} data words; "
+                f"the single-tile GEMM layout requires "
+                f"3*n^2 + 12 <= {DATA_MEM_WORDS} (n <= 12)"
+            )
+
+
+@lru_cache(maxsize=None)
+def gemm_block_program(n: int, block: int, bi: int, bj: int, bk: int) -> Program:
+    """One panel-product firing: ``C[bi,bj] += A[bi,bk] @ B[bk,bj]``.
+
+    Three pointer-walked loops (row, column, MAC) over the ``block``-wide
+    panels; the A walker steps by 1 along a row, the B walker by ``n``
+    down a column, and the C panel is read-modify-written so the ``bk``
+    chain accumulates.
+    """
+    lay = GEMMLayout(n, block)
+    if not (0 <= bi < lay.blocks and 0 <= bj < lay.blocks
+            and 0 <= bk < lay.blocks):
+        raise KernelError(
+            f"block triple ({bi}, {bj}, {bk}) outside a "
+            f"{lay.blocks}^3 decomposition"
+        )
+    a_panel = lay.a_base + bi * block * n + bk * block
+    b_panel = lay.b_base + bk * block * n + bj * block
+    c_panel = lay.c_base + bi * block * n + bj * block
+    src = f"""
+.org {lay.tmp_base}
+.var r
+.var c
+.var k
+.var acc
+.var t
+.var p_arow
+.var p_a
+.var p_bcol
+.var p_b
+.var p_c
+    MOV r, #{block}
+    MOV p_arow, #{a_panel}
+    MOV p_c, #{c_panel}
+rowloop:
+    MOV c, #{block}
+    MOV p_bcol, #{b_panel}
+colloop:
+    MOV acc, @p_c
+    MOV p_a, p_arow
+    MOV p_b, p_bcol
+    MOV k, #{block}
+macloop:
+    MUL t, @p_a, @p_b
+    ADD acc, acc, t
+    ADD p_a, p_a, #1
+    ADD p_b, p_b, #{n}
+    SUB k, k, #1
+    BNZ k, macloop
+    MOV @p_c, acc
+    ADD p_c, p_c, #1
+    ADD p_bcol, p_bcol, #1
+    SUB c, c, #1
+    BNZ c, colloop
+    ADD p_arow, p_arow, #{n}
+    ADD p_c, p_c, #{n - block}
+    SUB r, r, #1
+    BNZ r, rowloop
+    HALT
+"""
+    return assemble(src, name=f"gemm_{n}b{block}_{bi}{bj}{bk}")

@@ -1,0 +1,33 @@
+"""Reference oracle for the blocked GEMM: exact integer matrix multiply.
+
+The fabric accumulates with full-width wrapping ``MUL``/``ADD``, so the
+oracle is the plain int64 matmul wrapped to 48-bit words — for operands
+inside the input port's magnitude bound the wrap never fires and the
+result is the textbook product, but the oracle mirrors the tile
+semantics regardless (the bit-identity contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.kernels.conv2d.reference import wrap_words
+
+__all__ = ["gemm_reference", "OPERAND_LIMIT"]
+
+#: Magnitude bound the input port enforces on operand entries: with
+#: ``n <= 12`` the accumulator stays under ``12 * 2^40 < 2^47``, so
+#: neither the 48-bit tile word nor the oracle's int64 ever overflows.
+OPERAND_LIMIT = 1 << 20
+
+
+def gemm_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``wrap48(A @ B)`` over int64, exactly as the tile computes it."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.ndim != 2 or a.shape != b.shape or a.shape[0] != a.shape[1]:
+        raise KernelError(
+            f"operands must be equal square matrices, got {a.shape} @ {b.shape}"
+        )
+    return wrap_words(a @ b)

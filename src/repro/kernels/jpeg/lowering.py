@@ -1,34 +1,37 @@
-"""Lowering the JPEG block pipeline to the configuration-compiler IR.
+"""Lowering the JPEG block pipeline through the dataflow frontend.
 
-Moves the epoch assembly out of
-:class:`~repro.kernels.jpeg.fabric_runner.FabricBlockPipeline`: the
-one-time ``data1`` load (DCT coefficients + quantizer reciprocals,
-charged through the ICAP exactly as Table 3 bills it) becomes the plan's
-*setup* epoch, the per-block pixel delivery becomes the
-:class:`InputPort` (free host pokes, validated as an 8x8 block), and the
-five co-resident stage firings form the tagless *body* —
-:meth:`CompiledArtifact.bind` reproduces the legacy per-block epoch
-names (``pixels``, ``stage0_shift64``, …) when tagged.
+The pipeline is expressed as a five-process chain on a
+:class:`~repro.compile.graph.DataflowGraph`: the one-time ``data1`` load
+(DCT coefficients + quantizer reciprocals, charged through the ICAP
+exactly as Table 3 bills it) is the graph's *setup* process, the
+per-block pixel delivery is the input port (free host pokes, validated
+as an 8x8 block), and the five co-resident stage firings form the
+tagless *body* — :meth:`CompiledArtifact.bind` reproduces the legacy
+per-block epoch names (``pixels``, ``stage0_shift64``, …) when tagged.
+The chain edges make the stage dataflow explicit (shift → DCT →
+DCT^T → quantize → zig-zag), which the graph validates against the
+firing order and folds into its cycle-cost estimates.
 
 Stage programs come from the ``lru_cache``-d factories, so every
 pipeline/artifact of any quality shares the same program objects — only
 the first block of a fabric ever pays instruction reconfiguration.
+
+Importing this module registers the ``jpeg`` kernel frontend (and the
+``jpeg-pixels-v1`` input-port encoder factory).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.compile.graph import DataflowGraph
 from repro.compile.ir import (
     Coord,
     EpochPlan,
-    InputPort,
-    IRBuilder,
     KernelGraph,
     register_port_encoder,
 )
 from repro.errors import KernelError
-from repro.fabric.rtms import EpochSpec
 from repro.kernels.jpeg.programs import (
     PIXEL_QBITS,
     alpha_quantize_program,
@@ -99,15 +102,6 @@ def _pixel_encoder(signature: tuple):
 register_port_encoder("jpeg-pixels-v1", _pixel_encoder)
 
 
-def _pixel_port() -> InputPort:
-    signature = ("jpeg-pixels-v1", REGION_PIX, 64)
-    return InputPort(
-        name="pixels",
-        encoder=_pixel_encoder(signature),
-        signature=signature,
-    )
-
-
 def lower_jpeg(
     quality: int = 75, chroma: bool = False
 ) -> tuple[KernelGraph, EpochPlan]:
@@ -116,23 +110,87 @@ def lower_jpeg(
     qtable = scale_qtable(base, quality)
     recip = alpha_scale_table(qtable, 14)
 
-    builder = IRBuilder(
+    graph = DataflowGraph(
         kind="jpeg",
         params={"quality": int(quality), "chroma": bool(chroma)},
         rows=1,
         cols=1,
         link_cost_ns=0.0,
     )
-    builder.emit_setup(
-        EpochSpec("preload_data1", data_images={(0, 0): data1_image(recip)})
+    graph.add_process(
+        "preload_data1",
+        data_images={(0, 0): data1_image(recip)},
+        setup=True,
     )
-    builder.set_input(_pixel_port())
+    graph.set_input("pixels", signature=("jpeg-pixels-v1", REGION_PIX, 64))
+    prev = None
     for stage, program in enumerate(stage_programs()):
-        builder.emit(
-            EpochSpec(
-                f"stage{stage}_{program.name}",
-                programs={(0, 0): program},
-                run=[(0, 0)],
-            )
+        prev = graph.add_process(
+            f"stage{stage}_{program.name}",
+            programs={(0, 0): program},
+            run=[(0, 0)],
+            after=prev,
         )
-    return builder.graph(), builder.plan()
+    return graph.lower()
+
+
+# ---------------------------------------------------------------------------
+# frontend registration
+# ---------------------------------------------------------------------------
+
+
+def _example_payload(params: dict, rng) -> np.ndarray:
+    """A deterministic 16x16 greyscale frame (two 8x8 block rows)."""
+    return rng.integers(0, 256, size=(16, 16)).astype(np.int64)
+
+
+def _reference(params: dict, payload) -> bytes:
+    """The host software encoder at the same quality (float DCT)."""
+    from repro.kernels.jpeg.encoder import JPEGEncoder
+
+    return JPEGEncoder(quality=int(params["quality"])).encode(
+        np.asarray(payload)
+    )
+
+
+def _verify(params: dict, payload, output) -> None:
+    """JPEG's oracle rule: the stream decodes, and the decoded frame is
+    within the quantization bound of the source (the same bound the
+    fabric-runner tests pin)."""
+    from repro.kernels.jpeg.decoder import decode_image
+
+    frame = np.asarray(payload)
+    decoded = decode_image(output)
+    if decoded.shape != frame.shape:
+        raise KernelError(
+            f"decoded shape {decoded.shape} != payload shape {frame.shape}"
+        )
+    err = int(np.abs(decoded.astype(int) - frame.astype(int)).max())
+    if err >= 60:
+        raise KernelError(
+            f"decoded frame diverged by {err} levels (quantization bound 60)"
+        )
+
+
+def _register() -> None:
+    from repro.compile.frontends import KernelFrontend, register_frontend
+
+    register_frontend(
+        KernelFrontend(
+            kind="jpeg",
+            description="single-tile JPEG block pipeline "
+            "(shift/DCT/quantize/zig-zag + host Huffman)",
+            param_names=("quality", "chroma"),
+            defaults=(("quality", 75), ("chroma", False)),
+            lower=lambda params: lower_jpeg(
+                params["quality"], params["chroma"]
+            ),
+            example_payload=_example_payload,
+            reference=_reference,
+            verify=_verify,
+            exact=False,
+        )
+    )
+
+
+_register()

@@ -6,7 +6,9 @@ per-status counts, warm/cold split, latency percentiles, simulated
 reconfiguration totals, and (with ``--metrics``) the full
 Prometheus-style exposition.  ``--policy cold_fifo`` runs the same trace
 against the residency-blind baseline so the amortization win is visible
-from the command line.
+from the command line.  ``--kinds all`` (or a comma-separated kind list)
+swaps the pinned trace for a registry-driven mix over every registered
+kernel frontend.
 """
 
 from __future__ import annotations
@@ -17,11 +19,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.serve.jobs import JobRequest, fft_spec, jpeg_spec
+from repro.serve.jobs import JobRequest, fft_spec, jpeg_spec, spec_for
 from repro.serve.scheduler import make_policy
 from repro.serve.service import FabricJobService
 
-__all__ = ["generate_trace", "run_demo", "main"]
+__all__ = ["generate_trace", "generate_registry_trace", "run_demo", "main"]
 
 
 def generate_trace(
@@ -40,7 +42,9 @@ def generate_trace(
 
     The kind sequence is an exact-count shuffle (``n_jobs *
     fft_fraction`` FFTs), so traces with the same seed are identical
-    across runs and machines — the benchmark depends on that.
+    across runs and machines — the benchmark depends on that.  (The RNG
+    stream here is pinned: use :func:`generate_registry_trace` for
+    traces over arbitrary registered kernels.)
     """
     rng = np.random.default_rng(seed)
     n_fft = int(round(n_jobs * fft_fraction))
@@ -71,20 +75,84 @@ def generate_trace(
     return requests
 
 
+def generate_registry_trace(
+    kinds: Sequence[str] | None = None,
+    n_jobs: int = 200,
+    seed: int = 0,
+    timeout_s: float = 30.0,
+    max_retries: int = 1,
+) -> list[JobRequest]:
+    """A reproducible job trace over any registered kernel kinds.
+
+    Specs come from :func:`repro.serve.jobs.spec_for` (frontend-default
+    parameters) and payloads from each frontend's registered
+    ``example_payload`` — no kernel names are hardcoded here, so a trace
+    over a newly registered kernel needs no client changes.  The kind
+    sequence is an exact-count shuffle, same discipline as
+    :func:`generate_trace`.
+    """
+    from repro.compile.frontends import frontend_names, get_frontend
+
+    names = tuple(kinds) if kinds else frontend_names()
+    rng = np.random.default_rng(seed)
+    base, extra = divmod(n_jobs, len(names))
+    sequence = np.array(
+        [
+            name
+            for i, name in enumerate(names)
+            for _ in range(base + (1 if i < extra else 0))
+        ]
+    )
+    rng.shuffle(sequence)
+    specs = {name: spec_for(name) for name in names}
+    frontends = {name: get_frontend(name) for name in names}
+    requests: list[JobRequest] = []
+    for index, kind in enumerate(sequence):
+        frontend = frontends[str(kind)]
+        if frontend.example_payload is None:
+            raise ValueError(
+                f"kernel {kind!r} registered no example_payload"
+            )
+        payload = frontend.example_payload(frontend.canonicalize(None), rng)
+        requests.append(
+            JobRequest(
+                spec=specs[str(kind)],
+                payload=payload,
+                timeout_s=timeout_s,
+                max_retries=max_retries,
+                job_id=f"{kind}-{index:04d}",
+                tag=str(kind),
+            )
+        )
+    return requests
+
+
 async def run_demo(
     n_jobs: int = 24,
     pool_size: int = 2,
     policy: str = "affinity",
     seed: int = 0,
     max_queue: int = 256,
+    kinds: Sequence[str] | None = None,
 ) -> dict:
-    """Submit a generated trace and return a summary dict."""
+    """Submit a generated trace and return a summary dict.
+
+    ``kinds=None`` replays the pinned FFT+JPEG benchmark trace;
+    ``kinds=("all",)`` (or an explicit kind list) mixes every requested
+    registered kernel via :func:`generate_registry_trace`.
+    """
     service = FabricJobService(
         pool_size=pool_size,
         policy=make_policy(policy),
         max_queue=max_queue,
     )
-    trace = generate_trace(n_jobs=n_jobs, seed=seed)
+    if kinds is None:
+        trace = generate_trace(n_jobs=n_jobs, seed=seed)
+    else:
+        explicit = None if "all" in kinds else tuple(kinds)
+        trace = generate_registry_trace(
+            kinds=explicit, n_jobs=n_jobs, seed=seed
+        )
     async with service:
         futures = [await service.submit(request) for request in trace]
         results = list(await asyncio.gather(*futures))
@@ -149,17 +217,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="trace seed")
     parser.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated registered kernel kinds to mix into the "
+        "trace (or 'all'); default replays the pinned FFT+JPEG trace",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="also print the Prometheus text exposition",
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
+    kinds = None
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
     summary = asyncio.run(
         run_demo(
             n_jobs=args.jobs,
             pool_size=args.pool,
             policy=args.policy,
             seed=args.seed,
+            kinds=kinds,
         )
     )
     print(_format_summary(summary, args.metrics))

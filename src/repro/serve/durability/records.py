@@ -105,8 +105,10 @@ def encode_payload(kind: JobKind, payload: Any) -> dict[str, Any]:
     """JSON-encode a kernel payload losslessly.
 
     FFT payloads are 1-D complex vectors -> ``[[re, im], ...]`` with
-    Python float repr (shortest round-trip) precision; JPEG payloads are
-    2-D integer frames -> nested int lists.
+    Python float repr (shortest round-trip) precision; JPEG, conv2d and
+    GEMM payloads are integer arrays -> shape + flat int list; DSP
+    payloads are real float frames -> shape + flat float list (repr
+    precision, so the Q30 encoding of a replayed frame is bit-identical).
     """
     if kind is JobKind.FFT:
         x = np.asarray(payload, dtype=np.complex128)
@@ -120,6 +122,12 @@ def encode_payload(kind: JobKind, payload: Any) -> dict[str, Any]:
             img = np.clip(np.rint(img), 0, 255)
         img = img.astype(np.int64)
         return {"shape": list(img.shape), "values": img.ravel().tolist()}
+    if kind in (JobKind.CONV2D, JobKind.GEMM):
+        arr = np.asarray(payload).astype(np.int64)
+        return {"shape": list(arr.shape), "values": arr.ravel().tolist()}
+    if kind is JobKind.DSP:
+        x = np.asarray(payload, dtype=np.float64)
+        return {"shape": list(x.shape), "values": [float(v) for v in x.ravel()]}
     raise JournalError(f"no payload codec for kernel kind {kind!r}")
 
 
@@ -132,8 +140,10 @@ def decode_payload(kind: JobKind, data: dict[str, Any]) -> Any:
             dtype=np.complex128,
         )
         return flat.reshape(shape)
-    if kind is JobKind.JPEG:
+    if kind in (JobKind.JPEG, JobKind.CONV2D, JobKind.GEMM):
         return np.array(data["values"], dtype=np.int64).reshape(shape)
+    if kind is JobKind.DSP:
+        return np.array(data["values"], dtype=np.float64).reshape(shape)
     raise JournalError(f"no payload codec for kernel kind {kind!r}")
 
 

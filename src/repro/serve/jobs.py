@@ -29,16 +29,29 @@ __all__ = [
     "JobResult",
     "fft_spec",
     "jpeg_spec",
+    "conv2d_spec",
+    "gemm_spec",
+    "dsp_spec",
+    "spec_for",
 ]
 
 _job_ids = itertools.count(1)
 
 
 class JobKind(str, enum.Enum):
-    """Kernel families the service knows how to run."""
+    """Kernel families the service knows how to run.
+
+    Values match the kernel-frontend registry kinds
+    (:func:`repro.compile.frontends.get_frontend`), which is what lets
+    the serving and cluster layers dispatch on the registry instead of
+    hardcoding per-kernel branches.
+    """
 
     FFT = "fft"
     JPEG = "jpeg"
+    CONV2D = "conv2d"
+    GEMM = "gemm"
+    DSP = "dsp"
 
 
 class JobStatus(str, enum.Enum):
@@ -104,6 +117,35 @@ def fft_spec(n: int = 64, m: int = 8, cols: int = 2) -> KernelSpec:
 def jpeg_spec(quality: int = 75, chroma: bool = False) -> KernelSpec:
     """Spec for the single-tile JPEG block pipeline at ``quality``."""
     return KernelSpec(JobKind.JPEG, (quality, chroma))
+
+
+def conv2d_spec(size: int = 16, kernel: str = "sharpen") -> KernelSpec:
+    """Spec for the single-tile 3x3 stencil over a ``size``-side frame."""
+    return KernelSpec(JobKind.CONV2D, (size, kernel))
+
+
+def gemm_spec(n: int = 8, block: int = 4) -> KernelSpec:
+    """Spec for the single-tile blocked integer GEMM of side ``n``."""
+    return KernelSpec(JobKind.GEMM, (n, block))
+
+
+def dsp_spec(n: int = 16, taps: int = 8, decim: int = 2) -> KernelSpec:
+    """Spec for the streaming DSP chain (FIR → decimate → n-point FFT)."""
+    return KernelSpec(JobKind.DSP, (n, taps, decim))
+
+
+def spec_for(kind: JobKind | str, params: dict | None = None) -> KernelSpec:
+    """Build a spec for any registered kernel through the registry.
+
+    ``params`` (canonical-parameter overrides) are filled, coerced and
+    ordered by the kernel's registered frontend, so a spec built here and
+    one built by the typed helpers above are interchangeable.
+    """
+    from repro.compile.frontends import get_frontend
+
+    kind = JobKind(kind)
+    frontend = get_frontend(kind.value)
+    return KernelSpec(kind, frontend.spec_params(params))
 
 
 @dataclass

@@ -37,6 +37,10 @@ __all__ = [
     "KernelSession",
     "FFTSession",
     "JPEGSession",
+    "ArtifactSession",
+    "Conv2DSession",
+    "GEMMSession",
+    "DSPSession",
     "default_session_factory",
     "SessionFactory",
 ]
@@ -402,9 +406,148 @@ class JPEGSession(_BaseSession):
         return [*self.artifact.setup_epochs(), *self.pin_epochs()]
 
 
+class ArtifactSession(_BaseSession):
+    """Generic session over any process-network kernel runner.
+
+    The dataflow frontend makes kernels uniform enough that one serving
+    wrapper covers them all: the runner supplies the compiled artifact,
+    the mesh/runtime pair whose residency survives between jobs, and a
+    ``read_output_words(words)`` reader; this class adds the serving
+    concerns — setup-once preload, slice-by-slice execution with
+    cancellation polls, per-job fabric accounting, and the vector-batched
+    group path with the cold-pilot-first discipline.  The three
+    process-network kernels (conv2d, gemm, dsp) serve through subclasses
+    that only construct their runner.
+    """
+
+    def __init__(self, spec: KernelSpec, link_cost_ns: float, runner) -> None:
+        super().__init__(spec, link_cost_ns)
+        self.runner = runner
+        self.artifact = runner.artifact
+        self.mesh = runner.mesh
+        self.rtms = runner.rtms
+        self._preloaded = False
+
+    def _ensure_setup(self) -> None:
+        """Run the artifact's cold prologue once (billed to the first
+        job, exactly like the scalar runners do it)."""
+        if not self._preloaded:
+            self.rtms.run_setup(self.artifact)
+            self._preloaded = True
+
+    def _read(self) -> Any:
+        return self.runner.read_output_words(
+            lambda coord, base, count: (
+                self.mesh.tile(coord).dmem.dump_block(base, count)
+            )
+        )
+
+    def run(self, payload: Any, cancel: CancelToken) -> SessionStats:
+        stats = SessionStats()
+        start_ns = self.rtms.now_ns
+        busy_before = self.rtms.icap.total_busy_ns
+        self._ensure_setup()
+        epochs = self.artifact.bind(payload, tag=f"j{self.jobs_run}_")
+        self._execute_sliced(self.rtms, epochs, cancel, stats)
+        stats.output = self._read()
+        stats.sim_ns = self.rtms.now_ns - start_ns
+        stats.reconfig_ns = self.rtms.icap.total_busy_ns - busy_before
+        self.jobs_run += 1
+        return stats
+
+    def run_batch(
+        self, payloads: list, cancel: CancelToken
+    ) -> list[SessionStats]:
+        """Execute K same-spec jobs vector-batched across lanes.
+
+        Bit-identical to K sequential :meth:`run` calls; a cold session
+        runs its first job on the scalar path so the batch pilot is warm.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            raise ServeError("run_batch needs at least one payload")
+        results: list[SessionStats] = []
+        if self.jobs_run == 0:
+            results.append(self.run(payloads[0], cancel))
+            payloads = payloads[1:]
+        if not payloads:
+            return results
+        if len(payloads) == 1:
+            results.append(self.run(payloads[0], cancel))
+            return results
+        port = self.artifact.plan.input_port
+        n_slices = len(self.artifact.plan.body) + (1 if port else 0)
+        batch = self.rtms.execute_artifact_batch(
+            self.artifact,
+            payloads,
+            tag=f"j{self.jobs_run}_",
+            on_slice=lambda index: cancel.check(),
+        )
+        for lane in batch.lanes:
+            results.append(
+                SessionStats(
+                    output=self.runner.read_output_words(lane.words),
+                    sim_ns=lane.sim_ns,
+                    reconfig_ns=lane.reconfig_ns,
+                    slices=n_slices,
+                )
+            )
+        self.jobs_run += len(payloads)
+        return results
+
+    def pin_epochs(self) -> list[EpochSpec]:
+        return self.artifact.pin_epochs()
+
+    def cold_setup_epochs(self) -> list[EpochSpec]:
+        """Programs plus any charged setup images (the artifact's cold
+        prologue; empty prologues — e.g. gemm — contribute nothing)."""
+        return [*self.artifact.setup_epochs(), *self.pin_epochs()]
+
+
+class Conv2DSession(ArtifactSession):
+    """A persistent single-tile 3x3 stencil."""
+
+    def __init__(self, spec: KernelSpec, link_cost_ns: float = 100.0) -> None:
+        from repro.kernels.conv2d.runner import FabricConv2D
+
+        size, kernel = spec.params
+        super().__init__(
+            spec, link_cost_ns, FabricConv2D(size=int(size), kernel=str(kernel))
+        )
+
+
+class GEMMSession(ArtifactSession):
+    """A persistent single-tile blocked integer GEMM."""
+
+    def __init__(self, spec: KernelSpec, link_cost_ns: float = 100.0) -> None:
+        from repro.kernels.gemm.runner import FabricGEMM
+
+        n, block = spec.params
+        super().__init__(
+            spec, link_cost_ns, FabricGEMM(n=int(n), block=int(block))
+        )
+
+
+class DSPSession(ArtifactSession):
+    """A persistent single-tile FIR → decimate → FFT chain."""
+
+    def __init__(self, spec: KernelSpec, link_cost_ns: float = 100.0) -> None:
+        from repro.kernels.dsp.runner import FabricDSP
+
+        n, taps, decim = spec.params
+        super().__init__(
+            spec,
+            link_cost_ns,
+            FabricDSP(n=int(n), taps=int(taps), decim=int(decim)),
+        )
+
+
 _SESSION_TYPES: dict[JobKind, type] = {
     JobKind.FFT: FFTSession,
     JobKind.JPEG: JPEGSession,
+    JobKind.CONV2D: Conv2DSession,
+    JobKind.GEMM: GEMMSession,
+    JobKind.DSP: DSPSession,
 }
 
 #: Callable building a fresh (cold) session for a spec.

@@ -1,0 +1,96 @@
+"""Cluster routability of every registered kernel kind.
+
+The routing key is a prefix of the compiled artifact's content hash, so
+two invariants matter across the dataflow-frontend refactor: the FFT
+and JPEG keys are **unchanged** (pinned below against the pre-refactor
+hashes — consistent-hash placements survive a rolling upgrade), and the
+three new kinds route, execute and verify end to end through a
+multi-shard :class:`ShardRouter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.ring import KEY_BITS
+from repro.cluster.router import ShardRouter, spec_routing_key
+from repro.compile.frontends import get_frontend
+from repro.errors import ClusterError
+from repro.serve.jobs import JobRequest, JobStatus, KernelSpec, spec_for
+
+ALL_KINDS = ("conv2d", "dsp", "fft", "gemm", "jpeg")
+
+#: 64-bit prefixes of the pre-refactor artifact hashes (see
+#: tests/compile/test_registry.py) — the keys deployed rings route by.
+PINNED_KEYS = {
+    "fft": 0x4E62172F921D3CD1,
+    "jpeg": 0x4DF4E16CF3633BD1,
+}
+
+
+def _request(kind: str, job_id: str, seed: int = 0) -> JobRequest:
+    frontend = get_frontend(kind)
+    payload = frontend.example_payload(
+        frontend.canonicalize(None), np.random.default_rng(seed)
+    )
+    return JobRequest(spec=spec_for(kind), payload=payload, job_id=job_id)
+
+
+class TestRoutingKeys:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_every_registered_kind_routes(self, kind):
+        key = spec_routing_key(spec_for(kind))
+        assert 0 <= key < (1 << KEY_BITS)
+        assert key == spec_routing_key(spec_for(kind))
+
+    def test_distinct_kinds_get_distinct_keys(self):
+        keys = {spec_routing_key(spec_for(kind)) for kind in ALL_KINDS}
+        assert len(keys) == len(ALL_KINDS)
+
+    @pytest.mark.parametrize("kind,want", sorted(PINNED_KEYS.items()))
+    def test_legacy_keys_survive_the_registry_dispatch(self, kind, want):
+        # default fft params are (64, 8, 2) at link cost 100.0 and jpeg
+        # (75, chroma=False) — exactly the specs deployed rings route
+        assert spec_routing_key(spec_for(kind)) == want
+
+    def test_uncompilable_spec_is_a_cluster_error(self):
+        bogus = KernelSpec(spec_for("gemm").kind, (7, 3))  # 7 % 3 != 0
+        with pytest.raises(ClusterError, match="cannot compile"):
+            spec_routing_key(bogus)
+
+
+class TestClusterRoundTrip:
+    def test_all_kinds_execute_and_verify_across_shards(self, tmp_path):
+        router = ShardRouter(tmp_path, ["a", "b", "c"])
+        requests = {}
+        try:
+            for seed, kind in enumerate(ALL_KINDS):
+                for copy in range(2):
+                    job_id = f"{kind}-{copy}"
+                    request = _request(kind, job_id, seed=seed + copy)
+                    requests[job_id] = request
+                    router.submit(request)
+            router.run()
+            for job_id, request in requests.items():
+                result = router.results[job_id]
+                assert result.status is JobStatus.DONE, job_id
+                kind = request.spec.kind.value
+                frontend = get_frontend(kind)
+                frontend.check_output(
+                    frontend.params_from_spec(request.spec.params),
+                    request.payload,
+                    result.output,
+                )
+        finally:
+            router.close()
+
+    def test_same_kind_coalesces_on_one_shard(self, tmp_path):
+        router = ShardRouter(tmp_path, ["a", "b", "c"])
+        try:
+            for i in range(4):
+                router.submit(_request("gemm", f"g-{i}", seed=i))
+            owners = set(router.owner.values())
+            assert len(owners) == 1
+        finally:
+            router.close()

@@ -1,0 +1,209 @@
+"""The user-facing dataflow frontend: construction, validation, cost
+model, lowering parity with a hand-driven IRBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.frontends import compile_plan
+from repro.compile.graph import DataflowGraph, Process
+from repro.compile.ir import IRBuilder
+from repro.errors import CompileError
+from repro.fabric.assembler import assemble
+from repro.fabric.rtms import EpochSpec
+
+
+def _prog(name: str, source: str = "HALT"):
+    return assemble(source, name=name)
+
+
+def _tiny_graph() -> DataflowGraph:
+    graph = DataflowGraph("tiny", {"x": 1}, 1, 1)
+    graph.add_process(
+        "load", data_images={(0, 0): {0: 7}}, setup=True
+    )
+    graph.add_process(
+        "work",
+        programs={(0, 0): _prog("work")},
+        run=[(0, 0)],
+        after="load",
+    )
+    return graph
+
+
+class TestConstruction:
+    def test_mesh_must_be_positive(self):
+        with pytest.raises(CompileError, match="at least 1x1"):
+            DataflowGraph("k", {}, 0, 2)
+
+    def test_duplicate_process_name_rejected(self):
+        graph = _tiny_graph()
+        with pytest.raises(CompileError, match="duplicate process"):
+            graph.add_process("work", pokes={(0, 0): {0: 1}})
+
+    def test_spec_name_must_match_process_name(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        spec = EpochSpec(name="other", pokes={(0, 0): {0: 1}})
+        with pytest.raises(CompileError, match="wraps an epoch named"):
+            graph.add_process("mine", spec=spec)
+
+    def test_spec_and_fields_are_exclusive(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        spec = EpochSpec(name="p", pokes={(0, 0): {0: 1}})
+        with pytest.raises(CompileError, match="either spec= or epoch"):
+            graph.add_process("p", spec=spec, run=[(0, 0)])
+
+    def test_off_mesh_tile_rejected_at_add_time(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        with pytest.raises(CompileError, match="outside the 1x1 mesh"):
+            graph.add_process("p", pokes={(0, 3): {0: 1}})
+
+    def test_second_input_port_rejected(self):
+        graph = _tiny_graph()
+        graph.set_input("input", ("fft-input-v1", 16, 16, 0, 16))
+        with pytest.raises(CompileError, match="already has input port"):
+            graph.set_input("again", ("fft-input-v1", 16, 16, 0, 16))
+
+
+class TestEdges:
+    def test_after_accepts_process_string_and_lists(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        a = graph.add_process("a", pokes={(0, 0): {0: 1}})
+        graph.add_process("b", pokes={(0, 0): {1: 1}}, after=a)
+        graph.add_process("c", pokes={(0, 0): {2: 1}}, after=["a", "b"])
+        assert graph.edges == (("a", "b"), ("a", "c"), ("b", "c"))
+
+    def test_backward_edge_fails_validation(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        graph.add_process("first", pokes={(0, 0): {0: 1}})
+        graph.add_process("second", pokes={(0, 0): {1: 1}})
+        graph.connect("second", "first")
+        with pytest.raises(CompileError, match="against the firing order"):
+            graph.validate()
+
+    def test_self_edge_fails_validation(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        graph.add_process("only", pokes={(0, 0): {0: 1}})
+        graph.connect("only", "only")
+        with pytest.raises(CompileError, match="against the firing order"):
+            graph.validate()
+
+    def test_unknown_edge_endpoint_fails_validation(self):
+        graph = _tiny_graph()
+        graph._edges.append(("work", "ghost"))
+        with pytest.raises(CompileError, match="unknown process 'ghost'"):
+            graph.validate()
+
+    def test_unknown_after_fails_validation(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        graph.add_process("p", pokes={(0, 0): {0: 1}}, after="missing")
+        with pytest.raises(CompileError, match="unknown process"):
+            graph.validate()
+
+
+class TestCostModel:
+    def test_process_cycles_defaults_to_instruction_words(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        graph.add_process(
+            "p",
+            programs={(0, 0): _prog("p", "NOP\nNOP\nHALT")},
+            run=[(0, 0)],
+        )
+        assert graph.process_cycles("p") == 3
+
+    def test_explicit_cycles_win(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        graph.add_process(
+            "p",
+            programs={(0, 0): _prog("p")},
+            run=[(0, 0)],
+            cycles=99,
+        )
+        assert graph.process_cycles("p") == 99
+
+    def test_memory_words_folds_images_pokes_and_vars(self):
+        graph = DataflowGraph("k", {}, 1, 2)
+        graph.add_process(
+            "p",
+            programs={(0, 0): _prog("p", ".var a\n.word a, 5\nHALT")},
+            data_images={(0, 0): {10: 1, 11: 2}},
+            pokes={(0, 1): {0: 1}},
+            run=[(0, 0)],
+        )
+        assert graph.memory_words("p") == {(0, 0): 3, (0, 1): 1}
+
+    def test_critical_path_is_longest_weighted_chain(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        graph.add_process("a", pokes={(0, 0): {0: 1}}, cycles=10)
+        graph.add_process("b", pokes={(0, 0): {1: 1}}, cycles=5, after="a")
+        graph.add_process("c", pokes={(0, 0): {2: 1}}, cycles=20)
+        # chain a->b = 15, lone c = 20
+        assert graph.critical_path_cycles() == 20
+        graph.add_process("d", pokes={(0, 0): {3: 1}}, cycles=30, after="b")
+        assert graph.critical_path_cycles() == 45
+        assert graph.total_cycles() == 65
+
+    def test_empty_graph_costs_nothing(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        assert graph.critical_path_cycles() == 0
+        assert graph.total_cycles() == 0
+
+    def test_unknown_process_lookup_raises(self):
+        graph = _tiny_graph()
+        with pytest.raises(CompileError, match="unknown process"):
+            graph.process_cycles("nope")
+
+
+class TestLowering:
+    def test_lower_matches_hand_driven_irbuilder(self):
+        graph = _tiny_graph()
+        kernel_graph, plan = graph.lower()
+
+        builder = IRBuilder("tiny", {"x": 1}, 1, 1, 0.0)
+        for process in graph.processes:
+            if process.setup:
+                builder.emit_setup(process.spec)
+            else:
+                builder.emit(process.spec)
+        want_plan = builder.plan()
+
+        assert plan.kind == want_plan.kind
+        assert [e.name for e in plan.setup] == [
+            e.name for e in want_plan.setup
+        ]
+        assert [e.name for e in plan.body] == [e.name for e in want_plan.body]
+        # byte stability: the emitted epochs ARE the process specs
+        assert plan.setup[0] is graph.processes[0].spec
+        assert plan.body[0] is graph.processes[1].spec
+        assert compile_plan(kernel_graph, plan).artifact_hash == \
+            compile_plan(builder.graph(), want_plan).artifact_hash
+
+    def test_setup_body_split_preserves_insertion_order(self):
+        graph = DataflowGraph("k", {}, 1, 1)
+        graph.add_process("s1", data_images={(0, 0): {0: 1}}, setup=True)
+        graph.add_process("b1", pokes={(0, 0): {1: 1}})
+        graph.add_process("s2", data_images={(0, 0): {2: 1}}, setup=True)
+        graph.add_process("b2", pokes={(0, 0): {3: 1}})
+        _, plan = graph.lower()
+        assert [e.name for e in plan.setup] == ["s1", "s2"]
+        assert [e.name for e in plan.body] == ["b1", "b2"]
+
+    def test_lower_carries_the_input_port(self):
+        graph = _tiny_graph()
+        port = graph.set_input(
+            "input", ("fft-input-v1", 16, 16, 0, 16)
+        )
+        _, plan = graph.lower()
+        assert plan.input_port is port
+
+    def test_unknown_port_signature_is_a_frontend_error(self):
+        graph = _tiny_graph()
+        with pytest.raises(CompileError) as excinfo:
+            graph.set_input("input", ("no-such-codec-v1", 1, 2))
+        assert excinfo.value.pass_name == "frontend"
+
+    def test_processes_property_is_a_snapshot(self):
+        graph = _tiny_graph()
+        assert isinstance(graph.processes, tuple)
+        assert all(isinstance(p, Process) for p in graph.processes)
+        assert graph.processes[0].coords == ((0, 0),)

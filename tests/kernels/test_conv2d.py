@@ -1,0 +1,94 @@
+"""The 3x3 stencil kernel: oracle equivalence, presets, layout limits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.conv2d import (
+    PRESET_TAPS,
+    FabricConv2D,
+    conv2d_reference,
+)
+from repro.kernels.conv2d.programs import Conv2DLayout, conv2d_program
+
+
+def _frames(k: int, size: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, (k, size, size)).astype(np.int64)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("kernel", sorted(PRESET_TAPS))
+    def test_every_preset_is_bit_exact(self, kernel):
+        runner = FabricConv2D(size=8, kernel=kernel)
+        frame = _frames(1, 8, seed=3)[0]
+        taps, shift = PRESET_TAPS[kernel]
+        want = conv2d_reference(frame, np.array(taps).reshape(3, 3), shift)
+        assert np.array_equal(runner.run(frame), want)
+
+    def test_batch_matches_scalar_bit_for_bit(self):
+        runner = FabricConv2D(size=16)
+        frames = _frames(5, 16, seed=7)
+        batched = runner.run_batch(frames)
+        scalar = FabricConv2D(size=16)
+        for i, frame in enumerate(frames):
+            assert np.array_equal(batched[i], scalar.run(frame))
+
+    def test_negative_responses_survive_readback(self):
+        # the edge preset produces negative words on flat regions next
+        # to bright pixels; dump_block must hand them back signed
+        runner = FabricConv2D(size=8, kernel="edge")
+        frame = np.zeros((8, 8), dtype=np.int64)
+        frame[4, 4] = 255
+        out = runner.run(frame)
+        taps, shift = PRESET_TAPS["edge"]
+        want = conv2d_reference(frame, np.array(taps).reshape(3, 3), shift)
+        assert out.min() < 0
+        assert np.array_equal(out, want)
+
+    def test_identity_preset_is_a_crop(self):
+        runner = FabricConv2D(size=8, kernel="identity")
+        frame = _frames(1, 8, seed=11)[0]
+        assert np.array_equal(runner.run(frame), frame[1:-1, 1:-1])
+
+
+class TestReference:
+    def test_blur_shift_rounds_to_nearest(self):
+        taps, shift = PRESET_TAPS["blur"]
+        frame = np.full((3, 3), 1, dtype=np.int64)
+        # sum of taps = 16, acc = 16, (16 + 8) >> 4 = 1
+        assert conv2d_reference(frame, np.array(taps).reshape(3, 3), shift)[0, 0] == 1
+
+    def test_wraps_like_the_datapath(self):
+        taps, shift = PRESET_TAPS["sharpen"]
+        frame = np.full((3, 3), (1 << 45), dtype=np.int64)
+        out = conv2d_reference(frame, np.array(taps).reshape(3, 3), shift)
+        assert out.dtype == np.int64
+        assert abs(int(out[0, 0])) < (1 << 47)
+
+
+class TestLimits:
+    def test_frame_too_small(self):
+        with pytest.raises(KernelError, match="must be >= 3"):
+            Conv2DLayout(2)
+
+    def test_frame_too_large_for_data_memory(self):
+        with pytest.raises(KernelError, match="words"):
+            Conv2DLayout(17)
+
+    def test_bad_shift(self):
+        with pytest.raises(KernelError, match="shift"):
+            conv2d_program(8, -1)
+
+    def test_bad_payload_shape_rejected_at_bind(self):
+        runner = FabricConv2D(size=8)
+        with pytest.raises(KernelError):
+            runner.artifact.bind(np.zeros((4, 4), dtype=np.int64))
+
+    def test_unknown_preset(self):
+        from repro.errors import CompileError
+
+        with pytest.raises((KernelError, CompileError)):
+            FabricConv2D(size=8, kernel="emboss")

@@ -1,0 +1,93 @@
+"""The streaming DSP chain: word-exact oracle, stage semantics, limits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.dsp import (
+    DSPLayout,
+    FabricDSP,
+    dsp_reference,
+    triangle_taps,
+)
+from repro.kernels.fft.programs import QFORMAT
+
+
+def _frame(n: int, decim: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    limit = QFORMAT.max_value / (2 * n)
+    return (limit / 8) * rng.standard_normal(n * decim)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize(
+        "n,taps,decim", [(16, 8, 2), (8, 4, 3), (16, 5, 1), (32, 8, 2)]
+    )
+    def test_chain_is_word_exact(self, n, taps, decim):
+        runner = FabricDSP(n=n, taps=taps, decim=decim)
+        x = _frame(n, decim, seed=n + taps + decim)
+        want = dsp_reference(x, n, taps, decim)
+        assert np.array_equal(runner.run(x), want)
+
+    def test_batch_matches_scalar_bit_for_bit(self):
+        runner = FabricDSP(n=16, taps=8, decim=2)
+        frames = np.stack([_frame(16, 2, seed=s) for s in range(4)])
+        batched = runner.run_batch(frames)
+        scalar = FabricDSP(n=16, taps=8, decim=2)
+        for i, x in enumerate(frames):
+            assert np.array_equal(batched[i], scalar.run(x))
+
+    def test_dc_input_lands_in_bin_zero(self):
+        # triangle taps have unit DC gain; a constant input decimates
+        # to a constant, whose spectrum is one spike at bin 0
+        n, taps, decim = 16, 8, 1
+        runner = FabricDSP(n=n, taps=taps, decim=decim)
+        level = QFORMAT.max_value / (4 * n)
+        out = runner.run(np.full(n * decim, level))
+        assert np.argmax(np.abs(out)) == 0
+
+    def test_history_starts_zeroed_every_frame(self):
+        # frame 2 must not see frame 1's tail: running the same frame
+        # twice gives identical spectra
+        runner = FabricDSP(n=16, taps=8, decim=2)
+        x = _frame(16, 2, seed=21)
+        assert np.array_equal(runner.run(x), runner.run(x))
+
+
+class TestTaps:
+    def test_triangle_taps_sum_to_one(self):
+        for taps in (1, 4, 5, 8):
+            h = triangle_taps(taps)
+            assert len(h) == taps
+            assert abs(sum(h) - 1.0) < 1e-12
+
+    def test_reference_mirrors_qformat_rounding(self):
+        # a payload at the amplitude gate exercises MULQ rounding in
+        # every MAC; word-exactness would fail on any float shortcut
+        x = _frame(16, 2, seed=33) * 1.9
+        want = dsp_reference(x, 16, 8, 2)
+        got = FabricDSP(16, 8, 2).run(x)
+        assert np.array_equal(got, want)
+
+
+class TestLimits:
+    def test_bad_fir_length(self):
+        with pytest.raises(KernelError, match=">= 1"):
+            DSPLayout(16, 0, 2)
+
+    def test_chain_too_large_for_data_memory(self):
+        with pytest.raises(KernelError, match="words"):
+            DSPLayout(64, 8, 3)
+
+    def test_amplitude_gate_rejects_hot_payloads(self):
+        runner = FabricDSP(n=16, taps=8, decim=2)
+        hot = np.full(32, QFORMAT.max_value)
+        with pytest.raises(KernelError):
+            runner.artifact.bind(hot)
+
+    def test_bad_payload_shape_rejected_at_bind(self):
+        runner = FabricDSP(n=16, taps=8, decim=2)
+        with pytest.raises(KernelError):
+            runner.artifact.bind(np.zeros(16))

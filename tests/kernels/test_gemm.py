@@ -1,0 +1,94 @@
+"""The blocked GEMM kernel: oracle equivalence, blocking, layout limits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.gemm import (
+    OPERAND_LIMIT,
+    FabricGEMM,
+    gemm_reference,
+)
+from repro.kernels.gemm.programs import GEMMLayout
+
+
+def _operands(n: int, seed: int = 0, lo: int = -512, hi: int = 512):
+    rng = np.random.default_rng(seed)
+    return rng.integers(lo, hi, (2, n, n)).astype(np.int64)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("n,block", [(4, 2), (8, 4), (8, 2), (12, 4)])
+    def test_product_is_bit_exact(self, n, block):
+        runner = FabricGEMM(n=n, block=block)
+        pair = _operands(n, seed=n + block)
+        want = gemm_reference(pair[0], pair[1])
+        assert np.array_equal(runner.run(pair), want)
+
+    def test_blockings_agree_with_each_other(self):
+        pair = _operands(8, seed=5)
+        a = FabricGEMM(n=8, block=4).run(pair)
+        b = FabricGEMM(n=8, block=2).run(pair)
+        assert np.array_equal(a, b)
+
+    def test_batch_matches_scalar_bit_for_bit(self):
+        runner = FabricGEMM(n=8, block=4)
+        pairs = np.stack([_operands(8, seed=s) for s in range(4)])
+        batched = runner.run_batch(pairs)
+        scalar = FabricGEMM(n=8, block=4)
+        for i, pair in enumerate(pairs):
+            assert np.array_equal(batched[i], scalar.run(pair))
+
+    def test_negative_products_are_exact(self):
+        pair = _operands(4, seed=2, lo=-500, hi=0)
+        runner = FabricGEMM(n=4, block=2)
+        out = runner.run(pair)
+        assert out.min() >= 0  # negative times negative
+        assert np.array_equal(out, pair[0] @ pair[1])
+
+    def test_repeated_runs_reset_the_accumulator(self):
+        # the input port re-zeroes C every bind; a stale accumulator
+        # would double the second product
+        runner = FabricGEMM(n=4, block=2)
+        pair = _operands(4, seed=9)
+        first = runner.run(pair)
+        second = runner.run(pair)
+        assert np.array_equal(first, second)
+
+
+class TestReference:
+    def test_wraps_at_48_bits(self):
+        a = np.full((2, 2), 1 << 30, dtype=np.int64)
+        out = gemm_reference(a, a)
+        assert abs(int(out[0, 0])) < (1 << 47)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(KernelError):
+            gemm_reference(
+                np.zeros((2, 2), dtype=np.int64),
+                np.zeros((3, 3), dtype=np.int64),
+            )
+
+
+class TestLimits:
+    def test_side_must_divide_by_block(self):
+        with pytest.raises(KernelError, match="divide"):
+            GEMMLayout(8, 3)
+
+    def test_side_too_large_for_data_memory(self):
+        with pytest.raises(KernelError, match="words"):
+            GEMMLayout(16, 4)
+
+    def test_operand_magnitude_gate(self):
+        runner = FabricGEMM(n=4, block=2)
+        pair = np.zeros((2, 4, 4), dtype=np.int64)
+        pair[0, 0, 0] = OPERAND_LIMIT
+        with pytest.raises(KernelError):
+            runner.artifact.bind(pair)
+
+    def test_bad_payload_shape_rejected_at_bind(self):
+        runner = FabricGEMM(n=4, block=2)
+        with pytest.raises(KernelError):
+            runner.artifact.bind(np.zeros((4, 4), dtype=np.int64))

@@ -1,0 +1,81 @@
+"""Tier-1 smoke test of the per-kernel benchmark harness.
+
+Runs ``benchmarks/bench_kernels.py`` in quick mode, checks the
+machine-readable ``BENCH_kernels.json`` schema covers every registered
+kernel, and enforces the regression contract: batched dispatch must not
+lose to scalar dispatch, and the committed repo-level JSON must meet
+every per-kernel speedup floor.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_HARNESS = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_kernels.py"
+
+_SCHEMA_KEYS = {
+    "kernel", "params", "k", "exact",
+    "wall_s_scalar", "wall_s_batched", "wall_s_reference",
+    "batch_speedup", "jobs_per_s_batched",
+}
+
+
+@pytest.fixture(scope="module")
+def bench_kernels():
+    spec = importlib.util.spec_from_file_location("bench_kernels", _HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def entries(bench_kernels, tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_kernels.json"
+    produced = bench_kernels.run_bench(quick=True, output=out)
+    written = json.loads(out.read_text())
+    assert written == produced
+    return produced
+
+
+def test_json_schema_covers_every_registered_kernel(entries):
+    from repro.compile.frontends import frontend_names
+
+    assert [e["kernel"] for e in entries] == list(frontend_names())
+    for e in entries:
+        assert set(e) == _SCHEMA_KEYS
+        assert e["k"] > 0
+        assert e["wall_s_scalar"] > 0
+        assert e["wall_s_batched"] > 0
+        assert e["wall_s_reference"] > 0
+        assert isinstance(e["exact"], bool)
+        assert isinstance(e["params"], dict)
+
+
+def test_batched_not_slower_than_scalar(entries):
+    for e in entries:
+        assert e["batch_speedup"] >= 1.0, (
+            f"{e['kernel']}: batched tier regressed below scalar "
+            f"dispatch ({e['batch_speedup']:.2f}x)"
+        )
+
+
+def test_floor_table_covers_every_registered_kernel(bench_kernels):
+    from repro.compile.frontends import frontend_names
+
+    assert set(bench_kernels.SPEEDUP_FLOORS) == set(frontend_names())
+
+
+def test_repo_level_json_meets_the_floors(bench_kernels):
+    path = _HARNESS.parent.parent / "BENCH_kernels.json"
+    entries = json.loads(path.read_text())
+    by_name = {e["kernel"]: e for e in entries}
+    for kernel, floor in bench_kernels.SPEEDUP_FLOORS.items():
+        assert by_name[kernel]["batch_speedup"] >= floor, (
+            f"{kernel}: committed speedup "
+            f"{by_name[kernel]['batch_speedup']:.2f}x below floor {floor:.1f}x"
+        )
+    bench_kernels.check_floors(entries)

@@ -99,6 +99,24 @@ class TestCLI:
         assert main([name]) == 0
         assert capsys.readouterr().out.strip()
 
+    def test_kernels_subcommand_lists_the_registry(self, capsys):
+        from repro.compile.frontends import frontend_names
+
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for kind in frontend_names():
+            assert kind in out
+        assert "size=16" in out  # defaults are shown
+
+    def test_kernel_typo_suggests_registered_kind(self, capsys):
+        assert main(["gem"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "gemm" in err
+
+    def test_serve_kinds_flag_mixes_registry_kernels(self, capsys):
+        assert main(["serve", "--jobs", "5", "--kinds", "all"]) == 0
+        assert "statuses" in capsys.readouterr().out
+
     def test_registry_complete(self):
         # every experiments module with a render() is wired up
         import repro.experiments as experiments
