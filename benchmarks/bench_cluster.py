@@ -12,7 +12,9 @@ million-job Zipf-skewed trace, then writes a machine-readable
      "shards": [{"shards": 1, "p50_ms": ..., "p99_ms": ..., "p999_ms": ...,
                  "speedup_vs_single": ...}, ...],
      "speedup_4_shards": 2.9,
-     "drain": {"steady_p99_ms": ..., "drain_p99_ms": ..., "p99_ratio": ...}}
+     "drain": {"steady_p99_ms": ..., "drain_p99_ms": ..., "p99_ratio": ...},
+     "rejoin": {"model": {"mttr_s": ..., "p99_ratio": ...},
+                "measured": {"mttr_s": ..., "ok": true, ...}}}
 
 For every shard count the *same* arrival trace replays on the sharded
 cluster and on a single node, so ``speedup_vs_single`` (ratio of
@@ -26,6 +28,17 @@ hottest shard halfway through (the simulator twin of
 :func:`repro.cluster.lifecycle.drain.drain_shard`): the tier-1 guard
 holds its ``p99_ratio`` — p99 latency during the drain window over
 steady-state p99 — to <= 3x.
+
+The ``rejoin`` leg has two halves.  ``model`` replays the four-shard
+trace through :func:`repro.cluster.loadgen.simulate_rejoin` — SIGKILL
+the hottest shard, strand arrivals for the detection delay, hand the
+backlog off, fold the shard back in cold — and reports the disruption
+window's p99 blow-up.  ``measured`` runs a *real* three-subprocess
+cluster (:func:`repro.cluster.proc.harness.run_proc_scenario`) through
+an actual SIGKILL and reports the supervisor's wall-clock MTTR from
+DEAD verdict to ring re-entry; being wall-clock it is the one leg that
+is not bit-deterministic, and the tier-1 guard pins invariants (``ok``,
+bounded ``mttr_s``) rather than exact values.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_cluster.py``) or
 through :func:`run_bench` from the tier-1 smoke test with a reduced
@@ -47,6 +60,50 @@ DEFAULT_SEED = 0
 DEFAULT_PLANS = 64
 DEFAULT_ZIPF_S = 1.1
 DEFAULT_UTILIZATION = 0.85
+
+#: The measured rejoin leg runs real OS subprocesses, so it stays small
+#: and fixed-size regardless of ``n_jobs`` — it measures MTTR, not load.
+REJOIN_MEASURED_JOBS = 60
+REJOIN_MEASURED_SHARDS = 3
+
+
+def measure_rejoin() -> dict:
+    """SIGKILL a real subprocess shard and time the supervisor's rejoin.
+
+    Spawns :data:`REJOIN_MEASURED_SHARDS` worker subprocesses, drives a
+    small trace, SIGKILLs the hottest shard mid-trace, and lets the
+    :class:`~repro.cluster.proc.supervisor.ProcessSupervisor` respawn it
+    against its journal, scrub-gate it and fold it back onto the ring.
+    Returns the invariant-checked summary for the ``measured`` half of
+    the ``rejoin`` leg.
+    """
+    import tempfile
+
+    from repro.chaos import ProcFault
+    from repro.cluster.proc.harness import ProcScenario, run_proc_scenario
+
+    scenario = ProcScenario(
+        fault=ProcFault(kind="sigkill", after_completions=20),
+        n_jobs=REJOIN_MEASURED_JOBS,
+        n_shards=REJOIN_MEASURED_SHARDS,
+        max_rounds=REJOIN_MEASURED_JOBS + 50,
+    )
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="bench-rejoin-") as workdir:
+        report = run_proc_scenario(scenario, Path(workdir))
+    rejoin = report.rejoin
+    return {
+        "jobs": REJOIN_MEASURED_JOBS,
+        "shards": REJOIN_MEASURED_SHARDS,
+        "victim": report.victim,
+        "mttr_s": rejoin.get("mttr_s", 0.0),
+        "recovered_requeued": rejoin.get("recovered_requeued", 0),
+        "deduped_on_rejoin": rejoin.get("deduped_on_rejoin", 0),
+        "rejoined": report.rejoined,
+        "violations": list(report.violations),
+        "ok": report.ok,
+        "wall_s": time.perf_counter() - t0,
+    }
 
 
 def calibrate() -> dict:
@@ -105,6 +162,7 @@ def run_bench(
         generate_trace,
         simulate,
         simulate_drain,
+        simulate_rejoin,
     )
 
     calibration = calibrate()
@@ -158,6 +216,11 @@ def run_bench(
     drain = simulate_drain(drain_spec).as_dict()
     drain["wall_s"] = time.perf_counter() - t0
 
+    t0 = time.perf_counter()
+    rejoin_model = simulate_rejoin(drain_spec).as_dict()
+    rejoin_model["wall_s"] = time.perf_counter() - t0
+    rejoin = {"model": rejoin_model, "measured": measure_rejoin()}
+
     by_shards = {entry["shards"]: entry for entry in entries}
     report = {
         "calibration": calibration,
@@ -174,6 +237,7 @@ def run_bench(
             by_shards[4]["speedup_vs_single"] if 4 in by_shards else None
         ),
         "drain": drain,
+        "rejoin": rejoin,
     }
     output = Path(output)
     output.write_text(json.dumps(report, indent=2) + "\n")
@@ -206,6 +270,22 @@ def main() -> None:
         f"steady p99 {drain['steady_p99_ms']:.3f} ms  "
         f"drain p99 {drain['drain_p99_ms']:.3f} ms  "
         f"ratio {drain['p99_ratio']:.2f}x"
+    )
+    model = report["rejoin"]["model"]
+    measured = report["rejoin"]["measured"]
+    print(
+        f"rejoin leg (model, {model['killed_shard']}): "
+        f"mttr {model['mttr_s'] * 1e3:.0f} ms  "
+        f"window p99 {model['window_p99_ms']:.3f} ms  "
+        f"ratio {model['p99_ratio']:.2f}x  "
+        f"migrated {model['migrated']}  stranded {model['stranded']}"
+    )
+    print(
+        f"rejoin leg (measured, {measured['shards']} procs): "
+        f"mttr {measured['mttr_s'] * 1e3:.0f} ms  "
+        f"requeued {measured['recovered_requeued']}  "
+        f"deduped {measured['deduped_on_rejoin']}  "
+        f"ok {measured['ok']}"
     )
 
 

@@ -35,10 +35,19 @@ from repro.chaos.harness import (
     ScenarioReport,
     run_scenario,
 )
+from repro.chaos.procfaults import (
+    PROC_FAULT_KINDS,
+    ProcFault,
+    sigcont_pid,
+    sigkill_pid,
+    sigstop_pid,
+)
 
 __all__ = [
+    "PROC_FAULT_KINDS",
     "ChaosScenario",
     "FaultSpec",
+    "ProcFault",
     "ScenarioReport",
     "SimulatedCrash",
     "armed",
@@ -47,4 +56,7 @@ __all__ = [
     "register_crashpoint",
     "registered_crashpoints",
     "run_scenario",
+    "sigcont_pid",
+    "sigkill_pid",
+    "sigstop_pid",
 ]

@@ -40,6 +40,18 @@ from repro.cluster.lifecycle import (
     drain_shard,
 )
 from repro.cluster.loadgen import LoadSpec, LoadReport, generate_trace, run_load, simulate
+from repro.cluster.proc import (
+    ProcShardWorker,
+    ProcessSupervisor,
+    RejoinReport,
+    RetryPolicy,
+    RpcClient,
+)
+from repro.cluster.proc.harness import (
+    ProcReport,
+    ProcScenario,
+    run_proc_scenario,
+)
 from repro.cluster.ring import KEY_BITS, HashRing, ring_position
 from repro.cluster.router import ShardRouter, spec_routing_key
 from repro.cluster.shard import ShardWorker
@@ -55,6 +67,13 @@ __all__ = [
     "HealthMonitor",
     "LoadReport",
     "LoadSpec",
+    "ProcReport",
+    "ProcScenario",
+    "ProcShardWorker",
+    "ProcessSupervisor",
+    "RejoinReport",
+    "RetryPolicy",
+    "RpcClient",
     "ScrubReport",
     "ShardHeartbeat",
     "ShardRouter",
@@ -67,6 +86,7 @@ __all__ = [
     "ring_position",
     "run_cluster_scenario",
     "run_load",
+    "run_proc_scenario",
     "simulate",
     "spec_routing_key",
 ]

@@ -8,6 +8,12 @@ lifecycle pass (phi-accrual health verdicts, anti-entropy scrub, the
 ``cluster_*``/``scrub_*`` gauges) and a quick synthetic load sweep.
 Prints the routing / stealing / handoff / drain accounting and every
 invariant verdict; exits non-zero on any violation (the CI smoke gate).
+
+``--procs N`` switches to the multi-process tier: N real worker
+subprocesses behind the framed RPC transport, a SIGKILL of the hottest
+shard mid-trace (unless ``--no-kill``), and the process supervisor's
+full detect → handoff → respawn → scrub-gate → rejoin pipeline — the
+same invariants, now across actual process death.
 """
 
 from __future__ import annotations
@@ -19,8 +25,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.chaos.procfaults import ProcFault
 from repro.cluster.harness import ClusterScenario, run_cluster_scenario
 from repro.cluster.lifecycle import ClusterSupervisor, drain_shard
+from repro.cluster.proc.harness import ProcScenario, run_proc_scenario
 from repro.cluster.loadgen import LoadSpec, run_load
 from repro.cluster.router import ShardRouter
 from repro.serve.durability.journal import FsyncPolicy
@@ -96,6 +104,67 @@ def _run_lifecycle_demo(seed: int) -> dict:
     }
 
 
+def _run_proc_demo(args) -> int:
+    """The ``--procs N`` leg: real subprocess shards, real SIGKILL."""
+    fault = (
+        ProcFault(
+            kind="sigkill", after_completions=max(2, args.jobs // 5)
+        )
+        if args.kill
+        else None
+    )
+    scenario = ProcScenario(
+        fault=fault,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        n_shards=args.procs,
+        max_rounds=args.jobs + 50,
+        deadline_s=max(180.0, args.jobs * 0.5),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-proc-") as tmp:
+        report = run_proc_scenario(scenario, Path(tmp))
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+
+    print("multi-process shards: framed RPC, SIGKILL, supervised rejoin")
+    print("=" * 68)
+    print(
+        f"procs={args.procs}  jobs={args.jobs}  "
+        f"fault={report.fault or 'none'}  "
+        f"victim={report.victim or 'nobody'}"
+        + (f" (pid {report.victim_pid})" if report.victim_pid else "")
+    )
+    print(
+        f"acked={report.jobs_acked}  completed={report.jobs_completed}  "
+        f"steals={report.steals}  handoffs={report.handoffs}  "
+        f"rpc_retries={report.rpc_retries}"
+    )
+    if report.rejoin:
+        rejoin = report.rejoin
+        print(
+            f"rejoin: ok={rejoin['ok']}  "
+            f"mttr={rejoin['mttr_s'] * 1e3:.0f} ms  "
+            f"requeued={rejoin['recovered_requeued']}  "
+            f"deduped={rejoin['deduped_on_rejoin']}  "
+            f"compacted={rejoin['compacted_records']}"
+        )
+    print(
+        f"duplicate_executions={report.duplicate_executions}  "
+        f"journal_records={report.journal_records}  "
+        f"rounds={report.rounds}"
+    )
+    verdict = "OK " if report.ok else "FAIL"
+    print(
+        f"[{verdict}] no acked job lost, outputs bit-identical across "
+        f"the wire, dead shard rejoined"
+    )
+    for violation in report.violations:
+        print(f"      VIOLATION: {violation}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro cluster",
@@ -105,6 +174,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=3)
     parser.add_argument("--jobs", type=int, default=500)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N shards as real OS subprocesses behind framed RPC "
+        "instead of the in-process tier (with --kill: SIGKILL the "
+        "hottest shard mid-trace and supervise its rejoin)",
+    )
     parser.add_argument(
         "--kill",
         dest="kill",
@@ -132,6 +210,9 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit the report as JSON"
     )
     args = parser.parse_args(argv)
+
+    if args.procs > 0:
+        return _run_proc_demo(args)
 
     kill_index = 1 if args.kill and args.shards > 1 else None
     # The drained shard must differ from the killed one and may not be

@@ -146,9 +146,8 @@ def drain_shard(router, name: str) -> DrainReport:
     # Fold the shard's finished results into first-wins delivery before
     # it closes — post-drain dedup must not depend on an earlier round
     # having already shipped them.
-    if shard.engine is not None:
-        for job_id in sorted(shard.engine.results):
-            router._record(shard.engine.results[job_id])
+    for job_id in shard.finished_ids():
+        router._record(shard.finished(job_id))
     shard.close()
     router.metrics.counter(
         "cluster_drains_total", "Live shard drains completed"

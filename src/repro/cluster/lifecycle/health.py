@@ -213,6 +213,41 @@ class HealthMonitor:
             self._track(shard), shard, round_index, ShardState.DEAD, reason
         )
 
+    def mark_recovered(
+        self,
+        shard: str,
+        round_index: int = 0,
+        reason: str = "rejoined after recovery",
+    ) -> None:
+        """The recovery re-entry edge out of DEAD.
+
+        :meth:`_transition` deliberately refuses to leave DEAD — a state
+        *edit* cannot resurrect a shard.  This is the one sanctioned
+        exit: the process supervisor calls it only after the full rejoin
+        protocol ran (respawn over the journal, replay, scrub gate,
+        queue reconciliation), and the track is *replaced*, not patched,
+        because the rejoined member is a fresh process whose phi history
+        died with its predecessor.
+        """
+        track = self._track(shard)
+        if track.state is not ShardState.DEAD:
+            raise ClusterError(
+                f"mark_recovered on {shard!r} in state "
+                f"{track.state.value}: only DEAD shards re-enter via "
+                f"recovery"
+            )
+        self.transitions.append(
+            StateTransition(
+                round_index=round_index,
+                shard=shard,
+                before=ShardState.DEAD,
+                after=ShardState.HEALTHY,
+                phi=track.phi,
+                reason=reason,
+            )
+        )
+        self._tracks[shard] = _ShardTrack()
+
     def note_corruption(self, shard: str, lines: int, round_index: int = 0) -> None:
         """Scrub found corruption in this shard's journal: accrue hard.
 

@@ -38,10 +38,12 @@ __all__ = [
     "DrainLoadReport",
     "LoadReport",
     "LoadSpec",
+    "RejoinLoadReport",
     "generate_trace",
     "run_load",
     "simulate",
     "simulate_drain",
+    "simulate_rejoin",
 ]
 
 
@@ -136,6 +138,41 @@ class DrainLoadReport:
     #: steady state).
     post_p99_ms: float = 0.0
     #: The acceptance number: drain-window p99 over steady-state p99.
+    p99_ratio: float = 0.0
+    makespan_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class RejoinLoadReport:
+    """Latency impact of a shard crash followed by an automatic rejoin."""
+
+    n_jobs: int = 0
+    n_shards: int = 0
+    killed_shard: str = ""
+    #: When the crash fired (simulated seconds into the trace).
+    kill_s: float = 0.0
+    #: When the DEAD verdict landed and the handoff re-homed the backlog.
+    handoff_s: float = 0.0
+    #: When the respawned shard re-entered the ring.
+    rejoin_s: float = 0.0
+    #: The modeled mean-time-to-recovery: ``rejoin_s - kill_s``.
+    mttr_s: float = 0.0
+    #: Jobs re-homed off the dead shard at handoff (its backlog plus the
+    #: in-flight job the crash cancelled).
+    migrated: int = 0
+    #: Arrivals routed to the dead-but-undetected shard — they queue
+    #: blindly until the verdict's handoff rescues them.
+    stranded: int = 0
+    #: Sojourn p99 of completions before the crash.
+    steady_p99_ms: float = 0.0
+    #: Sojourn p99 inside the disruption window (crash → settle).
+    window_p99_ms: float = 0.0
+    #: Sojourn p99 after the rejoined cluster settles.
+    post_p99_ms: float = 0.0
+    #: The acceptance number: disruption-window p99 over steady p99.
     p99_ratio: float = 0.0
     makespan_s: float = 0.0
 
@@ -502,6 +539,239 @@ def simulate_drain(
         drain_p99_ms=drain_p99,
         post_p99_ms=p99_ms(post),
         p99_ratio=drain_p99 / steady_p99 if steady_p99 > 0 else 0.0,
+        makespan_s=float(now),
+    )
+
+
+def simulate_rejoin(
+    spec: LoadSpec,
+    trace: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    *,
+    kill_shard: int | None = None,
+    kill_at: float = 0.4,
+    detect_s: float = 0.025,
+    rejoin_s: float = 0.1,
+    window_s: float = 0.1,
+) -> RejoinLoadReport:
+    """Replay ``trace``, crash one shard, and fold it back in.
+
+    The model of the process supervisor's kill → handoff → respawn →
+    rejoin pipeline, at load-generator scale.  At ``kill_at`` of the
+    arrival horizon the chosen shard — the hottest by routed offered
+    load when ``kill_shard=None`` — dies mid-service: its in-flight job
+    is cancelled and, for ``detect_s`` seconds (the phi accrual delay —
+    wall time, *not* a fraction of the trace, because heartbeat rounds
+    don't speed up for short traces), arrivals keep routing to the
+    corpse and strand in its queue.  The DEAD verdict then removes it
+    from the ring and re-homes the stranded backlog (handoff), and
+    after a further ``rejoin_s`` (journal replay + compaction + scrub
+    gate — the modeled MTTR tail) the shard re-enters the ring *cold*:
+    fresh process, empty fabric residency, exactly like the respawned
+    member of :class:`~repro.cluster.proc.supervisor.ProcessSupervisor`.
+
+    Completions bucket into steady state (before the crash), the
+    disruption window (crash → ``window_s`` after the rejoin, stretched
+    to the last migrated job), and post-rejoin; ``p99_ratio`` — window
+    p99 over steady p99 — is the bench's acceptance number for the
+    ``rejoin`` leg.
+    """
+    if trace is None:
+        trace = generate_trace(spec)
+    arrivals, plans, _ = trace
+    shards = spec.n_shards
+    if shards < 2:
+        raise ClusterError(f"a rejoin needs >= 2 shards, got {shards}")
+    if not 0.0 < kill_at < 1.0:
+        raise ClusterError(f"kill_at must be in (0, 1), got {kill_at}")
+    if detect_s <= 0 or rejoin_s <= 0:
+        raise ClusterError(
+            f"detect_s / rejoin_s must be > 0, got {detect_s} / {rejoin_s}"
+        )
+    if kill_shard is not None and not 0 <= kill_shard < shards:
+        raise ClusterError(
+            f"kill_shard must be in [0, {shards}), got {kill_shard}"
+        )
+    names = [f"shard-{i}" for i in range(shards)]
+    ring = HashRing(names, vnodes=spec.vnodes)
+    keys = plan_routing_keys(spec.n_plans)
+    index_of = {name: i for i, name in enumerate(names)}
+
+    def homes() -> np.ndarray:
+        return np.array(
+            [index_of[ring.route(key)] for key in keys], dtype=np.int64
+        )
+
+    home = homes()
+    if kill_shard is None:
+        offered = np.bincount(home[plans], minlength=shards)
+        kill_shard = int(np.argmax(offered))
+    horizon = float(arrivals[-1])
+    t_kill = horizon * kill_at
+    t_handoff = t_kill + detect_s
+    t_rejoin = t_handoff + rejoin_s
+
+    warm_s = spec.warm_service_us * 1e-6
+    cold_s = spec.cold_service_us * 1e-6
+    n_jobs = len(arrivals)
+
+    queues: list[deque[int]] = [deque() for _ in range(shards)]
+    busy = [False] * shards
+    active = [True] * shards
+    resident: list[dict[int, None]] = [{} for _ in range(shards)]
+    cap = spec.fabrics_per_shard
+    sojourn = np.zeros(n_jobs, dtype=np.float64)
+    migrated: list[int] = []
+    stranded = 0
+    inflight: list[tuple[int, int] | None] = [None] * shards
+    cancelled: set[int] = set()
+    seq = 0
+    heap: list[tuple[float, int, int, int]] = []  # (t, seq, shard, job)
+
+    def start(shard: int, job: int, now: float) -> None:
+        nonlocal seq
+        plan = int(plans[job])
+        lru = resident[shard]
+        if plan in lru:
+            del lru[plan]
+            lru[plan] = None
+            service = warm_s
+        else:
+            lru[plan] = None
+            if len(lru) > cap:
+                del lru[next(iter(lru))]
+            service = cold_s
+        busy[shard] = True
+        seq += 1
+        inflight[shard] = (seq, job)
+        heapq.heappush(heap, (now + service, seq, shard, job))
+
+    def steal_for(thief: int, now: float) -> bool:
+        victim, depth = -1, spec.steal_margin
+        for other in range(shards):
+            if (
+                other != thief
+                and active[other]
+                and len(queues[other]) > depth
+            ):
+                victim, depth = other, len(queues[other])
+        if victim < 0:
+            return False
+        vq = queues[victim]
+        vres = resident[victim]
+        for back in range(1, min(spec.steal_scan, len(vq)) + 1):
+            job = vq[-back]
+            if int(plans[job]) not in vres:
+                del vq[-back]
+                start(thief, job, now)
+                return True
+        return False
+
+    killed = False
+    handed_off = False
+    rejoined = False
+    ai = 0
+    done = 0
+    now = 0.0
+    while done < n_jobs:
+        t_arr = arrivals[ai] if ai < n_jobs else np.inf
+        t_cmp = heap[0][0] if heap else np.inf
+        t_next = min(t_arr, t_cmp)
+        if not killed and t_next >= t_kill:
+            # -- the crash: mid-service, no goodbye --------------------
+            killed = True
+            now = t_kill
+            active[kill_shard] = False
+            if busy[kill_shard] and inflight[kill_shard] is not None:
+                dead_seq, dead_job = inflight[kill_shard]
+                cancelled.add(dead_seq)
+                queues[kill_shard].appendleft(dead_job)
+                busy[kill_shard] = False
+            continue
+        if killed and not handed_off and t_next >= t_handoff:
+            # -- DEAD verdict: leave the ring, hand the backlog off ----
+            handed_off = True
+            now = t_handoff
+            ring.remove_node(names[kill_shard])
+            home = homes()
+            backlog = list(queues[kill_shard])
+            queues[kill_shard].clear()
+            for job in backlog:
+                successor = int(home[plans[job]])
+                if busy[successor]:
+                    queues[successor].append(job)
+                else:
+                    start(successor, job, now)
+            migrated.extend(backlog)
+            continue
+        if handed_off and not rejoined and t_next >= t_rejoin:
+            # -- rejoin: fresh member, cold residency ------------------
+            rejoined = True
+            now = t_rejoin
+            ring.add_node(names[kill_shard])
+            home = homes()
+            active[kill_shard] = True
+            resident[kill_shard].clear()
+            continue
+        if t_arr <= t_cmp:
+            now = float(t_arr)
+            job = ai
+            ai += 1
+            shard = int(home[plans[job]])
+            if killed and not handed_off and shard == kill_shard:
+                # Routed to the corpse: queues blindly until handoff.
+                stranded += 1
+                queues[shard].append(job)
+                continue
+            if busy[shard]:
+                queues[shard].append(job)
+            else:
+                start(shard, job, now)
+        else:
+            now, done_seq, shard, job = heapq.heappop(heap)
+            if done_seq in cancelled:
+                cancelled.discard(done_seq)
+                continue  # the crash ate this completion
+            sojourn[job] = now - float(arrivals[job])
+            done += 1
+            busy[shard] = False
+            inflight[shard] = None
+            if not active[shard]:
+                continue
+            if queues[shard]:
+                start(shard, queues[shard].popleft(), now)
+            elif spec.steal and shards > 1:
+                steal_for(shard, now)
+
+    finish = arrivals + sojourn
+    t_settle = t_rejoin + window_s
+    if migrated:
+        t_settle = max(
+            t_settle,
+            float(finish[np.array(migrated, dtype=np.int64)].max()),
+        )
+    steady = sojourn[finish < t_kill]
+    in_window = sojourn[(finish >= t_kill) & (finish <= t_settle)]
+    post = sojourn[finish > t_settle]
+
+    def p99_ms(bucket: np.ndarray) -> float:
+        return float(np.percentile(bucket, 99) * 1e3) if len(bucket) else 0.0
+
+    steady_p99 = p99_ms(steady)
+    window_p99 = p99_ms(in_window)
+    return RejoinLoadReport(
+        n_jobs=n_jobs,
+        n_shards=shards,
+        killed_shard=names[kill_shard],
+        kill_s=t_kill,
+        handoff_s=t_handoff,
+        rejoin_s=t_rejoin,
+        mttr_s=t_rejoin - t_kill,
+        migrated=len(migrated),
+        stranded=stranded,
+        steady_p99_ms=steady_p99,
+        window_p99_ms=window_p99,
+        post_p99_ms=p99_ms(post),
+        p99_ratio=window_p99 / steady_p99 if steady_p99 > 0 else 0.0,
         makespan_s=float(now),
     )
 

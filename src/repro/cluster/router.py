@@ -115,6 +115,7 @@ class ShardRouter:
         breaker_factory=None,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
+        worker_factory: Callable[[str, Path], ShardWorker] | None = None,
     ) -> None:
         if not shard_names:
             raise ClusterError("a cluster needs at least one shard")
@@ -129,11 +130,15 @@ class ShardRouter:
         self.steal_margin = steal_margin
         self.max_steals_per_round = max_steals_per_round
         self.clock = clock
-        self.shards: dict[str, ShardWorker] = {}
-        for name in shard_names:
-            self.shards[name] = ShardWorker(
+        #: How this router builds a shard over a journal directory.  The
+        #: default is the in-process worker; the multi-process tier
+        #: passes a factory spawning :class:`~repro.cluster.proc.shard.
+        #: ProcShardWorker` subprocesses, and the process supervisor
+        #: reuses the same factory to respawn a dead member for rejoin.
+        self.worker_factory = worker_factory or (
+            lambda name, journal_dir: ShardWorker(
                 name,
-                self.root / name,
+                journal_dir,
                 pool_size=pool_size,
                 session_factory=session_factory or default_session_factory,
                 fsync=fsync,
@@ -143,6 +148,10 @@ class ShardRouter:
                 metrics=self.metrics,
                 clock=clock,
             )
+        )
+        self.shards: dict[str, ShardWorker] = {}
+        for name in shard_names:
+            self.shards[name] = self.worker_factory(name, self.root / name)
         self.ring = HashRing(shard_names, vnodes=vnodes)
         #: Shards mid-drain: still alive (and on the ring — removal is
         #: the drain's *last* step), but excluded from routing and from
@@ -157,6 +166,7 @@ class ShardRouter:
         self.steals = 0
         self.handoffs = 0
         self.duplicate_results = 0
+        self.rejoins = 0
 
     # ------------------------------------------------------------------
     # routing
@@ -189,8 +199,8 @@ class ShardRouter:
         if recorded is not None:
             return recorded
         for shard in self.live_shards():
-            if shard.engine and request.job_id in shard.engine.results:
-                result = shard.engine.results[request.job_id]
+            result = shard.finished(request.job_id)
+            if result is not None:
                 self._record(result)
                 return result
         if any(s.has_job(request.job_id) for s in self.live_shards()):
@@ -384,8 +394,9 @@ class ShardRouter:
                 self.routing_key(request.spec), exclude=self.draining
             )
             target = self.shards[successor]
-            if target.engine and request.job_id in target.engine.results:
-                self._record(target.engine.results[request.job_id])
+            done = target.finished(request.job_id)
+            if done is not None:
+                self._record(done)
                 continue
             if target.has_job(request.job_id):
                 continue  # an earlier handoff pass already re-homed it
@@ -401,6 +412,52 @@ class ShardRouter:
             "cluster_handoffs_total", "Dead-shard journal handoffs"
         ).inc(shard=name)
         return rehomed
+
+    def rejoin_shard(self, name: str, shard: ShardWorker) -> int:
+        """Re-admit a respawned shard as a fresh ring member.
+
+        ``shard`` is a *new* worker (typically respawned by the process
+        supervisor over the dead member's journal directory, replayed
+        and scrub-gated).  Before it takes traffic, its recovered queue
+        is reconciled against the cluster: any job the handoff already
+        re-homed (or that has a delivered result) is released with a
+        MOVED record — the successor owns it, and executing it twice
+        here would violate single-delivery accounting.  Only then does
+        the name re-enter the ring, with the minimal consistent-hash
+        key movement of adding one node.  Returns the number of jobs
+        deduplicated off the recovered queue.
+        """
+        if not shard.alive:
+            raise ClusterError(f"cannot rejoin dead shard {name!r}")
+        if name in self.ring:
+            raise ClusterError(f"shard {name!r} is already on the ring")
+        old = self.shards.get(name)
+        if old is not None and old.alive:
+            raise ClusterError(
+                f"shard {name!r} is still alive — kill or drain it first"
+            )
+        self.shards[name] = shard
+        self.draining.discard(name)
+        deduped = 0
+        for request in shard.backlog():
+            job_id = request.job_id
+            elsewhere = job_id in self.results or any(
+                s is not shard and s.alive and s.has_job(job_id)
+                for s in self.shards.values()
+            )
+            if elsewhere:
+                shard.release(job_id, {"reason": "rejoin-dedup"})
+                deduped += 1
+            else:
+                # Handoff missed it (crashed mid-pass): this rejoined
+                # member still owns it, which replay already arranged.
+                self.owner[job_id] = name
+        self.ring.add_node(name)
+        self.rejoins += 1
+        self.metrics.counter(
+            "cluster_rejoins_total", "Shards readmitted after recovery"
+        ).inc(shard=name)
+        return deduped
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -108,6 +108,22 @@ class ShardWorker:
             r.job_id == job_id for r in self.engine.queue
         )
 
+    def finished(self, job_id: str) -> JobResult | None:
+        """The finished result for ``job_id``, if this shard holds one.
+
+        The engine-agnostic dedup probe the router uses (a process-backed
+        shard answers it over RPC; this in-process one reads the engine
+        directly)."""
+        if not self.alive or self.engine is None:
+            return None
+        return self.engine.results.get(job_id)
+
+    def finished_ids(self) -> list[str]:
+        """Sorted ids of every finished job this shard can serve."""
+        if not self.alive or self.engine is None:
+            return []
+        return sorted(self.engine.results)
+
     def backlog(self) -> list[JobRequest]:
         """Snapshot of the queued requests, oldest first (drain walks
         this copy while :meth:`release` mutates the real queue)."""

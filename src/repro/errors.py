@@ -182,6 +182,52 @@ class ClusterError(ServeError):
     configurations."""
 
 
+class WireError(ClusterError):
+    """Raised by the inter-process wire codec on any malformed frame or
+    message: bad magic, an impossible length, a CRC mismatch, truncated
+    bytes, or a payload that is not the JSON object shape the protocol
+    requires.  Decoding either returns an intact message or raises this —
+    a corrupt frame can never surface as a wrong payload."""
+
+
+class RpcError(ClusterError):
+    """Raised by the router-side RPC client on transport failure against
+    a shard subprocess: a broken pipe on send (EPIPE — the process died
+    before acking), EOF on the response stream, or a corrupt frame.
+    Carries the shard name and the failing operation."""
+
+    def __init__(self, message: str, *, shard: str = "", op: str = "") -> None:
+        self.shard = shard
+        self.op = op
+        super().__init__(message)
+
+
+class RpcTimeout(RpcError):
+    """Raised when a shard subprocess does not answer an RPC within the
+    per-call deadline (retries included) — the signature of a hung
+    (SIGSTOP'd, wedged) process rather than a dead one."""
+
+
+class LockTimeout(ReproError):
+    """Raised when blocking on a :class:`repro.locks.FileLock` exceeds its
+    timeout.  Carries the lock path and, when the holder stamped its pid
+    into the lock file, ``holder_pid`` — so a respawned shard that cannot
+    reclaim its journal directory can name the process wedging it."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str = "",
+        holder_pid: int | None = None,
+    ) -> None:
+        self.path = path
+        self.holder_pid = holder_pid
+        if holder_pid is not None:
+            message = f"{message} (held by pid {holder_pid})"
+        super().__init__(message)
+
+
 class ChaosError(ReproError):
     """Raised by the chaos harness on malformed fault plans or scenario
     misuse (never by an injected fault itself — those surface as

@@ -8,6 +8,14 @@ serialises those critical sections with an advisory ``flock(2)`` on a
 sidecar lock file — advisory is enough because every writer in this
 codebase goes through the same helper.
 
+The holder stamps its pid into the lock file, so a blocked acquirer that
+times out can *name* the process wedging it (:class:`LockTimeout`
+carries ``holder_pid``).  ``flock`` locks die with their holder — a
+SIGKILL'd shard process releases its journal lock the instant the kernel
+reaps it, which is what makes crash-respawn re-acquisition fast — but a
+SIGSTOP'd holder keeps the lock indefinitely, which is why the rejoin
+path acquires with a timeout instead of blocking forever.
+
 On platforms without ``fcntl`` (Windows) the lock degrades to a no-op
 and :data:`HAS_FLOCK` is False so tests can skip; single-process
 correctness is unaffected (in-process callers already hold thread
@@ -17,8 +25,11 @@ locks).
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from types import TracebackType
+
+from repro.errors import LockTimeout
 
 try:  # pragma: no cover - platform probe
     import fcntl
@@ -52,13 +63,62 @@ class FileLock:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         return os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
 
-    def acquire(self) -> None:
-        """Block until the lock is held (no-op without ``flock``)."""
+    def _stamp(self, fd: int) -> None:
+        """Record the holder's pid in the lock file (best effort)."""
+        try:
+            os.ftruncate(fd, 0)
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.write(fd, str(os.getpid()).encode("ascii"))
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+
+    def holder_pid(self) -> int | None:
+        """Pid stamped by the current (or last) holder, if readable.
+
+        Advisory like the lock itself: the pid is meaningful while the
+        lock is contended (the holder is alive and stamped it on
+        acquire) and merely historical afterwards.
+        """
+        try:
+            text = self.path.read_text(encoding="ascii").strip()
+            return int(text) if text else None
+        except (OSError, ValueError):
+            return None
+
+    def acquire(self, timeout_s: float | None = None, poll_s: float = 0.05) -> None:
+        """Block until the lock is held (no-op without ``flock``).
+
+        With ``timeout_s`` the wait is bounded: the lock is polled
+        non-blockingly every ``poll_s`` seconds and :class:`LockTimeout`
+        (carrying the holder's stamped pid) is raised once the deadline
+        passes.  A dead holder's flock evaporates with its process, so
+        the common crash-respawn case acquires on the first poll; only a
+        *live* holder — hung or legitimately working — runs the clock.
+        """
         if self._fd is not None:
             raise RuntimeError(f"lock {self.path} already held")
         fd = self._open()
         if HAS_FLOCK:
-            fcntl.flock(fd, fcntl.LOCK_EX)
+            if timeout_s is None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            else:
+                deadline = time.monotonic() + timeout_s
+                while True:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            holder = self.holder_pid()
+                            os.close(fd)
+                            raise LockTimeout(
+                                f"lock {self.path} not acquired within "
+                                f"{timeout_s:.3f}s",
+                                path=str(self.path),
+                                holder_pid=holder,
+                            ) from None
+                        time.sleep(min(poll_s, max(0.0, deadline - time.monotonic())))
+        self._stamp(fd)
         self._fd = fd
 
     def try_acquire(self) -> bool:
@@ -77,6 +137,7 @@ class FileLock:
             except OSError:
                 os.close(fd)
                 return False
+        self._stamp(fd)
         self._fd = fd
         return True
 

@@ -131,6 +131,7 @@ class DurableEngine:
         max_batch: int = 1,
         segment_records: int = 1024,
         lock: bool = False,
+        lock_timeout_s: float | None = None,
         breaker_factory=None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -141,6 +142,7 @@ class DurableEngine:
             segment_records=segment_records,
             fsync=fsync,
             lock=lock,
+            lock_timeout_s=lock_timeout_s,
         )
         self.pool = FabricPool(
             pool_size, session_factory, breaker_factory=breaker_factory

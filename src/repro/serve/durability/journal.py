@@ -146,6 +146,7 @@ class JobJournal:
         segment_records: int = 1024,
         fsync: FsyncPolicy | str = FsyncPolicy.ROTATE,
         lock: bool = True,
+        lock_timeout_s: float | None = None,
     ) -> None:
         if segment_records < 1:
             raise JournalError(
@@ -159,10 +160,21 @@ class JobJournal:
         self._file_lock: FileLock | None = None
         if lock:
             self._file_lock = FileLock(self.directory / "journal.lock")
-            if not self._file_lock.try_acquire():
+            if lock_timeout_s is not None:
+                # The rejoin path: a respawned shard blocks (bounded) on
+                # its predecessor's lock.  A SIGKILL'd predecessor's
+                # flock died with it, so this acquires immediately; a
+                # hung (SIGSTOP'd) one raises LockTimeout naming its pid.
+                self._file_lock.acquire(timeout_s=lock_timeout_s)
+            elif not self._file_lock.try_acquire():
                 raise JournalError(
                     f"journal directory {self.directory} is locked by "
                     f"another process"
+                    + (
+                        f" (pid {self._file_lock.holder_pid()})"
+                        if self._file_lock.holder_pid() is not None
+                        else ""
+                    )
                 )
         self._fh = None
         self._segment_path: Path | None = None

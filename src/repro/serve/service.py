@@ -37,6 +37,7 @@ charged cold but that residency-aware placement avoided.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -50,7 +51,7 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import FabricPool, WorkerRun
 from repro.serve.scheduler import AffinityPolicy, SchedulingPolicy
 from repro.serve.sessions import CancelToken, SessionFactory, default_session_factory
-from repro.serve.shedding import LoadShedder
+from repro.serve.shedding import LoadShedder, jittered_retry_after
 
 __all__ = ["FabricJobService", "ServiceStats"]
 
@@ -133,6 +134,7 @@ class FabricJobService:
         checkpoint_every_slices: int = 0,
         breaker_poll_s: float = 0.05,
         handoff_retry_after_s: float = 0.25,
+        retry_jitter: float = 0.5,
     ) -> None:
         if max_queue < 1:
             raise ServeError(f"max_queue must be >= 1, got {max_queue}")
@@ -154,6 +156,12 @@ class FabricJobService:
         self.checkpoint_every_slices = checkpoint_every_slices
         self.breaker_poll_s = breaker_poll_s
         self.handoff_retry_after_s = handoff_retry_after_s
+        if retry_jitter < 0:
+            raise ServeError(f"retry_jitter must be >= 0, got {retry_jitter}")
+        self.retry_jitter = retry_jitter
+        # Separate RNG for back-off hints: clients rejected in the same
+        # burst (handoff, breaker-open) must not herd back in lock-step.
+        self._retry_rng = random.Random(0x5EED_1E77)
         #: DONE results replayed from the journal at start (result dedup:
         #: resubmitting a finished job id returns this, never re-executes).
         self.recovered_results: dict[str, JobResult] = {}
@@ -462,7 +470,11 @@ class FabricJobService:
                         self._rejection(
                             pending.request,
                             RejectReason.HANDOFF,
-                            retry_after_s=self.handoff_retry_after_s,
+                            retry_after_s=jittered_retry_after(
+                                self.handoff_retry_after_s,
+                                self._retry_rng,
+                                self.retry_jitter,
+                            ),
                         )
                     )
                 surrendered.append(pending.request)
@@ -918,6 +930,17 @@ class FabricJobService:
                 self._journal_done_failure(
                     request, status, error, worker.id, attempts
                 )
+                # Breaker-open failures carry a jittered back-off hint
+                # sized to the breaker's cooldown: every client burned by
+                # the same open breaker would otherwise retry in unison
+                # the moment it half-opens.
+                retry_hint = 0.0
+                if breaker_only and worker.breaker is not None:
+                    retry_hint = jittered_retry_after(
+                        worker.breaker.base_cooldown_s,
+                        self._retry_rng,
+                        self.retry_jitter,
+                    )
                 return JobResult(
                     job_id=request.job_id,
                     status=status,
@@ -926,6 +949,7 @@ class FabricJobService:
                     attempts=attempts,
                     queue_wait_s=queue_wait,
                     serve_s=serve_wall,
+                    retry_after_s=retry_hint,
                 )
             if attempts > request.max_retries:
                 status = JobStatus.TIMEOUT if timed_out else JobStatus.FAILED

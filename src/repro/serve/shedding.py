@@ -30,7 +30,26 @@ from dataclasses import dataclass
 
 from repro.errors import ServeError
 
-__all__ = ["ShedDecision", "LoadShedder"]
+__all__ = ["ShedDecision", "LoadShedder", "jittered_retry_after"]
+
+
+def jittered_retry_after(
+    base_s: float,
+    rng: random.Random,
+    spread: float = 0.5,
+) -> float:
+    """Spread a ``retry_after_s`` hint over ``[base, base * (1 + spread))``.
+
+    A fleet of clients rejected in the same overload burst all receive
+    the same deterministic hint; if they obey it literally they resubmit
+    in lock-step and thundering-herd the service (or a freshly rejoined
+    shard) exactly when it is trying to recover.  Multiplicative jitter
+    de-synchronises them while keeping the hint honest: never *earlier*
+    than the un-jittered estimate, never more than ``spread`` later.
+    """
+    if base_s <= 0.0 or spread <= 0.0:
+        return base_s
+    return base_s * (1.0 + spread * rng.random())
 
 
 @dataclass(frozen=True)
@@ -62,6 +81,10 @@ class LoadShedder:
         Queue depth rejected unconditionally (0 disables the cap).
     seed:
         Seed of the shedding RNG — deterministic replay is a feature.
+    retry_jitter:
+        Multiplicative spread of the ``retry_after_s`` hint (0 disables
+        jitter).  Drawn from a *separate* seeded RNG so enabling jitter
+        does not perturb the shed-decision stream.
     """
 
     def __init__(
@@ -73,6 +96,7 @@ class LoadShedder:
         max_shed: float = 0.95,
         hard_cap: int = 0,
         seed: int = 0,
+        retry_jitter: float = 0.5,
     ) -> None:
         if target_delay_s <= 0:
             raise ServeError(
@@ -89,6 +113,10 @@ class LoadShedder:
             raise ServeError(f"max_shed must be in (0, 1), got {max_shed}")
         if hard_cap < 0:
             raise ServeError(f"hard_cap must be >= 0, got {hard_cap}")
+        if retry_jitter < 0:
+            raise ServeError(f"retry_jitter must be >= 0, got {retry_jitter}")
+        self.retry_jitter = retry_jitter
+        self._jitter_rng = random.Random(seed ^ 0x5EED_1E77)
         self.target_delay_s = target_delay_s
         self.collapse_delay_s = collapse_delay_s
         self.ewma_alpha = ewma_alpha
@@ -123,8 +151,11 @@ class LoadShedder:
 
     def retry_after_s(self) -> float:
         """Back-off hint: roughly when the backlog should have drained
-        to target (never less than the target itself)."""
-        return max(self.target_delay_s, 2.0 * self.ewma_s)
+        to target (never less than the target itself), jittered upward
+        by at most ``retry_jitter`` so synchronized rejects do not herd
+        back in lock-step."""
+        base = max(self.target_delay_s, 2.0 * self.ewma_s)
+        return jittered_retry_after(base, self._jitter_rng, self.retry_jitter)
 
     def decide(self, queue_depth: int) -> ShedDecision:
         """Admission verdict for one submit at the given queue depth."""

@@ -1,0 +1,314 @@
+"""The wire codec's absolute contract, unit-tested and fuzzed.
+
+``decode`` either yields the exact message that was encoded, or raises
+:class:`~repro.errors.WireError` — a corrupt, truncated or hostile byte
+string can never surface as a *wrong* payload and never makes the
+decoder wait on bytes that cannot arrive.  The Hypothesis suites drive
+that contract with arbitrary mutations, truncations and chunk splits.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.lifecycle.health import ShardHeartbeat
+from repro.cluster.proc.wire import (
+    HEADER_BYTES,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    VERSION,
+    FrameDecoder,
+    decode_frame,
+    decode_heartbeat,
+    decode_job,
+    decode_message,
+    decode_result,
+    encode_frame,
+    encode_heartbeat,
+    encode_job,
+    encode_message,
+    encode_result,
+    try_decode_frame,
+)
+from repro.errors import WireError
+from repro.serve.jobs import JobRequest, JobResult, JobStatus, fft_spec
+
+
+# ----------------------------------------------------------------------
+# frame layer: units
+# ----------------------------------------------------------------------
+
+
+class TestFrame:
+    def test_round_trip(self):
+        for payload in (b"", b"x", b"\x00" * 100, bytes(range(256))):
+            decoded, consumed = decode_frame(encode_frame(payload))
+            assert decoded == payload
+            assert consumed == HEADER_BYTES + len(payload)
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(WireError, match="frame ceiling"):
+            encode_frame(b"\x00" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversized_declared_length_fails_at_header(self):
+        """A mutated length field must fail with 11 bytes in hand — not
+        wait for 64 MiB that will never come."""
+        import struct
+
+        header = struct.pack(
+            ">2sBII", MAGIC, VERSION, MAX_FRAME_BYTES + 1, 0
+        )
+        with pytest.raises(WireError, match="frame ceiling"):
+            try_decode_frame(header)
+
+    def test_bad_magic_detected_from_byte_one(self):
+        with pytest.raises(WireError, match="magic"):
+            try_decode_frame(b"X")
+
+    def test_valid_prefix_returns_none(self):
+        frame = encode_frame(b"hello")
+        for cut in range(len(frame)):
+            out = try_decode_frame(frame[:cut])
+            assert out is None  # never a payload, never a wrong one
+
+    def test_decode_frame_rejects_truncation(self):
+        frame = encode_frame(b"hello")
+        for cut in range(len(frame)):
+            with pytest.raises(WireError):
+                decode_frame(frame[:cut])
+
+    def test_trailing_bytes_ignored_with_honest_consumed(self):
+        frame = encode_frame(b"abc")
+        payload, consumed = decode_frame(frame + b"garbage after")
+        assert payload == b"abc"
+        assert consumed == len(frame)
+
+
+# ----------------------------------------------------------------------
+# frame layer: fuzz
+# ----------------------------------------------------------------------
+
+
+class TestFrameFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        payload=st.binary(max_size=512),
+        pos=st.integers(min_value=0),
+        delta=st.integers(min_value=1, max_value=255),
+    )
+    def test_single_byte_mutation_never_yields_wrong_payload(
+        self, payload, pos, delta
+    ):
+        """Flip any one byte anywhere in the frame: the decoder raises
+        WireError or (never observed, but the only other legal outcome)
+        still returns the original payload.  It must never return
+        different bytes."""
+        frame = bytearray(encode_frame(payload))
+        pos %= len(frame)
+        frame[pos] = (frame[pos] + delta) % 256
+        try:
+            decoded, _ = decode_frame(bytes(frame))
+        except WireError:
+            return
+        assert decoded == payload
+
+    @settings(max_examples=200, deadline=None)
+    @given(payload=st.binary(max_size=512), keep=st.floats(0.0, 1.0))
+    def test_truncation_never_hangs_or_lies(self, payload, keep):
+        """Any prefix of a valid frame either raises (decode_frame) or
+        reports incompleteness (try_decode_frame) — with the declared
+        length validated before the payload is awaited."""
+        frame = encode_frame(payload)
+        cut = int(len(frame) * keep)
+        if cut >= len(frame):
+            return
+        prefix = frame[:cut]
+        with pytest.raises(WireError):
+            decode_frame(prefix)
+        out = try_decode_frame(prefix)
+        assert out is None
+
+    @settings(max_examples=200, deadline=None)
+    @given(junk=st.binary(min_size=1, max_size=256))
+    def test_arbitrary_bytes_never_decode_to_a_message(self, junk):
+        """Random bytes either fail typed or happen to *be* a valid
+        frame (possible only if Hypothesis forges magic + CRC, in which
+        case the decode is honest)."""
+        try:
+            payload, consumed = decode_frame(junk)
+        except WireError:
+            return
+        assert junk[:consumed] == encode_frame(payload)
+
+
+# ----------------------------------------------------------------------
+# message layer + incremental decoder
+# ----------------------------------------------------------------------
+
+
+class TestMessages:
+    def test_round_trip(self):
+        message = {"id": 7, "op": "submit", "params": {"a": [1, 2]}}
+        payload, _ = decode_frame(encode_message(message))
+        assert decode_message(payload) == message
+
+    def test_unencodable_message_is_typed(self):
+        with pytest.raises(WireError, match="unencodable"):
+            encode_message({"id": 1, "blob": object()})
+
+    def test_non_object_payload_refused(self):
+        with pytest.raises(WireError, match="expected object"):
+            decode_message(b"[1,2,3]")
+
+    def test_missing_correlation_id_refused(self):
+        with pytest.raises(WireError, match="correlation id"):
+            decode_message(b'{"op":"submit"}')
+
+    def test_non_json_payload_refused(self):
+        with pytest.raises(WireError, match="not valid JSON"):
+            decode_message(b"\xff\xfe")
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        ids=st.lists(st.integers(0, 2**31), min_size=1, max_size=8),
+        data=st.data(),
+    )
+    def test_decoder_reassembles_any_chunk_split(self, ids, data):
+        """A pipe delivers bytes at arbitrary boundaries; the decoder
+        must recover the exact message sequence regardless."""
+        stream = b"".join(
+            encode_message({"id": i, "op": "noop", "params": {}})
+            for i in ids
+        )
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, len(stream)), max_size=6, unique=True
+                )
+            )
+        )
+        decoder = FrameDecoder()
+        got = []
+        last = 0
+        for cut in [*cuts, len(stream)]:
+            got.extend(decoder.feed(stream[last:cut]))
+            last = cut
+        assert [m["id"] for m in got] == ids
+        assert decoder.pending_bytes == 0
+
+    def test_decoder_poisons_after_framing_error(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireError):
+            decoder.feed(b"not a frame at all")
+        with pytest.raises(WireError, match="poisoned"):
+            decoder.feed(encode_message({"id": 1}))
+
+
+# ----------------------------------------------------------------------
+# typed payload codecs
+# ----------------------------------------------------------------------
+
+
+def _request(job_id: str = "wt-001") -> JobRequest:
+    rng = np.random.default_rng(3)
+    return JobRequest(
+        spec=fft_spec(16, 4, 2),
+        payload=rng.standard_normal(16) + 1j * rng.standard_normal(16),
+        job_id=job_id,
+    )
+
+
+class TestTypedCodecs:
+    def test_job_round_trip_is_bit_exact(self):
+        request = _request()
+        clone = decode_job(json.loads(json.dumps(encode_job(request))))
+        assert clone.job_id == request.job_id
+        assert clone.spec == request.spec
+        np.testing.assert_array_equal(clone.payload, request.payload)
+        assert clone.payload.dtype == request.payload.dtype
+
+    @pytest.mark.parametrize(
+        "output",
+        [
+            None,
+            np.arange(12, dtype=np.int64).reshape(3, 4),
+            np.linspace(0, 1, 7, dtype=np.float32),
+            (np.arange(4) + 1j * np.arange(4)).astype(np.complex128),
+            b"\x00\x01\xffraw",
+            "text",
+            3.5,
+            -7,
+            True,
+            {"nested": [1, "two"]},
+        ],
+    )
+    def test_result_output_round_trips_bit_exactly(self, output):
+        result = JobResult(
+            job_id="wt-001", status=JobStatus.DONE, output=output
+        )
+        clone = decode_result(
+            json.loads(json.dumps(encode_result(result)))
+        )
+        if isinstance(output, np.ndarray):
+            assert clone.output.dtype == output.dtype
+            assert clone.output.shape == output.shape
+            assert clone.output.tobytes() == output.tobytes()
+        else:
+            assert clone.output == output
+            assert type(clone.output) is type(output)
+
+    def test_unencodable_output_is_typed(self):
+        result = JobResult(
+            job_id="wt-001", status=JobStatus.DONE, output=object()
+        )
+        with pytest.raises(WireError, match="not wire-encodable"):
+            encode_result(result)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"k": "nd", "dtype": "<f8", "shape": [2], "b64": "!!!"},
+            {"k": "nd", "dtype": "bogus", "shape": [2], "b64": "AA=="},
+            {"k": "bytes", "b64": "not base64 ***"},
+            {"k": "int", "v": "NaNsense"},
+            {"k": "mystery"},
+            "not even a dict",
+        ],
+    )
+    def test_corrupt_output_encodings_are_typed(self, bad):
+        data = encode_result(
+            JobResult(job_id="wt-001", status=JobStatus.DONE, output=None)
+        )
+        data["output"] = bad
+        with pytest.raises(WireError):
+            decode_result(data)
+
+    def test_corrupt_job_encoding_is_typed(self):
+        with pytest.raises(WireError):
+            decode_job({"job_id": "x", "data": {"nonsense": True}})
+
+    def test_heartbeat_round_trip(self):
+        beat = ShardHeartbeat(
+            shard="shard-2",
+            round_index=9,
+            alive=True,
+            draining=True,
+            queue_depth=4,
+            breaker_open_fabrics=1,
+            quarantined_fabrics=2,
+            total_fabrics=3,
+            journal_records=17,
+        )
+        clone = decode_heartbeat(
+            json.loads(json.dumps(encode_heartbeat(beat)))
+        )
+        assert clone == beat
+
+    def test_corrupt_heartbeat_is_typed(self):
+        with pytest.raises(WireError):
+            decode_heartbeat({"shard": "s", "round_index": "NaN"})

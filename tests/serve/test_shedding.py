@@ -53,9 +53,34 @@ class TestRamp:
 
     def test_retry_after_tracks_backlog(self):
         shedder = make()
-        assert shedder.retry_after_s() == 1.0  # never below target
+        # Hints are jittered upward within [base, base * 1.5): never
+        # below the un-jittered estimate, never more than 50% later.
+        assert 1.0 <= shedder.retry_after_s() < 1.5  # base = target
+        shedder.observe(4.0)
+        assert 8.0 <= shedder.retry_after_s() < 12.0  # base = 2 * ewma
+
+    def test_retry_after_jitter_is_bounded_and_seeded(self):
+        hints = []
+        for _ in range(2):
+            shedder = make()
+            shedder.observe(4.0)
+            hints.append([shedder.retry_after_s() for _ in range(200)])
+        assert hints[0] == hints[1]  # seeded: same trace every run
+        assert all(8.0 <= h < 12.0 for h in hints[0])
+        assert len(set(hints[0])) > 1  # actually spread, not constant
+
+    def test_zero_retry_jitter_restores_exact_hints(self):
+        shedder = make(retry_jitter=0.0)
         shedder.observe(4.0)
         assert shedder.retry_after_s() == pytest.approx(8.0)
+
+    def test_jitter_does_not_perturb_shed_decisions(self):
+        def decisions(**kw):
+            shedder = make(**kw)
+            shedder.observe(2.0)
+            return [shedder.decide(0).admit for _ in range(200)]
+
+        assert decisions(retry_jitter=0.0) == decisions(retry_jitter=0.5)
 
 
 class TestDecide:

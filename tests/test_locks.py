@@ -1,0 +1,114 @@
+"""Cross-process file locks: pid stamping and bounded acquisition.
+
+The contention cases fork a real child process to hold the lock —
+``flock`` ownership is per-open-file-description, so a second
+:class:`FileLock` instance in the *same* process would succeed and
+prove nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import LockTimeout
+from repro.locks import HAS_FLOCK, FileLock
+from repro.serve.durability.journal import FsyncPolicy, JobJournal
+
+pytestmark = pytest.mark.skipif(
+    not HAS_FLOCK, reason="advisory flock unavailable"
+)
+
+
+def _hold(path, acquired, release):
+    lock = FileLock(path)
+    lock.acquire()
+    acquired.set()
+    release.wait(timeout=30)
+    lock.release()
+
+
+@pytest.fixture
+def holder(tmp_path):
+    """A child process holding ``tmp_path/x.lock``; yields (path, pid)."""
+    path = tmp_path / "x.lock"
+    ctx = multiprocessing.get_context("spawn")
+    acquired, release = ctx.Event(), ctx.Event()
+    proc = ctx.Process(target=_hold, args=(path, acquired, release))
+    proc.start()
+    assert acquired.wait(timeout=30)
+    yield path, proc.pid
+    release.set()
+    proc.join(timeout=30)
+
+
+class TestFileLock:
+    def test_stamps_holder_pid(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        lock.acquire()
+        try:
+            assert lock.holder_pid() == os.getpid()
+        finally:
+            lock.release()
+
+    def test_timeout_names_the_holder(self, holder):
+        path, holder_pid = holder
+        contender = FileLock(path)
+        with pytest.raises(LockTimeout) as exc_info:
+            contender.acquire(timeout_s=0.2, poll_s=0.02)
+        assert exc_info.value.holder_pid == holder_pid
+        assert f"held by pid {holder_pid}" in str(exc_info.value)
+        assert exc_info.value.path == str(path)
+        assert not contender.held
+
+    def test_bounded_wait_succeeds_once_released(self, tmp_path):
+        path = tmp_path / "b.lock"
+        ctx = multiprocessing.get_context("spawn")
+        acquired, release = ctx.Event(), ctx.Event()
+        proc = ctx.Process(target=_hold, args=(path, acquired, release))
+        proc.start()
+        assert acquired.wait(timeout=30)
+        release.set()
+        proc.join(timeout=30)
+        lock = FileLock(path)
+        lock.acquire(timeout_s=5.0, poll_s=0.02)
+        try:
+            assert lock.held
+        finally:
+            lock.release()
+
+    def test_try_acquire_contended_returns_false(self, holder):
+        path, _pid = holder
+        contender = FileLock(path)
+        assert contender.try_acquire() is False
+        assert not contender.held
+
+    def test_reacquire_same_instance_is_an_error(self, tmp_path):
+        lock = FileLock(tmp_path / "c.lock")
+        lock.acquire()
+        try:
+            with pytest.raises(RuntimeError, match="already held"):
+                lock.acquire()
+        finally:
+            lock.release()
+
+
+class TestJournalLock:
+    def test_bounded_journal_open_raises_typed(self, tmp_path):
+        """A second journal over the same directory fails typed inside
+        ``lock_timeout_s`` instead of blocking the rejoin forever."""
+        home = tmp_path / "journal"
+        first = JobJournal(home, fsync=FsyncPolicy.NEVER)
+        start = time.monotonic()
+        try:
+            with pytest.raises(LockTimeout) as exc_info:
+                JobJournal(
+                    home, fsync=FsyncPolicy.NEVER, lock_timeout_s=0.3
+                )
+        finally:
+            first.close()
+        assert time.monotonic() - start < 10.0
+        assert exc_info.value.holder_pid == os.getpid()
